@@ -1,0 +1,174 @@
+//! RTP agents at the rendezvous point.
+//!
+//! After the SOAP rendezvous exchange, "both sides will create RTP
+//! agents on this rendezvous": Global-MMCS stands one up that
+//! republishes Admire's media into the broker topic, Admire stands one
+//! up that feeds its sites from the topic. The agent here is the shared
+//! relay logic: a pair of endpoints splicing two transports, counting
+//! and size-limiting what passes.
+
+use core::fmt;
+
+/// Direction of a relayed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// From the community into Global-MMCS (toward the broker topic).
+    Inbound,
+    /// From Global-MMCS out to the community.
+    Outbound,
+}
+
+/// A relayed packet record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relayed {
+    /// Which way it went.
+    pub direction: Direction,
+    /// Wire bytes.
+    pub bytes: usize,
+}
+
+/// Errors from the agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentError {
+    /// The agent was not started.
+    NotStarted,
+    /// Packet exceeds the negotiated MTU.
+    TooBig {
+        /// Offered size.
+        size: usize,
+        /// Permitted maximum.
+        mtu: usize,
+    },
+}
+
+impl fmt::Display for AgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentError::NotStarted => write!(f, "rtp agent not started"),
+            AgentError::TooBig { size, mtu } => {
+                write!(f, "packet of {size} bytes exceeds mtu {mtu}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+/// An RTP agent bound to a rendezvous address.
+#[derive(Debug)]
+pub struct RtpAgent {
+    rendezvous: String,
+    mtu: usize,
+    started: bool,
+    relayed_in: u64,
+    relayed_out: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+impl RtpAgent {
+    /// Creates an agent for a rendezvous address with a 1500-byte MTU.
+    pub fn new(rendezvous: impl Into<String>) -> Self {
+        Self {
+            rendezvous: rendezvous.into(),
+            mtu: 1500,
+            started: false,
+            relayed_in: 0,
+            relayed_out: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+        }
+    }
+
+    /// The rendezvous address.
+    pub fn rendezvous(&self) -> &str {
+        &self.rendezvous
+    }
+
+    /// Starts relaying.
+    pub fn start(&mut self) {
+        self.started = true;
+    }
+
+    /// Stops relaying.
+    pub fn stop(&mut self) {
+        self.started = false;
+    }
+
+    /// Whether the agent is relaying.
+    pub fn is_started(&self) -> bool {
+        self.started
+    }
+
+    /// Relays one packet, returning its record.
+    ///
+    /// # Errors
+    ///
+    /// [`AgentError::NotStarted`] / [`AgentError::TooBig`].
+    pub fn relay(&mut self, direction: Direction, bytes: usize) -> Result<Relayed, AgentError> {
+        if !self.started {
+            return Err(AgentError::NotStarted);
+        }
+        if bytes > self.mtu {
+            return Err(AgentError::TooBig {
+                size: bytes,
+                mtu: self.mtu,
+            });
+        }
+        match direction {
+            Direction::Inbound => {
+                self.relayed_in += 1;
+                self.bytes_in += bytes as u64;
+            }
+            Direction::Outbound => {
+                self.relayed_out += 1;
+                self.bytes_out += bytes as u64;
+            }
+        }
+        Ok(Relayed { direction, bytes })
+    }
+
+    /// (packets, bytes) relayed inbound.
+    pub fn inbound_stats(&self) -> (u64, u64) {
+        (self.relayed_in, self.bytes_in)
+    }
+
+    /// (packets, bytes) relayed outbound.
+    pub fn outbound_stats(&self) -> (u64, u64) {
+        (self.relayed_out, self.bytes_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_requires_start_and_respects_mtu() {
+        let mut agent = RtpAgent::new("rdv.mmcs:9000");
+        assert_eq!(agent.rendezvous(), "rdv.mmcs:9000");
+        assert_eq!(
+            agent.relay(Direction::Inbound, 100),
+            Err(AgentError::NotStarted)
+        );
+        agent.start();
+        assert!(agent.is_started());
+        agent.relay(Direction::Inbound, 1000).unwrap();
+        agent.relay(Direction::Inbound, 200).unwrap();
+        agent.relay(Direction::Outbound, 500).unwrap();
+        assert_eq!(
+            agent.relay(Direction::Outbound, 2000),
+            Err(AgentError::TooBig {
+                size: 2000,
+                mtu: 1500
+            })
+        );
+        assert_eq!(agent.inbound_stats(), (2, 1200));
+        assert_eq!(agent.outbound_stats(), (1, 500));
+        agent.stop();
+        assert_eq!(
+            agent.relay(Direction::Inbound, 1),
+            Err(AgentError::NotStarted)
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Admire's native conference management.
+//!
+//! Modeled after a site-based system: each participant joins from a
+//! *site* (an NSFCNET campus), conferences track per-site membership,
+//! and the archive flag mirrors Admire's "conference archiving service".
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+/// One Admire conference.
+#[derive(Debug, Clone, Default)]
+pub struct AdmireConference {
+    /// Conference title.
+    pub title: String,
+    /// site -> members at that site.
+    members: BTreeMap<String, Vec<String>>,
+    /// Whether the conference is being archived.
+    pub archiving: bool,
+}
+
+impl AdmireConference {
+    /// Members at one site.
+    pub fn site_members(&self, site: &str) -> &[String] {
+        self.members.get(site).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All sites with members, sorted.
+    pub fn sites(&self) -> Vec<&str> {
+        self.members.keys().map(String::as_str).collect()
+    }
+
+    /// Total member count.
+    pub fn member_count(&self) -> usize {
+        self.members.values().map(Vec::len).sum()
+    }
+}
+
+/// Errors from Admire conference operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmireError {
+    /// No such conference.
+    UnknownConference(String),
+    /// The member is already present.
+    AlreadyJoined(String),
+    /// No such member.
+    UnknownMember(String),
+}
+
+impl fmt::Display for AdmireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmireError::UnknownConference(c) => write!(f, "unknown conference {c:?}"),
+            AdmireError::AlreadyJoined(m) => write!(f, "member {m:?} already joined"),
+            AdmireError::UnknownMember(m) => write!(f, "unknown member {m:?}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmireError {}
+
+/// The Admire conference server.
+#[derive(Debug, Default)]
+pub struct AdmireServer {
+    conferences: BTreeMap<String, AdmireConference>,
+}
+
+impl AdmireServer {
+    /// Creates an empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates (or returns) a conference by name.
+    pub fn create_conference(&mut self, name: impl Into<String>, title: impl Into<String>) {
+        self.conferences
+            .entry(name.into())
+            .or_insert_with(|| AdmireConference {
+                title: title.into(),
+                ..AdmireConference::default()
+            });
+    }
+
+    /// Ends a conference; returns whether it existed.
+    pub fn end_conference(&mut self, name: &str) -> bool {
+        self.conferences.remove(name).is_some()
+    }
+
+    /// Borrows a conference.
+    pub fn conference(&self, name: &str) -> Option<&AdmireConference> {
+        self.conferences.get(name)
+    }
+
+    /// Joins a member from a site.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmireError::UnknownConference`] / [`AdmireError::AlreadyJoined`].
+    pub fn join(
+        &mut self,
+        conference: &str,
+        site: impl Into<String>,
+        member: impl Into<String>,
+    ) -> Result<(), AdmireError> {
+        let conf = self
+            .conferences
+            .get_mut(conference)
+            .ok_or_else(|| AdmireError::UnknownConference(conference.to_owned()))?;
+        let member = member.into();
+        if conf
+            .members
+            .values()
+            .any(|members| members.contains(&member))
+        {
+            return Err(AdmireError::AlreadyJoined(member));
+        }
+        conf.members.entry(site.into()).or_default().push(member);
+        Ok(())
+    }
+
+    /// Removes a member.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmireError::UnknownConference`] / [`AdmireError::UnknownMember`].
+    pub fn leave(&mut self, conference: &str, member: &str) -> Result<(), AdmireError> {
+        let conf = self
+            .conferences
+            .get_mut(conference)
+            .ok_or_else(|| AdmireError::UnknownConference(conference.to_owned()))?;
+        let mut found = false;
+        for members in conf.members.values_mut() {
+            let before = members.len();
+            members.retain(|m| m != member);
+            found |= members.len() != before;
+        }
+        conf.members.retain(|_, members| !members.is_empty());
+        if found {
+            Ok(())
+        } else {
+            Err(AdmireError::UnknownMember(member.to_owned()))
+        }
+    }
+
+    /// Toggles archiving.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmireError::UnknownConference`].
+    pub fn set_archiving(&mut self, conference: &str, on: bool) -> Result<(), AdmireError> {
+        let conf = self
+            .conferences
+            .get_mut(conference)
+            .ok_or_else(|| AdmireError::UnknownConference(conference.to_owned()))?;
+        conf.archiving = on;
+        Ok(())
+    }
+
+    /// Number of live conferences.
+    pub fn conference_count(&self) -> usize {
+        self.conferences.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_join_leave_lifecycle() {
+        let mut server = AdmireServer::new();
+        server.create_conference("seminar", "distributed systems seminar");
+        server.join("seminar", "beihang", "prof-li").unwrap();
+        server.join("seminar", "beihang", "student-wang").unwrap();
+        server.join("seminar", "tsinghua", "prof-chen").unwrap();
+        let conf = server.conference("seminar").unwrap();
+        assert_eq!(conf.member_count(), 3);
+        assert_eq!(conf.sites(), vec!["beihang", "tsinghua"]);
+        assert_eq!(conf.site_members("beihang").len(), 2);
+
+        server.leave("seminar", "student-wang").unwrap();
+        assert_eq!(server.conference("seminar").unwrap().member_count(), 2);
+        // Emptied sites disappear.
+        server.leave("seminar", "prof-chen").unwrap();
+        assert_eq!(server.conference("seminar").unwrap().sites(), vec!["beihang"]);
+    }
+
+    #[test]
+    fn errors() {
+        let mut server = AdmireServer::new();
+        assert!(matches!(
+            server.join("ghost", "s", "m"),
+            Err(AdmireError::UnknownConference(_))
+        ));
+        server.create_conference("c", "t");
+        server.join("c", "s", "m").unwrap();
+        assert_eq!(
+            server.join("c", "other-site", "m"),
+            Err(AdmireError::AlreadyJoined("m".into()))
+        );
+        assert_eq!(
+            server.leave("c", "nobody"),
+            Err(AdmireError::UnknownMember("nobody".into()))
+        );
+    }
+
+    #[test]
+    fn archiving_flag() {
+        let mut server = AdmireServer::new();
+        server.create_conference("c", "t");
+        server.set_archiving("c", true).unwrap();
+        assert!(server.conference("c").unwrap().archiving);
+        assert!(matches!(
+            server.set_archiving("ghost", true),
+            Err(AdmireError::UnknownConference(_))
+        ));
+    }
+
+    #[test]
+    fn end_conference() {
+        let mut server = AdmireServer::new();
+        server.create_conference("c", "t");
+        assert!(server.end_conference("c"));
+        assert!(!server.end_conference("c"));
+        assert_eq!(server.conference_count(), 0);
+    }
+
+    #[test]
+    fn create_is_idempotent() {
+        let mut server = AdmireServer::new();
+        server.create_conference("c", "first title");
+        server.join("c", "s", "m").unwrap();
+        server.create_conference("c", "second title");
+        assert_eq!(server.conference("c").unwrap().member_count(), 1);
+        assert_eq!(server.conference("c").unwrap().title, "first title");
+    }
+}

@@ -1,0 +1,99 @@
+//! Regenerates the ablations (DESIGN.md A1/A2):
+//! A1 — the transmission-batching optimization on/off on the Figure 3
+//!      broker workload;
+//! A2 — distributing the 400-receiver fan-out over 1/2/4 brokers.
+
+use mmcs_bench::ablation::{run_batching_ablation, run_dissemination, run_mode_comparison, run_multicast};
+use mmcs_bench::fig3::Fig3Config;
+use mmcs_bench::report;
+
+fn main() {
+    let mut config = Fig3Config::default();
+    // The batching ablation bites on the CPU side; shorten the run a bit
+    // to keep the sweep quick while preserving steady state.
+    config.packets = 1500;
+
+    eprintln!("ablation A1: batching on/off ({} receivers)", config.receivers);
+    let (batched, unbatched) = run_batching_ablation(&config);
+    let rows = vec![
+        vec![
+            "batching on".to_owned(),
+            format!("{:.2}", batched.avg_delay_ms),
+            format!("{:.2}", batched.avg_jitter_ms),
+        ],
+        vec![
+            "batching off".to_owned(),
+            format!("{:.2}", unbatched.avg_delay_ms),
+            format!("{:.2}", unbatched.avg_jitter_ms),
+        ],
+    ];
+    println!("== A1: transmission batching (Fig 3 broker side)");
+    println!(
+        "{}",
+        report::table(&["configuration", "avg delay (ms)", "avg jitter (ms)"], &rows)
+    );
+
+    eprintln!("ablation A2: broker count sweep");
+    let mut rows = Vec::new();
+    let mut csv = String::from("brokers,avg_delay_ms,loss\n");
+    for brokers in [1usize, 2, 4] {
+        let point = run_dissemination(&config, brokers);
+        csv.push_str(&format!(
+            "{},{:.4},{:.6}\n",
+            point.brokers, point.avg_delay_ms, point.loss
+        ));
+        rows.push(vec![
+            point.brokers.to_string(),
+            format!("{:.2}", point.avg_delay_ms),
+            format!("{:.2}%", point.loss * 100.0),
+        ]);
+    }
+    println!("== A2: dissemination over a broker star (all 400 receivers)");
+    println!(
+        "{}",
+        report::table(&["brokers", "avg delay (ms)", "loss"], &rows)
+    );
+    match report::write_results_file("ablation_dissemination.csv", &csv) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write ablation csv: {err}"),
+    }
+
+    eprintln!("ablation A3: multicast relays (50 receivers per machine)");
+    let point = run_multicast(&config, 50);
+    println!("== A3: multicast transport (one broker send per machine)");
+    println!(
+        "{}",
+        report::table(
+            &["receivers/relay", "avg delay (ms)", "received/receiver"],
+            &[vec![
+                point.receivers_per_relay.to_string(),
+                format!("{:.2}", point.avg_delay_ms),
+                format!("{:.1}", point.received),
+            ]]
+        )
+    );
+
+    eprintln!("ablation A4: client-server vs peer-to-peer delivery");
+    let mut mode_rows = Vec::new();
+    for group in [2usize, 4, 8, 16, 32, 64] {
+        let point = run_mode_comparison(group, 300, config.seed);
+        mode_rows.push(vec![
+            point.group.to_string(),
+            format!("{:.2}", point.client_server_ms),
+            format!("{:.2}", point.peer_to_peer_ms),
+            if point.peer_to_peer_ms < point.client_server_ms {
+                "P2P".to_owned()
+            } else {
+                "client-server".to_owned()
+            },
+        ]);
+    }
+    println!("== A4: delivery-mode trade-off (audio talker, 3 Mbps uplink)");
+    println!(
+        "{}",
+        report::table(
+            &["receivers", "client-server (ms)", "peer-to-peer (ms)", "winner"],
+            &mode_rows
+        )
+    );
+}

@@ -1,0 +1,68 @@
+//! Regenerates the paper's capacity claims (C1/C2): "one broker can
+//! support more than a thousand audio clients or more than 400 hundred
+//! video clients at one time providing a very good quality."
+//!
+//! Sweeps client counts for audio and video, printing delay/jitter/loss
+//! per point and the measured knee (last count meeting the quality bar).
+
+use mmcs_bench::capacity::{knee, sweep, Media, GOOD_DELAY_MS, GOOD_LOSS};
+use mmcs_bench::report;
+
+fn run_sweep(label: &str, media: Media, counts: &[usize], claim: usize) -> String {
+    eprintln!("capacity: sweeping {label} over {counts:?}");
+    let points = sweep(media, counts);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.clients.to_string(),
+                format!("{:.2}", p.avg_delay_ms),
+                format!("{:.2}", p.p95_delay_ms),
+                format!("{:.2}", p.avg_jitter_ms),
+                format!("{:.2}%", p.loss * 100.0),
+                if p.good { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    let table = report::table(
+        &["clients", "avg delay (ms)", "p95 delay (ms)", "jitter (ms)", "loss", "good"],
+        &rows,
+    );
+    println!("== {label} (quality bar: delay < {GOOD_DELAY_MS} ms, loss < {:.0}%)", GOOD_LOSS * 100.0);
+    println!("{table}");
+    match knee(&points) {
+        Some(k) => println!(
+            "{label} knee: {k} clients (paper claim: more than {claim})\n"
+        ),
+        None => println!("{label}: no swept point met the quality bar\n"),
+    }
+    let mut csv = String::from("clients,avg_delay_ms,p95_delay_ms,jitter_ms,loss,good\n");
+    for p in &points {
+        csv.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{:.6},{}\n",
+            p.clients, p.avg_delay_ms, p.p95_delay_ms, p.avg_jitter_ms, p.loss, p.good
+        ));
+    }
+    csv
+}
+
+fn main() {
+    let audio_csv = run_sweep(
+        "audio (64 Kbps PCMU)",
+        Media::Audio,
+        &[200, 400, 600, 800, 1000, 1100, 1200, 1300, 1400],
+        1000,
+    );
+    let video_csv = run_sweep(
+        "video (600 Kbps H.263)",
+        Media::Video,
+        &[100, 200, 300, 400, 420, 440, 460, 500, 560],
+        400,
+    );
+    for (name, csv) in [("capacity_audio.csv", audio_csv), ("capacity_video.csv", video_csv)] {
+        match report::write_results_file(name, &csv) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(err) => eprintln!("could not write {name}: {err}"),
+        }
+    }
+}

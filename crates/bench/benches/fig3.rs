@@ -1,0 +1,93 @@
+//! Regenerates Figure 3 (delay and jitter per packet, NaradaBrokering vs
+//! the JMF reflector). Prints the summary rows the paper reports and
+//! writes per-packet CSV series to `bench_results/`.
+
+use mmcs_bench::fig3::{run, Fig3Config};
+use mmcs_bench::report;
+
+fn main() {
+    let config = Fig3Config::default();
+    eprintln!(
+        "fig3: {} receivers ({} measured), {} packets, relay NIC {}, seed {}",
+        config.receivers, config.measured, config.packets, config.relay_nic, config.seed
+    );
+    let result = run(&config);
+
+    let rows = vec![
+        vec![
+            "NaradaBrokering".to_owned(),
+            format!("{:.2}", result.narada.avg_delay_ms),
+            format!("{:.2}", result.narada.avg_jitter_ms),
+            format!("{:.1}", result.narada.received),
+            format!("{:.2}%", result.narada.loss_fraction * 100.0),
+        ],
+        vec![
+            "JMF reflector".to_owned(),
+            format!("{:.2}", result.jmf.avg_delay_ms),
+            format!("{:.2}", result.jmf.avg_jitter_ms),
+            format!("{:.1}", result.jmf.received),
+            format!("{:.2}%", result.jmf.loss_fraction * 100.0),
+        ],
+        vec![
+            "paper: NaradaBrokering".to_owned(),
+            "80.76".to_owned(),
+            "13.38".to_owned(),
+            "2000".to_owned(),
+            "-".to_owned(),
+        ],
+        vec![
+            "paper: JMF".to_owned(),
+            "229.23".to_owned(),
+            "15.55".to_owned(),
+            "2000".to_owned(),
+            "-".to_owned(),
+        ],
+    ];
+    println!(
+        "{}",
+        report::table(
+            &["system", "avg delay (ms)", "avg jitter (ms)", "received", "loss"],
+            &rows
+        )
+    );
+
+    // The paper's Figure 3 y-axis spans 0-450 ms; report the measured
+    // spread so the plotted range is comparable.
+    let spread = |name: &str, series: &[f64]| {
+        let mut sorted = series.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        if sorted.is_empty() {
+            return;
+        }
+        let p95 = sorted[(sorted.len() as f64 * 0.95) as usize - 1];
+        println!(
+            "{name}: min {:.1} ms, p95 {:.1} ms, max {:.1} ms",
+            sorted[0],
+            p95,
+            sorted[sorted.len() - 1]
+        );
+    };
+    spread("NaradaBrokering delay spread", &result.narada.delay_series);
+    spread("JMF delay spread          ", &result.jmf.delay_series);
+
+    let delay_csv = report::two_series_csv(
+        "narada_delay_ms",
+        &result.narada.delay_series,
+        "jmf_delay_ms",
+        &result.jmf.delay_series,
+    );
+    let jitter_csv = report::two_series_csv(
+        "narada_jitter_ms",
+        &result.narada.jitter_series,
+        "jmf_jitter_ms",
+        &result.jmf.jitter_series,
+    );
+    match report::write_results_file("fig3_delay.csv", &delay_csv) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write delay series: {err}"),
+    }
+    match report::write_results_file("fig3_jitter.csv", &jitter_csv) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write jitter series: {err}"),
+    }
+}

@@ -1,0 +1,161 @@
+//! Criterion micro-benchmarks for the hot paths under the experiments:
+//! topic-trie matching, broker routing, RTP codec, XML/XGSP codec and
+//! the end-to-end in-memory pub/sub hop.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use bytes::Bytes;
+use mmcs_broker::event::{Event, EventClass};
+use mmcs_broker::network::BrokerNetwork;
+use mmcs_broker::node::{BrokerNode, Input, Origin};
+use mmcs_broker::topic::{SubscriptionTable, Topic, TopicFilter};
+use mmcs_rtp::packet::{RtpHeader, RtpPacket};
+use mmcs_util::id::{BrokerId, ClientId};
+use mmcs_util::xml::Element;
+use mmcs_xgsp::message::XgspMessage;
+
+fn bench_topic_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topic_matching");
+    for &subs in &[100usize, 1000, 10_000] {
+        let mut table: SubscriptionTable<u32> = SubscriptionTable::new();
+        for i in 0..subs {
+            let filter = match i % 4 {
+                0 => format!("session/{}/video", i),
+                1 => format!("session/{}/#", i),
+                2 => format!("session/*/audio"),
+                _ => format!("session/{}/audio", i),
+            };
+            table.subscribe(&TopicFilter::parse(&filter).unwrap(), i as u32);
+        }
+        let topic = Topic::parse(&format!("session/{}/video", subs / 2)).unwrap();
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(format!("{subs}_subscriptions"), |b| {
+            b.iter(|| table.matches(std::hint::black_box(&topic)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_broker_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker_route");
+    for &fanout in &[10usize, 100, 400] {
+        let mut node = BrokerNode::new(BrokerId::from_raw(1));
+        let topic = Topic::parse("conf/1/video").unwrap();
+        for i in 0..fanout {
+            let client = ClientId::from_raw(i as u64 + 1);
+            node.handle(Input::AttachClient {
+                client,
+                profile: Default::default(),
+            })
+            .unwrap();
+            node.handle(Input::Subscribe {
+                client,
+                filter: TopicFilter::exact(&topic),
+            })
+            .unwrap();
+        }
+        let publisher = ClientId::from_raw(9999);
+        node.handle(Input::AttachClient {
+            client: publisher,
+            profile: Default::default(),
+        })
+        .unwrap();
+        let event = Event::new(
+            topic,
+            publisher,
+            0,
+            EventClass::Rtp,
+            Bytes::from(vec![0u8; 1000]),
+        )
+        .into_shared();
+        group.throughput(Throughput::Elements(fanout as u64));
+        group.bench_function(format!("fanout_{fanout}"), |b| {
+            b.iter(|| {
+                node.handle(Input::Publish {
+                    origin: Origin::Client(publisher),
+                    event: std::sync::Arc::clone(&event),
+                })
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rtp_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtp_codec");
+    let packet = RtpPacket::new(
+        RtpHeader::new(34, 1234, 567_890, 0xDECAF),
+        Bytes::from(vec![0u8; 1000]),
+    );
+    let wire = packet.encode();
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("encode_1000B", |b| b.iter(|| packet.encode()));
+    group.bench_function("decode_1000B", |b| {
+        b.iter(|| RtpPacket::decode(std::hint::black_box(&wire)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_xgsp_codec(c: &mut Criterion) {
+    let message = XgspMessage::Join {
+        session: 42.into(),
+        user: "alice@community.example".into(),
+        terminal: 7.into(),
+        media: vec![
+            mmcs_xgsp::media::MediaDescription::new(mmcs_xgsp::media::MediaKind::Audio, "PCMU"),
+            mmcs_xgsp::media::MediaDescription::new(mmcs_xgsp::media::MediaKind::Video, "H263"),
+        ],
+    };
+    let xml = message.to_xml();
+    let mut group = c.benchmark_group("xgsp_codec");
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("encode_join", |b| b.iter(|| message.to_xml()));
+    group.bench_function("decode_join", |b| {
+        b.iter(|| XgspMessage::parse(std::hint::black_box(&xml)).unwrap())
+    });
+    group.bench_function("xml_parse_join", |b| {
+        b.iter(|| Element::parse(std::hint::black_box(&xml)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_end_to_end_pubsub(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pubsub_hop");
+    group.bench_function("publish_2_brokers_10_subs", |b| {
+        b.iter_batched(
+            || {
+                let mut net = BrokerNetwork::new();
+                let b1 = net.add_broker();
+                let b2 = net.add_broker();
+                net.link(b1, b2).unwrap();
+                let publisher = net.attach_client(b1);
+                for _ in 0..10 {
+                    let subscriber = net.attach_client(b2);
+                    net.subscribe(subscriber, TopicFilter::parse("s/#").unwrap())
+                        .unwrap();
+                }
+                (net, publisher)
+            },
+            |(mut net, publisher)| {
+                for _ in 0..100 {
+                    net.publish(
+                        publisher,
+                        Topic::parse("s/av").unwrap(),
+                        Bytes::from_static(&[0u8; 200]),
+                    );
+                }
+                net.drain_deliveries().len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_topic_matching, bench_broker_routing, bench_rtp_codec, bench_xgsp_codec, bench_end_to_end_pubsub
+}
+criterion_main!(micro);

@@ -1,0 +1,271 @@
+//! Capacity claims C1/C2: how many clients one broker sustains.
+//!
+//! The paper (§3.2): "one broker can support more than a thousand audio
+//! clients or more than 400 hundred video clients at one time providing a
+//! very good quality." We sweep the client count and report average
+//! delay, jitter and loss, declaring a point "good" when delay stays
+//! under 100 ms and loss under 2 % — the usual interactive-quality bar.
+//!
+//! Audio clients are CPU-bound on the broker (small packets, high send
+//! rate); video clients are NIC-bound (254 Mbps at 400 clients on the
+//! ~310 Mbps relay NIC), so the two knees fall in different places —
+//! just above 1000 and just above 400 with the calibrated model.
+
+use mmcs_broker::batch::CostModel;
+use mmcs_broker::simdrv::{
+    AudioPublisher, BrokerProcess, PublisherConfig, RtpReceiver, VideoPublisher,
+};
+use mmcs_broker::topic::{Topic, TopicFilter};
+use mmcs_rtp::packet::payload_type;
+use mmcs_rtp::source::{AudioCodec, AudioSource, VideoSource, VideoSourceConfig};
+use mmcs_sim::net::NicConfig;
+use mmcs_sim::Simulation;
+use mmcs_util::id::{BrokerId, ClientId};
+use mmcs_util::rate::Bandwidth;
+use mmcs_util::rng::DetRng;
+use mmcs_util::time::{SimDuration, SimTime};
+
+/// Quality bar: mean delay below this is "good".
+pub const GOOD_DELAY_MS: f64 = 100.0;
+/// Quality bar: loss below this fraction is "good".
+pub const GOOD_LOSS: f64 = 0.02;
+
+/// The media type being swept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Media {
+    /// 64 Kbps PCMU audio (50 packets/s).
+    Audio,
+    /// 600 Kbps H.263-style video (~75 packets/s).
+    Video,
+}
+
+/// Parameters of one capacity measurement.
+#[derive(Debug, Clone)]
+pub struct CapacityConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Media type.
+    pub media: Media,
+    /// Number of subscribing clients.
+    pub clients: usize,
+    /// Clients per simulated client machine (limits receive-side CPU
+    /// interference; the paper spread clients over lab machines too).
+    pub clients_per_host: usize,
+    /// Media duration to simulate.
+    pub duration: SimDuration,
+    /// Broker NIC capacity.
+    pub broker_nic: Bandwidth,
+    /// Broker cost model.
+    pub broker_cost: CostModel,
+}
+
+impl CapacityConfig {
+    /// The paper-scale configuration for a given media and client count.
+    pub fn new(media: Media, clients: usize) -> Self {
+        Self {
+            seed: 77,
+            media,
+            clients,
+            clients_per_host: 50,
+            duration: SimDuration::from_secs(10),
+            broker_nic: Bandwidth::from_mbps(310),
+            broker_cost: CostModel::narada(),
+        }
+    }
+}
+
+/// One point of the capacity sweep.
+#[derive(Debug, Clone)]
+pub struct CapacityPoint {
+    /// Client count at this point.
+    pub clients: usize,
+    /// Mean one-way delay across clients (ms).
+    pub avg_delay_ms: f64,
+    /// 95th-percentile of per-client mean delay (ms).
+    pub p95_delay_ms: f64,
+    /// Mean smoothed jitter (ms).
+    pub avg_jitter_ms: f64,
+    /// Mean loss fraction.
+    pub loss: f64,
+    /// Whether this point meets the quality bar.
+    pub good: bool,
+}
+
+/// Measures one point of the capacity curve.
+pub fn run_point(config: &CapacityConfig) -> CapacityPoint {
+    let mut sim = Simulation::new(config.seed);
+    let sender_host = sim.add_host("sender", NicConfig::default());
+    let broker_host = sim.add_host(
+        "broker",
+        NicConfig {
+            bandwidth: config.broker_nic,
+            queue_bytes: 64 * 1024 * 1024,
+            ..NicConfig::default()
+        },
+    );
+    sim.set_default_latency(SimDuration::from_micros(200));
+
+    let broker = sim.add_typed_process(
+        broker_host,
+        BrokerProcess::new(BrokerId::from_raw(1), config.broker_cost),
+    );
+    let topic = Topic::parse("globalmmcs/capacity/av").expect("static topic");
+    let filter = TopicFilter::exact(&topic);
+
+    let mut receiver_ids = Vec::with_capacity(config.clients);
+    let mut current_host = None;
+    for i in 0..config.clients {
+        if i % config.clients_per_host == 0 {
+            current_host = Some(sim.add_host(
+                &format!("clients-{}", i / config.clients_per_host),
+                NicConfig::default(),
+            ));
+        }
+        let host = current_host.expect("host created above");
+        let pt = match config.media {
+            Media::Audio => payload_type::PCMU,
+            Media::Video => payload_type::H263,
+        };
+        let receiver = RtpReceiver::new(
+            broker,
+            ClientId::from_raw(1000 + i as u64),
+            filter.clone(),
+            pt,
+            SimDuration::from_micros(15),
+        );
+        receiver_ids.push(sim.add_typed_process(host, receiver));
+    }
+
+    let mut publisher_config = PublisherConfig::new(broker, ClientId::from_raw(1), topic);
+    publisher_config.start_delay = SimDuration::from_millis(200);
+    match config.media {
+        Media::Audio => {
+            let source = AudioSource::new(AudioCodec::Pcmu, 0xA0D10);
+            sim.add_typed_process(sender_host, AudioPublisher::new(publisher_config, source));
+        }
+        Media::Video => {
+            let source = VideoSource::new(
+                VideoSourceConfig::default(),
+                0x71DE0,
+                DetRng::new(config.seed ^ 0xFEED),
+            );
+            sim.add_typed_process(sender_host, VideoPublisher::new(publisher_config, source));
+        }
+    }
+
+    let deadline =
+        SimTime::ZERO + config.duration + SimDuration::from_millis(200) + SimDuration::from_secs(5);
+    sim.run_until(deadline);
+
+    let mut delays = Vec::with_capacity(receiver_ids.len());
+    let mut jitter = 0.0;
+    let mut loss = 0.0;
+    let n = receiver_ids.len().max(1) as f64;
+    for id in &receiver_ids {
+        let stats = sim
+            .process_ref::<RtpReceiver>(*id)
+            .expect("receiver process")
+            .stats();
+        delays.push(stats.delay_ms().mean());
+        jitter += stats.jitter_ms() / n;
+        loss += stats.loss_fraction() / n;
+    }
+    delays.sort_by(|a, b| a.partial_cmp(b).expect("no NaN delays"));
+    let avg_delay_ms = delays.iter().sum::<f64>() / n;
+    let p95_delay_ms = delays
+        .get(((delays.len() as f64 * 0.95) as usize).min(delays.len().saturating_sub(1)))
+        .copied()
+        .unwrap_or(0.0);
+    CapacityPoint {
+        clients: config.clients,
+        avg_delay_ms,
+        p95_delay_ms,
+        avg_jitter_ms: jitter,
+        loss,
+        good: avg_delay_ms < GOOD_DELAY_MS && loss < GOOD_LOSS,
+    }
+}
+
+/// Sweeps the capacity curve over the given client counts.
+pub fn sweep(media: Media, counts: &[usize]) -> Vec<CapacityPoint> {
+    counts
+        .iter()
+        .map(|&clients| run_point(&CapacityConfig::new(media, clients)))
+        .collect()
+}
+
+/// The largest swept client count that still met the quality bar.
+pub fn knee(points: &[CapacityPoint]) -> Option<usize> {
+    points
+        .iter()
+        .filter(|p| p.good)
+        .map(|p| p.clients)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audio_quality_degrades_with_scale() {
+        // Reduced scale: shrink broker NIC and duration but keep the
+        // CPU-bound character by scaling nothing else.
+        let mut small = CapacityConfig::new(Media::Audio, 50);
+        small.duration = SimDuration::from_secs(3);
+        let mut big = CapacityConfig::new(Media::Audio, 50);
+        big.duration = SimDuration::from_secs(3);
+        // Make the broker 40x slower so 50 clients behave like 2000.
+        big.broker_cost.per_send = big.broker_cost.per_send * 40;
+        let good = run_point(&small);
+        let bad = run_point(&big);
+        assert!(good.good, "small config should be good: {good:?}");
+        assert!(
+            bad.avg_delay_ms > good.avg_delay_ms * 3.0,
+            "overload {bad:?} vs healthy {good:?}"
+        );
+    }
+
+    #[test]
+    fn video_is_nic_bound_at_reduced_scale() {
+        // 40 clients on a 31 Mbps NIC mirrors 400 on 310 Mbps (util 0.88).
+        let mut ok = CapacityConfig::new(Media::Video, 40);
+        ok.broker_nic = Bandwidth::from_mbps(31);
+        ok.duration = SimDuration::from_secs(4);
+        // 60 clients exceed the NIC (util 1.3): delay and loss blow up.
+        let mut over = CapacityConfig::new(Media::Video, 60);
+        over.broker_nic = Bandwidth::from_mbps(31);
+        over.duration = SimDuration::from_secs(4);
+        let a = run_point(&ok);
+        let b = run_point(&over);
+        assert!(
+            b.avg_delay_ms > a.avg_delay_ms * 2.0 || b.loss > GOOD_LOSS,
+            "over {b:?} vs ok {a:?}"
+        );
+        assert!(!b.good);
+    }
+
+    #[test]
+    fn knee_finds_last_good_point() {
+        let points = vec![
+            CapacityPoint {
+                clients: 100,
+                avg_delay_ms: 10.0,
+                p95_delay_ms: 12.0,
+                avg_jitter_ms: 1.0,
+                loss: 0.0,
+                good: true,
+            },
+            CapacityPoint {
+                clients: 200,
+                avg_delay_ms: 500.0,
+                p95_delay_ms: 700.0,
+                avg_jitter_ms: 9.0,
+                loss: 0.3,
+                good: false,
+            },
+        ];
+        assert_eq!(knee(&points), Some(100));
+        assert_eq!(knee(&[]), None);
+    }
+}

@@ -1,0 +1,152 @@
+//! The broker event model.
+//!
+//! Everything NaradaBrokering carries — XGSP signaling, chat, raw RTP —
+//! is an [`Event`]: a topic, an originating client, a per-source sequence
+//! number, a priority class and an opaque payload. Events are immutable
+//! once published and shared by reference ([`std::sync::Arc`]) during
+//! fan-out, so delivering one event to 400 subscribers never copies the
+//! payload.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use mmcs_util::id::ClientId;
+use mmcs_util::time::SimTime;
+
+use crate::topic::Topic;
+
+/// Fixed per-event header overhead on the wire (topic string, source,
+/// sequence, class, properties — the serialized NaradaBrokering event
+/// header; NB events carried sizeable self-describing headers).
+pub const EVENT_HEADER_BYTES: usize = 72;
+
+/// Priority/semantics class of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventClass {
+    /// Broker/system control traffic (subscriptions, heartbeats).
+    Control,
+    /// Ordinary application data (XGSP signaling, chat).
+    Data,
+    /// Real-time media; brokers forward these ahead of `Data` and never
+    /// retry them.
+    Rtp,
+}
+
+/// One published event.
+///
+/// # Examples
+///
+/// ```
+/// use mmcs_broker::event::{Event, EventClass, EVENT_HEADER_BYTES};
+/// use mmcs_broker::topic::Topic;
+/// use bytes::Bytes;
+/// use mmcs_util::id::ClientId;
+///
+/// let e = Event::new(
+///     Topic::parse("session/1/audio")?,
+///     ClientId::from_raw(3),
+///     7,
+///     EventClass::Rtp,
+///     Bytes::from_static(&[0u8; 172]),
+/// );
+/// assert_eq!(e.wire_len(), 172 + EVENT_HEADER_BYTES);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The topic this event was published to.
+    pub topic: Topic,
+    /// The client that published it.
+    pub source: ClientId,
+    /// Per-source sequence number.
+    pub seq: u64,
+    /// Priority class.
+    pub class: EventClass,
+    /// Opaque payload (e.g. an encoded RTP packet).
+    pub payload: Bytes,
+    /// When the event was published (virtual time; `SimTime::ZERO` when
+    /// the driver does not stamp times).
+    pub published_at: SimTime,
+}
+
+impl Event {
+    /// Creates an event stamped at `SimTime::ZERO`.
+    pub fn new(
+        topic: Topic,
+        source: ClientId,
+        seq: u64,
+        class: EventClass,
+        payload: Bytes,
+    ) -> Self {
+        Self {
+            topic,
+            source,
+            seq,
+            class,
+            payload,
+            published_at: SimTime::ZERO,
+        }
+    }
+
+    /// Sets the publish timestamp, builder style.
+    pub fn with_published_at(mut self, at: SimTime) -> Self {
+        self.published_at = at;
+        self
+    }
+
+    /// Bytes this event occupies on the wire.
+    pub fn wire_len(&self) -> usize {
+        EVENT_HEADER_BYTES + self.payload.len()
+    }
+
+    /// Wraps the event for shared fan-out.
+    pub fn into_shared(self) -> Arc<Event> {
+        Arc::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_len_includes_header() {
+        let e = Event::new(
+            Topic::parse("a/b").unwrap(),
+            ClientId::from_raw(1),
+            0,
+            EventClass::Data,
+            Bytes::from_static(b"xyz"),
+        );
+        assert_eq!(e.wire_len(), 3 + EVENT_HEADER_BYTES);
+    }
+
+    #[test]
+    fn shared_fanout_does_not_copy_payload() {
+        let payload = Bytes::from(vec![7u8; 1000]);
+        let ptr = payload.as_ptr();
+        let event = Event::new(
+            Topic::parse("t").unwrap(),
+            ClientId::from_raw(1),
+            0,
+            EventClass::Rtp,
+            payload,
+        )
+        .into_shared();
+        let clone = Arc::clone(&event);
+        assert_eq!(clone.payload.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn published_at_builder() {
+        let e = Event::new(
+            Topic::parse("t").unwrap(),
+            ClientId::from_raw(1),
+            0,
+            EventClass::Data,
+            Bytes::new(),
+        )
+        .with_published_at(SimTime::from_millis(5));
+        assert_eq!(e.published_at, SimTime::from_millis(5));
+    }
+}

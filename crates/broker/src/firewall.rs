@@ -1,0 +1,326 @@
+//! Firewall and proxy traversal.
+//!
+//! NaradaBrokering let clients behind firewalls and HTTP proxies reach
+//! remote brokers by tunnelling the event stream over an outbound
+//! connection. [`TunnelClient`] models that: a three-step outbound
+//! handshake (connect → challenge → established), after which events are
+//! framed with a tunnel header. Inbound connections to the client never
+//! occur — exactly the property that makes the scheme firewall-safe.
+
+use core::fmt;
+
+use mmcs_util::time::SimDuration;
+
+/// Extra bytes the tunnel frame adds to each event (HTTP-style chunk
+/// header on the proxy hop).
+pub const TUNNEL_OVERHEAD_BYTES: usize = 24;
+
+/// The tunnel handshake/connection state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TunnelState {
+    /// Nothing sent yet.
+    Idle,
+    /// `CONNECT` sent to the proxy, waiting for the challenge.
+    Connecting,
+    /// Challenge received, response sent, waiting for acceptance.
+    Authenticating,
+    /// Tunnel is up; events may flow.
+    Established,
+    /// The proxy rejected the tunnel.
+    Rejected,
+}
+
+/// Messages exchanged during tunnel setup (carried over the outbound
+/// connection the client opened).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TunnelMessage {
+    /// Client → proxy: open a tunnel to `broker_addr`.
+    Connect {
+        /// Logical broker address, e.g. `"broker-3"`.
+        broker_addr: String,
+    },
+    /// Proxy → client: prove you are allowed (simple nonce).
+    Challenge {
+        /// The nonce to echo.
+        nonce: u64,
+    },
+    /// Client → proxy: challenge response.
+    Response {
+        /// The echoed nonce.
+        nonce: u64,
+    },
+    /// Proxy → client: tunnel accepted.
+    Accepted,
+    /// Proxy → client: tunnel refused.
+    Refused {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// Error from driving the tunnel state machine out of order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TunnelError {
+    state: TunnelState,
+    what: &'static str,
+}
+
+impl fmt::Display for TunnelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tunnel {}: invalid in state {:?}", self.what, self.state)
+    }
+}
+
+impl std::error::Error for TunnelError {}
+
+/// Client side of the firewall tunnel.
+///
+/// # Examples
+///
+/// ```
+/// use mmcs_broker::firewall::{TunnelClient, TunnelMessage, TunnelState};
+///
+/// let mut t = TunnelClient::new("broker-1");
+/// let connect = t.start();
+/// assert!(matches!(connect, TunnelMessage::Connect { .. }));
+/// let response = t.on_message(TunnelMessage::Challenge { nonce: 7 })?.unwrap();
+/// assert_eq!(response, TunnelMessage::Response { nonce: 7 });
+/// t.on_message(TunnelMessage::Accepted)?;
+/// assert_eq!(t.state(), TunnelState::Established);
+/// assert_eq!(t.frame_len(100), 124); // payload + tunnel overhead
+/// # Ok::<(), mmcs_broker::firewall::TunnelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TunnelClient {
+    broker_addr: String,
+    state: TunnelState,
+}
+
+impl TunnelClient {
+    /// Creates an idle tunnel toward a broker address.
+    pub fn new(broker_addr: impl Into<String>) -> Self {
+        Self {
+            broker_addr: broker_addr.into(),
+            state: TunnelState::Idle,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TunnelState {
+        self.state
+    }
+
+    /// Begins the handshake; returns the `Connect` to send outbound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(&mut self) -> TunnelMessage {
+        assert_eq!(self.state, TunnelState::Idle, "tunnel already started");
+        self.state = TunnelState::Connecting;
+        TunnelMessage::Connect {
+            broker_addr: self.broker_addr.clone(),
+        }
+    }
+
+    /// Feeds a proxy message; returns the client's reply, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TunnelError`] for messages that are invalid in the
+    /// current state.
+    pub fn on_message(
+        &mut self,
+        message: TunnelMessage,
+    ) -> Result<Option<TunnelMessage>, TunnelError> {
+        match (self.state, message) {
+            (TunnelState::Connecting, TunnelMessage::Challenge { nonce }) => {
+                self.state = TunnelState::Authenticating;
+                Ok(Some(TunnelMessage::Response { nonce }))
+            }
+            (TunnelState::Authenticating, TunnelMessage::Accepted) => {
+                self.state = TunnelState::Established;
+                Ok(None)
+            }
+            (TunnelState::Connecting | TunnelState::Authenticating, TunnelMessage::Refused { .. }) => {
+                self.state = TunnelState::Rejected;
+                Ok(None)
+            }
+            (state, _) => Err(TunnelError {
+                state,
+                what: "message",
+            }),
+        }
+    }
+
+    /// Wire size of an event framed through the tunnel.
+    pub fn frame_len(&self, event_bytes: usize) -> usize {
+        event_bytes + TUNNEL_OVERHEAD_BYTES
+    }
+
+    /// Latency penalty of the extra proxy hop.
+    pub fn extra_latency(&self) -> SimDuration {
+        SimDuration::from_micros(350)
+    }
+
+    /// Whether events may flow.
+    pub fn is_established(&self) -> bool {
+        self.state == TunnelState::Established
+    }
+}
+
+/// Proxy side of the tunnel: validates the handshake and relays frames.
+#[derive(Debug, Clone)]
+pub struct TunnelProxy {
+    nonce: u64,
+    allow: Vec<String>,
+    established: bool,
+    expecting: Option<u64>,
+}
+
+impl TunnelProxy {
+    /// Creates a proxy allowing tunnels to the listed broker addresses.
+    pub fn new(nonce: u64, allow: Vec<String>) -> Self {
+        Self {
+            nonce,
+            allow,
+            established: false,
+            expecting: None,
+        }
+    }
+
+    /// Feeds a client message; returns the proxy's reply, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TunnelError`] for out-of-order messages.
+    pub fn on_message(
+        &mut self,
+        message: TunnelMessage,
+    ) -> Result<Option<TunnelMessage>, TunnelError> {
+        match message {
+            TunnelMessage::Connect { broker_addr } => {
+                if self.expecting.is_some() || self.established {
+                    return Err(TunnelError {
+                        state: TunnelState::Connecting,
+                        what: "duplicate connect",
+                    });
+                }
+                if !self.allow.contains(&broker_addr) {
+                    return Ok(Some(TunnelMessage::Refused {
+                        reason: format!("broker {broker_addr} not allowed"),
+                    }));
+                }
+                self.expecting = Some(self.nonce);
+                Ok(Some(TunnelMessage::Challenge { nonce: self.nonce }))
+            }
+            TunnelMessage::Response { nonce } => match self.expecting.take() {
+                Some(expected) if expected == nonce => {
+                    self.established = true;
+                    Ok(Some(TunnelMessage::Accepted))
+                }
+                Some(_) => Ok(Some(TunnelMessage::Refused {
+                    reason: "bad challenge response".to_owned(),
+                })),
+                None => Err(TunnelError {
+                    state: TunnelState::Idle,
+                    what: "unexpected response",
+                }),
+            },
+            other => Err(TunnelError {
+                state: TunnelState::Idle,
+                what: match other {
+                    TunnelMessage::Challenge { .. } => "challenge from client",
+                    TunnelMessage::Accepted => "accepted from client",
+                    TunnelMessage::Refused { .. } => "refused from client",
+                    TunnelMessage::Connect { .. } | TunnelMessage::Response { .. } => {
+                        unreachable!("handled above")
+                    }
+                },
+            }),
+        }
+    }
+
+    /// Whether the tunnel completed its handshake.
+    pub fn is_established(&self) -> bool {
+        self.established
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handshake(
+        client: &mut TunnelClient,
+        proxy: &mut TunnelProxy,
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        let mut to_proxy = Some(client.start());
+        while let Some(message) = to_proxy.take() {
+            if let Some(reply) = proxy.on_message(message)? {
+                to_proxy = client.on_message(reply)?;
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn successful_handshake_establishes_both_sides() {
+        let mut client = TunnelClient::new("broker-1");
+        let mut proxy = TunnelProxy::new(42, vec!["broker-1".to_owned()]);
+        handshake(&mut client, &mut proxy).unwrap();
+        assert!(client.is_established());
+        assert!(proxy.is_established());
+    }
+
+    #[test]
+    fn disallowed_broker_is_refused() {
+        let mut client = TunnelClient::new("broker-9");
+        let mut proxy = TunnelProxy::new(42, vec!["broker-1".to_owned()]);
+        handshake(&mut client, &mut proxy).unwrap();
+        assert_eq!(client.state(), TunnelState::Rejected);
+        assert!(!proxy.is_established());
+    }
+
+    #[test]
+    fn wrong_nonce_is_refused() {
+        let mut proxy = TunnelProxy::new(42, vec!["b".to_owned()]);
+        proxy
+            .on_message(TunnelMessage::Connect {
+                broker_addr: "b".to_owned(),
+            })
+            .unwrap();
+        let reply = proxy
+            .on_message(TunnelMessage::Response { nonce: 7 })
+            .unwrap();
+        assert!(matches!(reply, Some(TunnelMessage::Refused { .. })));
+        assert!(!proxy.is_established());
+    }
+
+    #[test]
+    fn out_of_order_messages_error() {
+        let mut client = TunnelClient::new("b");
+        assert!(client.on_message(TunnelMessage::Accepted).is_err());
+        let mut proxy = TunnelProxy::new(1, vec![]);
+        assert!(proxy
+            .on_message(TunnelMessage::Response { nonce: 1 })
+            .is_err());
+        assert!(proxy.on_message(TunnelMessage::Accepted).is_err());
+    }
+
+    #[test]
+    fn frame_overhead_and_latency() {
+        let client = TunnelClient::new("b");
+        assert_eq!(client.frame_len(0), TUNNEL_OVERHEAD_BYTES);
+        assert_eq!(client.frame_len(1000), 1000 + TUNNEL_OVERHEAD_BYTES);
+        assert!(client.extra_latency() > SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "already started")]
+    fn double_start_panics() {
+        let mut client = TunnelClient::new("b");
+        client.start();
+        client.start();
+    }
+}

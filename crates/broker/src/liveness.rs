@@ -1,0 +1,193 @@
+//! Broker liveness detection.
+//!
+//! NaradaBrokering runs "a dynamic collection of brokers": links come
+//! and go, and a broker must notice a dead peer to withdraw its
+//! interest (the node's `LinkDown` input) rather than blackhole events
+//! forever. [`FailureDetector`] is the timeout-based heartbeat monitor
+//! that drives those `LinkDown`s — sans-IO, polled with `now`.
+
+use std::collections::HashMap;
+
+use mmcs_util::id::BrokerId;
+use mmcs_util::time::{SimDuration, SimTime};
+
+/// A peer's liveness verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Heartbeats are current.
+    Alive,
+    /// Heartbeats stopped; the peer should be disconnected.
+    Suspect,
+}
+
+/// Timeout-based heartbeat failure detector for broker links.
+#[derive(Debug)]
+pub struct FailureDetector {
+    timeout: SimDuration,
+    heartbeat_every: SimDuration,
+    peers: HashMap<BrokerId, SimTime>,
+    last_sent: Option<SimTime>,
+}
+
+impl FailureDetector {
+    /// Creates a detector: send heartbeats every `heartbeat_every`,
+    /// suspect a peer silent for `timeout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `timeout > heartbeat_every` (otherwise every peer
+    /// flaps between beats).
+    pub fn new(heartbeat_every: SimDuration, timeout: SimDuration) -> Self {
+        assert!(
+            timeout > heartbeat_every,
+            "timeout must exceed the heartbeat interval"
+        );
+        Self {
+            timeout,
+            heartbeat_every,
+            peers: HashMap::new(),
+            last_sent: None,
+        }
+    }
+
+    /// Starts watching a peer (treats `now` as its first heartbeat).
+    pub fn watch(&mut self, peer: BrokerId, now: SimTime) {
+        self.peers.insert(peer, now);
+    }
+
+    /// Stops watching a peer.
+    pub fn unwatch(&mut self, peer: BrokerId) {
+        self.peers.remove(&peer);
+    }
+
+    /// Records a heartbeat (or any traffic) from a peer.
+    pub fn on_heartbeat(&mut self, peer: BrokerId, now: SimTime) {
+        if let Some(last) = self.peers.get_mut(&peer) {
+            *last = now;
+        }
+    }
+
+    /// Whether we owe the network a heartbeat broadcast at `now`; call
+    /// when a local timer fires and send to every peer if `true`.
+    pub fn should_send_heartbeat(&mut self, now: SimTime) -> bool {
+        match self.last_sent {
+            Some(last) if now.saturating_duration_since(last) < self.heartbeat_every => false,
+            _ => {
+                self.last_sent = Some(now);
+                true
+            }
+        }
+    }
+
+    /// A peer's current verdict (`None` if unwatched).
+    pub fn liveness(&self, peer: BrokerId, now: SimTime) -> Option<Liveness> {
+        self.peers.get(&peer).map(|last| {
+            if now.saturating_duration_since(*last) >= self.timeout {
+                Liveness::Suspect
+            } else {
+                Liveness::Alive
+            }
+        })
+    }
+
+    /// Peers newly suspect at `now`; each is unwatched as it is
+    /// reported, so the caller issues exactly one `LinkDown` per death.
+    pub fn take_suspects(&mut self, now: SimTime) -> Vec<BrokerId> {
+        let timeout = self.timeout;
+        let mut suspects: Vec<BrokerId> = self
+            .peers
+            .iter()
+            .filter(|(_, last)| now.saturating_duration_since(**last) >= timeout)
+            .map(|(peer, _)| *peer)
+            .collect();
+        suspects.sort_unstable();
+        for peer in &suspects {
+            self.peers.remove(peer);
+        }
+        suspects
+    }
+
+    /// Watched peer count.
+    pub fn watched(&self) -> usize {
+        self.peers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> FailureDetector {
+        FailureDetector::new(SimDuration::from_millis(500), SimDuration::from_millis(1600))
+    }
+
+    fn peer(n: u64) -> BrokerId {
+        BrokerId::from_raw(n)
+    }
+
+    #[test]
+    fn healthy_peer_stays_alive() {
+        let mut fd = detector();
+        fd.watch(peer(1), SimTime::ZERO);
+        for ms in (500..10_000).step_by(500) {
+            fd.on_heartbeat(peer(1), SimTime::from_millis(ms));
+        }
+        assert_eq!(
+            fd.liveness(peer(1), SimTime::from_millis(10_000)),
+            Some(Liveness::Alive)
+        );
+        assert!(fd.take_suspects(SimTime::from_millis(10_000)).is_empty());
+    }
+
+    #[test]
+    fn silent_peer_becomes_suspect_once() {
+        let mut fd = detector();
+        fd.watch(peer(1), SimTime::ZERO);
+        fd.watch(peer(2), SimTime::ZERO);
+        fd.on_heartbeat(peer(2), SimTime::from_millis(1500));
+        let suspects = fd.take_suspects(SimTime::from_millis(1600));
+        assert_eq!(suspects, vec![peer(1)]);
+        // Reported exactly once.
+        assert!(fd.take_suspects(SimTime::from_millis(2000)).is_empty());
+        assert_eq!(fd.watched(), 1);
+        assert_eq!(fd.liveness(peer(1), SimTime::from_millis(2000)), None);
+    }
+
+    #[test]
+    fn heartbeat_pacing() {
+        let mut fd = detector();
+        assert!(fd.should_send_heartbeat(SimTime::ZERO));
+        assert!(!fd.should_send_heartbeat(SimTime::from_millis(100)));
+        assert!(fd.should_send_heartbeat(SimTime::from_millis(500)));
+        assert!(!fd.should_send_heartbeat(SimTime::from_millis(999)));
+        assert!(fd.should_send_heartbeat(SimTime::from_millis(1000)));
+    }
+
+    #[test]
+    fn any_traffic_counts_as_heartbeat() {
+        let mut fd = detector();
+        fd.watch(peer(1), SimTime::ZERO);
+        // Data keeps arriving just inside the timeout.
+        for ms in [1500u64, 3000, 4500] {
+            fd.on_heartbeat(peer(1), SimTime::from_millis(ms));
+            assert_eq!(
+                fd.liveness(peer(1), SimTime::from_millis(ms + 100)),
+                Some(Liveness::Alive)
+            );
+        }
+    }
+
+    #[test]
+    fn unwatch_forgets() {
+        let mut fd = detector();
+        fd.watch(peer(1), SimTime::ZERO);
+        fd.unwatch(peer(1));
+        assert!(fd.take_suspects(SimTime::from_secs(60)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn degenerate_configuration_panics() {
+        let _ = FailureDetector::new(SimDuration::from_secs(2), SimDuration::from_secs(1));
+    }
+}

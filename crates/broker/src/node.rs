@@ -1,0 +1,826 @@
+//! The sans-IO broker state machine.
+//!
+//! [`BrokerNode`] owns one broker's entire state — attached clients,
+//! local subscriptions, links to peer brokers, and the aggregated remote
+//! interest table — and advances purely through
+//! [`BrokerNode::handle`]: `(Input) -> Vec<Action>`. Drivers (the
+//! in-memory [`crate::network::BrokerNetwork`], the simulator
+//! [`crate::simdrv`], the threaded [`crate::threaded`] runtime) own
+//! transport and time.
+//!
+//! ## Routing protocol
+//!
+//! Broker networks are **trees** (NaradaBrokering's cluster hierarchy);
+//! [`crate::network::BrokerNetwork::link`] enforces acyclicity. Interest
+//! propagation is therefore simple and loop-free:
+//!
+//! * Every filter has an interest record: local subscriber count plus the
+//!   set of peers that advertised it.
+//! * A broker advertises a filter to peer `p` exactly when some party
+//!   *other than `p`* is interested (split horizon).
+//! * A data event arriving from origin `o` is delivered to matching local
+//!   clients and forwarded to matching peers except `o`.
+//!
+//! On a tree this delivers every event exactly once to every subscriber
+//! — an invariant the property tests in `tests/` exercise.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use mmcs_util::id::{BrokerId, ClientId};
+
+use crate::event::Event;
+use crate::profile::TransportProfile;
+use crate::topic::{SubscriptionTable, TopicFilter};
+
+/// Where an input event entered this broker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Origin {
+    /// Published by a locally attached client.
+    Client(ClientId),
+    /// Forwarded by a peer broker.
+    Broker(BrokerId),
+}
+
+/// An input to the broker state machine.
+#[derive(Debug, Clone)]
+pub enum Input {
+    /// A client opened a connection.
+    AttachClient {
+        /// The new client.
+        client: ClientId,
+        /// Its transport profile.
+        profile: TransportProfile,
+    },
+    /// A client disconnected (gracefully or by failure); all its
+    /// subscriptions are dropped.
+    DetachClient {
+        /// The departing client.
+        client: ClientId,
+    },
+    /// A local client subscribes to a filter.
+    Subscribe {
+        /// The subscribing client.
+        client: ClientId,
+        /// The filter.
+        filter: TopicFilter,
+    },
+    /// A local client drops one subscription.
+    Unsubscribe {
+        /// The unsubscribing client.
+        client: ClientId,
+        /// The filter.
+        filter: TopicFilter,
+    },
+    /// An event entered the broker.
+    Publish {
+        /// Originating hop.
+        origin: Origin,
+        /// The event.
+        event: Arc<Event>,
+    },
+    /// A link to a peer broker came up.
+    LinkUp {
+        /// The peer.
+        peer: BrokerId,
+    },
+    /// A link to a peer broker went down; the peer's interest is dropped.
+    LinkDown {
+        /// The peer.
+        peer: BrokerId,
+    },
+    /// A peer advertised interest in a filter.
+    RemoteSubscribe {
+        /// The advertising peer.
+        peer: BrokerId,
+        /// The filter.
+        filter: TopicFilter,
+    },
+    /// A peer withdrew interest in a filter.
+    RemoteUnsubscribe {
+        /// The withdrawing peer.
+        peer: BrokerId,
+        /// The filter.
+        filter: TopicFilter,
+    },
+}
+
+/// An effect the driver must carry out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Deliver an event to a locally attached client.
+    Deliver {
+        /// The destination client.
+        client: ClientId,
+        /// Its transport profile (drivers need it for overhead/cost).
+        profile: TransportProfile,
+        /// The event.
+        event: Arc<Event>,
+    },
+    /// Forward an event to a peer broker.
+    Forward {
+        /// The next-hop broker.
+        peer: BrokerId,
+        /// The event.
+        event: Arc<Event>,
+    },
+    /// Tell a peer this broker is interested in a filter.
+    AdvertiseAdd {
+        /// The peer to inform.
+        peer: BrokerId,
+        /// The filter.
+        filter: TopicFilter,
+    },
+    /// Tell a peer this broker is no longer interested in a filter.
+    AdvertiseRemove {
+        /// The peer to inform.
+        peer: BrokerId,
+        /// The filter.
+        filter: TopicFilter,
+    },
+}
+
+/// Error returned for inputs that violate the broker's invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// Input referenced a client that is not attached.
+    UnknownClient(ClientId),
+    /// Attach for a client id that is already attached.
+    DuplicateClient(ClientId),
+    /// Input referenced a peer with no established link.
+    UnknownPeer(BrokerId),
+    /// LinkUp for a peer that is already linked.
+    DuplicateLink(BrokerId),
+}
+
+impl std::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerError::UnknownClient(c) => write!(f, "unknown client {c}"),
+            BrokerError::DuplicateClient(c) => write!(f, "client {c} already attached"),
+            BrokerError::UnknownPeer(b) => write!(f, "no link to peer {b}"),
+            BrokerError::DuplicateLink(b) => write!(f, "link to peer {b} already up"),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+/// Aggregated interest in one filter.
+#[derive(Debug, Clone, Default)]
+struct Interest {
+    local: usize,
+    peers: HashSet<BrokerId>,
+}
+
+impl Interest {
+    fn is_empty(&self) -> bool {
+        self.local == 0 && self.peers.is_empty()
+    }
+
+    /// Whether any party other than `peer` is interested.
+    fn interesting_to(&self, peer: BrokerId) -> bool {
+        self.local > 0 || self.peers.iter().any(|p| *p != peer)
+    }
+}
+
+/// Counters a broker keeps about its own activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerCounters {
+    /// Events accepted from clients or peers.
+    pub events_in: u64,
+    /// Client deliveries emitted.
+    pub deliveries: u64,
+    /// Broker-to-broker forwards emitted.
+    pub forwards: u64,
+    /// Events that matched no subscriber anywhere.
+    pub unroutable: u64,
+}
+
+/// One broker's pure state machine. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct BrokerNode {
+    id: BrokerId,
+    clients: HashMap<ClientId, TransportProfile>,
+    client_filters: HashMap<ClientId, Vec<TopicFilter>>,
+    local_subs: SubscriptionTable<ClientId>,
+    remote_subs: SubscriptionTable<BrokerId>,
+    peers: HashSet<BrokerId>,
+    interest: HashMap<TopicFilter, Interest>,
+    /// Filters currently advertised to each peer.
+    advertised: HashMap<BrokerId, HashSet<TopicFilter>>,
+    counters: BrokerCounters,
+}
+
+impl BrokerNode {
+    /// Creates an empty broker with the given id.
+    pub fn new(id: BrokerId) -> Self {
+        Self {
+            id,
+            clients: HashMap::new(),
+            client_filters: HashMap::new(),
+            local_subs: SubscriptionTable::new(),
+            remote_subs: SubscriptionTable::new(),
+            peers: HashSet::new(),
+            interest: HashMap::new(),
+            advertised: HashMap::new(),
+            counters: BrokerCounters::default(),
+        }
+    }
+
+    /// This broker's id.
+    pub fn id(&self) -> BrokerId {
+        self.id
+    }
+
+    /// Number of attached clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Linked peers.
+    pub fn peers(&self) -> impl Iterator<Item = BrokerId> + '_ {
+        self.peers.iter().copied()
+    }
+
+    /// Activity counters.
+    pub fn counters(&self) -> BrokerCounters {
+        self.counters
+    }
+
+    /// Whether a client is attached.
+    pub fn has_client(&self, client: ClientId) -> bool {
+        self.clients.contains_key(&client)
+    }
+
+    /// Advances the state machine by one input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError`] if the input references unknown clients or
+    /// peers, or re-attaches existing ones. State is unchanged on error.
+    pub fn handle(&mut self, input: Input) -> Result<Vec<Action>, BrokerError> {
+        match input {
+            Input::AttachClient { client, profile } => {
+                if self.clients.contains_key(&client) {
+                    return Err(BrokerError::DuplicateClient(client));
+                }
+                self.clients.insert(client, profile);
+                Ok(Vec::new())
+            }
+            Input::DetachClient { client } => {
+                if self.clients.remove(&client).is_none() {
+                    return Err(BrokerError::UnknownClient(client));
+                }
+                self.local_subs.unsubscribe_all(&client);
+                let filters = self.client_filters.remove(&client).unwrap_or_default();
+                let mut actions = Vec::new();
+                for filter in filters {
+                    self.release_local_interest(&filter, &mut actions);
+                }
+                Ok(actions)
+            }
+            Input::Subscribe { client, filter } => {
+                if !self.clients.contains_key(&client) {
+                    return Err(BrokerError::UnknownClient(client));
+                }
+                if !self.local_subs.subscribe(&filter, client) {
+                    return Ok(Vec::new()); // duplicate
+                }
+                self.client_filters
+                    .entry(client)
+                    .or_default()
+                    .push(filter.clone());
+                let mut actions = Vec::new();
+                let entry = self.interest.entry(filter.clone()).or_default();
+                entry.local += 1;
+                if entry.local == 1 {
+                    self.refresh_adverts_for(&filter, &mut actions);
+                }
+                Ok(actions)
+            }
+            Input::Unsubscribe { client, filter } => {
+                if !self.clients.contains_key(&client) {
+                    return Err(BrokerError::UnknownClient(client));
+                }
+                if !self.local_subs.unsubscribe(&filter, &client) {
+                    return Ok(Vec::new());
+                }
+                if let Some(filters) = self.client_filters.get_mut(&client) {
+                    if let Some(pos) = filters.iter().position(|f| *f == filter) {
+                        filters.remove(pos);
+                    }
+                }
+                let mut actions = Vec::new();
+                self.release_local_interest(&filter, &mut actions);
+                Ok(actions)
+            }
+            Input::Publish { origin, event } => self.route(origin, event),
+            Input::LinkUp { peer } => {
+                if !self.peers.insert(peer) {
+                    return Err(BrokerError::DuplicateLink(peer));
+                }
+                self.advertised.insert(peer, HashSet::new());
+                let mut actions = Vec::new();
+                // Advertise everything the rest of the world is
+                // interested in to the new peer.
+                let filters: Vec<TopicFilter> = self.interest.keys().cloned().collect();
+                for filter in filters {
+                    self.refresh_advert_for_peer(peer, &filter, &mut actions);
+                }
+                Ok(actions)
+            }
+            Input::LinkDown { peer } => {
+                if !self.peers.remove(&peer) {
+                    return Err(BrokerError::UnknownPeer(peer));
+                }
+                self.advertised.remove(&peer);
+                self.remote_subs.unsubscribe_all(&peer);
+                let mut actions = Vec::new();
+                let affected: Vec<TopicFilter> = self
+                    .interest
+                    .iter()
+                    .filter(|(_, i)| i.peers.contains(&peer))
+                    .map(|(f, _)| f.clone())
+                    .collect();
+                for filter in affected {
+                    if let Some(entry) = self.interest.get_mut(&filter) {
+                        entry.peers.remove(&peer);
+                        let gone = entry.is_empty();
+                        if gone {
+                            self.interest.remove(&filter);
+                        }
+                        self.refresh_adverts_for(&filter, &mut actions);
+                    }
+                }
+                Ok(actions)
+            }
+            Input::RemoteSubscribe { peer, filter } => {
+                if !self.peers.contains(&peer) {
+                    return Err(BrokerError::UnknownPeer(peer));
+                }
+                self.remote_subs.subscribe(&filter, peer);
+                let entry = self.interest.entry(filter.clone()).or_default();
+                let newly = entry.peers.insert(peer);
+                let mut actions = Vec::new();
+                if newly {
+                    self.refresh_adverts_for(&filter, &mut actions);
+                }
+                Ok(actions)
+            }
+            Input::RemoteUnsubscribe { peer, filter } => {
+                if !self.peers.contains(&peer) {
+                    return Err(BrokerError::UnknownPeer(peer));
+                }
+                self.remote_subs.unsubscribe(&filter, &peer);
+                let mut actions = Vec::new();
+                if let Some(entry) = self.interest.get_mut(&filter) {
+                    if entry.peers.remove(&peer) {
+                        if entry.is_empty() {
+                            self.interest.remove(&filter);
+                        }
+                        self.refresh_adverts_for(&filter, &mut actions);
+                    }
+                }
+                Ok(actions)
+            }
+        }
+    }
+
+    fn route(&mut self, origin: Origin, event: Arc<Event>) -> Result<Vec<Action>, BrokerError> {
+        match origin {
+            Origin::Client(client) if !self.clients.contains_key(&client) => {
+                return Err(BrokerError::UnknownClient(client));
+            }
+            Origin::Broker(peer) if !self.peers.contains(&peer) => {
+                return Err(BrokerError::UnknownPeer(peer));
+            }
+            _ => {}
+        }
+        self.counters.events_in += 1;
+        let mut actions = Vec::new();
+        for client in self.local_subs.matches(&event.topic) {
+            let profile = self.clients[&client];
+            actions.push(Action::Deliver {
+                client,
+                profile,
+                event: Arc::clone(&event),
+            });
+            self.counters.deliveries += 1;
+        }
+        let skip_peer = match origin {
+            Origin::Broker(peer) => Some(peer),
+            Origin::Client(_) => None,
+        };
+        for peer in self.remote_subs.matches(&event.topic) {
+            if Some(peer) == skip_peer {
+                continue;
+            }
+            actions.push(Action::Forward {
+                peer,
+                event: Arc::clone(&event),
+            });
+            self.counters.forwards += 1;
+        }
+        if actions.is_empty() {
+            self.counters.unroutable += 1;
+        }
+        Ok(actions)
+    }
+
+    fn release_local_interest(&mut self, filter: &TopicFilter, actions: &mut Vec<Action>) {
+        if let Some(entry) = self.interest.get_mut(filter) {
+            entry.local = entry.local.saturating_sub(1);
+            if entry.local == 0 {
+                if entry.is_empty() {
+                    self.interest.remove(filter);
+                }
+                self.refresh_adverts_for(filter, actions);
+            }
+        }
+    }
+
+    /// Re-derives whether each peer should see an advert for `filter` and
+    /// emits the diff.
+    fn refresh_adverts_for(&mut self, filter: &TopicFilter, actions: &mut Vec<Action>) {
+        let peers: Vec<BrokerId> = self.peers.iter().copied().collect();
+        for peer in peers {
+            self.refresh_advert_for_peer(peer, filter, actions);
+        }
+    }
+
+    fn refresh_advert_for_peer(
+        &mut self,
+        peer: BrokerId,
+        filter: &TopicFilter,
+        actions: &mut Vec<Action>,
+    ) {
+        let want = self
+            .interest
+            .get(filter)
+            .is_some_and(|i| i.interesting_to(peer));
+        let advertised = self.advertised.entry(peer).or_default();
+        let have = advertised.contains(filter);
+        if want && !have {
+            advertised.insert(filter.clone());
+            actions.push(Action::AdvertiseAdd {
+                peer,
+                filter: filter.clone(),
+            });
+        } else if !want && have {
+            advertised.remove(filter);
+            actions.push(Action::AdvertiseRemove {
+                peer,
+                filter: filter.clone(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventClass;
+    use crate::topic::Topic;
+    use bytes::Bytes;
+
+    fn client(n: u64) -> ClientId {
+        ClientId::from_raw(n)
+    }
+
+    fn broker(n: u64) -> BrokerId {
+        BrokerId::from_raw(n)
+    }
+
+    fn filter(s: &str) -> TopicFilter {
+        TopicFilter::parse(s).unwrap()
+    }
+
+    fn event(topic: &str, source: u64) -> Arc<Event> {
+        Event::new(
+            Topic::parse(topic).unwrap(),
+            client(source),
+            0,
+            EventClass::Data,
+            Bytes::from_static(b"x"),
+        )
+        .into_shared()
+    }
+
+    fn node() -> BrokerNode {
+        BrokerNode::new(broker(1))
+    }
+
+    #[test]
+    fn attach_subscribe_publish_deliver() {
+        let mut n = node();
+        n.handle(Input::AttachClient {
+            client: client(1),
+            profile: TransportProfile::Udp,
+        })
+        .unwrap();
+        n.handle(Input::AttachClient {
+            client: client(2),
+            profile: TransportProfile::Tcp,
+        })
+        .unwrap();
+        n.handle(Input::Subscribe {
+            client: client(2),
+            filter: filter("s/1/#"),
+        })
+        .unwrap();
+        let actions = n
+            .handle(Input::Publish {
+                origin: Origin::Client(client(1)),
+                event: event("s/1/video", 1),
+            })
+            .unwrap();
+        assert_eq!(actions.len(), 1);
+        let Action::Deliver { client: c, profile, .. } = &actions[0] else {
+            panic!("expected delivery");
+        };
+        assert_eq!(*c, client(2));
+        assert_eq!(*profile, TransportProfile::Tcp);
+        assert_eq!(n.counters().deliveries, 1);
+    }
+
+    #[test]
+    fn publish_with_no_subscribers_is_unroutable() {
+        let mut n = node();
+        n.handle(Input::AttachClient {
+            client: client(1),
+            profile: TransportProfile::Udp,
+        })
+        .unwrap();
+        let actions = n
+            .handle(Input::Publish {
+                origin: Origin::Client(client(1)),
+                event: event("nobody/listens", 1),
+            })
+            .unwrap();
+        assert!(actions.is_empty());
+        assert_eq!(n.counters().unroutable, 1);
+    }
+
+    #[test]
+    fn unknown_client_inputs_error() {
+        let mut n = node();
+        assert_eq!(
+            n.handle(Input::Subscribe {
+                client: client(9),
+                filter: filter("a"),
+            }),
+            Err(BrokerError::UnknownClient(client(9)))
+        );
+        assert_eq!(
+            n.handle(Input::DetachClient { client: client(9) }),
+            Err(BrokerError::UnknownClient(client(9)))
+        );
+        assert_eq!(
+            n.handle(Input::Publish {
+                origin: Origin::Client(client(9)),
+                event: event("a", 9),
+            }),
+            Err(BrokerError::UnknownClient(client(9)))
+        );
+    }
+
+    #[test]
+    fn duplicate_attach_errors() {
+        let mut n = node();
+        n.handle(Input::AttachClient {
+            client: client(1),
+            profile: TransportProfile::Udp,
+        })
+        .unwrap();
+        assert_eq!(
+            n.handle(Input::AttachClient {
+                client: client(1),
+                profile: TransportProfile::Udp,
+            }),
+            Err(BrokerError::DuplicateClient(client(1)))
+        );
+    }
+
+    #[test]
+    fn first_local_subscription_advertises_to_peers() {
+        let mut n = node();
+        n.handle(Input::LinkUp { peer: broker(2) }).unwrap();
+        n.handle(Input::AttachClient {
+            client: client(1),
+            profile: TransportProfile::Udp,
+        })
+        .unwrap();
+        let actions = n
+            .handle(Input::Subscribe {
+                client: client(1),
+                filter: filter("a/#"),
+            })
+            .unwrap();
+        assert!(matches!(
+            &actions[..],
+            [Action::AdvertiseAdd { peer, filter: f }]
+                if *peer == broker(2) && *f == filter("a/#")
+        ));
+        // Second subscriber to the same filter: no new advert.
+        n.handle(Input::AttachClient {
+            client: client(2),
+            profile: TransportProfile::Udp,
+        })
+        .unwrap();
+        let actions = n
+            .handle(Input::Subscribe {
+                client: client(2),
+                filter: filter("a/#"),
+            })
+            .unwrap();
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn last_unsubscribe_withdraws_advert() {
+        let mut n = node();
+        n.handle(Input::LinkUp { peer: broker(2) }).unwrap();
+        n.handle(Input::AttachClient {
+            client: client(1),
+            profile: TransportProfile::Udp,
+        })
+        .unwrap();
+        n.handle(Input::Subscribe {
+            client: client(1),
+            filter: filter("a"),
+        })
+        .unwrap();
+        let actions = n
+            .handle(Input::Unsubscribe {
+                client: client(1),
+                filter: filter("a"),
+            })
+            .unwrap();
+        assert!(matches!(&actions[..], [Action::AdvertiseRemove { .. }]));
+    }
+
+    #[test]
+    fn detach_withdraws_all_interest() {
+        let mut n = node();
+        n.handle(Input::LinkUp { peer: broker(2) }).unwrap();
+        n.handle(Input::AttachClient {
+            client: client(1),
+            profile: TransportProfile::Udp,
+        })
+        .unwrap();
+        n.handle(Input::Subscribe {
+            client: client(1),
+            filter: filter("a"),
+        })
+        .unwrap();
+        n.handle(Input::Subscribe {
+            client: client(1),
+            filter: filter("b/#"),
+        })
+        .unwrap();
+        let actions = n
+            .handle(Input::DetachClient { client: client(1) })
+            .unwrap();
+        let removes = actions
+            .iter()
+            .filter(|a| matches!(a, Action::AdvertiseRemove { .. }))
+            .count();
+        assert_eq!(removes, 2);
+        assert_eq!(n.client_count(), 0);
+    }
+
+    #[test]
+    fn split_horizon_does_not_echo_to_origin_peer() {
+        let mut n = node();
+        n.handle(Input::LinkUp { peer: broker(2) }).unwrap();
+        n.handle(Input::LinkUp { peer: broker(3) }).unwrap();
+        n.handle(Input::RemoteSubscribe {
+            peer: broker(2),
+            filter: filter("t/#"),
+        })
+        .unwrap();
+        n.handle(Input::RemoteSubscribe {
+            peer: broker(3),
+            filter: filter("t/#"),
+        })
+        .unwrap();
+        // Event arrives from broker 2: forward only to broker 3.
+        let actions = n
+            .handle(Input::Publish {
+                origin: Origin::Broker(broker(2)),
+                event: event("t/x", 1),
+            })
+            .unwrap();
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            &actions[0],
+            Action::Forward { peer, .. } if *peer == broker(3)
+        ));
+    }
+
+    #[test]
+    fn remote_interest_propagates_to_other_peers_only() {
+        let mut n = node();
+        n.handle(Input::LinkUp { peer: broker(2) }).unwrap();
+        n.handle(Input::LinkUp { peer: broker(3) }).unwrap();
+        let actions = n
+            .handle(Input::RemoteSubscribe {
+                peer: broker(2),
+                filter: filter("x"),
+            })
+            .unwrap();
+        // Advertise to broker 3 but never back to broker 2.
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            &actions[0],
+            Action::AdvertiseAdd { peer, .. } if *peer == broker(3)
+        ));
+    }
+
+    #[test]
+    fn link_up_after_subscriptions_advertises_existing_interest() {
+        let mut n = node();
+        n.handle(Input::AttachClient {
+            client: client(1),
+            profile: TransportProfile::Udp,
+        })
+        .unwrap();
+        n.handle(Input::Subscribe {
+            client: client(1),
+            filter: filter("a"),
+        })
+        .unwrap();
+        let actions = n.handle(Input::LinkUp { peer: broker(2) }).unwrap();
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(&actions[0], Action::AdvertiseAdd { .. }));
+    }
+
+    #[test]
+    fn link_down_drops_peer_interest() {
+        let mut n = node();
+        n.handle(Input::LinkUp { peer: broker(2) }).unwrap();
+        n.handle(Input::LinkUp { peer: broker(3) }).unwrap();
+        n.handle(Input::RemoteSubscribe {
+            peer: broker(2),
+            filter: filter("x"),
+        })
+        .unwrap();
+        let actions = n.handle(Input::LinkDown { peer: broker(2) }).unwrap();
+        // Broker 3 had an advert (interest from 2); it must be withdrawn.
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::AdvertiseRemove { peer, .. } if *peer == broker(3))));
+        // No more forwarding to broker 2.
+        let routed = n
+            .handle(Input::Publish {
+                origin: Origin::Client(client(1)),
+                event: event("x", 1),
+            })
+            .unwrap_err();
+        assert_eq!(routed, BrokerError::UnknownClient(client(1)));
+    }
+
+    #[test]
+    fn duplicate_link_errors() {
+        let mut n = node();
+        n.handle(Input::LinkUp { peer: broker(2) }).unwrap();
+        assert_eq!(
+            n.handle(Input::LinkUp { peer: broker(2) }),
+            Err(BrokerError::DuplicateLink(broker(2)))
+        );
+        assert_eq!(
+            n.handle(Input::LinkDown { peer: broker(9) }),
+            Err(BrokerError::UnknownPeer(broker(9)))
+        );
+    }
+
+    #[test]
+    fn publisher_receives_own_event_only_if_subscribed() {
+        let mut n = node();
+        n.handle(Input::AttachClient {
+            client: client(1),
+            profile: TransportProfile::Udp,
+        })
+        .unwrap();
+        let actions = n
+            .handle(Input::Publish {
+                origin: Origin::Client(client(1)),
+                event: event("t", 1),
+            })
+            .unwrap();
+        assert!(actions.is_empty());
+        n.handle(Input::Subscribe {
+            client: client(1),
+            filter: filter("t"),
+        })
+        .unwrap();
+        let actions = n
+            .handle(Input::Publish {
+                origin: Origin::Client(client(1)),
+                event: event("t", 1),
+            })
+            .unwrap();
+        assert_eq!(actions.len(), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Ordered-delivery QoS.
+//!
+//! NaradaBrokering "helps to ensure QoS requirements of various
+//! collaboration applications": shared-application events (whiteboard
+//! strokes, chat) need per-source ordering even when the underlying
+//! transport reorders. [`Reassembler`] buffers out-of-order events per
+//! source and releases them in sequence, with a bounded window that
+//! skips over losses instead of stalling forever (media must keep
+//! flowing).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use mmcs_util::id::ClientId;
+
+use crate::event::Event;
+
+/// Per-source in-order delivery with a bounded reorder window.
+#[derive(Debug)]
+pub struct Reassembler {
+    window: u64,
+    sources: HashMap<ClientId, SourceState>,
+}
+
+#[derive(Debug, Default)]
+struct SourceState {
+    next_seq: u64,
+    pending: BTreeMap<u64, Arc<Event>>,
+    skipped: u64,
+    delivered: u64,
+}
+
+impl Reassembler {
+    /// Creates a reassembler releasing events in order per source,
+    /// skipping a missing sequence number once `window` newer events
+    /// have queued behind it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "reorder window must be positive");
+        Self {
+            window,
+            sources: HashMap::new(),
+        }
+    }
+
+    /// Offers one received event; returns everything now deliverable, in
+    /// order.
+    pub fn offer(&mut self, event: Arc<Event>) -> Vec<Arc<Event>> {
+        let state = self.sources.entry(event.source).or_default();
+        if event.seq < state.next_seq {
+            // Late duplicate of something already delivered or skipped.
+            return Vec::new();
+        }
+        state.pending.insert(event.seq, event);
+
+        let mut out = Vec::new();
+        loop {
+            if let Some(next) = state.pending.remove(&state.next_seq) {
+                state.next_seq += 1;
+                state.delivered += 1;
+                out.push(next);
+                continue;
+            }
+            // Gap at next_seq: skip it only when the window overflows.
+            let Some((&newest, _)) = state.pending.iter().next_back() else {
+                break;
+            };
+            if newest - state.next_seq >= self.window {
+                state.skipped += 1;
+                state.next_seq += 1;
+                continue;
+            }
+            break;
+        }
+        out
+    }
+
+    /// Events delivered in order for a source.
+    pub fn delivered(&self, source: ClientId) -> u64 {
+        self.sources.get(&source).map_or(0, |s| s.delivered)
+    }
+
+    /// Sequence numbers given up on for a source.
+    pub fn skipped(&self, source: ClientId) -> u64 {
+        self.sources.get(&source).map_or(0, |s| s.skipped)
+    }
+
+    /// Events currently buffered (all sources).
+    pub fn buffered(&self) -> usize {
+        self.sources.values().map(|s| s.pending.len()).sum()
+    }
+
+    /// Drops a source's state (client left).
+    pub fn forget(&mut self, source: ClientId) {
+        self.sources.remove(&source);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventClass;
+    use crate::topic::Topic;
+    use bytes::Bytes;
+
+    fn event(source: u64, seq: u64) -> Arc<Event> {
+        Event::new(
+            Topic::parse("t").unwrap(),
+            ClientId::from_raw(source),
+            seq,
+            EventClass::Data,
+            Bytes::new(),
+        )
+        .into_shared()
+    }
+
+    fn seqs(events: &[Arc<Event>]) -> Vec<u64> {
+        events.iter().map(|e| e.seq).collect()
+    }
+
+    #[test]
+    fn in_order_stream_passes_through() {
+        let mut r = Reassembler::new(8);
+        for seq in 0..5 {
+            let out = r.offer(event(1, seq));
+            assert_eq!(seqs(&out), vec![seq]);
+        }
+        assert_eq!(r.delivered(ClientId::from_raw(1)), 5);
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn reordered_events_are_released_in_order() {
+        let mut r = Reassembler::new(8);
+        assert!(r.offer(event(1, 1)).is_empty());
+        assert!(r.offer(event(1, 2)).is_empty());
+        let out = r.offer(event(1, 0));
+        assert_eq!(seqs(&out), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn gap_skipped_after_window_overflow() {
+        let mut r = Reassembler::new(3);
+        // seq 0 delivered; seq 1 lost; 2,3 buffer.
+        r.offer(event(1, 0));
+        assert!(r.offer(event(1, 2)).is_empty());
+        assert!(r.offer(event(1, 3)).is_empty());
+        // seq 4 makes newest-next_seq = 3 >= window: skip 1, release 2..4.
+        let out = r.offer(event(1, 4));
+        assert_eq!(seqs(&out), vec![2, 3, 4]);
+        assert_eq!(r.skipped(ClientId::from_raw(1)), 1);
+    }
+
+    #[test]
+    fn late_duplicates_are_dropped() {
+        let mut r = Reassembler::new(4);
+        r.offer(event(1, 0));
+        r.offer(event(1, 1));
+        assert!(r.offer(event(1, 0)).is_empty());
+        assert!(r.offer(event(1, 1)).is_empty());
+        assert_eq!(r.delivered(ClientId::from_raw(1)), 2);
+    }
+
+    #[test]
+    fn sources_are_independent() {
+        let mut r = Reassembler::new(4);
+        assert!(r.offer(event(1, 1)).is_empty()); // gap for source 1
+        let out = r.offer(event(2, 0)); // source 2 flows regardless
+        assert_eq!(seqs(&out), vec![0]);
+        r.forget(ClientId::from_raw(1));
+        assert_eq!(r.buffered(), 0);
+        // After forget, source 1 restarts from 0.
+        let out = r.offer(event(1, 0));
+        assert_eq!(seqs(&out), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _ = Reassembler::new(0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Transport profiles.
+//!
+//! NaradaBrokering exposed pluggable transports — TCP, UDP, IP multicast,
+//! SSL and a raw-RTP mode for legacy A/V clients — and selected one per
+//! client connection. The profile determines per-packet framing overhead,
+//! whether delivery is reliable (lossless in our LAN model) and the
+//! relative CPU cost of moving a packet through that stack.
+
+use mmcs_util::time::SimDuration;
+
+/// A client↔broker transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TransportProfile {
+    /// Plain TCP framing (the JMS-like default).
+    #[default]
+    Tcp,
+    /// UDP datagrams; lossy links drop instead of retrying.
+    Udp,
+    /// IP multicast; one NIC transmission reaches every group member on
+    /// the same segment.
+    Multicast,
+    /// TLS over TCP; highest per-packet CPU cost.
+    Ssl,
+    /// Raw RTP passthrough for legacy A/V endpoints that cannot speak the
+    /// event protocol; the broker's RTP proxy bridges them.
+    RawRtp,
+}
+
+impl TransportProfile {
+    /// Framing bytes this transport adds per packet beyond the event
+    /// itself (IP/transport/TLS headers).
+    pub fn overhead_bytes(self) -> usize {
+        match self {
+            TransportProfile::Tcp => 40,      // IP + TCP
+            TransportProfile::Udp => 28,      // IP + UDP
+            TransportProfile::Multicast => 28,
+            TransportProfile::Ssl => 69,      // IP + TCP + TLS record
+            TransportProfile::RawRtp => 28,   // IP + UDP, RTP is the payload
+        }
+    }
+
+    /// Whether the transport retransmits on loss.
+    pub fn reliable(self) -> bool {
+        matches!(self, TransportProfile::Tcp | TransportProfile::Ssl)
+    }
+
+    /// Relative CPU cost multiplier of pushing one packet through this
+    /// stack (UDP = 1.0).
+    pub fn cpu_factor(self) -> f64 {
+        match self {
+            TransportProfile::Udp | TransportProfile::RawRtp => 1.0,
+            TransportProfile::Multicast => 1.0,
+            TransportProfile::Tcp => 1.3,
+            TransportProfile::Ssl => 2.5,
+        }
+    }
+
+    /// Scales a base per-packet CPU cost by this profile's factor.
+    pub fn scale_cost(self, base: SimDuration) -> SimDuration {
+        base * self.cpu_factor()
+    }
+
+    /// Whether one transmission can reach multiple subscribers at once.
+    pub fn is_multicast(self) -> bool {
+        matches!(self, TransportProfile::Multicast)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overheads_are_ordered_sensibly() {
+        assert!(
+            TransportProfile::Udp.overhead_bytes() < TransportProfile::Tcp.overhead_bytes()
+        );
+        assert!(
+            TransportProfile::Tcp.overhead_bytes() < TransportProfile::Ssl.overhead_bytes()
+        );
+        assert_eq!(
+            TransportProfile::RawRtp.overhead_bytes(),
+            TransportProfile::Udp.overhead_bytes()
+        );
+    }
+
+    #[test]
+    fn reliability_flags() {
+        assert!(TransportProfile::Tcp.reliable());
+        assert!(TransportProfile::Ssl.reliable());
+        assert!(!TransportProfile::Udp.reliable());
+        assert!(!TransportProfile::RawRtp.reliable());
+        assert!(!TransportProfile::Multicast.reliable());
+    }
+
+    #[test]
+    fn ssl_costs_most_cpu() {
+        let base = SimDuration::from_micros(10);
+        assert!(TransportProfile::Ssl.scale_cost(base) > TransportProfile::Tcp.scale_cost(base));
+        assert_eq!(TransportProfile::Udp.scale_cost(base), base);
+    }
+
+    #[test]
+    fn default_is_tcp() {
+        assert_eq!(TransportProfile::default(), TransportProfile::Tcp);
+        assert!(TransportProfile::Multicast.is_multicast());
+    }
+}
+
+#[cfg(test)]
+mod sim_profile_tests {
+    use super::*;
+    use crate::batch::CostModel;
+    use crate::simdrv::{AudioPublisher, BrokerProcess, PublisherConfig, RtpReceiver};
+    use crate::topic::{Topic, TopicFilter};
+    use mmcs_rtp::packet::payload_type;
+    use mmcs_rtp::source::{AudioCodec, AudioSource};
+    use mmcs_sim::net::NicConfig;
+    use mmcs_sim::Simulation;
+    use mmcs_util::id::{BrokerId, ClientId};
+    use mmcs_util::time::{SimDuration, SimTime};
+
+    fn delay_with_profile(profile: TransportProfile) -> f64 {
+        let mut sim = Simulation::new(4);
+        let host_a = sim.add_host("a", NicConfig::default());
+        let host_b = sim.add_host("b", NicConfig::default());
+        let broker = sim.add_typed_process(
+            host_b,
+            BrokerProcess::new(BrokerId::from_raw(1), CostModel::narada()),
+        );
+        let topic = Topic::parse("p/audio").unwrap();
+        let mut receiver = RtpReceiver::new(
+            broker,
+            ClientId::from_raw(2),
+            TopicFilter::exact(&topic),
+            payload_type::PCMU,
+            SimDuration::from_micros(10),
+        );
+        receiver = receiver.with_profile(profile);
+        let receiver = sim.add_typed_process(host_a, receiver);
+        let mut config = PublisherConfig::new(broker, ClientId::from_raw(1), topic);
+        config.max_packets = 50;
+        sim.add_typed_process(
+            host_a,
+            AudioPublisher::new(config, AudioSource::new(AudioCodec::Pcmu, 1)),
+        );
+        sim.run_until(SimTime::from_secs(3));
+        sim.process_ref::<RtpReceiver>(receiver)
+            .unwrap()
+            .stats()
+            .delay_ms()
+            .mean()
+    }
+
+    /// The SSL stack costs more CPU per delivery than UDP, which shows
+    /// up as higher end-to-end delay in an otherwise identical world.
+    #[test]
+    fn ssl_delivery_is_slower_than_udp() {
+        let udp = delay_with_profile(TransportProfile::Udp);
+        let ssl = delay_with_profile(TransportProfile::Ssl);
+        assert!(ssl > udp, "ssl {ssl:.4} vs udp {udp:.4}");
+    }
+}

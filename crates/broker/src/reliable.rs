@@ -1,0 +1,332 @@
+//! Reliable delivery.
+//!
+//! The NaradaBrokering the paper builds on ("The Narada Event Brokering
+//! System", PDPTA'02) guarantees event delivery for control-plane
+//! traffic: XGSP signaling and shared-application events must survive a
+//! lossy hop even though RTP media rides best-effort. [`ReliableSender`]
+//! and [`ReliableReceiver`] implement the classic positive-ack protocol
+//! sans-IO: sequence numbers, cumulative acks, timeout-driven
+//! retransmission with a bounded in-flight window, and duplicate
+//! suppression on the receiving side.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mmcs_util::time::{SimDuration, SimTime};
+
+use crate::event::Event;
+
+/// A sequenced frame on the reliable channel.
+#[derive(Debug, Clone)]
+pub struct ReliableFrame {
+    /// Channel sequence number.
+    pub seq: u64,
+    /// The event carried.
+    pub event: Arc<Event>,
+}
+
+/// A cumulative acknowledgement: everything below `next_expected` has
+/// been received.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack {
+    /// The receiver's next expected sequence number.
+    pub next_expected: u64,
+}
+
+/// Sender half of the reliable channel.
+#[derive(Debug)]
+pub struct ReliableSender {
+    next_seq: u64,
+    /// Unacked frames with their last transmission time.
+    in_flight: BTreeMap<u64, (Arc<Event>, SimTime)>,
+    window: usize,
+    retransmit_after: SimDuration,
+    /// Events accepted but not yet transmitted (window full).
+    backlog: Vec<Arc<Event>>,
+    retransmissions: u64,
+}
+
+impl ReliableSender {
+    /// Creates a sender with the given in-flight window and
+    /// retransmission timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize, retransmit_after: SimDuration) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            next_seq: 0,
+            in_flight: BTreeMap::new(),
+            window,
+            retransmit_after,
+            backlog: Vec::new(),
+            retransmissions: 0,
+        }
+    }
+
+    /// Offers an event for transmission; returns the frames to put on
+    /// the wire now (possibly none if the window is full).
+    pub fn send(&mut self, event: Arc<Event>, now: SimTime) -> Vec<ReliableFrame> {
+        self.backlog.push(event);
+        self.pump(now)
+    }
+
+    /// Processes an ack; returns frames newly released by the window.
+    pub fn on_ack(&mut self, ack: Ack, now: SimTime) -> Vec<ReliableFrame> {
+        self.in_flight = self.in_flight.split_off(&ack.next_expected);
+        self.pump(now)
+    }
+
+    /// Timer tick: returns frames due for retransmission.
+    pub fn on_tick(&mut self, now: SimTime) -> Vec<ReliableFrame> {
+        let mut out = Vec::new();
+        for (seq, (event, last_sent)) in self.in_flight.iter_mut() {
+            if now.saturating_duration_since(*last_sent) >= self.retransmit_after {
+                *last_sent = now;
+                self.retransmissions += 1;
+                out.push(ReliableFrame {
+                    seq: *seq,
+                    event: Arc::clone(event),
+                });
+            }
+        }
+        out
+    }
+
+    fn pump(&mut self, now: SimTime) -> Vec<ReliableFrame> {
+        let mut out = Vec::new();
+        while self.in_flight.len() < self.window && !self.backlog.is_empty() {
+            let event = self.backlog.remove(0);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.in_flight.insert(seq, (Arc::clone(&event), now));
+            out.push(ReliableFrame { seq, event });
+        }
+        out
+    }
+
+    /// Frames currently awaiting acknowledgement.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Events accepted but not yet transmitted.
+    pub fn backlogged(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Total retransmissions performed.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Whether everything offered has been delivered and acked.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_empty() && self.backlog.is_empty()
+    }
+}
+
+/// Receiver half of the reliable channel.
+#[derive(Debug, Default)]
+pub struct ReliableReceiver {
+    next_expected: u64,
+    /// Out-of-order frames waiting for the gap to fill.
+    pending: BTreeMap<u64, Arc<Event>>,
+    duplicates: u64,
+}
+
+impl ReliableReceiver {
+    /// Creates a receiver expecting sequence 0 first.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes a frame; returns `(deliverable events in order, ack)`.
+    pub fn on_frame(&mut self, frame: ReliableFrame) -> (Vec<Arc<Event>>, Ack) {
+        if frame.seq < self.next_expected || self.pending.contains_key(&frame.seq) {
+            self.duplicates += 1;
+        } else {
+            self.pending.insert(frame.seq, frame.event);
+        }
+        let mut out = Vec::new();
+        while let Some(event) = self.pending.remove(&self.next_expected) {
+            self.next_expected += 1;
+            out.push(event);
+        }
+        (
+            out,
+            Ack {
+                next_expected: self.next_expected,
+            },
+        )
+    }
+
+    /// Duplicate frames suppressed so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// The next sequence number the receiver needs.
+    pub fn next_expected(&self) -> u64 {
+        self.next_expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventClass;
+    use crate::topic::Topic;
+    use bytes::Bytes;
+    use mmcs_util::id::ClientId;
+    use mmcs_util::rng::DetRng;
+
+    fn event(n: u64) -> Arc<Event> {
+        Event::new(
+            Topic::parse("ctl").unwrap(),
+            ClientId::from_raw(1),
+            n,
+            EventClass::Data,
+            Bytes::from(n.to_be_bytes().to_vec()),
+        )
+        .into_shared()
+    }
+
+    fn rto() -> SimDuration {
+        SimDuration::from_millis(100)
+    }
+
+    #[test]
+    fn lossless_channel_delivers_in_order() {
+        let mut sender = ReliableSender::new(4, rto());
+        let mut receiver = ReliableReceiver::new();
+        let mut delivered = Vec::new();
+        for n in 0..10 {
+            for frame in sender.send(event(n), SimTime::ZERO) {
+                let (events, ack) = receiver.on_frame(frame);
+                delivered.extend(events.iter().map(|e| e.seq));
+                sender.on_ack(ack, SimTime::ZERO);
+            }
+        }
+        assert_eq!(delivered, (0..10).collect::<Vec<_>>());
+        assert!(sender.is_idle());
+        assert_eq!(sender.retransmissions(), 0);
+        assert_eq!(receiver.duplicates(), 0);
+    }
+
+    #[test]
+    fn window_limits_in_flight_and_backlogs_excess() {
+        let mut sender = ReliableSender::new(2, rto());
+        let f1 = sender.send(event(0), SimTime::ZERO);
+        let f2 = sender.send(event(1), SimTime::ZERO);
+        let f3 = sender.send(event(2), SimTime::ZERO);
+        assert_eq!(f1.len() + f2.len() + f3.len(), 2, "window of 2");
+        assert_eq!(sender.backlogged(), 1);
+        // Acking the first releases the third.
+        let released = sender.on_ack(Ack { next_expected: 1 }, SimTime::ZERO);
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].seq, 2);
+    }
+
+    #[test]
+    fn lost_frame_is_retransmitted_and_recovered() {
+        let mut sender = ReliableSender::new(8, rto());
+        let mut receiver = ReliableReceiver::new();
+        let frames = [
+            sender.send(event(0), SimTime::ZERO),
+            sender.send(event(1), SimTime::ZERO),
+            sender.send(event(2), SimTime::ZERO),
+        ]
+        .concat();
+        // Frame 1 is lost; 0 and 2 arrive.
+        let (d0, a0) = receiver.on_frame(frames[0].clone());
+        assert_eq!(d0.len(), 1);
+        let (d2, a2) = receiver.on_frame(frames[2].clone());
+        assert!(d2.is_empty(), "gap holds delivery");
+        assert_eq!(a2.next_expected, 1);
+        sender.on_ack(a0, SimTime::ZERO);
+        sender.on_ack(a2, SimTime::ZERO);
+        // Nothing due before the timeout…
+        assert!(sender.on_tick(SimTime::from_millis(50)).is_empty());
+        // …then 1 and 2 retransmit (2 is also unacked).
+        let retx = sender.on_tick(SimTime::from_millis(120));
+        assert_eq!(retx.len(), 2);
+        let (delivered, ack) = receiver.on_frame(
+            retx.into_iter().find(|f| f.seq == 1).expect("frame 1"),
+        );
+        assert_eq!(delivered.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(ack.next_expected, 3);
+        sender.on_ack(ack, SimTime::from_millis(120));
+        assert!(sender.is_idle());
+        assert!(sender.retransmissions() >= 1);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let mut sender = ReliableSender::new(4, rto());
+        let mut receiver = ReliableReceiver::new();
+        let frames = sender.send(event(0), SimTime::ZERO);
+        receiver.on_frame(frames[0].clone());
+        let (dup_delivery, ack) = receiver.on_frame(frames[0].clone());
+        assert!(dup_delivery.is_empty());
+        assert_eq!(ack.next_expected, 1);
+        assert_eq!(receiver.duplicates(), 1);
+    }
+
+    /// Randomized adversarial channel: drop and reorder frames freely;
+    /// with retransmission every offered event is eventually delivered
+    /// exactly once, in order.
+    #[test]
+    fn survives_random_loss_and_reordering() {
+        let mut rng = DetRng::new(2024);
+        for _trial in 0..20 {
+            let mut sender = ReliableSender::new(4, rto());
+            let mut receiver = ReliableReceiver::new();
+            let total = rng.range_u64(5, 40);
+            let mut delivered: Vec<u64> = Vec::new();
+            let mut now = SimTime::ZERO;
+            let mut offered = 0u64;
+            let mut wire: Vec<ReliableFrame> = Vec::new();
+            let mut acks: Vec<Ack> = Vec::new();
+            let mut steps = 0;
+            while (delivered.len() as u64) < total {
+                steps += 1;
+                assert!(steps < 10_000, "protocol failed to converge");
+                if offered < total {
+                    wire.extend(sender.send(event(offered), now));
+                    offered += 1;
+                }
+                rng.shuffle(&mut wire);
+                // Deliver some frames, drop ~30%.
+                let mut kept = Vec::new();
+                for frame in wire.drain(..) {
+                    if rng.chance(0.3) {
+                        continue; // lost
+                    }
+                    if rng.chance(0.3) {
+                        kept.push(frame); // delayed to a later step
+                        continue;
+                    }
+                    let (events, ack) = receiver.on_frame(frame);
+                    delivered.extend(events.iter().map(|e| e.seq));
+                    acks.push(ack);
+                }
+                wire = kept;
+                for ack in acks.drain(..) {
+                    if rng.chance(0.8) {
+                        wire.extend(
+                            sender
+                                .on_ack(ack, now)
+                                .into_iter()
+                                .collect::<Vec<_>>(),
+                        );
+                    } // else the ack itself is lost
+                }
+                now += SimDuration::from_millis(40);
+                wire.extend(sender.on_tick(now));
+            }
+            assert_eq!(delivered, (0..total).collect::<Vec<_>>());
+        }
+    }
+}

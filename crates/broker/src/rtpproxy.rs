@@ -1,0 +1,328 @@
+//! The RTP proxy.
+//!
+//! "Any RTP client or server who wants to join in this session, it can
+//! 'subscribe' to this topic and 'publish' its RTP messages through RTP
+//! Proxies in the NaradaBrokering system" (§3.2). Legacy endpoints
+//! (H.323 terminals, MBONE tools) speak raw RTP to a proxy address; the
+//! proxy wraps each packet as a broker event on the session topic, and
+//! unwraps events from the topic back into raw RTP toward its attached
+//! legacy receivers.
+//!
+//! [`RtpProxyProcess`] is the simulator driver; the sans-IO pair
+//! ([`wrap_rtp`], [`unwrap_event`]) is reused by any other driver.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use mmcs_sim::{Context, Packet, Process, ProcessId};
+use mmcs_util::id::ClientId;
+use mmcs_util::time::{SimDuration, SimTime};
+
+use crate::event::{Event, EventClass};
+use crate::profile::TransportProfile;
+use crate::simdrv::{BrokerMsg, ClientMsg};
+use crate::topic::{Topic, TopicFilter};
+
+/// A raw RTP packet on the legacy side of the proxy.
+#[derive(Debug, Clone)]
+pub struct LegacyRtp {
+    /// The encoded RTP packet.
+    pub bytes: Bytes,
+    /// When the legacy endpoint sent it.
+    pub sent_at: SimTime,
+}
+
+/// Wraps one raw RTP packet as a broker event on `topic`.
+pub fn wrap_rtp(
+    topic: &Topic,
+    proxy_client: ClientId,
+    seq: u64,
+    rtp_bytes: Bytes,
+    sent_at: SimTime,
+) -> Arc<Event> {
+    Event::new(
+        topic.clone(),
+        proxy_client,
+        seq,
+        EventClass::Rtp,
+        rtp_bytes,
+    )
+    .with_published_at(sent_at)
+    .into_shared()
+}
+
+/// Unwraps a broker event back into raw RTP for the legacy side.
+/// Returns `None` for non-RTP events.
+pub fn unwrap_event(event: &Event) -> Option<LegacyRtp> {
+    if event.class != EventClass::Rtp {
+        return None;
+    }
+    Some(LegacyRtp {
+        bytes: event.payload.clone(),
+        sent_at: event.published_at,
+    })
+}
+
+/// UDP/IP framing on the legacy side.
+const UDP_OVERHEAD: usize = 28;
+
+/// The proxy as a simulator process: legacy RTP in ⇄ topic events out.
+pub struct RtpProxyProcess {
+    broker: ProcessId,
+    client: ClientId,
+    topic: Topic,
+    /// Legacy receivers fed with raw RTP unwrapped from the topic.
+    legacy_receivers: Vec<ProcessId>,
+    /// Per-packet proxy CPU cost.
+    relay_cpu: SimDuration,
+    seq: u64,
+    wrapped: u64,
+    unwrapped: u64,
+}
+
+impl RtpProxyProcess {
+    /// Creates a proxy publishing to (and subscribing from) `topic`
+    /// through `broker` as `client`.
+    pub fn new(broker: ProcessId, client: ClientId, topic: Topic) -> Self {
+        Self {
+            broker,
+            client,
+            topic,
+            legacy_receivers: Vec::new(),
+            relay_cpu: SimDuration::from_micros(8),
+            seq: 0,
+            wrapped: 0,
+            unwrapped: 0,
+        }
+    }
+
+    /// Adds a legacy receiver (raw RTP out).
+    pub fn add_legacy_receiver(&mut self, receiver: ProcessId) {
+        self.legacy_receivers.push(receiver);
+    }
+
+    /// Packets wrapped into events (legacy → topic).
+    pub fn wrapped(&self) -> u64 {
+        self.wrapped
+    }
+
+    /// Events unwrapped to raw RTP (topic → legacy).
+    pub fn unwrapped(&self) -> u64 {
+        self.unwrapped
+    }
+}
+
+impl Process for RtpProxyProcess {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.send(
+            self.broker,
+            BrokerMsg::Attach {
+                client: self.client,
+                process: ctx.me(),
+                profile: TransportProfile::RawRtp,
+            },
+            96,
+        );
+        ctx.send(
+            self.broker,
+            BrokerMsg::Subscribe {
+                client: self.client,
+                filter: TopicFilter::exact(&self.topic),
+            },
+            96,
+        );
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        if let Some(raw) = packet.payload::<LegacyRtp>() {
+            // Legacy endpoint → topic.
+            ctx.spend_cpu(self.relay_cpu);
+            let event = wrap_rtp(
+                &self.topic,
+                self.client,
+                self.seq,
+                raw.bytes.clone(),
+                raw.sent_at,
+            );
+            self.seq += 1;
+            let wire = event.wire_len() + TransportProfile::RawRtp.overhead_bytes();
+            ctx.send(
+                self.broker,
+                BrokerMsg::Publish {
+                    client: self.client,
+                    event,
+                },
+                wire,
+            );
+            self.wrapped += 1;
+            ctx.count("rtpproxy.wrapped", 1);
+            return;
+        }
+        if let Some(ClientMsg::Deliver(event)) = packet.payload::<ClientMsg>() {
+            // Topic → legacy receivers, except events we published
+            // ourselves (no hairpin).
+            if event.source == self.client {
+                return;
+            }
+            let Some(raw) = unwrap_event(event) else {
+                return;
+            };
+            ctx.spend_cpu(self.relay_cpu);
+            let wire = raw.bytes.len() + UDP_OVERHEAD;
+            let shared = std::rc::Rc::new(raw);
+            for receiver in &self.legacy_receivers {
+                ctx.send_shared(*receiver, shared.clone(), wire);
+            }
+            self.unwrapped += 1;
+            ctx.count("rtpproxy.unwrapped", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::CostModel;
+    use crate::simdrv::{BrokerProcess, RtpReceiver};
+    use mmcs_rtp::packet::{payload_type, RtpHeader, RtpPacket};
+    use mmcs_sim::net::NicConfig;
+    use mmcs_sim::Simulation;
+    use mmcs_util::id::BrokerId;
+
+    /// A legacy endpoint: sends raw RTP to the proxy, records raw RTP
+    /// it receives back.
+    struct LegacyEndpoint {
+        proxy: ProcessId,
+        to_send: u16,
+        sent: u16,
+        received: Vec<u16>,
+    }
+
+    impl Process for LegacyEndpoint {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_millis(50), 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, packet: Packet) {
+            if let Some(raw) = packet.payload::<LegacyRtp>() {
+                let rtp = RtpPacket::decode(&raw.bytes).expect("valid rtp");
+                self.received.push(rtp.header.sequence_number);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+            if self.sent >= self.to_send {
+                return;
+            }
+            let rtp = RtpPacket::new(
+                RtpHeader::new(payload_type::PCMU, self.sent, self.sent as u32 * 160, 9),
+                Bytes::from(vec![0u8; 160]),
+            );
+            ctx.send(
+                self.proxy,
+                LegacyRtp {
+                    bytes: rtp.encode(),
+                    sent_at: ctx.now(),
+                },
+                200,
+            );
+            self.sent += 1;
+            ctx.set_timer(SimDuration::from_millis(20), 0);
+        }
+    }
+
+    #[test]
+    fn legacy_rtp_reaches_broker_subscribers_and_back() {
+        let mut sim = Simulation::new(3);
+        let legacy_host = sim.add_host("legacy", NicConfig::default());
+        let broker_host = sim.add_host("broker", NicConfig::default());
+        let modern_host = sim.add_host("modern", NicConfig::default());
+
+        let broker = sim.add_typed_process(
+            broker_host,
+            BrokerProcess::new(BrokerId::from_raw(1), CostModel::narada()),
+        );
+        let topic = Topic::parse("conf/5/audio").unwrap();
+
+        // A native broker subscriber.
+        let native = sim.add_typed_process(
+            modern_host,
+            RtpReceiver::new(
+                broker,
+                ClientId::from_raw(20),
+                TopicFilter::exact(&topic),
+                payload_type::PCMU,
+                SimDuration::from_micros(10),
+            ),
+        );
+
+        // The proxy + two legacy endpoints behind it (one sender).
+        let proxy = sim.add_typed_process(
+            broker_host,
+            RtpProxyProcess::new(broker, ClientId::from_raw(10), topic.clone()),
+        );
+        let listener = sim.add_typed_process(
+            legacy_host,
+            LegacyEndpoint {
+                proxy,
+                to_send: 0,
+                sent: 0,
+                received: Vec::new(),
+            },
+        );
+        let _talker = sim.add_typed_process(
+            legacy_host,
+            LegacyEndpoint {
+                proxy,
+                to_send: 30,
+                sent: 0,
+                received: Vec::new(),
+            },
+        );
+        sim.process_mut::<RtpProxyProcess>(proxy)
+            .unwrap()
+            .add_legacy_receiver(listener);
+
+        // A native publisher too, so traffic flows both directions.
+        let mut config = crate::simdrv::PublisherConfig::new(
+            broker,
+            ClientId::from_raw(30),
+            topic.clone(),
+        );
+        config.max_packets = 20;
+        let source = mmcs_rtp::source::AudioSource::new(mmcs_rtp::source::AudioCodec::Pcmu, 7);
+        sim.add_typed_process(modern_host, crate::simdrv::AudioPublisher::new(config, source));
+
+        sim.run_until(SimTime::from_secs(5));
+
+        // Legacy → topic: the native subscriber got the talker's 30.
+        let native_stats = sim.process_ref::<RtpReceiver>(native).unwrap().stats();
+        assert_eq!(native_stats.received(), 50, "30 legacy + 20 native");
+        // Topic → legacy: the listener got the native publisher's 20
+        // (not the talker's own packets hairpinned back).
+        let listener_state = sim.process_ref::<LegacyEndpoint>(listener).unwrap();
+        assert_eq!(listener_state.received.len(), 20);
+        let proxy_state = sim.process_ref::<RtpProxyProcess>(proxy).unwrap();
+        assert_eq!(proxy_state.wrapped(), 30);
+        assert_eq!(proxy_state.unwrapped(), 20);
+        assert_eq!(sim.counter("rtpproxy.wrapped"), 30);
+    }
+
+    #[test]
+    fn unwrap_ignores_non_rtp_events() {
+        let event = Event::new(
+            Topic::parse("t").unwrap(),
+            ClientId::from_raw(1),
+            0,
+            EventClass::Data,
+            Bytes::from_static(b"not rtp"),
+        );
+        assert!(unwrap_event(&event).is_none());
+        let rtp_event = Event::new(
+            Topic::parse("t").unwrap(),
+            ClientId::from_raw(1),
+            0,
+            EventClass::Rtp,
+            Bytes::from_static(b"rtpish"),
+        );
+        assert!(unwrap_event(&rtp_event).is_some());
+    }
+}

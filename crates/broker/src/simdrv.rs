@@ -1,0 +1,1015 @@
+//! Simulator driver: broker and A/V client processes.
+//!
+//! This module plugs the sans-IO [`BrokerNode`] and the RTP source/sink
+//! models into the deterministic simulator. It is the machinery behind
+//! every experiment in `EXPERIMENTS.md`:
+//!
+//! * [`BrokerProcess`] — a broker on a host, charging CPU per the
+//!   [`CostModel`] for routing and each outbound send (so fan-out to 400
+//!   receivers serializes through the broker CPU and NIC).
+//! * [`VideoPublisher`] / [`AudioPublisher`] — paced media sources that
+//!   attach, then publish each RTP packet as a broker event.
+//! * [`RtpReceiver`] — attaches, subscribes, decodes arriving RTP and
+//!   maintains [`ReceiverStats`] (delay from `Event::published_at`,
+//!   RFC 3550 jitter, loss).
+//!
+//! Wiring protocol: clients send [`BrokerMsg::Attach`] (carrying their
+//! process id) and [`BrokerMsg::Subscribe`] at simulation start; media
+//! flows after a configurable start delay, by which point subscriptions
+//! have settled.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mmcs_rtp::packet::RtpPacket;
+use mmcs_rtp::recv::ReceiverStats;
+use mmcs_rtp::source::{AudioSource, VideoSource};
+use mmcs_sim::{Context, Packet, Process, ProcessId};
+use mmcs_util::id::{BrokerId, ClientId};
+use mmcs_util::time::SimDuration;
+
+use crate::batch::CostModel;
+use crate::event::{Event, EventClass};
+use crate::liveness::FailureDetector;
+use crate::node::{Action, BrokerNode, Input, Origin};
+use crate::profile::TransportProfile;
+use crate::topic::{Topic, TopicFilter};
+
+/// Messages addressed to a [`BrokerProcess`].
+#[derive(Debug, Clone)]
+pub enum BrokerMsg {
+    /// A client announces itself (and its process id for deliveries).
+    Attach {
+        /// The client id.
+        client: ClientId,
+        /// The client's simulator process.
+        process: ProcessId,
+        /// Its transport profile.
+        profile: TransportProfile,
+    },
+    /// A client subscribes.
+    Subscribe {
+        /// The subscribing client.
+        client: ClientId,
+        /// The filter.
+        filter: TopicFilter,
+    },
+    /// A client unsubscribes.
+    Unsubscribe {
+        /// The unsubscribing client.
+        client: ClientId,
+        /// The filter.
+        filter: TopicFilter,
+    },
+    /// A client publishes an event.
+    Publish {
+        /// The publishing client.
+        client: ClientId,
+        /// The event.
+        event: Arc<Event>,
+    },
+    /// A peer broker forwards an event.
+    Forward {
+        /// The sending broker.
+        from: BrokerId,
+        /// The event.
+        event: Arc<Event>,
+    },
+    /// A peer broker's liveness heartbeat.
+    Heartbeat {
+        /// The beating broker.
+        from: BrokerId,
+    },
+    /// A peer broker advertises interest.
+    AdvertiseAdd {
+        /// The advertising broker.
+        from: BrokerId,
+        /// The filter.
+        filter: TopicFilter,
+    },
+    /// A peer broker withdraws interest.
+    AdvertiseRemove {
+        /// The withdrawing broker.
+        from: BrokerId,
+        /// The filter.
+        filter: TopicFilter,
+    },
+}
+
+/// Messages a broker sends to a client process.
+#[derive(Debug, Clone)]
+pub enum ClientMsg {
+    /// An event matching one of the client's subscriptions.
+    Deliver(Arc<Event>),
+}
+
+/// Control-plane message size on the wire (attach/subscribe/adverts).
+const CONTROL_BYTES: usize = 96;
+
+/// A broker running inside the simulator.
+pub struct BrokerProcess {
+    node: BrokerNode,
+    cost: CostModel,
+    clients: HashMap<ClientId, (ProcessId, TransportProfile)>,
+    peers: HashMap<BrokerId, ProcessId>,
+    /// Heartbeat-based peer failure detection, when enabled.
+    detector: Option<FailureDetector>,
+    /// Whether this broker emits heartbeats (tests disable it to model
+    /// a hung broker).
+    heartbeats_enabled: bool,
+}
+
+/// Timer token for the liveness tick.
+const LIVENESS_TICK: u64 = 0xBEA7;
+
+impl BrokerProcess {
+    /// Creates a broker process with the given cost model.
+    pub fn new(id: BrokerId, cost: CostModel) -> Self {
+        Self {
+            node: BrokerNode::new(id),
+            cost,
+            clients: HashMap::new(),
+            peers: HashMap::new(),
+            detector: None,
+            heartbeats_enabled: true,
+        }
+    }
+
+    /// Enables heartbeat liveness detection on broker links: beats every
+    /// `every`, disconnects peers silent for `timeout` (issuing the
+    /// node's `LinkDown`, which withdraws their interest).
+    pub fn with_liveness(mut self, every: SimDuration, timeout: SimDuration) -> Self {
+        self.detector = Some(FailureDetector::new(every, timeout));
+        self
+    }
+
+    /// Stops this broker from emitting heartbeats (models a hang; it
+    /// still routes traffic, so only liveness sees the failure).
+    pub fn mute_heartbeats(&mut self) {
+        self.heartbeats_enabled = false;
+    }
+
+    /// Whether a peer link is currently up at the node level.
+    pub fn has_peer_link(&self, peer: BrokerId) -> bool {
+        self.node.peers().any(|p| p == peer)
+    }
+
+    /// Declares a peer broker reachable at `process` (links come up at
+    /// simulation start; both sides must declare each other).
+    pub fn add_peer(&mut self, peer: BrokerId, process: ProcessId) {
+        self.peers.insert(peer, process);
+    }
+
+    /// Read access to the underlying node (e.g. counters).
+    pub fn node(&self) -> &BrokerNode {
+        &self.node
+    }
+
+    fn execute(&mut self, ctx: &mut Context<'_>, actions: Vec<Action>) {
+        let mut send_index = 0usize;
+        for action in actions {
+            match action {
+                Action::Deliver {
+                    client,
+                    profile,
+                    event,
+                } => {
+                    let Some((process, _)) = self.clients.get(&client) else {
+                        ctx.count("broker.deliver.unknown_client", 1);
+                        continue;
+                    };
+                    let wire = event.wire_len() + profile.overhead_bytes();
+                    ctx.spend_cpu(profile.scale_cost(self.cost.send_cost(send_index, wire)));
+                    send_index += 1;
+                    ctx.send(*process, ClientMsg::Deliver(event), wire);
+                    ctx.count("broker.delivered", 1);
+                }
+                Action::Forward { peer, event } => {
+                    let Some(process) = self.peers.get(&peer) else {
+                        ctx.count("broker.forward.unknown_peer", 1);
+                        continue;
+                    };
+                    let wire = event.wire_len() + TransportProfile::Tcp.overhead_bytes();
+                    ctx.spend_cpu(self.cost.send_cost(send_index, wire));
+                    send_index += 1;
+                    ctx.send(
+                        *process,
+                        BrokerMsg::Forward {
+                            from: self.node.id(),
+                            event,
+                        },
+                        wire,
+                    );
+                    ctx.count("broker.forwarded", 1);
+                }
+                Action::AdvertiseAdd { peer, filter } => {
+                    if let Some(process) = self.peers.get(&peer) {
+                        ctx.send(
+                            *process,
+                            BrokerMsg::AdvertiseAdd {
+                                from: self.node.id(),
+                                filter,
+                            },
+                            CONTROL_BYTES,
+                        );
+                    }
+                }
+                Action::AdvertiseRemove { peer, filter } => {
+                    if let Some(process) = self.peers.get(&peer) {
+                        ctx.send(
+                            *process,
+                            BrokerMsg::AdvertiseRemove {
+                                from: self.node.id(),
+                                filter,
+                            },
+                            CONTROL_BYTES,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, ctx: &mut Context<'_>, input: Input) {
+        match self.node.handle(input) {
+            Ok(actions) => self.execute(ctx, actions),
+            Err(err) => {
+                // Drivers drop protocol violations (e.g. racing a detach);
+                // surface them as a counter for the harness.
+                let _ = err;
+                ctx.count("broker.protocol_error", 1);
+            }
+        }
+    }
+}
+
+impl Process for BrokerProcess {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let peers: Vec<BrokerId> = self.peers.keys().copied().collect();
+        for peer in &peers {
+            self.apply(ctx, Input::LinkUp { peer: *peer });
+        }
+        if let Some(detector) = &mut self.detector {
+            for peer in &peers {
+                detector.watch(*peer, ctx.now());
+            }
+            ctx.set_timer(SimDuration::from_millis(250), LIVENESS_TICK);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+        if token != LIVENESS_TICK {
+            return;
+        }
+        let Some(detector) = &mut self.detector else {
+            return;
+        };
+        let now = ctx.now();
+        if self.heartbeats_enabled && detector.should_send_heartbeat(now) {
+            let from = self.node.id();
+            for process in self.peers.values() {
+                ctx.send(*process, BrokerMsg::Heartbeat { from }, CONTROL_BYTES);
+            }
+        }
+        let suspects = detector.take_suspects(now);
+        for peer in suspects {
+            ctx.count("broker.peer_suspected", 1);
+            self.apply(ctx, Input::LinkDown { peer });
+            self.peers.remove(&peer);
+        }
+        ctx.set_timer(SimDuration::from_millis(250), LIVENESS_TICK);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        let Some(msg) = packet.payload::<BrokerMsg>() else {
+            ctx.count("broker.bad_payload", 1);
+            return;
+        };
+        let msg = msg.clone();
+        match msg {
+            BrokerMsg::Attach {
+                client,
+                process,
+                profile,
+            } => {
+                self.clients.insert(client, (process, profile));
+                self.apply(ctx, Input::AttachClient { client, profile });
+            }
+            BrokerMsg::Subscribe { client, filter } => {
+                self.apply(ctx, Input::Subscribe { client, filter });
+            }
+            BrokerMsg::Unsubscribe { client, filter } => {
+                self.apply(ctx, Input::Unsubscribe { client, filter });
+            }
+            BrokerMsg::Publish { client, event } => {
+                ctx.spend_cpu(self.cost.routing);
+                self.apply(
+                    ctx,
+                    Input::Publish {
+                        origin: Origin::Client(client),
+                        event,
+                    },
+                );
+            }
+            BrokerMsg::Heartbeat { from } => {
+                if let Some(detector) = &mut self.detector {
+                    detector.on_heartbeat(from, ctx.now());
+                }
+            }
+            BrokerMsg::Forward { from, event } => {
+                if let Some(detector) = &mut self.detector {
+                    // Data traffic proves liveness too.
+                    detector.on_heartbeat(from, ctx.now());
+                }
+                ctx.spend_cpu(self.cost.routing);
+                self.apply(
+                    ctx,
+                    Input::Publish {
+                        origin: Origin::Broker(from),
+                        event,
+                    },
+                );
+            }
+            BrokerMsg::AdvertiseAdd { from, filter } => {
+                self.apply(ctx, Input::RemoteSubscribe { peer: from, filter });
+            }
+            BrokerMsg::AdvertiseRemove { from, filter } => {
+                self.apply(ctx, Input::RemoteUnsubscribe { peer: from, filter });
+            }
+        }
+    }
+}
+
+/// Shared pacing/publishing configuration for media publishers.
+#[derive(Debug, Clone)]
+pub struct PublisherConfig {
+    /// The broker process to publish through.
+    pub broker: ProcessId,
+    /// This client's id.
+    pub client: ClientId,
+    /// Topic to publish to.
+    pub topic: Topic,
+    /// Transport profile.
+    pub profile: TransportProfile,
+    /// Media starts flowing this long after simulation start (lets
+    /// subscriptions settle).
+    pub start_delay: SimDuration,
+    /// Stop after this many RTP packets (`u64::MAX` = unlimited).
+    pub max_packets: u64,
+    /// Client-side CPU cost to emit one packet.
+    pub send_cpu: SimDuration,
+}
+
+impl PublisherConfig {
+    /// A sensible default: 100 ms start delay, unlimited packets, 5 µs
+    /// send cost.
+    pub fn new(broker: ProcessId, client: ClientId, topic: Topic) -> Self {
+        Self {
+            broker,
+            client,
+            topic,
+            profile: TransportProfile::Udp,
+            start_delay: SimDuration::from_millis(100),
+            max_packets: u64::MAX,
+            send_cpu: SimDuration::from_micros(5),
+        }
+    }
+}
+
+/// A paced video publisher (one frame per timer tick, every packet of the
+/// frame published back to back — the paper's bursty 600 Kbps stream).
+pub struct VideoPublisher {
+    config: PublisherConfig,
+    source: VideoSource,
+    sent: u64,
+    seq: u64,
+}
+
+impl VideoPublisher {
+    /// Creates a video publisher.
+    pub fn new(config: PublisherConfig, source: VideoSource) -> Self {
+        Self {
+            config,
+            source,
+            sent: 0,
+            seq: 0,
+        }
+    }
+
+    /// RTP packets published so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn publish_packet(&mut self, ctx: &mut Context<'_>, rtp: RtpPacket) {
+        ctx.spend_cpu(self.config.send_cpu);
+        let event = Event::new(
+            self.config.topic.clone(),
+            self.config.client,
+            self.seq,
+            EventClass::Rtp,
+            rtp.encode(),
+        )
+        .with_published_at(ctx.now())
+        .into_shared();
+        self.seq += 1;
+        let wire = event.wire_len() + self.config.profile.overhead_bytes();
+        ctx.send(
+            self.config.broker,
+            BrokerMsg::Publish {
+                client: self.config.client,
+                event,
+            },
+            wire,
+        );
+        self.sent += 1;
+        ctx.count("publisher.rtp_sent", 1);
+    }
+}
+
+impl Process for VideoPublisher {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.send(
+            self.config.broker,
+            BrokerMsg::Attach {
+                client: self.config.client,
+                process: ctx.me(),
+                profile: self.config.profile,
+            },
+            CONTROL_BYTES,
+        );
+        ctx.set_timer(self.config.start_delay, 0);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _packet: Packet) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        if self.sent >= self.config.max_packets {
+            return;
+        }
+        let frame = self.source.next_frame();
+        for rtp in frame {
+            if self.sent >= self.config.max_packets {
+                break;
+            }
+            self.publish_packet(ctx, rtp);
+        }
+        ctx.set_timer(self.source.frame_interval(), 0);
+    }
+}
+
+/// A paced audio publisher (one packet per 20 ms tick).
+pub struct AudioPublisher {
+    config: PublisherConfig,
+    source: AudioSource,
+    sent: u64,
+    seq: u64,
+}
+
+impl AudioPublisher {
+    /// Creates an audio publisher.
+    pub fn new(config: PublisherConfig, source: AudioSource) -> Self {
+        Self {
+            config,
+            source,
+            sent: 0,
+            seq: 0,
+        }
+    }
+
+    /// RTP packets published so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+impl Process for AudioPublisher {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.send(
+            self.config.broker,
+            BrokerMsg::Attach {
+                client: self.config.client,
+                process: ctx.me(),
+                profile: self.config.profile,
+            },
+            CONTROL_BYTES,
+        );
+        ctx.set_timer(self.config.start_delay, 0);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _packet: Packet) {}
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        if self.sent >= self.config.max_packets {
+            return;
+        }
+        ctx.spend_cpu(self.config.send_cpu);
+        let rtp = self.source.next_packet();
+        let event = Event::new(
+            self.config.topic.clone(),
+            self.config.client,
+            self.seq,
+            EventClass::Rtp,
+            rtp.encode(),
+        )
+        .with_published_at(ctx.now())
+        .into_shared();
+        self.seq += 1;
+        let wire = event.wire_len() + self.config.profile.overhead_bytes();
+        ctx.send(
+            self.config.broker,
+            BrokerMsg::Publish {
+                client: self.config.client,
+                event,
+            },
+            wire,
+        );
+        self.sent += 1;
+        ctx.count("publisher.rtp_sent", 1);
+        ctx.set_timer(self.source.frame_interval(), 0);
+    }
+}
+
+/// An RTP-subscribing client measuring delivery quality.
+pub struct RtpReceiver {
+    broker: ProcessId,
+    client: ClientId,
+    filter: TopicFilter,
+    profile: TransportProfile,
+    recv_cpu: SimDuration,
+    stats: ReceiverStats,
+}
+
+impl RtpReceiver {
+    /// Creates a receiver that subscribes to `filter` on start.
+    ///
+    /// `payload_type` selects the RTP clock for jitter computation;
+    /// `recv_cpu` is the per-packet processing cost at the client (this
+    /// is what makes co-located receivers perturb each other).
+    pub fn new(
+        broker: ProcessId,
+        client: ClientId,
+        filter: TopicFilter,
+        payload_type: u8,
+        recv_cpu: SimDuration,
+    ) -> Self {
+        Self {
+            broker,
+            client,
+            filter,
+            profile: TransportProfile::Udp,
+            recv_cpu,
+            stats: ReceiverStats::new(0, payload_type),
+        }
+    }
+
+    /// Enables per-packet series capture (Figure 3 plotting).
+    pub fn with_series_capture(mut self) -> Self {
+        self.stats = self.stats.with_series_capture();
+        self
+    }
+
+    /// Overrides the transport profile (default UDP), builder style.
+    pub fn with_profile(mut self, profile: TransportProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The receiver's quality statistics.
+    pub fn stats(&self) -> &ReceiverStats {
+        &self.stats
+    }
+}
+
+impl Process for RtpReceiver {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.send(
+            self.broker,
+            BrokerMsg::Attach {
+                client: self.client,
+                process: ctx.me(),
+                profile: self.profile,
+            },
+            CONTROL_BYTES,
+        );
+        ctx.send(
+            self.broker,
+            BrokerMsg::Subscribe {
+                client: self.client,
+                filter: self.filter.clone(),
+            },
+            CONTROL_BYTES,
+        );
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        let Some(ClientMsg::Deliver(event)) = packet.payload::<ClientMsg>() else {
+            ctx.count("receiver.bad_payload", 1);
+            return;
+        };
+        let arrival = ctx.now();
+        match RtpPacket::decode(&event.payload) {
+            Ok(rtp) => {
+                self.stats.record(&rtp.header, event.published_at, arrival);
+                ctx.count("receiver.rtp_received", 1);
+            }
+            Err(_) => ctx.count("receiver.rtp_decode_error", 1),
+        }
+        ctx.spend_cpu(self.recv_cpu);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmcs_rtp::packet::payload_type;
+    use mmcs_rtp::source::VideoSourceConfig;
+    use mmcs_sim::net::NicConfig;
+    use mmcs_sim::Simulation;
+    use mmcs_util::rng::DetRng;
+    use mmcs_util::time::SimTime;
+
+    fn video_sim(seed: u64) -> (Simulation, ProcessId, Vec<ProcessId>) {
+        let mut sim = Simulation::new(seed);
+        let sender_host = sim.add_host("sender", NicConfig::default());
+        let broker_host = sim.add_host("broker", NicConfig::default());
+        let client_host = sim.add_host("clients", NicConfig::default());
+
+        let broker = sim.add_typed_process(
+            broker_host,
+            BrokerProcess::new(BrokerId::from_raw(1), CostModel::narada()),
+        );
+        let mut receivers = Vec::new();
+        for i in 0..3 {
+            let host = if i == 0 { sender_host } else { client_host };
+            let receiver = RtpReceiver::new(
+                broker,
+                ClientId::from_raw(100 + i),
+                TopicFilter::parse("conf/1/video").unwrap(),
+                payload_type::H263,
+                SimDuration::from_micros(30),
+            )
+            .with_series_capture();
+            receivers.push(sim.add_typed_process(host, receiver));
+        }
+        let mut config = PublisherConfig::new(
+            broker,
+            ClientId::from_raw(1),
+            Topic::parse("conf/1/video").unwrap(),
+        );
+        config.max_packets = 100;
+        let source = VideoSource::new(VideoSourceConfig::default(), 42, DetRng::new(seed));
+        sim.add_typed_process(sender_host, VideoPublisher::new(config, source));
+        (sim, broker, receivers)
+    }
+
+    #[test]
+    fn video_flows_through_broker_to_all_receivers() {
+        let (mut sim, broker, receivers) = video_sim(7);
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.counter("publisher.rtp_sent"), 100);
+        assert_eq!(sim.counter("receiver.rtp_received"), 300);
+        for r in &receivers {
+            let stats = sim.process_ref::<RtpReceiver>(*r).unwrap().stats();
+            assert_eq!(stats.received(), 100);
+            assert_eq!(stats.lost(), 0);
+            assert!(stats.delay_ms().mean() > 0.0);
+        }
+        let node = sim.process_ref::<BrokerProcess>(broker).unwrap().node();
+        assert_eq!(node.counters().deliveries, 300);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        fn digest(seed: u64) -> Vec<u64> {
+            let (mut sim, _, receivers) = video_sim(seed);
+            sim.run_until(SimTime::from_secs(10));
+            receivers
+                .iter()
+                .map(|r| {
+                    let s = sim.process_ref::<RtpReceiver>(*r).unwrap().stats();
+                    (s.delay_ms().mean() * 1e9) as u64
+                })
+                .collect()
+        }
+        assert_eq!(digest(3), digest(3));
+        assert_ne!(digest(3), digest(4));
+    }
+
+    #[test]
+    fn audio_publisher_paces_at_50pps() {
+        let mut sim = Simulation::new(1);
+        let host = sim.add_host("all", NicConfig::default());
+        let broker = sim.add_typed_process(
+            host,
+            BrokerProcess::new(BrokerId::from_raw(1), CostModel::narada()),
+        );
+        let receiver = sim.add_typed_process(
+            host,
+            RtpReceiver::new(
+                broker,
+                ClientId::from_raw(2),
+                TopicFilter::parse("conf/1/audio").unwrap(),
+                payload_type::PCMU,
+                SimDuration::from_micros(10),
+            ),
+        );
+        let config = PublisherConfig::new(
+            broker,
+            ClientId::from_raw(1),
+            Topic::parse("conf/1/audio").unwrap(),
+        );
+        let source = AudioSource::new(mmcs_rtp::source::AudioCodec::Pcmu, 9);
+        sim.add_typed_process(host, AudioPublisher::new(config, source));
+        // 2 seconds of media after the 100 ms start delay: ~95 packets.
+        sim.run_until(SimTime::from_secs(2));
+        let stats = sim.process_ref::<RtpReceiver>(receiver).unwrap().stats();
+        assert!((90..=96).contains(&stats.received()), "{}", stats.received());
+        assert_eq!(stats.lost(), 0);
+    }
+
+    #[test]
+    fn multi_broker_path_delivers() {
+        let mut sim = Simulation::new(5);
+        let h1 = sim.add_host("a", NicConfig::default());
+        let h2 = sim.add_host("b", NicConfig::default());
+        let b1 = sim.add_typed_process(
+            h1,
+            BrokerProcess::new(BrokerId::from_raw(1), CostModel::narada()),
+        );
+        let b2 = sim.add_typed_process(
+            h2,
+            BrokerProcess::new(BrokerId::from_raw(2), CostModel::narada()),
+        );
+        sim.process_mut::<BrokerProcess>(b1)
+            .unwrap()
+            .add_peer(BrokerId::from_raw(2), b2);
+        sim.process_mut::<BrokerProcess>(b2)
+            .unwrap()
+            .add_peer(BrokerId::from_raw(1), b1);
+        let receiver = sim.add_typed_process(
+            h2,
+            RtpReceiver::new(
+                b2,
+                ClientId::from_raw(2),
+                TopicFilter::parse("conf/9/video").unwrap(),
+                payload_type::H263,
+                SimDuration::from_micros(10),
+            ),
+        );
+        let mut config = PublisherConfig::new(
+            b1,
+            ClientId::from_raw(1),
+            Topic::parse("conf/9/video").unwrap(),
+        );
+        config.max_packets = 50;
+        let source = VideoSource::new(VideoSourceConfig::default(), 4, DetRng::new(2));
+        sim.add_typed_process(h1, VideoPublisher::new(config, source));
+        sim.run_until(SimTime::from_secs(10));
+        let stats = sim.process_ref::<RtpReceiver>(receiver).unwrap().stats();
+        assert_eq!(stats.received(), 50);
+        // Two broker hops forwarded across hosts.
+        assert!(sim.counter("broker.forwarded") >= 50);
+    }
+}
+
+/// A multicast relay: the broker delivers one copy per *machine*, and
+/// the relay fans it out locally over the loopback — NaradaBrokering's
+/// multicast transport ("one NIC transmission reaches every group
+/// member on the same segment"). The relay attaches to the broker as a
+/// single [`TransportProfile::Multicast`] client; its local receivers
+/// get the event without touching the broker or its NIC again.
+pub struct MulticastRelay {
+    broker: ProcessId,
+    client: ClientId,
+    filter: TopicFilter,
+    local_receivers: Vec<ProcessId>,
+    relay_cpu: SimDuration,
+    relayed: u64,
+}
+
+impl MulticastRelay {
+    /// Creates a relay subscribing to `filter` on `broker` as `client`.
+    pub fn new(broker: ProcessId, client: ClientId, filter: TopicFilter) -> Self {
+        Self {
+            broker,
+            client,
+            filter,
+            local_receivers: Vec::new(),
+            relay_cpu: SimDuration::from_micros(4),
+            relayed: 0,
+        }
+    }
+
+    /// Adds a receiver on this relay's machine (must live on the same
+    /// simulated host for the loopback model to hold).
+    pub fn add_local_receiver(&mut self, receiver: ProcessId) {
+        self.local_receivers.push(receiver);
+    }
+
+    /// Events relayed so far.
+    pub fn relayed(&self) -> u64 {
+        self.relayed
+    }
+}
+
+impl Process for MulticastRelay {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.send(
+            self.broker,
+            BrokerMsg::Attach {
+                client: self.client,
+                process: ctx.me(),
+                profile: TransportProfile::Multicast,
+            },
+            CONTROL_BYTES,
+        );
+        ctx.send(
+            self.broker,
+            BrokerMsg::Subscribe {
+                client: self.client,
+                filter: self.filter.clone(),
+            },
+            CONTROL_BYTES,
+        );
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        let Some(ClientMsg::Deliver(event)) = packet.payload::<ClientMsg>() else {
+            return;
+        };
+        ctx.spend_cpu(self.relay_cpu);
+        let wire = event.wire_len();
+        let message = std::rc::Rc::new(ClientMsg::Deliver(Arc::clone(event)));
+        for receiver in &self.local_receivers {
+            // Loopback delivery: same host, no NIC serialization.
+            ctx.send_shared(*receiver, message.clone(), wire);
+        }
+        self.relayed += 1;
+        ctx.count("mcast.relayed", 1);
+    }
+}
+
+#[cfg(test)]
+mod mcast_tests {
+    use super::*;
+    use mmcs_rtp::packet::payload_type;
+    use mmcs_rtp::source::{VideoSource, VideoSourceConfig};
+    use mmcs_sim::net::NicConfig;
+    use mmcs_sim::Simulation;
+    use mmcs_util::rng::DetRng;
+    use mmcs_util::time::SimTime;
+
+    #[test]
+    fn relay_fans_out_locally_with_one_broker_send() {
+        let mut sim = Simulation::new(2);
+        let sender_host = sim.add_host("sender", NicConfig::default());
+        let broker_host = sim.add_host("broker", NicConfig::default());
+        let segment_host = sim.add_host("segment", NicConfig::default());
+
+        let broker = sim.add_typed_process(
+            broker_host,
+            BrokerProcess::new(BrokerId::from_raw(1), crate::batch::CostModel::narada()),
+        );
+        let topic = Topic::parse("conf/9/video").unwrap();
+        let filter = TopicFilter::exact(&topic);
+
+        // 10 receivers behind one relay on the segment host.
+        let mut receiver_ids = Vec::new();
+        for i in 0..10 {
+            let receiver = RtpReceiver::new(
+                broker,
+                ClientId::from_raw(100 + i),
+                // Receivers do NOT subscribe at the broker: the relay
+                // feeds them. Give them an unmatched filter.
+                TopicFilter::parse("unused/topic").unwrap(),
+                payload_type::H263,
+                SimDuration::from_micros(10),
+            );
+            receiver_ids.push(sim.add_typed_process(segment_host, receiver));
+        }
+        let relay = sim.add_typed_process(
+            segment_host,
+            MulticastRelay::new(broker, ClientId::from_raw(50), filter),
+        );
+        for id in &receiver_ids {
+            sim.process_mut::<MulticastRelay>(relay)
+                .unwrap()
+                .add_local_receiver(*id);
+        }
+
+        let mut config =
+            PublisherConfig::new(broker, ClientId::from_raw(1), topic);
+        config.max_packets = 60;
+        let source = VideoSource::new(VideoSourceConfig::default(), 3, DetRng::new(4));
+        sim.add_typed_process(sender_host, VideoPublisher::new(config, source));
+
+        sim.run_until(SimTime::from_secs(10));
+
+        // The broker delivered each packet exactly once (to the relay).
+        assert_eq!(sim.counter("broker.delivered"), 60);
+        assert_eq!(sim.counter("mcast.relayed"), 60);
+        // Every local receiver still got all 60.
+        for id in &receiver_ids {
+            let stats = sim.process_ref::<RtpReceiver>(*id).unwrap().stats();
+            assert_eq!(stats.received(), 60);
+            assert_eq!(stats.lost(), 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod liveness_tests {
+    use super::*;
+    use mmcs_rtp::packet::payload_type;
+    use mmcs_rtp::source::{AudioCodec, AudioSource};
+    use mmcs_sim::net::NicConfig;
+    use mmcs_sim::Simulation;
+    use mmcs_util::time::SimTime;
+
+    /// A hung peer (no heartbeats) is detected and its link torn down;
+    /// a healthy peer stays linked.
+    #[test]
+    fn hung_broker_is_disconnected() {
+        let mut sim = Simulation::new(6);
+        let h1 = sim.add_host("a", NicConfig::default());
+        let h2 = sim.add_host("b", NicConfig::default());
+        let every = SimDuration::from_millis(500);
+        let timeout = SimDuration::from_millis(1600);
+        let b1 = sim.add_typed_process(
+            h1,
+            BrokerProcess::new(BrokerId::from_raw(1), CostModel::narada())
+                .with_liveness(every, timeout),
+        );
+        let b2 = sim.add_typed_process(
+            h2,
+            BrokerProcess::new(BrokerId::from_raw(2), CostModel::narada())
+                .with_liveness(every, timeout),
+        );
+        sim.process_mut::<BrokerProcess>(b1)
+            .unwrap()
+            .add_peer(BrokerId::from_raw(2), b2);
+        sim.process_mut::<BrokerProcess>(b2)
+            .unwrap()
+            .add_peer(BrokerId::from_raw(1), b1);
+        // Broker 2 is hung from the start.
+        sim.process_mut::<BrokerProcess>(b2).unwrap().mute_heartbeats();
+
+        sim.run_until(SimTime::from_secs(5));
+        let b1_state = sim.process_ref::<BrokerProcess>(b1).unwrap();
+        assert!(
+            !b1_state.has_peer_link(BrokerId::from_raw(2)),
+            "broker 1 must have dropped the hung peer"
+        );
+        assert!(sim.counter("broker.peer_suspected") >= 1);
+    }
+
+    /// With healthy heartbeats both directions, links stay up and media
+    /// keeps flowing across the pair indefinitely.
+    #[test]
+    fn healthy_brokers_stay_linked_and_forwarding() {
+        let mut sim = Simulation::new(8);
+        let h1 = sim.add_host("a", NicConfig::default());
+        let h2 = sim.add_host("b", NicConfig::default());
+        let every = SimDuration::from_millis(500);
+        let timeout = SimDuration::from_millis(1600);
+        let b1 = sim.add_typed_process(
+            h1,
+            BrokerProcess::new(BrokerId::from_raw(1), CostModel::narada())
+                .with_liveness(every, timeout),
+        );
+        let b2 = sim.add_typed_process(
+            h2,
+            BrokerProcess::new(BrokerId::from_raw(2), CostModel::narada())
+                .with_liveness(every, timeout),
+        );
+        sim.process_mut::<BrokerProcess>(b1)
+            .unwrap()
+            .add_peer(BrokerId::from_raw(2), b2);
+        sim.process_mut::<BrokerProcess>(b2)
+            .unwrap()
+            .add_peer(BrokerId::from_raw(1), b1);
+
+        let topic = Topic::parse("live/audio").unwrap();
+        let receiver = sim.add_typed_process(
+            h2,
+            RtpReceiver::new(
+                b2,
+                ClientId::from_raw(2),
+                TopicFilter::exact(&topic),
+                payload_type::PCMU,
+                SimDuration::from_micros(10),
+            ),
+        );
+        let mut config = PublisherConfig::new(b1, ClientId::from_raw(1), topic);
+        config.max_packets = 200; // 4 seconds of audio
+        sim.add_typed_process(
+            h1,
+            AudioPublisher::new(config, AudioSource::new(AudioCodec::Pcmu, 1)),
+        );
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.counter("broker.peer_suspected"), 0);
+        let stats = sim.process_ref::<RtpReceiver>(receiver).unwrap().stats();
+        assert_eq!(stats.received(), 200);
+    }
+}

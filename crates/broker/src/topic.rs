@@ -1,0 +1,590 @@
+//! Hierarchical topics and wildcard filters.
+//!
+//! Topics are slash-separated paths (`session/42/video/ssrc-9`). Filters
+//! may use `*` to match exactly one segment and a trailing `#` to match
+//! any remainder (including none) — the JMS-style grammar NaradaBrokering
+//! exposed. [`SubscriptionTable`] maps filters to subscribers with a trie
+//! so that matching a publish against thousands of subscriptions is a
+//! single path walk.
+
+use core::fmt;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A concrete topic path (no wildcards).
+///
+/// # Examples
+///
+/// ```
+/// use mmcs_broker::topic::Topic;
+///
+/// let t = Topic::parse("session/42/video")?;
+/// assert_eq!(t.segments().len(), 3);
+/// assert_eq!(t.to_string(), "session/42/video");
+/// # Ok::<(), mmcs_broker::topic::ParseTopicError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Topic {
+    segments: Vec<String>,
+}
+
+impl Topic {
+    /// Parses a slash-separated topic path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTopicError`] if the path is empty, has empty
+    /// segments, or contains wildcard characters (`*`, `#`).
+    pub fn parse(path: &str) -> Result<Topic, ParseTopicError> {
+        let segments = split_segments(path)?;
+        for segment in &segments {
+            if segment == "*" || segment == "#" {
+                return Err(ParseTopicError::WildcardInTopic);
+            }
+        }
+        Ok(Topic { segments })
+    }
+
+    /// Builds a topic from pre-validated segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any segment is empty or a wildcard.
+    pub fn from_segments<I, S>(segments: I) -> Topic
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let segments: Vec<String> = segments.into_iter().map(Into::into).collect();
+        assert!(!segments.is_empty(), "topic must have at least one segment");
+        for segment in &segments {
+            assert!(
+                !segment.is_empty() && segment != "*" && segment != "#" && !segment.contains('/'),
+                "invalid topic segment {segment:?}"
+            );
+        }
+        Topic { segments }
+    }
+
+    /// The path segments.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// Appends a segment, returning a child topic.
+    pub fn child(&self, segment: impl Into<String>) -> Topic {
+        let mut segments = self.segments.clone();
+        let segment = segment.into();
+        assert!(
+            !segment.is_empty() && !segment.contains('/'),
+            "invalid topic segment"
+        );
+        segments.push(segment);
+        Topic { segments }
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.segments.join("/"))
+    }
+}
+
+impl std::str::FromStr for Topic {
+    type Err = ParseTopicError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Topic::parse(s)
+    }
+}
+
+/// One filter pattern segment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum FilterSegment {
+    Literal(String),
+    /// `*`: exactly one segment.
+    Single,
+}
+
+/// A subscription filter: literal segments, `*` wildcards, and an
+/// optional trailing `#` matching any remainder.
+///
+/// # Examples
+///
+/// ```
+/// use mmcs_broker::topic::{Topic, TopicFilter};
+///
+/// let f = TopicFilter::parse("session/*/video/#")?;
+/// assert!(f.matches(&Topic::parse("session/1/video")?));
+/// assert!(f.matches(&Topic::parse("session/1/video/ssrc/5")?));
+/// assert!(!f.matches(&Topic::parse("session/1/audio")?));
+/// # Ok::<(), mmcs_broker::topic::ParseTopicError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopicFilter {
+    segments: Vec<FilterSegment>,
+    tail: bool,
+}
+
+impl TopicFilter {
+    /// Parses a filter pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTopicError`] if the pattern is empty, has empty
+    /// segments, or uses `#` anywhere but the final segment.
+    pub fn parse(pattern: &str) -> Result<TopicFilter, ParseTopicError> {
+        let raw = split_segments(pattern)?;
+        let mut segments = Vec::with_capacity(raw.len());
+        let mut tail = false;
+        for (i, segment) in raw.iter().enumerate() {
+            match segment.as_str() {
+                "#" => {
+                    if i != raw.len() - 1 {
+                        return Err(ParseTopicError::HashNotLast);
+                    }
+                    tail = true;
+                }
+                "*" => segments.push(FilterSegment::Single),
+                literal => segments.push(FilterSegment::Literal(literal.to_owned())),
+            }
+        }
+        if segments.is_empty() && !tail {
+            return Err(ParseTopicError::Empty);
+        }
+        Ok(TopicFilter { segments, tail })
+    }
+
+    /// A filter matching exactly one topic.
+    pub fn exact(topic: &Topic) -> TopicFilter {
+        TopicFilter {
+            segments: topic
+                .segments()
+                .iter()
+                .map(|s| FilterSegment::Literal(s.clone()))
+                .collect(),
+            tail: false,
+        }
+    }
+
+    /// Whether this filter matches a concrete topic.
+    pub fn matches(&self, topic: &Topic) -> bool {
+        let t = topic.segments();
+        if self.tail {
+            if t.len() < self.segments.len() {
+                return false;
+            }
+        } else if t.len() != self.segments.len() {
+            return false;
+        }
+        self.segments.iter().zip(t).all(|(f, s)| match f {
+            FilterSegment::Literal(lit) => lit == s,
+            FilterSegment::Single => true,
+        })
+    }
+
+    /// Whether this filter contains any wildcard.
+    pub fn has_wildcards(&self) -> bool {
+        self.tail || self.segments.iter().any(|s| *s == FilterSegment::Single)
+    }
+}
+
+impl fmt::Display for TopicFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for segment in &self.segments {
+            if !first {
+                f.write_str("/")?;
+            }
+            first = false;
+            match segment {
+                FilterSegment::Literal(lit) => f.write_str(lit)?,
+                FilterSegment::Single => f.write_str("*")?,
+            }
+        }
+        if self.tail {
+            if !first {
+                f.write_str("/")?;
+            }
+            f.write_str("#")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for TopicFilter {
+    type Err = ParseTopicError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TopicFilter::parse(s)
+    }
+}
+
+fn split_segments(path: &str) -> Result<Vec<String>, ParseTopicError> {
+    if path.is_empty() {
+        return Err(ParseTopicError::Empty);
+    }
+    let mut segments = Vec::new();
+    for segment in path.split('/') {
+        if segment.is_empty() {
+            return Err(ParseTopicError::EmptySegment);
+        }
+        segments.push(segment.to_owned());
+    }
+    Ok(segments)
+}
+
+/// Error parsing a topic or filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseTopicError {
+    /// The path was empty.
+    Empty,
+    /// A segment between slashes was empty.
+    EmptySegment,
+    /// A concrete topic contained `*` or `#`.
+    WildcardInTopic,
+    /// `#` appeared before the final segment.
+    HashNotLast,
+}
+
+impl fmt::Display for ParseTopicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTopicError::Empty => write!(f, "empty topic path"),
+            ParseTopicError::EmptySegment => write!(f, "empty topic segment"),
+            ParseTopicError::WildcardInTopic => write!(f, "wildcard in concrete topic"),
+            ParseTopicError::HashNotLast => write!(f, "'#' must be the final segment"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTopicError {}
+
+/// Trie node for the subscription table.
+#[derive(Debug, Clone)]
+struct TrieNode<S> {
+    children: HashMap<String, TrieNode<S>>,
+    single: Option<Box<TrieNode<S>>>,
+    /// Subscribers whose filter ends exactly here.
+    here: Vec<S>,
+    /// Subscribers whose filter ends here with a `#` tail.
+    tail: Vec<S>,
+}
+
+impl<S> Default for TrieNode<S> {
+    fn default() -> Self {
+        Self {
+            children: HashMap::new(),
+            single: None,
+            here: Vec::new(),
+            tail: Vec::new(),
+        }
+    }
+}
+
+/// Maps filters to subscribers; matching walks the trie once.
+///
+/// `S` is the subscriber handle type (a client id, a broker link id, …).
+#[derive(Debug, Clone)]
+pub struct SubscriptionTable<S> {
+    root: TrieNode<S>,
+    len: usize,
+}
+
+impl<S: Clone + PartialEq> SubscriptionTable<S> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            root: TrieNode::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of (filter, subscriber) entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds a subscription. Duplicate (filter, subscriber) pairs are
+    /// ignored; returns whether the entry was inserted.
+    pub fn subscribe(&mut self, filter: &TopicFilter, subscriber: S) -> bool {
+        let node = Self::descend(&mut self.root, &filter.segments);
+        let bucket = if filter.tail { &mut node.tail } else { &mut node.here };
+        if bucket.contains(&subscriber) {
+            return false;
+        }
+        bucket.push(subscriber);
+        self.len += 1;
+        true
+    }
+
+    /// Removes a subscription; returns whether it existed.
+    pub fn unsubscribe(&mut self, filter: &TopicFilter, subscriber: &S) -> bool {
+        let node = Self::descend(&mut self.root, &filter.segments);
+        let bucket = if filter.tail { &mut node.tail } else { &mut node.here };
+        if let Some(pos) = bucket.iter().position(|s| s == subscriber) {
+            bucket.swap_remove(pos);
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn descend<'a>(mut node: &'a mut TrieNode<S>, segments: &[FilterSegment]) -> &'a mut TrieNode<S> {
+        for segment in segments {
+            node = match segment {
+                FilterSegment::Literal(lit) => node.children.entry(lit.clone()).or_default(),
+                FilterSegment::Single => node.single.get_or_insert_with(Default::default),
+            };
+        }
+        node
+    }
+
+    /// All subscribers whose filter matches `topic`, deduplicated, in a
+    /// deterministic order.
+    pub fn matches(&self, topic: &Topic) -> Vec<S> {
+        let mut out = Vec::new();
+        Self::walk(&self.root, topic.segments(), &mut out);
+        out
+    }
+
+    fn walk(node: &TrieNode<S>, rest: &[String], out: &mut Vec<S>) {
+        // A `#` at this node matches the remainder, whatever it is.
+        for s in &node.tail {
+            push_unique(out, s.clone());
+        }
+        let Some((head, tail)) = rest.split_first() else {
+            for s in &node.here {
+                push_unique(out, s.clone());
+            }
+            return;
+        };
+        if let Some(child) = node.children.get(head) {
+            Self::walk(child, tail, out);
+        }
+        if let Some(single) = &node.single {
+            Self::walk(single, tail, out);
+        }
+    }
+
+    /// Removes every subscription held by `subscriber`; returns how many
+    /// were removed.
+    pub fn unsubscribe_all(&mut self, subscriber: &S) -> usize {
+        fn prune<S: PartialEq>(node: &mut TrieNode<S>, subscriber: &S) -> usize {
+            let mut removed = 0;
+            node.here.retain(|s| {
+                let keep = s != subscriber;
+                if !keep {
+                    removed += 1;
+                }
+                keep
+            });
+            node.tail.retain(|s| {
+                let keep = s != subscriber;
+                if !keep {
+                    removed += 1;
+                }
+                keep
+            });
+            for child in node.children.values_mut() {
+                removed += prune(child, subscriber);
+            }
+            if let Some(single) = &mut node.single {
+                removed += prune(single, subscriber);
+            }
+            removed
+        }
+        let removed = prune(&mut self.root, subscriber);
+        self.len -= removed;
+        removed
+    }
+}
+
+impl<S: Clone + PartialEq> Default for SubscriptionTable<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn push_unique<S: PartialEq>(out: &mut Vec<S>, item: S) {
+    if !out.contains(&item) {
+        out.push(item);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topic(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+
+    fn filter(s: &str) -> TopicFilter {
+        TopicFilter::parse(s).unwrap()
+    }
+
+    #[test]
+    fn topic_parse_and_display() {
+        let t = topic("a/b/c");
+        assert_eq!(t.segments(), &["a", "b", "c"]);
+        assert_eq!(t.to_string(), "a/b/c");
+        assert_eq!(t.child("d").to_string(), "a/b/c/d");
+    }
+
+    #[test]
+    fn topic_parse_errors() {
+        assert_eq!(Topic::parse(""), Err(ParseTopicError::Empty));
+        assert_eq!(Topic::parse("a//b"), Err(ParseTopicError::EmptySegment));
+        assert_eq!(Topic::parse("a/*"), Err(ParseTopicError::WildcardInTopic));
+        assert_eq!(Topic::parse("#"), Err(ParseTopicError::WildcardInTopic));
+        assert_eq!(Topic::parse("/a"), Err(ParseTopicError::EmptySegment));
+    }
+
+    #[test]
+    fn filter_parse_errors() {
+        assert_eq!(TopicFilter::parse(""), Err(ParseTopicError::Empty));
+        assert_eq!(
+            TopicFilter::parse("a/#/b"),
+            Err(ParseTopicError::HashNotLast)
+        );
+        assert_eq!(TopicFilter::parse("a//b"), Err(ParseTopicError::EmptySegment));
+    }
+
+    #[test]
+    fn exact_filter_matches_only_itself() {
+        let f = TopicFilter::exact(&topic("x/y"));
+        assert!(f.matches(&topic("x/y")));
+        assert!(!f.matches(&topic("x/y/z")));
+        assert!(!f.matches(&topic("x")));
+        assert!(!f.has_wildcards());
+    }
+
+    #[test]
+    fn star_matches_exactly_one_segment() {
+        let f = filter("a/*/c");
+        assert!(f.matches(&topic("a/b/c")));
+        assert!(f.matches(&topic("a/zzz/c")));
+        assert!(!f.matches(&topic("a/c")));
+        assert!(!f.matches(&topic("a/b/b/c")));
+        assert!(f.has_wildcards());
+    }
+
+    #[test]
+    fn hash_matches_any_remainder_including_none() {
+        let f = filter("a/#");
+        assert!(f.matches(&topic("a")));
+        assert!(f.matches(&topic("a/b")));
+        assert!(f.matches(&topic("a/b/c/d")));
+        assert!(!f.matches(&topic("b")));
+        // Bare `#` matches everything.
+        let all = filter("#");
+        assert!(all.matches(&topic("a")));
+        assert!(all.matches(&topic("a/b/c")));
+    }
+
+    #[test]
+    fn filter_display_round_trips() {
+        for pattern in ["a/b", "a/*/c", "a/#", "#", "*/x/#"] {
+            assert_eq!(filter(pattern).to_string(), pattern);
+            // Reparse must be identical.
+            assert_eq!(filter(&filter(pattern).to_string()), filter(pattern));
+        }
+    }
+
+    #[test]
+    fn table_basic_subscribe_and_match() {
+        let mut table: SubscriptionTable<u32> = SubscriptionTable::new();
+        assert!(table.subscribe(&filter("session/7/video"), 1));
+        assert!(table.subscribe(&filter("session/7/*"), 2));
+        assert!(table.subscribe(&filter("session/#"), 3));
+        assert!(table.subscribe(&filter("other/#"), 4));
+        assert_eq!(table.len(), 4);
+
+        let hit = table.matches(&topic("session/7/video"));
+        assert_eq!(hit.len(), 3);
+        assert!(hit.contains(&1) && hit.contains(&2) && hit.contains(&3));
+        assert_eq!(table.matches(&topic("session/7/audio")), vec![3, 2]);
+        assert_eq!(table.matches(&topic("zzz")), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn duplicate_subscription_is_ignored() {
+        let mut table: SubscriptionTable<u32> = SubscriptionTable::new();
+        assert!(table.subscribe(&filter("a/b"), 1));
+        assert!(!table.subscribe(&filter("a/b"), 1));
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.matches(&topic("a/b")), vec![1]);
+    }
+
+    #[test]
+    fn overlapping_filters_dedup_subscriber() {
+        let mut table: SubscriptionTable<u32> = SubscriptionTable::new();
+        table.subscribe(&filter("a/#"), 1);
+        table.subscribe(&filter("a/b"), 1);
+        assert_eq!(table.matches(&topic("a/b")), vec![1]);
+    }
+
+    #[test]
+    fn unsubscribe_removes_entry() {
+        let mut table: SubscriptionTable<u32> = SubscriptionTable::new();
+        table.subscribe(&filter("a/*"), 1);
+        assert!(table.unsubscribe(&filter("a/*"), &1));
+        assert!(!table.unsubscribe(&filter("a/*"), &1));
+        assert!(table.matches(&topic("a/b")).is_empty());
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_all_prunes_everywhere() {
+        let mut table: SubscriptionTable<u32> = SubscriptionTable::new();
+        table.subscribe(&filter("a/b"), 1);
+        table.subscribe(&filter("a/#"), 1);
+        table.subscribe(&filter("x/*"), 1);
+        table.subscribe(&filter("a/b"), 2);
+        assert_eq!(table.unsubscribe_all(&1), 3);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.matches(&topic("a/b")), vec![2]);
+    }
+
+    /// Oracle check: trie matching agrees with direct filter matching.
+    #[test]
+    fn table_agrees_with_naive_oracle() {
+        use mmcs_util::rng::DetRng;
+        let mut rng = DetRng::new(99);
+        let segs = ["a", "b", "c", "*"];
+        let mut table: SubscriptionTable<usize> = SubscriptionTable::new();
+        let mut filters = Vec::new();
+        for id in 0..200 {
+            let depth = rng.range_usize(1, 4);
+            let mut parts: Vec<String> = (0..depth)
+                .map(|_| (*rng.pick(&segs)).to_owned())
+                .collect();
+            if rng.chance(0.3) {
+                parts.push("#".to_owned());
+            }
+            let f = filter(&parts.join("/"));
+            table.subscribe(&f, id);
+            filters.push((f, id));
+        }
+        let lits = ["a", "b", "c", "d"];
+        for _ in 0..500 {
+            let depth = rng.range_usize(1, 5);
+            let t = Topic::from_segments((0..depth).map(|_| (*rng.pick(&lits)).to_owned()));
+            let mut expected: Vec<usize> = filters
+                .iter()
+                .filter(|(f, _)| f.matches(&t))
+                .map(|(_, id)| *id)
+                .collect();
+            expected.dedup();
+            let mut actual = table.matches(&t);
+            expected.sort_unstable();
+            actual.sort_unstable();
+            assert_eq!(actual, expected, "topic {t}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The Access Grid community service.
+//!
+//! Access Grid — "the de facto Internet2 multimedia collaborative
+//! environment" (§3.1) — organizes collaboration around *venues*:
+//! persistent virtual rooms bound to IP multicast groups, joined by
+//! room-based nodes running MBONE tools (vic/rat). Its WSDL-CI facade
+//! maps XGSP sessions onto venues and hands back the venue's multicast
+//! groups, which Global-MMCS bridges through multicast relays
+//! ([`mmcs_broker::simdrv::MulticastRelay`]) exactly as ablation A3
+//! measures.
+
+use std::collections::HashMap;
+
+use mmcs_util::id::{SessionId, TerminalId};
+use mmcs_xgsp::wsdl_ci::{CiError, CollaborationServer, OperationDescriptor, ServiceDescriptor};
+
+/// One Access Grid venue.
+#[derive(Debug, Clone)]
+pub struct Venue {
+    /// Venue title.
+    pub title: String,
+    /// Multicast group for audio (address:port).
+    pub audio_group: String,
+    /// Multicast group for video.
+    pub video_group: String,
+    /// Nodes (room installations) currently in the venue.
+    pub nodes: Vec<String>,
+}
+
+/// The Access Grid community service.
+#[derive(Debug)]
+pub struct AccessGridService {
+    venues: HashMap<SessionId, Venue>,
+    /// Multicast base address pool (administratively scoped).
+    next_group: u16,
+}
+
+impl AccessGridService {
+    /// Creates the service with an empty venue map.
+    pub fn new() -> Self {
+        Self {
+            venues: HashMap::new(),
+            next_group: 1,
+        }
+    }
+
+    /// The venue mirroring a session, if established.
+    pub fn venue(&self, session: SessionId) -> Option<&Venue> {
+        self.venues.get(&session)
+    }
+
+    /// Number of live venues.
+    pub fn venue_count(&self) -> usize {
+        self.venues.len()
+    }
+}
+
+impl Default for AccessGridService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CollaborationServer for AccessGridService {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor {
+            service: "AccessGridVenueService".into(),
+            community: "accessgrid.org".into(),
+            endpoint: "http://accessgrid.org/soap".into(),
+            operations: vec![OperationDescriptor {
+                name: "venueGroups".into(),
+                inputs: vec!["sessionId".into()],
+                outputs: vec!["audioGroup".into(), "videoGroup".into()],
+            }],
+        }
+    }
+
+    fn establish_session(&mut self, session: SessionId, name: &str) -> Result<(), CiError> {
+        let id = self.next_group;
+        self.next_group += 1;
+        self.venues.insert(
+            session,
+            Venue {
+                title: name.to_owned(),
+                audio_group: format!("239.255.{}.{}:16384", id / 256, id % 256),
+                video_group: format!("239.255.{}.{}:16386", id / 256, id % 256),
+                nodes: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    fn add_member(
+        &mut self,
+        session: SessionId,
+        user: &str,
+        _terminal: TerminalId,
+    ) -> Result<(), CiError> {
+        let venue = self
+            .venues
+            .get_mut(&session)
+            .ok_or(CiError::UnknownSession(session))?;
+        if !venue.nodes.iter().any(|n| n == user) {
+            venue.nodes.push(user.to_owned());
+        }
+        Ok(())
+    }
+
+    fn remove_member(&mut self, session: SessionId, user: &str) -> Result<(), CiError> {
+        let venue = self
+            .venues
+            .get_mut(&session)
+            .ok_or(CiError::UnknownSession(session))?;
+        let before = venue.nodes.len();
+        venue.nodes.retain(|n| n != user);
+        if venue.nodes.len() == before {
+            return Err(CiError::UnknownMember(user.to_owned()));
+        }
+        Ok(())
+    }
+
+    fn control(
+        &mut self,
+        session: SessionId,
+        operation: &str,
+        _args: &[(String, String)],
+    ) -> Result<Vec<(String, String)>, CiError> {
+        let venue = self
+            .venues
+            .get(&session)
+            .ok_or(CiError::UnknownSession(session))?;
+        match operation {
+            "venueGroups" => Ok(vec![
+                ("audioGroup".into(), venue.audio_group.clone()),
+                ("videoGroup".into(), venue.video_group.clone()),
+            ]),
+            // The venue's multicast groups ARE its rendezvous: answer the
+            // generic flow with the video group so the bridge can stand
+            // its relay up there.
+            "rendezvous" => Ok(vec![("rendezvous".into(), venue.video_group.clone())]),
+            other => Err(CiError::UnsupportedOperation(other.to_owned())),
+        }
+    }
+
+    fn teardown_session(&mut self, session: SessionId) -> Result<(), CiError> {
+        self.venues
+            .remove(&session)
+            .map(|_| ())
+            .ok_or(CiError::UnknownSession(session))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bridge::CommunityBridge;
+
+    fn sid() -> SessionId {
+        SessionId::from_raw(5)
+    }
+
+    #[test]
+    fn venues_get_distinct_multicast_groups() {
+        let mut ag = AccessGridService::new();
+        ag.establish_session(SessionId::from_raw(1), "venue a").unwrap();
+        ag.establish_session(SessionId::from_raw(2), "venue b").unwrap();
+        let a = ag.venue(SessionId::from_raw(1)).unwrap();
+        let b = ag.venue(SessionId::from_raw(2)).unwrap();
+        assert_ne!(a.audio_group, b.audio_group);
+        assert!(a.audio_group.starts_with("239.255."));
+        assert_ne!(a.audio_group, a.video_group);
+    }
+
+    #[test]
+    fn nodes_join_and_leave() {
+        let mut ag = AccessGridService::new();
+        ag.establish_session(sid(), "lobby").unwrap();
+        ag.add_member(sid(), "anl-node", TerminalId::from_raw(1)).unwrap();
+        ag.add_member(sid(), "anl-node", TerminalId::from_raw(1)).unwrap(); // idempotent
+        assert_eq!(ag.venue(sid()).unwrap().nodes.len(), 1);
+        ag.remove_member(sid(), "anl-node").unwrap();
+        assert!(matches!(
+            ag.remove_member(sid(), "anl-node"),
+            Err(CiError::UnknownMember(_))
+        ));
+    }
+
+    #[test]
+    fn venue_groups_control() {
+        let mut ag = AccessGridService::new();
+        ag.establish_session(sid(), "lobby").unwrap();
+        let groups = ag.control(sid(), "venueGroups", &[]).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "audioGroup");
+        assert!(matches!(
+            ag.control(SessionId::from_raw(99), "venueGroups", &[]),
+            Err(CiError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn bridges_via_generic_rendezvous() {
+        let mut bridge = CommunityBridge::new(
+            "accessgrid.org",
+            Box::new(AccessGridService::new()),
+            "rdv.mmcs:8200",
+        );
+        let remote = bridge.bridge_session(sid(), "joint venue").unwrap();
+        // The "remote rendezvous" is the venue's video multicast group.
+        assert!(remote.starts_with("239.255."));
+        assert!(bridge.bridged(sid()).unwrap().agent.is_started());
+    }
+
+    #[test]
+    fn teardown_frees_the_venue() {
+        let mut ag = AccessGridService::new();
+        ag.establish_session(sid(), "lobby").unwrap();
+        ag.teardown_session(sid()).unwrap();
+        assert_eq!(ag.venue_count(), 0);
+        assert_eq!(ag.teardown_session(sid()), Err(CiError::UnknownSession(sid())));
+    }
+}

@@ -1,0 +1,238 @@
+//! The A/V service: audio mixing selection and video switching.
+//!
+//! A 2003 conference could not decode 40 video streams at every client;
+//! Global-MMCS's A/V service picks the *selected video* (normally the
+//! active speaker) per session and lets clients subscribe to just the
+//! selected stream's topic. Audio selection follows reported energy
+//! levels with hysteresis so brief noise does not steal the floor.
+
+use std::collections::HashMap;
+
+use mmcs_util::id::SessionId;
+use mmcs_util::time::{SimDuration, SimTime};
+
+/// Per-member audio activity state.
+#[derive(Debug, Clone)]
+struct Activity {
+    level: f64,
+    last_update: SimTime,
+}
+
+/// The switch state for one session.
+#[derive(Debug, Clone, Default)]
+struct SessionSwitch {
+    activity: HashMap<String, Activity>,
+    selected: Option<String>,
+    selected_since: SimTime,
+    /// Manual override (chair's `MediaControl::Select`).
+    pinned: Option<String>,
+}
+
+/// The A/V switch across sessions. See the [module docs](self).
+#[derive(Debug)]
+pub struct MediaSwitch {
+    sessions: HashMap<SessionId, SessionSwitch>,
+    /// A challenger must beat the incumbent by this factor.
+    hysteresis: f64,
+    /// …and the incumbent holds the slot at least this long.
+    min_hold: SimDuration,
+    /// Activity older than this is treated as silence.
+    staleness: SimDuration,
+}
+
+impl MediaSwitch {
+    /// Creates a switch with 1.5× hysteresis, a 2 s minimum hold and a
+    /// 3 s staleness window.
+    pub fn new() -> Self {
+        Self {
+            sessions: HashMap::new(),
+            hysteresis: 1.5,
+            min_hold: SimDuration::from_secs(2),
+            staleness: SimDuration::from_secs(3),
+        }
+    }
+
+    /// Reports a member's audio energy (0–1) at `now`; returns the newly
+    /// selected member when the selection changes.
+    pub fn report_audio(
+        &mut self,
+        session: SessionId,
+        user: &str,
+        level: f64,
+        now: SimTime,
+    ) -> Option<String> {
+        let switch = self.sessions.entry(session).or_default();
+        switch.activity.insert(
+            user.to_owned(),
+            Activity {
+                level: level.clamp(0.0, 1.0),
+                last_update: now,
+            },
+        );
+        if switch.pinned.is_some() {
+            return None;
+        }
+
+        let staleness = self.staleness;
+        let loudest = switch
+            .activity
+            .iter()
+            .filter(|(_, a)| now.saturating_duration_since(a.last_update) < staleness)
+            .max_by(|a, b| a.1.level.partial_cmp(&b.1.level).expect("levels are finite"))
+            .map(|(user, a)| (user.clone(), a.level));
+        let Some((candidate, candidate_level)) = loudest else {
+            return None;
+        };
+
+        let incumbent_level = switch
+            .selected
+            .as_ref()
+            .and_then(|user| switch.activity.get(user))
+            .filter(|a| now.saturating_duration_since(a.last_update) < staleness)
+            .map(|a| a.level)
+            .unwrap_or(0.0);
+
+        let held_long_enough =
+            now.saturating_duration_since(switch.selected_since) >= self.min_hold;
+        let beats_incumbent = candidate_level > incumbent_level * self.hysteresis;
+        let incumbent_gone = switch
+            .selected
+            .as_ref()
+            .is_none_or(|user| !switch.activity.contains_key(user));
+
+        if switch.selected.as_deref() != Some(candidate.as_str())
+            && (incumbent_gone || (held_long_enough && beats_incumbent))
+        {
+            switch.selected = Some(candidate.clone());
+            switch.selected_since = now;
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+
+    /// Pins the selected video to one member (chair override); `None`
+    /// unpins and lets audio drive again.
+    pub fn pin(&mut self, session: SessionId, user: Option<&str>) {
+        let switch = self.sessions.entry(session).or_default();
+        switch.pinned = user.map(str::to_owned);
+        if let Some(user) = user {
+            switch.selected = Some(user.to_owned());
+        }
+    }
+
+    /// The currently selected video source for a session.
+    pub fn selected(&self, session: SessionId) -> Option<&str> {
+        let switch = self.sessions.get(&session)?;
+        switch
+            .pinned
+            .as_deref()
+            .or(switch.selected.as_deref())
+    }
+
+    /// Removes a departing member (unpins/deselects them).
+    pub fn remove_member(&mut self, session: SessionId, user: &str) {
+        if let Some(switch) = self.sessions.get_mut(&session) {
+            switch.activity.remove(user);
+            if switch.pinned.as_deref() == Some(user) {
+                switch.pinned = None;
+            }
+            if switch.selected.as_deref() == Some(user) {
+                switch.selected = None;
+            }
+        }
+    }
+
+    /// Drops a terminated session's state.
+    pub fn remove_session(&mut self, session: SessionId) {
+        self.sessions.remove(&session);
+    }
+}
+
+impl Default for MediaSwitch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid() -> SessionId {
+        SessionId::from_raw(1)
+    }
+
+    #[test]
+    fn first_speaker_is_selected_immediately() {
+        let mut switch = MediaSwitch::new();
+        let changed = switch.report_audio(sid(), "alice", 0.5, SimTime::ZERO);
+        assert_eq!(changed.as_deref(), Some("alice"));
+        assert_eq!(switch.selected(sid()), Some("alice"));
+    }
+
+    #[test]
+    fn hysteresis_protects_the_incumbent() {
+        let mut switch = MediaSwitch::new();
+        switch.report_audio(sid(), "alice", 0.5, SimTime::ZERO);
+        // Slightly louder challenger within the hold window: no change.
+        let t1 = SimTime::from_millis(500);
+        assert_eq!(switch.report_audio(sid(), "bob", 0.6, t1), None);
+        // After the hold, a 1.5x louder challenger wins.
+        let t2 = SimTime::from_secs(3);
+        switch.report_audio(sid(), "alice", 0.5, t2);
+        let changed = switch.report_audio(sid(), "bob", 0.9, t2);
+        assert_eq!(changed.as_deref(), Some("bob"));
+    }
+
+    #[test]
+    fn stale_incumbent_loses_immediately() {
+        let mut switch = MediaSwitch::new();
+        switch.report_audio(sid(), "alice", 0.9, SimTime::ZERO);
+        // Alice goes silent for 5 s; bob speaks quietly.
+        let t = SimTime::from_secs(5);
+        let changed = switch.report_audio(sid(), "bob", 0.2, t);
+        assert_eq!(changed.as_deref(), Some("bob"));
+    }
+
+    #[test]
+    fn pin_overrides_audio() {
+        let mut switch = MediaSwitch::new();
+        switch.report_audio(sid(), "alice", 0.5, SimTime::ZERO);
+        switch.pin(sid(), Some("carol"));
+        assert_eq!(switch.selected(sid()), Some("carol"));
+        // Loud speakers do not displace a pin.
+        assert_eq!(
+            switch.report_audio(sid(), "bob", 1.0, SimTime::from_secs(10)),
+            None
+        );
+        assert_eq!(switch.selected(sid()), Some("carol"));
+        switch.pin(sid(), None);
+        let changed = switch.report_audio(sid(), "bob", 1.0, SimTime::from_secs(20));
+        assert_eq!(changed.as_deref(), Some("bob"));
+    }
+
+    #[test]
+    fn departures_clear_selection() {
+        let mut switch = MediaSwitch::new();
+        switch.report_audio(sid(), "alice", 0.5, SimTime::ZERO);
+        switch.remove_member(sid(), "alice");
+        assert_eq!(switch.selected(sid()), None);
+        // Next speaker takes over at once.
+        let changed = switch.report_audio(sid(), "bob", 0.1, SimTime::from_millis(100));
+        assert_eq!(changed.as_deref(), Some("bob"));
+        switch.remove_session(sid());
+        assert_eq!(switch.selected(sid()), None);
+    }
+
+    #[test]
+    fn levels_are_clamped() {
+        let mut switch = MediaSwitch::new();
+        switch.report_audio(sid(), "alice", 7.0, SimTime::ZERO);
+        // A "louder than 1.0" report cannot create an unbeatable ghost:
+        // bob at 1.0 can never beat 1.0 * 1.5, but after staleness alice
+        // fades and bob wins.
+        let changed = switch.report_audio(sid(), "bob", 1.0, SimTime::from_secs(5));
+        assert_eq!(changed.as_deref(), Some("bob"));
+    }
+}

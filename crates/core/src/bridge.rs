@@ -1,0 +1,232 @@
+//! Community bridging: mirror sessions into WSDL-CI servers.
+//!
+//! "For Admire community, XGSP Web Server invokes the web-services of
+//! Admire to notify the address of the rendezvous point. And Admire
+//! responds with its rendezvous point in SOAP reply. After that, both
+//! sides will create RTP agents on this rendezvous" (§3.2).
+//! [`CommunityBridge`] runs that flow against any
+//! [`CollaborationServer`] — the Admire service, a third-party MCU, a
+//! HearMe-style VoIP bridge.
+
+use std::collections::HashMap;
+
+use mmcs_admire::agent::RtpAgent;
+use mmcs_util::id::{SessionId, TerminalId};
+use mmcs_xgsp::wsdl_ci::{CiError, CollaborationServer};
+
+/// One bridged session's state.
+#[derive(Debug)]
+pub struct BridgedSession {
+    /// The rendezvous address the community answered with.
+    pub remote_rendezvous: String,
+    /// Our RTP agent at the rendezvous.
+    pub agent: RtpAgent,
+}
+
+/// Bridges XGSP sessions into one community. See the [module docs](self).
+pub struct CommunityBridge {
+    community: String,
+    server: Box<dyn CollaborationServer>,
+    bridged: HashMap<SessionId, BridgedSession>,
+    local_rendezvous: String,
+}
+
+impl CommunityBridge {
+    /// Wraps a community's collaboration server; `local_rendezvous` is
+    /// the address Global-MMCS proposes for the RTP agents.
+    pub fn new(
+        community: impl Into<String>,
+        server: Box<dyn CollaborationServer>,
+        local_rendezvous: impl Into<String>,
+    ) -> Self {
+        Self {
+            community: community.into(),
+            server,
+            bridged: HashMap::new(),
+            local_rendezvous: local_rendezvous.into(),
+        }
+    }
+
+    /// The community name.
+    pub fn community(&self) -> &str {
+        &self.community
+    }
+
+    /// The bridged-session record, if this session is bridged.
+    pub fn bridged(&self, session: SessionId) -> Option<&BridgedSession> {
+        self.bridged.get(&session)
+    }
+
+    /// Mutable access (tests relay through the agent).
+    pub fn bridged_mut(&mut self, session: SessionId) -> Option<&mut BridgedSession> {
+        self.bridged.get_mut(&session)
+    }
+
+    /// The underlying collaboration server.
+    pub fn server(&self) -> &dyn CollaborationServer {
+        self.server.as_ref()
+    }
+
+    /// Mutable access to the underlying collaboration server.
+    pub fn server_mut(&mut self) -> &mut dyn CollaborationServer {
+        self.server.as_mut()
+    }
+
+    /// Bridges a session: establish it remotely, run the rendezvous
+    /// exchange, stand up our RTP agent. Returns the remote rendezvous.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CiError`] from the community.
+    pub fn bridge_session(&mut self, session: SessionId, name: &str) -> Result<String, CiError> {
+        self.server.establish_session(session, name)?;
+        let result = self.server.control(
+            session,
+            "rendezvous",
+            &[(
+                "proposedAddress".to_owned(),
+                self.local_rendezvous.clone(),
+            )],
+        )?;
+        let remote = result
+            .iter()
+            .find(|(name, _)| name == "admireAddress" || name == "rendezvous")
+            .map(|(_, value)| value.clone())
+            .ok_or_else(|| CiError::Refused("no rendezvous in reply".to_owned()))?;
+        let mut agent = RtpAgent::new(self.local_rendezvous.clone());
+        agent.start();
+        self.bridged.insert(
+            session,
+            BridgedSession {
+                remote_rendezvous: remote.clone(),
+                agent,
+            },
+        );
+        Ok(remote)
+    }
+
+    /// Mirrors a member join into the community.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CiError`].
+    pub fn mirror_join(
+        &mut self,
+        session: SessionId,
+        user: &str,
+        terminal: TerminalId,
+    ) -> Result<(), CiError> {
+        self.server.add_member(session, user, terminal)
+    }
+
+    /// Mirrors a member departure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CiError`].
+    pub fn mirror_leave(&mut self, session: SessionId, user: &str) -> Result<(), CiError> {
+        self.server.remove_member(session, user)
+    }
+
+    /// Unbridges (tears the mirrored session down, stops the agent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CiError`].
+    pub fn unbridge_session(&mut self, session: SessionId) -> Result<(), CiError> {
+        self.server.teardown_session(session)?;
+        if let Some(mut bridged) = self.bridged.remove(&session) {
+            bridged.agent.stop();
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for CommunityBridge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommunityBridge")
+            .field("community", &self.community)
+            .field("bridged", &self.bridged.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmcs_admire::agent::Direction;
+    use mmcs_admire::service::AdmireService;
+
+    fn bridge() -> CommunityBridge {
+        CommunityBridge::new(
+            "admire.cn",
+            Box::new(AdmireService::new("admire.cn", "rdv.admire.cn")),
+            "rdv.mmcs.example:8000",
+        )
+    }
+
+    #[test]
+    fn rendezvous_flow_stands_up_both_agents() {
+        let mut bridge = bridge();
+        let session = SessionId::from_raw(7);
+        let remote = bridge.bridge_session(session, "joint seminar").unwrap();
+        assert!(remote.starts_with("rdv.admire.cn:"));
+        let bridged = bridge.bridged(session).unwrap();
+        assert!(bridged.agent.is_started());
+        assert_eq!(bridged.agent.rendezvous(), "rdv.mmcs.example:8000");
+        assert_eq!(bridged.remote_rendezvous, remote);
+    }
+
+    #[test]
+    fn members_mirror_into_admire() {
+        let mut bridge = bridge();
+        let session = SessionId::from_raw(1);
+        bridge.bridge_session(session, "s").unwrap();
+        bridge
+            .mirror_join(session, "alice", TerminalId::from_raw(1))
+            .unwrap();
+        bridge
+            .mirror_join(session, "bob", TerminalId::from_raw(2))
+            .unwrap();
+        bridge.mirror_leave(session, "alice").unwrap();
+        assert!(matches!(
+            bridge.mirror_leave(session, "alice"),
+            Err(CiError::UnknownMember(_))
+        ));
+    }
+
+    #[test]
+    fn media_can_relay_through_the_agent() {
+        let mut bridge = bridge();
+        let session = SessionId::from_raw(2);
+        bridge.bridge_session(session, "s").unwrap();
+        let bridged = bridge.bridged_mut(session).unwrap();
+        bridged.agent.relay(Direction::Inbound, 1000).unwrap();
+        bridged.agent.relay(Direction::Outbound, 500).unwrap();
+        assert_eq!(bridged.agent.inbound_stats().0, 1);
+    }
+
+    #[test]
+    fn unbridge_stops_everything() {
+        let mut bridge = bridge();
+        let session = SessionId::from_raw(3);
+        bridge.bridge_session(session, "s").unwrap();
+        bridge.unbridge_session(session).unwrap();
+        assert!(bridge.bridged(session).is_none());
+        assert!(matches!(
+            bridge.unbridge_session(session),
+            Err(CiError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn bridging_unknown_control_errors() {
+        let mut bridge = bridge();
+        let session = SessionId::from_raw(4);
+        bridge.bridge_session(session, "s").unwrap();
+        assert!(matches!(
+            bridge.server_mut().control(session, "warp", &[]),
+            Err(CiError::UnsupportedOperation(_))
+        ));
+    }
+}

@@ -1,0 +1,258 @@
+//! The HearMe VoIP community service.
+//!
+//! "We have built web-services of HearMe, a SIP based Voice-over-IP
+//! system. Similar interface can also be implemented based on other SIP
+//! or H.323 collaboration systems" (§3.2). HearMe was an audio-only
+//! conference bridge; its WSDL-CI facade mirrors XGSP sessions into
+//! HearMe audio rooms and supports dial-in/dial-out control operations.
+
+use std::collections::HashMap;
+
+use mmcs_util::id::{SessionId, TerminalId};
+use mmcs_xgsp::wsdl_ci::{CiError, CollaborationServer, OperationDescriptor, ServiceDescriptor};
+
+/// One HearMe audio room mirroring an XGSP session.
+#[derive(Debug, Default, Clone)]
+struct Room {
+    name: String,
+    participants: Vec<String>,
+    /// Phone numbers dialed out to (the PSTN side HearMe sold).
+    dialed_out: Vec<String>,
+    muted: Vec<String>,
+}
+
+/// The HearMe community service. Audio-only: it refuses video-related
+/// control operations, exactly the "limited collaboration capabilities"
+/// of a single-purpose community the paper's framework absorbs anyway.
+#[derive(Debug, Default)]
+pub struct HearMeService {
+    rooms: HashMap<SessionId, Room>,
+}
+
+impl HearMeService {
+    /// Creates the service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live rooms.
+    pub fn room_count(&self) -> usize {
+        self.rooms.len()
+    }
+
+    /// Participants of a mirrored session's room.
+    pub fn participants(&self, session: SessionId) -> &[String] {
+        self.rooms
+            .get(&session)
+            .map(|room| room.participants.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Whether a participant is muted.
+    pub fn is_muted(&self, session: SessionId, user: &str) -> bool {
+        self.rooms
+            .get(&session)
+            .is_some_and(|room| room.muted.iter().any(|m| m == user))
+    }
+}
+
+impl CollaborationServer for HearMeService {
+    fn descriptor(&self) -> ServiceDescriptor {
+        ServiceDescriptor {
+            service: "HearMeAudioService".into(),
+            community: "hearme.example".into(),
+            endpoint: "http://hearme.example/soap".into(),
+            operations: vec![
+                OperationDescriptor {
+                    name: "dialOut".into(),
+                    inputs: vec!["sessionId".into(), "phoneNumber".into()],
+                    outputs: vec!["status".into()],
+                },
+                OperationDescriptor {
+                    name: "muteParticipant".into(),
+                    inputs: vec!["sessionId".into(), "user".into()],
+                    outputs: vec!["status".into()],
+                },
+            ],
+        }
+    }
+
+    fn establish_session(&mut self, session: SessionId, name: &str) -> Result<(), CiError> {
+        self.rooms.insert(
+            session,
+            Room {
+                name: name.to_owned(),
+                ..Room::default()
+            },
+        );
+        Ok(())
+    }
+
+    fn add_member(
+        &mut self,
+        session: SessionId,
+        user: &str,
+        _terminal: TerminalId,
+    ) -> Result<(), CiError> {
+        let room = self
+            .rooms
+            .get_mut(&session)
+            .ok_or(CiError::UnknownSession(session))?;
+        if !room.participants.iter().any(|p| p == user) {
+            room.participants.push(user.to_owned());
+        }
+        Ok(())
+    }
+
+    fn remove_member(&mut self, session: SessionId, user: &str) -> Result<(), CiError> {
+        let room = self
+            .rooms
+            .get_mut(&session)
+            .ok_or(CiError::UnknownSession(session))?;
+        let before = room.participants.len();
+        room.participants.retain(|p| p != user);
+        room.muted.retain(|m| m != user);
+        if room.participants.len() == before {
+            return Err(CiError::UnknownMember(user.to_owned()));
+        }
+        Ok(())
+    }
+
+    fn control(
+        &mut self,
+        session: SessionId,
+        operation: &str,
+        args: &[(String, String)],
+    ) -> Result<Vec<(String, String)>, CiError> {
+        let room = self
+            .rooms
+            .get_mut(&session)
+            .ok_or(CiError::UnknownSession(session))?;
+        let arg = |name: &str| {
+            args.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+        };
+        match operation {
+            "dialOut" => {
+                let number = arg("phoneNumber")
+                    .ok_or_else(|| CiError::Refused("missing phoneNumber".into()))?;
+                room.dialed_out.push(number.clone());
+                room.participants.push(format!("pstn:{number}"));
+                Ok(vec![("status".into(), "ringing".into())])
+            }
+            "muteParticipant" => {
+                let user =
+                    arg("user").ok_or_else(|| CiError::Refused("missing user".into()))?;
+                if !room.participants.iter().any(|p| *p == user) {
+                    return Err(CiError::UnknownMember(user));
+                }
+                if !room.muted.contains(&user) {
+                    room.muted.push(user);
+                }
+                Ok(vec![("status".into(), "muted".into())])
+            }
+            // The audio-only community cannot do these.
+            "rendezvous" | "selectVideo" => Err(CiError::Refused(format!(
+                "HearMe is audio-only; {operation:?} unsupported for room {:?}",
+                room.name
+            ))),
+            other => Err(CiError::UnsupportedOperation(other.to_owned())),
+        }
+    }
+
+    fn teardown_session(&mut self, session: SessionId) -> Result<(), CiError> {
+        self.rooms
+            .remove(&session)
+            .map(|_| ())
+            .ok_or(CiError::UnknownSession(session))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid() -> SessionId {
+        SessionId::from_raw(3)
+    }
+
+    #[test]
+    fn lifecycle_and_dial_out() {
+        let mut hearme = HearMeService::new();
+        hearme.establish_session(sid(), "earnings call").unwrap();
+        hearme
+            .add_member(sid(), "alice", TerminalId::from_raw(1))
+            .unwrap();
+        let result = hearme
+            .control(
+                sid(),
+                "dialOut",
+                &[("phoneNumber".into(), "+1-555-0100".into())],
+            )
+            .unwrap();
+        assert_eq!(result[0].1, "ringing");
+        assert_eq!(hearme.participants(sid()).len(), 2);
+        assert!(hearme
+            .participants(sid())
+            .iter()
+            .any(|p| p == "pstn:+1-555-0100"));
+        hearme.teardown_session(sid()).unwrap();
+        assert_eq!(hearme.room_count(), 0);
+    }
+
+    #[test]
+    fn mute_and_unknown_member() {
+        let mut hearme = HearMeService::new();
+        hearme.establish_session(sid(), "room").unwrap();
+        hearme
+            .add_member(sid(), "bob", TerminalId::from_raw(2))
+            .unwrap();
+        hearme
+            .control(sid(), "muteParticipant", &[("user".into(), "bob".into())])
+            .unwrap();
+        assert!(hearme.is_muted(sid(), "bob"));
+        assert!(matches!(
+            hearme.control(sid(), "muteParticipant", &[("user".into(), "ghost".into())]),
+            Err(CiError::UnknownMember(_))
+        ));
+        // Removing bob clears the mute too.
+        hearme.remove_member(sid(), "bob").unwrap();
+        assert!(!hearme.is_muted(sid(), "bob"));
+    }
+
+    #[test]
+    fn audio_only_refuses_video_controls() {
+        let mut hearme = HearMeService::new();
+        hearme.establish_session(sid(), "room").unwrap();
+        assert!(matches!(
+            hearme.control(sid(), "selectVideo", &[]),
+            Err(CiError::Refused(_))
+        ));
+        assert!(matches!(
+            hearme.control(sid(), "rendezvous", &[]),
+            Err(CiError::Refused(_))
+        ));
+    }
+
+    #[test]
+    fn works_behind_the_community_bridge() {
+        use crate::bridge::CommunityBridge;
+        let mut bridge = CommunityBridge::new(
+            "hearme.example",
+            Box::new(HearMeService::new()),
+            "rdv.mmcs:8100",
+        );
+        // HearMe refuses the rendezvous control, so bridging (which is a
+        // video-plane concept) fails cleanly…
+        assert!(bridge.bridge_session(sid(), "call").is_err());
+        // …but membership mirroring still works through the trait.
+        bridge
+            .server_mut()
+            .establish_session(SessionId::from_raw(9), "call")
+            .unwrap();
+        bridge
+            .mirror_join(SessionId::from_raw(9), "alice", TerminalId::from_raw(1))
+            .unwrap();
+    }
+}

@@ -1,0 +1,55 @@
+//! Global-MMCS: the Global Multimedia Collaboration System.
+//!
+//! This crate is the paper's headline artifact: the integration layer
+//! that makes one conference span H.323 endpoints, SIP endpoints,
+//! IM-born ad-hoc groups, the Admire community and streaming players —
+//! all over a NaradaBrokering-style event broker, coordinated by the
+//! XGSP session server and described/driven through web services.
+//!
+//! * [`system`] — [`system::GlobalMmcs`]: owns every server (XGSP
+//!   session server, directories, calendar, gatekeeper, gateways, IM,
+//!   presence, Helix, archive, the broker network) and routes each
+//!   protocol's messages to its gateway and the resulting notifications
+//!   back out to the right endpoints.
+//! * [`web`] — the XGSP web server: the SOAP facade (`createSession`,
+//!   `join`, `schedule`, …) and the calendar-driven opening of
+//!   scheduled meetings.
+//! * [`avs`] — the A/V service: active-speaker selection and video
+//!   switching over the session's media streams.
+//! * [`bridge`] — community bridging: mirror a session into a WSDL-CI
+//!   collaboration server and run the paper's SOAP rendezvous exchange
+//!   with Admire.
+//! * [`hearme`] — the HearMe audio-only VoIP community service the
+//!   paper reports having wrapped in web services.
+//! * [`accessgrid`] — the Access Grid community: venues bound to
+//!   multicast groups, bridged through multicast relays.
+//! * [`quality`] — RTCP-driven conference quality monitoring.
+//!
+//! # Examples
+//!
+//! ```
+//! use global_mmcs::system::GlobalMmcs;
+//! use mmcs_xgsp::media::{MediaDescription, MediaKind};
+//! use mmcs_xgsp::message::{SessionMode, XgspMessage};
+//!
+//! let mut mmcs = GlobalMmcs::new();
+//! let outputs = mmcs.handle_xgsp(
+//!     Some("alice"),
+//!     XgspMessage::CreateSession {
+//!         name: "quickstart".into(),
+//!         mode: SessionMode::AdHoc,
+//!         media: vec![MediaDescription::new(MediaKind::Audio, "PCMU")],
+//!     },
+//! );
+//! assert!(!outputs.is_empty());
+//! ```
+
+pub mod accessgrid;
+pub mod avs;
+pub mod bridge;
+pub mod hearme;
+pub mod quality;
+pub mod system;
+pub mod web;
+
+pub use system::GlobalMmcs;

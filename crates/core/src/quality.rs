@@ -1,0 +1,210 @@
+//! Conference quality monitoring from RTCP receiver reports.
+//!
+//! The messaging middleware "helps to ensure QoS requirements of
+//! various collaboration applications over diverse network
+//! environments" (§2). The monitor aggregates the RTCP receiver reports
+//! each member's RTP proxy forwards, keeps per-member reception state,
+//! and flags members whose loss or jitter exceed the interactive-quality
+//! bar — the signal an operator (or an adaptive layer) acts on.
+
+use std::collections::HashMap;
+
+use mmcs_rtp::rtcp::ReportBlock;
+use mmcs_util::id::SessionId;
+use mmcs_util::time::SimTime;
+
+/// Quality thresholds for "good" interactive A/V.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityBar {
+    /// Maximum acceptable loss fraction.
+    pub max_loss: f64,
+    /// Maximum acceptable jitter in milliseconds.
+    pub max_jitter_ms: f64,
+}
+
+impl Default for QualityBar {
+    /// 2 % loss, 60 ms jitter — the usual conferencing bar.
+    fn default() -> Self {
+        Self {
+            max_loss: 0.02,
+            max_jitter_ms: 60.0,
+        }
+    }
+}
+
+/// One member's latest reception state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberQuality {
+    /// Loss fraction from the latest report.
+    pub loss: f64,
+    /// Jitter in milliseconds from the latest report.
+    pub jitter_ms: f64,
+    /// Cumulative packets lost.
+    pub cumulative_lost: u32,
+    /// When the latest report arrived.
+    pub reported_at: SimTime,
+}
+
+/// The per-session quality monitor.
+#[derive(Debug, Default)]
+pub struct QualityMonitor {
+    bar: QualityBar,
+    members: HashMap<(SessionId, String), MemberQuality>,
+}
+
+impl QualityMonitor {
+    /// Creates a monitor with the default quality bar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the quality bar, builder style.
+    pub fn with_bar(mut self, bar: QualityBar) -> Self {
+        self.bar = bar;
+        self
+    }
+
+    /// Ingests one RTCP report block from a member, with the RTP clock
+    /// rate of the reported stream (to convert jitter to ms).
+    pub fn ingest(
+        &mut self,
+        session: SessionId,
+        member: &str,
+        block: &ReportBlock,
+        clock_rate: u32,
+        now: SimTime,
+    ) {
+        let jitter_ms = block.jitter as f64 / clock_rate.max(1) as f64 * 1e3;
+        self.members.insert(
+            (session, member.to_owned()),
+            MemberQuality {
+                loss: block.fraction_lost as f64 / 256.0,
+                jitter_ms,
+                cumulative_lost: block.cumulative_lost,
+                reported_at: now,
+            },
+        );
+    }
+
+    /// A member's latest quality, if reported.
+    pub fn member(&self, session: SessionId, member: &str) -> Option<&MemberQuality> {
+        self.members.get(&(session, member.to_owned()))
+    }
+
+    /// Members of a session currently below the quality bar, sorted by
+    /// name (worst problems are an operator display; determinism aids
+    /// testing).
+    pub fn degraded(&self, session: SessionId) -> Vec<(&str, &MemberQuality)> {
+        let mut out: Vec<(&str, &MemberQuality)> = self
+            .members
+            .iter()
+            .filter(|((s, _), q)| {
+                *s == session && (q.loss > self.bar.max_loss || q.jitter_ms > self.bar.max_jitter_ms)
+            })
+            .map(|((_, member), q)| (member.as_str(), q))
+            .collect();
+        out.sort_by_key(|(member, _)| *member);
+        out
+    }
+
+    /// Whether every reporting member of the session meets the bar.
+    pub fn session_is_good(&self, session: SessionId) -> bool {
+        self.degraded(session).is_empty()
+    }
+
+    /// Drops a member's state (they left).
+    pub fn forget_member(&mut self, session: SessionId, member: &str) {
+        self.members.remove(&(session, member.to_owned()));
+    }
+
+    /// Drops a session's state.
+    pub fn forget_session(&mut self, session: SessionId) {
+        self.members.retain(|(s, _), _| *s != session);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(fraction_lost: u8, jitter_units: u32) -> ReportBlock {
+        ReportBlock {
+            ssrc: 1,
+            fraction_lost,
+            cumulative_lost: 10,
+            highest_seq: 100,
+            jitter: jitter_units,
+            last_sr: 0,
+            delay_since_last_sr: 0,
+        }
+    }
+
+    fn sid() -> SessionId {
+        SessionId::from_raw(1)
+    }
+
+    #[test]
+    fn good_reports_keep_the_session_good() {
+        let mut monitor = QualityMonitor::new();
+        // 0.4% loss, 10 ms jitter at 8 kHz (80 units).
+        monitor.ingest(sid(), "alice", &block(1, 80), 8000, SimTime::ZERO);
+        assert!(monitor.session_is_good(sid()));
+        let q = monitor.member(sid(), "alice").unwrap();
+        assert!((q.jitter_ms - 10.0).abs() < 1e-9);
+        assert!(q.loss < 0.01);
+    }
+
+    #[test]
+    fn lossy_member_is_flagged() {
+        let mut monitor = QualityMonitor::new();
+        monitor.ingest(sid(), "alice", &block(1, 80), 8000, SimTime::ZERO);
+        // 12.5% loss.
+        monitor.ingest(sid(), "bob", &block(32, 80), 8000, SimTime::ZERO);
+        let degraded = monitor.degraded(sid());
+        assert_eq!(degraded.len(), 1);
+        assert_eq!(degraded[0].0, "bob");
+        assert!(!monitor.session_is_good(sid()));
+    }
+
+    #[test]
+    fn jittery_member_is_flagged() {
+        let mut monitor = QualityMonitor::new();
+        // 100 ms jitter at 90 kHz = 9000 units.
+        monitor.ingest(sid(), "carol", &block(0, 9000), 90_000, SimTime::ZERO);
+        assert_eq!(monitor.degraded(sid()).len(), 1);
+    }
+
+    #[test]
+    fn newer_reports_replace_older() {
+        let mut monitor = QualityMonitor::new();
+        monitor.ingest(sid(), "alice", &block(64, 80), 8000, SimTime::ZERO);
+        assert!(!monitor.session_is_good(sid()));
+        monitor.ingest(sid(), "alice", &block(0, 80), 8000, SimTime::from_secs(5));
+        assert!(monitor.session_is_good(sid()));
+        assert_eq!(
+            monitor.member(sid(), "alice").unwrap().reported_at,
+            SimTime::from_secs(5)
+        );
+    }
+
+    #[test]
+    fn forgetting_clears_state() {
+        let mut monitor = QualityMonitor::new();
+        monitor.ingest(sid(), "alice", &block(64, 80), 8000, SimTime::ZERO);
+        monitor.forget_member(sid(), "alice");
+        assert!(monitor.session_is_good(sid()));
+        monitor.ingest(sid(), "bob", &block(64, 80), 8000, SimTime::ZERO);
+        monitor.forget_session(sid());
+        assert!(monitor.member(sid(), "bob").is_none());
+    }
+
+    #[test]
+    fn custom_bar_applies() {
+        let mut monitor = QualityMonitor::new().with_bar(QualityBar {
+            max_loss: 0.5,
+            max_jitter_ms: 1000.0,
+        });
+        monitor.ingest(sid(), "alice", &block(64, 9000), 90_000, SimTime::ZERO);
+        assert!(monitor.session_is_good(sid()), "lenient bar tolerates it");
+    }
+}

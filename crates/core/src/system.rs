@@ -1,0 +1,580 @@
+//! [`GlobalMmcs`]: the assembled system.
+//!
+//! One value owning every server in Figure 2 of the paper, with the
+//! message routing between them:
+//!
+//! * protocol ingress: [`GlobalMmcs::handle_sip`],
+//!   [`GlobalMmcs::handle_h323`], [`GlobalMmcs::handle_stanza`],
+//!   [`GlobalMmcs::handle_xgsp`];
+//! * XGSP effects: broker topic commands create Helix streams and
+//!   RealProducers, notifications are translated per endpoint protocol
+//!   and returned as [`Egress`] items;
+//! * media plane: [`GlobalMmcs::publish_rtp`] publishes into the broker
+//!   network; deliveries to subscribed endpoints come back, and the
+//!   media service taps every session topic to feed streaming/archive.
+
+use std::collections::HashMap;
+
+use mmcs_broker::event::EventClass;
+use mmcs_broker::network::{BrokerNetwork, NetworkError};
+use mmcs_broker::topic::{Topic, TopicFilter};
+use mmcs_directory::communities::CommunityDirectory;
+use mmcs_directory::users::UserDirectory;
+use mmcs_h323::gatekeeper::Gatekeeper;
+use mmcs_h323::gateway::H323Gateway;
+use mmcs_h323::msg::H323Message;
+use mmcs_im::server::{ImServer, Outgoing};
+use mmcs_im::stanza::Stanza;
+use mmcs_rtp::packet::RtpPacket;
+use mmcs_sip::gateway::SipGateway;
+use mmcs_sip::message::{SipMessage, SipMethod, StartLine};
+use mmcs_sip::presence::PresenceServer;
+use mmcs_sip::proxy::{Proxy, ProxyAction};
+use mmcs_sip::registrar::Registrar;
+use mmcs_streaming::archive::Archive;
+use mmcs_streaming::helix::HelixServer;
+use mmcs_streaming::producer::RealProducer;
+use mmcs_util::id::{BrokerId, ClientId, SessionId};
+use mmcs_util::time::SimTime;
+use mmcs_util::xml::Element;
+use mmcs_xgsp::calendar::Calendar;
+use mmcs_xgsp::message::XgspMessage;
+use mmcs_xgsp::server::{BrokerCommand, ServerOutput, SessionServer};
+
+use crate::avs::MediaSwitch;
+use crate::quality::QualityMonitor;
+
+/// How a user's endpoint is reached (for notification translation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EndpointKind {
+    /// A SIP UA at this URI (notifications become SIP NOTIFY).
+    Sip(String),
+    /// An IM client (notifications become message stanzas).
+    Im(String),
+    /// An H.323 terminal (no notification channel; state arrives via
+    /// H.245/Q.931 which the gateway already drives).
+    H323,
+}
+
+/// An outbound item produced while handling ingress.
+#[derive(Debug, Clone)]
+pub enum Egress {
+    /// A SIP message toward a UA.
+    Sip(SipMessage),
+    /// An IM stanza toward a JID.
+    Stanza {
+        /// Recipient JID.
+        to: String,
+        /// The stanza.
+        stanza: Stanza,
+    },
+    /// An H.323 message toward a terminal.
+    H323(H323Message),
+    /// An RTP media delivery to a subscribed media client.
+    Media {
+        /// The broker client that received it.
+        client: ClientId,
+        /// The topic it arrived on.
+        topic: String,
+        /// The decoded RTP packet.
+        rtp: RtpPacket,
+    },
+}
+
+/// The assembled Global-MMCS. See the [module docs](self).
+pub struct GlobalMmcs {
+    session_server: SessionServer,
+    broker_node: BrokerId,
+    users: UserDirectory,
+    communities: CommunityDirectory,
+    calendar: Calendar,
+    broker: BrokerNetwork,
+    media_service: ClientId,
+    sip_gateway: SipGateway,
+    sip_proxy: Proxy,
+    registrar: Registrar,
+    presence: PresenceServer,
+    gatekeeper: Gatekeeper,
+    h323_gateway: H323Gateway,
+    im: ImServer,
+    helix: HelixServer,
+    archive: Archive,
+    switch: MediaSwitch,
+    quality: QualityMonitor,
+    endpoints: HashMap<String, EndpointKind>,
+    producers: HashMap<String, RealProducer>,
+    media_clients: HashMap<ClientId, String>,
+    now: SimTime,
+}
+
+impl GlobalMmcs {
+    /// Assembles a system with one broker and default server settings.
+    pub fn new() -> Self {
+        let mut broker = BrokerNetwork::new();
+        let node = broker.add_broker();
+        let media_service = broker.attach_client(node);
+        broker
+            .subscribe(media_service, TopicFilter::parse("globalmmcs/#").expect("static filter"))
+            .expect("fresh client");
+        Self {
+            session_server: SessionServer::new(),
+            broker_node: node,
+            users: UserDirectory::new(),
+            communities: CommunityDirectory::new(),
+            calendar: Calendar::new(),
+            broker,
+            media_service,
+            sip_gateway: SipGateway::new("mmcs.example", "rtp-proxy.mmcs.example"),
+            sip_proxy: Proxy::new("proxy.mmcs.example"),
+            registrar: Registrar::new(),
+            presence: PresenceServer::new(),
+            gatekeeper: Gatekeeper::new("gk.mmcs.example", "gw.mmcs.example:1720", 1_000_000),
+            h323_gateway: H323Gateway::new("gw.mmcs.example:2720", "rtp-proxy.mmcs.example:5004"),
+            im: ImServer::new(),
+            helix: HelixServer::new(),
+            archive: Archive::new(),
+            switch: MediaSwitch::new(),
+            quality: QualityMonitor::new(),
+            endpoints: HashMap::new(),
+            producers: HashMap::new(),
+            media_clients: HashMap::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Advances the system clock (expiry checks use it).
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// The current system clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The XGSP session server (read access).
+    pub fn session_server(&self) -> &SessionServer {
+        &self.session_server
+    }
+
+    /// The user/terminal directory.
+    pub fn users_mut(&mut self) -> &mut UserDirectory {
+        &mut self.users
+    }
+
+    /// The community directory.
+    pub fn communities_mut(&mut self) -> &mut CommunityDirectory {
+        &mut self.communities
+    }
+
+    /// The meeting calendar.
+    pub fn calendar_mut(&mut self) -> &mut Calendar {
+        &mut self.calendar
+    }
+
+    /// The IM server.
+    pub fn im(&self) -> &ImServer {
+        &self.im
+    }
+
+    /// The streaming server.
+    pub fn helix(&self) -> &HelixServer {
+        &self.helix
+    }
+
+    /// Mutable streaming server (RTSP control path).
+    pub fn helix_mut(&mut self) -> &mut HelixServer {
+        &mut self.helix
+    }
+
+    /// The archive.
+    pub fn archive_mut(&mut self) -> &mut Archive {
+        &mut self.archive
+    }
+
+    /// The A/V switch.
+    pub fn switch_mut(&mut self) -> &mut MediaSwitch {
+        &mut self.switch
+    }
+
+    /// The RTCP-driven quality monitor.
+    pub fn quality(&self) -> &QualityMonitor {
+        &self.quality
+    }
+
+    /// Ingests an RTCP receiver report forwarded by a member's RTP
+    /// proxy.
+    pub fn ingest_rtcp(
+        &mut self,
+        session: SessionId,
+        member: &str,
+        block: &mmcs_rtp::rtcp::ReportBlock,
+        clock_rate: u32,
+    ) {
+        let now = self.now;
+        self.quality.ingest(session, member, block, clock_rate, now);
+    }
+
+    /// Authenticates a user against the directory and joins them to a
+    /// session with their active terminal — the "unique user
+    /// identifications help to authenticate valid users and bind the
+    /// user to his media terminal" flow (§2.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns the directory error as a string for bad credentials or a
+    /// missing active terminal; XGSP-level failures come back in the
+    /// returned outputs like any other join.
+    pub fn join_authenticated(
+        &mut self,
+        name: &str,
+        password: &str,
+        session: SessionId,
+    ) -> Result<Vec<ServerOutput>, String> {
+        let user = self
+            .users
+            .authenticate(name, password)
+            .map_err(|e| e.to_string())?;
+        let terminal = self
+            .users
+            .active_terminal(user)
+            .ok_or_else(|| format!("user {name} has no active terminal"))?;
+        let terminal_id = terminal.id;
+        let media = terminal
+            .capabilities
+            .iter()
+            .filter_map(|capability| {
+                let (kind, codec) = capability.split_once('/')?;
+                let kind = mmcs_xgsp::media::MediaKind::from_str_opt(kind)?;
+                Some(mmcs_xgsp::media::MediaDescription::new(kind, codec))
+            })
+            .collect();
+        Ok(self.handle_xgsp(
+            Some(name),
+            XgspMessage::Join {
+                session,
+                user: name.to_owned(),
+                terminal: terminal_id,
+                media,
+            },
+        ))
+    }
+
+    /// The H.323 gatekeeper.
+    pub fn gatekeeper_mut(&mut self) -> &mut Gatekeeper {
+        &mut self.gatekeeper
+    }
+
+    /// The SIP registrar.
+    pub fn registrar(&self) -> &Registrar {
+        &self.registrar
+    }
+
+    /// Declares how a user's endpoint is reached, for notification
+    /// translation.
+    pub fn bind_endpoint(&mut self, user: impl Into<String>, kind: EndpointKind) {
+        self.endpoints.insert(user.into(), kind);
+    }
+
+    /// Attaches a media-plane client subscribed to a session's media
+    /// topic; RTP published to the topic comes back as [`Egress::Media`]
+    /// for this client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates broker subscription errors.
+    pub fn attach_media_client(
+        &mut self,
+        user: impl Into<String>,
+        topic: &str,
+    ) -> Result<ClientId, NetworkError> {
+        let filter = TopicFilter::parse(topic).expect("caller passes topics from JoinAck");
+        let client = self.broker.attach_client(self.broker_node);
+        self.broker.subscribe(client, filter)?;
+        self.media_clients.insert(client, user.into());
+        Ok(client)
+    }
+
+    /// Publishes an RTP packet from a media client onto a session topic;
+    /// returns every egress the publish caused (deliveries to other
+    /// media clients; streaming/archiving happen internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` was not attached through this system.
+    pub fn publish_rtp(&mut self, client: ClientId, topic: &str, rtp: &RtpPacket) -> Vec<Egress> {
+        let parsed = Topic::parse(topic).expect("caller passes topics from JoinAck");
+        self.broker
+            .publish_class(client, parsed, EventClass::Rtp, rtp.encode());
+        self.drain_media()
+    }
+
+    /// Drains broker deliveries into egress + streaming side effects.
+    fn drain_media(&mut self) -> Vec<Egress> {
+        let mut egress = Vec::new();
+        for delivery in self.broker.drain_deliveries() {
+            let topic = delivery.event.topic.to_string();
+            let Ok(rtp) = RtpPacket::decode(&delivery.event.payload) else {
+                continue;
+            };
+            if delivery.client == self.media_service {
+                // The media service taps every topic: feed the producer
+                // for this stream, the Helix server and the archive.
+                let producer = self
+                    .producers
+                    .entry(topic.clone())
+                    .or_insert_with(|| RealProducer::new(topic.clone()));
+                producer.ingest(&rtp, self.now);
+                for chunk in producer.drain() {
+                    self.archive.observe(&chunk);
+                    self.helix.feed(chunk);
+                }
+            } else {
+                egress.push(Egress::Media {
+                    client: delivery.client,
+                    topic,
+                    rtp,
+                });
+            }
+        }
+        egress
+    }
+
+    /// Handles an XGSP message directly (the web-services path), routing
+    /// notifications to bound endpoints. Returns protocol egress; the
+    /// raw XGSP replies are available via the returned outputs of
+    /// [`SessionServer`] semantics — callers needing them should use
+    /// [`GlobalMmcs::handle_xgsp`].
+    pub fn handle_xgsp(&mut self, from: Option<&str>, message: XgspMessage) -> Vec<ServerOutput> {
+        // Keep the A/V switch in step with selection and membership.
+        match &message {
+            XgspMessage::MediaControl {
+                session,
+                user,
+                op: mmcs_xgsp::message::MediaOp::Select,
+                kind,
+            } if kind == "video" => {
+                self.switch.pin(*session, Some(user));
+            }
+            XgspMessage::Leave { session, user } => {
+                self.switch.remove_member(*session, user);
+            }
+            XgspMessage::TerminateSession { session } => {
+                self.switch.remove_session(*session);
+            }
+            _ => {}
+        }
+        let outputs = self.session_server.handle(from, message);
+        self.apply_outputs(&outputs);
+        outputs
+    }
+
+    /// The currently selected (broadcast) video source for a session,
+    /// driven by audio activity reports and chair pins.
+    pub fn selected_video(&self, session: SessionId) -> Option<&str> {
+        self.switch.selected(session)
+    }
+
+    /// Reports a member's audio energy to the A/V switch (the RTP
+    /// proxies do this from RTCP in the full deployment).
+    pub fn report_audio_level(&mut self, session: SessionId, user: &str, level: f64) {
+        let now = self.now;
+        self.switch.report_audio(session, user, level, now);
+    }
+
+    /// Applies XGSP server outputs: broker commands create/remove
+    /// streaming taps; notifications/invites become egress.
+    fn apply_outputs(&mut self, outputs: &[ServerOutput]) -> Vec<Egress> {
+        let mut egress = Vec::new();
+        for output in outputs {
+            match output {
+                ServerOutput::Broker(BrokerCommand::CreateTopic(topic)) => {
+                    self.helix.add_stream(topic.clone());
+                    self.producers
+                        .entry(topic.clone())
+                        .or_insert_with(|| RealProducer::new(topic.clone()));
+                }
+                ServerOutput::Broker(BrokerCommand::RemoveTopic(topic)) => {
+                    self.producers.remove(topic);
+                }
+                ServerOutput::Notify { user, message } => {
+                    if let Some(item) = self.notification_egress(user, message) {
+                        egress.push(item);
+                    }
+                }
+                ServerOutput::Invite { to, message } => {
+                    if let Some(item) = self.notification_egress(to, message) {
+                        egress.push(item);
+                    }
+                }
+                ServerOutput::Reply(_) => {}
+            }
+        }
+        egress
+    }
+
+    /// Translates one XGSP notification for a user's endpoint (public
+    /// so operators/tests can preview the mapping).
+    pub fn egress_for_notification(&self, user: &str, message: &XgspMessage) -> Option<Egress> {
+        self.notification_egress(user, message)
+    }
+
+    /// Translates one XGSP notification for a user's endpoint.
+    fn notification_egress(&self, user: &str, message: &XgspMessage) -> Option<Egress> {
+        match self.endpoints.get(user) {
+            Some(EndpointKind::Sip(uri)) => Some(Egress::Sip(
+                SipMessage::request(SipMethod::Notify, uri.clone())
+                    .with_header("Via", "SIP/2.0/UDP mmcs.example;branch=z9hG4bK-core")
+                    .with_header("From", "<sip:mmcs@mmcs.example>")
+                    .with_header("To", format!("<{uri}>"))
+                    .with_header("Event", "conference")
+                    .with_body("application/xgsp+xml", message.to_xml()),
+            )),
+            Some(EndpointKind::Im(jid)) => Some(Egress::Stanza {
+                to: jid.clone(),
+                stanza: Stanza::Message {
+                    from: "mmcs".into(),
+                    to: jid.clone(),
+                    body: message.to_xml(),
+                },
+            }),
+            Some(EndpointKind::H323) | None => None,
+        }
+    }
+
+    /// Handles a SIP request: REGISTER → registrar, SUBSCRIBE →
+    /// presence, conference URIs → gateway (XGSP), anything else →
+    /// proxy. Returns the SIP messages to send.
+    pub fn handle_sip(&mut self, request: &SipMessage) -> Vec<SipMessage> {
+        let StartLine::Request { method, uri } = &request.start else {
+            // A response: route through the proxy's Via handling.
+            return match self.sip_proxy.handle_response(request) {
+                ProxyAction::ForwardResponse { response, .. } => vec![response],
+                ProxyAction::Respond(response) => vec![response],
+                ProxyAction::ForwardRequest { request, .. } => vec![request],
+            };
+        };
+        match method {
+            SipMethod::Register => vec![self.registrar.handle_register(request, self.now)],
+            SipMethod::Subscribe => self.presence.handle_subscribe(request, self.now),
+            _ if self.sip_gateway.is_conference_uri(uri) => {
+                let replies = self
+                    .sip_gateway
+                    .handle_request(request, &mut self.session_server);
+                // The gateway's session mutations may have created topics.
+                self.sync_streams();
+                replies
+            }
+            _ => match self.sip_proxy.handle_request(request, &self.registrar, self.now) {
+                ProxyAction::ForwardRequest { request, .. } => vec![request],
+                ProxyAction::ForwardResponse { response, .. } => vec![response],
+                ProxyAction::Respond(response) => vec![response],
+            },
+        }
+    }
+
+    /// Handles an H.323 message: RAS → gatekeeper, Q.931/H.245 →
+    /// gateway (XGSP).
+    pub fn handle_h323(&mut self, message: &H323Message) -> Vec<H323Message> {
+        match message {
+            H323Message::Ras(ras) => vec![H323Message::Ras(self.gatekeeper.handle(ras))],
+            other => {
+                let replies = self.h323_gateway.handle(other, &mut self.session_server);
+                self.sync_streams();
+                replies
+            }
+        }
+    }
+
+    /// Handles an IM stanza.
+    pub fn handle_stanza(&mut self, stanza: Stanza) -> Vec<Outgoing> {
+        self.im.handle(stanza)
+    }
+
+    /// Escalates an IM room into an ad-hoc session, delivering invites.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`mmcs_im::adhoc::EscalateError`].
+    pub fn escalate_room(
+        &mut self,
+        room: &str,
+        initiator: &str,
+    ) -> Result<mmcs_im::adhoc::Escalation, mmcs_im::adhoc::EscalateError> {
+        let terminal = mmcs_util::id::TerminalId::from_raw(1);
+        let escalation = mmcs_im::adhoc::escalate_room(
+            &self.im,
+            &mut self.session_server,
+            room,
+            initiator,
+            terminal,
+        )?;
+        self.sync_streams();
+        Ok(escalation)
+    }
+
+    /// Ensures every live session's media topics have streaming taps.
+    fn sync_streams(&mut self) {
+        let topics: Vec<String> = self
+            .session_server
+            .session_ids()
+            .filter_map(|id| self.session_server.session(id))
+            .flat_map(|session| session.streams().iter().map(|s| s.topic.clone()))
+            .collect();
+        for topic in topics {
+            self.helix.add_stream(topic.clone());
+            self.producers
+                .entry(topic.clone())
+                .or_insert_with(|| RealProducer::new(topic));
+        }
+    }
+
+    /// Renders the system's WSDL-CI directory as a web page-ish XML
+    /// summary (the XGSP naming & directory server's listing).
+    pub fn directory_listing(&self) -> Element {
+        let mut root = Element::new("globalmmcs-directory");
+        for community in self.communities.communities() {
+            let mut community_el = Element::new("community").with_attr("name", &community.name);
+            for server in &community.servers {
+                community_el.push_child(
+                    Element::new("server")
+                        .with_attr("service", &server.service)
+                        .with_attr("kind", &server.kind)
+                        .with_attr("endpoint", &server.endpoint),
+                );
+            }
+            root.push_child(community_el);
+        }
+        let mut sessions_el = Element::new("sessions");
+        let mut ids: Vec<SessionId> = self.session_server.session_ids().collect();
+        ids.sort();
+        for id in ids {
+            if let Some(session) = self.session_server.session(id) {
+                sessions_el.push_child(
+                    Element::new("session")
+                        .with_attr("id", id.value().to_string())
+                        .with_attr("name", session.name())
+                        .with_attr("members", session.member_count().to_string()),
+                );
+            }
+        }
+        root.push_child(sessions_el);
+        root
+    }
+}
+
+impl Default for GlobalMmcs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for GlobalMmcs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalMmcs")
+            .field("sessions", &self.session_server.session_count())
+            .field("users", &self.users.user_count())
+            .field("now", &self.now)
+            .finish()
+    }
+}

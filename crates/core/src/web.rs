@@ -1,0 +1,448 @@
+//! The XGSP web server: the SOAP facade and scheduled-meeting opening.
+//!
+//! "The XGSP Web Server … can invoke web-services provided by other
+//! communities" and users "log into some web site … to make reservation
+//! of some virtual meeting room" (§2.1, §3.2). [`XgspWebServer`]
+//! publishes the session operations over SOAP (`createSession`, `join`,
+//! `leave`, `terminate`, `schedule`, `listSessions`) and turns due
+//! calendar reservations into live scheduled sessions.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mmcs_soap::envelope::SoapFault;
+use mmcs_soap::service::SoapServer;
+use mmcs_util::id::{SessionId, TerminalId};
+use mmcs_util::time::{SimDuration, SimTime};
+use mmcs_xgsp::calendar::Calendar;
+use mmcs_xgsp::media::{MediaDescription, MediaKind};
+use mmcs_xgsp::message::{SessionMode, XgspMessage};
+use mmcs_xgsp::server::{ServerOutput, SessionServer};
+
+/// Which reservations have already been opened.
+#[derive(Debug, Default)]
+struct OpenedLog {
+    opened: Vec<u64>,
+}
+
+/// The shared state behind the SOAP handlers.
+pub struct WebState {
+    /// The XGSP session server.
+    pub sessions: SessionServer,
+    /// The meeting calendar.
+    pub calendar: Calendar,
+    opened: OpenedLog,
+}
+
+/// The XGSP web server. See the [module docs](self).
+pub struct XgspWebServer {
+    state: Rc<RefCell<WebState>>,
+}
+
+/// A handle for direct (non-SOAP) access to the shared state.
+pub type SharedWebState = Rc<RefCell<WebState>>;
+
+impl XgspWebServer {
+    /// Creates a web server around fresh state.
+    pub fn new() -> Self {
+        Self {
+            state: Rc::new(RefCell::new(WebState {
+                sessions: SessionServer::new(),
+                calendar: Calendar::new(),
+                opened: OpenedLog::default(),
+            })),
+        }
+    }
+
+    /// The shared state handle (session server + calendar).
+    pub fn state(&self) -> SharedWebState {
+        Rc::clone(&self.state)
+    }
+
+    /// Opens every due, not-yet-opened reservation as a scheduled
+    /// session (chaired by the organizer); returns the new session ids.
+    pub fn open_due_meetings(&self, now: SimTime) -> Vec<SessionId> {
+        let mut state = self.state.borrow_mut();
+        let due: Vec<(u64, String, String, Vec<String>)> = state
+            .calendar
+            .due(now)
+            .into_iter()
+            .filter(|r| !state.opened.opened.contains(&r.id.value()))
+            .map(|r| {
+                (
+                    r.id.value(),
+                    r.title.clone(),
+                    r.organizer.clone(),
+                    r.invitees.clone(),
+                )
+            })
+            .collect();
+        let mut created = Vec::new();
+        for (reservation, title, organizer, invitees) in due {
+            let outputs = state.sessions.handle(
+                Some(&organizer),
+                XgspMessage::CreateSession {
+                    name: title,
+                    mode: SessionMode::Scheduled,
+                    media: vec![
+                        MediaDescription::new(MediaKind::Audio, "PCMU"),
+                        MediaDescription::new(MediaKind::Video, "H263"),
+                    ],
+                },
+            );
+            let Some(session) = outputs.iter().find_map(|o| match o {
+                ServerOutput::Reply(XgspMessage::SessionCreated { session, .. }) => Some(*session),
+                _ => None,
+            }) else {
+                continue;
+            };
+            // The organizer joins (and chairs); invitees get invites via
+            // the session server's normal invite path once they join.
+            let _ = state.sessions.handle(
+                Some(&organizer),
+                XgspMessage::Join {
+                    session,
+                    user: organizer.clone(),
+                    terminal: TerminalId::from_raw(1),
+                    media: vec![],
+                },
+            );
+            let _ = invitees;
+            state.opened.opened.push(reservation);
+            created.push(session);
+        }
+        created
+    }
+
+    /// Builds the SOAP endpoint exposing the session/calendar operations.
+    pub fn soap_server(&self) -> SoapServer {
+        let mut soap = SoapServer::new();
+        let part = |parts: &[(String, String)], name: &str| -> Result<String, SoapFault> {
+            parts
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| SoapFault {
+                    code: "Client".into(),
+                    reason: format!("missing part {name:?}"),
+                })
+        };
+        let session_id = move |parts: &[(String, String)]| -> Result<SessionId, SoapFault> {
+            part(parts, "sessionId")?
+                .parse::<u64>()
+                .map(SessionId::from_raw)
+                .map_err(|_| SoapFault {
+                    code: "Client".into(),
+                    reason: "bad sessionId".into(),
+                })
+        };
+        let xgsp_fault = |outputs: &[ServerOutput]| -> Option<SoapFault> {
+            outputs.iter().find_map(|o| match o {
+                ServerOutput::Reply(XgspMessage::Error { code, detail }) => Some(SoapFault {
+                    code: "Server".into(),
+                    reason: format!("{code}: {detail}"),
+                }),
+                _ => None,
+            })
+        };
+
+        {
+            let state = self.state();
+            soap.register("createSession", move |parts| {
+                let name = part(parts, "name")?;
+                let mode = match part(parts, "mode")?.as_str() {
+                    "adhoc" => SessionMode::AdHoc,
+                    "scheduled" => SessionMode::Scheduled,
+                    other => {
+                        return Err(SoapFault {
+                            code: "Client".into(),
+                            reason: format!("bad mode {other:?}"),
+                        })
+                    }
+                };
+                let organizer = part(parts, "organizer")?;
+                let outputs = state.borrow_mut().sessions.handle(
+                    Some(&organizer),
+                    XgspMessage::CreateSession {
+                        name,
+                        mode,
+                        media: vec![
+                            MediaDescription::new(MediaKind::Audio, "PCMU"),
+                            MediaDescription::new(MediaKind::Video, "H263"),
+                        ],
+                    },
+                );
+                let session = outputs
+                    .iter()
+                    .find_map(|o| match o {
+                        ServerOutput::Reply(XgspMessage::SessionCreated { session, .. }) => {
+                            Some(*session)
+                        }
+                        _ => None,
+                    })
+                    .ok_or_else(|| SoapFault {
+                        code: "Server".into(),
+                        reason: "creation failed".into(),
+                    })?;
+                Ok(vec![("sessionId".into(), session.value().to_string())])
+            });
+        }
+        {
+            let state = self.state();
+            soap.register("join", move |parts| {
+                let session = session_id(parts)?;
+                let user = part(parts, "user")?;
+                let terminal: u64 = part(parts, "terminal")?.parse().unwrap_or(1);
+                let outputs = state.borrow_mut().sessions.handle(
+                    Some(&user),
+                    XgspMessage::Join {
+                        session,
+                        user: user.clone(),
+                        terminal: TerminalId::from_raw(terminal),
+                        media: vec![
+                            MediaDescription::new(MediaKind::Audio, "PCMU"),
+                            MediaDescription::new(MediaKind::Video, "H263"),
+                        ],
+                    },
+                );
+                if let Some(fault) = xgsp_fault(&outputs) {
+                    return Err(fault);
+                }
+                let topics: Vec<(String, String)> = outputs
+                    .iter()
+                    .find_map(|o| match o {
+                        ServerOutput::Reply(XgspMessage::JoinAck { topics, .. }) => {
+                            Some(topics.clone())
+                        }
+                        _ => None,
+                    })
+                    .unwrap_or_default();
+                Ok(topics
+                    .into_iter()
+                    .map(|(kind, topic)| (format!("topic-{kind}"), topic))
+                    .collect())
+            });
+        }
+        {
+            let state = self.state();
+            soap.register("leave", move |parts| {
+                let session = session_id(parts)?;
+                let user = part(parts, "user")?;
+                let outputs = state.borrow_mut().sessions.handle(
+                    Some(&user),
+                    XgspMessage::Leave {
+                        session,
+                        user: user.clone(),
+                    },
+                );
+                if let Some(fault) = xgsp_fault(&outputs) {
+                    return Err(fault);
+                }
+                Ok(vec![("status".into(), "ok".into())])
+            });
+        }
+        {
+            let state = self.state();
+            soap.register("terminate", move |parts| {
+                let session = session_id(parts)?;
+                let user = part(parts, "user")?;
+                let outputs = state
+                    .borrow_mut()
+                    .sessions
+                    .handle(Some(&user), XgspMessage::TerminateSession { session });
+                if let Some(fault) = xgsp_fault(&outputs) {
+                    return Err(fault);
+                }
+                Ok(vec![("status".into(), "ok".into())])
+            });
+        }
+        {
+            let state = self.state();
+            soap.register("schedule", move |parts| {
+                let room = part(parts, "room")?;
+                let organizer = part(parts, "organizer")?;
+                let title = part(parts, "title")?;
+                let start_secs: u64 = part(parts, "startSecs")?.parse().map_err(|_| SoapFault {
+                    code: "Client".into(),
+                    reason: "bad startSecs".into(),
+                })?;
+                let duration_secs: u64 =
+                    part(parts, "durationSecs")?.parse().map_err(|_| SoapFault {
+                        code: "Client".into(),
+                        reason: "bad durationSecs".into(),
+                    })?;
+                let invitees: Vec<String> = part(parts, "invitees")
+                    .map(|list| {
+                        list.split(',')
+                            .filter(|invitee| !invitee.is_empty())
+                            .map(str::to_owned)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let reservation = state
+                    .borrow_mut()
+                    .calendar
+                    .book(
+                        room,
+                        organizer,
+                        invitees,
+                        SimTime::from_secs(start_secs),
+                        SimDuration::from_secs(duration_secs),
+                        title,
+                    )
+                    .map_err(|e| SoapFault {
+                        code: "Server".into(),
+                        reason: e.to_string(),
+                    })?;
+                Ok(vec![("reservationId".into(), reservation.value().to_string())])
+            });
+        }
+        {
+            let state = self.state();
+            soap.register("listSessions", move |_parts| {
+                let state = state.borrow();
+                let mut ids: Vec<u64> = state
+                    .sessions
+                    .session_ids()
+                    .map(|id| id.value())
+                    .collect();
+                ids.sort_unstable();
+                let list = ids
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                Ok(vec![("sessions".into(), list)])
+            });
+        }
+        soap
+    }
+}
+
+impl Default for XgspWebServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for XgspWebServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("XgspWebServer").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmcs_soap::service::SoapClient;
+
+    #[test]
+    fn soap_create_join_list_terminate_cycle() {
+        let web = XgspWebServer::new();
+        let mut soap = web.soap_server();
+
+        let response = soap.handle(&SoapClient::request(
+            "createSession",
+            &[("name", "demo"), ("mode", "adhoc"), ("organizer", "alice")],
+        ));
+        let parts = SoapClient::decode_response("createSession", &response).unwrap();
+        let session_id = parts[0].1.clone();
+
+        let response = soap.handle(&SoapClient::request(
+            "join",
+            &[("sessionId", &session_id), ("user", "alice"), ("terminal", "1")],
+        ));
+        let topics = SoapClient::decode_response("join", &response).unwrap();
+        assert!(topics.iter().any(|(k, _)| k == "topic-audio"));
+        assert!(topics.iter().any(|(k, v)| k == "topic-video" && v.contains("/video")));
+
+        let response = soap.handle(&SoapClient::request("listSessions", &[]));
+        let sessions = SoapClient::decode_response("listSessions", &response).unwrap();
+        assert_eq!(sessions[0].1, session_id);
+
+        let response = soap.handle(&SoapClient::request(
+            "terminate",
+            &[("sessionId", &session_id), ("user", "alice")],
+        ));
+        SoapClient::decode_response("terminate", &response).unwrap();
+        assert_eq!(web.state().borrow().sessions.session_count(), 0);
+    }
+
+    #[test]
+    fn join_unknown_session_faults() {
+        let web = XgspWebServer::new();
+        let mut soap = web.soap_server();
+        let response = soap.handle(&SoapClient::request(
+            "join",
+            &[("sessionId", "99"), ("user", "alice"), ("terminal", "1")],
+        ));
+        let fault = SoapClient::decode_response("join", &response).unwrap_err();
+        assert!(fault.reason.contains("unknown-session"));
+    }
+
+    #[test]
+    fn schedule_then_open_due_meetings() {
+        let web = XgspWebServer::new();
+        let mut soap = web.soap_server();
+        let response = soap.handle(&SoapClient::request(
+            "schedule",
+            &[
+                ("room", "room-a"),
+                ("organizer", "prof-fox"),
+                ("title", "grid seminar"),
+                ("startSecs", "600"),
+                ("durationSecs", "3600"),
+                ("invitees", "wu,uyar,bulut"),
+            ],
+        ));
+        SoapClient::decode_response("schedule", &response).unwrap();
+
+        // Before start: nothing opens.
+        assert!(web.open_due_meetings(SimTime::from_secs(599)).is_empty());
+        // At start: the session opens, chaired by the organizer.
+        let opened = web.open_due_meetings(SimTime::from_secs(600));
+        assert_eq!(opened.len(), 1);
+        {
+            let state = web.state();
+            let state = state.borrow();
+            let session = state.sessions.session(opened[0]).unwrap();
+            assert_eq!(session.name(), "grid seminar");
+            assert_eq!(session.chair(), Some("prof-fox"));
+        }
+        // Idempotent: the same reservation does not reopen.
+        assert!(web.open_due_meetings(SimTime::from_secs(700)).is_empty());
+    }
+
+    #[test]
+    fn conflicting_schedule_faults() {
+        let web = XgspWebServer::new();
+        let mut soap = web.soap_server();
+        let book = |soap: &mut mmcs_soap::service::SoapServer, start: &str| {
+            soap.handle(&SoapClient::request(
+                "schedule",
+                &[
+                    ("room", "room-a"),
+                    ("organizer", "x"),
+                    ("title", "t"),
+                    ("startSecs", start),
+                    ("durationSecs", "3600"),
+                ],
+            ))
+        };
+        SoapClient::decode_response("schedule", &book(&mut soap, "0")).unwrap();
+        let fault =
+            SoapClient::decode_response("schedule", &book(&mut soap, "1800")).unwrap_err();
+        assert!(fault.reason.contains("reserved"));
+    }
+
+    #[test]
+    fn bad_mode_faults() {
+        let web = XgspWebServer::new();
+        let mut soap = web.soap_server();
+        let response = soap.handle(&SoapClient::request(
+            "createSession",
+            &[("name", "x"), ("mode", "hybrid"), ("organizer", "a")],
+        ));
+        assert!(SoapClient::decode_response("createSession", &response).is_err());
+    }
+}

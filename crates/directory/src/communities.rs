@@ -1,0 +1,235 @@
+//! Communities and their collaboration servers.
+//!
+//! "A community should be regarded as autonomous area that has its own
+//! collaboration control servers and media servers" (§2.2). Each
+//! community record lists its collaboration servers by WSDL-CI service
+//! name and SOAP endpoint, which is how the XGSP web server finds the
+//! Admire service, a third-party MCU, and so on.
+
+use core::fmt;
+use std::collections::HashMap;
+
+use mmcs_util::id::{CommunityId, IdAllocator, ServerId};
+
+/// A collaboration server published by a community.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerRecord {
+    /// The server id.
+    pub id: ServerId,
+    /// WSDL-CI service name (`AdmireConferenceService`).
+    pub service: String,
+    /// SOAP endpoint URL.
+    pub endpoint: String,
+    /// Free-form kind tag: `mcu`, `conference`, `streaming`, `gateway`.
+    pub kind: String,
+}
+
+/// A registered community.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommunityRecord {
+    /// The community id.
+    pub id: CommunityId,
+    /// Unique community name (`admire.cn`, `accessgrid.org`).
+    pub name: String,
+    /// Human-readable description.
+    pub description: String,
+    /// Servers it publishes.
+    pub servers: Vec<ServerRecord>,
+}
+
+/// Errors from community registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommunityError {
+    /// The community name is taken.
+    DuplicateName(String),
+    /// No such community.
+    Unknown(String),
+}
+
+impl fmt::Display for CommunityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommunityError::DuplicateName(n) => write!(f, "community {n:?} already registered"),
+            CommunityError::Unknown(n) => write!(f, "unknown community {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CommunityError {}
+
+/// The community directory.
+#[derive(Debug, Default)]
+pub struct CommunityDirectory {
+    communities: HashMap<CommunityId, CommunityRecord>,
+    names: HashMap<String, CommunityId>,
+    community_ids: IdAllocator<CommunityId>,
+    server_ids: IdAllocator<ServerId>,
+}
+
+impl CommunityDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a community.
+    ///
+    /// # Errors
+    ///
+    /// [`CommunityError::DuplicateName`] when the name is taken.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+    ) -> Result<CommunityId, CommunityError> {
+        let name = name.into();
+        if self.names.contains_key(&name) {
+            return Err(CommunityError::DuplicateName(name));
+        }
+        let id = self.community_ids.next();
+        self.communities.insert(
+            id,
+            CommunityRecord {
+                id,
+                name: name.clone(),
+                description: description.into(),
+                servers: Vec::new(),
+            },
+        );
+        self.names.insert(name, id);
+        Ok(id)
+    }
+
+    /// Publishes a collaboration server under a community.
+    ///
+    /// # Errors
+    ///
+    /// [`CommunityError::Unknown`] for unknown communities.
+    pub fn publish_server(
+        &mut self,
+        community: &str,
+        service: impl Into<String>,
+        endpoint: impl Into<String>,
+        kind: impl Into<String>,
+    ) -> Result<ServerId, CommunityError> {
+        let id = *self
+            .names
+            .get(community)
+            .ok_or_else(|| CommunityError::Unknown(community.to_owned()))?;
+        let server_id = self.server_ids.next();
+        self.communities
+            .get_mut(&id)
+            .expect("name map is consistent")
+            .servers
+            .push(ServerRecord {
+                id: server_id,
+                service: service.into(),
+                endpoint: endpoint.into(),
+                kind: kind.into(),
+            });
+        Ok(server_id)
+    }
+
+    /// Looks a community up by name.
+    pub fn community(&self, name: &str) -> Option<&CommunityRecord> {
+        self.names.get(name).map(|id| &self.communities[id])
+    }
+
+    /// All communities, name-sorted.
+    pub fn communities(&self) -> Vec<&CommunityRecord> {
+        let mut list: Vec<&CommunityRecord> = self.communities.values().collect();
+        list.sort_by(|a, b| a.name.cmp(&b.name));
+        list
+    }
+
+    /// Finds the first server of the given kind in a community.
+    pub fn find_server(&self, community: &str, kind: &str) -> Option<&ServerRecord> {
+        self.community(community)?
+            .servers
+            .iter()
+            .find(|s| s.kind == kind)
+    }
+
+    /// Every server of a kind across all communities (community-name
+    /// order).
+    pub fn servers_of_kind(&self, kind: &str) -> Vec<(&str, &ServerRecord)> {
+        let mut out = Vec::new();
+        for community in self.communities() {
+            for server in &community.servers {
+                if server.kind == kind {
+                    out.push((community.name.as_str(), server));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> CommunityDirectory {
+        let mut dir = CommunityDirectory::new();
+        dir.register("admire.cn", "Admire deployment, NSFCNET China")
+            .unwrap();
+        dir.register("h323.mmcs", "Global-MMCS H.323 zone").unwrap();
+        dir.publish_server(
+            "admire.cn",
+            "AdmireConferenceService",
+            "http://admire.cn/soap",
+            "conference",
+        )
+        .unwrap();
+        dir.publish_server("h323.mmcs", "McuService", "http://mcu/soap", "mcu")
+            .unwrap();
+        dir.publish_server(
+            "admire.cn",
+            "AdmireStreamService",
+            "http://admire.cn/stream",
+            "streaming",
+        )
+        .unwrap();
+        dir
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let dir = populated();
+        let admire = dir.community("admire.cn").unwrap();
+        assert_eq!(admire.servers.len(), 2);
+        assert!(dir.community("nowhere").is_none());
+        assert_eq!(dir.communities().len(), 2);
+        // Sorted by name.
+        assert_eq!(dir.communities()[0].name, "admire.cn");
+    }
+
+    #[test]
+    fn duplicate_community_rejected() {
+        let mut dir = populated();
+        assert!(matches!(
+            dir.register("admire.cn", "again"),
+            Err(CommunityError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn publish_requires_known_community() {
+        let mut dir = CommunityDirectory::new();
+        assert!(matches!(
+            dir.publish_server("ghost", "S", "http://x", "mcu"),
+            Err(CommunityError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn find_server_by_kind() {
+        let dir = populated();
+        let conference = dir.find_server("admire.cn", "conference").unwrap();
+        assert_eq!(conference.service, "AdmireConferenceService");
+        assert!(dir.find_server("admire.cn", "mcu").is_none());
+        let streaming = dir.servers_of_kind("streaming");
+        assert_eq!(streaming.len(), 1);
+        assert_eq!(streaming[0].0, "admire.cn");
+    }
+}

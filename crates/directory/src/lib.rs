@@ -1,0 +1,18 @@
+//! The Global-MMCS naming & directory services.
+//!
+//! §2.2 describes two directories: "the directory of user account and
+//! media terminal" (authentication, the user→terminal binding, media
+//! capability, the *active terminal* a participant is currently using)
+//! and "the directory of different communities and collaboration
+//! servers" (each community an autonomous area with its own servers).
+//!
+//! * [`users`] — accounts with salted-hash passwords, media terminals,
+//!   capabilities and the active-terminal directory.
+//! * [`communities`] — community registry and the collaboration servers
+//!   each publishes (by WSDL-CI service name + endpoint).
+
+pub mod communities;
+pub mod users;
+
+pub use communities::{CommunityDirectory, CommunityRecord};
+pub use users::{TerminalRecord, UserDirectory, UserRecord};

@@ -1,0 +1,345 @@
+//! User accounts and media terminals.
+
+use core::fmt;
+use std::collections::HashMap;
+
+use mmcs_util::id::{IdAllocator, TerminalId, UserId};
+
+/// A registered media terminal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TerminalRecord {
+    /// The terminal id.
+    pub id: TerminalId,
+    /// Owning user.
+    pub owner: UserId,
+    /// Terminal kind: `h323`, `sip`, `admire`, `accessgrid`,
+    /// `realplayer`, `im`, ….
+    pub kind: String,
+    /// Network address the terminal signals from.
+    pub address: String,
+    /// Media capabilities, e.g. `audio/PCMU`, `video/H263`.
+    pub capabilities: Vec<String>,
+}
+
+/// A user account.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserRecord {
+    /// The user id.
+    pub id: UserId,
+    /// Unique login name (`alice@anl.gov`).
+    pub name: String,
+    /// Display name.
+    pub display_name: String,
+    /// Salted password hash.
+    password_hash: u64,
+    salt: u64,
+}
+
+/// Errors from directory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectoryError {
+    /// The login name is taken.
+    DuplicateName(String),
+    /// No such user.
+    UnknownUser(String),
+    /// Wrong password.
+    BadCredentials,
+    /// No such terminal.
+    UnknownTerminal(TerminalId),
+    /// The terminal belongs to a different user.
+    NotOwner(TerminalId),
+}
+
+impl fmt::Display for DirectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirectoryError::DuplicateName(n) => write!(f, "user name {n:?} is taken"),
+            DirectoryError::UnknownUser(n) => write!(f, "unknown user {n:?}"),
+            DirectoryError::BadCredentials => write!(f, "bad credentials"),
+            DirectoryError::UnknownTerminal(t) => write!(f, "unknown terminal {t}"),
+            DirectoryError::NotOwner(t) => write!(f, "terminal {t} belongs to someone else"),
+        }
+    }
+}
+
+impl std::error::Error for DirectoryError {}
+
+/// FNV-1a; deliberately simple — a stand-in for the era's crypt().
+fn hash_password(password: &str, salt: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ salt;
+    for byte in password.as_bytes() {
+        hash ^= *byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The user/terminal directory. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct UserDirectory {
+    users: HashMap<UserId, UserRecord>,
+    names: HashMap<String, UserId>,
+    terminals: HashMap<TerminalId, TerminalRecord>,
+    /// The terminal each user is currently reachable on.
+    active: HashMap<UserId, TerminalId>,
+    user_ids: IdAllocator<UserId>,
+    terminal_ids: IdAllocator<TerminalId>,
+    salt_counter: u64,
+}
+
+impl UserDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an account.
+    ///
+    /// # Errors
+    ///
+    /// [`DirectoryError::DuplicateName`] when the login name is taken.
+    pub fn create_user(
+        &mut self,
+        name: impl Into<String>,
+        display_name: impl Into<String>,
+        password: &str,
+    ) -> Result<UserId, DirectoryError> {
+        let name = name.into();
+        if self.names.contains_key(&name) {
+            return Err(DirectoryError::DuplicateName(name));
+        }
+        let id = self.user_ids.next();
+        self.salt_counter = self.salt_counter.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let salt = self.salt_counter ^ id.value().rotate_left(17);
+        self.users.insert(
+            id,
+            UserRecord {
+                id,
+                name: name.clone(),
+                display_name: display_name.into(),
+                password_hash: hash_password(password, salt),
+                salt,
+            },
+        );
+        self.names.insert(name, id);
+        Ok(id)
+    }
+
+    /// Authenticates a login; returns the user id.
+    ///
+    /// # Errors
+    ///
+    /// [`DirectoryError::UnknownUser`] / [`DirectoryError::BadCredentials`].
+    pub fn authenticate(&self, name: &str, password: &str) -> Result<UserId, DirectoryError> {
+        let id = self
+            .names
+            .get(name)
+            .ok_or_else(|| DirectoryError::UnknownUser(name.to_owned()))?;
+        let record = &self.users[id];
+        if hash_password(password, record.salt) == record.password_hash {
+            Ok(*id)
+        } else {
+            Err(DirectoryError::BadCredentials)
+        }
+    }
+
+    /// Looks a user up by name.
+    pub fn user_by_name(&self, name: &str) -> Option<&UserRecord> {
+        self.names.get(name).map(|id| &self.users[id])
+    }
+
+    /// Looks a user up by id.
+    pub fn user(&self, id: UserId) -> Option<&UserRecord> {
+        self.users.get(&id)
+    }
+
+    /// Registers a media terminal for a user.
+    ///
+    /// # Errors
+    ///
+    /// [`DirectoryError::UnknownUser`] when the owner does not exist.
+    pub fn register_terminal(
+        &mut self,
+        owner: UserId,
+        kind: impl Into<String>,
+        address: impl Into<String>,
+        capabilities: Vec<String>,
+    ) -> Result<TerminalId, DirectoryError> {
+        if !self.users.contains_key(&owner) {
+            return Err(DirectoryError::UnknownUser(format!("{owner}")));
+        }
+        let id = self.terminal_ids.next();
+        self.terminals.insert(
+            id,
+            TerminalRecord {
+                id,
+                owner,
+                kind: kind.into(),
+                address: address.into(),
+                capabilities,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Looks a terminal up.
+    pub fn terminal(&self, id: TerminalId) -> Option<&TerminalRecord> {
+        self.terminals.get(&id)
+    }
+
+    /// All terminals a user owns.
+    pub fn terminals_of(&self, owner: UserId) -> Vec<&TerminalRecord> {
+        let mut list: Vec<&TerminalRecord> = self
+            .terminals
+            .values()
+            .filter(|t| t.owner == owner)
+            .collect();
+        list.sort_by_key(|t| t.id);
+        list
+    }
+
+    /// Marks the terminal a user is currently reachable on.
+    ///
+    /// # Errors
+    ///
+    /// [`DirectoryError::UnknownTerminal`] / [`DirectoryError::NotOwner`].
+    pub fn set_active_terminal(
+        &mut self,
+        user: UserId,
+        terminal: TerminalId,
+    ) -> Result<(), DirectoryError> {
+        let record = self
+            .terminals
+            .get(&terminal)
+            .ok_or(DirectoryError::UnknownTerminal(terminal))?;
+        if record.owner != user {
+            return Err(DirectoryError::NotOwner(terminal));
+        }
+        self.active.insert(user, terminal);
+        Ok(())
+    }
+
+    /// The user's active terminal, if any.
+    pub fn active_terminal(&self, user: UserId) -> Option<&TerminalRecord> {
+        self.active.get(&user).and_then(|id| self.terminals.get(id))
+    }
+
+    /// Clears the active terminal (user went offline).
+    pub fn clear_active_terminal(&mut self, user: UserId) {
+        self.active.remove(&user);
+    }
+
+    /// Number of accounts.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn directory_with_alice() -> (UserDirectory, UserId) {
+        let mut dir = UserDirectory::new();
+        let alice = dir
+            .create_user("alice@anl.gov", "Alice", "hunter2")
+            .unwrap();
+        (dir, alice)
+    }
+
+    #[test]
+    fn create_and_authenticate() {
+        let (dir, alice) = directory_with_alice();
+        assert_eq!(dir.authenticate("alice@anl.gov", "hunter2"), Ok(alice));
+        assert_eq!(
+            dir.authenticate("alice@anl.gov", "wrong"),
+            Err(DirectoryError::BadCredentials)
+        );
+        assert_eq!(
+            dir.authenticate("nobody", "x"),
+            Err(DirectoryError::UnknownUser("nobody".into()))
+        );
+        assert_eq!(dir.user_count(), 1);
+        assert_eq!(dir.user(alice).unwrap().display_name, "Alice");
+        assert_eq!(dir.user_by_name("alice@anl.gov").unwrap().id, alice);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let (mut dir, _) = directory_with_alice();
+        assert!(matches!(
+            dir.create_user("alice@anl.gov", "Other", "pw"),
+            Err(DirectoryError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn same_password_different_users_different_hashes() {
+        let mut dir = UserDirectory::new();
+        let a = dir.create_user("a", "A", "same").unwrap();
+        let b = dir.create_user("b", "B", "same").unwrap();
+        assert_ne!(
+            dir.user(a).unwrap().password_hash,
+            dir.user(b).unwrap().password_hash,
+            "salting must differentiate equal passwords"
+        );
+    }
+
+    #[test]
+    fn terminals_register_and_list() {
+        let (mut dir, alice) = directory_with_alice();
+        let t1 = dir
+            .register_terminal(
+                alice,
+                "h323",
+                "10.0.0.4:1720",
+                vec!["audio/G.711".into(), "video/H.263".into()],
+            )
+            .unwrap();
+        let t2 = dir
+            .register_terminal(alice, "sip", "10.0.0.4:5060", vec!["audio/PCMU".into()])
+            .unwrap();
+        assert_ne!(t1, t2);
+        let list = dir.terminals_of(alice);
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].kind, "h323");
+        assert!(dir.terminal(t1).unwrap().capabilities.contains(&"video/H.263".to_owned()));
+    }
+
+    #[test]
+    fn terminal_for_unknown_user_rejected() {
+        let mut dir = UserDirectory::new();
+        assert!(matches!(
+            dir.register_terminal(UserId::from_raw(9), "sip", "x", vec![]),
+            Err(DirectoryError::UnknownUser(_))
+        ));
+    }
+
+    #[test]
+    fn active_terminal_lifecycle() {
+        let (mut dir, alice) = directory_with_alice();
+        let terminal = dir
+            .register_terminal(alice, "sip", "10.0.0.4:5060", vec![])
+            .unwrap();
+        assert!(dir.active_terminal(alice).is_none());
+        dir.set_active_terminal(alice, terminal).unwrap();
+        assert_eq!(dir.active_terminal(alice).unwrap().id, terminal);
+        dir.clear_active_terminal(alice);
+        assert!(dir.active_terminal(alice).is_none());
+    }
+
+    #[test]
+    fn active_terminal_must_be_owned() {
+        let (mut dir, alice) = directory_with_alice();
+        let bob = dir.create_user("bob", "Bob", "pw").unwrap();
+        let bobs = dir.register_terminal(bob, "sip", "x", vec![]).unwrap();
+        assert_eq!(
+            dir.set_active_terminal(alice, bobs),
+            Err(DirectoryError::NotOwner(bobs))
+        );
+        assert_eq!(
+            dir.set_active_terminal(alice, TerminalId::from_raw(99)),
+            Err(DirectoryError::UnknownTerminal(TerminalId::from_raw(99)))
+        );
+    }
+}

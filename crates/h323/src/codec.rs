@@ -1,0 +1,567 @@
+//! Binary TLV codec for H.323 messages.
+//!
+//! Layout: one tag byte per message variant, then fields in declaration
+//! order. Integers are big-endian fixed width; strings and lists are
+//! length-prefixed (u16 count / u16 byte length). The real protocol uses
+//! ASN.1 PER — see the substitution note in the [crate docs](crate).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use core::fmt;
+
+use crate::msg::{Capability, H245Message, H323Message, Q931Message, RasMessage, RejectReason};
+
+mod tag {
+    pub const GRQ: u8 = 0x01;
+    pub const GCF: u8 = 0x02;
+    pub const GRJ: u8 = 0x03;
+    pub const RRQ: u8 = 0x04;
+    pub const RCF: u8 = 0x05;
+    pub const RRJ: u8 = 0x06;
+    pub const ARQ: u8 = 0x07;
+    pub const ACF: u8 = 0x08;
+    pub const ARJ: u8 = 0x09;
+    pub const DRQ: u8 = 0x0A;
+    pub const DCF: u8 = 0x0B;
+
+    pub const SETUP: u8 = 0x20;
+    pub const CALL_PROCEEDING: u8 = 0x21;
+    pub const ALERTING: u8 = 0x22;
+    pub const CONNECT: u8 = 0x23;
+    pub const RELEASE_COMPLETE: u8 = 0x24;
+
+    pub const TCS: u8 = 0x40;
+    pub const TCS_ACK: u8 = 0x41;
+    pub const MSD: u8 = 0x42;
+    pub const MSD_ACK: u8 = 0x43;
+    pub const OLC: u8 = 0x44;
+    pub const OLC_ACK: u8 = 0x45;
+    pub const CLC: u8 = 0x46;
+    pub const END_SESSION: u8 = 0x47;
+}
+
+fn reason_code(reason: RejectReason) -> u8 {
+    match reason {
+        RejectReason::NotRegistered => 1,
+        RejectReason::DuplicateAlias => 2,
+        RejectReason::InsufficientBandwidth => 3,
+        RejectReason::InvalidZone => 4,
+        RejectReason::UnknownCall => 5,
+    }
+}
+
+fn reason_from(code: u8) -> Result<RejectReason, DecodeH323Error> {
+    Ok(match code {
+        1 => RejectReason::NotRegistered,
+        2 => RejectReason::DuplicateAlias,
+        3 => RejectReason::InsufficientBandwidth,
+        4 => RejectReason::InvalidZone,
+        5 => RejectReason::UnknownCall,
+        other => return Err(DecodeH323Error::BadField("reject reason", other as u32)),
+    })
+}
+
+/// Encodes a message into its TLV wire form.
+pub fn encode(message: &H323Message) -> Bytes {
+    let mut buf = BytesMut::new();
+    match message {
+        H323Message::Ras(ras) => encode_ras(ras, &mut buf),
+        H323Message::Q931(q931) => encode_q931(q931, &mut buf),
+        H323Message::H245(h245) => encode_h245(h245, &mut buf),
+    }
+    buf.freeze()
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "string too long for wire");
+    buf.put_u16(bytes.len() as u16);
+    buf.put_slice(bytes);
+}
+
+fn encode_ras(ras: &RasMessage, buf: &mut BytesMut) {
+    match ras {
+        RasMessage::GatekeeperRequest { endpoint_alias } => {
+            buf.put_u8(tag::GRQ);
+            put_str(buf, endpoint_alias);
+        }
+        RasMessage::GatekeeperConfirm { gatekeeper_id } => {
+            buf.put_u8(tag::GCF);
+            put_str(buf, gatekeeper_id);
+        }
+        RasMessage::GatekeeperReject { reason } => {
+            buf.put_u8(tag::GRJ);
+            buf.put_u8(reason_code(*reason));
+        }
+        RasMessage::RegistrationRequest {
+            endpoint_alias,
+            signal_address,
+        } => {
+            buf.put_u8(tag::RRQ);
+            put_str(buf, endpoint_alias);
+            put_str(buf, signal_address);
+        }
+        RasMessage::RegistrationConfirm { endpoint_id } => {
+            buf.put_u8(tag::RCF);
+            buf.put_u32(*endpoint_id);
+        }
+        RasMessage::RegistrationReject { reason } => {
+            buf.put_u8(tag::RRJ);
+            buf.put_u8(reason_code(*reason));
+        }
+        RasMessage::AdmissionRequest {
+            endpoint_id,
+            destination,
+            bandwidth,
+        } => {
+            buf.put_u8(tag::ARQ);
+            buf.put_u32(*endpoint_id);
+            put_str(buf, destination);
+            buf.put_u32(*bandwidth);
+        }
+        RasMessage::AdmissionConfirm {
+            bandwidth,
+            call_signal_address,
+        } => {
+            buf.put_u8(tag::ACF);
+            buf.put_u32(*bandwidth);
+            put_str(buf, call_signal_address);
+        }
+        RasMessage::AdmissionReject { reason } => {
+            buf.put_u8(tag::ARJ);
+            buf.put_u8(reason_code(*reason));
+        }
+        RasMessage::DisengageRequest {
+            endpoint_id,
+            call_reference,
+        } => {
+            buf.put_u8(tag::DRQ);
+            buf.put_u32(*endpoint_id);
+            buf.put_u16(*call_reference);
+        }
+        RasMessage::DisengageConfirm => {
+            buf.put_u8(tag::DCF);
+        }
+    }
+}
+
+fn encode_q931(q931: &Q931Message, buf: &mut BytesMut) {
+    match q931 {
+        Q931Message::Setup {
+            call_reference,
+            caller,
+            callee,
+        } => {
+            buf.put_u8(tag::SETUP);
+            buf.put_u16(*call_reference);
+            put_str(buf, caller);
+            put_str(buf, callee);
+        }
+        Q931Message::CallProceeding { call_reference } => {
+            buf.put_u8(tag::CALL_PROCEEDING);
+            buf.put_u16(*call_reference);
+        }
+        Q931Message::Alerting { call_reference } => {
+            buf.put_u8(tag::ALERTING);
+            buf.put_u16(*call_reference);
+        }
+        Q931Message::Connect {
+            call_reference,
+            h245_address,
+        } => {
+            buf.put_u8(tag::CONNECT);
+            buf.put_u16(*call_reference);
+            put_str(buf, h245_address);
+        }
+        Q931Message::ReleaseComplete {
+            call_reference,
+            cause,
+        } => {
+            buf.put_u8(tag::RELEASE_COMPLETE);
+            buf.put_u16(*call_reference);
+            buf.put_u8(*cause);
+        }
+    }
+}
+
+fn encode_h245(h245: &H245Message, buf: &mut BytesMut) {
+    match h245 {
+        H245Message::TerminalCapabilitySet {
+            sequence,
+            capabilities,
+        } => {
+            buf.put_u8(tag::TCS);
+            buf.put_u8(*sequence);
+            assert!(capabilities.len() <= u16::MAX as usize);
+            buf.put_u16(capabilities.len() as u16);
+            for capability in capabilities {
+                put_str(buf, &capability.kind);
+                put_str(buf, &capability.codec);
+            }
+        }
+        H245Message::TerminalCapabilitySetAck { sequence } => {
+            buf.put_u8(tag::TCS_ACK);
+            buf.put_u8(*sequence);
+        }
+        H245Message::MasterSlaveDetermination {
+            terminal_type,
+            determination_number,
+        } => {
+            buf.put_u8(tag::MSD);
+            buf.put_u8(*terminal_type);
+            buf.put_u32(*determination_number);
+        }
+        H245Message::MasterSlaveDeterminationAck { remote_is_master } => {
+            buf.put_u8(tag::MSD_ACK);
+            buf.put_u8(u8::from(*remote_is_master));
+        }
+        H245Message::OpenLogicalChannel {
+            channel,
+            kind,
+            codec,
+        } => {
+            buf.put_u8(tag::OLC);
+            buf.put_u16(*channel);
+            put_str(buf, kind);
+            put_str(buf, codec);
+        }
+        H245Message::OpenLogicalChannelAck {
+            channel,
+            media_address,
+        } => {
+            buf.put_u8(tag::OLC_ACK);
+            buf.put_u16(*channel);
+            put_str(buf, media_address);
+        }
+        H245Message::CloseLogicalChannel { channel } => {
+            buf.put_u8(tag::CLC);
+            buf.put_u16(*channel);
+        }
+        H245Message::EndSession => {
+            buf.put_u8(tag::END_SESSION);
+        }
+    }
+}
+
+/// A cursor over the wire bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeH323Error> {
+        let v = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(DecodeH323Error::Truncated)?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeH323Error> {
+        let hi = self.u8()? as u16;
+        let lo = self.u8()? as u16;
+        Ok(hi << 8 | lo)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeH323Error> {
+        let hi = self.u16()? as u32;
+        let lo = self.u16()? as u32;
+        Ok(hi << 16 | lo)
+    }
+
+    fn str(&mut self) -> Result<String, DecodeH323Error> {
+        let len = self.u16()? as usize;
+        let end = self.pos + len;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(DecodeH323Error::Truncated)?;
+        self.pos = end;
+        String::from_utf8(slice.to_vec()).map_err(|_| DecodeH323Error::BadUtf8)
+    }
+
+    fn finish(&self) -> Result<(), DecodeH323Error> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(DecodeH323Error::TrailingBytes(self.bytes.len() - self.pos))
+        }
+    }
+}
+
+/// Decodes a message from its TLV wire form.
+///
+/// # Errors
+///
+/// Returns [`DecodeH323Error`] on truncation, unknown tags, invalid
+/// enum codes, bad UTF-8 or trailing bytes.
+pub fn decode(wire: &[u8]) -> Result<H323Message, DecodeH323Error> {
+    let mut r = Reader {
+        bytes: wire,
+        pos: 0,
+    };
+    let tag = r.u8()?;
+    let message = match tag {
+        tag::GRQ => H323Message::Ras(RasMessage::GatekeeperRequest {
+            endpoint_alias: r.str()?,
+        }),
+        tag::GCF => H323Message::Ras(RasMessage::GatekeeperConfirm {
+            gatekeeper_id: r.str()?,
+        }),
+        tag::GRJ => H323Message::Ras(RasMessage::GatekeeperReject {
+            reason: reason_from(r.u8()?)?,
+        }),
+        tag::RRQ => H323Message::Ras(RasMessage::RegistrationRequest {
+            endpoint_alias: r.str()?,
+            signal_address: r.str()?,
+        }),
+        tag::RCF => H323Message::Ras(RasMessage::RegistrationConfirm {
+            endpoint_id: r.u32()?,
+        }),
+        tag::RRJ => H323Message::Ras(RasMessage::RegistrationReject {
+            reason: reason_from(r.u8()?)?,
+        }),
+        tag::ARQ => H323Message::Ras(RasMessage::AdmissionRequest {
+            endpoint_id: r.u32()?,
+            destination: r.str()?,
+            bandwidth: r.u32()?,
+        }),
+        tag::ACF => H323Message::Ras(RasMessage::AdmissionConfirm {
+            bandwidth: r.u32()?,
+            call_signal_address: r.str()?,
+        }),
+        tag::ARJ => H323Message::Ras(RasMessage::AdmissionReject {
+            reason: reason_from(r.u8()?)?,
+        }),
+        tag::DRQ => H323Message::Ras(RasMessage::DisengageRequest {
+            endpoint_id: r.u32()?,
+            call_reference: r.u16()?,
+        }),
+        tag::DCF => H323Message::Ras(RasMessage::DisengageConfirm),
+        tag::SETUP => H323Message::Q931(Q931Message::Setup {
+            call_reference: r.u16()?,
+            caller: r.str()?,
+            callee: r.str()?,
+        }),
+        tag::CALL_PROCEEDING => H323Message::Q931(Q931Message::CallProceeding {
+            call_reference: r.u16()?,
+        }),
+        tag::ALERTING => H323Message::Q931(Q931Message::Alerting {
+            call_reference: r.u16()?,
+        }),
+        tag::CONNECT => H323Message::Q931(Q931Message::Connect {
+            call_reference: r.u16()?,
+            h245_address: r.str()?,
+        }),
+        tag::RELEASE_COMPLETE => H323Message::Q931(Q931Message::ReleaseComplete {
+            call_reference: r.u16()?,
+            cause: r.u8()?,
+        }),
+        tag::TCS => {
+            let sequence = r.u8()?;
+            let count = r.u16()? as usize;
+            let mut capabilities = Vec::with_capacity(count.min(64));
+            for _ in 0..count {
+                capabilities.push(Capability {
+                    kind: r.str()?,
+                    codec: r.str()?,
+                });
+            }
+            H323Message::H245(H245Message::TerminalCapabilitySet {
+                sequence,
+                capabilities,
+            })
+        }
+        tag::TCS_ACK => H323Message::H245(H245Message::TerminalCapabilitySetAck {
+            sequence: r.u8()?,
+        }),
+        tag::MSD => H323Message::H245(H245Message::MasterSlaveDetermination {
+            terminal_type: r.u8()?,
+            determination_number: r.u32()?,
+        }),
+        tag::MSD_ACK => H323Message::H245(H245Message::MasterSlaveDeterminationAck {
+            remote_is_master: r.u8()? != 0,
+        }),
+        tag::OLC => H323Message::H245(H245Message::OpenLogicalChannel {
+            channel: r.u16()?,
+            kind: r.str()?,
+            codec: r.str()?,
+        }),
+        tag::OLC_ACK => H323Message::H245(H245Message::OpenLogicalChannelAck {
+            channel: r.u16()?,
+            media_address: r.str()?,
+        }),
+        tag::CLC => H323Message::H245(H245Message::CloseLogicalChannel {
+            channel: r.u16()?,
+        }),
+        tag::END_SESSION => H323Message::H245(H245Message::EndSession),
+        other => return Err(DecodeH323Error::UnknownTag(other)),
+    };
+    r.finish()?;
+    Ok(message)
+}
+
+/// Error decoding an H.323 TLV message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeH323Error {
+    /// The buffer ended mid-field.
+    Truncated,
+    /// The leading tag byte named no message.
+    UnknownTag(u8),
+    /// An enum field carried an invalid code.
+    BadField(&'static str, u32),
+    /// A string field was not UTF-8.
+    BadUtf8,
+    /// Bytes remained after a complete message.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeH323Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeH323Error::Truncated => write!(f, "truncated h323 message"),
+            DecodeH323Error::UnknownTag(t) => write!(f, "unknown h323 tag {t:#04x}"),
+            DecodeH323Error::BadField(name, v) => write!(f, "bad {name} value {v}"),
+            DecodeH323Error::BadUtf8 => write!(f, "string field is not utf-8"),
+            DecodeH323Error::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeH323Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<H323Message> {
+        vec![
+            H323Message::Ras(RasMessage::GatekeeperRequest {
+                endpoint_alias: "alice-h323".into(),
+            }),
+            H323Message::Ras(RasMessage::GatekeeperConfirm {
+                gatekeeper_id: "gk.mmcs".into(),
+            }),
+            H323Message::Ras(RasMessage::GatekeeperReject {
+                reason: RejectReason::InvalidZone,
+            }),
+            H323Message::Ras(RasMessage::RegistrationRequest {
+                endpoint_alias: "alice-h323".into(),
+                signal_address: "10.0.0.4:1720".into(),
+            }),
+            H323Message::Ras(RasMessage::RegistrationConfirm { endpoint_id: 42 }),
+            H323Message::Ras(RasMessage::RegistrationReject {
+                reason: RejectReason::DuplicateAlias,
+            }),
+            H323Message::Ras(RasMessage::AdmissionRequest {
+                endpoint_id: 42,
+                destination: "conf-7".into(),
+                bandwidth: 6400,
+            }),
+            H323Message::Ras(RasMessage::AdmissionConfirm {
+                bandwidth: 6400,
+                call_signal_address: "gw.mmcs:1720".into(),
+            }),
+            H323Message::Ras(RasMessage::AdmissionReject {
+                reason: RejectReason::InsufficientBandwidth,
+            }),
+            H323Message::Ras(RasMessage::DisengageRequest {
+                endpoint_id: 42,
+                call_reference: 9,
+            }),
+            H323Message::Ras(RasMessage::DisengageConfirm),
+            H323Message::Q931(Q931Message::Setup {
+                call_reference: 9,
+                caller: "alice-h323".into(),
+                callee: "conf-7".into(),
+            }),
+            H323Message::Q931(Q931Message::CallProceeding { call_reference: 9 }),
+            H323Message::Q931(Q931Message::Alerting { call_reference: 9 }),
+            H323Message::Q931(Q931Message::Connect {
+                call_reference: 9,
+                h245_address: "gw.mmcs:2720".into(),
+            }),
+            H323Message::Q931(Q931Message::ReleaseComplete {
+                call_reference: 9,
+                cause: 16,
+            }),
+            H323Message::H245(H245Message::TerminalCapabilitySet {
+                sequence: 1,
+                capabilities: vec![
+                    Capability {
+                        kind: "audio".into(),
+                        codec: "G.711".into(),
+                    },
+                    Capability {
+                        kind: "video".into(),
+                        codec: "H.263".into(),
+                    },
+                ],
+            }),
+            H323Message::H245(H245Message::TerminalCapabilitySetAck { sequence: 1 }),
+            H323Message::H245(H245Message::MasterSlaveDetermination {
+                terminal_type: 60,
+                determination_number: 123456,
+            }),
+            H323Message::H245(H245Message::MasterSlaveDeterminationAck {
+                remote_is_master: true,
+            }),
+            H323Message::H245(H245Message::OpenLogicalChannel {
+                channel: 1,
+                kind: "video".into(),
+                codec: "H.263".into(),
+            }),
+            H323Message::H245(H245Message::OpenLogicalChannelAck {
+                channel: 1,
+                media_address: "rtp-proxy.mmcs:5004".into(),
+            }),
+            H323Message::H245(H245Message::CloseLogicalChannel { channel: 1 }),
+            H323Message::H245(H245Message::EndSession),
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for message in all_messages() {
+            let wire = encode(&message);
+            let back = decode(&wire).unwrap_or_else(|e| panic!("{message:?}: {e}"));
+            assert_eq!(back, message);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_an_error_not_a_panic() {
+        for message in all_messages() {
+            let wire = encode(&message);
+            for cut in 0..wire.len() {
+                let result = decode(&wire[..cut]);
+                assert!(result.is_err(), "{message:?} decoded from prefix {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes() {
+        assert_eq!(decode(&[0xFF]), Err(DecodeH323Error::UnknownTag(0xFF)));
+        let mut wire = encode(&H323Message::Ras(RasMessage::DisengageConfirm)).to_vec();
+        wire.push(0);
+        assert_eq!(decode(&wire), Err(DecodeH323Error::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_reason_code_is_an_error() {
+        // GRJ with reason byte 99.
+        assert!(matches!(
+            decode(&[0x03, 99]),
+            Err(DecodeH323Error::BadField("reject reason", 99))
+        ));
+    }
+
+    #[test]
+    fn bad_utf8_is_an_error() {
+        // GRQ with a 2-byte string that is invalid UTF-8.
+        let wire = [0x01, 0x00, 0x02, 0xFF, 0xFE];
+        assert_eq!(decode(&wire), Err(DecodeH323Error::BadUtf8));
+    }
+}

@@ -1,0 +1,350 @@
+//! The H.323 gatekeeper: registration, admission, bandwidth accounting.
+//!
+//! Global-MMCS runs its own gatekeeper to form "a new H.323
+//! administration domain for individual H.323 endpoints". Admission
+//! points every call at the H.323 gateway (which owns the XGSP
+//! translation) and enforces a per-zone bandwidth budget.
+
+use std::collections::HashMap;
+
+use crate::msg::{RasMessage, RejectReason};
+
+#[derive(Debug, Clone)]
+struct Registration {
+    alias: String,
+    #[allow(dead_code)]
+    signal_address: String,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CallGrant {
+    endpoint_id: u32,
+    bandwidth: u32,
+}
+
+/// The gatekeeper. One instance per Global-MMCS H.323 zone.
+#[derive(Debug)]
+pub struct Gatekeeper {
+    id: String,
+    gateway_address: String,
+    /// Total admission budget in H.225 units (100 bps each).
+    zone_bandwidth: u32,
+    granted: u32,
+    endpoints: HashMap<u32, Registration>,
+    aliases: HashMap<String, u32>,
+    calls: HashMap<u16, CallGrant>,
+    /// Bandwidth granted per endpoint but not yet bound to a call
+    /// reference (released wholesale on DRQ when the call is unbound).
+    unbound: HashMap<u32, u32>,
+    next_endpoint: u32,
+    next_call_reference: u16,
+}
+
+impl Gatekeeper {
+    /// Creates a gatekeeper directing admitted calls at
+    /// `gateway_address`, with a zone budget in units of 100 bps.
+    pub fn new(
+        id: impl Into<String>,
+        gateway_address: impl Into<String>,
+        zone_bandwidth: u32,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            gateway_address: gateway_address.into(),
+            zone_bandwidth,
+            granted: 0,
+            endpoints: HashMap::new(),
+            aliases: HashMap::new(),
+            calls: HashMap::new(),
+            unbound: HashMap::new(),
+            next_endpoint: 1,
+            next_call_reference: 1,
+        }
+    }
+
+    /// Registered endpoint count.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Bandwidth currently granted (100 bps units).
+    pub fn granted_bandwidth(&self) -> u32 {
+        self.granted
+    }
+
+    /// Allocates a fresh call reference for an admitted call.
+    pub fn next_call_reference(&mut self) -> u16 {
+        let cr = self.next_call_reference;
+        self.next_call_reference = self.next_call_reference.wrapping_add(1).max(1);
+        cr
+    }
+
+    /// Records an admitted call's bandwidth under its call reference so
+    /// a later DRQ can release exactly that call's grant.
+    pub fn bind_call(&mut self, call_reference: u16, endpoint_id: u32, bandwidth: u32) {
+        if let Some(pool) = self.unbound.get_mut(&endpoint_id) {
+            *pool = pool.saturating_sub(bandwidth);
+        }
+        self.calls.insert(
+            call_reference,
+            CallGrant {
+                endpoint_id,
+                bandwidth,
+            },
+        );
+    }
+
+    /// The alias of a registered endpoint.
+    pub fn alias_of(&self, endpoint_id: u32) -> Option<&str> {
+        self.endpoints.get(&endpoint_id).map(|r| r.alias.as_str())
+    }
+
+    /// Handles a RAS request, returning the RAS reply.
+    pub fn handle(&mut self, request: &RasMessage) -> RasMessage {
+        match request {
+            RasMessage::GatekeeperRequest { .. } => RasMessage::GatekeeperConfirm {
+                gatekeeper_id: self.id.clone(),
+            },
+            RasMessage::RegistrationRequest {
+                endpoint_alias,
+                signal_address,
+            } => {
+                if self.aliases.contains_key(endpoint_alias) {
+                    return RasMessage::RegistrationReject {
+                        reason: RejectReason::DuplicateAlias,
+                    };
+                }
+                let endpoint_id = self.next_endpoint;
+                self.next_endpoint += 1;
+                self.endpoints.insert(
+                    endpoint_id,
+                    Registration {
+                        alias: endpoint_alias.clone(),
+                        signal_address: signal_address.clone(),
+                    },
+                );
+                self.aliases.insert(endpoint_alias.clone(), endpoint_id);
+                RasMessage::RegistrationConfirm { endpoint_id }
+            }
+            RasMessage::AdmissionRequest {
+                endpoint_id,
+                destination: _,
+                bandwidth,
+            } => {
+                if !self.endpoints.contains_key(endpoint_id) {
+                    return RasMessage::AdmissionReject {
+                        reason: RejectReason::NotRegistered,
+                    };
+                }
+                if self.granted + bandwidth > self.zone_bandwidth {
+                    return RasMessage::AdmissionReject {
+                        reason: RejectReason::InsufficientBandwidth,
+                    };
+                }
+                self.granted += bandwidth;
+                *self.unbound.entry(*endpoint_id).or_insert(0) += bandwidth;
+                RasMessage::AdmissionConfirm {
+                    bandwidth: *bandwidth,
+                    call_signal_address: self.gateway_address.clone(),
+                }
+            }
+            RasMessage::DisengageRequest {
+                endpoint_id,
+                call_reference,
+            } => {
+                match self.calls.remove(call_reference) {
+                    Some(grant) if grant.endpoint_id == *endpoint_id => {
+                        self.granted = self.granted.saturating_sub(grant.bandwidth);
+                        RasMessage::DisengageConfirm
+                    }
+                    Some(grant) => {
+                        // Wrong endpoint: restore and reject.
+                        self.calls.insert(*call_reference, grant);
+                        RasMessage::AdmissionReject {
+                            reason: RejectReason::UnknownCall,
+                        }
+                    }
+                    None => {
+                        // Endpoints that never bound a call reference
+                        // release their whole unbound grant.
+                        match self.unbound.remove(endpoint_id) {
+                            Some(pool) if pool > 0 => {
+                                self.granted = self.granted.saturating_sub(pool);
+                                RasMessage::DisengageConfirm
+                            }
+                            _ => RasMessage::AdmissionReject {
+                                reason: RejectReason::UnknownCall,
+                            },
+                        }
+                    }
+                }
+            }
+            // Replies arriving as requests: protocol misuse.
+            _ => RasMessage::GatekeeperReject {
+                reason: RejectReason::InvalidZone,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gk() -> Gatekeeper {
+        Gatekeeper::new("gk.mmcs", "gw.mmcs:1720", 10_000)
+    }
+
+    fn register(gk: &mut Gatekeeper, alias: &str) -> u32 {
+        match gk.handle(&RasMessage::RegistrationRequest {
+            endpoint_alias: alias.into(),
+            signal_address: "ep:1720".into(),
+        }) {
+            RasMessage::RegistrationConfirm { endpoint_id } => endpoint_id,
+            other => panic!("expected RCF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn discovery_confirms_with_id() {
+        let mut gk = gk();
+        let reply = gk.handle(&RasMessage::GatekeeperRequest {
+            endpoint_alias: "a".into(),
+        });
+        assert_eq!(
+            reply,
+            RasMessage::GatekeeperConfirm {
+                gatekeeper_id: "gk.mmcs".into()
+            }
+        );
+    }
+
+    #[test]
+    fn registration_assigns_unique_ids_and_rejects_duplicates() {
+        let mut gk = gk();
+        let a = register(&mut gk, "alice");
+        let b = register(&mut gk, "bob");
+        assert_ne!(a, b);
+        assert_eq!(gk.endpoint_count(), 2);
+        assert_eq!(gk.alias_of(a), Some("alice"));
+        let reply = gk.handle(&RasMessage::RegistrationRequest {
+            endpoint_alias: "alice".into(),
+            signal_address: "elsewhere".into(),
+        });
+        assert_eq!(
+            reply,
+            RasMessage::RegistrationReject {
+                reason: RejectReason::DuplicateAlias
+            }
+        );
+    }
+
+    #[test]
+    fn admission_points_at_gateway_and_tracks_bandwidth() {
+        let mut gk = gk();
+        let ep = register(&mut gk, "alice");
+        let reply = gk.handle(&RasMessage::AdmissionRequest {
+            endpoint_id: ep,
+            destination: "conf-1".into(),
+            bandwidth: 6400,
+        });
+        assert_eq!(
+            reply,
+            RasMessage::AdmissionConfirm {
+                bandwidth: 6400,
+                call_signal_address: "gw.mmcs:1720".into()
+            }
+        );
+        assert_eq!(gk.granted_bandwidth(), 6400);
+    }
+
+    #[test]
+    fn admission_requires_registration() {
+        let mut gk = gk();
+        let reply = gk.handle(&RasMessage::AdmissionRequest {
+            endpoint_id: 99,
+            destination: "conf-1".into(),
+            bandwidth: 100,
+        });
+        assert_eq!(
+            reply,
+            RasMessage::AdmissionReject {
+                reason: RejectReason::NotRegistered
+            }
+        );
+    }
+
+    #[test]
+    fn zone_budget_is_enforced_and_released_by_disengage() {
+        let mut gk = gk();
+        let ep = register(&mut gk, "alice");
+        gk.handle(&RasMessage::AdmissionRequest {
+            endpoint_id: ep,
+            destination: "conf-1".into(),
+            bandwidth: 9_000,
+        });
+        let cr = gk.next_call_reference();
+        gk.bind_call(cr, ep, 9_000);
+        // Second call does not fit.
+        let reply = gk.handle(&RasMessage::AdmissionRequest {
+            endpoint_id: ep,
+            destination: "conf-2".into(),
+            bandwidth: 2_000,
+        });
+        assert_eq!(
+            reply,
+            RasMessage::AdmissionReject {
+                reason: RejectReason::InsufficientBandwidth
+            }
+        );
+        // Disengage frees the budget.
+        let reply = gk.handle(&RasMessage::DisengageRequest {
+            endpoint_id: ep,
+            call_reference: cr,
+        });
+        assert_eq!(reply, RasMessage::DisengageConfirm);
+        assert_eq!(gk.granted_bandwidth(), 0);
+        let reply = gk.handle(&RasMessage::AdmissionRequest {
+            endpoint_id: ep,
+            destination: "conf-2".into(),
+            bandwidth: 2_000,
+        });
+        assert!(matches!(reply, RasMessage::AdmissionConfirm { .. }));
+    }
+
+    #[test]
+    fn disengage_for_unknown_call_rejected() {
+        let mut gk = gk();
+        let ep = register(&mut gk, "alice");
+        let reply = gk.handle(&RasMessage::DisengageRequest {
+            endpoint_id: ep,
+            call_reference: 77,
+        });
+        assert_eq!(
+            reply,
+            RasMessage::AdmissionReject {
+                reason: RejectReason::UnknownCall
+            }
+        );
+    }
+
+    #[test]
+    fn disengage_by_wrong_endpoint_rejected_and_grant_kept() {
+        let mut gk = gk();
+        let alice = register(&mut gk, "alice");
+        let bob = register(&mut gk, "bob");
+        gk.handle(&RasMessage::AdmissionRequest {
+            endpoint_id: alice,
+            destination: "conf-1".into(),
+            bandwidth: 500,
+        });
+        let cr = gk.next_call_reference();
+        gk.bind_call(cr, alice, 500);
+        let reply = gk.handle(&RasMessage::DisengageRequest {
+            endpoint_id: bob,
+            call_reference: cr,
+        });
+        assert!(matches!(reply, RasMessage::AdmissionReject { .. }));
+        assert_eq!(gk.granted_bandwidth(), 500);
+    }
+}

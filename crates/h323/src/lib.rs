@@ -1,0 +1,37 @@
+//! H.323 subset for Global-MMCS: H.225 RAS, Q.931 call signaling, H.245
+//! media control, a gatekeeper and the H.323 → XGSP gateway.
+//!
+//! "The H.323 Servers including a H.323 Gatekeeper and H.323 gateway
+//! create a new H.323 administration domain for individual H.323
+//! endpoints, translate H.225 and H.245 signaling from these endpoints
+//! into XGSP signaling messages, and redirect their RTP channels to the
+//! NaradaBrokering servers" (§3.2). This crate provides exactly those
+//! pieces:
+//!
+//! * [`msg`] — the message sets: H.225 RAS (GRQ/GCF/GRJ, RRQ/RCF/RRJ,
+//!   ARQ/ACF/ARJ, DRQ/DCF), Q.931 call signaling (Setup, Call
+//!   Proceeding, Alerting, Connect, Release Complete) and H.245
+//!   (TerminalCapabilitySet/Ack, MasterSlaveDetermination/Ack,
+//!   OpenLogicalChannel/Ack, CloseLogicalChannel, EndSession).
+//! * [`codec`] — a compact binary TLV codec for those messages. The
+//!   real wire format is ASN.1 PER; per `DESIGN.md` §2 we substitute a
+//!   TLV encoding because Global-MMCS exercises the signaling state
+//!   machines, not the bit packing.
+//! * [`gatekeeper`] — endpoint registration, admission control and
+//!   bandwidth accounting.
+//! * [`endpoint`] — a client-side call state machine (the "H.323
+//!   terminal" used by examples and tests).
+//! * [`gateway`] — translation into XGSP: an admitted Setup to a
+//!   conference alias becomes `Join`, Release Complete becomes `Leave`,
+//!   and H.245 OpenLogicalChannel returns the broker RTP proxy as the
+//!   media sink.
+
+pub mod codec;
+pub mod endpoint;
+pub mod gatekeeper;
+pub mod gateway;
+pub mod msg;
+
+pub use gatekeeper::Gatekeeper;
+pub use gateway::H323Gateway;
+pub use msg::H323Message;

@@ -1,0 +1,230 @@
+//! H.225 RAS, Q.931 and H.245 message definitions.
+//!
+//! Field coverage is the working set the Global-MMCS signaling paths
+//! exercise; see the [crate docs](crate) for the substitution note on
+//! the wire format.
+
+/// Reasons a gatekeeper rejects a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// The alias or endpoint is not registered.
+    NotRegistered,
+    /// Another endpoint owns the alias.
+    DuplicateAlias,
+    /// Admission would exceed the zone's bandwidth budget.
+    InsufficientBandwidth,
+    /// The gatekeeper does not serve this endpoint/zone.
+    InvalidZone,
+    /// The call reference is unknown.
+    UnknownCall,
+}
+
+/// H.225 RAS messages (endpoint ⇄ gatekeeper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RasMessage {
+    /// Gatekeeper discovery request.
+    GatekeeperRequest {
+        /// The endpoint's alias.
+        endpoint_alias: String,
+    },
+    /// Discovery confirm.
+    GatekeeperConfirm {
+        /// The gatekeeper's identifier.
+        gatekeeper_id: String,
+    },
+    /// Discovery reject.
+    GatekeeperReject {
+        /// Why.
+        reason: RejectReason,
+    },
+    /// Registration request.
+    RegistrationRequest {
+        /// The endpoint's alias (e.g. `alice-h323`).
+        endpoint_alias: String,
+        /// The endpoint's signaling address.
+        signal_address: String,
+    },
+    /// Registration confirm.
+    RegistrationConfirm {
+        /// Gatekeeper-assigned endpoint identifier.
+        endpoint_id: u32,
+    },
+    /// Registration reject.
+    RegistrationReject {
+        /// Why.
+        reason: RejectReason,
+    },
+    /// Admission request (before placing a call).
+    AdmissionRequest {
+        /// The registered endpoint id.
+        endpoint_id: u32,
+        /// The callee alias (a user or a conference alias).
+        destination: String,
+        /// Requested bandwidth in units of 100 bps (H.225 convention).
+        bandwidth: u32,
+    },
+    /// Admission confirm.
+    AdmissionConfirm {
+        /// Granted bandwidth (may be less than requested).
+        bandwidth: u32,
+        /// Where to send the Q.931 Setup (the gateway, in Global-MMCS).
+        call_signal_address: String,
+    },
+    /// Admission reject.
+    AdmissionReject {
+        /// Why.
+        reason: RejectReason,
+    },
+    /// Disengage request (call ended; release bandwidth).
+    DisengageRequest {
+        /// The registered endpoint id.
+        endpoint_id: u32,
+        /// The call reference being released.
+        call_reference: u16,
+    },
+    /// Disengage confirm.
+    DisengageConfirm,
+}
+
+/// Q.931 call-signaling messages (endpoint ⇄ gateway).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Q931Message {
+    /// Call setup.
+    Setup {
+        /// Caller-chosen call reference value.
+        call_reference: u16,
+        /// Caller alias.
+        caller: String,
+        /// Callee alias (conference alias for Global-MMCS calls).
+        callee: String,
+    },
+    /// The network is working on it.
+    CallProceeding {
+        /// Echoed call reference.
+        call_reference: u16,
+    },
+    /// Remote is alerting.
+    Alerting {
+        /// Echoed call reference.
+        call_reference: u16,
+    },
+    /// Call accepted; H.245 control channel address included.
+    Connect {
+        /// Echoed call reference.
+        call_reference: u16,
+        /// Address of the H.245 control channel.
+        h245_address: String,
+    },
+    /// Call torn down.
+    ReleaseComplete {
+        /// Echoed call reference.
+        call_reference: u16,
+        /// Q.850-style cause value (16 = normal clearing).
+        cause: u8,
+    },
+}
+
+/// A media capability advertised in a TerminalCapabilitySet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capability {
+    /// Capability kind: `audio` or `video`.
+    pub kind: String,
+    /// Codec name (G.711, GSM, H.261, H.263 …).
+    pub codec: String,
+}
+
+/// H.245 control messages (after Connect).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum H245Message {
+    /// Capability exchange.
+    TerminalCapabilitySet {
+        /// Sequence number.
+        sequence: u8,
+        /// Capabilities offered.
+        capabilities: Vec<Capability>,
+    },
+    /// Capability ack.
+    TerminalCapabilitySetAck {
+        /// Echoed sequence number.
+        sequence: u8,
+    },
+    /// Master/slave determination.
+    MasterSlaveDetermination {
+        /// Terminal type (higher wins master).
+        terminal_type: u8,
+        /// Tie-break random number.
+        determination_number: u32,
+    },
+    /// Master/slave result.
+    MasterSlaveDeterminationAck {
+        /// `true` when the *recipient* is master.
+        remote_is_master: bool,
+    },
+    /// Open a media channel.
+    OpenLogicalChannel {
+        /// Channel number.
+        channel: u16,
+        /// `audio` or `video`.
+        kind: String,
+        /// Codec.
+        codec: String,
+    },
+    /// Channel accepted; media goes to this transport address.
+    OpenLogicalChannelAck {
+        /// Echoed channel number.
+        channel: u16,
+        /// Where to send RTP (the broker RTP proxy).
+        media_address: String,
+    },
+    /// Close a media channel.
+    CloseLogicalChannel {
+        /// Channel number.
+        channel: u16,
+    },
+    /// End the H.245 session.
+    EndSession,
+}
+
+/// Any H.323 signaling message (the unit the TLV codec encodes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum H323Message {
+    /// An H.225 RAS message.
+    Ras(RasMessage),
+    /// A Q.931 call-signaling message.
+    Q931(Q931Message),
+    /// An H.245 control message.
+    H245(H245Message),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_compare_and_clone() {
+        let setup = Q931Message::Setup {
+            call_reference: 7,
+            caller: "alice-h323".into(),
+            callee: "conf-1".into(),
+        };
+        assert_eq!(setup.clone(), setup);
+        let wrapped = H323Message::Q931(setup);
+        assert!(matches!(wrapped, H323Message::Q931(Q931Message::Setup { .. })));
+    }
+
+    #[test]
+    fn reject_reasons_are_distinct() {
+        let reasons = [
+            RejectReason::NotRegistered,
+            RejectReason::DuplicateAlias,
+            RejectReason::InsufficientBandwidth,
+            RejectReason::InvalidZone,
+            RejectReason::UnknownCall,
+        ];
+        for (i, a) in reasons.iter().enumerate() {
+            for (j, b) in reasons.iter().enumerate() {
+                assert_eq!(a == b, i == j);
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! The instant-messaging substrate.
+//!
+//! Global-MMCS "has SIP proxies and Jabber servers to provide Instant
+//! Messaging service" (§2.1), and the ad-hoc collaboration mode rides on
+//! it: presence shows who is around, chat gathers the group, and one
+//! command turns the conversation into an A/V meeting. This crate is
+//! the Jabber-flavoured side (the SIP MESSAGE path lives in `mmcs-sip`):
+//!
+//! * [`stanza`] — message/presence/iq stanzas with an XML codec.
+//! * [`roster`] — contact lists with subscription states.
+//! * [`server`] — the IM server: rosters, presence fan-out, one-to-one
+//!   chat and multi-user chat rooms.
+//! * [`adhoc`] — the ad-hoc bootstrap: room conversation → XGSP session
+//!   (create + invite every occupant).
+
+pub mod adhoc;
+pub mod roster;
+pub mod server;
+pub mod stanza;
+
+pub use server::ImServer;
+pub use stanza::Stanza;

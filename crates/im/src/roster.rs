@@ -1,0 +1,102 @@
+//! Contact rosters with subscription states.
+
+use std::collections::BTreeMap;
+
+/// Subscription state between a user and a contact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Subscription {
+    /// We asked; they have not answered.
+    Pending,
+    /// Mutual: both see each other's presence.
+    Both,
+}
+
+/// One user's roster.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Roster {
+    contacts: BTreeMap<String, Subscription>,
+}
+
+impl Roster {
+    /// Creates an empty roster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an outgoing subscription request.
+    pub fn request(&mut self, contact: impl Into<String>) {
+        self.contacts
+            .entry(contact.into())
+            .or_insert(Subscription::Pending);
+    }
+
+    /// Marks a subscription accepted (mutual).
+    pub fn accept(&mut self, contact: &str) -> bool {
+        match self.contacts.get_mut(contact) {
+            Some(state) => {
+                *state = Subscription::Both;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a contact.
+    pub fn remove(&mut self, contact: &str) -> bool {
+        self.contacts.remove(contact).is_some()
+    }
+
+    /// The subscription state with a contact.
+    pub fn subscription(&self, contact: &str) -> Option<Subscription> {
+        self.contacts.get(contact).copied()
+    }
+
+    /// Contacts with mutual subscription (presence-visible), sorted.
+    pub fn visible_contacts(&self) -> Vec<&str> {
+        self.contacts
+            .iter()
+            .filter(|(_, s)| **s == Subscription::Both)
+            .map(|(c, _)| c.as_str())
+            .collect()
+    }
+
+    /// All contacts, sorted.
+    pub fn contacts(&self) -> Vec<&str> {
+        self.contacts.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_accept_remove_lifecycle() {
+        let mut roster = Roster::new();
+        roster.request("bob@mmcs");
+        assert_eq!(roster.subscription("bob@mmcs"), Some(Subscription::Pending));
+        assert!(roster.visible_contacts().is_empty());
+        assert!(roster.accept("bob@mmcs"));
+        assert_eq!(roster.visible_contacts(), vec!["bob@mmcs"]);
+        assert!(roster.remove("bob@mmcs"));
+        assert!(!roster.remove("bob@mmcs"));
+        assert!(!roster.accept("bob@mmcs"));
+    }
+
+    #[test]
+    fn duplicate_request_keeps_state() {
+        let mut roster = Roster::new();
+        roster.request("bob");
+        roster.accept("bob");
+        roster.request("bob"); // must not downgrade Both -> Pending
+        assert_eq!(roster.subscription("bob"), Some(Subscription::Both));
+    }
+
+    #[test]
+    fn contacts_are_sorted() {
+        let mut roster = Roster::new();
+        roster.request("zed");
+        roster.request("alice");
+        assert_eq!(roster.contacts(), vec!["alice", "zed"]);
+    }
+}

@@ -1,0 +1,326 @@
+//! The IM server: presence fan-out, chat, multi-user rooms.
+//!
+//! Sans-IO: feeding a [`Stanza`] returns the stanzas to deliver, each
+//! tagged with its recipient JID.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::roster::Roster;
+use crate::stanza::{Show, Stanza};
+
+/// A stanza addressed to a user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outgoing {
+    /// Recipient JID.
+    pub to: String,
+    /// The stanza.
+    pub stanza: Stanza,
+}
+
+/// The IM server. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct ImServer {
+    rosters: HashMap<String, Roster>,
+    presence: HashMap<String, (Show, String)>,
+    /// room name -> occupants (sorted for deterministic fan-out).
+    rooms: BTreeMap<String, Vec<String>>,
+}
+
+impl ImServer {
+    /// Creates an empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mutable access to a user's roster (created on first touch).
+    pub fn roster_mut(&mut self, user: &str) -> &mut Roster {
+        self.rosters.entry(user.to_owned()).or_default()
+    }
+
+    /// A user's roster, if they have one.
+    pub fn roster(&self, user: &str) -> Option<&Roster> {
+        self.rosters.get(user)
+    }
+
+    /// Current presence of a user (unavailable by default).
+    pub fn presence_of(&self, user: &str) -> Show {
+        self.presence
+            .get(user)
+            .map(|(show, _)| show.clone())
+            .unwrap_or(Show::Unavailable)
+    }
+
+    /// Occupants of a room (empty for unknown rooms).
+    pub fn occupants(&self, room: &str) -> &[String] {
+        self.rooms.get(room).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Handles one inbound stanza.
+    pub fn handle(&mut self, stanza: Stanza) -> Vec<Outgoing> {
+        match stanza {
+            Stanza::Presence { from, show, status } => {
+                self.presence
+                    .insert(from.clone(), (show.clone(), status.clone()));
+                // Fan out to everyone whose roster mutually includes us.
+                let mut outgoing = Vec::new();
+                let mut watchers: Vec<&String> = self
+                    .rosters
+                    .iter()
+                    .filter(|(owner, roster)| {
+                        **owner != from
+                            && roster
+                                .subscription(&from)
+                                .is_some_and(|s| s == crate::roster::Subscription::Both)
+                    })
+                    .map(|(owner, _)| owner)
+                    .collect();
+                watchers.sort();
+                for watcher in watchers {
+                    outgoing.push(Outgoing {
+                        to: watcher.clone(),
+                        stanza: Stanza::Presence {
+                            from: from.clone(),
+                            show: show.clone(),
+                            status: status.clone(),
+                        },
+                    });
+                }
+                outgoing
+            }
+            Stanza::Message { from, to, body } => {
+                if let Some(occupants) = self.rooms.get(&to) {
+                    // Room chat: relay to every other occupant, rewriting
+                    // the sender as room/nick.
+                    occupants
+                        .iter()
+                        .filter(|occupant| **occupant != from)
+                        .map(|occupant| Outgoing {
+                            to: occupant.clone(),
+                            stanza: Stanza::Message {
+                                from: format!("{to}/{from}"),
+                                to: occupant.clone(),
+                                body: body.clone(),
+                            },
+                        })
+                        .collect()
+                } else {
+                    // Direct chat.
+                    vec![Outgoing {
+                        to: to.clone(),
+                        stanza: Stanza::Message { from, to, body },
+                    }]
+                }
+            }
+            Stanza::Iq {
+                from,
+                kind,
+                query,
+                arg,
+            } => self.handle_iq(from, kind, query, arg),
+        }
+    }
+
+    fn handle_iq(
+        &mut self,
+        from: String,
+        kind: String,
+        query: String,
+        arg: String,
+    ) -> Vec<Outgoing> {
+        let reply = |arg: String| Outgoing {
+            to: from.clone(),
+            stanza: Stanza::Iq {
+                from: "server".into(),
+                kind: "result".into(),
+                query: query.clone(),
+                arg,
+            },
+        };
+        match (kind.as_str(), query.as_str()) {
+            ("set", "join-room") => {
+                let occupants = self.rooms.entry(arg.clone()).or_default();
+                let mut outgoing = Vec::new();
+                if !occupants.contains(&from) {
+                    for occupant in occupants.iter() {
+                        outgoing.push(Outgoing {
+                            to: occupant.clone(),
+                            stanza: Stanza::Presence {
+                                from: format!("{arg}/{from}"),
+                                show: Show::Available,
+                                status: "joined".into(),
+                            },
+                        });
+                    }
+                    occupants.push(from.clone());
+                    occupants.sort();
+                }
+                outgoing.push(reply("ok".into()));
+                outgoing
+            }
+            ("set", "leave-room") => {
+                let mut outgoing = Vec::new();
+                if let Some(occupants) = self.rooms.get_mut(&arg) {
+                    occupants.retain(|occupant| *occupant != from);
+                    for occupant in occupants.iter() {
+                        outgoing.push(Outgoing {
+                            to: occupant.clone(),
+                            stanza: Stanza::Presence {
+                                from: format!("{arg}/{from}"),
+                                show: Show::Unavailable,
+                                status: "left".into(),
+                            },
+                        });
+                    }
+                    if occupants.is_empty() {
+                        self.rooms.remove(&arg);
+                    }
+                }
+                outgoing.push(reply("ok".into()));
+                outgoing
+            }
+            ("get", "room-occupants") => {
+                let list = self
+                    .rooms
+                    .get(&arg)
+                    .map(|occupants| occupants.join(","))
+                    .unwrap_or_default();
+                vec![reply(list)]
+            }
+            _ => vec![reply(format!("error: unknown query {query}"))],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn join(server: &mut ImServer, user: &str, room: &str) {
+        server.handle(Stanza::Iq {
+            from: user.into(),
+            kind: "set".into(),
+            query: "join-room".into(),
+            arg: room.into(),
+        });
+    }
+
+    #[test]
+    fn direct_message_is_relayed() {
+        let mut server = ImServer::new();
+        let outgoing = server.handle(Stanza::Message {
+            from: "alice".into(),
+            to: "bob".into(),
+            body: "hi".into(),
+        });
+        assert_eq!(outgoing.len(), 1);
+        assert_eq!(outgoing[0].to, "bob");
+    }
+
+    #[test]
+    fn room_chat_reaches_other_occupants_with_room_nick() {
+        let mut server = ImServer::new();
+        join(&mut server, "alice", "room-7");
+        join(&mut server, "bob", "room-7");
+        join(&mut server, "carol", "room-7");
+        let outgoing = server.handle(Stanza::Message {
+            from: "alice".into(),
+            to: "room-7".into(),
+            body: "shall we meet?".into(),
+        });
+        let recipients: Vec<&str> = outgoing.iter().map(|o| o.to.as_str()).collect();
+        assert_eq!(recipients, vec!["bob", "carol"]);
+        assert!(matches!(
+            &outgoing[0].stanza,
+            Stanza::Message { from, .. } if from == "room-7/alice"
+        ));
+    }
+
+    #[test]
+    fn join_announces_to_existing_occupants() {
+        let mut server = ImServer::new();
+        join(&mut server, "alice", "room-1");
+        let outgoing = server.handle(Stanza::Iq {
+            from: "bob".into(),
+            kind: "set".into(),
+            query: "join-room".into(),
+            arg: "room-1".into(),
+        });
+        // Presence to alice + iq result to bob.
+        assert_eq!(outgoing.len(), 2);
+        assert_eq!(outgoing[0].to, "alice");
+        assert_eq!(server.occupants("room-1"), ["alice", "bob"]);
+        // Double join is idempotent.
+        join(&mut server, "bob", "room-1");
+        assert_eq!(server.occupants("room-1").len(), 2);
+    }
+
+    #[test]
+    fn leave_empties_and_removes_room() {
+        let mut server = ImServer::new();
+        join(&mut server, "alice", "room-1");
+        join(&mut server, "bob", "room-1");
+        server.handle(Stanza::Iq {
+            from: "alice".into(),
+            kind: "set".into(),
+            query: "leave-room".into(),
+            arg: "room-1".into(),
+        });
+        assert_eq!(server.occupants("room-1"), ["bob"]);
+        server.handle(Stanza::Iq {
+            from: "bob".into(),
+            kind: "set".into(),
+            query: "leave-room".into(),
+            arg: "room-1".into(),
+        });
+        assert!(server.occupants("room-1").is_empty());
+    }
+
+    #[test]
+    fn presence_fans_out_to_mutual_contacts_only() {
+        let mut server = ImServer::new();
+        server.roster_mut("bob").request("alice");
+        server.roster_mut("bob").accept("alice");
+        server.roster_mut("carol").request("alice"); // pending only
+        let outgoing = server.handle(Stanza::Presence {
+            from: "alice".into(),
+            show: Show::Available,
+            status: "here".into(),
+        });
+        assert_eq!(outgoing.len(), 1);
+        assert_eq!(outgoing[0].to, "bob");
+        assert_eq!(server.presence_of("alice"), Show::Available);
+        assert_eq!(server.presence_of("nobody"), Show::Unavailable);
+    }
+
+    #[test]
+    fn room_occupants_query() {
+        let mut server = ImServer::new();
+        join(&mut server, "alice", "r");
+        join(&mut server, "bob", "r");
+        let outgoing = server.handle(Stanza::Iq {
+            from: "carol".into(),
+            kind: "get".into(),
+            query: "room-occupants".into(),
+            arg: "r".into(),
+        });
+        assert!(matches!(
+            &outgoing[0].stanza,
+            Stanza::Iq { arg, .. } if arg == "alice,bob"
+        ));
+    }
+
+    #[test]
+    fn unknown_iq_yields_error_result() {
+        let mut server = ImServer::new();
+        let outgoing = server.handle(Stanza::Iq {
+            from: "x".into(),
+            kind: "set".into(),
+            query: "levitate".into(),
+            arg: String::new(),
+        });
+        assert!(matches!(
+            &outgoing[0].stanza,
+            Stanza::Iq { arg, .. } if arg.starts_with("error")
+        ));
+    }
+}

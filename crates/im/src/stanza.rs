@@ -1,0 +1,257 @@
+//! Jabber-style stanzas: `<message/>`, `<presence/>`, `<iq/>`.
+
+use core::fmt;
+
+use mmcs_util::xml::Element;
+
+/// Presence availability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Show {
+    /// Online and available.
+    Available,
+    /// Away from keyboard.
+    Away,
+    /// Do not disturb.
+    Dnd,
+    /// Offline.
+    Unavailable,
+}
+
+impl Show {
+    fn as_str(&self) -> &'static str {
+        match self {
+            Show::Available => "available",
+            Show::Away => "away",
+            Show::Dnd => "dnd",
+            Show::Unavailable => "unavailable",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Show> {
+        Some(match s {
+            "available" => Show::Available,
+            "away" => Show::Away,
+            "dnd" => Show::Dnd,
+            "unavailable" => Show::Unavailable,
+            _ => return None,
+        })
+    }
+}
+
+/// One stanza.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stanza {
+    /// A chat message (one-to-one or to a room).
+    Message {
+        /// Sender JID.
+        from: String,
+        /// Recipient JID (a user or a room).
+        to: String,
+        /// The text.
+        body: String,
+    },
+    /// A presence update.
+    Presence {
+        /// Whose presence.
+        from: String,
+        /// Availability.
+        show: Show,
+        /// Free-text status.
+        status: String,
+    },
+    /// An info/query request-or-response (used for room operations).
+    Iq {
+        /// Sender JID.
+        from: String,
+        /// `get`, `set` or `result`.
+        kind: String,
+        /// Query name (`join-room`, `leave-room`, `room-occupants`, …).
+        query: String,
+        /// Query argument.
+        arg: String,
+    },
+}
+
+impl Stanza {
+    /// Renders the stanza as XML.
+    pub fn to_xml(&self) -> String {
+        self.to_element().to_xml()
+    }
+
+    /// Renders as an element.
+    pub fn to_element(&self) -> Element {
+        match self {
+            Stanza::Message { from, to, body } => Element::new("message")
+                .with_attr("from", from)
+                .with_attr("to", to)
+                .with_child(Element::new("body").with_text(body)),
+            Stanza::Presence { from, show, status } => Element::new("presence")
+                .with_attr("from", from)
+                .with_child(Element::new("show").with_text(show.as_str()))
+                .with_child(Element::new("status").with_text(status)),
+            Stanza::Iq {
+                from,
+                kind,
+                query,
+                arg,
+            } => Element::new("iq")
+                .with_attr("from", from)
+                .with_attr("type", kind)
+                .with_child(
+                    Element::new("query")
+                        .with_attr("name", query)
+                        .with_text(arg),
+                ),
+        }
+    }
+
+    /// Parses a stanza from XML.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseStanzaError`] on malformed XML or unknown stanza
+    /// shapes.
+    pub fn parse(xml: &str) -> Result<Stanza, ParseStanzaError> {
+        let root = Element::parse(xml).map_err(|e| ParseStanzaError::Xml(e.to_string()))?;
+        Self::from_element(&root)
+    }
+
+    /// Parses from an element.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Stanza::parse`].
+    pub fn from_element(root: &Element) -> Result<Stanza, ParseStanzaError> {
+        let from = root
+            .attr("from")
+            .ok_or(ParseStanzaError::Missing("from"))?
+            .to_owned();
+        match root.name() {
+            "message" => Ok(Stanza::Message {
+                from,
+                to: root
+                    .attr("to")
+                    .ok_or(ParseStanzaError::Missing("to"))?
+                    .to_owned(),
+                body: root
+                    .child_text("body")
+                    .ok_or(ParseStanzaError::Missing("body"))?,
+            }),
+            "presence" => Ok(Stanza::Presence {
+                from,
+                show: root
+                    .child_text("show")
+                    .and_then(|s| Show::parse(&s))
+                    .ok_or(ParseStanzaError::Missing("show"))?,
+                status: root.child_text("status").unwrap_or_default(),
+            }),
+            "iq" => {
+                let query = root
+                    .child("query")
+                    .ok_or(ParseStanzaError::Missing("query"))?;
+                Ok(Stanza::Iq {
+                    from,
+                    kind: root
+                        .attr("type")
+                        .ok_or(ParseStanzaError::Missing("type"))?
+                        .to_owned(),
+                    query: query
+                        .attr("name")
+                        .ok_or(ParseStanzaError::Missing("query name"))?
+                        .to_owned(),
+                    arg: query.text(),
+                })
+            }
+            other => Err(ParseStanzaError::UnknownStanza(other.to_owned())),
+        }
+    }
+}
+
+impl fmt::Display for Stanza {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}
+
+/// Error parsing a stanza.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseStanzaError {
+    /// Malformed XML.
+    Xml(String),
+    /// Not message/presence/iq.
+    UnknownStanza(String),
+    /// A required field was absent.
+    Missing(&'static str),
+}
+
+impl fmt::Display for ParseStanzaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseStanzaError::Xml(e) => write!(f, "malformed xml: {e}"),
+            ParseStanzaError::UnknownStanza(n) => write!(f, "unknown stanza <{n}>"),
+            ParseStanzaError::Missing(what) => write!(f, "missing stanza field {what:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseStanzaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stanzas_round_trip() {
+        let cases = vec![
+            Stanza::Message {
+                from: "alice@mmcs".into(),
+                to: "room-7@conference.mmcs".into(),
+                body: "shall we start? <now>".into(),
+            },
+            Stanza::Presence {
+                from: "bob@mmcs".into(),
+                show: Show::Away,
+                status: "lunch".into(),
+            },
+            Stanza::Presence {
+                from: "carol@mmcs".into(),
+                show: Show::Unavailable,
+                status: String::new(),
+            },
+            Stanza::Iq {
+                from: "alice@mmcs".into(),
+                kind: "set".into(),
+                query: "join-room".into(),
+                arg: "room-7".into(),
+            },
+        ];
+        for stanza in cases {
+            let xml = stanza.to_xml();
+            assert_eq!(Stanza::parse(&xml).unwrap(), stanza, "{xml}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            Stanza::parse("<carrier-pigeon from='x'/>"),
+            Err(ParseStanzaError::UnknownStanza(_))
+        ));
+        assert!(matches!(
+            Stanza::parse("<message to='y'><body>hi</body></message>"),
+            Err(ParseStanzaError::Missing("from"))
+        ));
+        assert!(matches!(
+            Stanza::parse("<message from='x' to='y'/>"),
+            Err(ParseStanzaError::Missing("body"))
+        ));
+        assert!(matches!(
+            Stanza::parse("<presence from='x'/>"),
+            Err(ParseStanzaError::Missing("show"))
+        ));
+        assert!(matches!(
+            Stanza::parse("not xml"),
+            Err(ParseStanzaError::Xml(_))
+        ));
+    }
+}

@@ -1,0 +1,155 @@
+//! Interarrival jitter (RFC 3550 §6.4.1).
+//!
+//! The estimator behind Figure 3(b): for consecutive packets `i-1`, `i`,
+//! with arrival times `R` and media timestamps `S` (both in seconds),
+//! `D = (R_i - R_{i-1}) - (S_i - S_{i-1})` and the running jitter is
+//! smoothed as `J += (|D| - J) / 16`.
+
+use mmcs_util::time::SimTime;
+
+/// Running RFC 3550 jitter estimator for one source.
+///
+/// # Examples
+///
+/// ```
+/// use mmcs_rtp::jitter::JitterEstimator;
+/// use mmcs_util::time::SimTime;
+///
+/// let mut j = JitterEstimator::new(8_000); // PCMU clock
+/// // Perfectly paced stream: zero jitter.
+/// j.record(SimTime::from_millis(0), 0);
+/// j.record(SimTime::from_millis(20), 160);
+/// j.record(SimTime::from_millis(40), 320);
+/// assert!(j.jitter_ms() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JitterEstimator {
+    clock_rate: u32,
+    last_arrival: Option<(SimTime, u32)>,
+    /// Smoothed jitter in seconds.
+    jitter_secs: f64,
+    samples: u64,
+}
+
+impl JitterEstimator {
+    /// Creates an estimator for a source with the given RTP clock rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_rate` is zero.
+    pub fn new(clock_rate: u32) -> Self {
+        assert!(clock_rate > 0, "clock rate must be positive");
+        Self {
+            clock_rate,
+            last_arrival: None,
+            jitter_secs: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// Records a packet arrival, returning the instantaneous |D| in
+    /// milliseconds (0 for the first packet).
+    pub fn record(&mut self, arrival: SimTime, rtp_timestamp: u32) -> f64 {
+        let Some((prev_arrival, prev_ts)) = self.last_arrival else {
+            self.last_arrival = Some((arrival, rtp_timestamp));
+            return 0.0;
+        };
+        let arrival_delta = arrival.as_secs_f64() - prev_arrival.as_secs_f64();
+        // Timestamp delta with wrap-around, as a signed 32-bit difference.
+        let ts_delta = rtp_timestamp.wrapping_sub(prev_ts) as i32 as f64 / self.clock_rate as f64;
+        let d = (arrival_delta - ts_delta).abs();
+        self.jitter_secs += (d - self.jitter_secs) / 16.0;
+        self.samples += 1;
+        self.last_arrival = Some((arrival, rtp_timestamp));
+        d * 1e3
+    }
+
+    /// The current smoothed jitter in milliseconds.
+    pub fn jitter_ms(&self) -> f64 {
+        self.jitter_secs * 1e3
+    }
+
+    /// The current smoothed jitter in RTP timestamp units, the form RTCP
+    /// receiver reports carry.
+    pub fn jitter_rtp_units(&self) -> u32 {
+        (self.jitter_secs * self.clock_rate as f64) as u32
+    }
+
+    /// How many interarrival samples have been folded in.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmcs_util::time::SimDuration;
+
+    #[test]
+    fn perfectly_paced_stream_has_zero_jitter() {
+        let mut j = JitterEstimator::new(90_000);
+        let mut t = SimTime::ZERO;
+        let mut ts = 0u32;
+        for _ in 0..100 {
+            j.record(t, ts);
+            t += SimDuration::from_millis(40);
+            ts = ts.wrapping_add(3600); // 40 ms at 90 kHz
+        }
+        assert!(j.jitter_ms() < 1e-9, "J = {}", j.jitter_ms());
+        assert_eq!(j.samples(), 99);
+    }
+
+    #[test]
+    fn constant_displacement_converges_toward_displacement() {
+        // Every other packet arrives 8 ms late: |D| alternates 8, 8 (each
+        // step changes arrival spacing by ±8 ms while timestamps advance
+        // uniformly), so J converges toward 8 ms.
+        let mut j = JitterEstimator::new(8_000);
+        let mut ts = 0u32;
+        for i in 0..500u64 {
+            let base = SimTime::from_millis(i * 20);
+            let arrival = if i % 2 == 1 {
+                base + SimDuration::from_millis(8)
+            } else {
+                base
+            };
+            j.record(arrival, ts);
+            ts += 160;
+        }
+        assert!((j.jitter_ms() - 8.0).abs() < 0.5, "J = {}", j.jitter_ms());
+    }
+
+    #[test]
+    fn timestamp_wraparound_is_handled() {
+        let mut j = JitterEstimator::new(90_000);
+        j.record(SimTime::from_millis(0), u32::MAX - 1000);
+        // 40 ms later, timestamp wraps past zero.
+        let d = j.record(SimTime::from_millis(40), u32::MAX.wrapping_add(2600));
+        assert!(d < 1.0, "wraparound treated as huge delta: {d}");
+    }
+
+    #[test]
+    fn first_packet_contributes_nothing() {
+        let mut j = JitterEstimator::new(8_000);
+        assert_eq!(j.record(SimTime::from_millis(5), 40), 0.0);
+        assert_eq!(j.samples(), 0);
+        assert_eq!(j.jitter_ms(), 0.0);
+    }
+
+    #[test]
+    fn rtp_units_conversion() {
+        let mut j = JitterEstimator::new(8_000);
+        j.record(SimTime::from_millis(0), 0);
+        // 20 ms of media, 36 ms of wall time -> |D| = 16 ms.
+        j.record(SimTime::from_millis(36), 160);
+        // J = 16/16 = 1 ms ~= 8 timestamp units at 8 kHz.
+        assert!((7..=8).contains(&j.jitter_rtp_units()));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_clock_rate_panics() {
+        let _ = JitterEstimator::new(0);
+    }
+}

@@ -1,0 +1,48 @@
+//! RTP/RTCP (RFC 3550) and media source models.
+//!
+//! Global-MMCS carries all audio/video as RTP: endpoints publish RTP
+//! packets to NaradaBrokering topics through RTP proxies, the JMF-style
+//! reflector baseline forwards raw RTP, and the streaming service ingests
+//! RTP into the Real producer. This crate provides:
+//!
+//! * [`packet`] — the RTP fixed header and packet, encoded/decoded in the
+//!   real RFC 3550 wire format.
+//! * [`rtcp`] — sender/receiver reports, SDES (CNAME) and BYE, including
+//!   compound-packet encoding.
+//! * [`seq`] — sequence-number tracking with wrap-around, cycle counting
+//!   and the RFC 3550 Appendix A loss estimate.
+//! * [`jitter`] — the RFC 3550 §6.4.1 interarrival jitter estimator used
+//!   to reproduce Figure 3(b).
+//! * [`source`] — deterministic media source models: PCMU/GSM audio and a
+//!   bursty I/P-frame video source with a target bitrate (the paper's
+//!   600 Kbps stream).
+//! * [`recv`] — per-source receiver statistics combining all the above.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmcs_rtp::packet::{RtpHeader, RtpPacket};
+//! use bytes::Bytes;
+//!
+//! let packet = RtpPacket::new(
+//!     RtpHeader::new(96, 7, 1234, 0xdecafbad),
+//!     Bytes::from_static(b"frame-data"),
+//! );
+//! let wire = packet.encode();
+//! let back = RtpPacket::decode(&wire)?;
+//! assert_eq!(back, packet);
+//! # Ok::<(), mmcs_rtp::packet::DecodeRtpError>(())
+//! ```
+
+pub mod jitter;
+pub mod packet;
+pub mod recv;
+pub mod rtcp;
+pub mod seq;
+pub mod source;
+
+pub use jitter::JitterEstimator;
+pub use packet::{RtpHeader, RtpPacket};
+pub use recv::ReceiverStats;
+pub use seq::SequenceTracker;
+pub use source::{AudioCodec, AudioSource, VideoSource, VideoSourceConfig};

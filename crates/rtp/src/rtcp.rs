@@ -1,0 +1,438 @@
+//! RTCP control packets (RFC 3550 §6): SR, RR, SDES, BYE.
+//!
+//! Receivers in Global-MMCS periodically send receiver reports carrying
+//! the loss fraction and jitter computed by [`crate::seq`] and
+//! [`crate::jitter`]; the session services use them for quality monitoring
+//! (and the capacity experiment uses them to find the quality knee).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use core::fmt;
+
+/// RTCP packet type codes.
+mod pt {
+    pub const SR: u8 = 200;
+    pub const RR: u8 = 201;
+    pub const SDES: u8 = 202;
+    pub const BYE: u8 = 203;
+}
+
+/// One reception report block, as carried in SR/RR packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReportBlock {
+    /// The source this block reports on.
+    pub ssrc: u32,
+    /// Loss fraction since the previous report, as a fixed-point /256.
+    pub fraction_lost: u8,
+    /// Cumulative packets lost (24 bits on the wire; saturated).
+    pub cumulative_lost: u32,
+    /// Extended highest sequence number received.
+    pub highest_seq: u32,
+    /// Interarrival jitter in timestamp units.
+    pub jitter: u32,
+    /// Last SR timestamp (middle 32 bits of NTP), 0 if none.
+    pub last_sr: u32,
+    /// Delay since last SR in 1/65536 seconds, 0 if none.
+    pub delay_since_last_sr: u32,
+}
+
+impl ReportBlock {
+    fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u32(self.ssrc);
+        let lost24 = self.cumulative_lost.min(0x00FF_FFFF);
+        buf.put_u32(((self.fraction_lost as u32) << 24) | lost24);
+        buf.put_u32(self.highest_seq);
+        buf.put_u32(self.jitter);
+        buf.put_u32(self.last_sr);
+        buf.put_u32(self.delay_since_last_sr);
+    }
+
+    fn decode(wire: &[u8]) -> Result<ReportBlock, DecodeRtcpError> {
+        if wire.len() < 24 {
+            return Err(DecodeRtcpError::Truncated);
+        }
+        let word = |i: usize| u32::from_be_bytes([wire[i], wire[i + 1], wire[i + 2], wire[i + 3]]);
+        Ok(ReportBlock {
+            ssrc: word(0),
+            fraction_lost: wire[4],
+            cumulative_lost: word(4) & 0x00FF_FFFF,
+            highest_seq: word(8),
+            jitter: word(12),
+            last_sr: word(16),
+            delay_since_last_sr: word(20),
+        })
+    }
+}
+
+/// One RTCP packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtcpPacket {
+    /// Sender report: sender info plus reception blocks.
+    SenderReport {
+        /// Reporting sender's SSRC.
+        ssrc: u32,
+        /// NTP timestamp (we store virtual nanoseconds).
+        ntp_timestamp: u64,
+        /// RTP timestamp corresponding to the NTP timestamp.
+        rtp_timestamp: u32,
+        /// Packets sent so far.
+        packet_count: u32,
+        /// Payload bytes sent so far.
+        octet_count: u32,
+        /// Reception blocks for sources this sender also receives.
+        reports: Vec<ReportBlock>,
+    },
+    /// Receiver report.
+    ReceiverReport {
+        /// Reporting receiver's SSRC.
+        ssrc: u32,
+        /// Reception blocks.
+        reports: Vec<ReportBlock>,
+    },
+    /// Source description; we carry only the mandatory CNAME item.
+    Sdes {
+        /// (SSRC, CNAME) chunks.
+        chunks: Vec<(u32, String)>,
+    },
+    /// Goodbye.
+    Bye {
+        /// Sources leaving the session.
+        ssrcs: Vec<u32>,
+    },
+}
+
+impl RtcpPacket {
+    /// Encodes this packet in wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            RtcpPacket::SenderReport {
+                ssrc,
+                ntp_timestamp,
+                rtp_timestamp,
+                packet_count,
+                octet_count,
+                reports,
+            } => {
+                put_header(&mut buf, reports.len() as u8, pt::SR, 24 + reports.len() * 24);
+                buf.put_u32(*ssrc);
+                buf.put_u64(*ntp_timestamp);
+                buf.put_u32(*rtp_timestamp);
+                buf.put_u32(*packet_count);
+                buf.put_u32(*octet_count);
+                for r in reports {
+                    r.encode_into(&mut buf);
+                }
+            }
+            RtcpPacket::ReceiverReport { ssrc, reports } => {
+                put_header(&mut buf, reports.len() as u8, pt::RR, 4 + reports.len() * 24);
+                buf.put_u32(*ssrc);
+                for r in reports {
+                    r.encode_into(&mut buf);
+                }
+            }
+            RtcpPacket::Sdes { chunks } => {
+                // Each chunk: SSRC + item(type=1 CNAME, len, text) + end,
+                // padded to a word boundary.
+                let mut body = BytesMut::new();
+                for (ssrc, cname) in chunks {
+                    body.put_u32(*ssrc);
+                    body.put_u8(1);
+                    let text = cname.as_bytes();
+                    assert!(text.len() <= 255, "CNAME too long");
+                    body.put_u8(text.len() as u8);
+                    body.put_slice(text);
+                    body.put_u8(0); // end of items
+                    while body.len() % 4 != 0 {
+                        body.put_u8(0);
+                    }
+                }
+                put_header(&mut buf, chunks.len() as u8, pt::SDES, body.len());
+                buf.put_slice(&body);
+            }
+            RtcpPacket::Bye { ssrcs } => {
+                put_header(&mut buf, ssrcs.len() as u8, pt::BYE, ssrcs.len() * 4);
+                for ssrc in ssrcs {
+                    buf.put_u32(*ssrc);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a single RTCP packet, returning it and the bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeRtcpError`] on truncation, a bad version, or an
+    /// unknown packet type.
+    pub fn decode(wire: &[u8]) -> Result<(RtcpPacket, usize), DecodeRtcpError> {
+        if wire.len() < 4 {
+            return Err(DecodeRtcpError::Truncated);
+        }
+        let version = wire[0] >> 6;
+        if version != 2 {
+            return Err(DecodeRtcpError::BadVersion(version));
+        }
+        let count = (wire[0] & 0x1F) as usize;
+        let packet_type = wire[1];
+        let length_words = u16::from_be_bytes([wire[2], wire[3]]) as usize;
+        let total_len = (length_words + 1) * 4;
+        if wire.len() < total_len {
+            return Err(DecodeRtcpError::Truncated);
+        }
+        let body = &wire[4..total_len];
+        let word = |b: &[u8], i: usize| u32::from_be_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
+        let packet = match packet_type {
+            pt::SR => {
+                if body.len() < 24 + count * 24 {
+                    return Err(DecodeRtcpError::Truncated);
+                }
+                let mut reports = Vec::with_capacity(count);
+                for i in 0..count {
+                    reports.push(ReportBlock::decode(&body[24 + i * 24..])?);
+                }
+                RtcpPacket::SenderReport {
+                    ssrc: word(body, 0),
+                    ntp_timestamp: u64::from_be_bytes([
+                        body[4], body[5], body[6], body[7], body[8], body[9], body[10], body[11],
+                    ]),
+                    rtp_timestamp: word(body, 12),
+                    packet_count: word(body, 16),
+                    octet_count: word(body, 20),
+                    reports,
+                }
+            }
+            pt::RR => {
+                if body.len() < 4 + count * 24 {
+                    return Err(DecodeRtcpError::Truncated);
+                }
+                let mut reports = Vec::with_capacity(count);
+                for i in 0..count {
+                    reports.push(ReportBlock::decode(&body[4 + i * 24..])?);
+                }
+                RtcpPacket::ReceiverReport {
+                    ssrc: word(body, 0),
+                    reports,
+                }
+            }
+            pt::SDES => {
+                let mut chunks = Vec::with_capacity(count);
+                let mut off = 0usize;
+                for _ in 0..count {
+                    if body.len() < off + 6 {
+                        return Err(DecodeRtcpError::Truncated);
+                    }
+                    let ssrc = word(body, off);
+                    off += 4;
+                    if body[off] != 1 {
+                        return Err(DecodeRtcpError::Malformed("expected CNAME item"));
+                    }
+                    let len = body[off + 1] as usize;
+                    if body.len() < off + 2 + len {
+                        return Err(DecodeRtcpError::Truncated);
+                    }
+                    let cname = String::from_utf8_lossy(&body[off + 2..off + 2 + len]).into_owned();
+                    off += 2 + len;
+                    // Skip the end-of-items marker and word padding.
+                    off += 1;
+                    off = (off + 3) & !3;
+                    chunks.push((ssrc, cname));
+                }
+                RtcpPacket::Sdes { chunks }
+            }
+            pt::BYE => {
+                if body.len() < count * 4 {
+                    return Err(DecodeRtcpError::Truncated);
+                }
+                let ssrcs = (0..count).map(|i| word(body, i * 4)).collect();
+                RtcpPacket::Bye { ssrcs }
+            }
+            other => return Err(DecodeRtcpError::UnknownType(other)),
+        };
+        Ok((packet, total_len))
+    }
+
+    /// Encodes a compound packet (several RTCP packets back to back).
+    pub fn encode_compound(packets: &[RtcpPacket]) -> Bytes {
+        let mut buf = BytesMut::new();
+        for packet in packets {
+            buf.put_slice(&packet.encode());
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a compound packet into its constituent packets.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first decode error encountered.
+    pub fn decode_compound(mut wire: &[u8]) -> Result<Vec<RtcpPacket>, DecodeRtcpError> {
+        let mut packets = Vec::new();
+        while !wire.is_empty() {
+            let (packet, used) = RtcpPacket::decode(wire)?;
+            packets.push(packet);
+            wire = &wire[used..];
+        }
+        Ok(packets)
+    }
+}
+
+fn put_header(buf: &mut BytesMut, count: u8, packet_type: u8, body_len: usize) {
+    assert!(count < 32, "RTCP count field is 5 bits");
+    assert!(body_len % 4 == 0, "RTCP body must be word-aligned");
+    buf.put_u8(0x80 | count);
+    buf.put_u8(packet_type);
+    buf.put_u16((body_len / 4) as u16);
+}
+
+/// Error decoding an RTCP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeRtcpError {
+    /// Buffer shorter than the header demands.
+    Truncated,
+    /// Version field was not 2.
+    BadVersion(u8),
+    /// Packet type not one of SR/RR/SDES/BYE.
+    UnknownType(u8),
+    /// Structurally invalid content.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DecodeRtcpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeRtcpError::Truncated => write!(f, "truncated rtcp packet"),
+            DecodeRtcpError::BadVersion(v) => write!(f, "unsupported rtcp version {v}"),
+            DecodeRtcpError::UnknownType(t) => write!(f, "unknown rtcp packet type {t}"),
+            DecodeRtcpError::Malformed(what) => write!(f, "malformed rtcp packet: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeRtcpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(ssrc: u32) -> ReportBlock {
+        ReportBlock {
+            ssrc,
+            fraction_lost: 12,
+            cumulative_lost: 345,
+            highest_seq: 0x0001_0002,
+            jitter: 88,
+            last_sr: 0xAAAA_BBBB,
+            delay_since_last_sr: 65536,
+        }
+    }
+
+    #[test]
+    fn sender_report_round_trip() {
+        let sr = RtcpPacket::SenderReport {
+            ssrc: 7,
+            ntp_timestamp: 0x0102030405060708,
+            rtp_timestamp: 90_000,
+            packet_count: 1000,
+            octet_count: 1_000_000,
+            reports: vec![block(1), block(2)],
+        };
+        let wire = sr.encode();
+        let (decoded, used) = RtcpPacket::decode(&wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(decoded, sr);
+    }
+
+    #[test]
+    fn receiver_report_round_trip() {
+        let rr = RtcpPacket::ReceiverReport {
+            ssrc: 9,
+            reports: vec![block(3)],
+        };
+        let wire = rr.encode();
+        assert_eq!(RtcpPacket::decode(&wire).unwrap().0, rr);
+    }
+
+    #[test]
+    fn empty_receiver_report_round_trip() {
+        let rr = RtcpPacket::ReceiverReport {
+            ssrc: 9,
+            reports: vec![],
+        };
+        assert_eq!(RtcpPacket::decode(&rr.encode()).unwrap().0, rr);
+    }
+
+    #[test]
+    fn sdes_round_trip_with_padding() {
+        for cname in ["a", "ab", "abc", "abcd", "user@host.example"] {
+            let sdes = RtcpPacket::Sdes {
+                chunks: vec![(42, cname.to_owned()), (43, "x".to_owned())],
+            };
+            let wire = sdes.encode();
+            assert_eq!(wire.len() % 4, 0);
+            assert_eq!(RtcpPacket::decode(&wire).unwrap().0, sdes);
+        }
+    }
+
+    #[test]
+    fn bye_round_trip() {
+        let bye = RtcpPacket::Bye {
+            ssrcs: vec![1, 2, 3],
+        };
+        assert_eq!(RtcpPacket::decode(&bye.encode()).unwrap().0, bye);
+    }
+
+    #[test]
+    fn compound_round_trip() {
+        let packets = vec![
+            RtcpPacket::SenderReport {
+                ssrc: 1,
+                ntp_timestamp: 99,
+                rtp_timestamp: 1,
+                packet_count: 2,
+                octet_count: 3,
+                reports: vec![],
+            },
+            RtcpPacket::Sdes {
+                chunks: vec![(1, "cname@example".to_owned())],
+            },
+            RtcpPacket::Bye { ssrcs: vec![1] },
+        ];
+        let wire = RtcpPacket::encode_compound(&packets);
+        assert_eq!(RtcpPacket::decode_compound(&wire).unwrap(), packets);
+    }
+
+    #[test]
+    fn cumulative_lost_saturates_at_24_bits() {
+        let rr = RtcpPacket::ReceiverReport {
+            ssrc: 1,
+            reports: vec![ReportBlock {
+                cumulative_lost: u32::MAX,
+                ..ReportBlock::default()
+            }],
+        };
+        let (decoded, _) = RtcpPacket::decode(&rr.encode()).unwrap();
+        let RtcpPacket::ReceiverReport { reports, .. } = decoded else {
+            panic!("wrong type");
+        };
+        assert_eq!(reports[0].cumulative_lost, 0x00FF_FFFF);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(RtcpPacket::decode(&[0x80]), Err(DecodeRtcpError::Truncated));
+        assert_eq!(
+            RtcpPacket::decode(&[0x40, 200, 0, 0]),
+            Err(DecodeRtcpError::BadVersion(1))
+        );
+        assert_eq!(
+            RtcpPacket::decode(&[0x80, 99, 0, 0]),
+            Err(DecodeRtcpError::UnknownType(99))
+        );
+        // Header promises more words than provided.
+        assert_eq!(
+            RtcpPacket::decode(&[0x80, 201, 0, 9, 0, 0, 0, 0]),
+            Err(DecodeRtcpError::Truncated)
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Sequence-number tracking (RFC 3550 Appendix A.1).
+//!
+//! Tracks the highest sequence number seen across 16-bit wrap-around,
+//! counts received packets and estimates cumulative loss the way RTCP
+//! receiver reports do.
+
+/// Maximum forward jump treated as in-order delivery (RFC 3550 value).
+const MAX_DROPOUT: u16 = 3000;
+/// Backward distance treated as reordering rather than a restart.
+const MAX_MISORDER: u16 = 100;
+
+/// Tracks one RTP source's sequence numbers.
+///
+/// # Examples
+///
+/// ```
+/// use mmcs_rtp::seq::SequenceTracker;
+///
+/// let mut t = SequenceTracker::new(65534);
+/// t.record(65535);
+/// t.record(0); // wraps
+/// t.record(2); // one packet (seq 1) lost
+/// assert_eq!(t.cycles(), 1);
+/// assert_eq!(t.expected(), 5);
+/// assert_eq!(t.lost(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceTracker {
+    base_seq: u16,
+    max_seq: u16,
+    cycles: u32,
+    received: u64,
+    restarts: u64,
+}
+
+impl SequenceTracker {
+    /// Creates a tracker initialized from the first observed sequence
+    /// number (which counts as received).
+    pub fn new(first_seq: u16) -> Self {
+        Self {
+            base_seq: first_seq,
+            max_seq: first_seq,
+            cycles: 0,
+            received: 1,
+            restarts: 0,
+        }
+    }
+
+    /// Records an observed sequence number.
+    ///
+    /// Returns `true` if the packet advanced or filled the window, `false`
+    /// if it looked like a source restart (large backward jump), which
+    /// resets the tracker.
+    pub fn record(&mut self, seq: u16) -> bool {
+        let delta = seq.wrapping_sub(self.max_seq);
+        if delta < MAX_DROPOUT {
+            // Forward progress, possibly wrapping.
+            if seq < self.max_seq {
+                self.cycles += 1;
+            }
+            self.max_seq = seq;
+            self.received += 1;
+            true
+        } else if delta <= u16::MAX - MAX_MISORDER {
+            // Very large jump: treat as restart, following RFC 3550 A.1.
+            self.base_seq = seq;
+            self.max_seq = seq;
+            self.cycles = 0;
+            self.received = 1;
+            self.restarts += 1;
+            false
+        } else {
+            // Small backward step: a reordered duplicate of older data.
+            self.received += 1;
+            true
+        }
+    }
+
+    /// The extended highest sequence number (cycles × 2^16 + max_seq).
+    pub fn extended_max(&self) -> u64 {
+        (self.cycles as u64) << 16 | self.max_seq as u64
+    }
+
+    /// Number of 16-bit wrap-arounds observed.
+    pub fn cycles(&self) -> u32 {
+        self.cycles
+    }
+
+    /// Packets expected so far, per RFC 3550 A.3.
+    pub fn expected(&self) -> u64 {
+        self.extended_max() - self.base_seq as u64 + 1
+    }
+
+    /// Packets actually received.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Estimated cumulative loss (saturating at zero when duplicates make
+    /// received exceed expected).
+    pub fn lost(&self) -> u64 {
+        self.expected().saturating_sub(self.received)
+    }
+
+    /// Loss fraction in `[0, 1]`.
+    pub fn loss_fraction(&self) -> f64 {
+        let expected = self.expected();
+        if expected == 0 {
+            0.0
+        } else {
+            self.lost() as f64 / expected as f64
+        }
+    }
+
+    /// How many times the source appeared to restart.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_has_no_loss() {
+        let mut t = SequenceTracker::new(100);
+        for seq in 101..200u16 {
+            assert!(t.record(seq));
+        }
+        assert_eq!(t.expected(), 100);
+        assert_eq!(t.received(), 100);
+        assert_eq!(t.lost(), 0);
+        assert_eq!(t.loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn gaps_count_as_loss() {
+        let mut t = SequenceTracker::new(0);
+        t.record(1);
+        t.record(5); // 2,3,4 missing
+        assert_eq!(t.expected(), 6);
+        assert_eq!(t.received(), 3);
+        assert_eq!(t.lost(), 3);
+        assert!((t.loss_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wraparound_counts_cycles() {
+        let mut t = SequenceTracker::new(65000);
+        for seq in 65001..=65535u16 {
+            t.record(seq);
+        }
+        t.record(0);
+        t.record(1);
+        assert_eq!(t.cycles(), 1);
+        assert_eq!(t.extended_max(), (1 << 16) + 1);
+        assert_eq!(t.lost(), 0);
+    }
+
+    #[test]
+    fn small_reorder_is_not_a_restart() {
+        let mut t = SequenceTracker::new(10);
+        t.record(11);
+        t.record(12);
+        assert!(t.record(11)); // duplicate/reordered
+        assert_eq!(t.restarts(), 0);
+        assert_eq!(t.received(), 4);
+    }
+
+    #[test]
+    fn huge_backward_jump_resets() {
+        let mut t = SequenceTracker::new(50_000);
+        assert!(!t.record(10)); // looks like a new source instance
+        assert_eq!(t.restarts(), 1);
+        assert_eq!(t.expected(), 1);
+        assert_eq!(t.received(), 1);
+    }
+
+    #[test]
+    fn duplicates_never_yield_negative_loss() {
+        let mut t = SequenceTracker::new(5);
+        t.record(5);
+        t.record(5);
+        assert_eq!(t.lost(), 0);
+    }
+}

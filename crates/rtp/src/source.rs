@@ -1,0 +1,346 @@
+//! Deterministic media source models.
+//!
+//! These stand in for the paper's real capture hardware (see `DESIGN.md`
+//! §2). [`AudioSource`] produces constant-bitrate telephony audio;
+//! [`VideoSource`] produces the bursty frame pattern of a 2003-era H.263
+//! encoder: periodic large I-frames and smaller P-frames, each frame split
+//! into MTU-sized RTP packets released back to back. The burstiness is
+//! what drives the sawtooth delay series in Figure 3.
+
+use bytes::Bytes;
+use mmcs_util::rng::DetRng;
+use mmcs_util::time::SimDuration;
+
+use crate::packet::{payload_type, RtpHeader, RtpPacket};
+
+/// Telephony audio codecs the audio source can model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AudioCodec {
+    /// G.711 µ-law: 160-byte payload every 20 ms (64 kbps).
+    Pcmu,
+    /// GSM full rate: 33-byte payload every 20 ms (13.2 kbps).
+    Gsm,
+}
+
+impl AudioCodec {
+    /// RTP payload type code.
+    pub fn payload_type(self) -> u8 {
+        match self {
+            AudioCodec::Pcmu => payload_type::PCMU,
+            AudioCodec::Gsm => payload_type::GSM,
+        }
+    }
+
+    /// Payload bytes per 20 ms frame.
+    pub fn frame_bytes(self) -> usize {
+        match self {
+            AudioCodec::Pcmu => 160,
+            AudioCodec::Gsm => 33,
+        }
+    }
+
+    /// RTP timestamp increment per frame (8 kHz clock, 20 ms).
+    pub fn timestamp_step(self) -> u32 {
+        160
+    }
+}
+
+/// A constant-rate audio packet source.
+///
+/// # Examples
+///
+/// ```
+/// use mmcs_rtp::source::{AudioCodec, AudioSource};
+///
+/// let mut src = AudioSource::new(AudioCodec::Pcmu, 0x1234);
+/// let a = src.next_packet();
+/// let b = src.next_packet();
+/// assert_eq!(b.header.sequence_number, a.header.sequence_number + 1);
+/// assert_eq!(b.header.timestamp - a.header.timestamp, 160);
+/// assert_eq!(src.frame_interval().as_millis(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AudioSource {
+    codec: AudioCodec,
+    ssrc: u32,
+    seq: u16,
+    timestamp: u32,
+    first: bool,
+}
+
+impl AudioSource {
+    /// Creates a source for the given codec and SSRC.
+    pub fn new(codec: AudioCodec, ssrc: u32) -> Self {
+        Self {
+            codec,
+            ssrc,
+            seq: 0,
+            timestamp: 0,
+            first: true,
+        }
+    }
+
+    /// The pacing interval between packets (20 ms).
+    pub fn frame_interval(&self) -> SimDuration {
+        SimDuration::from_millis(20)
+    }
+
+    /// Produces the next packet. The first packet carries the marker bit
+    /// (start of a talk spurt).
+    pub fn next_packet(&mut self) -> RtpPacket {
+        let mut header = RtpHeader::new(self.codec.payload_type(), self.seq, self.timestamp, self.ssrc);
+        header.marker = self.first;
+        self.first = false;
+        self.seq = self.seq.wrapping_add(1);
+        self.timestamp = self.timestamp.wrapping_add(self.codec.timestamp_step());
+        RtpPacket::new(header, Bytes::from(vec![0u8; self.codec.frame_bytes()]))
+    }
+
+    /// The codec this source produces.
+    pub fn codec(&self) -> AudioCodec {
+        self.codec
+    }
+
+    /// Average wire bitrate in bits per second, including RTP headers.
+    pub fn wire_bitrate_bps(&self) -> u64 {
+        let per_packet = (self.codec.frame_bytes() + 12) as u64 * 8;
+        per_packet * 50 // 50 packets per second
+    }
+}
+
+/// Configuration for the bursty video source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VideoSourceConfig {
+    /// Target average bitrate in bits per second (payload level).
+    pub bitrate_bps: u64,
+    /// Frames per second.
+    pub frame_rate: u32,
+    /// Every `iframe_interval`-th frame is an I-frame.
+    pub iframe_interval: u32,
+    /// I-frame size relative to a P-frame.
+    pub iframe_ratio: f64,
+    /// Maximum RTP payload bytes per packet.
+    pub mtu_payload: usize,
+    /// Uniform ± size variation applied per frame (0.2 = ±20 %).
+    pub size_jitter: f64,
+}
+
+impl Default for VideoSourceConfig {
+    /// The paper's stream: 600 Kbps, 25 fps, an I-frame every 10 frames
+    /// at 4× the P-frame size, 1000-byte packets.
+    fn default() -> Self {
+        Self {
+            bitrate_bps: 600_000,
+            frame_rate: 25,
+            iframe_interval: 10,
+            iframe_ratio: 4.0,
+            mtu_payload: 1000,
+            size_jitter: 0.2,
+        }
+    }
+}
+
+/// A bursty I/P-frame video source.
+///
+/// Each call to [`VideoSource::next_frame`] produces all RTP packets of
+/// one video frame (same timestamp, marker on the last packet), sized so
+/// the long-run average payload rate matches the configured bitrate.
+#[derive(Debug, Clone)]
+pub struct VideoSource {
+    config: VideoSourceConfig,
+    ssrc: u32,
+    seq: u16,
+    timestamp: u32,
+    frame_index: u64,
+    rng: DetRng,
+    p_frame_bytes: f64,
+}
+
+impl VideoSource {
+    /// Creates a video source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero frame rate, zero
+    /// MTU, zero bitrate, or `iframe_interval == 0`).
+    pub fn new(config: VideoSourceConfig, ssrc: u32, rng: DetRng) -> Self {
+        assert!(config.frame_rate > 0, "frame rate must be positive");
+        assert!(config.mtu_payload > 0, "MTU must be positive");
+        assert!(config.bitrate_bps > 0, "bitrate must be positive");
+        assert!(config.iframe_interval > 0, "iframe interval must be positive");
+        // Solve sizes so that (N-1) P-frames + 1 I-frame average to the
+        // per-frame byte budget.
+        let per_frame = config.bitrate_bps as f64 / 8.0 / config.frame_rate as f64;
+        let n = config.iframe_interval as f64;
+        let p = per_frame * n / (n - 1.0 + config.iframe_ratio);
+        Self {
+            config,
+            ssrc,
+            seq: 0,
+            timestamp: 0,
+            frame_index: 0,
+            rng,
+            p_frame_bytes: p,
+        }
+    }
+
+    /// The pacing interval between frames.
+    pub fn frame_interval(&self) -> SimDuration {
+        SimDuration::from_nanos(1_000_000_000 / self.config.frame_rate as u64)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &VideoSourceConfig {
+        &self.config
+    }
+
+    /// Whether the next frame produced will be an I-frame.
+    pub fn next_is_iframe(&self) -> bool {
+        self.frame_index % self.config.iframe_interval as u64 == 0
+    }
+
+    /// Produces all packets of the next frame.
+    pub fn next_frame(&mut self) -> Vec<RtpPacket> {
+        let is_iframe = self.next_is_iframe();
+        let base = if is_iframe {
+            self.p_frame_bytes * self.config.iframe_ratio
+        } else {
+            self.p_frame_bytes
+        };
+        let jitter = self.config.size_jitter;
+        let scale = if jitter > 0.0 {
+            self.rng.range_f64(1.0 - jitter, 1.0 + jitter)
+        } else {
+            1.0
+        };
+        let frame_bytes = (base * scale).max(1.0) as usize;
+
+        let mtu = self.config.mtu_payload;
+        let packet_count = frame_bytes.div_ceil(mtu);
+        let mut packets = Vec::with_capacity(packet_count);
+        let mut remaining = frame_bytes;
+        for i in 0..packet_count {
+            let chunk = remaining.min(mtu);
+            remaining -= chunk;
+            let mut header =
+                RtpHeader::new(payload_type::H263, self.seq, self.timestamp, self.ssrc);
+            header.marker = i == packet_count - 1;
+            self.seq = self.seq.wrapping_add(1);
+            packets.push(RtpPacket::new(header, Bytes::from(vec![0u8; chunk])));
+        }
+        self.timestamp = self
+            .timestamp
+            .wrapping_add(90_000 / self.config.frame_rate);
+        self.frame_index += 1;
+        packets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audio_source_packets_are_paced_and_sequential() {
+        let mut src = AudioSource::new(AudioCodec::Pcmu, 1);
+        let a = src.next_packet();
+        let b = src.next_packet();
+        assert!(a.header.marker);
+        assert!(!b.header.marker);
+        assert_eq!(a.payload.len(), 160);
+        assert_eq!(b.header.sequence_number, 1);
+        assert_eq!(b.header.timestamp, 160);
+        assert_eq!(src.frame_interval(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn gsm_is_smaller_than_pcmu() {
+        let mut gsm = AudioSource::new(AudioCodec::Gsm, 1);
+        assert_eq!(gsm.next_packet().payload.len(), 33);
+        assert!(gsm.wire_bitrate_bps() < AudioSource::new(AudioCodec::Pcmu, 1).wire_bitrate_bps());
+    }
+
+    #[test]
+    fn pcmu_wire_bitrate_is_about_64kbps_plus_headers() {
+        let src = AudioSource::new(AudioCodec::Pcmu, 1);
+        assert_eq!(src.wire_bitrate_bps(), (160 + 12) * 8 * 50);
+    }
+
+    #[test]
+    fn video_average_rate_matches_target() {
+        let config = VideoSourceConfig::default();
+        let mut src = VideoSource::new(config, 1, DetRng::new(5));
+        let frames = 2_500; // 100 seconds at 25 fps
+        let total_payload: usize = (0..frames)
+            .flat_map(|_| src.next_frame())
+            .map(|p| p.payload.len())
+            .sum();
+        let secs = frames as f64 / config.frame_rate as f64;
+        let rate = total_payload as f64 * 8.0 / secs;
+        let target = config.bitrate_bps as f64;
+        assert!(
+            (rate - target).abs() / target < 0.05,
+            "rate {rate} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn iframes_are_larger_and_periodic() {
+        let config = VideoSourceConfig {
+            size_jitter: 0.0,
+            ..VideoSourceConfig::default()
+        };
+        let mut src = VideoSource::new(config, 1, DetRng::new(5));
+        let sizes: Vec<usize> = (0..20)
+            .map(|_| src.next_frame().iter().map(|p| p.payload.len()).sum())
+            .collect();
+        // Frames 0 and 10 are I-frames.
+        assert!(sizes[0] > 3 * sizes[1]);
+        assert!(sizes[10] > 3 * sizes[11]);
+        assert_eq!(sizes[1], sizes[2]);
+    }
+
+    #[test]
+    fn frame_packets_share_timestamp_and_mark_last() {
+        let mut src = VideoSource::new(VideoSourceConfig::default(), 1, DetRng::new(5));
+        let frame = src.next_frame(); // I-frame: several packets
+        assert!(frame.len() > 1);
+        let ts = frame[0].header.timestamp;
+        for (i, p) in frame.iter().enumerate() {
+            assert_eq!(p.header.timestamp, ts);
+            assert_eq!(p.header.marker, i == frame.len() - 1);
+            assert!(p.payload.len() <= 1000);
+        }
+        // Next frame advances the timestamp by one frame interval.
+        let next = src.next_frame();
+        assert_eq!(next[0].header.timestamp, ts + 90_000 / 25);
+    }
+
+    #[test]
+    fn sequence_numbers_are_continuous_across_frames() {
+        let mut src = VideoSource::new(VideoSourceConfig::default(), 1, DetRng::new(9));
+        let mut expected_seq = 0u16;
+        for _ in 0..50 {
+            for p in src.next_frame() {
+                assert_eq!(p.header.sequence_number, expected_seq);
+                expected_seq = expected_seq.wrapping_add(1);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_interval_matches_rate() {
+        let src = VideoSource::new(VideoSourceConfig::default(), 1, DetRng::new(1));
+        assert_eq!(src.frame_interval().as_millis(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame rate")]
+    fn zero_frame_rate_panics() {
+        let config = VideoSourceConfig {
+            frame_rate: 0,
+            ..VideoSourceConfig::default()
+        };
+        let _ = VideoSource::new(config, 1, DetRng::new(1));
+    }
+}

@@ -1,0 +1,897 @@
+//! The discrete-event engine: event queue, CPU gating, NIC serialization.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
+
+use mmcs_util::rng::DetRng;
+use mmcs_util::stats::OnlineStats;
+use mmcs_util::time::{SimDuration, SimTime};
+
+use crate::net::{HostId, LinkConfig, NetworkState, NicConfig};
+use crate::process::{Context, Packet, Process, ProcessId};
+
+/// A packet send requested during a callback, not yet routed.
+pub(crate) struct PendingSend {
+    pub src: ProcessId,
+    pub dst: ProcessId,
+    pub wire_bytes: usize,
+    pub at: SimTime,
+    pub payload: Rc<dyn Any>,
+}
+
+/// An event body; deferred ones sit in a host's pending queue while its
+/// CPU is busy.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    Start(ProcessId),
+    Deliver(Packet),
+    Timer(ProcessId, u64),
+    /// Pop and run the next pending event on a host.
+    Drain(HostId),
+}
+
+/// Alias used by the network module for the per-host pending queue.
+pub(crate) type DeferredEvent = EventKind;
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Engine state shared with [`Context`]: network, clock, RNG, metrics.
+pub struct EngineCore {
+    pub(crate) net: NetworkState,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Event>,
+    rng: DetRng,
+    counters: HashMap<String, u64>,
+    observations: HashMap<String, OnlineStats>,
+    proc_hosts: Vec<HostId>,
+    stop_requested: bool,
+}
+
+impl EngineCore {
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq();
+        self.queue.push(Event { at, seq, kind });
+    }
+
+    pub(crate) fn schedule_timer(&mut self, process: ProcessId, at: SimTime, token: u64) {
+        self.push(at, EventKind::Timer(process, token));
+    }
+
+    pub(crate) fn host_of(&self, process: ProcessId) -> Option<HostId> {
+        let idx = process.0.checked_sub(1)? as usize;
+        self.proc_hosts.get(idx).copied()
+    }
+
+    pub(crate) fn rng(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+
+    pub(crate) fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    pub(crate) fn observe(&mut self, name: &str, value: f64) {
+        self.observations
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    pub(crate) fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Routes one send through loopback or the NIC + link model.
+    fn route(&mut self, send: PendingSend) {
+        let Some(src_host) = self.host_of(send.src) else {
+            self.count("net.dropped.noroute", 1);
+            return;
+        };
+        let Some(dst_host) = self.host_of(send.dst) else {
+            self.count("net.dropped.noroute", 1);
+            return;
+        };
+
+        let packet = Packet::new(send.src, send.dst, send.wire_bytes, send.at, send.payload);
+
+        if src_host == dst_host {
+            let latency = self.net.host(src_host).nic.loopback_latency;
+            self.push(send.at + latency, EventKind::Deliver(packet));
+            return;
+        }
+
+        // Egress NIC: serialization behind the current backlog, drop-tail
+        // when the backlog exceeds the queue limit.
+        let nic: NicConfig = self.net.host(src_host).nic;
+        let nic_free_at = self.net.host(src_host).nic_free_at;
+        let backlog = nic
+            .bandwidth
+            .bytes_in(nic_free_at.saturating_duration_since(send.at));
+        if backlog + send.wire_bytes as u64 > nic.queue_bytes {
+            self.count("net.dropped.queue", 1);
+            return;
+        }
+        let start = if nic_free_at > send.at {
+            nic_free_at
+        } else {
+            send.at
+        };
+        let tx_done = start + nic.bandwidth.transmit_time(send.wire_bytes);
+        self.net.host_mut(src_host).nic_free_at = tx_done;
+
+        let link: LinkConfig = self.net.link(src_host, dst_host);
+        if link.loss > 0.0 && self.rng.chance(link.loss) {
+            self.count("net.dropped.loss", 1);
+            return;
+        }
+        self.push(tx_done + link.latency, EventKind::Deliver(packet));
+    }
+}
+
+/// Trait-object adapter so process state can be inspected after a run.
+trait AnyProcess: Process {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Process + 'static> AnyProcess for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// See the [crate documentation](crate) for the model and an example.
+pub struct Simulation {
+    core: EngineCore,
+    processes: Vec<Option<Box<dyn AnyProcess>>>,
+    started: bool,
+}
+
+impl Simulation {
+    /// Creates an empty simulation seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            core: EngineCore {
+                net: NetworkState::default(),
+                now: SimTime::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                rng: DetRng::new(seed),
+                counters: HashMap::new(),
+                observations: HashMap::new(),
+                proc_hosts: Vec::new(),
+                stop_requested: false,
+            },
+            processes: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Adds a host (machine) with the given NIC configuration.
+    pub fn add_host(&mut self, name: &str, nic: NicConfig) -> HostId {
+        self.core.net.add_host(name, nic)
+    }
+
+    /// Registers a process on `host`. Ids are sequential starting at 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started running or if `host`
+    /// does not exist.
+    pub fn add_process(&mut self, host: HostId, process: Box<dyn Process + 'static>) -> ProcessId {
+        assert!(
+            !self.started,
+            "processes must be registered before the simulation runs"
+        );
+        assert!(
+            (host.0 as usize) < self.core.net.hosts.len(),
+            "unknown host {host}"
+        );
+        // Re-box through a concrete wrapper is unnecessary: Box<dyn Process>
+        // does not implement Process itself, so wrap it.
+        struct BoxedProcess(Box<dyn Process>);
+        impl Process for BoxedProcess {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                self.0.on_start(ctx);
+            }
+            fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+                self.0.on_packet(ctx, packet);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+                self.0.on_timer(ctx, token);
+            }
+        }
+        let id = ProcessId(self.processes.len() as u64 + 1);
+        self.processes.push(Some(Box::new(BoxedProcess(process))));
+        self.core.proc_hosts.push(host);
+        id
+    }
+
+    /// Registers a concrete process so it can be inspected later with
+    /// [`Simulation::process_ref`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Simulation::add_process`].
+    pub fn add_typed_process<T: Process + 'static>(&mut self, host: HostId, process: T) -> ProcessId {
+        assert!(
+            !self.started,
+            "processes must be registered before the simulation runs"
+        );
+        assert!(
+            (host.0 as usize) < self.core.net.hosts.len(),
+            "unknown host {host}"
+        );
+        let id = ProcessId(self.processes.len() as u64 + 1);
+        self.processes.push(Some(Box::new(process)));
+        self.core.proc_hosts.push(host);
+        id
+    }
+
+    /// Sets the default one-way latency between distinct hosts.
+    pub fn set_default_latency(&mut self, latency: SimDuration) {
+        self.core.net.default_link.latency = latency;
+    }
+
+    /// Sets the default link configuration between distinct hosts.
+    pub fn set_default_link(&mut self, link: LinkConfig) {
+        self.core.net.default_link = link;
+    }
+
+    /// Overrides the link between a specific pair of hosts (symmetric).
+    pub fn set_link(&mut self, a: HostId, b: HostId, link: LinkConfig) {
+        self.core.net.link_overrides.insert((a, b), link);
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The label a host was registered with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is unknown.
+    pub fn host_name(&self, host: crate::net::HostId) -> &str {
+        &self.core.net.host(host).name
+    }
+
+    /// Reads a metric counter (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.core.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, for reporting.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.core.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Reads an observation accumulator recorded via
+    /// [`Context::observe`](crate::Context::observe).
+    pub fn stat(&self, name: &str) -> Option<&OnlineStats> {
+        self.core.observations.get(name)
+    }
+
+    /// Borrows a process's state, downcast to its concrete type.
+    ///
+    /// Only processes registered with [`Simulation::add_typed_process`]
+    /// preserve their concrete type.
+    pub fn process_ref<T: 'static>(&self, id: ProcessId) -> Option<&T> {
+        self.processes
+            .get(id.0.checked_sub(1)? as usize)?
+            .as_deref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutably borrows a process's state, downcast to its concrete type.
+    pub fn process_mut<T: 'static>(&mut self, id: ProcessId) -> Option<&mut T> {
+        self.processes
+            .get_mut(id.0.checked_sub(1)? as usize)?
+            .as_deref_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.processes.len() {
+            let pid = ProcessId(i as u64 + 1);
+            self.core.push(SimTime::ZERO, EventKind::Start(pid));
+        }
+    }
+
+    /// Executes the next event. Returns `false` when the queue is empty or
+    /// a process requested a stop.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        if self.core.stop_requested {
+            return false;
+        }
+        let Some(event) = self.core.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.core.now, "time ran backwards");
+        self.core.now = event.at;
+        let now = event.at;
+
+        let kind = match event.kind {
+            EventKind::Drain(host) => {
+                let host_state = self.core.net.host_mut(host);
+                host_state.drain_scheduled = false;
+                let Some(kind) = host_state.pending.pop_front() else {
+                    return true;
+                };
+                self.dispatch(kind, now);
+                self.schedule_drain_for(host, now);
+                return true;
+            }
+            other => other,
+        };
+
+        let pid = match &kind {
+            EventKind::Start(p) => *p,
+            EventKind::Timer(p, _) => *p,
+            EventKind::Deliver(pkt) => pkt.dst,
+            EventKind::Drain(_) => unreachable!("handled above"),
+        };
+        let Some(host) = self.core.host_of(pid) else {
+            // Destination process never existed; count and move on.
+            self.core.count("net.dropped.noroute", 1);
+            return true;
+        };
+
+        // CPU gating: if the host CPU is busy (or older work is already
+        // queued behind it), the event joins the host's FIFO backlog.
+        let host_state = self.core.net.host_mut(host);
+        if host_state.cpu_free_at > now || !host_state.pending.is_empty() {
+            let resume_at = if host_state.cpu_free_at > now {
+                host_state.cpu_free_at
+            } else {
+                now
+            };
+            host_state.pending.push_back(kind);
+            if !host_state.drain_scheduled {
+                host_state.drain_scheduled = true;
+                self.core.push(resume_at, EventKind::Drain(host));
+            }
+            return true;
+        }
+
+        self.dispatch(kind, now);
+        self.schedule_drain_for(host, now);
+        true
+    }
+
+    /// Runs one event body to completion at `now`.
+    fn dispatch(&mut self, kind: EventKind, now: SimTime) {
+        let (pid, is_delivery) = match &kind {
+            EventKind::Start(p) => (*p, false),
+            EventKind::Timer(p, _) => (*p, false),
+            EventKind::Deliver(pkt) => (pkt.dst, true),
+            EventKind::Drain(_) => unreachable!("drain events never reach dispatch"),
+        };
+        let Some(host) = self.core.host_of(pid) else {
+            self.core.count("net.dropped.noroute", 1);
+            return;
+        };
+        let Some(mut process) = self.processes[pid.0 as usize - 1].take() else {
+            return;
+        };
+
+        let mut ctx = Context {
+            core: &mut self.core,
+            me: pid,
+            host,
+            started_at: now,
+            elapsed: SimDuration::ZERO,
+            sends: Vec::new(),
+        };
+        match kind {
+            EventKind::Start(_) => process.on_start(&mut ctx),
+            EventKind::Timer(_, token) => process.on_timer(&mut ctx, token),
+            EventKind::Deliver(packet) => {
+                ctx.core.count("net.delivered", 1);
+                process.on_packet(&mut ctx, packet);
+            }
+            EventKind::Drain(_) => unreachable!(),
+        }
+        let elapsed = ctx.elapsed;
+        let sends = std::mem::take(&mut ctx.sends);
+        drop(ctx);
+        self.processes[pid.0 as usize - 1] = Some(process);
+
+        if is_delivery || elapsed > SimDuration::ZERO {
+            let busy_until = now + elapsed;
+            let host_state = self.core.net.host_mut(host);
+            if busy_until > host_state.cpu_free_at {
+                host_state.cpu_free_at = busy_until;
+            }
+        }
+        for send in sends {
+            self.core.route(send);
+        }
+    }
+
+    /// After a dispatch on `host`, arms its drain timer if work is still
+    /// pending (each drain event processes exactly one deferred event, so
+    /// a backlog of K drains in K events instead of K^2 heap churn).
+    fn schedule_drain_for(&mut self, host: HostId, now: SimTime) {
+        let host_state = self.core.net.host_mut(host);
+        if !host_state.pending.is_empty() && !host_state.drain_scheduled {
+            host_state.drain_scheduled = true;
+            let at = if host_state.cpu_free_at > now {
+                host_state.cpu_free_at
+            } else {
+                now
+            };
+            self.core.push(at, EventKind::Drain(host));
+        }
+    }
+
+    /// Runs until the event queue drains, a stop is requested, or virtual
+    /// time would pass `deadline`. Returns the reached time.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.ensure_started();
+        loop {
+            match self.core.queue.peek() {
+                Some(event) if event.at <= deadline => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if self.core.now < deadline && self.core.queue.peek().is_some() {
+            // Stopped early by request; clock stays where it was.
+        } else if self.core.now < deadline {
+            self.core.now = deadline;
+        }
+        self.core.now
+    }
+
+    /// Runs for `span` of virtual time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) -> SimTime {
+        let deadline = self.core.now + span;
+        self.run_until(deadline)
+    }
+
+    /// Runs until the event queue is exhausted or a stop is requested.
+    pub fn run_to_completion(&mut self) -> SimTime {
+        self.ensure_started();
+        while self.step() {}
+        self.core.now
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.core.now)
+            .field("hosts", &self.core.net.hosts.len())
+            .field("processes", &self.processes.len())
+            .field("pending_events", &self.core.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmcs_util::rate::Bandwidth;
+
+    /// Sends `count` packets of `bytes` each to `dst` at start.
+    struct Blaster {
+        dst: ProcessId,
+        count: usize,
+        bytes: usize,
+    }
+
+    impl Process for Blaster {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for i in 0..self.count {
+                ctx.send(self.dst, i as u64, self.bytes);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _packet: Packet) {}
+    }
+
+    /// Records arrival times and per-packet CPU cost.
+    #[derive(Default)]
+    struct Sink {
+        arrivals: Vec<SimTime>,
+        cpu_cost: SimDuration,
+    }
+
+    impl Process for Sink {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _packet: Packet) {
+            ctx.spend_cpu(self.cpu_cost);
+            self.arrivals.push(ctx.now());
+        }
+    }
+
+    fn two_host_sim(bandwidth: Bandwidth) -> (Simulation, HostId, HostId) {
+        let mut sim = Simulation::new(42);
+        let a = sim.add_host(
+            "a",
+            NicConfig {
+                bandwidth,
+                ..NicConfig::default()
+            },
+        );
+        let b = sim.add_host("b", NicConfig::default());
+        (sim, a, b)
+    }
+
+    #[test]
+    fn nic_serialization_spaces_out_packets() {
+        // 1 Mbps NIC, 1250-byte packets -> 10 ms serialization each.
+        let (mut sim, a, b) = two_host_sim(Bandwidth::from_mbps(1));
+        sim.set_default_latency(SimDuration::from_millis(1));
+        let sink = sim.add_typed_process(b, Sink::default());
+        sim.add_process(
+            a,
+            Box::new(Blaster {
+                dst: sink,
+                count: 3,
+                bytes: 1250,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let sink_state: &Sink = sim.process_ref(sink).unwrap();
+        let at: Vec<u64> = sink_state.arrivals.iter().map(|t| t.as_millis()).collect();
+        // Arrivals at 11, 21, 31 ms (serialization 10 ms each + 1 ms latency).
+        assert_eq!(at, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn queue_limit_drops_excess() {
+        let (mut sim, a, b) = two_host_sim(Bandwidth::from_mbps(1));
+        // Queue only fits 2 packets' worth of backlog.
+        {
+            let host = sim.core.net.host_mut(a);
+            host.nic.queue_bytes = 2600;
+        }
+        let sink = sim.add_typed_process(b, Sink::default());
+        sim.add_process(
+            a,
+            Box::new(Blaster {
+                dst: sink,
+                count: 10,
+                bytes: 1250,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert!(sim.counter("net.dropped.queue") > 0);
+        let delivered = sim.counter("net.delivered");
+        assert!(delivered < 10);
+        assert_eq!(delivered + sim.counter("net.dropped.queue"), 10);
+    }
+
+    #[test]
+    fn link_loss_drops_probabilistically() {
+        let (mut sim, a, b) = two_host_sim(Bandwidth::from_gbps(1));
+        sim.set_link(
+            a,
+            b,
+            LinkConfig {
+                latency: SimDuration::from_micros(100),
+                loss: 0.5,
+            },
+        );
+        let sink = sim.add_typed_process(b, Sink::default());
+        sim.add_process(
+            a,
+            Box::new(Blaster {
+                dst: sink,
+                count: 1000,
+                bytes: 100,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let lost = sim.counter("net.dropped.loss");
+        assert!((300..700).contains(&lost), "lost={lost}");
+        assert_eq!(lost + sim.counter("net.delivered"), 1000);
+    }
+
+    #[test]
+    fn cpu_cost_serializes_handling_on_one_host() {
+        // Two sinks on one host, each spending 10 ms per packet: the
+        // second delivery must wait for the first handler to finish.
+        let mut sim = Simulation::new(7);
+        let a = sim.add_host("a", NicConfig::default());
+        let b = sim.add_host("b", NicConfig::default());
+        sim.set_default_latency(SimDuration::from_micros(100));
+        let s1 = sim.add_typed_process(
+            b,
+            Sink {
+                arrivals: Vec::new(),
+                cpu_cost: SimDuration::from_millis(10),
+            },
+        );
+        let s2 = sim.add_typed_process(
+            b,
+            Sink {
+                arrivals: Vec::new(),
+                cpu_cost: SimDuration::from_millis(10),
+            },
+        );
+        struct DualSend(ProcessId, ProcessId);
+        impl Process for DualSend {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send(self.0, (), 100);
+                ctx.send(self.1, (), 100);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _p: Packet) {}
+        }
+        sim.add_process(a, Box::new(DualSend(s1, s2)));
+        sim.run_until(SimTime::from_secs(1));
+        let t1 = sim.process_ref::<Sink>(s1).unwrap().arrivals[0];
+        let t2 = sim.process_ref::<Sink>(s2).unwrap().arrivals[0];
+        // Handler 2 starts only after handler 1's 10 ms of CPU.
+        assert!(t2.saturating_duration_since(t1) >= SimDuration::from_millis(9));
+    }
+
+    #[test]
+    fn loopback_bypasses_nic() {
+        // Tiny NIC bandwidth, but same-host traffic must still be fast.
+        let mut sim = Simulation::new(1);
+        let a = sim.add_host(
+            "a",
+            NicConfig {
+                bandwidth: Bandwidth::from_kbps(1),
+                ..NicConfig::default()
+            },
+        );
+        let sink = sim.add_typed_process(a, Sink::default());
+        sim.add_process(
+            a,
+            Box::new(Blaster {
+                dst: sink,
+                count: 5,
+                bytes: 10_000,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let sink_state: &Sink = sim.process_ref(sink).unwrap();
+        assert_eq!(sink_state.arrivals.len(), 5);
+        assert!(sink_state.arrivals[4] < SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        #[derive(Default)]
+        struct TimerProc {
+            fired: Vec<u64>,
+        }
+        impl Process for TimerProc {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _p: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Context<'_>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let a = sim.add_host("a", NicConfig::default());
+        let p = sim.add_typed_process(a, TimerProc::default());
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.process_ref::<TimerProc>(p).unwrap().fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        fn run() -> (u64, u64) {
+            let (mut sim, a, b) = two_host_sim(Bandwidth::from_mbps(10));
+            sim.set_link(
+                a,
+                b,
+                LinkConfig {
+                    latency: SimDuration::from_micros(500),
+                    loss: 0.2,
+                },
+            );
+            let sink = sim.add_typed_process(b, Sink::default());
+            sim.add_process(
+                a,
+                Box::new(Blaster {
+                    dst: sink,
+                    count: 500,
+                    bytes: 500,
+                }),
+            );
+            sim.run_until(SimTime::from_secs(2));
+            (sim.counter("net.delivered"), sim.counter("net.dropped.loss"))
+        }
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut sim = Simulation::new(1);
+        sim.add_host("a", NicConfig::default());
+        let end = sim.run_until(SimTime::from_secs(3));
+        assert_eq!(end, SimTime::from_secs(3));
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn stop_request_halts_run() {
+        struct Stopper;
+        impl Process for Stopper {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(5), 0);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _p: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+                ctx.stop();
+                ctx.set_timer(SimDuration::from_millis(5), 0);
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let a = sim.add_host("a", NicConfig::default());
+        sim.add_process(a, Box::new(Stopper));
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn observe_records_stats() {
+        struct Observer;
+        impl Process for Observer {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.observe("x", 1.0);
+                ctx.observe("x", 3.0);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _p: Packet) {}
+        }
+        let mut sim = Simulation::new(1);
+        let a = sim.add_host("a", NicConfig::default());
+        sim.add_process(a, Box::new(Observer));
+        sim.run_until(SimTime::from_secs(1));
+        let stats = sim.stat("x").unwrap();
+        assert_eq!(stats.count(), 2);
+        assert_eq!(stats.mean(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown host")]
+    fn adding_process_to_missing_host_panics() {
+        let mut sim = Simulation::new(1);
+        sim.add_process(HostId(5), Box::new(Sink::default()));
+    }
+}
+
+#[cfg(test)]
+mod drain_tests {
+    use super::*;
+    use crate::net::NicConfig;
+    use crate::process::{Context, Packet, Process, ProcessId};
+    use mmcs_util::time::{SimDuration, SimTime};
+
+    /// Records the order stimuli are handled in while burning CPU.
+    #[derive(Default)]
+    struct BusyRecorder {
+        log: Vec<(u64, SimTime)>,
+        cpu: SimDuration,
+    }
+
+    impl Process for BusyRecorder {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+            let tag = *packet.payload::<u64>().expect("tagged payload");
+            self.log.push((tag, ctx.now()));
+            ctx.spend_cpu(self.cpu);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
+            self.log.push((1000 + token, ctx.now()));
+            ctx.spend_cpu(self.cpu);
+        }
+    }
+
+    struct Burst {
+        dst: ProcessId,
+    }
+
+    impl Process for Burst {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for tag in 0..5u64 {
+                ctx.send(self.dst, tag, 100);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _packet: Packet) {}
+    }
+
+    /// A CPU backlog drains in FIFO arrival order, and a timer that
+    /// fires mid-backlog waits its turn behind earlier arrivals.
+    #[test]
+    fn backlog_drains_fifo_with_timers_interleaved() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_host("a", NicConfig::default());
+        let b = sim.add_host("b", NicConfig::default());
+        let recorder = sim.add_typed_process(
+            b,
+            BusyRecorder {
+                log: Vec::new(),
+                cpu: SimDuration::from_millis(10),
+            },
+        );
+        sim.add_typed_process(a, Burst { dst: recorder });
+        // A sibling process on the same busy host arms a 15 ms timer;
+        // its firing must wait behind the recorder's CPU backlog.
+        struct TimerArm {
+            target_cpu: SimDuration,
+        }
+        impl Process for TimerArm {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(15), 7);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _p: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+                // Runs on host b too: must have waited for the backlog.
+                ctx.observe("timer.fired_at_ms", ctx.now().as_millis_f64());
+                let _ = self.target_cpu;
+            }
+        }
+        sim.add_typed_process(
+            b,
+            TimerArm {
+                target_cpu: SimDuration::ZERO,
+            },
+        );
+        sim.run_until(SimTime::from_secs(1));
+
+        let log = &sim.process_ref::<BusyRecorder>(recorder).unwrap().log;
+        let tags: Vec<u64> = log.iter().map(|(tag, _)| *tag).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4], "FIFO drain order");
+        // Five handlers x 10 ms CPU: the last starts at >= 40 ms.
+        assert!(log[4].1 >= SimTime::from_millis(40));
+        // The sibling's 15 ms timer waited for the CPU backlog (fires
+        // after the ~50 ms of recorder work, not at 15 ms).
+        let fired = sim.stat("timer.fired_at_ms").unwrap().mean();
+        assert!(fired >= 40.0, "timer fired at {fired} ms");
+    }
+}

@@ -1,0 +1,159 @@
+//! The network model: hosts, NICs and links.
+//!
+//! Each host owns one egress NIC with finite [`Bandwidth`] and a drop-tail
+//! byte-limited queue, and one serial CPU (managed by the engine). Pairs
+//! of hosts communicate over implicit duplex links configured by a default
+//! [`LinkConfig`] plus per-pair overrides. Same-host traffic bypasses the
+//! NIC and pays only a small loopback latency.
+
+use std::collections::HashMap;
+
+use mmcs_util::rate::Bandwidth;
+use mmcs_util::time::{SimDuration, SimTime};
+
+/// Identifies a simulated host (machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct HostId(pub u64);
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "host-{}", self.0)
+    }
+}
+
+/// Egress NIC configuration for a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NicConfig {
+    /// Egress capacity. Default: 1 Gbps.
+    pub bandwidth: Bandwidth,
+    /// Drop-tail limit on bytes backlogged behind the NIC.
+    /// Default: 4 MiB (a few hundred ms at typical rates).
+    pub queue_bytes: u64,
+    /// Latency applied to same-host (loopback) deliveries. Default: 20 µs.
+    pub loopback_latency: SimDuration,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        Self {
+            bandwidth: Bandwidth::from_gbps(1),
+            queue_bytes: 4 * 1024 * 1024,
+            loopback_latency: SimDuration::from_micros(20),
+        }
+    }
+}
+
+/// Properties of the path between two hosts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// One-way propagation delay. Default: 200 µs (a campus LAN).
+    pub latency: SimDuration,
+    /// Independent per-packet loss probability in `[0, 1]`. Default: 0.
+    pub loss: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self {
+            latency: SimDuration::from_micros(200),
+            loss: 0.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HostState {
+    /// Human-readable label, surfaced via `Simulation::host_name`.
+    pub name: String,
+    pub nic: NicConfig,
+    /// When the egress NIC finishes its current backlog.
+    pub nic_free_at: SimTime,
+    /// When the host CPU finishes its current work.
+    pub cpu_free_at: SimTime,
+    /// Events waiting for the CPU, in arrival order. Kept per host (not
+    /// in the global heap) so a long backlog drains in O(1) per event
+    /// instead of re-sorting the whole backlog after every handler.
+    pub pending: std::collections::VecDeque<crate::engine::DeferredEvent>,
+    /// Whether a drain event is already scheduled for this host.
+    pub drain_scheduled: bool,
+}
+
+/// Host and link state shared by the engine.
+#[derive(Debug, Default)]
+pub(crate) struct NetworkState {
+    pub hosts: Vec<HostState>,
+    pub default_link: LinkConfig,
+    pub link_overrides: HashMap<(HostId, HostId), LinkConfig>,
+}
+
+impl NetworkState {
+    pub fn add_host(&mut self, name: &str, nic: NicConfig) -> HostId {
+        let id = HostId(self.hosts.len() as u64);
+        self.hosts.push(HostState {
+            name: name.to_owned(),
+            nic,
+            nic_free_at: SimTime::ZERO,
+            cpu_free_at: SimTime::ZERO,
+            pending: std::collections::VecDeque::new(),
+            drain_scheduled: false,
+        });
+        id
+    }
+
+    pub fn host(&self, id: HostId) -> &HostState {
+        &self.hosts[id.0 as usize]
+    }
+
+    pub fn host_mut(&mut self, id: HostId) -> &mut HostState {
+        &mut self.hosts[id.0 as usize]
+    }
+
+    /// Link configuration between two hosts, checking both key orders.
+    pub fn link(&self, a: HostId, b: HostId) -> LinkConfig {
+        self.link_overrides
+            .get(&(a, b))
+            .or_else(|| self.link_overrides.get(&(b, a)))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let nic = NicConfig::default();
+        assert_eq!(nic.bandwidth, Bandwidth::from_gbps(1));
+        assert!(nic.queue_bytes > 0);
+        let link = LinkConfig::default();
+        assert_eq!(link.loss, 0.0);
+        assert!(link.latency > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn link_override_is_symmetric() {
+        let mut net = NetworkState::default();
+        let a = net.add_host("a", NicConfig::default());
+        let b = net.add_host("b", NicConfig::default());
+        let cfg = LinkConfig {
+            latency: SimDuration::from_millis(5),
+            loss: 0.25,
+        };
+        net.link_overrides.insert((a, b), cfg);
+        assert_eq!(net.link(a, b).latency, cfg.latency);
+        assert_eq!(net.link(b, a).latency, cfg.latency);
+        let c = net.add_host("c", NicConfig::default());
+        assert_eq!(net.link(a, c), LinkConfig::default());
+    }
+
+    #[test]
+    fn host_ids_are_sequential() {
+        let mut net = NetworkState::default();
+        assert_eq!(net.add_host("x", NicConfig::default()), HostId(0));
+        assert_eq!(net.add_host("y", NicConfig::default()), HostId(1));
+        assert_eq!(net.host(HostId(1)).name, "y");
+        assert_eq!(HostId(1).to_string(), "host-1");
+    }
+}

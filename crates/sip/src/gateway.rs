@@ -1,0 +1,412 @@
+//! The SIP → XGSP gateway.
+//!
+//! "The SIP Servers including a SIP Proxy, SIP Registrar and SIP Gateway
+//! create a … SIP domain for SIP terminals and perform SIP translation"
+//! (§3.2). This gateway is that translator: INVITE to a conference URI
+//! becomes an XGSP `Join` (creating an ad-hoc session on demand), BYE
+//! becomes `Leave`, MESSAGE becomes `AppData` (chat), and XGSP
+//! notifications travel back to SIP members as NOTIFY requests.
+//!
+//! Conference URI convention: `sip:conf-<sessionid>@<domain>` joins an
+//! existing session; `sip:new-conf@<domain>` creates an ad-hoc session
+//! and joins it.
+
+use std::collections::HashMap;
+
+use mmcs_util::id::{SessionId, TerminalId};
+use mmcs_xgsp::media::{MediaDescription, MediaKind};
+use mmcs_xgsp::message::{SessionMode, XgspMessage};
+use mmcs_xgsp::server::{ServerOutput, SessionServer};
+
+use crate::message::{extract_uri, SipMessage, SipMethod, StartLine};
+use crate::sdp::{Sdp, SdpMedia};
+
+/// One SIP dialog the gateway tracks (Call-ID → session membership).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Dialog {
+    session: SessionId,
+    user: String,
+}
+
+/// The SIP gateway. See the [module docs](self).
+#[derive(Debug)]
+pub struct SipGateway {
+    domain: String,
+    /// Address the SDP answers point media at (the RTP proxy in front of
+    /// the broker).
+    rtp_proxy_address: String,
+    dialogs: HashMap<String, Dialog>,
+    next_terminal: u64,
+}
+
+impl SipGateway {
+    /// Creates a gateway for `domain`, answering SDP with
+    /// `rtp_proxy_address`.
+    pub fn new(domain: impl Into<String>, rtp_proxy_address: impl Into<String>) -> Self {
+        Self {
+            domain: domain.into(),
+            rtp_proxy_address: rtp_proxy_address.into(),
+            dialogs: HashMap::new(),
+            next_terminal: 1,
+        }
+    }
+
+    /// Number of live dialogs.
+    pub fn dialog_count(&self) -> usize {
+        self.dialogs.len()
+    }
+
+    /// Whether a request URI targets this gateway's conference domain.
+    pub fn is_conference_uri(&self, uri: &str) -> bool {
+        let Some(rest) = uri.strip_prefix("sip:") else {
+            return false;
+        };
+        let Some((user, host)) = rest.split_once('@') else {
+            return false;
+        };
+        host.split(';').next() == Some(self.domain.as_str())
+            && (user == "new-conf" || user.starts_with("conf-"))
+    }
+
+    /// Handles a SIP request against the session server, returning the
+    /// SIP messages to send (the response, plus NOTIFYs for members).
+    pub fn handle_request(
+        &mut self,
+        request: &SipMessage,
+        server: &mut SessionServer,
+    ) -> Vec<SipMessage> {
+        let StartLine::Request { method, uri } = &request.start else {
+            return vec![SipMessage::response_to(request, 400, "Not a request")];
+        };
+        match method {
+            SipMethod::Invite => self.handle_invite(request, uri.clone(), server),
+            SipMethod::Ack => Vec::new(),
+            SipMethod::Bye => self.handle_bye(request, server),
+            SipMethod::Message => self.handle_message(request, server),
+            SipMethod::Options => {
+                vec![SipMessage::response_to(request, 200, "OK")
+                    .with_header("Allow", "INVITE, ACK, BYE, MESSAGE, OPTIONS")]
+            }
+            _ => vec![SipMessage::response_to(request, 405, "Method Not Allowed")],
+        }
+    }
+
+    fn handle_invite(
+        &mut self,
+        request: &SipMessage,
+        uri: String,
+        server: &mut SessionServer,
+    ) -> Vec<SipMessage> {
+        if !self.is_conference_uri(&uri) {
+            return vec![SipMessage::response_to(request, 404, "Unknown conference")];
+        }
+        let Some(call_id) = request.header("Call-ID").map(str::to_owned) else {
+            return vec![SipMessage::response_to(request, 400, "Missing Call-ID")];
+        };
+        let user = request
+            .header("From")
+            .map(extract_uri)
+            .unwrap_or("sip:anonymous")
+            .to_owned();
+
+        // Media from the SDP offer (defaults to audio+video when absent).
+        let media = match Sdp::parse(&request.body) {
+            Ok(sdp) => sdp
+                .media
+                .iter()
+                .filter_map(|m| match m.kind.as_str() {
+                    "audio" => Some(MediaDescription::new(MediaKind::Audio, "PCMU")),
+                    "video" => Some(MediaDescription::new(MediaKind::Video, "H263")),
+                    _ => None,
+                })
+                .collect(),
+            Err(_) => vec![
+                MediaDescription::new(MediaKind::Audio, "PCMU"),
+                MediaDescription::new(MediaKind::Video, "H263"),
+            ],
+        };
+
+        // Resolve or create the session.
+        let conf_user = uri
+            .strip_prefix("sip:")
+            .and_then(|r| r.split('@').next())
+            .unwrap_or_default();
+        let session = if conf_user == "new-conf" {
+            let outputs = server.handle(
+                Some(&user),
+                XgspMessage::CreateSession {
+                    name: format!("sip ad-hoc by {user}"),
+                    mode: SessionMode::AdHoc,
+                    media: media.clone(),
+                },
+            );
+            let Some(session) = outputs.iter().find_map(|o| match o {
+                ServerOutput::Reply(XgspMessage::SessionCreated { session, .. }) => Some(*session),
+                _ => None,
+            }) else {
+                return vec![SipMessage::response_to(request, 500, "Create failed")];
+            };
+            session
+        } else {
+            let Some(id) = conf_user
+                .strip_prefix("conf-")
+                .and_then(|raw| raw.parse::<u64>().ok())
+            else {
+                return vec![SipMessage::response_to(request, 404, "Bad conference id")];
+            };
+            SessionId::from_raw(id)
+        };
+
+        let terminal = TerminalId::from_raw(self.next_terminal);
+        self.next_terminal += 1;
+        let outputs = server.handle(
+            Some(&user),
+            XgspMessage::Join {
+                session,
+                user: user.clone(),
+                terminal,
+                media,
+            },
+        );
+
+        let mut replies = Vec::new();
+        let mut joined = false;
+        for output in &outputs {
+            match output {
+                ServerOutput::Reply(XgspMessage::JoinAck { .. }) => joined = true,
+                ServerOutput::Reply(XgspMessage::Error { code, detail }) => {
+                    let status = if code == "unknown-session" { 404 } else { 486 };
+                    return vec![SipMessage::response_to(request, status, detail.clone())];
+                }
+                ServerOutput::Notify { user, message } => {
+                    replies.push(self.notify_for(user, message));
+                }
+                _ => {}
+            }
+        }
+        if !joined {
+            return vec![SipMessage::response_to(request, 500, "Join failed")];
+        }
+        self.dialogs.insert(
+            call_id,
+            Dialog {
+                session,
+                user: user.clone(),
+            },
+        );
+
+        // 200 OK with an SDP answer pointing media at the RTP proxy.
+        let answer = Sdp::new("globalmmcs", self.rtp_proxy_address.clone())
+            .with_media(SdpMedia::new("audio", 40000, vec![0]).with_rtpmap(0, "PCMU", 8000))
+            .with_media(SdpMedia::new("video", 40002, vec![34]).with_rtpmap(34, "H263", 90000));
+        let ok = SipMessage::response_to(request, 200, "OK")
+            .with_header("Contact", format!("<sip:conf-{}@{}>", session.value(), self.domain))
+            .with_body("application/sdp", answer.to_wire());
+        replies.insert(0, ok);
+        replies
+    }
+
+    fn handle_bye(&mut self, request: &SipMessage, server: &mut SessionServer) -> Vec<SipMessage> {
+        let Some(call_id) = request.header("Call-ID") else {
+            return vec![SipMessage::response_to(request, 400, "Missing Call-ID")];
+        };
+        let Some(dialog) = self.dialogs.remove(call_id) else {
+            return vec![SipMessage::response_to(
+                request,
+                481,
+                "Call/Transaction Does Not Exist",
+            )];
+        };
+        let outputs = server.handle(
+            Some(&dialog.user),
+            XgspMessage::Leave {
+                session: dialog.session,
+                user: dialog.user.clone(),
+            },
+        );
+        let mut replies = vec![SipMessage::response_to(request, 200, "OK")];
+        for output in outputs {
+            if let ServerOutput::Notify { user, message } = output {
+                replies.push(self.notify_for(&user, &message));
+            }
+        }
+        replies
+    }
+
+    fn handle_message(
+        &mut self,
+        request: &SipMessage,
+        server: &mut SessionServer,
+    ) -> Vec<SipMessage> {
+        let Some(dialog) = request
+            .header("Call-ID")
+            .and_then(|cid| self.dialogs.get(cid))
+            .cloned()
+        else {
+            return vec![SipMessage::response_to(request, 481, "No conference dialog")];
+        };
+        let outputs = server.handle(
+            Some(&dialog.user),
+            XgspMessage::AppData {
+                session: dialog.session,
+                user: dialog.user.clone(),
+                body: request.body.clone(),
+            },
+        );
+        let mut replies = vec![SipMessage::response_to(request, 200, "OK")];
+        for output in outputs {
+            if let ServerOutput::Notify { user, message } = output {
+                replies.push(self.notify_for(&user, &message));
+            }
+        }
+        replies
+    }
+
+    /// Wraps an XGSP notification as a SIP NOTIFY toward a member.
+    fn notify_for(&self, user: &str, message: &XgspMessage) -> SipMessage {
+        SipMessage::request(SipMethod::Notify, user.to_owned())
+            .with_header("Via", format!("SIP/2.0/UDP {};branch=z9hG4bK-gw", self.domain))
+            .with_header("From", format!("<sip:gateway@{}>", self.domain))
+            .with_header("To", format!("<{user}>"))
+            .with_header("Event", "conference")
+            .with_body("application/xgsp+xml", message.to_xml())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn invite(uri: &str, from: &str, call_id: &str) -> SipMessage {
+        SipMessage::request(SipMethod::Invite, uri)
+            .with_header("Via", "SIP/2.0/UDP ua;branch=z9hG4bK1")
+            .with_header("From", format!("<{from}>;tag=1"))
+            .with_header("To", format!("<{uri}>"))
+            .with_header("Call-ID", call_id)
+            .with_header("CSeq", "1 INVITE")
+    }
+
+    fn bye(call_id: &str) -> SipMessage {
+        SipMessage::request(SipMethod::Bye, "sip:conf-1@mmcs.example")
+            .with_header("Via", "SIP/2.0/UDP ua;branch=z9hG4bK2")
+            .with_header("Call-ID", call_id)
+            .with_header("CSeq", "2 BYE")
+    }
+
+    #[test]
+    fn conference_uri_detection() {
+        let gw = SipGateway::new("mmcs.example", "10.0.0.1");
+        assert!(gw.is_conference_uri("sip:new-conf@mmcs.example"));
+        assert!(gw.is_conference_uri("sip:conf-7@mmcs.example"));
+        assert!(!gw.is_conference_uri("sip:alice@mmcs.example"));
+        assert!(!gw.is_conference_uri("sip:conf-7@elsewhere.example"));
+        assert!(!gw.is_conference_uri("mailto:conf-7@mmcs.example"));
+    }
+
+    #[test]
+    fn invite_to_new_conf_creates_and_joins() {
+        let mut gw = SipGateway::new("mmcs.example", "10.0.0.1");
+        let mut server = SessionServer::new();
+        let replies = gw.handle_request(
+            &invite("sip:new-conf@mmcs.example", "sip:alice@ua.example", "cid-1"),
+            &mut server,
+        );
+        assert_eq!(replies[0].status(), Some(200));
+        assert!(replies[0].body.contains("m=audio"));
+        assert_eq!(server.session_count(), 1);
+        assert_eq!(gw.dialog_count(), 1);
+        let session = server.session_ids().next().unwrap();
+        assert_eq!(
+            server.session(session).unwrap().chair(),
+            Some("sip:alice@ua.example")
+        );
+    }
+
+    #[test]
+    fn second_invite_joins_same_conf_and_notifies_first() {
+        let mut gw = SipGateway::new("mmcs.example", "10.0.0.1");
+        let mut server = SessionServer::new();
+        gw.handle_request(
+            &invite("sip:new-conf@mmcs.example", "sip:alice@ua", "cid-1"),
+            &mut server,
+        );
+        let session = server.session_ids().next().unwrap();
+        let uri = format!("sip:conf-{}@mmcs.example", session.value());
+        let replies = gw.handle_request(&invite(&uri, "sip:bob@ua", "cid-2"), &mut server);
+        assert_eq!(replies[0].status(), Some(200));
+        // A NOTIFY toward alice rides along.
+        let notify = replies
+            .iter()
+            .find(|m| m.method() == Some(SipMethod::Notify))
+            .expect("notify for alice");
+        assert!(notify.body.contains("joined"));
+        assert_eq!(server.session(session).unwrap().member_count(), 2);
+    }
+
+    #[test]
+    fn invite_to_missing_conf_404s() {
+        let mut gw = SipGateway::new("mmcs.example", "10.0.0.1");
+        let mut server = SessionServer::new();
+        let replies = gw.handle_request(
+            &invite("sip:conf-99@mmcs.example", "sip:alice@ua", "cid-9"),
+            &mut server,
+        );
+        assert_eq!(replies[0].status(), Some(404));
+        assert_eq!(gw.dialog_count(), 0);
+    }
+
+    #[test]
+    fn bye_leaves_and_tears_down_adhoc() {
+        let mut gw = SipGateway::new("mmcs.example", "10.0.0.1");
+        let mut server = SessionServer::new();
+        gw.handle_request(
+            &invite("sip:new-conf@mmcs.example", "sip:alice@ua", "cid-1"),
+            &mut server,
+        );
+        let replies = gw.handle_request(&bye("cid-1"), &mut server);
+        assert_eq!(replies[0].status(), Some(200));
+        // Last member left an ad-hoc session: it evaporated.
+        assert_eq!(server.session_count(), 0);
+        assert_eq!(gw.dialog_count(), 0);
+        // A second BYE has no dialog.
+        let replies = gw.handle_request(&bye("cid-1"), &mut server);
+        assert_eq!(replies[0].status(), Some(481));
+    }
+
+    #[test]
+    fn message_relays_as_app_data() {
+        let mut gw = SipGateway::new("mmcs.example", "10.0.0.1");
+        let mut server = SessionServer::new();
+        gw.handle_request(
+            &invite("sip:new-conf@mmcs.example", "sip:alice@ua", "cid-1"),
+            &mut server,
+        );
+        let session = server.session_ids().next().unwrap();
+        let uri = format!("sip:conf-{}@mmcs.example", session.value());
+        gw.handle_request(&invite(&uri, "sip:bob@ua", "cid-2"), &mut server);
+
+        let chat = SipMessage::request(SipMethod::Message, uri)
+            .with_header("Via", "SIP/2.0/UDP ua;branch=z9hG4bK3")
+            .with_header("Call-ID", "cid-1")
+            .with_header("CSeq", "2 MESSAGE")
+            .with_body("text/plain", "hello everyone");
+        let replies = gw.handle_request(&chat, &mut server);
+        assert_eq!(replies[0].status(), Some(200));
+        let notify = replies
+            .iter()
+            .find(|m| m.method() == Some(SipMethod::Notify))
+            .expect("notify toward bob");
+        assert!(notify.body.contains("hello everyone"));
+        assert_eq!(notify.header("To"), Some("<sip:bob@ua>"));
+    }
+
+    #[test]
+    fn unsupported_method_405s() {
+        let mut gw = SipGateway::new("mmcs.example", "10.0.0.1");
+        let mut server = SessionServer::new();
+        let register = SipMessage::request(SipMethod::Register, "sip:conf-1@mmcs.example")
+            .with_header("Via", "SIP/2.0/UDP ua;branch=z9hG4bK4");
+        let replies = gw.handle_request(&register, &mut server);
+        assert_eq!(replies[0].status(), Some(405));
+    }
+}

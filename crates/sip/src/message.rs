@@ -1,0 +1,462 @@
+//! SIP message grammar (RFC 3261 subset) — real text wire format.
+//!
+//! We implement the methods and headers Global-MMCS's SIP servers need:
+//! REGISTER (registrar), INVITE/ACK/BYE (calls into conferences),
+//! MESSAGE (IM), SUBSCRIBE/NOTIFY (presence), OPTIONS and CANCEL for
+//! completeness. Header coverage is the working set: Via, From, To,
+//! Call-ID, CSeq, Contact, Expires, Content-Type/-Length, Max-Forwards,
+//! Event; unknown headers are preserved verbatim.
+
+use core::fmt;
+
+/// A SIP request method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SipMethod {
+    /// Session setup.
+    Invite,
+    /// Final-response acknowledgement.
+    Ack,
+    /// Session teardown.
+    Bye,
+    /// Cancel a pending INVITE.
+    Cancel,
+    /// Bind an address-of-record to a contact.
+    Register,
+    /// Capability query / keep-alive.
+    Options,
+    /// Instant message (RFC 3428).
+    Message,
+    /// Subscribe to an event package (RFC 3265).
+    Subscribe,
+    /// Event notification (RFC 3265).
+    Notify,
+}
+
+impl SipMethod {
+    /// The canonical token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SipMethod::Invite => "INVITE",
+            SipMethod::Ack => "ACK",
+            SipMethod::Bye => "BYE",
+            SipMethod::Cancel => "CANCEL",
+            SipMethod::Register => "REGISTER",
+            SipMethod::Options => "OPTIONS",
+            SipMethod::Message => "MESSAGE",
+            SipMethod::Subscribe => "SUBSCRIBE",
+            SipMethod::Notify => "NOTIFY",
+        }
+    }
+
+    /// Parses a method token (case-sensitive, per RFC 3261).
+    pub fn parse(token: &str) -> Option<SipMethod> {
+        Some(match token {
+            "INVITE" => SipMethod::Invite,
+            "ACK" => SipMethod::Ack,
+            "BYE" => SipMethod::Bye,
+            "CANCEL" => SipMethod::Cancel,
+            "REGISTER" => SipMethod::Register,
+            "OPTIONS" => SipMethod::Options,
+            "MESSAGE" => SipMethod::Message,
+            "SUBSCRIBE" => SipMethod::Subscribe,
+            "NOTIFY" => SipMethod::Notify,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for SipMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A SIP message: request or response, plus headers and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SipMessage {
+    /// Request line or status line.
+    pub start: StartLine,
+    /// Headers in order; names are kept in their canonical form.
+    pub headers: Vec<(String, String)>,
+    /// The body (SDP, IM text, presence document).
+    pub body: String,
+}
+
+/// The first line of a SIP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartLine {
+    /// `METHOD sip:uri SIP/2.0`
+    Request {
+        /// The method.
+        method: SipMethod,
+        /// The request URI (e.g. `sip:conf-7@mmcs.example`).
+        uri: String,
+    },
+    /// `SIP/2.0 200 OK`
+    Response {
+        /// The status code.
+        code: u16,
+        /// The reason phrase.
+        reason: String,
+    },
+}
+
+impl SipMessage {
+    /// Builds a request with the mandatory header slots empty.
+    pub fn request(method: SipMethod, uri: impl Into<String>) -> Self {
+        Self {
+            start: StartLine::Request {
+                method,
+                uri: uri.into(),
+            },
+            headers: Vec::new(),
+            body: String::new(),
+        }
+    }
+
+    /// Builds a response to a request, copying the headers RFC 3261
+    /// requires (Via, From, To, Call-ID, CSeq).
+    pub fn response_to(request: &SipMessage, code: u16, reason: impl Into<String>) -> Self {
+        let mut response = Self {
+            start: StartLine::Response {
+                code,
+                reason: reason.into(),
+            },
+            headers: Vec::new(),
+            body: String::new(),
+        };
+        for name in ["Via", "From", "To", "Call-ID", "CSeq"] {
+            for value in request.header_all(name) {
+                response.headers.push((name.to_owned(), value.to_owned()));
+            }
+        }
+        response
+    }
+
+    /// Appends a header, builder style.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Sets the body and Content-Type, builder style.
+    pub fn with_body(mut self, content_type: &str, body: impl Into<String>) -> Self {
+        self.set_header("Content-Type", content_type);
+        self.body = body.into();
+        self
+    }
+
+    /// First value of a header (case-insensitive name match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a header, in order.
+    pub fn header_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.headers
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Sets (replacing the first occurrence) or appends a header.
+    pub fn set_header(&mut self, name: &str, value: impl Into<String>) {
+        let value = value.into();
+        if let Some(slot) = self
+            .headers
+            .iter_mut()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        {
+            slot.1 = value;
+        } else {
+            self.headers.push((name.to_owned(), value));
+        }
+    }
+
+    /// The method, for requests.
+    pub fn method(&self) -> Option<SipMethod> {
+        match &self.start {
+            StartLine::Request { method, .. } => Some(*method),
+            StartLine::Response { .. } => None,
+        }
+    }
+
+    /// The status code, for responses.
+    pub fn status(&self) -> Option<u16> {
+        match &self.start {
+            StartLine::Response { code, .. } => Some(*code),
+            StartLine::Request { .. } => None,
+        }
+    }
+
+    /// Whether this message is a request.
+    pub fn is_request(&self) -> bool {
+        matches!(self.start, StartLine::Request { .. })
+    }
+
+    /// Renders the message in SIP wire format (CRLF line endings,
+    /// Content-Length computed).
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        match &self.start {
+            StartLine::Request { method, uri } => {
+                out.push_str(&format!("{method} {uri} SIP/2.0\r\n"));
+            }
+            StartLine::Response { code, reason } => {
+                out.push_str(&format!("SIP/2.0 {code} {reason}\r\n"));
+            }
+        }
+        for (name, value) in &self.headers {
+            if name.eq_ignore_ascii_case("Content-Length") {
+                continue; // always recomputed
+            }
+            out.push_str(&format!("{name}: {value}\r\n"));
+        }
+        out.push_str(&format!("Content-Length: {}\r\n\r\n", self.body.len()));
+        out.push_str(&self.body);
+        out
+    }
+
+    /// Parses a message from wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSipError`] on malformed start lines, header lines
+    /// without a colon, unknown methods or bad status codes.
+    pub fn parse(wire: &str) -> Result<SipMessage, ParseSipError> {
+        let (head, body) = match wire.find("\r\n\r\n") {
+            Some(idx) => (&wire[..idx], &wire[idx + 4..]),
+            None => (wire.trim_end_matches("\r\n"), ""),
+        };
+        let mut lines = head.split("\r\n");
+        let start_line = lines.next().ok_or(ParseSipError::Empty)?;
+        let start = Self::parse_start_line(start_line)?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| ParseSipError::BadHeader(line.to_owned()))?;
+            headers.push((name.trim().to_owned(), value.trim().to_owned()));
+        }
+        // Truncate the body to Content-Length when present.
+        let body = {
+            let declared = headers
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case("Content-Length"))
+                .and_then(|(_, v)| v.parse::<usize>().ok());
+            match declared {
+                Some(len) if len <= body.len() => &body[..len],
+                _ => body,
+            }
+        };
+        Ok(SipMessage {
+            start,
+            headers,
+            body: body.to_owned(),
+        })
+    }
+
+    fn parse_start_line(line: &str) -> Result<StartLine, ParseSipError> {
+        if let Some(rest) = line.strip_prefix("SIP/2.0 ") {
+            let (code, reason) = rest
+                .split_once(' ')
+                .ok_or_else(|| ParseSipError::BadStartLine(line.to_owned()))?;
+            let code: u16 = code
+                .parse()
+                .map_err(|_| ParseSipError::BadStatus(code.to_owned()))?;
+            if !(100..700).contains(&code) {
+                return Err(ParseSipError::BadStatus(code.to_string()));
+            }
+            return Ok(StartLine::Response {
+                code,
+                reason: reason.to_owned(),
+            });
+        }
+        let mut parts = line.split(' ');
+        let (method, uri, version) = (
+            parts.next().ok_or_else(|| ParseSipError::BadStartLine(line.to_owned()))?,
+            parts.next().ok_or_else(|| ParseSipError::BadStartLine(line.to_owned()))?,
+            parts.next().ok_or_else(|| ParseSipError::BadStartLine(line.to_owned()))?,
+        );
+        if version != "SIP/2.0" || parts.next().is_some() {
+            return Err(ParseSipError::BadStartLine(line.to_owned()));
+        }
+        let method = SipMethod::parse(method)
+            .ok_or_else(|| ParseSipError::UnknownMethod(method.to_owned()))?;
+        Ok(StartLine::Request {
+            method,
+            uri: uri.to_owned(),
+        })
+    }
+}
+
+impl fmt::Display for SipMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_wire())
+    }
+}
+
+/// Error parsing a SIP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseSipError {
+    /// No content at all.
+    Empty,
+    /// Start line not a valid request or status line.
+    BadStartLine(String),
+    /// Status code not numeric or out of range.
+    BadStatus(String),
+    /// Method token unknown.
+    UnknownMethod(String),
+    /// Header line without a colon.
+    BadHeader(String),
+}
+
+impl fmt::Display for ParseSipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseSipError::Empty => write!(f, "empty sip message"),
+            ParseSipError::BadStartLine(l) => write!(f, "bad start line {l:?}"),
+            ParseSipError::BadStatus(c) => write!(f, "bad status code {c:?}"),
+            ParseSipError::UnknownMethod(m) => write!(f, "unknown method {m:?}"),
+            ParseSipError::BadHeader(h) => write!(f, "bad header line {h:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseSipError {}
+
+/// Extracts the bare AoR (`sip:user@host`) from a From/To/Contact value
+/// like `"Alice" <sip:alice@x.org>;tag=77`.
+pub fn extract_uri(header_value: &str) -> &str {
+    let inner = match (header_value.find('<'), header_value.find('>')) {
+        (Some(open), Some(close)) if open < close => &header_value[open + 1..close],
+        _ => header_value,
+    };
+    inner.split(';').next().unwrap_or(inner).trim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn invite() -> SipMessage {
+        SipMessage::request(SipMethod::Invite, "sip:conf-7@mmcs.example")
+            .with_header("Via", "SIP/2.0/UDP client.example;branch=z9hG4bK776")
+            .with_header("Max-Forwards", "70")
+            .with_header("From", "<sip:alice@example.org>;tag=1928")
+            .with_header("To", "<sip:conf-7@mmcs.example>")
+            .with_header("Call-ID", "a84b4c76e66710")
+            .with_header("CSeq", "314159 INVITE")
+            .with_header("Contact", "<sip:alice@client.example>")
+            .with_body("application/sdp", "v=0\r\no=alice 1 1 IN IP4 c\r\ns=-\r\n")
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let message = invite();
+        let wire = message.to_wire();
+        assert!(wire.starts_with("INVITE sip:conf-7@mmcs.example SIP/2.0\r\n"));
+        assert!(wire.contains("Content-Length: 32\r\n"));
+        let parsed = SipMessage::parse(&wire).unwrap();
+        assert_eq!(parsed.method(), Some(SipMethod::Invite));
+        assert_eq!(parsed.header("call-id"), Some("a84b4c76e66710"));
+        assert_eq!(parsed.body, message.body);
+    }
+
+    #[test]
+    fn response_round_trip_and_header_copying() {
+        let request = invite();
+        let response = SipMessage::response_to(&request, 200, "OK")
+            .with_header("Contact", "<sip:gw@mmcs.example>");
+        let wire = response.to_wire();
+        assert!(wire.starts_with("SIP/2.0 200 OK\r\n"));
+        let parsed = SipMessage::parse(&wire).unwrap();
+        assert_eq!(parsed.status(), Some(200));
+        assert_eq!(parsed.header("CSeq"), Some("314159 INVITE"));
+        assert_eq!(parsed.header("From"), request.header("From"));
+        assert!(!parsed.is_request());
+    }
+
+    #[test]
+    fn all_methods_parse() {
+        for method in [
+            SipMethod::Invite,
+            SipMethod::Ack,
+            SipMethod::Bye,
+            SipMethod::Cancel,
+            SipMethod::Register,
+            SipMethod::Options,
+            SipMethod::Message,
+            SipMethod::Subscribe,
+            SipMethod::Notify,
+        ] {
+            assert_eq!(SipMethod::parse(method.as_str()), Some(method));
+        }
+        // Methods are case-sensitive tokens.
+        assert_eq!(SipMethod::parse("invite"), None);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            SipMessage::parse("TELEPORT sip:x SIP/2.0\r\n\r\n"),
+            Err(ParseSipError::UnknownMethod(_))
+        ));
+        assert!(matches!(
+            SipMessage::parse("SIP/2.0 999x OK\r\n\r\n"),
+            Err(ParseSipError::BadStatus(_))
+        ));
+        assert!(matches!(
+            SipMessage::parse("SIP/2.0 99 Too Low\r\n\r\n"),
+            Err(ParseSipError::BadStatus(_))
+        ));
+        assert!(matches!(
+            SipMessage::parse("INVITE sip:x SIP/2.0\r\nNoColonHere\r\n\r\n"),
+            Err(ParseSipError::BadHeader(_))
+        ));
+        assert!(matches!(
+            SipMessage::parse("INVITE sip:x\r\n\r\n"),
+            Err(ParseSipError::BadStartLine(_))
+        ));
+    }
+
+    #[test]
+    fn content_length_truncates_body() {
+        let wire = "MESSAGE sip:bob@x SIP/2.0\r\nContent-Length: 2\r\n\r\nhiEXTRA";
+        let parsed = SipMessage::parse(wire).unwrap();
+        assert_eq!(parsed.body, "hi");
+    }
+
+    #[test]
+    fn multiple_via_headers_preserved_in_order() {
+        let message = SipMessage::request(SipMethod::Bye, "sip:x@y")
+            .with_header("Via", "SIP/2.0/UDP p1;branch=a")
+            .with_header("Via", "SIP/2.0/UDP p2;branch=b");
+        let parsed = SipMessage::parse(&message.to_wire()).unwrap();
+        let vias: Vec<&str> = parsed.header_all("Via").collect();
+        assert_eq!(vias, vec!["SIP/2.0/UDP p1;branch=a", "SIP/2.0/UDP p2;branch=b"]);
+    }
+
+    #[test]
+    fn extract_uri_variants() {
+        assert_eq!(extract_uri("<sip:a@b>;tag=1"), "sip:a@b");
+        assert_eq!(extract_uri("\"Alice\" <sip:a@b>"), "sip:a@b");
+        assert_eq!(extract_uri("sip:a@b;transport=udp"), "sip:a@b");
+        assert_eq!(extract_uri("sip:a@b"), "sip:a@b");
+    }
+
+    #[test]
+    fn set_header_replaces_first() {
+        let mut message = SipMessage::request(SipMethod::Options, "sip:x@y");
+        message.set_header("Expires", "3600");
+        message.set_header("expires", "60");
+        assert_eq!(message.header("Expires"), Some("60"));
+        assert_eq!(message.header_all("Expires").count(), 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! SUBSCRIBE/NOTIFY presence (RFC 3265/3856 subset).
+//!
+//! The SIP side of the IM service: watchers subscribe to a presentity's
+//! `presence` event package; status changes fan NOTIFY requests out to
+//! the live subscriptions. The ad-hoc collaboration flow ("is my
+//! colleague online? pull them into a meeting") rides on this.
+
+use std::collections::HashMap;
+
+use mmcs_util::time::{SimDuration, SimTime};
+
+use crate::message::{extract_uri, SipMessage, SipMethod};
+
+/// A presentity's published status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Presence {
+    /// Available, with an optional note.
+    Open(String),
+    /// Unavailable.
+    Closed,
+}
+
+impl Presence {
+    /// Renders the minimal PIDF-like XML body carried in NOTIFYs.
+    pub fn to_body(&self, presentity: &str) -> String {
+        let (status, note) = match self {
+            Presence::Open(note) => ("open", note.as_str()),
+            Presence::Closed => ("closed", ""),
+        };
+        format!(
+            "<presence entity=\"{presentity}\"><status>{status}</status><note>{note}</note></presence>"
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Subscription {
+    watcher: String,
+    expires_at: SimTime,
+}
+
+/// The presence server.
+#[derive(Debug, Default)]
+pub struct PresenceServer {
+    /// presentity -> watchers
+    subscriptions: HashMap<String, Vec<Subscription>>,
+    status: HashMap<String, Presence>,
+}
+
+impl PresenceServer {
+    /// Creates an empty presence server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handles a SUBSCRIBE; returns the response plus an immediate NOTIFY
+    /// with the current state (as RFC 3265 requires).
+    pub fn handle_subscribe(&mut self, request: &SipMessage, now: SimTime) -> Vec<SipMessage> {
+        if request.method() != Some(SipMethod::Subscribe) {
+            return vec![SipMessage::response_to(request, 405, "Method Not Allowed")];
+        }
+        if request.header("Event").map(str::trim) != Some("presence") {
+            return vec![SipMessage::response_to(request, 489, "Bad Event")];
+        }
+        let Some(to) = request.header("To") else {
+            return vec![SipMessage::response_to(request, 400, "Missing To")];
+        };
+        let Some(from) = request.header("From") else {
+            return vec![SipMessage::response_to(request, 400, "Missing From")];
+        };
+        let presentity = extract_uri(to).to_owned();
+        let watcher = extract_uri(from).to_owned();
+        let expires_secs: u64 = request
+            .header("Expires")
+            .and_then(|e| e.parse().ok())
+            .unwrap_or(3600);
+
+        let list = self.subscriptions.entry(presentity.clone()).or_default();
+        if expires_secs == 0 {
+            list.retain(|s| s.watcher != watcher);
+        } else {
+            let expires_at = now + SimDuration::from_secs(expires_secs);
+            if let Some(existing) = list.iter_mut().find(|s| s.watcher == watcher) {
+                existing.expires_at = expires_at;
+            } else {
+                list.push(Subscription {
+                    watcher: watcher.clone(),
+                    expires_at,
+                });
+            }
+        }
+
+        let ok = SipMessage::response_to(request, 200, "OK")
+            .with_header("Expires", expires_secs.to_string());
+        let current = self
+            .status
+            .get(&presentity)
+            .cloned()
+            .unwrap_or(Presence::Closed);
+        let notify = self.notify(&presentity, &watcher, &current);
+        vec![ok, notify]
+    }
+
+    /// Publishes a status change; returns the NOTIFYs to send to live
+    /// watchers.
+    pub fn publish(&mut self, presentity: &str, status: Presence, now: SimTime) -> Vec<SipMessage> {
+        self.status.insert(presentity.to_owned(), status.clone());
+        let Some(list) = self.subscriptions.get_mut(presentity) else {
+            return Vec::new();
+        };
+        list.retain(|s| s.expires_at > now);
+        list.iter()
+            .map(|s| {
+                SipMessage::request(SipMethod::Notify, s.watcher.clone())
+                    .with_header("Via", "SIP/2.0/UDP presence;branch=z9hG4bK-p")
+                    .with_header("From", format!("<{presentity}>"))
+                    .with_header("To", format!("<{}>", s.watcher))
+                    .with_header("Event", "presence")
+                    .with_body("application/pidf+xml", status.to_body(presentity))
+            })
+            .collect()
+    }
+
+    /// Current status of a presentity (default closed).
+    pub fn status_of(&self, presentity: &str) -> Presence {
+        self.status
+            .get(presentity)
+            .cloned()
+            .unwrap_or(Presence::Closed)
+    }
+
+    /// Live watcher count for a presentity.
+    pub fn watcher_count(&self, presentity: &str, now: SimTime) -> usize {
+        self.subscriptions
+            .get(presentity)
+            .map(|l| l.iter().filter(|s| s.expires_at > now).count())
+            .unwrap_or(0)
+    }
+
+    fn notify(&self, presentity: &str, watcher: &str, status: &Presence) -> SipMessage {
+        SipMessage::request(SipMethod::Notify, watcher.to_owned())
+            .with_header("Via", "SIP/2.0/UDP presence;branch=z9hG4bK-p")
+            .with_header("From", format!("<{presentity}>"))
+            .with_header("To", format!("<{watcher}>"))
+            .with_header("Event", "presence")
+            .with_body("application/pidf+xml", status.to_body(presentity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subscribe(presentity: &str, watcher: &str, expires: u64) -> SipMessage {
+        SipMessage::request(SipMethod::Subscribe, presentity)
+            .with_header("Via", "SIP/2.0/UDP w;branch=z9hG4bKs")
+            .with_header("From", format!("<{watcher}>;tag=9"))
+            .with_header("To", format!("<{presentity}>"))
+            .with_header("Call-ID", "sub-1")
+            .with_header("CSeq", "1 SUBSCRIBE")
+            .with_header("Event", "presence")
+            .with_header("Expires", expires.to_string())
+    }
+
+    #[test]
+    fn subscribe_gets_ok_and_initial_notify() {
+        let mut server = PresenceServer::new();
+        let replies = server.handle_subscribe(
+            &subscribe("sip:alice@x", "sip:bob@x", 600),
+            SimTime::ZERO,
+        );
+        assert_eq!(replies.len(), 2);
+        assert_eq!(replies[0].status(), Some(200));
+        assert_eq!(replies[1].method(), Some(SipMethod::Notify));
+        assert!(replies[1].body.contains("closed")); // no status published yet
+        assert_eq!(server.watcher_count("sip:alice@x", SimTime::ZERO), 1);
+    }
+
+    #[test]
+    fn publish_notifies_watchers() {
+        let mut server = PresenceServer::new();
+        server.handle_subscribe(&subscribe("sip:alice@x", "sip:bob@x", 600), SimTime::ZERO);
+        server.handle_subscribe(
+            &{
+                let mut s = subscribe("sip:alice@x", "sip:carol@x", 600);
+                s.set_header("From", "<sip:carol@x>;tag=2");
+                s
+            },
+            SimTime::ZERO,
+        );
+        let notifies = server.publish(
+            "sip:alice@x",
+            Presence::Open("in the lab".into()),
+            SimTime::ZERO,
+        );
+        assert_eq!(notifies.len(), 2);
+        assert!(notifies[0].body.contains("open"));
+        assert!(notifies[0].body.contains("in the lab"));
+        assert_eq!(server.status_of("sip:alice@x"), Presence::Open("in the lab".into()));
+    }
+
+    #[test]
+    fn expired_subscriptions_get_no_notify() {
+        let mut server = PresenceServer::new();
+        server.handle_subscribe(&subscribe("sip:a@x", "sip:b@x", 10), SimTime::ZERO);
+        let later = SimTime::ZERO + SimDuration::from_secs(11);
+        let notifies = server.publish("sip:a@x", Presence::Closed, later);
+        assert!(notifies.is_empty());
+        assert_eq!(server.watcher_count("sip:a@x", later), 0);
+    }
+
+    #[test]
+    fn unsubscribe_with_expires_zero() {
+        let mut server = PresenceServer::new();
+        server.handle_subscribe(&subscribe("sip:a@x", "sip:b@x", 600), SimTime::ZERO);
+        server.handle_subscribe(&subscribe("sip:a@x", "sip:b@x", 0), SimTime::ZERO);
+        assert_eq!(server.watcher_count("sip:a@x", SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn bad_event_package_rejected() {
+        let mut server = PresenceServer::new();
+        let mut request = subscribe("sip:a@x", "sip:b@x", 600);
+        request.set_header("Event", "dialog");
+        let replies = server.handle_subscribe(&request, SimTime::ZERO);
+        assert_eq!(replies[0].status(), Some(489));
+    }
+
+    #[test]
+    fn resubscribe_refreshes_not_duplicates() {
+        let mut server = PresenceServer::new();
+        server.handle_subscribe(&subscribe("sip:a@x", "sip:b@x", 600), SimTime::ZERO);
+        server.handle_subscribe(&subscribe("sip:a@x", "sip:b@x", 600), SimTime::ZERO);
+        assert_eq!(server.watcher_count("sip:a@x", SimTime::ZERO), 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! A stateless forwarding proxy.
+//!
+//! Routes requests by consulting the registrar's location service,
+//! prepending its own Via and decrementing Max-Forwards; routes
+//! responses by popping the top Via. Requests addressed to the
+//! conference domain are handed to the gateway instead (the caller
+//! decides by URI), so the proxy itself stays community-agnostic.
+
+use mmcs_util::time::SimTime;
+
+use crate::message::{SipMessage, StartLine};
+use crate::registrar::Registrar;
+
+/// What the proxy decided to do with a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProxyAction {
+    /// Forward this request to the given contact URI.
+    ForwardRequest {
+        /// Next-hop contact.
+        target: String,
+        /// The rewritten request.
+        request: SipMessage,
+    },
+    /// Send this response back toward the given Via host.
+    ForwardResponse {
+        /// The Via value identifying the previous hop.
+        via: String,
+        /// The rewritten response.
+        response: SipMessage,
+    },
+    /// Reply with this response directly (errors).
+    Respond(SipMessage),
+}
+
+/// The proxy. Stateless: every message is handled independently.
+#[derive(Debug)]
+pub struct Proxy {
+    /// This proxy's Via host value.
+    via_host: String,
+}
+
+impl Proxy {
+    /// Creates a proxy announcing itself as `via_host` in Via headers.
+    pub fn new(via_host: impl Into<String>) -> Self {
+        Self {
+            via_host: via_host.into(),
+        }
+    }
+
+    /// Handles a request: looks the target up in the registrar and
+    /// rewrites the request for forwarding.
+    pub fn handle_request(
+        &self,
+        request: &SipMessage,
+        registrar: &Registrar,
+        now: SimTime,
+    ) -> ProxyAction {
+        let StartLine::Request { uri, .. } = &request.start else {
+            return ProxyAction::Respond(SipMessage::response_to(
+                request,
+                400,
+                "Expected a request",
+            ));
+        };
+        // Loop protection.
+        let max_forwards: i64 = request
+            .header("Max-Forwards")
+            .and_then(|m| m.parse().ok())
+            .unwrap_or(70);
+        if max_forwards <= 0 {
+            return ProxyAction::Respond(SipMessage::response_to(
+                request,
+                483,
+                "Too Many Hops",
+            ));
+        }
+        let bindings = registrar.lookup(uri, now);
+        let Some(binding) = bindings.first() else {
+            return ProxyAction::Respond(SipMessage::response_to(
+                request,
+                404,
+                "Not Found",
+            ));
+        };
+        let mut forwarded = request.clone();
+        forwarded.set_header("Max-Forwards", (max_forwards - 1).to_string());
+        // Prepend our Via.
+        forwarded.headers.insert(
+            0,
+            (
+                "Via".to_owned(),
+                format!("SIP/2.0/UDP {};branch=z9hG4bK-{}", self.via_host, now.as_nanos()),
+            ),
+        );
+        ProxyAction::ForwardRequest {
+            target: binding.contact.clone(),
+            request: forwarded,
+        }
+    }
+
+    /// Handles a response: pops our Via and forwards to the next one.
+    pub fn handle_response(&self, response: &SipMessage) -> ProxyAction {
+        let vias: Vec<String> = response.header_all("Via").map(str::to_owned).collect();
+        let Some(top) = vias.first() else {
+            return ProxyAction::Respond(SipMessage::response_to(
+                response,
+                400,
+                "Response without Via",
+            ));
+        };
+        if !top.contains(&self.via_host) {
+            // Not ours: malformed routing.
+            return ProxyAction::Respond(SipMessage::response_to(
+                response,
+                400,
+                "Top Via is not this proxy",
+            ));
+        }
+        let Some(next) = vias.get(1).cloned() else {
+            return ProxyAction::Respond(SipMessage::response_to(
+                response,
+                400,
+                "No downstream Via",
+            ));
+        };
+        let mut forwarded = response.clone();
+        // Remove the first Via occurrence.
+        let mut removed = false;
+        forwarded.headers.retain(|(name, value)| {
+            if !removed && name.eq_ignore_ascii_case("Via") && value == top {
+                removed = true;
+                false
+            } else {
+                true
+            }
+        });
+        ProxyAction::ForwardResponse {
+            via: next,
+            response: forwarded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::SipMethod;
+
+    fn registered() -> Registrar {
+        let mut registrar = Registrar::new();
+        let register = SipMessage::request(SipMethod::Register, "sip:mmcs.example")
+            .with_header("Via", "SIP/2.0/UDP bobs-pc;branch=z9hG4bKr")
+            .with_header("To", "<sip:bob@mmcs.example>")
+            .with_header("From", "<sip:bob@mmcs.example>;tag=1")
+            .with_header("Call-ID", "r1")
+            .with_header("CSeq", "1 REGISTER")
+            .with_header("Contact", "<sip:bob@192.0.2.4>");
+        registrar.handle_register(&register, SimTime::ZERO);
+        registrar
+    }
+
+    fn invite_to_bob() -> SipMessage {
+        SipMessage::request(SipMethod::Invite, "sip:bob@mmcs.example")
+            .with_header("Via", "SIP/2.0/UDP alices-pc;branch=z9hG4bKa")
+            .with_header("Max-Forwards", "70")
+            .with_header("From", "<sip:alice@x>;tag=2")
+            .with_header("To", "<sip:bob@mmcs.example>")
+            .with_header("Call-ID", "c1")
+            .with_header("CSeq", "1 INVITE")
+    }
+
+    #[test]
+    fn request_is_forwarded_to_registered_contact() {
+        let proxy = Proxy::new("proxy.mmcs.example");
+        let action = proxy.handle_request(&invite_to_bob(), &registered(), SimTime::ZERO);
+        let ProxyAction::ForwardRequest { target, request } = action else {
+            panic!("expected forward, got {action:?}");
+        };
+        assert_eq!(target, "sip:bob@192.0.2.4");
+        assert_eq!(request.header("Max-Forwards"), Some("69"));
+        // Our Via is on top, original below.
+        let vias: Vec<&str> = request.header_all("Via").collect();
+        assert_eq!(vias.len(), 2);
+        assert!(vias[0].contains("proxy.mmcs.example"));
+        assert!(vias[1].contains("alices-pc"));
+    }
+
+    #[test]
+    fn unknown_target_404s() {
+        let proxy = Proxy::new("proxy");
+        let mut request = invite_to_bob();
+        request.start = StartLine::Request {
+            method: SipMethod::Invite,
+            uri: "sip:nobody@mmcs.example".into(),
+        };
+        let action = proxy.handle_request(&request, &registered(), SimTime::ZERO);
+        assert!(matches!(
+            action,
+            ProxyAction::Respond(r) if r.status() == Some(404)
+        ));
+    }
+
+    #[test]
+    fn hop_limit_enforced() {
+        let proxy = Proxy::new("proxy");
+        let mut request = invite_to_bob();
+        request.set_header("Max-Forwards", "0");
+        let action = proxy.handle_request(&request, &registered(), SimTime::ZERO);
+        assert!(matches!(
+            action,
+            ProxyAction::Respond(r) if r.status() == Some(483)
+        ));
+    }
+
+    #[test]
+    fn response_pops_our_via() {
+        let proxy = Proxy::new("proxy.mmcs.example");
+        let registrar = registered();
+        let ProxyAction::ForwardRequest { request, .. } =
+            proxy.handle_request(&invite_to_bob(), &registrar, SimTime::ZERO)
+        else {
+            panic!("expected forward");
+        };
+        let response = SipMessage::response_to(&request, 200, "OK");
+        let action = proxy.handle_response(&response);
+        let ProxyAction::ForwardResponse { via, response } = action else {
+            panic!("expected response forward, got {action:?}");
+        };
+        assert!(via.contains("alices-pc"));
+        assert_eq!(response.header_all("Via").count(), 1);
+    }
+
+    #[test]
+    fn response_with_foreign_top_via_rejected() {
+        let proxy = Proxy::new("proxy-a");
+        let response = SipMessage {
+            start: StartLine::Response {
+                code: 200,
+                reason: "OK".into(),
+            },
+            headers: vec![("Via".into(), "SIP/2.0/UDP proxy-b;branch=x".into())],
+            body: String::new(),
+        };
+        assert!(matches!(
+            proxy.handle_response(&response),
+            ProxyAction::Respond(r) if r.status() == Some(400)
+        ));
+    }
+}

@@ -1,0 +1,233 @@
+//! The SIP registrar (location service).
+//!
+//! Binds addresses-of-record (`sip:alice@mmcs.example`) to contact URIs
+//! with expirations, driven by REGISTER requests. The proxy consults it
+//! to route; the directory service mirrors it for the user/terminal
+//! binding the paper describes.
+
+use std::collections::HashMap;
+
+use mmcs_util::time::SimTime;
+
+use crate::message::{extract_uri, SipMessage, SipMethod};
+
+/// One contact binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    /// The contact URI to route to.
+    pub contact: String,
+    /// When the binding lapses.
+    pub expires_at: SimTime,
+}
+
+/// The registrar. All queries take `now` so expiry is driven by the
+/// caller's clock (virtual time in simulations).
+#[derive(Debug, Default)]
+pub struct Registrar {
+    bindings: HashMap<String, Vec<Binding>>,
+    default_expires_secs: u64,
+}
+
+impl Registrar {
+    /// Creates a registrar with the RFC default 3600 s expiry.
+    pub fn new() -> Self {
+        Self {
+            bindings: HashMap::new(),
+            default_expires_secs: 3600,
+        }
+    }
+
+    /// Handles a REGISTER request, returning the response to send.
+    ///
+    /// `Expires: 0` (or a `Contact: *` with it) removes bindings.
+    pub fn handle_register(&mut self, request: &SipMessage, now: SimTime) -> SipMessage {
+        if request.method() != Some(SipMethod::Register) {
+            return SipMessage::response_to(request, 405, "Method Not Allowed");
+        }
+        let Some(to) = request.header("To") else {
+            return SipMessage::response_to(request, 400, "Missing To");
+        };
+        let aor = extract_uri(to).to_owned();
+        let expires_secs: u64 = request
+            .header("Expires")
+            .and_then(|e| e.parse().ok())
+            .unwrap_or(self.default_expires_secs);
+
+        let contacts: Vec<&str> = request.header_all("Contact").collect();
+        if contacts.is_empty() {
+            // Query: report current bindings.
+            let mut response = SipMessage::response_to(request, 200, "OK");
+            for binding in self.lookup(&aor, now) {
+                response
+                    .headers
+                    .push(("Contact".to_owned(), format!("<{}>", binding.contact)));
+            }
+            return response;
+        }
+
+        if expires_secs == 0 {
+            if contacts.iter().any(|c| c.trim() == "*") {
+                self.bindings.remove(&aor);
+            } else {
+                if let Some(list) = self.bindings.get_mut(&aor) {
+                    for contact in &contacts {
+                        let uri = extract_uri(contact).to_owned();
+                        list.retain(|b| b.contact != uri);
+                    }
+                }
+            }
+            return SipMessage::response_to(request, 200, "OK");
+        }
+
+        let expires_at = now + mmcs_util::time::SimDuration::from_secs(expires_secs);
+        let list = self.bindings.entry(aor).or_default();
+        for contact in contacts {
+            let uri = extract_uri(contact).to_owned();
+            if let Some(existing) = list.iter_mut().find(|b| b.contact == uri) {
+                existing.expires_at = expires_at;
+            } else {
+                list.push(Binding {
+                    contact: uri,
+                    expires_at,
+                });
+            }
+        }
+        SipMessage::response_to(request, 200, "OK")
+            .with_header("Expires", expires_secs.to_string())
+    }
+
+    /// Current (unexpired) bindings for an AoR.
+    pub fn lookup(&self, aor: &str, now: SimTime) -> Vec<Binding> {
+        self.bindings
+            .get(aor)
+            .map(|list| {
+                list.iter()
+                    .filter(|b| b.expires_at > now)
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Removes expired bindings; returns how many were dropped.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let mut dropped = 0;
+        self.bindings.retain(|_, list| {
+            let before = list.len();
+            list.retain(|b| b.expires_at > now);
+            dropped += before - list.len();
+            !list.is_empty()
+        });
+        dropped
+    }
+
+    /// Number of AoRs with live bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the registrar has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmcs_util::time::SimDuration;
+
+    fn register(aor: &str, contact: &str, expires: Option<u64>) -> SipMessage {
+        let mut request = SipMessage::request(SipMethod::Register, "sip:mmcs.example")
+            .with_header("Via", "SIP/2.0/UDP c;branch=z9hG4bKr")
+            .with_header("From", format!("<{aor}>;tag=1"))
+            .with_header("To", format!("<{aor}>"))
+            .with_header("Call-ID", "reg-1")
+            .with_header("CSeq", "1 REGISTER")
+            .with_header("Contact", format!("<{contact}>"));
+        if let Some(e) = expires {
+            request.set_header("Expires", e.to_string());
+        }
+        request
+    }
+
+    #[test]
+    fn register_binds_and_lookup_finds() {
+        let mut registrar = Registrar::new();
+        let now = SimTime::ZERO;
+        let response =
+            registrar.handle_register(&register("sip:alice@x", "sip:alice@10.0.0.5", None), now);
+        assert_eq!(response.status(), Some(200));
+        let bindings = registrar.lookup("sip:alice@x", now);
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(bindings[0].contact, "sip:alice@10.0.0.5");
+    }
+
+    #[test]
+    fn reregister_refreshes_instead_of_duplicating() {
+        let mut registrar = Registrar::new();
+        let t0 = SimTime::ZERO;
+        registrar.handle_register(&register("sip:a@x", "sip:a@h", Some(100)), t0);
+        let t1 = t0 + SimDuration::from_secs(50);
+        registrar.handle_register(&register("sip:a@x", "sip:a@h", Some(100)), t1);
+        let bindings = registrar.lookup("sip:a@x", t1);
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(bindings[0].expires_at, t1 + SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn bindings_expire() {
+        let mut registrar = Registrar::new();
+        let t0 = SimTime::ZERO;
+        registrar.handle_register(&register("sip:a@x", "sip:a@h", Some(10)), t0);
+        let later = t0 + SimDuration::from_secs(11);
+        assert!(registrar.lookup("sip:a@x", later).is_empty());
+        assert_eq!(registrar.expire(later), 1);
+        assert!(registrar.is_empty());
+    }
+
+    #[test]
+    fn expires_zero_unbinds() {
+        let mut registrar = Registrar::new();
+        let now = SimTime::ZERO;
+        registrar.handle_register(&register("sip:a@x", "sip:a@h1", Some(100)), now);
+        registrar.handle_register(&register("sip:a@x", "sip:a@h2", Some(100)), now);
+        registrar.handle_register(&register("sip:a@x", "sip:a@h1", Some(0)), now);
+        let bindings = registrar.lookup("sip:a@x", now);
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(bindings[0].contact, "sip:a@h2");
+    }
+
+    #[test]
+    fn star_contact_with_expires_zero_unbinds_all() {
+        let mut registrar = Registrar::new();
+        let now = SimTime::ZERO;
+        registrar.handle_register(&register("sip:a@x", "sip:a@h1", Some(100)), now);
+        let mut wipe = register("sip:a@x", "ignored", Some(0));
+        wipe.set_header("Contact", "*");
+        registrar.handle_register(&wipe, now);
+        assert!(registrar.lookup("sip:a@x", now).is_empty());
+    }
+
+    #[test]
+    fn query_register_lists_bindings() {
+        let mut registrar = Registrar::new();
+        let now = SimTime::ZERO;
+        registrar.handle_register(&register("sip:a@x", "sip:a@h1", Some(100)), now);
+        let mut query = register("sip:a@x", "ignored", None);
+        query.headers.retain(|(n, _)| !n.eq_ignore_ascii_case("Contact"));
+        let response = registrar.handle_register(&query, now);
+        assert_eq!(response.status(), Some(200));
+        assert_eq!(response.header("Contact"), Some("<sip:a@h1>"));
+    }
+
+    #[test]
+    fn non_register_is_rejected() {
+        let mut registrar = Registrar::new();
+        let invite = SipMessage::request(SipMethod::Invite, "sip:x")
+            .with_header("Via", "SIP/2.0/UDP c;branch=z9hG4bKi")
+            .with_header("To", "<sip:x>");
+        let response = registrar.handle_register(&invite, SimTime::ZERO);
+        assert_eq!(response.status(), Some(405));
+    }
+}

@@ -1,0 +1,282 @@
+//! A small SDP (RFC 4566 subset) codec for SIP offer/answer bodies.
+//!
+//! Covers what the gateway needs: origin, session name, connection,
+//! media lines with payload types and `a=rtpmap` attributes.
+
+use core::fmt;
+
+/// One `m=` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SdpMedia {
+    /// Media type: `audio`, `video`, `application`.
+    pub kind: String,
+    /// Transport port.
+    pub port: u16,
+    /// Transport profile, normally `RTP/AVP`.
+    pub proto: String,
+    /// Payload type numbers in preference order.
+    pub formats: Vec<u8>,
+    /// `a=` attribute lines (verbatim, without the `a=` prefix).
+    pub attributes: Vec<String>,
+}
+
+impl SdpMedia {
+    /// Creates a media section with no attributes.
+    pub fn new(kind: impl Into<String>, port: u16, formats: Vec<u8>) -> Self {
+        Self {
+            kind: kind.into(),
+            port,
+            proto: "RTP/AVP".to_owned(),
+            formats,
+            attributes: Vec::new(),
+        }
+    }
+
+    /// Adds an `a=rtpmap` attribute, builder style.
+    pub fn with_rtpmap(mut self, pt: u8, encoding: &str, clock: u32) -> Self {
+        self.attributes.push(format!("rtpmap:{pt} {encoding}/{clock}"));
+        self
+    }
+}
+
+/// A session description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sdp {
+    /// `o=` username.
+    pub origin_user: String,
+    /// `o=` session id.
+    pub session_id: u64,
+    /// `o=` version.
+    pub version: u64,
+    /// `o=`/`c=` address.
+    pub address: String,
+    /// `s=` session name.
+    pub name: String,
+    /// Media sections.
+    pub media: Vec<SdpMedia>,
+}
+
+impl Sdp {
+    /// Creates a description with no media.
+    pub fn new(origin_user: impl Into<String>, address: impl Into<String>) -> Self {
+        Self {
+            origin_user: origin_user.into(),
+            session_id: 1,
+            version: 1,
+            address: address.into(),
+            name: "-".to_owned(),
+            media: Vec::new(),
+        }
+    }
+
+    /// Adds a media section, builder style.
+    pub fn with_media(mut self, media: SdpMedia) -> Self {
+        self.media.push(media);
+        self
+    }
+
+    /// Renders in SDP wire format (CRLF lines).
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        out.push_str("v=0\r\n");
+        out.push_str(&format!(
+            "o={} {} {} IN IP4 {}\r\n",
+            self.origin_user, self.session_id, self.version, self.address
+        ));
+        out.push_str(&format!("s={}\r\n", self.name));
+        out.push_str(&format!("c=IN IP4 {}\r\n", self.address));
+        out.push_str("t=0 0\r\n");
+        for m in &self.media {
+            let formats: Vec<String> = m.formats.iter().map(u8::to_string).collect();
+            out.push_str(&format!(
+                "m={} {} {} {}\r\n",
+                m.kind,
+                m.port,
+                m.proto,
+                formats.join(" ")
+            ));
+            for attr in &m.attributes {
+                out.push_str(&format!("a={attr}\r\n"));
+            }
+        }
+        out
+    }
+
+    /// Parses from wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSdpError`] on missing mandatory lines or malformed
+    /// `o=`/`m=` lines. Unknown line types are ignored (per RFC 4566).
+    pub fn parse(wire: &str) -> Result<Sdp, ParseSdpError> {
+        let mut origin: Option<(String, u64, u64, String)> = None;
+        let mut name = "-".to_owned();
+        let mut address = None;
+        let mut media: Vec<SdpMedia> = Vec::new();
+        let mut saw_v = false;
+
+        for line in wire.lines().map(str::trim_end) {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((kind, value)) = line.split_once('=') else {
+                return Err(ParseSdpError::BadLine(line.to_owned()));
+            };
+            match kind {
+                "v" => {
+                    if value != "0" {
+                        return Err(ParseSdpError::BadVersion(value.to_owned()));
+                    }
+                    saw_v = true;
+                }
+                "o" => {
+                    let parts: Vec<&str> = value.split(' ').collect();
+                    if parts.len() != 6 {
+                        return Err(ParseSdpError::BadLine(line.to_owned()));
+                    }
+                    origin = Some((
+                        parts[0].to_owned(),
+                        parts[1].parse().map_err(|_| ParseSdpError::BadLine(line.to_owned()))?,
+                        parts[2].parse().map_err(|_| ParseSdpError::BadLine(line.to_owned()))?,
+                        parts[5].to_owned(),
+                    ));
+                }
+                "s" => name = value.to_owned(),
+                "c" => {
+                    address = value.rsplit(' ').next().map(str::to_owned);
+                }
+                "m" => {
+                    let parts: Vec<&str> = value.split(' ').collect();
+                    if parts.len() < 4 {
+                        return Err(ParseSdpError::BadLine(line.to_owned()));
+                    }
+                    let formats = parts[3..]
+                        .iter()
+                        .map(|p| p.parse::<u8>())
+                        .collect::<Result<Vec<u8>, _>>()
+                        .map_err(|_| ParseSdpError::BadLine(line.to_owned()))?;
+                    media.push(SdpMedia {
+                        kind: parts[0].to_owned(),
+                        port: parts[1]
+                            .parse()
+                            .map_err(|_| ParseSdpError::BadLine(line.to_owned()))?,
+                        proto: parts[2].to_owned(),
+                        formats,
+                        attributes: Vec::new(),
+                    });
+                }
+                "a" => {
+                    if let Some(current) = media.last_mut() {
+                        current.attributes.push(value.to_owned());
+                    }
+                }
+                _ => {} // t=, b=, k=, unknown: ignored
+            }
+        }
+        if !saw_v {
+            return Err(ParseSdpError::Missing("v"));
+        }
+        let (origin_user, session_id, version, origin_addr) =
+            origin.ok_or(ParseSdpError::Missing("o"))?;
+        Ok(Sdp {
+            origin_user,
+            session_id,
+            version,
+            address: address.unwrap_or(origin_addr),
+            name,
+            media,
+        })
+    }
+}
+
+impl fmt::Display for Sdp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_wire())
+    }
+}
+
+/// Error parsing SDP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseSdpError {
+    /// A mandatory line type was missing.
+    Missing(&'static str),
+    /// `v=` was not 0.
+    BadVersion(String),
+    /// A line failed to parse.
+    BadLine(String),
+}
+
+impl fmt::Display for ParseSdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseSdpError::Missing(what) => write!(f, "missing sdp line {what}="),
+            ParseSdpError::BadVersion(v) => write!(f, "unsupported sdp version {v:?}"),
+            ParseSdpError::BadLine(l) => write!(f, "bad sdp line {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseSdpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offer() -> Sdp {
+        Sdp::new("alice", "192.0.2.10")
+            .with_media(SdpMedia::new("audio", 49170, vec![0, 3]).with_rtpmap(0, "PCMU", 8000))
+            .with_media(SdpMedia::new("video", 51372, vec![34]).with_rtpmap(34, "H263", 90000))
+    }
+
+    #[test]
+    fn round_trip() {
+        let sdp = offer();
+        let wire = sdp.to_wire();
+        let parsed = Sdp::parse(&wire).unwrap();
+        assert_eq!(parsed, sdp);
+    }
+
+    #[test]
+    fn wire_format_layout() {
+        let wire = offer().to_wire();
+        assert!(wire.starts_with("v=0\r\n"));
+        assert!(wire.contains("m=audio 49170 RTP/AVP 0 3\r\n"));
+        assert!(wire.contains("a=rtpmap:34 H263/90000\r\n"));
+    }
+
+    #[test]
+    fn attributes_bind_to_preceding_media() {
+        let parsed = Sdp::parse(&offer().to_wire()).unwrap();
+        assert_eq!(parsed.media[0].attributes, vec!["rtpmap:0 PCMU/8000"]);
+        assert_eq!(parsed.media[1].attributes, vec!["rtpmap:34 H263/90000"]);
+    }
+
+    #[test]
+    fn unknown_lines_are_ignored() {
+        let wire = "v=0\r\no=u 1 1 IN IP4 h\r\ns=x\r\nt=0 0\r\nb=AS:600\r\nz=ignored\r\n";
+        let sdp = Sdp::parse(wire).unwrap();
+        assert_eq!(sdp.name, "x");
+        assert_eq!(sdp.address, "h"); // falls back to origin address
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(Sdp::parse(""), Err(ParseSdpError::Missing("v")));
+        assert_eq!(
+            Sdp::parse("v=1\r\n"),
+            Err(ParseSdpError::BadVersion("1".into()))
+        );
+        assert!(matches!(
+            Sdp::parse("v=0\r\no=broken\r\n"),
+            Err(ParseSdpError::BadLine(_))
+        ));
+        assert!(matches!(
+            Sdp::parse("v=0\r\no=u 1 1 IN IP4 h\r\nm=audio\r\n"),
+            Err(ParseSdpError::BadLine(_))
+        ));
+        assert!(matches!(
+            Sdp::parse("nonsense"),
+            Err(ParseSdpError::BadLine(_))
+        ));
+    }
+}

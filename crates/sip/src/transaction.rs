@@ -1,0 +1,349 @@
+//! Simplified SIP transaction state machines (RFC 3261 §17).
+//!
+//! Global-MMCS's SIP servers run over the broker/simulated transports,
+//! so we keep the transaction layer to what matters architecturally:
+//! request/response matching by branch + CSeq, the INVITE three-way
+//! handshake (provisional → final → ACK), and terminal-state rules.
+//! Timer-driven retransmission is collapsed into a single `on_timeout`.
+
+use core::fmt;
+
+use crate::message::{SipMessage, SipMethod};
+
+/// Client transaction states (merged INVITE/non-INVITE view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientState {
+    /// Request sent, nothing back yet.
+    Calling,
+    /// A 1xx arrived.
+    Proceeding,
+    /// A final response arrived (2xx–6xx).
+    Completed,
+    /// Done (ACK sent for INVITE, or immediately for others).
+    Terminated,
+}
+
+/// Error feeding a transaction an impossible event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransactionError(&'static str);
+
+impl fmt::Display for TransactionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TransactionError {}
+
+/// A client transaction: one request awaiting its responses.
+#[derive(Debug, Clone)]
+pub struct ClientTransaction {
+    method: SipMethod,
+    branch: String,
+    state: ClientState,
+    final_code: Option<u16>,
+}
+
+impl ClientTransaction {
+    /// Starts a transaction for a request; the request must carry a Via
+    /// branch.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the message is not a request or lacks a branch.
+    pub fn start(request: &SipMessage) -> Result<ClientTransaction, TransactionError> {
+        let method = request
+            .method()
+            .ok_or(TransactionError("not a request"))?;
+        let branch = branch_of(request).ok_or(TransactionError("missing Via branch"))?;
+        Ok(ClientTransaction {
+            method,
+            branch,
+            state: ClientState::Calling,
+            final_code: None,
+        })
+    }
+
+    /// The transaction's method.
+    pub fn method(&self) -> SipMethod {
+        self.method
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    /// The final response code, once completed.
+    pub fn final_code(&self) -> Option<u16> {
+        self.final_code
+    }
+
+    /// Whether a response belongs to this transaction (branch + CSeq
+    /// method match).
+    pub fn matches(&self, response: &SipMessage) -> bool {
+        branch_of(response).as_deref() == Some(self.branch.as_str())
+            && response
+                .header("CSeq")
+                .is_some_and(|cseq| cseq.ends_with(self.method.as_str()))
+    }
+
+    /// Feeds a matching response. For an INVITE 2xx–6xx, returns the ACK
+    /// to send; other methods return `None`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-matching or out-of-state responses.
+    pub fn on_response(
+        &mut self,
+        response: &SipMessage,
+    ) -> Result<Option<SipMessage>, TransactionError> {
+        if !self.matches(response) {
+            return Err(TransactionError("response does not match transaction"));
+        }
+        let code = response.status().ok_or(TransactionError("not a response"))?;
+        match (self.state, code) {
+            (ClientState::Calling | ClientState::Proceeding, 100..=199) => {
+                self.state = ClientState::Proceeding;
+                Ok(None)
+            }
+            (ClientState::Calling | ClientState::Proceeding, 200..=699) => {
+                self.final_code = Some(code);
+                if self.method == SipMethod::Invite {
+                    self.state = ClientState::Completed;
+                    let mut ack = SipMessage::request(
+                        SipMethod::Ack,
+                        response
+                            .header("Contact")
+                            .map(crate::message::extract_uri)
+                            .unwrap_or("sip:unknown")
+                            .to_owned(),
+                    );
+                    for name in ["Via", "From", "To", "Call-ID"] {
+                        if let Some(value) = response.header(name) {
+                            ack.set_header(name, value);
+                        }
+                    }
+                    let cseq_num = response
+                        .header("CSeq")
+                        .and_then(|c| c.split(' ').next())
+                        .unwrap_or("1");
+                    ack.set_header("CSeq", format!("{cseq_num} ACK"));
+                    self.state = ClientState::Terminated;
+                    Ok(Some(ack))
+                } else {
+                    self.state = ClientState::Terminated;
+                    Ok(None)
+                }
+            }
+            _ => Err(TransactionError("response in terminal state")),
+        }
+    }
+
+    /// Gives up on the transaction (timer F/B fired).
+    pub fn on_timeout(&mut self) {
+        self.final_code = Some(408);
+        self.state = ClientState::Terminated;
+    }
+}
+
+/// Server transaction states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerState {
+    /// Request received, no final response sent.
+    Proceeding,
+    /// Final response sent (awaiting ACK for INVITE).
+    Completed,
+    /// Done.
+    Terminated,
+}
+
+/// A server transaction: one received request being answered.
+#[derive(Debug, Clone)]
+pub struct ServerTransaction {
+    method: SipMethod,
+    branch: String,
+    state: ServerState,
+}
+
+impl ServerTransaction {
+    /// Starts from a received request.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the message is not a request or lacks a branch.
+    pub fn start(request: &SipMessage) -> Result<ServerTransaction, TransactionError> {
+        let method = request
+            .method()
+            .ok_or(TransactionError("not a request"))?;
+        let branch = branch_of(request).ok_or(TransactionError("missing Via branch"))?;
+        Ok(ServerTransaction {
+            method,
+            branch,
+            state: ServerState::Proceeding,
+        })
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ServerState {
+        self.state
+    }
+
+    /// Whether a retransmitted request matches this transaction.
+    pub fn matches(&self, request: &SipMessage) -> bool {
+        branch_of(request).as_deref() == Some(self.branch.as_str())
+            && request.method() == Some(self.method)
+    }
+
+    /// Records that a response was sent.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a final response was already sent.
+    pub fn on_send_response(&mut self, code: u16) -> Result<(), TransactionError> {
+        match self.state {
+            ServerState::Proceeding => {
+                if code >= 200 {
+                    self.state = if self.method == SipMethod::Invite {
+                        ServerState::Completed // waits for ACK
+                    } else {
+                        ServerState::Terminated
+                    };
+                }
+                Ok(())
+            }
+            _ => Err(TransactionError("final response already sent")),
+        }
+    }
+
+    /// Records an ACK (INVITE only).
+    ///
+    /// # Errors
+    ///
+    /// Fails when no final response is outstanding.
+    pub fn on_ack(&mut self) -> Result<(), TransactionError> {
+        if self.method != SipMethod::Invite || self.state != ServerState::Completed {
+            return Err(TransactionError("unexpected ACK"));
+        }
+        self.state = ServerState::Terminated;
+        Ok(())
+    }
+}
+
+/// Extracts the `branch=` parameter from the topmost Via.
+fn branch_of(message: &SipMessage) -> Option<String> {
+    let via = message.header("Via")?;
+    via.split(';')
+        .find_map(|p| p.trim().strip_prefix("branch="))
+        .map(str::to_owned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn invite() -> SipMessage {
+        SipMessage::request(SipMethod::Invite, "sip:conf@x")
+            .with_header("Via", "SIP/2.0/UDP c;branch=z9hG4bKabc")
+            .with_header("From", "<sip:a@x>;tag=1")
+            .with_header("To", "<sip:conf@x>")
+            .with_header("Call-ID", "cid-1")
+            .with_header("CSeq", "1 INVITE")
+    }
+
+    #[test]
+    fn invite_happy_path_produces_ack() {
+        let request = invite();
+        let mut tx = ClientTransaction::start(&request).unwrap();
+        assert_eq!(tx.state(), ClientState::Calling);
+
+        let ringing = SipMessage::response_to(&request, 180, "Ringing");
+        assert_eq!(tx.on_response(&ringing).unwrap(), None);
+        assert_eq!(tx.state(), ClientState::Proceeding);
+
+        let ok = SipMessage::response_to(&request, 200, "OK")
+            .with_header("Contact", "<sip:gw@mmcs>");
+        let ack = tx.on_response(&ok).unwrap().expect("ACK for INVITE 200");
+        assert_eq!(ack.method(), Some(SipMethod::Ack));
+        assert_eq!(ack.header("CSeq"), Some("1 ACK"));
+        assert_eq!(tx.state(), ClientState::Terminated);
+        assert_eq!(tx.final_code(), Some(200));
+    }
+
+    #[test]
+    fn non_invite_completes_without_ack() {
+        let request = SipMessage::request(SipMethod::Register, "sip:reg@x")
+            .with_header("Via", "SIP/2.0/UDP c;branch=z9hG4bKreg")
+            .with_header("CSeq", "1 REGISTER");
+        let mut tx = ClientTransaction::start(&request).unwrap();
+        let ok = SipMessage::response_to(&request, 200, "OK");
+        assert_eq!(tx.on_response(&ok).unwrap(), None);
+        assert_eq!(tx.state(), ClientState::Terminated);
+    }
+
+    #[test]
+    fn mismatched_response_rejected() {
+        let request = invite();
+        let mut tx = ClientTransaction::start(&request).unwrap();
+        let other = SipMessage::response_to(&request, 200, "OK");
+        let mut wrong_branch = other.clone();
+        wrong_branch.set_header("Via", "SIP/2.0/UDP c;branch=z9hG4bKother");
+        assert!(tx.on_response(&wrong_branch).is_err());
+        let mut wrong_cseq = other;
+        wrong_cseq.set_header("CSeq", "1 BYE");
+        assert!(tx.on_response(&wrong_cseq).is_err());
+    }
+
+    #[test]
+    fn response_after_terminal_rejected() {
+        let request = invite();
+        let mut tx = ClientTransaction::start(&request).unwrap();
+        let busy = SipMessage::response_to(&request, 486, "Busy Here");
+        tx.on_response(&busy).unwrap();
+        assert_eq!(tx.final_code(), Some(486));
+        assert!(tx.on_response(&busy).is_err());
+    }
+
+    #[test]
+    fn timeout_synthesizes_408() {
+        let request = invite();
+        let mut tx = ClientTransaction::start(&request).unwrap();
+        tx.on_timeout();
+        assert_eq!(tx.final_code(), Some(408));
+        assert_eq!(tx.state(), ClientState::Terminated);
+    }
+
+    #[test]
+    fn start_requires_request_with_branch() {
+        let response = SipMessage::response_to(&invite(), 200, "OK");
+        assert!(ClientTransaction::start(&response).is_err());
+        let no_branch = SipMessage::request(SipMethod::Invite, "sip:x")
+            .with_header("Via", "SIP/2.0/UDP c");
+        assert!(ClientTransaction::start(&no_branch).is_err());
+    }
+
+    #[test]
+    fn server_invite_lifecycle() {
+        let request = invite();
+        let mut tx = ServerTransaction::start(&request).unwrap();
+        assert!(tx.matches(&request));
+        tx.on_send_response(180).unwrap();
+        assert_eq!(tx.state(), ServerState::Proceeding);
+        tx.on_send_response(200).unwrap();
+        assert_eq!(tx.state(), ServerState::Completed);
+        assert!(tx.on_send_response(200).is_err());
+        tx.on_ack().unwrap();
+        assert_eq!(tx.state(), ServerState::Terminated);
+        assert!(tx.on_ack().is_err());
+    }
+
+    #[test]
+    fn server_non_invite_terminates_on_final() {
+        let request = SipMessage::request(SipMethod::Message, "sip:b@x")
+            .with_header("Via", "SIP/2.0/UDP c;branch=z9hG4bKmsg");
+        let mut tx = ServerTransaction::start(&request).unwrap();
+        tx.on_send_response(200).unwrap();
+        assert_eq!(tx.state(), ServerState::Terminated);
+        assert!(tx.on_ack().is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! The SOAP 1.1 envelope.
+
+use core::fmt;
+
+use mmcs_util::xml::Element;
+
+/// The SOAP 1.1 envelope namespace.
+pub const SOAP_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+
+/// A SOAP fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoapFault {
+    /// Fault code (`Client`, `Server`, …).
+    pub code: String,
+    /// Human-readable fault string.
+    pub reason: String,
+}
+
+impl fmt::Display for SoapFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "soap fault {}: {}", self.code, self.reason)
+    }
+}
+
+impl std::error::Error for SoapFault {}
+
+/// A SOAP envelope wrapping one body element or a fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// The body payload (`None` only for fault envelopes).
+    pub body: Option<Element>,
+    /// The fault, if this is a fault envelope.
+    pub fault: Option<SoapFault>,
+}
+
+impl Envelope {
+    /// Wraps a payload element.
+    pub fn new(body: Element) -> Self {
+        Self {
+            body: Some(body),
+            fault: None,
+        }
+    }
+
+    /// Builds a fault envelope.
+    pub fn fault(code: impl Into<String>, reason: impl Into<String>) -> Self {
+        Self {
+            body: None,
+            fault: Some(SoapFault {
+                code: code.into(),
+                reason: reason.into(),
+            }),
+        }
+    }
+
+    /// Whether this envelope carries a fault.
+    pub fn is_fault(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Renders the full XML document.
+    pub fn to_xml(&self) -> String {
+        let mut body = Element::new("soap:Body");
+        if let Some(fault) = &self.fault {
+            body.push_child(
+                Element::new("soap:Fault")
+                    .with_child(Element::new("faultcode").with_text(format!("soap:{}", fault.code)))
+                    .with_child(Element::new("faultstring").with_text(&fault.reason)),
+            );
+        } else if let Some(payload) = &self.body {
+            body.push_child(payload.clone());
+        }
+        Element::new("soap:Envelope")
+            .with_attr("xmlns:soap", SOAP_NS)
+            .with_child(body)
+            .to_document()
+    }
+
+    /// Parses an envelope from XML.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseEnvelopeError`] on malformed XML or a missing
+    /// Envelope/Body structure.
+    pub fn parse(xml: &str) -> Result<Envelope, ParseEnvelopeError> {
+        let root = Element::parse(xml).map_err(|e| ParseEnvelopeError::Xml(e.to_string()))?;
+        if root.name() != "soap:Envelope" && root.name() != "Envelope" {
+            return Err(ParseEnvelopeError::NotAnEnvelope(root.name().to_owned()));
+        }
+        let body = root
+            .child("soap:Body")
+            .or_else(|| root.child("Body"))
+            .ok_or(ParseEnvelopeError::MissingBody)?;
+        if let Some(fault_el) = body.child("soap:Fault").or_else(|| body.child("Fault")) {
+            let code = fault_el
+                .child_text("faultcode")
+                .unwrap_or_default()
+                .trim_start_matches("soap:")
+                .to_owned();
+            let reason = fault_el.child_text("faultstring").unwrap_or_default();
+            return Ok(Envelope {
+                body: None,
+                fault: Some(SoapFault { code, reason }),
+            });
+        }
+        let payload = body
+            .child_elements()
+            .next()
+            .cloned()
+            .ok_or(ParseEnvelopeError::EmptyBody)?;
+        Ok(Envelope::new(payload))
+    }
+}
+
+/// Error parsing a SOAP envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseEnvelopeError {
+    /// The XML was malformed.
+    Xml(String),
+    /// The root element was not an Envelope.
+    NotAnEnvelope(String),
+    /// No Body element.
+    MissingBody,
+    /// Body had no payload element.
+    EmptyBody,
+}
+
+impl fmt::Display for ParseEnvelopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseEnvelopeError::Xml(e) => write!(f, "malformed xml: {e}"),
+            ParseEnvelopeError::NotAnEnvelope(root) => {
+                write!(f, "root <{root}> is not a soap envelope")
+            }
+            ParseEnvelopeError::MissingBody => write!(f, "envelope has no body"),
+            ParseEnvelopeError::EmptyBody => write!(f, "envelope body is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ParseEnvelopeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_round_trips() {
+        let payload = Element::new("getRendezvous")
+            .with_attr("session", "7")
+            .with_child(Element::new("community").with_text("admire.cn"));
+        let envelope = Envelope::new(payload.clone());
+        let xml = envelope.to_xml();
+        assert!(xml.starts_with("<?xml"));
+        let parsed = Envelope::parse(&xml).unwrap();
+        assert!(!parsed.is_fault());
+        assert_eq!(parsed.body, Some(payload));
+    }
+
+    #[test]
+    fn fault_round_trips() {
+        let envelope = Envelope::fault("Client", "no such session");
+        let parsed = Envelope::parse(&envelope.to_xml()).unwrap();
+        assert!(parsed.is_fault());
+        let fault = parsed.fault.unwrap();
+        assert_eq!(fault.code, "Client");
+        assert_eq!(fault.reason, "no such session");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            Envelope::parse("<notsoap/>"),
+            Err(ParseEnvelopeError::NotAnEnvelope(_))
+        ));
+        assert!(matches!(
+            Envelope::parse("<soap:Envelope xmlns:soap=\"x\"/>"),
+            Err(ParseEnvelopeError::MissingBody)
+        ));
+        assert!(matches!(
+            Envelope::parse("<soap:Envelope xmlns:soap=\"x\"><soap:Body/></soap:Envelope>"),
+            Err(ParseEnvelopeError::EmptyBody)
+        ));
+        assert!(matches!(
+            Envelope::parse("garbage"),
+            Err(ParseEnvelopeError::Xml(_))
+        ));
+    }
+
+    #[test]
+    fn unprefixed_envelopes_accepted() {
+        let xml = "<Envelope><Body><op/></Body></Envelope>";
+        let parsed = Envelope::parse(xml).unwrap();
+        assert_eq!(parsed.body.unwrap().name(), "op");
+    }
+}

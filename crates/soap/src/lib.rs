@@ -1,0 +1,21 @@
+//! SOAP 1.1 and the web-services plumbing of Global-MMCS.
+//!
+//! "Through SOAP connection, the XGSP Web Server can invoke web-services
+//! provided by other communities" (§3.2). This crate provides the
+//! envelope model, fault handling, and a service registry/dispatcher
+//! that binds WSDL-CI operations to handlers. Transport is a string in,
+//! string out exchange (the simulated HTTP POST body).
+//!
+//! * [`envelope`] — SOAP envelope/body/fault encode + decode.
+//! * [`rpc`] — RPC-style calls: operation name + `(name, value)` parts.
+//! * [`service`] — [`service::SoapServer`], dispatching envelopes to
+//!   registered operation handlers, and [`service::SoapClient`] building
+//!   matched requests.
+
+pub mod envelope;
+pub mod rpc;
+pub mod service;
+
+pub use envelope::{Envelope, SoapFault};
+pub use rpc::RpcCall;
+pub use service::{SoapClient, SoapServer};

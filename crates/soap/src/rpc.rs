@@ -1,0 +1,105 @@
+//! RPC-style SOAP calls: an operation name plus `(name, value)` parts.
+//!
+//! This matches how the 2003 Java toolkits (Apache SOAP / Axis in
+//! RPC/encoded style) exposed WSDL operations, and is the calling
+//! convention WSDL-CI uses.
+
+use mmcs_util::xml::Element;
+
+use crate::envelope::Envelope;
+
+/// One RPC call or response payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcCall {
+    /// Operation name (`establishSession`, `getRendezvous`, …).
+    pub operation: String,
+    /// Parameter / result parts in order.
+    pub parts: Vec<(String, String)>,
+}
+
+impl RpcCall {
+    /// Creates a call with no parts.
+    pub fn new(operation: impl Into<String>) -> Self {
+        Self {
+            operation: operation.into(),
+            parts: Vec::new(),
+        }
+    }
+
+    /// Adds a part, builder style.
+    pub fn with_part(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.parts.push((name.into(), value.into()));
+        self
+    }
+
+    /// Looks a part up by name.
+    pub fn part(&self, name: &str) -> Option<&str> {
+        self.parts
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Wraps the call in an envelope.
+    pub fn to_envelope(&self) -> Envelope {
+        let mut payload = Element::new(&self.operation);
+        for (name, value) in &self.parts {
+            payload.push_child(Element::new(name).with_text(value));
+        }
+        Envelope::new(payload)
+    }
+
+    /// Extracts a call from an envelope's payload.
+    ///
+    /// Returns `None` for fault envelopes.
+    pub fn from_envelope(envelope: &Envelope) -> Option<RpcCall> {
+        let payload = envelope.body.as_ref()?;
+        let parts = payload
+            .child_elements()
+            .map(|el| (el.name().to_owned(), el.text()))
+            .collect();
+        Some(RpcCall {
+            operation: payload.name().to_owned(),
+            parts,
+        })
+    }
+
+    /// The conventional response payload name (`<op>Response`).
+    pub fn response_name(&self) -> String {
+        format!("{}Response", self.operation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_round_trips_through_envelope() {
+        let call = RpcCall::new("establishSession")
+            .with_part("sessionId", "7")
+            .with_part("name", "weekly sync");
+        let envelope = call.to_envelope();
+        let xml = envelope.to_xml();
+        let parsed = RpcCall::from_envelope(&Envelope::parse(&xml).unwrap()).unwrap();
+        assert_eq!(parsed, call);
+        assert_eq!(parsed.part("sessionId"), Some("7"));
+        assert_eq!(parsed.part("missing"), None);
+        assert_eq!(parsed.response_name(), "establishSessionResponse");
+    }
+
+    #[test]
+    fn fault_envelope_yields_no_call() {
+        let envelope = Envelope::fault("Server", "boom");
+        assert_eq!(RpcCall::from_envelope(&envelope), None);
+    }
+
+    #[test]
+    fn empty_parts_are_fine() {
+        let call = RpcCall::new("ping");
+        let parsed =
+            RpcCall::from_envelope(&Envelope::parse(&call.to_envelope().to_xml()).unwrap())
+                .unwrap();
+        assert!(parsed.parts.is_empty());
+    }
+}

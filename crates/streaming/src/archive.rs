@@ -1,0 +1,157 @@
+//! Conference archiving: record chunk streams, replay them time-shifted.
+
+use std::collections::HashMap;
+
+use mmcs_util::time::{SimDuration, SimTime};
+
+use crate::producer::RealChunk;
+
+/// One archived recording.
+#[derive(Debug, Clone, Default)]
+pub struct Recording {
+    chunks: Vec<RealChunk>,
+}
+
+impl Recording {
+    /// Chunks in recorded order.
+    pub fn chunks(&self) -> &[RealChunk] {
+        &self.chunks
+    }
+
+    /// Media duration (first to last chunk timestamp).
+    pub fn duration(&self) -> SimDuration {
+        match (self.chunks.first(), self.chunks.last()) {
+            (Some(first), Some(last)) => {
+                SimDuration::from_millis(last.timestamp_ms - first.timestamp_ms)
+            }
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Replays the recording as `(emit_at, chunk)` pairs starting at
+    /// `start`, preserving original pacing.
+    pub fn playback_schedule(&self, start: SimTime) -> Vec<(SimTime, RealChunk)> {
+        let Some(first) = self.chunks.first() else {
+            return Vec::new();
+        };
+        let base = first.timestamp_ms;
+        self.chunks
+            .iter()
+            .map(|chunk| {
+                (
+                    start + SimDuration::from_millis(chunk.timestamp_ms - base),
+                    chunk.clone(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Records chunk streams by name.
+#[derive(Debug, Default)]
+pub struct Archive {
+    recordings: HashMap<String, Recording>,
+    recording: HashMap<String, bool>,
+}
+
+impl Archive {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts (or resumes) recording a stream.
+    pub fn start(&mut self, stream: impl Into<String>) {
+        let stream = stream.into();
+        self.recordings.entry(stream.clone()).or_default();
+        self.recording.insert(stream, true);
+    }
+
+    /// Stops recording a stream (the recording is kept).
+    pub fn stop(&mut self, stream: &str) {
+        self.recording.insert(stream.to_owned(), false);
+    }
+
+    /// Whether a stream is actively recording.
+    pub fn is_recording(&self, stream: &str) -> bool {
+        self.recording.get(stream).copied().unwrap_or(false)
+    }
+
+    /// Offers a chunk; it is stored only while its stream is recording.
+    pub fn observe(&mut self, chunk: &RealChunk) {
+        if self.is_recording(&chunk.stream) {
+            self.recordings
+                .get_mut(&chunk.stream)
+                .expect("start() created the recording")
+                .chunks
+                .push(chunk.clone());
+        }
+    }
+
+    /// Fetches a recording.
+    pub fn recording(&self, stream: &str) -> Option<&Recording> {
+        self.recordings.get(stream)
+    }
+
+    /// Names of all recordings, sorted.
+    pub fn recorded_streams(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.recordings.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::producer::ChunkKind;
+    use bytes::Bytes;
+
+    fn chunk(stream: &str, seq: u64, timestamp_ms: u64) -> RealChunk {
+        RealChunk {
+            stream: stream.into(),
+            seq,
+            timestamp_ms,
+            kind: ChunkKind::Audio,
+            data: Bytes::from_static(b"REAL"),
+        }
+    }
+
+    #[test]
+    fn records_only_while_started() {
+        let mut archive = Archive::new();
+        archive.observe(&chunk("s", 0, 0)); // not recording yet
+        archive.start("s");
+        archive.observe(&chunk("s", 1, 20));
+        archive.observe(&chunk("s", 2, 40));
+        archive.stop("s");
+        archive.observe(&chunk("s", 3, 60));
+        let recording = archive.recording("s").unwrap();
+        assert_eq!(recording.chunks().len(), 2);
+        assert_eq!(recording.duration(), SimDuration::from_millis(20));
+        assert!(!archive.is_recording("s"));
+        assert_eq!(archive.recorded_streams(), vec!["s"]);
+    }
+
+    #[test]
+    fn playback_preserves_pacing_from_new_start() {
+        let mut archive = Archive::new();
+        archive.start("s");
+        archive.observe(&chunk("s", 0, 100));
+        archive.observe(&chunk("s", 1, 140));
+        archive.observe(&chunk("s", 2, 220));
+        let start = SimTime::from_secs(1000);
+        let schedule = archive.recording("s").unwrap().playback_schedule(start);
+        assert_eq!(schedule.len(), 3);
+        assert_eq!(schedule[0].0, start);
+        assert_eq!(schedule[1].0, start + SimDuration::from_millis(40));
+        assert_eq!(schedule[2].0, start + SimDuration::from_millis(120));
+    }
+
+    #[test]
+    fn empty_recording_behaves() {
+        let recording = Recording::default();
+        assert_eq!(recording.duration(), SimDuration::ZERO);
+        assert!(recording.playback_schedule(SimTime::ZERO).is_empty());
+    }
+}

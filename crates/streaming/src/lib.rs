@@ -1,0 +1,28 @@
+//! The streaming service: RealProducer, Helix-style server, RTSP.
+//!
+//! "The Real Servers including a Real Producer and a Helix Server
+//! provide a streaming service to real-player and windows media player.
+//! Enhanced with customer input plug in, our Real Producer can receive
+//! RTP audio and video packets from network, encode them into Real
+//! format and submit them to the Helix Server. Real-players … use RTSP
+//! to connect the Helix Server and choose the multimedia streams"
+//! (§3.2). This crate builds that pipeline:
+//!
+//! * [`rtsp`] — an RTSP (RFC 2326 subset) text codec and the per-client
+//!   session state machine (OPTIONS/DESCRIBE/SETUP/PLAY/PAUSE/TEARDOWN).
+//! * [`producer`] — the RealProducer: RTP in, "Real format" chunks out
+//!   (a tagged container; see `DESIGN.md` §2 for the substitution).
+//! * [`helix`] — the Helix-style server: named streams fed by
+//!   producers, RTSP-controlled client sessions, chunk fan-out.
+//! * [`archive`] — conference archiving: record chunk streams, replay
+//!   them time-shifted (the paper's Admire partner did "conference
+//!   archiving service"; Global-MMCS exposes the same).
+
+pub mod archive;
+pub mod helix;
+pub mod producer;
+pub mod rtsp;
+
+pub use helix::HelixServer;
+pub use producer::{RealChunk, RealProducer};
+pub use rtsp::{RtspRequest, RtspResponse};

@@ -1,0 +1,387 @@
+//! RTSP (RFC 2326 subset): text codec and session state machine.
+
+use core::fmt;
+
+/// An RTSP method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RtspMethod {
+    /// Capability query.
+    Options,
+    /// Fetch the stream description (SDP).
+    Describe,
+    /// Create a transport session for one stream.
+    Setup,
+    /// Start (or resume) delivery.
+    Play,
+    /// Pause delivery.
+    Pause,
+    /// Destroy the session.
+    Teardown,
+}
+
+impl RtspMethod {
+    /// Canonical token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RtspMethod::Options => "OPTIONS",
+            RtspMethod::Describe => "DESCRIBE",
+            RtspMethod::Setup => "SETUP",
+            RtspMethod::Play => "PLAY",
+            RtspMethod::Pause => "PAUSE",
+            RtspMethod::Teardown => "TEARDOWN",
+        }
+    }
+
+    /// Parses a token.
+    pub fn parse(token: &str) -> Option<RtspMethod> {
+        Some(match token {
+            "OPTIONS" => RtspMethod::Options,
+            "DESCRIBE" => RtspMethod::Describe,
+            "SETUP" => RtspMethod::Setup,
+            "PLAY" => RtspMethod::Play,
+            "PAUSE" => RtspMethod::Pause,
+            "TEARDOWN" => RtspMethod::Teardown,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RtspMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An RTSP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtspRequest {
+    /// The method.
+    pub method: RtspMethod,
+    /// The stream URL (`rtsp://helix.mmcs/session-7/video`).
+    pub url: String,
+    /// Headers in order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl RtspRequest {
+    /// Builds a request with a CSeq.
+    pub fn new(method: RtspMethod, url: impl Into<String>, cseq: u32) -> Self {
+        Self {
+            method,
+            url: url.into(),
+            headers: vec![("CSeq".to_owned(), cseq.to_string())],
+        }
+    }
+
+    /// Appends a header, builder style.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// First value of a header (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Renders in wire format.
+    pub fn to_wire(&self) -> String {
+        let mut out = format!("{} {} RTSP/1.0\r\n", self.method, self.url);
+        for (name, value) in &self.headers {
+            out.push_str(&format!("{name}: {value}\r\n"));
+        }
+        out.push_str("\r\n");
+        out
+    }
+
+    /// Parses from wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRtspError`] on malformed start lines or headers.
+    pub fn parse(wire: &str) -> Result<RtspRequest, ParseRtspError> {
+        let mut lines = wire.split("\r\n");
+        let start = lines.next().ok_or(ParseRtspError::Empty)?;
+        let mut parts = start.split(' ');
+        let method = parts
+            .next()
+            .and_then(RtspMethod::parse)
+            .ok_or_else(|| ParseRtspError::BadStartLine(start.to_owned()))?;
+        let url = parts
+            .next()
+            .ok_or_else(|| ParseRtspError::BadStartLine(start.to_owned()))?
+            .to_owned();
+        if parts.next() != Some("RTSP/1.0") {
+            return Err(ParseRtspError::BadStartLine(start.to_owned()));
+        }
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| ParseRtspError::BadHeader(line.to_owned()))?;
+            headers.push((name.trim().to_owned(), value.trim().to_owned()));
+        }
+        Ok(RtspRequest {
+            method,
+            url,
+            headers,
+        })
+    }
+}
+
+/// An RTSP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtspResponse {
+    /// Status code.
+    pub code: u16,
+    /// Reason phrase.
+    pub reason: String,
+    /// Headers in order.
+    pub headers: Vec<(String, String)>,
+    /// Body (SDP for DESCRIBE).
+    pub body: String,
+}
+
+impl RtspResponse {
+    /// Builds a response echoing the request's CSeq.
+    pub fn to_request(request: &RtspRequest, code: u16, reason: impl Into<String>) -> Self {
+        let mut headers = Vec::new();
+        if let Some(cseq) = request.header("CSeq") {
+            headers.push(("CSeq".to_owned(), cseq.to_owned()));
+        }
+        Self {
+            code,
+            reason: reason.into(),
+            headers,
+            body: String::new(),
+        }
+    }
+
+    /// Appends a header, builder style.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Sets the body, builder style.
+    pub fn with_body(mut self, content_type: &str, body: impl Into<String>) -> Self {
+        self.headers
+            .push(("Content-Type".to_owned(), content_type.to_owned()));
+        self.body = body.into();
+        self
+    }
+
+    /// First value of a header (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Renders in wire format.
+    pub fn to_wire(&self) -> String {
+        let mut out = format!("RTSP/1.0 {} {}\r\n", self.code, self.reason);
+        for (name, value) in &self.headers {
+            out.push_str(&format!("{name}: {value}\r\n"));
+        }
+        out.push_str(&format!("Content-Length: {}\r\n\r\n", self.body.len()));
+        out.push_str(&self.body);
+        out
+    }
+
+    /// Parses from wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRtspError`] on malformed content.
+    pub fn parse(wire: &str) -> Result<RtspResponse, ParseRtspError> {
+        let (head, body) = match wire.find("\r\n\r\n") {
+            Some(idx) => (&wire[..idx], &wire[idx + 4..]),
+            None => (wire, ""),
+        };
+        let mut lines = head.split("\r\n");
+        let start = lines.next().ok_or(ParseRtspError::Empty)?;
+        let rest = start
+            .strip_prefix("RTSP/1.0 ")
+            .ok_or_else(|| ParseRtspError::BadStartLine(start.to_owned()))?;
+        let (code, reason) = rest
+            .split_once(' ')
+            .ok_or_else(|| ParseRtspError::BadStartLine(start.to_owned()))?;
+        let code: u16 = code
+            .parse()
+            .map_err(|_| ParseRtspError::BadStartLine(start.to_owned()))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| ParseRtspError::BadHeader(line.to_owned()))?;
+            headers.push((name.trim().to_owned(), value.trim().to_owned()));
+        }
+        Ok(RtspResponse {
+            code,
+            reason: reason.to_owned(),
+            headers,
+            body: body.to_owned(),
+        })
+    }
+}
+
+/// Error parsing RTSP text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseRtspError {
+    /// Nothing to parse.
+    Empty,
+    /// Malformed start line / unknown method.
+    BadStartLine(String),
+    /// Header line without a colon.
+    BadHeader(String),
+}
+
+impl fmt::Display for ParseRtspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseRtspError::Empty => write!(f, "empty rtsp message"),
+            ParseRtspError::BadStartLine(l) => write!(f, "bad rtsp start line {l:?}"),
+            ParseRtspError::BadHeader(h) => write!(f, "bad rtsp header {h:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseRtspError {}
+
+/// Client session states (RFC 2326 §A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// No transport set up.
+    Init,
+    /// SETUP done.
+    Ready,
+    /// PLAY active.
+    Playing,
+}
+
+/// The per-client RTSP session state machine the server keeps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtspSessionState {
+    state: SessionState,
+}
+
+impl RtspSessionState {
+    /// Creates a fresh (Init) session.
+    pub fn new() -> Self {
+        Self {
+            state: SessionState::Init,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Applies a method; returns `Err(code)` with the RTSP error status
+    /// when the method is invalid in this state.
+    pub fn apply(&mut self, method: RtspMethod) -> Result<(), u16> {
+        use RtspMethod::*;
+        use SessionState::*;
+        self.state = match (self.state, method) {
+            (_, Options | Describe) => self.state,
+            (Init, Setup) => Ready,
+            (Ready | Playing, Setup) => return Err(455), // aggregate not allowed here
+            (Ready, Play) => Playing,
+            (Playing, Play) => Playing,
+            (Playing, Pause) => Ready,
+            (Ready, Pause) => Ready,
+            (Init, Play | Pause) => return Err(455),
+            (_, Teardown) => Init,
+        };
+        Ok(())
+    }
+}
+
+impl Default for RtspSessionState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let request = RtspRequest::new(RtspMethod::Setup, "rtsp://h/s1/video", 2)
+            .with_header("Transport", "RTP/AVP;unicast;client_port=5000-5001");
+        let wire = request.to_wire();
+        assert!(wire.starts_with("SETUP rtsp://h/s1/video RTSP/1.0\r\n"));
+        assert_eq!(RtspRequest::parse(&wire).unwrap(), request);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let request = RtspRequest::new(RtspMethod::Describe, "rtsp://h/s1", 3);
+        let response = RtspResponse::to_request(&request, 200, "OK")
+            .with_body("application/sdp", "v=0\r\n");
+        let wire = response.to_wire();
+        let parsed = RtspResponse::parse(&wire).unwrap();
+        assert_eq!(parsed.code, 200);
+        assert_eq!(parsed.header("CSeq"), Some("3"));
+        assert_eq!(parsed.body, "v=0\r\n");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            RtspRequest::parse("TELEPORT rtsp://x RTSP/1.0\r\n\r\n"),
+            Err(ParseRtspError::BadStartLine(_))
+        ));
+        assert!(matches!(
+            RtspRequest::parse("PLAY rtsp://x HTTP/1.1\r\n\r\n"),
+            Err(ParseRtspError::BadStartLine(_))
+        ));
+        assert!(matches!(
+            RtspRequest::parse("PLAY rtsp://x RTSP/1.0\r\nbadheader\r\n\r\n"),
+            Err(ParseRtspError::BadHeader(_))
+        ));
+        assert!(matches!(
+            RtspResponse::parse("HTTP/1.0 200 OK\r\n\r\n"),
+            Err(ParseRtspError::BadStartLine(_))
+        ));
+    }
+
+    #[test]
+    fn state_machine_happy_path() {
+        let mut session = RtspSessionState::new();
+        assert_eq!(session.state(), SessionState::Init);
+        session.apply(RtspMethod::Describe).unwrap();
+        session.apply(RtspMethod::Setup).unwrap();
+        assert_eq!(session.state(), SessionState::Ready);
+        session.apply(RtspMethod::Play).unwrap();
+        assert_eq!(session.state(), SessionState::Playing);
+        session.apply(RtspMethod::Pause).unwrap();
+        assert_eq!(session.state(), SessionState::Ready);
+        session.apply(RtspMethod::Play).unwrap();
+        session.apply(RtspMethod::Teardown).unwrap();
+        assert_eq!(session.state(), SessionState::Init);
+    }
+
+    #[test]
+    fn invalid_transitions_yield_455() {
+        let mut session = RtspSessionState::new();
+        assert_eq!(session.apply(RtspMethod::Play), Err(455));
+        assert_eq!(session.apply(RtspMethod::Pause), Err(455));
+        session.apply(RtspMethod::Setup).unwrap();
+        assert_eq!(session.apply(RtspMethod::Setup), Err(455));
+    }
+}

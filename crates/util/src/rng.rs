@@ -1,0 +1,235 @@
+//! Deterministic pseudo-random numbers.
+//!
+//! All randomness in the workspace flows through [`DetRng`] so a whole
+//! simulated experiment is reproducible from a single seed. The generator
+//! is SplitMix64 — tiny, fast, and statistically fine for workload
+//! generation (we are not doing cryptography).
+//!
+//! [`DetRng::fork`] derives an independent child stream; give each
+//! simulated component its own fork so adding a component does not perturb
+//! the random sequence seen by the others.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmcs_util::rng::DetRng;
+//!
+//! let mut a = DetRng::new(42);
+//! let mut b = DetRng::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+//!
+//! let x = a.range_f64(0.0, 1.0);
+//! assert!((0.0..1.0).contains(&x));
+//! ```
+
+use crate::time::SimDuration;
+
+/// A deterministic SplitMix64 generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed. The same seed always produces the
+    /// same stream.
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniformly distributed value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniformly distributed integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range_u64: empty range {lo}..{hi}");
+        // Modulo bias is negligible for the span sizes used here
+        // (workload parameters, far below 2^64).
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Returns a uniformly distributed integer in `[lo, hi)` as `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Returns a uniformly distributed float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "range_f64: empty range {lo}..{hi}");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Samples an exponentially distributed duration with the given mean.
+    ///
+    /// Used for Poisson inter-arrival processes (e.g. background traffic,
+    /// GC pause spacing).
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        let u = 1.0 - self.next_f64(); // avoid ln(0)
+        SimDuration::from_secs_f64(-mean.as_secs_f64() * u.ln())
+    }
+
+    /// Samples a normally distributed value (Box–Muller) with the given
+    /// mean and standard deviation.
+    pub fn normal_f64(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child's stream does not overlap the parent's continuation in
+    /// practice (different seed trajectory through the SplitMix64 state
+    /// space).
+    pub fn fork(&mut self) -> DetRng {
+        DetRng::new(self.next_u64() ^ 0xA5A5_A5A5_5A5A_5A5A)
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "pick: empty slice");
+        &slice[self.range_usize(0, slice.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = DetRng::new(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = DetRng::new(11);
+        for _ in 0..10_000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let f = rng.range_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities are clamped instead of panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn exp_duration_mean_is_close() {
+        let mut rng = DetRng::new(9);
+        let mean = SimDuration::from_millis(100);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exp_duration(mean).as_secs_f64()).sum();
+        let avg = total / n as f64;
+        assert!((avg - 0.1).abs() < 0.005, "avg {avg} not near 0.1s");
+    }
+
+    #[test]
+    fn normal_mean_and_spread_are_close() {
+        let mut rng = DetRng::new(13);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal_f64(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = DetRng::new(21);
+        let mut child = parent.fork();
+        let a: Vec<u64> = (0..10).map(|_| parent.next_u64()).collect();
+        let b: Vec<u64> = (0..10).map(|_| child.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = DetRng::new(17);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut rng = DetRng::new(19);
+        let items = [1, 2, 3];
+        for _ in 0..100 {
+            assert!(items.contains(rng.pick(&items)));
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Statistics collection for experiments.
+//!
+//! Three tools, matching what the paper's figures need:
+//!
+//! * [`OnlineStats`] — streaming count/mean/variance/min/max (Welford).
+//! * [`SampleSeries`] — stores every sample so percentiles and the
+//!   per-packet series of Figure 3 can be reported and written to CSV.
+//! * [`Histogram`] — fixed-width bucket counts for distribution shape.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmcs_util::stats::OnlineStats;
+//!
+//! let mut s = OnlineStats::new();
+//! for x in [1.0, 2.0, 3.0] {
+//!     s.record(x);
+//! }
+//! assert_eq!(s.mean(), 2.0);
+//! assert_eq!(s.count(), 3);
+//! ```
+
+use core::fmt;
+
+/// Streaming mean/variance/min/max using Welford's algorithm.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 when fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or +inf when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample, or -inf when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.std_dev(),
+            if self.count == 0 { 0.0 } else { self.min },
+            if self.count == 0 { 0.0 } else { self.max },
+        )
+    }
+}
+
+/// Stores every sample for percentile queries and series export.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SampleSeries {
+    samples: Vec<f64>,
+}
+
+impl SampleSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self { samples: Vec::new() }
+    }
+
+    /// Appends one sample.
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    /// All samples in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) using nearest-rank interpolation, or 0
+    /// when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "percentile out of range: {q}");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in series"));
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+
+    /// Downsamples the series by averaging consecutive windows of `width`
+    /// samples — how we turn 2000 per-packet values into a plot-friendly
+    /// series like the paper's Figure 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn window_means(&self, width: usize) -> Vec<f64> {
+        assert!(width > 0, "window width must be positive");
+        self.samples
+            .chunks(width)
+            .map(|chunk| chunk.iter().sum::<f64>() / chunk.len() as f64)
+            .collect()
+    }
+
+    /// Writes the series as two-column CSV (`index,value`) with a header.
+    pub fn to_csv(&self, value_name: &str) -> String {
+        let mut out = format!("index,{value_name}\n");
+        for (i, v) in self.samples.iter().enumerate() {
+            out.push_str(&format!("{i},{v:.6}\n"));
+        }
+        out
+    }
+}
+
+impl FromIterator<f64> for SampleSeries {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for SampleSeries {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+/// Fixed-width bucket histogram over `[lo, hi)` with overflow/underflow
+/// buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo < hi, "histogram range is empty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Self {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The inclusive-exclusive value range `[lo, hi)` of bucket `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn bucket_range(&self, idx: usize) -> (f64, f64) {
+        assert!(idx < self.buckets.len(), "bucket index out of range");
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        (self.lo + width * idx as f64, self.lo + width * (idx + 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.count(), 0);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.record(1.0);
+        let before = a.clone();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn series_percentiles() {
+        let s: SampleSeries = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(1.0), 100.0);
+        // Nearest-rank: index round(99 * 0.5) = 50 -> value 51.
+        assert_eq!(s.percentile(0.5), 51.0);
+        assert!((s.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_window_means() {
+        let s: SampleSeries = vec![1.0, 3.0, 5.0, 7.0, 10.0].into_iter().collect();
+        assert_eq!(s.window_means(2), vec![2.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn series_csv_has_header_and_rows() {
+        let mut s = SampleSeries::new();
+        s.record(1.5);
+        let csv = s.to_csv("delay_ms");
+        assert!(csv.starts_with("index,delay_ms\n"));
+        assert!(csv.contains("0,1.500000"));
+    }
+
+    #[test]
+    fn histogram_buckets_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-1.0);
+        h.record(0.0);
+        h.record(5.5);
+        h.record(9.999);
+        h.record(10.0);
+        h.record(42.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[5], 1);
+        assert_eq!(h.buckets()[9], 1);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.bucket_range(0), (0.0, 1.0));
+        assert_eq!(h.bucket_range(9), (9.0, 10.0));
+    }
+}

@@ -1,0 +1,625 @@
+//! A minimal XML document model, writer and parser.
+//!
+//! XGSP, SOAP and the IM stanzas are XML protocols; no XML crate is on the
+//! allowed offline dependency list, so this module provides the subset the
+//! workspace needs: elements, attributes, text content, entity escaping,
+//! comments, CDATA and an optional `<?xml …?>` declaration. Namespaces are
+//! carried verbatim in names/attributes (no prefix resolution) — exactly
+//! how the 2003-era toolkits the paper used treated them.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmcs_util::xml::Element;
+//!
+//! let msg = Element::new("xgsp:join")
+//!     .with_attr("session", "session-7")
+//!     .with_child(Element::new("user").with_text("alice"));
+//! let text = msg.to_xml();
+//! let parsed = Element::parse(&text)?;
+//! assert_eq!(parsed.attr("session"), Some("session-7"));
+//! assert_eq!(parsed.child("user").unwrap().text(), "alice");
+//! # Ok::<(), mmcs_util::xml::ParseXmlError>(())
+//! ```
+
+use core::fmt;
+
+/// A node in an XML tree: a child element or a run of text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// Character data (already unescaped).
+    Text(String),
+}
+
+/// An XML element: name, attributes and child nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    name: String,
+    attrs: Vec<(String, String)>,
+    children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an empty element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// The tag name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds or replaces an attribute, builder style.
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attr(key, value);
+        self
+    }
+
+    /// Appends a child element, builder style.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Appends a text node, builder style.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Adds or replaces an attribute.
+    pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.attrs.push((key, value));
+        }
+    }
+
+    /// Appends a child element.
+    pub fn push_child(&mut self, child: Element) {
+        self.children.push(Node::Element(child));
+    }
+
+    /// Appends a text node.
+    pub fn push_text(&mut self, text: impl Into<String>) {
+        self.children.push(Node::Text(text.into()));
+    }
+
+    /// Looks up an attribute value.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All attributes in document order.
+    pub fn attrs(&self) -> &[(String, String)] {
+        &self.attrs
+    }
+
+    /// All child nodes in document order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// Iterates over child *elements* only.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// The first child element with the given name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// All child elements with the given name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name == name)
+    }
+
+    /// The concatenated text content of this element (direct text nodes
+    /// only, not descendants).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for node in &self.children {
+            if let Node::Text(t) = node {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Convenience: the text of the first child element with `name`.
+    pub fn child_text(&self, name: &str) -> Option<String> {
+        self.child(name).map(Element::text)
+    }
+
+    /// Serializes the element (without an XML declaration).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serializes the element with a standard `<?xml …?>` declaration,
+    /// which SOAP payloads conventionally carry.
+    pub fn to_document(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_into(v, out, true);
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for node in &self.children {
+            match node {
+                Node::Element(e) => e.write(out),
+                Node::Text(t) => escape_into(t, out, false),
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+
+    /// Parses a document or fragment into its root element.
+    ///
+    /// Leading XML declarations, comments and whitespace are skipped;
+    /// trailing comments/whitespace after the root element are allowed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseXmlError`] on malformed input: unclosed tags,
+    /// mismatched end tags, bad attribute syntax, unknown entities, or
+    /// trailing garbage.
+    pub fn parse(input: &str) -> Result<Element, ParseXmlError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_prolog();
+        let root = parser.parse_element()?;
+        parser.skip_misc();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing content after root element"));
+        }
+        Ok(root)
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}
+
+impl std::str::FromStr for Element {
+    type Err = ParseXmlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Element::parse(s)
+    }
+}
+
+/// Error produced when parsing malformed XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseXmlError {
+    message: String,
+    offset: usize,
+}
+
+impl ParseXmlError {
+    /// Byte offset in the input where the problem was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseXmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid xml at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseXmlError {}
+
+fn escape_into(s: &str, out: &mut String, in_attr: bool) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if in_attr => out.push_str("&quot;"),
+            '\'' if in_attr => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseXmlError {
+        ParseXmlError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_until(&mut self, needle: &str) -> bool {
+        while self.pos < self.bytes.len() {
+            if self.starts_with(needle) {
+                self.pos += needle.len();
+                return true;
+            }
+            self.pos += 1;
+        }
+        false
+    }
+
+    /// Skips declaration, comments, processing instructions, whitespace.
+    fn skip_prolog(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>");
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->");
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Skips trailing comments/whitespace after the root element.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                if !self.skip_until("-->") {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseXmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ok = c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseXmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name);
+
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    let value = unescape(&raw).map_err(|m| self.err(m))?;
+                    element.set_attr(key, value);
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+
+        // Content until matching end tag.
+        loop {
+            if self.starts_with("<!--") {
+                if !self.skip_until("-->") {
+                    return Err(self.err("unterminated comment"));
+                }
+                continue;
+            }
+            if self.starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let start = self.pos;
+                if !self.skip_until("]]>") {
+                    return Err(self.err("unterminated CDATA section"));
+                }
+                let text =
+                    String::from_utf8_lossy(&self.bytes[start..self.pos - 3]).into_owned();
+                element.push_text(text);
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let end_name = self.parse_name()?;
+                if end_name != element.name {
+                    return Err(self.err(format!(
+                        "mismatched end tag: expected </{}>, found </{end_name}>",
+                        element.name
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected '>' in end tag"));
+                }
+                self.pos += 1;
+                return Ok(element);
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    let child = self.parse_element()?;
+                    element.push_child(child);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != b'<') {
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    let text = unescape(&raw).map_err(|m| self.err(m))?;
+                    // Pure-whitespace runs between elements are formatting,
+                    // not data; keep text only if it has substance or the
+                    // element has no element children yet (mixed content).
+                    if !text.trim().is_empty() {
+                        element.push_text(text);
+                    }
+                }
+                None => return Err(self.err("unexpected end of input in element content")),
+            }
+        }
+    }
+}
+
+fn unescape(raw: &str) -> Result<String, String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_owned());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        let end = rest
+            .find(';')
+            .ok_or_else(|| "unterminated entity".to_owned())?;
+        let entity = &rest[1..end];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16)
+                    .map_err(|_| format!("bad hex character reference &{entity};"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid character reference &{entity};"))?,
+                );
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 = entity[1..]
+                    .parse()
+                    .map_err(|_| format!("bad character reference &{entity};"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid character reference &{entity};"))?,
+                );
+            }
+            other => return Err(format!("unknown entity &{other};")),
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_serialize() {
+        let e = Element::new("a")
+            .with_attr("k", "v")
+            .with_child(Element::new("b").with_text("hi"))
+            .with_child(Element::new("c"));
+        assert_eq!(e.to_xml(), r#"<a k="v"><b>hi</b><c/></a>"#);
+    }
+
+    #[test]
+    fn document_has_declaration() {
+        let doc = Element::new("root").to_document();
+        assert!(doc.starts_with("<?xml version=\"1.0\""));
+        assert!(doc.ends_with("<root/>"));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let src = r#"<session id="7"><member role="chair">alice</member><member>bob</member></session>"#;
+        let e = Element::parse(src).unwrap();
+        assert_eq!(e.name(), "session");
+        assert_eq!(e.attr("id"), Some("7"));
+        let members: Vec<_> = e.children_named("member").collect();
+        assert_eq!(members.len(), 2);
+        assert_eq!(members[0].attr("role"), Some("chair"));
+        assert_eq!(members[0].text(), "alice");
+        assert_eq!(e.to_xml(), src);
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let e = Element::new("t")
+            .with_attr("q", "a\"b'c<d>e&f")
+            .with_text("x < y && z > \"w\"");
+        let parsed = Element::parse(&e.to_xml()).unwrap();
+        assert_eq!(parsed.attr("q"), Some("a\"b'c<d>e&f"));
+        assert_eq!(parsed.text(), "x < y && z > \"w\"");
+    }
+
+    #[test]
+    fn numeric_entities() {
+        let e = Element::parse("<t>&#65;&#x42;</t>").unwrap();
+        assert_eq!(e.text(), "AB");
+    }
+
+    #[test]
+    fn prolog_comments_and_whitespace_are_skipped() {
+        let src = "\n<?xml version=\"1.0\"?>\n<!-- hello -->\n<root>\n  <a/>\n</root>\n<!-- bye -->\n";
+        let e = Element::parse(src).unwrap();
+        assert_eq!(e.name(), "root");
+        assert!(e.child("a").is_some());
+        // Inter-element whitespace is not kept as text.
+        assert_eq!(e.text(), "");
+    }
+
+    #[test]
+    fn cdata_is_preserved_verbatim() {
+        let e = Element::parse("<t><![CDATA[a <raw> & b]]></t>").unwrap();
+        assert_eq!(e.text(), "a <raw> & b");
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let err = Element::parse("<a><b></a></b>").unwrap_err();
+        assert!(err.to_string().contains("mismatched end tag"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_errors() {
+        let err = Element::parse("<a/>junk").unwrap_err();
+        assert!(err.to_string().contains("trailing content"), "{err}");
+    }
+
+    #[test]
+    fn unknown_entity_errors() {
+        let err = Element::parse("<a>&bogus;</a>").unwrap_err();
+        assert!(err.to_string().contains("unknown entity"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_inputs_error() {
+        assert!(Element::parse("<a>").is_err());
+        assert!(Element::parse("<a attr=>").is_err());
+        assert!(Element::parse("<a attr=\"x>").is_err());
+        assert!(Element::parse("<a><![CDATA[x]]</a>").is_err());
+        assert!(Element::parse("").is_err());
+    }
+
+    #[test]
+    fn set_attr_replaces() {
+        let mut e = Element::new("x");
+        e.set_attr("k", "1");
+        e.set_attr("k", "2");
+        assert_eq!(e.attr("k"), Some("2"));
+        assert_eq!(e.attrs().len(), 1);
+    }
+
+    #[test]
+    fn namespaced_names_parse() {
+        let e = Element::parse(r#"<soap:Envelope xmlns:soap="http://x"><soap:Body/></soap:Envelope>"#)
+            .unwrap();
+        assert_eq!(e.name(), "soap:Envelope");
+        assert_eq!(e.attr("xmlns:soap"), Some("http://x"));
+        assert!(e.child("soap:Body").is_some());
+    }
+
+    #[test]
+    fn child_text_helper() {
+        let e = Element::parse("<m><user>alice</user></m>").unwrap();
+        assert_eq!(e.child_text("user").as_deref(), Some("alice"));
+        assert_eq!(e.child_text("missing"), None);
+    }
+
+    #[test]
+    fn from_str_impl() {
+        let e: Element = "<ok/>".parse().unwrap();
+        assert_eq!(e.name(), "ok");
+    }
+}

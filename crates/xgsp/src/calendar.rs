@@ -1,0 +1,261 @@
+//! Scheduled-mode reservations.
+//!
+//! Scheduled collaborations "log into some web site … to make
+//! reservation of some virtual meeting room, send invitations to other
+//! attendees in advance" (§2.1). [`Calendar`] is that reservation book:
+//! rooms, time slots with conflict detection, invitee lists, and a
+//! `due` query the web server polls to auto-open sessions.
+
+use core::fmt;
+
+use mmcs_util::id::{IdAllocator, ReservationId};
+use mmcs_util::time::{SimDuration, SimTime};
+
+/// One reservation of a virtual meeting room.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reservation {
+    /// The reservation id.
+    pub id: ReservationId,
+    /// The virtual room name (conflict-detection key).
+    pub room: String,
+    /// Who booked it (becomes the session chair).
+    pub organizer: String,
+    /// Users to invite when the meeting opens.
+    pub invitees: Vec<String>,
+    /// Start time.
+    pub start: SimTime,
+    /// Duration.
+    pub duration: SimDuration,
+    /// Human-readable title.
+    pub title: String,
+}
+
+impl Reservation {
+    /// End time (exclusive).
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    /// Whether this reservation overlaps a `[start, start+duration)` slot.
+    pub fn overlaps(&self, start: SimTime, duration: SimDuration) -> bool {
+        start < self.end() && self.start < start + duration
+    }
+}
+
+/// Error booking a reservation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BookingError {
+    /// The room is already booked for an overlapping slot.
+    Conflict {
+        /// The conflicting reservation.
+        existing: ReservationId,
+    },
+    /// Zero-length reservations are not allowed.
+    EmptySlot,
+}
+
+impl fmt::Display for BookingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BookingError::Conflict { existing } => {
+                write!(f, "room already reserved ({existing})")
+            }
+            BookingError::EmptySlot => write!(f, "reservation duration must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BookingError {}
+
+/// The meeting calendar. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct Calendar {
+    reservations: Vec<Reservation>,
+    ids: IdAllocator<ReservationId>,
+}
+
+impl Calendar {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Books a room.
+    ///
+    /// # Errors
+    ///
+    /// [`BookingError::Conflict`] when the room is taken for an
+    /// overlapping slot, [`BookingError::EmptySlot`] for zero duration.
+    pub fn book(
+        &mut self,
+        room: impl Into<String>,
+        organizer: impl Into<String>,
+        invitees: Vec<String>,
+        start: SimTime,
+        duration: SimDuration,
+        title: impl Into<String>,
+    ) -> Result<ReservationId, BookingError> {
+        if duration == SimDuration::ZERO {
+            return Err(BookingError::EmptySlot);
+        }
+        let room = room.into();
+        if let Some(existing) = self
+            .reservations
+            .iter()
+            .find(|r| r.room == room && r.overlaps(start, duration))
+        {
+            return Err(BookingError::Conflict {
+                existing: existing.id,
+            });
+        }
+        let id = self.ids.next();
+        self.reservations.push(Reservation {
+            id,
+            room,
+            organizer: organizer.into(),
+            invitees,
+            start,
+            duration,
+            title: title.into(),
+        });
+        Ok(id)
+    }
+
+    /// Cancels a reservation; returns whether it existed.
+    pub fn cancel(&mut self, id: ReservationId) -> bool {
+        let before = self.reservations.len();
+        self.reservations.retain(|r| r.id != id);
+        self.reservations.len() != before
+    }
+
+    /// Looks up a reservation.
+    pub fn reservation(&self, id: ReservationId) -> Option<&Reservation> {
+        self.reservations.iter().find(|r| r.id == id)
+    }
+
+    /// Reservations that should be running at `now`, soonest-start first.
+    pub fn due(&self, now: SimTime) -> Vec<&Reservation> {
+        let mut due: Vec<&Reservation> = self
+            .reservations
+            .iter()
+            .filter(|r| r.start <= now && now < r.end())
+            .collect();
+        due.sort_by_key(|r| r.start);
+        due
+    }
+
+    /// Future reservations at `now`, soonest first.
+    pub fn upcoming(&self, now: SimTime) -> Vec<&Reservation> {
+        let mut upcoming: Vec<&Reservation> = self
+            .reservations
+            .iter()
+            .filter(|r| r.start > now)
+            .collect();
+        upcoming.sort_by_key(|r| r.start);
+        upcoming
+    }
+
+    /// Drops reservations that ended before `now`; returns how many.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let before = self.reservations.len();
+        self.reservations.retain(|r| r.end() > now);
+        before - self.reservations.len()
+    }
+
+    /// Total live reservations.
+    pub fn len(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// Whether the calendar is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reservations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(minutes: u64) -> SimTime {
+        SimTime::from_secs(minutes * 60)
+    }
+
+    fn hour() -> SimDuration {
+        SimDuration::from_secs(3600)
+    }
+
+    #[test]
+    fn booking_and_conflicts() {
+        let mut cal = Calendar::new();
+        let first = cal
+            .book("room-a", "alice", vec!["bob".into()], t(0), hour(), "standup")
+            .unwrap();
+        // Overlap in the same room conflicts.
+        let err = cal
+            .book("room-a", "carol", vec![], t(30), hour(), "clash")
+            .unwrap_err();
+        assert_eq!(err, BookingError::Conflict { existing: first });
+        // Same slot in another room is fine.
+        cal.book("room-b", "carol", vec![], t(30), hour(), "ok")
+            .unwrap();
+        // Back-to-back in the same room is fine (end is exclusive).
+        cal.book("room-a", "dave", vec![], t(60), hour(), "next")
+            .unwrap();
+        assert_eq!(cal.len(), 3);
+    }
+
+    #[test]
+    fn zero_duration_rejected() {
+        let mut cal = Calendar::new();
+        assert_eq!(
+            cal.book("r", "a", vec![], t(0), SimDuration::ZERO, "x"),
+            Err(BookingError::EmptySlot)
+        );
+    }
+
+    #[test]
+    fn due_and_upcoming() {
+        let mut cal = Calendar::new();
+        cal.book("r1", "a", vec![], t(0), hour(), "now").unwrap();
+        cal.book("r2", "b", vec![], t(120), hour(), "later").unwrap();
+        let due = cal.due(t(30));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].title, "now");
+        let upcoming = cal.upcoming(t(30));
+        assert_eq!(upcoming.len(), 1);
+        assert_eq!(upcoming[0].title, "later");
+        // At the end boundary the meeting is over.
+        assert!(cal.due(t(60)).is_empty());
+    }
+
+    #[test]
+    fn cancel_and_expire() {
+        let mut cal = Calendar::new();
+        let id = cal.book("r", "a", vec![], t(0), hour(), "x").unwrap();
+        assert!(cal.cancel(id));
+        assert!(!cal.cancel(id));
+        cal.book("r", "a", vec![], t(0), hour(), "old").unwrap();
+        cal.book("r", "a", vec![], t(120), hour(), "new").unwrap();
+        assert_eq!(cal.expire(t(61)), 1);
+        assert_eq!(cal.len(), 1);
+        assert!(cal.reservation(id).is_none());
+    }
+
+    #[test]
+    fn overlap_math() {
+        let r = Reservation {
+            id: ReservationId::from_raw(1),
+            room: "r".into(),
+            organizer: "a".into(),
+            invitees: vec![],
+            start: t(10),
+            duration: hour(),
+            title: "x".into(),
+        };
+        assert!(r.overlaps(t(10), hour()));
+        assert!(r.overlaps(t(69), hour()));
+        assert!(!r.overlaps(t(70), hour())); // starts exactly at end
+        assert!(!r.overlaps(t(0), SimDuration::from_secs(600))); // ends at start
+    }
+}

@@ -1,0 +1,182 @@
+//! Floor control.
+//!
+//! A session has one *floor* (the right to address the conference — in
+//! A/V terms, to have your video selected and your audio unmuted by the
+//! mixer). Members request it, the chair grants it, holders release it;
+//! waiting requesters queue in FIFO order, as H.323's conference control
+//! and the Access Grid's informal practice both did.
+
+use std::collections::VecDeque;
+
+/// The floor state machine for one session.
+///
+/// Members are identified by their directory names (`String`), matching
+/// the XGSP messages.
+///
+/// # Examples
+///
+/// ```
+/// use mmcs_xgsp::floor::Floor;
+///
+/// let mut floor = Floor::new();
+/// floor.request("alice".into());
+/// floor.request("bob".into());
+/// assert_eq!(floor.grant_next(), Some("alice".to_owned()));
+/// assert_eq!(floor.holder(), Some("alice"));
+/// assert!(floor.release("alice"));
+/// assert_eq!(floor.grant_next(), Some("bob".to_owned()));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Floor {
+    holder: Option<String>,
+    queue: VecDeque<String>,
+}
+
+impl Floor {
+    /// Creates an empty floor (no holder, no queue).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current holder, if any.
+    pub fn holder(&self) -> Option<&str> {
+        self.holder.as_deref()
+    }
+
+    /// Members waiting, in grant order.
+    pub fn queue(&self) -> impl Iterator<Item = &str> {
+        self.queue.iter().map(String::as_str)
+    }
+
+    /// Enqueues a request. Duplicate requests (already holding or already
+    /// queued) are ignored; returns whether the request was enqueued.
+    pub fn request(&mut self, user: String) -> bool {
+        if self.holder.as_deref() == Some(user.as_str()) || self.queue.contains(&user) {
+            return false;
+        }
+        self.queue.push_back(user);
+        true
+    }
+
+    /// Grants the floor to the next queued member, if the floor is free.
+    /// Returns the new holder.
+    pub fn grant_next(&mut self) -> Option<String> {
+        if self.holder.is_some() {
+            return None;
+        }
+        let next = self.queue.pop_front()?;
+        self.holder = Some(next.clone());
+        Some(next)
+    }
+
+    /// Grants the floor directly to `user` (chair override), bumping them
+    /// past the queue. Fails if someone else holds the floor.
+    pub fn grant_to(&mut self, user: &str) -> bool {
+        if self.holder.is_some() {
+            return false;
+        }
+        self.queue.retain(|u| u != user);
+        self.holder = Some(user.to_owned());
+        true
+    }
+
+    /// Releases the floor if `user` holds it; returns whether it was
+    /// released.
+    pub fn release(&mut self, user: &str) -> bool {
+        if self.holder.as_deref() == Some(user) {
+            self.holder = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes a departing member from holder/queue. Returns `true` if
+    /// they held the floor (the caller should then grant the next).
+    pub fn remove_member(&mut self, user: &str) -> bool {
+        self.queue.retain(|u| u != user);
+        self.release(user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_respected() {
+        let mut floor = Floor::new();
+        for user in ["a", "b", "c"] {
+            assert!(floor.request(user.into()));
+        }
+        assert_eq!(floor.grant_next().as_deref(), Some("a"));
+        // Floor busy: no double grant.
+        assert_eq!(floor.grant_next(), None);
+        floor.release("a");
+        assert_eq!(floor.grant_next().as_deref(), Some("b"));
+        assert_eq!(floor.queue().collect::<Vec<_>>(), vec!["c"]);
+    }
+
+    #[test]
+    fn duplicate_requests_are_ignored() {
+        let mut floor = Floor::new();
+        assert!(floor.request("a".into()));
+        assert!(!floor.request("a".into()));
+        floor.grant_next();
+        assert!(!floor.request("a".into())); // already holds
+        assert_eq!(floor.queue().count(), 0);
+    }
+
+    #[test]
+    fn only_holder_can_release() {
+        let mut floor = Floor::new();
+        floor.request("a".into());
+        floor.grant_next();
+        assert!(!floor.release("b"));
+        assert!(floor.release("a"));
+        assert!(!floor.release("a")); // already free
+    }
+
+    #[test]
+    fn chair_override_skips_queue() {
+        let mut floor = Floor::new();
+        floor.request("a".into());
+        floor.request("b".into());
+        assert!(floor.grant_to("b"));
+        assert_eq!(floor.holder(), Some("b"));
+        // "b" was removed from the queue; "a" still waits.
+        floor.release("b");
+        assert_eq!(floor.grant_next().as_deref(), Some("a"));
+        assert_eq!(floor.grant_next(), None);
+    }
+
+    #[test]
+    fn chair_override_fails_when_held() {
+        let mut floor = Floor::new();
+        floor.request("a".into());
+        floor.grant_next();
+        assert!(!floor.grant_to("b"));
+    }
+
+    #[test]
+    fn departing_holder_frees_the_floor() {
+        let mut floor = Floor::new();
+        floor.request("a".into());
+        floor.request("b".into());
+        floor.grant_next();
+        assert!(floor.remove_member("a"));
+        assert_eq!(floor.holder(), None);
+        assert_eq!(floor.grant_next().as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn departing_waiter_leaves_queue() {
+        let mut floor = Floor::new();
+        floor.request("a".into());
+        floor.request("b".into());
+        assert!(!floor.remove_member("b"));
+        floor.grant_next();
+        floor.release("a");
+        assert_eq!(floor.grant_next(), None);
+    }
+}

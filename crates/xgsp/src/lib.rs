@@ -1,0 +1,51 @@
+//! XGSP — the XML-based General Session Protocol.
+//!
+//! XGSP is the paper's central idea: **one neutral session protocol** that
+//! every community's signaling (H.323, SIP, Admire, Access Grid) is
+//! translated into, so one session server can run a conference spanning
+//! all of them. This crate implements:
+//!
+//! * [`message`] — the XGSP message set with its XML codec
+//!   ([`message::XgspMessage`]): create/terminate session, join/leave,
+//!   invite, media control, floor control, application session data.
+//! * [`media`] — media descriptions ([`media::MediaDescription`]) shared
+//!   by messages and session state.
+//! * [`session`] — one conference's state ([`session::Session`]):
+//!   membership, roles, media streams and their broker topics.
+//! * [`floor`] — the floor-control state machine ([`floor::Floor`]).
+//! * [`server`] — the XGSP session server ([`server::SessionServer`]):
+//!   a sans-IO state machine mapping XGSP requests to replies,
+//!   member notifications and broker topic commands.
+//! * [`wsdl_ci`] — the WSDL Collaboration Interface
+//!   ([`wsdl_ci::CollaborationServer`]): the trait any third-party
+//!   collaboration server implements so the session server can schedule
+//!   it into a meeting.
+//! * [`calendar`] — scheduled-mode reservations ([`calendar::Calendar`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use mmcs_xgsp::message::XgspMessage;
+//!
+//! let join = XgspMessage::Join {
+//!     session: 7.into(),
+//!     user: "alice".into(),
+//!     terminal: 3.into(),
+//!     media: vec![],
+//! };
+//! let xml = join.to_xml();
+//! assert_eq!(XgspMessage::parse(&xml)?, join);
+//! # Ok::<(), mmcs_xgsp::message::ParseXgspError>(())
+//! ```
+
+pub mod calendar;
+pub mod floor;
+pub mod media;
+pub mod message;
+pub mod server;
+pub mod session;
+pub mod wsdl_ci;
+
+pub use message::XgspMessage;
+pub use server::SessionServer;
+pub use session::Session;

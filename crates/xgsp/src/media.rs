@@ -1,0 +1,139 @@
+//! Media descriptions shared across XGSP messages and session state.
+
+use core::fmt;
+
+use mmcs_util::xml::Element;
+
+/// The kind of a media stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MediaKind {
+    /// Audio.
+    Audio,
+    /// Video.
+    Video,
+    /// Shared-application/data channel (whiteboard, shared browser, …).
+    Application,
+}
+
+impl MediaKind {
+    /// The XML tag / topic segment for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MediaKind::Audio => "audio",
+            MediaKind::Video => "video",
+            MediaKind::Application => "app",
+        }
+    }
+
+    /// Parses a kind from its tag name.
+    pub fn from_str_opt(s: &str) -> Option<MediaKind> {
+        match s {
+            "audio" => Some(MediaKind::Audio),
+            "video" => Some(MediaKind::Video),
+            "app" => Some(MediaKind::Application),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MediaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One media stream a terminal offers or a session carries.
+///
+/// # Examples
+///
+/// ```
+/// use mmcs_xgsp::media::{MediaDescription, MediaKind};
+///
+/// let m = MediaDescription::new(MediaKind::Video, "H263");
+/// let xml = m.to_element();
+/// assert_eq!(MediaDescription::from_element(&xml).unwrap(), m);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MediaDescription {
+    /// Audio/video/application.
+    pub kind: MediaKind,
+    /// Codec name (PCMU, GSM, H261, H263, …).
+    pub codec: String,
+    /// Target bitrate in bits per second, if constrained.
+    pub bitrate_bps: Option<u64>,
+}
+
+impl MediaDescription {
+    /// Creates a description with no bitrate constraint.
+    pub fn new(kind: MediaKind, codec: impl Into<String>) -> Self {
+        Self {
+            kind,
+            codec: codec.into(),
+            bitrate_bps: None,
+        }
+    }
+
+    /// Sets a bitrate constraint, builder style.
+    pub fn with_bitrate(mut self, bps: u64) -> Self {
+        self.bitrate_bps = Some(bps);
+        self
+    }
+
+    /// Renders as an XGSP XML element (`<audio codec="PCMU"/>` etc.).
+    pub fn to_element(&self) -> Element {
+        let mut element = Element::new(self.kind.as_str()).with_attr("codec", &self.codec);
+        if let Some(bps) = self.bitrate_bps {
+            element.set_attr("bitrate", bps.to_string());
+        }
+        element
+    }
+
+    /// Parses from an XGSP XML element; `None` when the tag is not a
+    /// media kind or required attributes are missing.
+    pub fn from_element(element: &Element) -> Option<MediaDescription> {
+        let kind = MediaKind::from_str_opt(element.name())?;
+        let codec = element.attr("codec")?.to_owned();
+        let bitrate_bps = match element.attr("bitrate") {
+            Some(raw) => Some(raw.parse().ok()?),
+            None => None,
+        };
+        Some(MediaDescription {
+            kind,
+            codec,
+            bitrate_bps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips() {
+        for kind in [MediaKind::Audio, MediaKind::Video, MediaKind::Application] {
+            assert_eq!(MediaKind::from_str_opt(kind.as_str()), Some(kind));
+        }
+        assert_eq!(MediaKind::from_str_opt("smellovision"), None);
+    }
+
+    #[test]
+    fn description_round_trips_with_bitrate() {
+        let m = MediaDescription::new(MediaKind::Video, "H263").with_bitrate(600_000);
+        let element = m.to_element();
+        assert_eq!(element.attr("bitrate"), Some("600000"));
+        assert_eq!(MediaDescription::from_element(&element), Some(m));
+    }
+
+    #[test]
+    fn description_rejects_bad_elements() {
+        let bad = Element::new("audio"); // missing codec
+        assert_eq!(MediaDescription::from_element(&bad), None);
+        let bad_kind = Element::new("telepathy").with_attr("codec", "x");
+        assert_eq!(MediaDescription::from_element(&bad_kind), None);
+        let bad_bitrate = Element::new("audio")
+            .with_attr("codec", "PCMU")
+            .with_attr("bitrate", "lots");
+        assert_eq!(MediaDescription::from_element(&bad_bitrate), None);
+    }
+}

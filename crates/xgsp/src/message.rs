@@ -1,0 +1,622 @@
+//! The XGSP message set and its XML codec.
+//!
+//! Every gateway (H.323, SIP, Admire, streaming, IM) translates its
+//! community's signaling into these messages; the session server speaks
+//! nothing else. The wire form is a single `<xgsp>` element whose `type`
+//! attribute selects the variant — deliberately simple XML, as the 2002
+//! XGSP framework paper sketched.
+
+use core::fmt;
+
+use mmcs_util::id::{SessionId, TerminalId};
+use mmcs_util::xml::Element;
+
+use crate::media::MediaDescription;
+
+/// How a session came to exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SessionMode {
+    /// Created on the spot from an IM conversation or a direct call.
+    AdHoc,
+    /// Reserved ahead of time through the meeting calendar.
+    Scheduled,
+}
+
+impl SessionMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            SessionMode::AdHoc => "adhoc",
+            SessionMode::Scheduled => "scheduled",
+        }
+    }
+
+    fn parse(s: &str) -> Option<SessionMode> {
+        match s {
+            "adhoc" => Some(SessionMode::AdHoc),
+            "scheduled" => Some(SessionMode::Scheduled),
+            _ => None,
+        }
+    }
+}
+
+/// Floor-control operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloorOp {
+    /// A member asks for the floor.
+    Request,
+    /// The chair grants the floor to a member.
+    Grant,
+    /// The holder (or chair) releases the floor.
+    Release,
+}
+
+impl FloorOp {
+    fn as_str(self) -> &'static str {
+        match self {
+            FloorOp::Request => "request",
+            FloorOp::Grant => "grant",
+            FloorOp::Release => "release",
+        }
+    }
+
+    fn parse(s: &str) -> Option<FloorOp> {
+        match s {
+            "request" => Some(FloorOp::Request),
+            "grant" => Some(FloorOp::Grant),
+            "release" => Some(FloorOp::Release),
+            _ => None,
+        }
+    }
+}
+
+/// Media-control operations a member can apply to a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MediaOp {
+    /// Stop sending the stream.
+    Mute,
+    /// Resume sending.
+    Unmute,
+    /// Ask the A/V service to make this the selected (broadcast) video.
+    Select,
+}
+
+impl MediaOp {
+    fn as_str(self) -> &'static str {
+        match self {
+            MediaOp::Mute => "mute",
+            MediaOp::Unmute => "unmute",
+            MediaOp::Select => "select",
+        }
+    }
+
+    fn parse(s: &str) -> Option<MediaOp> {
+        match s {
+            "mute" => Some(MediaOp::Mute),
+            "unmute" => Some(MediaOp::Unmute),
+            "select" => Some(MediaOp::Select),
+            _ => None,
+        }
+    }
+}
+
+/// An XGSP protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XgspMessage {
+    /// Create a new session.
+    CreateSession {
+        /// Human-readable session name.
+        name: String,
+        /// Ad-hoc or scheduled.
+        mode: SessionMode,
+        /// Media the session will carry.
+        media: Vec<MediaDescription>,
+    },
+    /// Server reply: the session now exists.
+    SessionCreated {
+        /// The new session's id.
+        session: SessionId,
+        /// The session name, echoed.
+        name: String,
+    },
+    /// Tear a session down.
+    TerminateSession {
+        /// The session to terminate.
+        session: SessionId,
+    },
+    /// A user joins a session with a terminal.
+    Join {
+        /// Target session.
+        session: SessionId,
+        /// Joining user (directory name).
+        user: String,
+        /// The media terminal they join with.
+        terminal: TerminalId,
+        /// Media the terminal offers.
+        media: Vec<MediaDescription>,
+    },
+    /// Server reply to a successful join: the topics to use.
+    JoinAck {
+        /// The session joined.
+        session: SessionId,
+        /// Broker topics for each accepted media, as `kind=topic` pairs.
+        topics: Vec<(String, String)>,
+    },
+    /// A user leaves.
+    Leave {
+        /// The session.
+        session: SessionId,
+        /// The leaving user.
+        user: String,
+    },
+    /// Invite another user into a session.
+    Invite {
+        /// The session.
+        session: SessionId,
+        /// Who invites.
+        from: String,
+        /// Who is invited.
+        to: String,
+    },
+    /// Floor control.
+    Floor {
+        /// The session.
+        session: SessionId,
+        /// The operation.
+        op: FloorOp,
+        /// The member the operation concerns.
+        user: String,
+    },
+    /// Media control.
+    MediaControl {
+        /// The session.
+        session: SessionId,
+        /// The member issuing the control.
+        user: String,
+        /// The operation.
+        op: MediaOp,
+        /// The media kind affected (`audio`, `video`, `app`).
+        kind: String,
+    },
+    /// Opaque shared-application payload relayed to all members.
+    AppData {
+        /// The session.
+        session: SessionId,
+        /// The sending member.
+        user: String,
+        /// Application-defined body (kept as an XML text blob).
+        body: String,
+    },
+    /// A membership/state notification fanned out to members.
+    Notify {
+        /// The session.
+        session: SessionId,
+        /// What happened (`joined`, `left`, `floor-granted`, …).
+        what: String,
+        /// The member concerned.
+        user: String,
+    },
+    /// An error reply.
+    Error {
+        /// Machine-readable code (`unknown-session`, `not-member`, …).
+        code: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl XgspMessage {
+    /// The `type` attribute value for this variant.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            XgspMessage::CreateSession { .. } => "create-session",
+            XgspMessage::SessionCreated { .. } => "session-created",
+            XgspMessage::TerminateSession { .. } => "terminate-session",
+            XgspMessage::Join { .. } => "join",
+            XgspMessage::JoinAck { .. } => "join-ack",
+            XgspMessage::Leave { .. } => "leave",
+            XgspMessage::Invite { .. } => "invite",
+            XgspMessage::Floor { .. } => "floor",
+            XgspMessage::MediaControl { .. } => "media-control",
+            XgspMessage::AppData { .. } => "app-data",
+            XgspMessage::Notify { .. } => "notify",
+            XgspMessage::Error { .. } => "error",
+        }
+    }
+
+    /// Renders the message as its XML wire form.
+    pub fn to_xml(&self) -> String {
+        self.to_element().to_xml()
+    }
+
+    /// Renders the message as an XML element.
+    pub fn to_element(&self) -> Element {
+        let mut root = Element::new("xgsp").with_attr("type", self.type_name());
+        match self {
+            XgspMessage::CreateSession { name, mode, media } => {
+                root.set_attr("mode", mode.as_str());
+                root.push_child(Element::new("name").with_text(name));
+                let mut media_el = Element::new("media");
+                for m in media {
+                    media_el.push_child(m.to_element());
+                }
+                root.push_child(media_el);
+            }
+            XgspMessage::SessionCreated { session, name } => {
+                root.set_attr("session", session.value().to_string());
+                root.push_child(Element::new("name").with_text(name));
+            }
+            XgspMessage::TerminateSession { session } => {
+                root.set_attr("session", session.value().to_string());
+            }
+            XgspMessage::Join {
+                session,
+                user,
+                terminal,
+                media,
+            } => {
+                root.set_attr("session", session.value().to_string());
+                root.push_child(Element::new("user").with_text(user));
+                root.push_child(
+                    Element::new("terminal").with_text(terminal.value().to_string()),
+                );
+                let mut media_el = Element::new("media");
+                for m in media {
+                    media_el.push_child(m.to_element());
+                }
+                root.push_child(media_el);
+            }
+            XgspMessage::JoinAck { session, topics } => {
+                root.set_attr("session", session.value().to_string());
+                for (kind, topic) in topics {
+                    root.push_child(
+                        Element::new("topic")
+                            .with_attr("media", kind)
+                            .with_text(topic),
+                    );
+                }
+            }
+            XgspMessage::Leave { session, user } => {
+                root.set_attr("session", session.value().to_string());
+                root.push_child(Element::new("user").with_text(user));
+            }
+            XgspMessage::Invite { session, from, to } => {
+                root.set_attr("session", session.value().to_string());
+                root.push_child(Element::new("from").with_text(from));
+                root.push_child(Element::new("to").with_text(to));
+            }
+            XgspMessage::Floor { session, op, user } => {
+                root.set_attr("session", session.value().to_string());
+                root.set_attr("op", op.as_str());
+                root.push_child(Element::new("user").with_text(user));
+            }
+            XgspMessage::MediaControl {
+                session,
+                user,
+                op,
+                kind,
+            } => {
+                root.set_attr("session", session.value().to_string());
+                root.set_attr("op", op.as_str());
+                root.set_attr("media", kind);
+                root.push_child(Element::new("user").with_text(user));
+            }
+            XgspMessage::AppData {
+                session,
+                user,
+                body,
+            } => {
+                root.set_attr("session", session.value().to_string());
+                root.push_child(Element::new("user").with_text(user));
+                root.push_child(Element::new("body").with_text(body));
+            }
+            XgspMessage::Notify {
+                session,
+                what,
+                user,
+            } => {
+                root.set_attr("session", session.value().to_string());
+                root.set_attr("what", what);
+                root.push_child(Element::new("user").with_text(user));
+            }
+            XgspMessage::Error { code, detail } => {
+                root.set_attr("code", code);
+                root.push_child(Element::new("detail").with_text(detail));
+            }
+        }
+        root
+    }
+
+    /// Parses a message from its XML wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseXgspError`] on malformed XML, an unknown `type`, or
+    /// missing required fields.
+    pub fn parse(xml: &str) -> Result<XgspMessage, ParseXgspError> {
+        let root = Element::parse(xml).map_err(|e| ParseXgspError::Xml(e.to_string()))?;
+        XgspMessage::from_element(&root)
+    }
+
+    /// Parses a message from an already-parsed element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseXgspError`] as for [`XgspMessage::parse`].
+    pub fn from_element(root: &Element) -> Result<XgspMessage, ParseXgspError> {
+        if root.name() != "xgsp" {
+            return Err(ParseXgspError::NotXgsp(root.name().to_owned()));
+        }
+        let type_name = root
+            .attr("type")
+            .ok_or(ParseXgspError::Missing("type"))?
+            .to_owned();
+        let session = || -> Result<SessionId, ParseXgspError> {
+            let raw = root.attr("session").ok_or(ParseXgspError::Missing("session"))?;
+            raw.parse::<u64>()
+                .map(SessionId::from_raw)
+                .map_err(|_| ParseXgspError::Invalid("session"))
+        };
+        let child_text = |name: &'static str| -> Result<String, ParseXgspError> {
+            root.child_text(name).ok_or(ParseXgspError::Missing(name))
+        };
+        let media_list = || -> Result<Vec<MediaDescription>, ParseXgspError> {
+            let Some(media_el) = root.child("media") else {
+                return Ok(Vec::new());
+            };
+            media_el
+                .child_elements()
+                .map(|el| {
+                    MediaDescription::from_element(el).ok_or(ParseXgspError::Invalid("media"))
+                })
+                .collect()
+        };
+
+        match type_name.as_str() {
+            "create-session" => Ok(XgspMessage::CreateSession {
+                name: child_text("name")?,
+                mode: SessionMode::parse(
+                    root.attr("mode").ok_or(ParseXgspError::Missing("mode"))?,
+                )
+                .ok_or(ParseXgspError::Invalid("mode"))?,
+                media: media_list()?,
+            }),
+            "session-created" => Ok(XgspMessage::SessionCreated {
+                session: session()?,
+                name: child_text("name")?,
+            }),
+            "terminate-session" => Ok(XgspMessage::TerminateSession { session: session()? }),
+            "join" => Ok(XgspMessage::Join {
+                session: session()?,
+                user: child_text("user")?,
+                terminal: child_text("terminal")?
+                    .parse::<u64>()
+                    .map(TerminalId::from_raw)
+                    .map_err(|_| ParseXgspError::Invalid("terminal"))?,
+                media: media_list()?,
+            }),
+            "join-ack" => {
+                let topics = root
+                    .children_named("topic")
+                    .map(|el| {
+                        let media = el
+                            .attr("media")
+                            .ok_or(ParseXgspError::Missing("media"))?
+                            .to_owned();
+                        Ok((media, el.text()))
+                    })
+                    .collect::<Result<Vec<_>, ParseXgspError>>()?;
+                Ok(XgspMessage::JoinAck {
+                    session: session()?,
+                    topics,
+                })
+            }
+            "leave" => Ok(XgspMessage::Leave {
+                session: session()?,
+                user: child_text("user")?,
+            }),
+            "invite" => Ok(XgspMessage::Invite {
+                session: session()?,
+                from: child_text("from")?,
+                to: child_text("to")?,
+            }),
+            "floor" => Ok(XgspMessage::Floor {
+                session: session()?,
+                op: FloorOp::parse(root.attr("op").ok_or(ParseXgspError::Missing("op"))?)
+                    .ok_or(ParseXgspError::Invalid("op"))?,
+                user: child_text("user")?,
+            }),
+            "media-control" => Ok(XgspMessage::MediaControl {
+                session: session()?,
+                user: child_text("user")?,
+                op: MediaOp::parse(root.attr("op").ok_or(ParseXgspError::Missing("op"))?)
+                    .ok_or(ParseXgspError::Invalid("op"))?,
+                kind: root
+                    .attr("media")
+                    .ok_or(ParseXgspError::Missing("media"))?
+                    .to_owned(),
+            }),
+            "app-data" => Ok(XgspMessage::AppData {
+                session: session()?,
+                user: child_text("user")?,
+                body: child_text("body")?,
+            }),
+            "notify" => Ok(XgspMessage::Notify {
+                session: session()?,
+                what: root
+                    .attr("what")
+                    .ok_or(ParseXgspError::Missing("what"))?
+                    .to_owned(),
+                user: child_text("user")?,
+            }),
+            "error" => Ok(XgspMessage::Error {
+                code: root
+                    .attr("code")
+                    .ok_or(ParseXgspError::Missing("code"))?
+                    .to_owned(),
+                detail: child_text("detail")?,
+            }),
+            other => Err(ParseXgspError::UnknownType(other.to_owned())),
+        }
+    }
+}
+
+impl fmt::Display for XgspMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}
+
+/// Error parsing an XGSP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseXgspError {
+    /// The XML itself was malformed.
+    Xml(String),
+    /// The root element was not `<xgsp>`.
+    NotXgsp(String),
+    /// The `type` attribute named no known message.
+    UnknownType(String),
+    /// A required attribute/child was missing.
+    Missing(&'static str),
+    /// A field was present but unparseable.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for ParseXgspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseXgspError::Xml(e) => write!(f, "malformed xml: {e}"),
+            ParseXgspError::NotXgsp(root) => write!(f, "root element <{root}> is not <xgsp>"),
+            ParseXgspError::UnknownType(t) => write!(f, "unknown xgsp message type {t:?}"),
+            ParseXgspError::Missing(what) => write!(f, "missing xgsp field {what:?}"),
+            ParseXgspError::Invalid(what) => write!(f, "invalid xgsp field {what:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseXgspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media::{MediaDescription, MediaKind};
+
+    fn round_trip(message: XgspMessage) {
+        let xml = message.to_xml();
+        let parsed = XgspMessage::parse(&xml)
+            .unwrap_or_else(|e| panic!("failed to reparse {xml}: {e}"));
+        assert_eq!(parsed, message, "wire form: {xml}");
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(XgspMessage::CreateSession {
+            name: "Distance Seminar <CS>".into(),
+            mode: SessionMode::Scheduled,
+            media: vec![
+                MediaDescription::new(MediaKind::Audio, "PCMU"),
+                MediaDescription::new(MediaKind::Video, "H263").with_bitrate(600_000),
+            ],
+        });
+        round_trip(XgspMessage::SessionCreated {
+            session: 42.into(),
+            name: "Distance Seminar".into(),
+        });
+        round_trip(XgspMessage::TerminateSession { session: 42.into() });
+        round_trip(XgspMessage::Join {
+            session: 42.into(),
+            user: "alice@anl.gov".into(),
+            terminal: 7.into(),
+            media: vec![MediaDescription::new(MediaKind::Audio, "GSM")],
+        });
+        round_trip(XgspMessage::JoinAck {
+            session: 42.into(),
+            topics: vec![
+                ("audio".into(), "globalmmcs/session-42/audio".into()),
+                ("video".into(), "globalmmcs/session-42/video".into()),
+            ],
+        });
+        round_trip(XgspMessage::Leave {
+            session: 42.into(),
+            user: "alice@anl.gov".into(),
+        });
+        round_trip(XgspMessage::Invite {
+            session: 42.into(),
+            from: "alice".into(),
+            to: "bob".into(),
+        });
+        for op in [FloorOp::Request, FloorOp::Grant, FloorOp::Release] {
+            round_trip(XgspMessage::Floor {
+                session: 1.into(),
+                op,
+                user: "carol".into(),
+            });
+        }
+        for op in [MediaOp::Mute, MediaOp::Unmute, MediaOp::Select] {
+            round_trip(XgspMessage::MediaControl {
+                session: 1.into(),
+                user: "dave".into(),
+                op,
+                kind: "video".into(),
+            });
+        }
+        round_trip(XgspMessage::AppData {
+            session: 3.into(),
+            user: "erin".into(),
+            body: "<whiteboard stroke='1'/>".into(),
+        });
+        round_trip(XgspMessage::Notify {
+            session: 3.into(),
+            what: "joined".into(),
+            user: "frank".into(),
+        });
+        round_trip(XgspMessage::Error {
+            code: "unknown-session".into(),
+            detail: "session session-9 does not exist".into(),
+        });
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            XgspMessage::parse("<not-xgsp/>"),
+            Err(ParseXgspError::NotXgsp(_))
+        ));
+        assert!(matches!(
+            XgspMessage::parse("<xgsp type=\"teleport\"/>"),
+            Err(ParseXgspError::UnknownType(_))
+        ));
+        assert!(matches!(
+            XgspMessage::parse("<xgsp/>"),
+            Err(ParseXgspError::Missing("type"))
+        ));
+        assert!(matches!(
+            XgspMessage::parse("<xgsp type=\"join\" session=\"x\"><user>a</user><terminal>1</terminal></xgsp>"),
+            Err(ParseXgspError::Invalid("session"))
+        ));
+        assert!(matches!(
+            XgspMessage::parse("not xml at all"),
+            Err(ParseXgspError::Xml(_))
+        ));
+    }
+
+    #[test]
+    fn type_names_are_stable() {
+        assert_eq!(
+            XgspMessage::TerminateSession { session: 1.into() }.type_name(),
+            "terminate-session"
+        );
+        let xml = XgspMessage::TerminateSession { session: 1.into() }.to_xml();
+        assert!(xml.contains("type=\"terminate-session\""));
+        assert!(xml.contains("session=\"1\""));
+    }
+
+    #[test]
+    fn app_data_body_survives_escaping() {
+        let message = XgspMessage::AppData {
+            session: 1.into(),
+            user: "u".into(),
+            body: "<x a=\"1\">&</x>".into(),
+        };
+        round_trip(message);
+    }
+}

@@ -1,0 +1,735 @@
+//! The XGSP session server.
+//!
+//! The session server is the heart of Global-MMCS: it owns every active
+//! session, accepts XGSP messages (from whichever gateway translated
+//! them), and emits replies, member notifications and broker topic
+//! commands. Like every protocol core in this workspace it is sans-IO:
+//! `handle(from, message) -> Vec<ServerOutput>`; the `global-mmcs` crate
+//! wires the outputs to endpoints and to the NaradaBrokering network.
+
+use std::collections::HashMap;
+
+use mmcs_util::id::{IdAllocator, SessionId};
+
+use crate::media::MediaKind;
+use crate::message::{FloorOp, MediaOp, SessionMode, XgspMessage};
+use crate::session::{Session, SessionError};
+
+/// A topic-management command for the broker network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerCommand {
+    /// Ensure a topic exists (informational — NaradaBrokering topics are
+    /// implicit, but RTP proxies and recorders key off this).
+    CreateTopic(String),
+    /// A session's topic is gone; tear down proxies/recorders.
+    RemoveTopic(String),
+}
+
+/// One effect of handling an XGSP message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerOutput {
+    /// Send this message back to the requester.
+    Reply(XgspMessage),
+    /// Send this message to a member's endpoint.
+    Notify {
+        /// The member to notify.
+        user: String,
+        /// The message.
+        message: XgspMessage,
+    },
+    /// Deliver an invitation to a (possibly not-yet-member) user.
+    Invite {
+        /// The invited user.
+        to: String,
+        /// The invite message.
+        message: XgspMessage,
+    },
+    /// Manage broker topics.
+    Broker(BrokerCommand),
+}
+
+/// Per-session bookkeeping the server keeps beyond [`Session`] itself.
+#[derive(Debug, Clone)]
+struct SessionRecord {
+    session: Session,
+    mode: SessionMode,
+}
+
+/// The XGSP session server. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct SessionServer {
+    sessions: HashMap<SessionId, SessionRecord>,
+    ids: IdAllocator<SessionId>,
+}
+
+impl SessionServer {
+    /// Creates an empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Borrows a session.
+    pub fn session(&self, id: SessionId) -> Option<&Session> {
+        self.sessions.get(&id).map(|r| &r.session)
+    }
+
+    /// The mode a session was created in.
+    pub fn mode(&self, id: SessionId) -> Option<SessionMode> {
+        self.sessions.get(&id).map(|r| r.mode)
+    }
+
+    /// Iterates over all live session ids.
+    pub fn session_ids(&self) -> impl Iterator<Item = SessionId> + '_ {
+        self.sessions.keys().copied()
+    }
+
+    /// Handles one XGSP message.
+    ///
+    /// `from` is the authenticated directory name of the requester, when
+    /// the transport knows it (gateways always do); authorization checks
+    /// (chair-only operations) use it. Errors come back as
+    /// [`ServerOutput::Reply`] carrying [`XgspMessage::Error`] — gateways
+    /// translate them into their community's failure signaling.
+    pub fn handle(&mut self, from: Option<&str>, message: XgspMessage) -> Vec<ServerOutput> {
+        match message {
+            XgspMessage::CreateSession { name, mode, media } => {
+                let id = self.ids.next();
+                let session = Session::new(id, name.clone(), &media);
+                let mut outputs: Vec<ServerOutput> = session
+                    .streams()
+                    .iter()
+                    .map(|s| ServerOutput::Broker(BrokerCommand::CreateTopic(s.topic.clone())))
+                    .collect();
+                self.sessions.insert(id, SessionRecord { session, mode });
+                outputs.push(ServerOutput::Reply(XgspMessage::SessionCreated {
+                    session: id,
+                    name,
+                }));
+                outputs
+            }
+            XgspMessage::TerminateSession { session } => {
+                let Some(record) = self.sessions.get_mut(&session) else {
+                    return vec![unknown_session(session)];
+                };
+                if let Err(err) = record.session.terminate(from) {
+                    return vec![session_error(err)];
+                }
+                let record = self.sessions.remove(&session).expect("checked above");
+                let mut outputs = Vec::new();
+                for stream in record.session.streams() {
+                    outputs.push(ServerOutput::Broker(BrokerCommand::RemoveTopic(
+                        stream.topic.clone(),
+                    )));
+                }
+                outputs
+            }
+            XgspMessage::Join {
+                session,
+                user,
+                terminal,
+                media,
+            } => {
+                let Some(record) = self.sessions.get_mut(&session) else {
+                    return vec![unknown_session(session)];
+                };
+                let before: Vec<String> = record
+                    .session
+                    .streams()
+                    .iter()
+                    .map(|s| s.topic.clone())
+                    .collect();
+                let members_before: Vec<String> = record
+                    .session
+                    .members()
+                    .map(|m| m.user.clone())
+                    .collect();
+                match record.session.join(user.clone(), terminal, media) {
+                    Ok(topics) => {
+                        let mut outputs = Vec::new();
+                        for stream in record.session.streams() {
+                            if !before.contains(&stream.topic) {
+                                outputs.push(ServerOutput::Broker(BrokerCommand::CreateTopic(
+                                    stream.topic.clone(),
+                                )));
+                            }
+                        }
+                        outputs.push(ServerOutput::Reply(XgspMessage::JoinAck {
+                            session,
+                            topics,
+                        }));
+                        for member in members_before {
+                            outputs.push(ServerOutput::Notify {
+                                user: member,
+                                message: XgspMessage::Notify {
+                                    session,
+                                    what: "joined".into(),
+                                    user: user.clone(),
+                                },
+                            });
+                        }
+                        outputs
+                    }
+                    Err(err) => vec![session_error(err)],
+                }
+            }
+            XgspMessage::Leave { session, user } => {
+                let Some(record) = self.sessions.get_mut(&session) else {
+                    return vec![unknown_session(session)];
+                };
+                if let Err(err) = record.session.leave(&user) {
+                    return vec![session_error(err)];
+                }
+                let mut outputs: Vec<ServerOutput> = record
+                    .session
+                    .members()
+                    .map(|m| ServerOutput::Notify {
+                        user: m.user.clone(),
+                        message: XgspMessage::Notify {
+                            session,
+                            what: "left".into(),
+                            user: user.clone(),
+                        },
+                    })
+                    .collect();
+                // Ad-hoc rooms evaporate when the last member leaves;
+                // scheduled rooms persist until their reservation ends.
+                if record.session.member_count() == 0 && record.mode == SessionMode::AdHoc {
+                    let record = self.sessions.remove(&session).expect("present");
+                    for stream in record.session.streams() {
+                        outputs.push(ServerOutput::Broker(BrokerCommand::RemoveTopic(
+                            stream.topic.clone(),
+                        )));
+                    }
+                }
+                outputs
+            }
+            XgspMessage::Invite { session, from: inviter, to } => {
+                let Some(record) = self.sessions.get(&session) else {
+                    return vec![unknown_session(session)];
+                };
+                if record.session.member(&inviter).is_none() {
+                    return vec![session_error(SessionError::NotMember(inviter))];
+                }
+                vec![ServerOutput::Invite {
+                    to: to.clone(),
+                    message: XgspMessage::Invite {
+                        session,
+                        from: inviter,
+                        to,
+                    },
+                }]
+            }
+            XgspMessage::Floor { session, op, user } => {
+                self.handle_floor(from, session, op, user)
+            }
+            XgspMessage::MediaControl {
+                session,
+                user,
+                op,
+                kind,
+            } => {
+                let Some(record) = self.sessions.get_mut(&session) else {
+                    return vec![unknown_session(session)];
+                };
+                let Some(kind) = MediaKind::from_str_opt(&kind) else {
+                    return vec![ServerOutput::Reply(XgspMessage::Error {
+                        code: "bad-media".into(),
+                        detail: format!("unknown media kind {kind:?}"),
+                    })];
+                };
+                let result = match op {
+                    MediaOp::Mute => record.session.set_muted(&user, kind, true),
+                    MediaOp::Unmute => record.session.set_muted(&user, kind, false),
+                    MediaOp::Select => {
+                        if record.session.member(&user).is_none() {
+                            Err(SessionError::NotMember(user.clone()))
+                        } else {
+                            Ok(())
+                        }
+                    }
+                };
+                if let Err(err) = result {
+                    return vec![session_error(err)];
+                }
+                let what = match op {
+                    MediaOp::Mute => "muted",
+                    MediaOp::Unmute => "unmuted",
+                    MediaOp::Select => "video-selected",
+                };
+                record
+                    .session
+                    .members()
+                    .map(|m| ServerOutput::Notify {
+                        user: m.user.clone(),
+                        message: XgspMessage::Notify {
+                            session,
+                            what: what.into(),
+                            user: user.clone(),
+                        },
+                    })
+                    .collect()
+            }
+            XgspMessage::AppData { session, user, body } => {
+                let Some(record) = self.sessions.get(&session) else {
+                    return vec![unknown_session(session)];
+                };
+                if record.session.member(&user).is_none() {
+                    return vec![session_error(SessionError::NotMember(user))];
+                }
+                record
+                    .session
+                    .members()
+                    .filter(|m| m.user != user)
+                    .map(|m| ServerOutput::Notify {
+                        user: m.user.clone(),
+                        message: XgspMessage::AppData {
+                            session,
+                            user: user.clone(),
+                            body: body.clone(),
+                        },
+                    })
+                    .collect()
+            }
+            // Server-emitted message kinds are not valid requests.
+            XgspMessage::SessionCreated { .. }
+            | XgspMessage::JoinAck { .. }
+            | XgspMessage::Notify { .. }
+            | XgspMessage::Error { .. } => vec![ServerOutput::Reply(XgspMessage::Error {
+                code: "not-a-request".into(),
+                detail: "message type is server-emitted only".into(),
+            })],
+        }
+    }
+
+    fn handle_floor(
+        &mut self,
+        from: Option<&str>,
+        session: SessionId,
+        op: FloorOp,
+        user: String,
+    ) -> Vec<ServerOutput> {
+        let Some(record) = self.sessions.get_mut(&session) else {
+            return vec![unknown_session(session)];
+        };
+        if record.session.member(&user).is_none() {
+            return vec![session_error(SessionError::NotMember(user))];
+        }
+        let chair = record.session.chair().map(str::to_owned);
+        let notify_all = |record: &SessionRecord, what: &str, user: &str| -> Vec<ServerOutput> {
+            record
+                .session
+                .members()
+                .map(|m| ServerOutput::Notify {
+                    user: m.user.clone(),
+                    message: XgspMessage::Notify {
+                        session,
+                        what: what.into(),
+                        user: user.to_owned(),
+                    },
+                })
+                .collect()
+        };
+        match op {
+            FloorOp::Request => {
+                record.session.floor_mut().request(user.clone());
+                // Auto-grant when free, as the paper's informal ad-hoc
+                // collaborations expect.
+                if let Some(granted) = record.session.floor_mut().grant_next() {
+                    notify_all(record, "floor-granted", &granted)
+                } else {
+                    notify_all(record, "floor-requested", &user)
+                }
+            }
+            FloorOp::Grant => {
+                // Chair-only.
+                if from.is_some() && from != chair.as_deref() {
+                    return vec![session_error(SessionError::NotChair(
+                        from.unwrap_or_default().to_owned(),
+                    ))];
+                }
+                // Pre-empt the current holder if any.
+                if let Some(holder) = record.session.floor().holder().map(str::to_owned) {
+                    record.session.floor_mut().release(&holder);
+                }
+                record.session.floor_mut().grant_to(&user);
+                notify_all(record, "floor-granted", &user)
+            }
+            FloorOp::Release => {
+                let requester = from.unwrap_or(user.as_str());
+                if requester != user && Some(requester) != chair.as_deref() {
+                    return vec![session_error(SessionError::NotChair(requester.to_owned()))];
+                }
+                if !record.session.floor_mut().release(&user) {
+                    return vec![ServerOutput::Reply(XgspMessage::Error {
+                        code: "not-holder".into(),
+                        detail: format!("{user} does not hold the floor"),
+                    })];
+                }
+                let mut outputs = notify_all(record, "floor-released", &user);
+                if let Some(next) = record.session.floor_mut().grant_next() {
+                    outputs.extend(notify_all(record, "floor-granted", &next));
+                }
+                outputs
+            }
+        }
+    }
+}
+
+fn unknown_session(session: SessionId) -> ServerOutput {
+    ServerOutput::Reply(XgspMessage::Error {
+        code: "unknown-session".into(),
+        detail: format!("session {session} does not exist"),
+    })
+}
+
+fn session_error(err: SessionError) -> ServerOutput {
+    let code = match err {
+        SessionError::Terminated => "terminated",
+        SessionError::AlreadyMember(_) => "already-member",
+        SessionError::NotMember(_) => "not-member",
+        SessionError::NotChair(_) => "not-chair",
+    };
+    ServerOutput::Reply(XgspMessage::Error {
+        code: code.into(),
+        detail: err.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media::MediaDescription;
+    use mmcs_util::id::TerminalId;
+
+    fn create(server: &mut SessionServer, mode: SessionMode) -> SessionId {
+        let outputs = server.handle(
+            None,
+            XgspMessage::CreateSession {
+                name: "weekly".into(),
+                mode,
+                media: vec![
+                    MediaDescription::new(MediaKind::Audio, "PCMU"),
+                    MediaDescription::new(MediaKind::Video, "H263"),
+                ],
+            },
+        );
+        let Some(ServerOutput::Reply(XgspMessage::SessionCreated { session, .. })) =
+            outputs.last()
+        else {
+            panic!("expected SessionCreated, got {outputs:?}");
+        };
+        *session
+    }
+
+    fn join(server: &mut SessionServer, session: SessionId, user: &str) -> Vec<ServerOutput> {
+        server.handle(
+            Some(user),
+            XgspMessage::Join {
+                session,
+                user: user.into(),
+                terminal: TerminalId::from_raw(1),
+                media: vec![MediaDescription::new(MediaKind::Audio, "PCMU")],
+            },
+        )
+    }
+
+    #[test]
+    fn create_emits_topics_and_reply() {
+        let mut server = SessionServer::new();
+        let outputs = server.handle(
+            None,
+            XgspMessage::CreateSession {
+                name: "demo".into(),
+                mode: SessionMode::AdHoc,
+                media: vec![MediaDescription::new(MediaKind::Audio, "PCMU")],
+            },
+        );
+        assert_eq!(outputs.len(), 2);
+        assert!(matches!(
+            &outputs[0],
+            ServerOutput::Broker(BrokerCommand::CreateTopic(t)) if t.ends_with("/audio")
+        ));
+        assert_eq!(server.session_count(), 1);
+    }
+
+    #[test]
+    fn join_acks_with_topics_and_notifies_others() {
+        let mut server = SessionServer::new();
+        let session = create(&mut server, SessionMode::Scheduled);
+        let outputs = join(&mut server, session, "alice");
+        assert!(outputs.iter().any(|o| matches!(
+            o,
+            ServerOutput::Reply(XgspMessage::JoinAck { topics, .. }) if topics.len() == 1
+        )));
+        let outputs = join(&mut server, session, "bob");
+        assert!(outputs.iter().any(|o| matches!(
+            o,
+            ServerOutput::Notify { user, message: XgspMessage::Notify { what, .. } }
+                if user == "alice" && what == "joined"
+        )));
+    }
+
+    #[test]
+    fn join_unknown_session_errors() {
+        let mut server = SessionServer::new();
+        let outputs = join(&mut server, SessionId::from_raw(99), "alice");
+        assert!(matches!(
+            &outputs[0],
+            ServerOutput::Reply(XgspMessage::Error { code, .. }) if code == "unknown-session"
+        ));
+    }
+
+    #[test]
+    fn adhoc_session_evaporates_when_empty() {
+        let mut server = SessionServer::new();
+        let session = create(&mut server, SessionMode::AdHoc);
+        join(&mut server, session, "alice");
+        let outputs = server.handle(
+            Some("alice"),
+            XgspMessage::Leave {
+                session,
+                user: "alice".into(),
+            },
+        );
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, ServerOutput::Broker(BrokerCommand::RemoveTopic(_)))));
+        assert_eq!(server.session_count(), 0);
+    }
+
+    #[test]
+    fn scheduled_session_persists_when_empty() {
+        let mut server = SessionServer::new();
+        let session = create(&mut server, SessionMode::Scheduled);
+        join(&mut server, session, "alice");
+        server.handle(
+            Some("alice"),
+            XgspMessage::Leave {
+                session,
+                user: "alice".into(),
+            },
+        );
+        assert_eq!(server.session_count(), 1);
+    }
+
+    #[test]
+    fn floor_request_auto_grants_then_queues() {
+        let mut server = SessionServer::new();
+        let session = create(&mut server, SessionMode::Scheduled);
+        join(&mut server, session, "alice");
+        join(&mut server, session, "bob");
+        let outputs = server.handle(
+            Some("alice"),
+            XgspMessage::Floor {
+                session,
+                op: FloorOp::Request,
+                user: "alice".into(),
+            },
+        );
+        assert!(outputs.iter().any(|o| matches!(
+            o,
+            ServerOutput::Notify { message: XgspMessage::Notify { what, user, .. }, .. }
+                if what == "floor-granted" && user == "alice"
+        )));
+        let outputs = server.handle(
+            Some("bob"),
+            XgspMessage::Floor {
+                session,
+                op: FloorOp::Request,
+                user: "bob".into(),
+            },
+        );
+        assert!(outputs.iter().any(|o| matches!(
+            o,
+            ServerOutput::Notify { message: XgspMessage::Notify { what, .. }, .. }
+                if what == "floor-requested"
+        )));
+        // Release by alice grants bob.
+        let outputs = server.handle(
+            Some("alice"),
+            XgspMessage::Floor {
+                session,
+                op: FloorOp::Release,
+                user: "alice".into(),
+            },
+        );
+        assert!(outputs.iter().any(|o| matches!(
+            o,
+            ServerOutput::Notify { message: XgspMessage::Notify { what, user, .. }, .. }
+                if what == "floor-granted" && user == "bob"
+        )));
+    }
+
+    #[test]
+    fn floor_grant_is_chair_only() {
+        let mut server = SessionServer::new();
+        let session = create(&mut server, SessionMode::Scheduled);
+        join(&mut server, session, "alice"); // chair
+        join(&mut server, session, "bob");
+        join(&mut server, session, "carol");
+        let outputs = server.handle(
+            Some("bob"),
+            XgspMessage::Floor {
+                session,
+                op: FloorOp::Grant,
+                user: "carol".into(),
+            },
+        );
+        assert!(matches!(
+            &outputs[0],
+            ServerOutput::Reply(XgspMessage::Error { code, .. }) if code == "not-chair"
+        ));
+        let outputs = server.handle(
+            Some("alice"),
+            XgspMessage::Floor {
+                session,
+                op: FloorOp::Grant,
+                user: "carol".into(),
+            },
+        );
+        assert!(outputs.iter().any(|o| matches!(
+            o,
+            ServerOutput::Notify { message: XgspMessage::Notify { what, user, .. }, .. }
+                if what == "floor-granted" && user == "carol"
+        )));
+    }
+
+    #[test]
+    fn invite_routes_to_target() {
+        let mut server = SessionServer::new();
+        let session = create(&mut server, SessionMode::AdHoc);
+        join(&mut server, session, "alice");
+        let outputs = server.handle(
+            Some("alice"),
+            XgspMessage::Invite {
+                session,
+                from: "alice".into(),
+                to: "bob".into(),
+            },
+        );
+        assert!(matches!(
+            &outputs[0],
+            ServerOutput::Invite { to, .. } if to == "bob"
+        ));
+        // Non-members cannot invite.
+        let outputs = server.handle(
+            Some("mallory"),
+            XgspMessage::Invite {
+                session,
+                from: "mallory".into(),
+                to: "bob".into(),
+            },
+        );
+        assert!(matches!(
+            &outputs[0],
+            ServerOutput::Reply(XgspMessage::Error { code, .. }) if code == "not-member"
+        ));
+    }
+
+    #[test]
+    fn app_data_relays_to_everyone_else() {
+        let mut server = SessionServer::new();
+        let session = create(&mut server, SessionMode::AdHoc);
+        join(&mut server, session, "alice");
+        join(&mut server, session, "bob");
+        join(&mut server, session, "carol");
+        let outputs = server.handle(
+            Some("alice"),
+            XgspMessage::AppData {
+                session,
+                user: "alice".into(),
+                body: "stroke".into(),
+            },
+        );
+        let recipients: Vec<&str> = outputs
+            .iter()
+            .filter_map(|o| match o {
+                ServerOutput::Notify { user, .. } => Some(user.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recipients, vec!["bob", "carol"]);
+    }
+
+    #[test]
+    fn terminate_requires_chair_and_cleans_topics() {
+        let mut server = SessionServer::new();
+        let session = create(&mut server, SessionMode::Scheduled);
+        join(&mut server, session, "alice");
+        join(&mut server, session, "bob");
+        let outputs = server.handle(Some("bob"), XgspMessage::TerminateSession { session });
+        assert!(matches!(
+            &outputs[0],
+            ServerOutput::Reply(XgspMessage::Error { code, .. }) if code == "not-chair"
+        ));
+        let outputs = server.handle(Some("alice"), XgspMessage::TerminateSession { session });
+        let topic_removals = outputs
+            .iter()
+            .filter(|o| matches!(o, ServerOutput::Broker(BrokerCommand::RemoveTopic(_))))
+            .count();
+        assert_eq!(topic_removals, 2);
+        assert_eq!(server.session_count(), 0);
+    }
+
+    #[test]
+    fn server_emitted_types_are_rejected_as_requests() {
+        let mut server = SessionServer::new();
+        let outputs = server.handle(
+            None,
+            XgspMessage::Error {
+                code: "x".into(),
+                detail: "y".into(),
+            },
+        );
+        assert!(matches!(
+            &outputs[0],
+            ServerOutput::Reply(XgspMessage::Error { code, .. }) if code == "not-a-request"
+        ));
+    }
+
+    #[test]
+    fn media_control_mute_notifies() {
+        let mut server = SessionServer::new();
+        let session = create(&mut server, SessionMode::AdHoc);
+        join(&mut server, session, "alice");
+        let outputs = server.handle(
+            Some("alice"),
+            XgspMessage::MediaControl {
+                session,
+                user: "alice".into(),
+                op: MediaOp::Mute,
+                kind: "audio".into(),
+            },
+        );
+        assert!(outputs.iter().any(|o| matches!(
+            o,
+            ServerOutput::Notify { message: XgspMessage::Notify { what, .. }, .. }
+                if what == "muted"
+        )));
+        assert!(server
+            .session(session)
+            .unwrap()
+            .member("alice")
+            .unwrap()
+            .muted_audio);
+        // Unknown media kind errors.
+        let outputs = server.handle(
+            Some("alice"),
+            XgspMessage::MediaControl {
+                session,
+                user: "alice".into(),
+                op: MediaOp::Mute,
+                kind: "holograms".into(),
+            },
+        );
+        assert!(matches!(
+            &outputs[0],
+            ServerOutput::Reply(XgspMessage::Error { code, .. }) if code == "bad-media"
+        ));
+    }
+}

@@ -1,0 +1,431 @@
+//! Conference (session) state.
+//!
+//! A [`Session`] is one meeting: its mode, life-cycle state, members
+//! (each bound to a media terminal, per the paper's user/terminal
+//! directory design), the media streams it carries with their broker
+//! topics, and the floor.
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+use mmcs_util::id::{SessionId, StreamId, TerminalId};
+
+use crate::floor::Floor;
+use crate::media::{MediaDescription, MediaKind};
+
+/// Life-cycle of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Created, no members yet.
+    Created,
+    /// At least one member present.
+    Active,
+    /// Terminated; rejects all operations.
+    Terminated,
+}
+
+/// A member's role in a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Convener; may grant the floor and terminate the session.
+    Chair,
+    /// Ordinary participant.
+    Participant,
+}
+
+/// One member of a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Member {
+    /// Directory user name.
+    pub user: String,
+    /// The terminal they joined with.
+    pub terminal: TerminalId,
+    /// Chair or participant.
+    pub role: Role,
+    /// Media the member's terminal offers.
+    pub media: Vec<MediaDescription>,
+    /// Whether each kind is currently muted (`true` = not sending).
+    pub muted_audio: bool,
+    /// Whether video sending is muted.
+    pub muted_video: bool,
+}
+
+/// One media stream the session carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MediaStream {
+    /// Stream id within the session.
+    pub id: StreamId,
+    /// Audio/video/application.
+    pub kind: MediaKind,
+    /// The broker topic carrying it.
+    pub topic: String,
+}
+
+/// Error from session operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The session is terminated.
+    Terminated,
+    /// The user is already a member.
+    AlreadyMember(String),
+    /// The user is not a member.
+    NotMember(String),
+    /// The operation requires the chair role.
+    NotChair(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Terminated => write!(f, "session is terminated"),
+            SessionError::AlreadyMember(u) => write!(f, "user {u} is already a member"),
+            SessionError::NotMember(u) => write!(f, "user {u} is not a member"),
+            SessionError::NotChair(u) => write!(f, "user {u} is not the chair"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// One meeting's full state. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Session {
+    id: SessionId,
+    name: String,
+    state: SessionState,
+    /// BTreeMap so iteration (and thus notification order) is stable.
+    members: BTreeMap<String, Member>,
+    streams: Vec<MediaStream>,
+    floor: Floor,
+    next_stream: u64,
+}
+
+impl Session {
+    /// Creates a session carrying the given media kinds; topics follow
+    /// the `globalmmcs/session-<id>/<kind>` convention.
+    pub fn new(id: SessionId, name: impl Into<String>, media: &[MediaDescription]) -> Self {
+        let mut session = Self {
+            id,
+            name: name.into(),
+            state: SessionState::Created,
+            members: BTreeMap::new(),
+            streams: Vec::new(),
+            floor: Floor::new(),
+            next_stream: 1,
+        };
+        for m in media {
+            session.add_stream(m.kind);
+        }
+        session
+    }
+
+    /// The session id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The session name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current life-cycle state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// The floor state machine.
+    pub fn floor(&self) -> &Floor {
+        &self.floor
+    }
+
+    /// Mutable access to the floor (used by the session server).
+    pub fn floor_mut(&mut self) -> &mut Floor {
+        &mut self.floor
+    }
+
+    /// The media streams this session carries.
+    pub fn streams(&self) -> &[MediaStream] {
+        &self.streams
+    }
+
+    /// The topic for a media kind, if the session carries one.
+    pub fn topic_for(&self, kind: MediaKind) -> Option<&str> {
+        self.streams
+            .iter()
+            .find(|s| s.kind == kind)
+            .map(|s| s.topic.as_str())
+    }
+
+    /// Adds a stream of the given kind (idempotent per kind) and returns
+    /// its topic.
+    pub fn add_stream(&mut self, kind: MediaKind) -> &str {
+        if let Some(pos) = self.streams.iter().position(|s| s.kind == kind) {
+            return &self.streams[pos].topic;
+        }
+        let id = StreamId::from_raw(self.next_stream);
+        self.next_stream += 1;
+        let topic = format!("globalmmcs/session-{}/{}", self.id.value(), kind.as_str());
+        self.streams.push(MediaStream { id, kind, topic });
+        &self.streams.last().expect("just pushed").topic
+    }
+
+    /// Members in stable (name) order.
+    pub fn members(&self) -> impl Iterator<Item = &Member> {
+        self.members.values()
+    }
+
+    /// Number of members.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Looks up one member.
+    pub fn member(&self, user: &str) -> Option<&Member> {
+        self.members.get(user)
+    }
+
+    /// Adds a member; the first joiner becomes chair. Returns the topics
+    /// (kind, topic) for the media the member offered and the session
+    /// carries.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Terminated`] or [`SessionError::AlreadyMember`].
+    pub fn join(
+        &mut self,
+        user: impl Into<String>,
+        terminal: TerminalId,
+        media: Vec<MediaDescription>,
+    ) -> Result<Vec<(String, String)>, SessionError> {
+        if self.state == SessionState::Terminated {
+            return Err(SessionError::Terminated);
+        }
+        let user = user.into();
+        if self.members.contains_key(&user) {
+            return Err(SessionError::AlreadyMember(user));
+        }
+        let role = if self.members.is_empty() {
+            Role::Chair
+        } else {
+            Role::Participant
+        };
+        // The session carries any media kind some member offers.
+        let mut topics = Vec::new();
+        for m in &media {
+            let topic = self.add_stream(m.kind).to_owned();
+            topics.push((m.kind.as_str().to_owned(), topic));
+        }
+        self.members.insert(
+            user.clone(),
+            Member {
+                user,
+                terminal,
+                role,
+                media,
+                muted_audio: false,
+                muted_video: false,
+            },
+        );
+        self.state = SessionState::Active;
+        Ok(topics)
+    }
+
+    /// Removes a member; frees the floor if they held it. The chair role
+    /// passes to the (alphabetically) first remaining member.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NotMember`] if they were not present.
+    pub fn leave(&mut self, user: &str) -> Result<(), SessionError> {
+        if self.members.remove(user).is_none() {
+            return Err(SessionError::NotMember(user.to_owned()));
+        }
+        self.floor.remove_member(user);
+        if !self.members.values().any(|m| m.role == Role::Chair) {
+            if let Some(first) = self.members.values_mut().next() {
+                first.role = Role::Chair;
+            }
+        }
+        Ok(())
+    }
+
+    /// The chair's user name, if the session has members.
+    pub fn chair(&self) -> Option<&str> {
+        self.members
+            .values()
+            .find(|m| m.role == Role::Chair)
+            .map(|m| m.user.as_str())
+    }
+
+    /// Sets a member's mute state for a media kind.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NotMember`] for unknown members.
+    pub fn set_muted(&mut self, user: &str, kind: MediaKind, muted: bool) -> Result<(), SessionError> {
+        let member = self
+            .members
+            .get_mut(user)
+            .ok_or_else(|| SessionError::NotMember(user.to_owned()))?;
+        match kind {
+            MediaKind::Audio => member.muted_audio = muted,
+            MediaKind::Video => member.muted_video = muted,
+            MediaKind::Application => {}
+        }
+        Ok(())
+    }
+
+    /// Terminates the session; only the chair (or the server itself, by
+    /// passing `None`) may do so.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NotChair`] when a non-chair member tries.
+    pub fn terminate(&mut self, by: Option<&str>) -> Result<(), SessionError> {
+        if let Some(user) = by {
+            if self.chair() != Some(user) {
+                return Err(SessionError::NotChair(user.to_owned()));
+            }
+        }
+        self.state = SessionState::Terminated;
+        self.members.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media::MediaKind;
+
+    fn audio_video() -> Vec<MediaDescription> {
+        vec![
+            MediaDescription::new(MediaKind::Audio, "PCMU"),
+            MediaDescription::new(MediaKind::Video, "H263"),
+        ]
+    }
+
+    fn session() -> Session {
+        Session::new(SessionId::from_raw(7), "standup", &audio_video())
+    }
+
+    #[test]
+    fn topics_follow_convention() {
+        let s = session();
+        assert_eq!(
+            s.topic_for(MediaKind::Audio),
+            Some("globalmmcs/session-7/audio")
+        );
+        assert_eq!(
+            s.topic_for(MediaKind::Video),
+            Some("globalmmcs/session-7/video")
+        );
+        assert_eq!(s.topic_for(MediaKind::Application), None);
+        assert_eq!(s.state(), SessionState::Created);
+    }
+
+    #[test]
+    fn first_joiner_is_chair() {
+        let mut s = session();
+        let topics = s
+            .join("alice", TerminalId::from_raw(1), audio_video())
+            .unwrap();
+        assert_eq!(topics.len(), 2);
+        assert_eq!(s.chair(), Some("alice"));
+        assert_eq!(s.state(), SessionState::Active);
+        s.join("bob", TerminalId::from_raw(2), vec![]).unwrap();
+        assert_eq!(s.member("bob").unwrap().role, Role::Participant);
+        assert_eq!(s.member_count(), 2);
+    }
+
+    #[test]
+    fn double_join_errors() {
+        let mut s = session();
+        s.join("alice", TerminalId::from_raw(1), vec![]).unwrap();
+        assert_eq!(
+            s.join("alice", TerminalId::from_raw(2), vec![]),
+            Err(SessionError::AlreadyMember("alice".into()))
+        );
+    }
+
+    #[test]
+    fn join_adds_new_stream_kinds() {
+        let mut s = Session::new(SessionId::from_raw(1), "audio only", &[
+            MediaDescription::new(MediaKind::Audio, "PCMU"),
+        ]);
+        assert_eq!(s.streams().len(), 1);
+        s.join(
+            "alice",
+            TerminalId::from_raw(1),
+            vec![MediaDescription::new(MediaKind::Video, "H261")],
+        )
+        .unwrap();
+        assert_eq!(s.streams().len(), 2);
+        assert!(s.topic_for(MediaKind::Video).is_some());
+    }
+
+    #[test]
+    fn chair_passes_on_leave() {
+        let mut s = session();
+        s.join("alice", TerminalId::from_raw(1), vec![]).unwrap();
+        s.join("bob", TerminalId::from_raw(2), vec![]).unwrap();
+        s.leave("alice").unwrap();
+        assert_eq!(s.chair(), Some("bob"));
+        assert_eq!(
+            s.leave("alice"),
+            Err(SessionError::NotMember("alice".into()))
+        );
+    }
+
+    #[test]
+    fn leaving_holder_frees_floor() {
+        let mut s = session();
+        s.join("alice", TerminalId::from_raw(1), vec![]).unwrap();
+        s.join("bob", TerminalId::from_raw(2), vec![]).unwrap();
+        s.floor_mut().request("bob".into());
+        s.floor_mut().grant_next();
+        s.leave("bob").unwrap();
+        assert_eq!(s.floor().holder(), None);
+    }
+
+    #[test]
+    fn mute_state_tracks_per_kind() {
+        let mut s = session();
+        s.join("alice", TerminalId::from_raw(1), audio_video())
+            .unwrap();
+        s.set_muted("alice", MediaKind::Audio, true).unwrap();
+        assert!(s.member("alice").unwrap().muted_audio);
+        assert!(!s.member("alice").unwrap().muted_video);
+        assert_eq!(
+            s.set_muted("nobody", MediaKind::Audio, true),
+            Err(SessionError::NotMember("nobody".into()))
+        );
+    }
+
+    #[test]
+    fn terminate_rules() {
+        let mut s = session();
+        s.join("alice", TerminalId::from_raw(1), vec![]).unwrap();
+        s.join("bob", TerminalId::from_raw(2), vec![]).unwrap();
+        assert_eq!(
+            s.terminate(Some("bob")),
+            Err(SessionError::NotChair("bob".into()))
+        );
+        s.terminate(Some("alice")).unwrap();
+        assert_eq!(s.state(), SessionState::Terminated);
+        assert_eq!(
+            s.join("carol", TerminalId::from_raw(3), vec![]),
+            Err(SessionError::Terminated)
+        );
+    }
+
+    #[test]
+    fn server_can_terminate_without_chair() {
+        let mut s = session();
+        s.join("alice", TerminalId::from_raw(1), vec![]).unwrap();
+        s.terminate(None).unwrap();
+        assert_eq!(s.state(), SessionState::Terminated);
+        assert_eq!(s.member_count(), 0);
+    }
+}

@@ -1,0 +1,314 @@
+//! WSDL-CI — the WSDL Collaboration Interface.
+//!
+//! WSDL-CI "gives an interface definition of any collaboration server"
+//! (§2.2): a third-party MCU, the Admire conference server, a streaming
+//! server — anything the XGSP session server should be able to schedule
+//! into a meeting. The trait below is that interface; the descriptor
+//! renders as a (simplified) WSDL document so communities can publish
+//! their services, and the session server only ever talks to a
+//! `dyn CollaborationServer`.
+
+use core::fmt;
+
+use mmcs_util::id::{SessionId, TerminalId};
+use mmcs_util::xml::Element;
+
+/// One operation a collaboration server exposes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationDescriptor {
+    /// Operation name (`establishSession`, `addMember`, …).
+    pub name: String,
+    /// Input message part names.
+    pub inputs: Vec<String>,
+    /// Output message part names.
+    pub outputs: Vec<String>,
+}
+
+/// The self-description a collaboration server publishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDescriptor {
+    /// Service name (`AdmireConferenceService`).
+    pub service: String,
+    /// The community operating it (`admire.cn`, `h323.example`).
+    pub community: String,
+    /// The endpoint URL the SOAP binding targets.
+    pub endpoint: String,
+    /// Operations beyond the mandatory session ones.
+    pub operations: Vec<OperationDescriptor>,
+}
+
+impl ServiceDescriptor {
+    /// The operations every WSDL-CI service must implement.
+    pub fn mandatory_operations() -> Vec<OperationDescriptor> {
+        [
+            ("establishSession", vec!["sessionId", "name"], vec!["status"]),
+            (
+                "addMember",
+                vec!["sessionId", "user", "terminal"],
+                vec!["status"],
+            ),
+            ("removeMember", vec!["sessionId", "user"], vec!["status"]),
+            ("control", vec!["sessionId", "operation", "args"], vec!["result"]),
+            ("teardownSession", vec!["sessionId"], vec!["status"]),
+        ]
+        .into_iter()
+        .map(|(name, inputs, outputs)| OperationDescriptor {
+            name: name.to_owned(),
+            inputs: inputs.into_iter().map(str::to_owned).collect(),
+            outputs: outputs.into_iter().map(str::to_owned).collect(),
+        })
+        .collect()
+    }
+
+    /// Renders a simplified WSDL document for this service (definitions,
+    /// portType with one operation element each, service/port with the
+    /// SOAP address).
+    pub fn to_wsdl(&self) -> Element {
+        let mut port_type = Element::new("wsdl:portType")
+            .with_attr("name", format!("{}PortType", self.service));
+        for op in Self::mandatory_operations().iter().chain(&self.operations) {
+            let mut op_el = Element::new("wsdl:operation").with_attr("name", &op.name);
+            op_el.push_child(
+                Element::new("wsdl:input").with_attr("message", op.inputs.join(" ")),
+            );
+            op_el.push_child(
+                Element::new("wsdl:output").with_attr("message", op.outputs.join(" ")),
+            );
+            port_type.push_child(op_el);
+        }
+        let service = Element::new("wsdl:service")
+            .with_attr("name", &self.service)
+            .with_child(
+                Element::new("wsdl:port")
+                    .with_attr("name", format!("{}Port", self.service))
+                    .with_child(Element::new("soap:address").with_attr("location", &self.endpoint)),
+            );
+        Element::new("wsdl:definitions")
+            .with_attr("name", &self.service)
+            .with_attr("targetNamespace", format!("urn:globalmmcs:{}", self.community))
+            .with_child(port_type)
+            .with_child(service)
+    }
+}
+
+/// Error from a collaboration server operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CiError {
+    /// The server does not know this session.
+    UnknownSession(SessionId),
+    /// The member is unknown within that session.
+    UnknownMember(String),
+    /// The control operation is unsupported.
+    UnsupportedOperation(String),
+    /// The server refused the request (community-specific reason).
+    Refused(String),
+}
+
+impl fmt::Display for CiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CiError::UnknownSession(s) => write!(f, "unknown session {s}"),
+            CiError::UnknownMember(u) => write!(f, "unknown member {u}"),
+            CiError::UnsupportedOperation(op) => write!(f, "unsupported operation {op:?}"),
+            CiError::Refused(why) => write!(f, "refused: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CiError {}
+
+/// The WSDL-CI contract every schedulable collaboration server
+/// implements. Object-safe: the session server holds
+/// `Box<dyn CollaborationServer>` per community.
+pub trait CollaborationServer {
+    /// The service's self-description.
+    fn descriptor(&self) -> ServiceDescriptor;
+
+    /// Mirror an XGSP session into this community.
+    ///
+    /// # Errors
+    ///
+    /// [`CiError::Refused`] when the community cannot host the session.
+    fn establish_session(&mut self, session: SessionId, name: &str) -> Result<(), CiError>;
+
+    /// Add a member (already joined on the XGSP side) to the mirrored
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// [`CiError::UnknownSession`] when the session was never established.
+    fn add_member(
+        &mut self,
+        session: SessionId,
+        user: &str,
+        terminal: TerminalId,
+    ) -> Result<(), CiError>;
+
+    /// Remove a member.
+    ///
+    /// # Errors
+    ///
+    /// [`CiError::UnknownSession`] / [`CiError::UnknownMember`].
+    fn remove_member(&mut self, session: SessionId, user: &str) -> Result<(), CiError>;
+
+    /// Community-specific control (e.g. `"rendezvous"` for Admire,
+    /// `"selectVideo"` for an MCU). Arguments and results are string
+    /// pairs, as the SOAP binding carries them.
+    ///
+    /// # Errors
+    ///
+    /// [`CiError::UnsupportedOperation`] for unknown operations.
+    fn control(
+        &mut self,
+        session: SessionId,
+        operation: &str,
+        args: &[(String, String)],
+    ) -> Result<Vec<(String, String)>, CiError>;
+
+    /// Tear the mirrored session down.
+    ///
+    /// # Errors
+    ///
+    /// [`CiError::UnknownSession`] when the session was never established.
+    fn teardown_session(&mut self, session: SessionId) -> Result<(), CiError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A minimal in-memory WSDL-CI implementation for trait-level tests.
+    #[derive(Default)]
+    struct FakeMcu {
+        sessions: HashMap<SessionId, Vec<String>>,
+    }
+
+    impl CollaborationServer for FakeMcu {
+        fn descriptor(&self) -> ServiceDescriptor {
+            ServiceDescriptor {
+                service: "FakeMcu".into(),
+                community: "test".into(),
+                endpoint: "http://mcu.test/soap".into(),
+                operations: vec![OperationDescriptor {
+                    name: "selectVideo".into(),
+                    inputs: vec!["sessionId".into(), "user".into()],
+                    outputs: vec!["status".into()],
+                }],
+            }
+        }
+
+        fn establish_session(&mut self, session: SessionId, _name: &str) -> Result<(), CiError> {
+            self.sessions.insert(session, Vec::new());
+            Ok(())
+        }
+
+        fn add_member(
+            &mut self,
+            session: SessionId,
+            user: &str,
+            _terminal: TerminalId,
+        ) -> Result<(), CiError> {
+            self.sessions
+                .get_mut(&session)
+                .ok_or(CiError::UnknownSession(session))?
+                .push(user.to_owned());
+            Ok(())
+        }
+
+        fn remove_member(&mut self, session: SessionId, user: &str) -> Result<(), CiError> {
+            let members = self
+                .sessions
+                .get_mut(&session)
+                .ok_or(CiError::UnknownSession(session))?;
+            let pos = members
+                .iter()
+                .position(|m| m == user)
+                .ok_or_else(|| CiError::UnknownMember(user.to_owned()))?;
+            members.remove(pos);
+            Ok(())
+        }
+
+        fn control(
+            &mut self,
+            _session: SessionId,
+            operation: &str,
+            _args: &[(String, String)],
+        ) -> Result<Vec<(String, String)>, CiError> {
+            if operation == "selectVideo" {
+                Ok(vec![("status".into(), "ok".into())])
+            } else {
+                Err(CiError::UnsupportedOperation(operation.to_owned()))
+            }
+        }
+
+        fn teardown_session(&mut self, session: SessionId) -> Result<(), CiError> {
+            self.sessions
+                .remove(&session)
+                .map(|_| ())
+                .ok_or(CiError::UnknownSession(session))
+        }
+    }
+
+    #[test]
+    fn mandatory_operations_are_complete() {
+        let names: Vec<String> = ServiceDescriptor::mandatory_operations()
+            .into_iter()
+            .map(|o| o.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "establishSession",
+                "addMember",
+                "removeMember",
+                "control",
+                "teardownSession"
+            ]
+        );
+    }
+
+    #[test]
+    fn wsdl_document_structure() {
+        let mcu = FakeMcu::default();
+        let wsdl = mcu.descriptor().to_wsdl();
+        assert_eq!(wsdl.name(), "wsdl:definitions");
+        let port_type = wsdl.child("wsdl:portType").unwrap();
+        // 5 mandatory + 1 extra operation.
+        assert_eq!(port_type.children_named("wsdl:operation").count(), 6);
+        let address = wsdl
+            .child("wsdl:service")
+            .and_then(|s| s.child("wsdl:port"))
+            .and_then(|p| p.child("soap:address"))
+            .unwrap();
+        assert_eq!(address.attr("location"), Some("http://mcu.test/soap"));
+        // The document parses back.
+        let reparsed = Element::parse(&wsdl.to_document()).unwrap();
+        assert_eq!(reparsed, wsdl);
+    }
+
+    #[test]
+    fn trait_object_lifecycle() {
+        let mut server: Box<dyn CollaborationServer> = Box::<FakeMcu>::default();
+        let session = SessionId::from_raw(4);
+        server.establish_session(session, "demo").unwrap();
+        server
+            .add_member(session, "alice", TerminalId::from_raw(1))
+            .unwrap();
+        assert_eq!(
+            server.remove_member(session, "bob"),
+            Err(CiError::UnknownMember("bob".into()))
+        );
+        let result = server.control(session, "selectVideo", &[]).unwrap();
+        assert_eq!(result[0].1, "ok");
+        assert_eq!(
+            server.control(session, "levitate", &[]),
+            Err(CiError::UnsupportedOperation("levitate".into()))
+        );
+        server.teardown_session(session).unwrap();
+        assert_eq!(
+            server.teardown_session(session),
+            Err(CiError::UnknownSession(session))
+        );
+    }
+}

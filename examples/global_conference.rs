@@ -1,0 +1,112 @@
+//! The paper's flagship scenario: one conference spanning three
+//! heterogeneous communities — a SIP endpoint, an H.323 terminal (via
+//! gatekeeper + gateway) and the Admire community in China (via the
+//! SOAP rendezvous flow) — with floor control over XGSP.
+//!
+//! Run with: `cargo run --example global_conference`
+
+use mmcs::admire::service::AdmireService;
+use mmcs::global_mmcs::bridge::CommunityBridge;
+use mmcs::global_mmcs::system::GlobalMmcs;
+use mmcs::h323::endpoint::{EndpointState, H323Endpoint};
+use mmcs::h323::msg::H323Message;
+use mmcs::sip::message::{SipMessage, SipMethod};
+use mmcs::xgsp::message::{FloorOp, XgspMessage};
+use mmcs_util::id::TerminalId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mmcs = GlobalMmcs::new();
+
+    // --- A SIP user calls the conference factory URI. ---------------
+    let invite = SipMessage::request(SipMethod::Invite, "sip:new-conf@mmcs.example")
+        .with_header("Via", "SIP/2.0/UDP alice-ua;branch=z9hG4bK1")
+        .with_header("From", "<sip:alice@example.org>;tag=1")
+        .with_header("To", "<sip:new-conf@mmcs.example>")
+        .with_header("Call-ID", "call-alice")
+        .with_header("CSeq", "1 INVITE");
+    let replies = mmcs.handle_sip(&invite);
+    assert_eq!(replies[0].status(), Some(200));
+    let session = mmcs
+        .session_server()
+        .session_ids()
+        .next()
+        .expect("conference exists");
+    println!(
+        "SIP: alice created and joined {session} (SDP answer targets {})",
+        replies[0].body.lines().nth(3).unwrap_or("")
+    );
+
+    // --- An H.323 terminal walks the full RAS/Q.931/H.245 ladder. ---
+    let mut h323 = H323Endpoint::new("bob-h323");
+    let mut queue = vec![h323.start()];
+    let mut admitted = false;
+    while let Some(message) = queue.pop() {
+        for reply in mmcs.handle_h323(&message) {
+            queue.extend(h323.on_message(&reply));
+        }
+        if h323.state() == EndpointState::Registered && !admitted {
+            admitted = true;
+            queue.push(h323.place_call(&format!("conf-{}", session.value()), 6400));
+        }
+    }
+    assert_eq!(h323.state(), EndpointState::InCall);
+    println!(
+        "H.323: bob is in-call; media redirected to {}",
+        h323.media_address().unwrap_or("?")
+    );
+    assert_eq!(
+        mmcs.session_server().session(session).unwrap().member_count(),
+        2
+    );
+
+    // --- The Admire community bridges in over SOAP. ------------------
+    let mut bridge = CommunityBridge::new(
+        "admire.cn",
+        Box::new(AdmireService::new("admire.cn", "rdv.admire.cn")),
+        "rdv.mmcs.example:8000",
+    );
+    let remote = bridge.bridge_session(session, "US–China joint seminar")?;
+    bridge.mirror_join(session, "prof-li", TerminalId::from_raw(7))?;
+    println!("Admire: bridged; RTP agents at rdv.mmcs.example:8000 <-> {remote}");
+
+    // --- Floor control across the federation. ------------------------
+    let outputs = mmcs.handle_xgsp(
+        Some("sip:alice@example.org"),
+        XgspMessage::Floor {
+            session,
+            op: FloorOp::Request,
+            user: "sip:alice@example.org".into(),
+        },
+    );
+    println!(
+        "XGSP: floor request produced {} notifications; holder = {:?}",
+        outputs.len(),
+        mmcs.session_server()
+            .session(session)
+            .unwrap()
+            .floor()
+            .holder()
+    );
+    assert_eq!(
+        mmcs.session_server()
+            .session(session)
+            .unwrap()
+            .floor()
+            .holder(),
+        Some("sip:alice@example.org")
+    );
+
+    // --- Teardown: the H.323 side hangs up. ---------------------------
+    for message in h323.hang_up() {
+        if let H323Message::Ras(_) | H323Message::Q931(_) = message {
+            mmcs.handle_h323(&message);
+        }
+    }
+    assert_eq!(
+        mmcs.session_server().session(session).unwrap().member_count(),
+        1
+    );
+    bridge.unbridge_session(session)?;
+    println!("teardown complete; global conference OK");
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Scheduled mode end to end: reserve a virtual room over the web
+//! services, let the calendar open the meeting at its start time, join
+//! participants over SOAP, and stream/archive the seminar — the paper's
+//! "formal and large scale collaborations" flow (§2.1).
+//!
+//! Run with: `cargo run --example scheduled_seminar`
+
+use mmcs::global_mmcs::web::XgspWebServer;
+use mmcs::soap::service::SoapClient;
+use mmcs_util::time::SimTime;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let web = XgspWebServer::new();
+    let mut soap = web.soap_server();
+
+    // 1. The organizer books the room for 10:00, one hour.
+    let response = soap.handle(&SoapClient::request(
+        "schedule",
+        &[
+            ("room", "auditorium"),
+            ("organizer", "gcf"),
+            ("title", "Global-MMCS seminar"),
+            ("startSecs", "36000"), // 10:00
+            ("durationSecs", "3600"),
+            ("invitees", "wu,uyar,bulut,pallickara"),
+        ],
+    ));
+    let reservation = SoapClient::decode_response("schedule", &response)?;
+    println!("booked reservation {}", reservation[0].1);
+
+    // 2. A conflicting booking is refused.
+    let response = soap.handle(&SoapClient::request(
+        "schedule",
+        &[
+            ("room", "auditorium"),
+            ("organizer", "someone-else"),
+            ("title", "clashing meeting"),
+            ("startSecs", "37800"),
+            ("durationSecs", "3600"),
+        ],
+    ));
+    match SoapClient::decode_response("schedule", &response) {
+        Err(fault) => println!("conflicting booking refused: {}", fault.reason),
+        Ok(_) => panic!("conflict should have been refused"),
+    }
+
+    // 3. Nothing opens before time…
+    assert!(web.open_due_meetings(SimTime::from_secs(35_999)).is_empty());
+    // …and at 10:00 the calendar opens the session, chaired by gcf.
+    let opened = web.open_due_meetings(SimTime::from_secs(36_000));
+    let session = opened[0];
+    println!("meeting opened at 10:00 as {session}");
+
+    // 4. Invitees join over the same web service.
+    let session_id = session.value().to_string();
+    for user in ["wu", "uyar", "bulut", "pallickara"] {
+        let response = soap.handle(&SoapClient::request(
+            "join",
+            &[("sessionId", &session_id), ("user", user), ("terminal", "1")],
+        ));
+        let topics = SoapClient::decode_response("join", &response)?;
+        println!(
+            "  {user} joined; audio topic {}",
+            topics
+                .iter()
+                .find(|(k, _)| k == "topic-audio")
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("?")
+        );
+    }
+    {
+        let state = web.state();
+        let state = state.borrow();
+        let meeting = state.sessions.session(session).unwrap();
+        assert_eq!(meeting.member_count(), 5);
+        assert_eq!(meeting.chair(), Some("gcf"));
+        println!(
+            "session {} has {} members, chaired by {}",
+            session,
+            meeting.member_count(),
+            meeting.chair().unwrap()
+        );
+    }
+
+    // 5. The organizer ends the seminar.
+    let response = soap.handle(&SoapClient::request(
+        "terminate",
+        &[("sessionId", &session_id), ("user", "gcf")],
+    ));
+    SoapClient::decode_response("terminate", &response)?;
+    assert_eq!(web.state().borrow().sessions.session_count(), 0);
+    println!("seminar terminated; scheduled flow OK");
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Workspace facade for the Global-MMCS reproduction.
+//!
+//! Re-exports every crate in the workspace so the examples and integration
+//! tests under the repository root can use a single dependency. Library
+//! users should depend on the individual crates (most importantly
+//! [`global_mmcs`]) directly.
+
+pub use global_mmcs;
+pub use mmcs_admire as admire;
+pub use mmcs_broker as broker;
+pub use mmcs_directory as directory;
+pub use mmcs_h323 as h323;
+pub use mmcs_im as im;
+pub use mmcs_jmf as jmf;
+pub use mmcs_rtp as rtp;
+pub use mmcs_sim as sim;
+pub use mmcs_sip as sip;
+pub use mmcs_soap as soap;
+pub use mmcs_streaming as streaming;
+pub use mmcs_util as util;
+pub use mmcs_xgsp as xgsp;

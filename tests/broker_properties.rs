@@ -1,0 +1,180 @@
+//! Property tests on the broker network's core invariant: on any tree of
+//! brokers with any placement of subscribers, a published event is
+//! delivered exactly once to every matching subscriber and to no one
+//! else — plus invariants for the trie and the interest protocol.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use mmcs::broker::network::BrokerNetwork;
+use mmcs::broker::topic::{SubscriptionTable, Topic, TopicFilter};
+use mmcs_util::id::ClientId;
+
+/// Strategy: a topic from a small alphabet, 1–4 segments deep.
+fn topic_strategy() -> impl Strategy<Value = Topic> {
+    prop::collection::vec(prop::sample::select(vec!["a", "b", "c"]), 1..=4)
+        .prop_map(|segments| Topic::from_segments(segments))
+}
+
+/// Strategy: a filter from the same alphabet with wildcards.
+fn filter_strategy() -> impl Strategy<Value = TopicFilter> {
+    (
+        prop::collection::vec(prop::sample::select(vec!["a", "b", "c", "*"]), 1..=4),
+        any::<bool>(),
+    )
+        .prop_map(|(mut segments, tail)| {
+            if tail {
+                segments.push("#");
+            }
+            TopicFilter::parse(&segments.join("/")).expect("valid filter")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exactly-once delivery on a random tree with random subscriptions.
+    #[test]
+    fn exactly_once_delivery_on_random_trees(
+        broker_count in 1usize..6,
+        parents in prop::collection::vec(any::<u16>(), 5),
+        subscriptions in prop::collection::vec((0usize..8, filter_strategy()), 0..12),
+        publishes in prop::collection::vec(topic_strategy(), 1..6),
+    ) {
+        let mut net = BrokerNetwork::new();
+        let brokers: Vec<_> = (0..broker_count).map(|_| net.add_broker()).collect();
+        // Random tree: each broker i>0 links to a random earlier broker.
+        for i in 1..broker_count {
+            let parent = brokers[parents[i - 1] as usize % i];
+            net.link(brokers[i], parent).expect("tree link");
+        }
+        // 8 clients spread round-robin across brokers.
+        let clients: Vec<ClientId> = (0..8)
+            .map(|i| net.attach_client(brokers[i % broker_count]))
+            .collect();
+        let mut expected: Vec<(ClientId, TopicFilter)> = Vec::new();
+        for (client_index, filter) in &subscriptions {
+            let client = clients[*client_index];
+            net.subscribe(client, filter.clone()).expect("subscribe");
+            expected.push((client, filter.clone()));
+        }
+        let publisher = clients[0];
+
+        for topic in &publishes {
+            net.publish(publisher, topic.clone(), Bytes::from_static(b"x"));
+            let mut delivered: Vec<ClientId> =
+                net.drain_deliveries().into_iter().map(|d| d.client).collect();
+            delivered.sort_unstable();
+            let mut should: Vec<ClientId> = expected
+                .iter()
+                .filter(|(_, f)| f.matches(topic))
+                .map(|(c, _)| *c)
+                .collect();
+            should.sort_unstable();
+            should.dedup();
+            prop_assert_eq!(delivered, should, "topic {}", topic);
+        }
+    }
+
+    /// Trie matching agrees with direct filter matching for arbitrary
+    /// filter sets.
+    #[test]
+    fn trie_agrees_with_oracle(
+        filters in prop::collection::vec(filter_strategy(), 0..20),
+        topics in prop::collection::vec(topic_strategy(), 1..10),
+    ) {
+        let mut table: SubscriptionTable<usize> = SubscriptionTable::new();
+        for (id, filter) in filters.iter().enumerate() {
+            table.subscribe(filter, id);
+        }
+        for topic in &topics {
+            let mut actual = table.matches(topic);
+            actual.sort_unstable();
+            let mut expected: Vec<usize> = filters
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.matches(topic))
+                .map(|(id, _)| id)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(actual, expected);
+        }
+    }
+
+    /// subscribe then unsubscribe leaves the table exactly as before.
+    #[test]
+    fn unsubscribe_is_inverse_of_subscribe(
+        base in prop::collection::vec(filter_strategy(), 0..8),
+        extra in filter_strategy(),
+        topics in prop::collection::vec(topic_strategy(), 1..8),
+    ) {
+        let mut table: SubscriptionTable<usize> = SubscriptionTable::new();
+        for (id, filter) in base.iter().enumerate() {
+            table.subscribe(filter, id);
+        }
+        let before: Vec<Vec<usize>> = topics.iter().map(|t| {
+            let mut m = table.matches(t);
+            m.sort_unstable();
+            m
+        }).collect();
+        table.subscribe(&extra, 999);
+        table.unsubscribe(&extra, &999);
+        let after: Vec<Vec<usize>> = topics.iter().map(|t| {
+            let mut m = table.matches(t);
+            m.sort_unstable();
+            m
+        }).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Detaching a client is equivalent to never having subscribed it.
+    #[test]
+    fn detach_equals_never_subscribed(
+        filters in prop::collection::vec(filter_strategy(), 1..6),
+        topic in topic_strategy(),
+    ) {
+        // World A: subscribe a victim client, then detach it.
+        let mut a = BrokerNetwork::new();
+        let broker_a = a.add_broker();
+        let publisher_a = a.attach_client(broker_a);
+        let keeper_a = a.attach_client(broker_a);
+        a.subscribe(keeper_a, TopicFilter::parse("#").unwrap()).unwrap();
+        let victim = a.attach_client(broker_a);
+        for filter in &filters {
+            a.subscribe(victim, filter.clone()).unwrap();
+        }
+        a.detach_client(victim).unwrap();
+        a.publish(publisher_a, topic.clone(), Bytes::new());
+        let deliveries_a = a.drain_deliveries().len();
+
+        // World B: the victim never existed.
+        let mut b = BrokerNetwork::new();
+        let broker_b = b.add_broker();
+        let publisher_b = b.attach_client(broker_b);
+        let keeper_b = b.attach_client(broker_b);
+        b.subscribe(keeper_b, TopicFilter::parse("#").unwrap()).unwrap();
+        b.publish(publisher_b, topic, Bytes::new());
+        let deliveries_b = b.drain_deliveries().len();
+
+        prop_assert_eq!(deliveries_a, deliveries_b);
+    }
+}
+
+/// Deterministic (non-proptest) regression: a deep chain still delivers
+/// exactly once end to end.
+#[test]
+fn five_hop_chain_delivers_once() {
+    let mut net = BrokerNetwork::new();
+    let brokers: Vec<_> = (0..5).map(|_| net.add_broker()).collect();
+    for pair in brokers.windows(2) {
+        net.link(pair[0], pair[1]).unwrap();
+    }
+    let publisher = net.attach_client(brokers[0]);
+    let subscriber = net.attach_client(brokers[4]);
+    net.subscribe(subscriber, TopicFilter::parse("deep/#").unwrap())
+        .unwrap();
+    net.publish(publisher, Topic::parse("deep/chain").unwrap(), Bytes::new());
+    let deliveries = net.drain_deliveries();
+    assert_eq!(deliveries.len(), 1);
+    assert_eq!(deliveries[0].client, subscriber);
+}

@@ -1,0 +1,294 @@
+//! Property tests: every codec in the workspace round-trips arbitrary
+//! well-formed values, and rejects (never panics on) arbitrary bytes.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use mmcs::broker::topic::{Topic, TopicFilter};
+use mmcs::h323::codec as h323_codec;
+use mmcs::h323::msg::{Capability, H245Message, H323Message, Q931Message, RasMessage, RejectReason};
+use mmcs::rtp::packet::{RtpHeader, RtpPacket};
+use mmcs::rtp::rtcp::{ReportBlock, RtcpPacket};
+use mmcs::sip::message::{SipMessage, SipMethod};
+use mmcs::sip::sdp::{Sdp, SdpMedia};
+use mmcs::streaming::rtsp::{RtspMethod, RtspRequest};
+use mmcs::util::xml::Element;
+use mmcs::xgsp::media::{MediaDescription, MediaKind};
+use mmcs::xgsp::message::{SessionMode, XgspMessage};
+
+fn token() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9._-]{1,16}"
+}
+
+proptest! {
+    #[test]
+    fn rtp_round_trips(
+        pt in 0u8..128,
+        seq: u16,
+        ts: u32,
+        ssrc: u32,
+        marker: bool,
+        csrc in prop::collection::vec(any::<u32>(), 0..=15),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut header = RtpHeader::new(pt, seq, ts, ssrc);
+        header.marker = marker;
+        header.csrc = csrc;
+        let packet = RtpPacket::new(header, Bytes::from(payload));
+        let wire = packet.encode();
+        prop_assert_eq!(RtpPacket::decode(&wire).unwrap(), packet);
+    }
+
+    #[test]
+    fn rtp_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = RtpPacket::decode(&bytes);
+    }
+
+    #[test]
+    fn rtcp_compound_round_trips(
+        ssrc: u32,
+        blocks in prop::collection::vec(
+            (any::<u32>(), any::<u8>(), 0u32..0x00FF_FFFF, any::<u32>(), any::<u32>()),
+            0..=4,
+        ),
+        cname in "[a-z0-9@.]{1,32}",
+        bye in prop::collection::vec(any::<u32>(), 0..=4),
+    ) {
+        let reports: Vec<ReportBlock> = blocks
+            .iter()
+            .map(|(ssrc, lost, cum, seq, jitter)| ReportBlock {
+                ssrc: *ssrc,
+                fraction_lost: *lost,
+                cumulative_lost: *cum,
+                highest_seq: *seq,
+                jitter: *jitter,
+                last_sr: 0,
+                delay_since_last_sr: 0,
+            })
+            .collect();
+        let packets = vec![
+            RtcpPacket::ReceiverReport { ssrc, reports },
+            RtcpPacket::Sdes { chunks: vec![(ssrc, cname)] },
+            RtcpPacket::Bye { ssrcs: bye },
+        ];
+        let wire = RtcpPacket::encode_compound(&packets);
+        prop_assert_eq!(RtcpPacket::decode_compound(&wire).unwrap(), packets);
+    }
+
+    #[test]
+    fn rtcp_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = RtcpPacket::decode_compound(&bytes);
+    }
+
+    #[test]
+    fn xml_round_trips(
+        name in token(),
+        attrs in prop::collection::vec((token(), "[ -~]{0,24}"), 0..4),
+        texts in prop::collection::vec("[ -~]{1,24}", 0..3),
+        children in prop::collection::vec(token(), 0..4),
+    ) {
+        let mut element = Element::new(name);
+        for (k, v) in attrs {
+            element.set_attr(k, v);
+        }
+        for child in children {
+            element.push_child(Element::new(child));
+        }
+        // Adjacent text nodes merge on reparse (standard XML), so emit a
+        // single substantive text node; whitespace-only runs would be
+        // dropped as formatting.
+        if !texts.is_empty() {
+            element.push_text(format!("x{}", texts.join("")));
+        }
+        let xml = element.to_xml();
+        prop_assert_eq!(Element::parse(&xml).unwrap(), element);
+    }
+
+    #[test]
+    fn xml_parse_never_panics(input in "[ -~]{0,64}") {
+        let _ = Element::parse(&input);
+    }
+
+    #[test]
+    fn sip_round_trips(
+        method_idx in 0usize..9,
+        user in token(),
+        host in token(),
+        headers in prop::collection::vec((token(), "[ -~&&[^\r\n]]{0,32}"), 0..6),
+        body in "[ -~]{0,64}",
+    ) {
+        let methods = [
+            SipMethod::Invite, SipMethod::Ack, SipMethod::Bye, SipMethod::Cancel,
+            SipMethod::Register, SipMethod::Options, SipMethod::Message,
+            SipMethod::Subscribe, SipMethod::Notify,
+        ];
+        let mut message = SipMessage::request(methods[method_idx], format!("sip:{user}@{host}"));
+        for (name, value) in headers {
+            // Content-Length is recomputed on the wire; header values are
+            // trimmed by the parser, so use trimmed inputs.
+            if !name.eq_ignore_ascii_case("content-length") {
+                message.headers.push((name, value.trim().to_owned()));
+            }
+        }
+        message.body = body;
+        let wire = message.to_wire();
+        let parsed = SipMessage::parse(&wire).unwrap();
+        prop_assert_eq!(parsed.method(), message.method());
+        prop_assert_eq!(&parsed.body, &message.body);
+        for (name, value) in &message.headers {
+            prop_assert!(parsed.header_all(name).any(|v| v == value));
+        }
+    }
+
+    #[test]
+    fn sip_parse_never_panics(input in "[ -~\r\n]{0,128}") {
+        let _ = SipMessage::parse(&input);
+    }
+
+    #[test]
+    fn sdp_round_trips(
+        user in token(),
+        addr in token(),
+        media in prop::collection::vec(
+            (prop::sample::select(vec!["audio", "video", "application"]), any::<u16>(),
+             prop::collection::vec(any::<u8>(), 1..4)),
+            0..3,
+        ),
+    ) {
+        let mut sdp = Sdp::new(user, addr);
+        for (kind, port, formats) in media {
+            sdp = sdp.with_media(SdpMedia::new(kind, port, formats));
+        }
+        prop_assert_eq!(Sdp::parse(&sdp.to_wire()).unwrap(), sdp);
+    }
+
+    #[test]
+    fn rtsp_round_trips(
+        method_idx in 0usize..6,
+        path in token(),
+        cseq: u32,
+    ) {
+        let methods = [
+            RtspMethod::Options, RtspMethod::Describe, RtspMethod::Setup,
+            RtspMethod::Play, RtspMethod::Pause, RtspMethod::Teardown,
+        ];
+        let request = RtspRequest::new(methods[method_idx], format!("rtsp://h/{path}"), cseq);
+        prop_assert_eq!(RtspRequest::parse(&request.to_wire()).unwrap(), request);
+    }
+
+    #[test]
+    fn xgsp_round_trips(
+        raw_name in "[ -~&&[^<>&\"']]{0,23}",
+        session in 1u64..10_000,
+        user in token(),
+        adhoc: bool,
+        with_audio: bool,
+        with_video: bool,
+    ) {
+        // Whitespace-only text nodes are XML formatting and would not
+        // round-trip; anchor the name with a non-space character.
+        let name = format!("n{raw_name}");
+        let mut media = Vec::new();
+        if with_audio {
+            media.push(MediaDescription::new(MediaKind::Audio, "PCMU"));
+        }
+        if with_video {
+            media.push(MediaDescription::new(MediaKind::Video, "H263").with_bitrate(600_000));
+        }
+        let messages = vec![
+            XgspMessage::CreateSession {
+                name: name.clone(),
+                mode: if adhoc { SessionMode::AdHoc } else { SessionMode::Scheduled },
+                media: media.clone(),
+            },
+            XgspMessage::Join {
+                session: session.into(),
+                user: user.clone(),
+                terminal: 1.into(),
+                media,
+            },
+            XgspMessage::Leave { session: session.into(), user: user.clone() },
+            XgspMessage::AppData { session: session.into(), user, body: name },
+        ];
+        for message in messages {
+            let xml = message.to_xml();
+            prop_assert_eq!(XgspMessage::parse(&xml).unwrap(), message);
+        }
+    }
+
+    #[test]
+    fn h323_round_trips(
+        alias in token(),
+        dest in token(),
+        endpoint_id: u32,
+        call_reference: u16,
+        bandwidth: u32,
+        channel: u16,
+        sequence: u8,
+        caps in prop::collection::vec((token(), token()), 0..4),
+    ) {
+        let messages = vec![
+            H323Message::Ras(RasMessage::RegistrationRequest {
+                endpoint_alias: alias.clone(),
+                signal_address: dest.clone(),
+            }),
+            H323Message::Ras(RasMessage::AdmissionRequest {
+                endpoint_id,
+                destination: dest.clone(),
+                bandwidth,
+            }),
+            H323Message::Ras(RasMessage::AdmissionReject {
+                reason: RejectReason::InsufficientBandwidth,
+            }),
+            H323Message::Q931(Q931Message::Setup {
+                call_reference,
+                caller: alias,
+                callee: dest,
+            }),
+            H323Message::H245(H245Message::TerminalCapabilitySet {
+                sequence,
+                capabilities: caps
+                    .into_iter()
+                    .map(|(kind, codec)| Capability { kind, codec })
+                    .collect(),
+            }),
+            H323Message::H245(H245Message::OpenLogicalChannelAck {
+                channel,
+                media_address: "rtp:1".into(),
+            }),
+        ];
+        for message in messages {
+            let wire = h323_codec::encode(&message);
+            prop_assert_eq!(h323_codec::decode(&wire).unwrap(), message);
+        }
+    }
+
+    #[test]
+    fn h323_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = h323_codec::decode(&bytes);
+    }
+
+    #[test]
+    fn topic_display_parse_round_trips(segments in prop::collection::vec(token(), 1..5)) {
+        let topic = Topic::from_segments(segments);
+        prop_assert_eq!(Topic::parse(&topic.to_string()).unwrap(), topic);
+    }
+
+    #[test]
+    fn filter_display_parse_round_trips(
+        segments in prop::collection::vec(
+            prop::sample::select(vec!["a".to_owned(), "b".to_owned(), "*".to_owned()]),
+            0..4,
+        ),
+        tail: bool,
+    ) {
+        let mut pattern: Vec<String> = segments;
+        if tail {
+            pattern.push("#".to_owned());
+        }
+        prop_assume!(!pattern.is_empty());
+        let text = pattern.join("/");
+        let filter = TopicFilter::parse(&text).unwrap();
+        prop_assert_eq!(TopicFilter::parse(&filter.to_string()).unwrap(), filter);
+    }
+}

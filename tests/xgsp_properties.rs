@@ -1,0 +1,152 @@
+//! Property tests on the XGSP session server: invariants that must hold
+//! under arbitrary interleavings of create/join/leave/floor/terminate.
+
+use proptest::prelude::*;
+
+use mmcs::xgsp::message::{FloorOp, SessionMode, XgspMessage};
+use mmcs::xgsp::server::{ServerOutput, SessionServer};
+use mmcs_util::id::SessionId;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create,
+    Join(usize, usize),      // user, session slot
+    Leave(usize, usize),
+    FloorRequest(usize, usize),
+    FloorRelease(usize, usize),
+    Terminate(usize, usize), // by user
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        1 => Just(Op::Create),
+        4 => (0usize..5, 0usize..3).prop_map(|(u, s)| Op::Join(u, s)),
+        3 => (0usize..5, 0usize..3).prop_map(|(u, s)| Op::Leave(u, s)),
+        2 => (0usize..5, 0usize..3).prop_map(|(u, s)| Op::FloorRequest(u, s)),
+        2 => (0usize..5, 0usize..3).prop_map(|(u, s)| Op::FloorRelease(u, s)),
+        1 => (0usize..5, 0usize..3).prop_map(|(u, s)| Op::Terminate(u, s)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn session_server_invariants(ops in prop::collection::vec(op_strategy(), 0..80)) {
+        let users = ["u0", "u1", "u2", "u3", "u4"];
+        let mut server = SessionServer::new();
+        let mut created: Vec<SessionId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Create => {
+                    let outputs = server.handle(
+                        None,
+                        XgspMessage::CreateSession {
+                            name: "s".into(),
+                            mode: SessionMode::Scheduled,
+                            media: vec![],
+                        },
+                    );
+                    if let Some(id) = outputs.iter().find_map(|o| match o {
+                        ServerOutput::Reply(XgspMessage::SessionCreated { session, .. }) => {
+                            Some(*session)
+                        }
+                        _ => None,
+                    }) {
+                        created.push(id);
+                    }
+                }
+                Op::Join(u, s) => {
+                    if let Some(&session) = created.get(s) {
+                        let _ = server.handle(
+                            Some(users[u]),
+                            XgspMessage::Join {
+                                session,
+                                user: users[u].into(),
+                                terminal: 1.into(),
+                                media: vec![],
+                            },
+                        );
+                    }
+                }
+                Op::Leave(u, s) => {
+                    if let Some(&session) = created.get(s) {
+                        let _ = server.handle(
+                            Some(users[u]),
+                            XgspMessage::Leave {
+                                session,
+                                user: users[u].into(),
+                            },
+                        );
+                    }
+                }
+                Op::FloorRequest(u, s) => {
+                    if let Some(&session) = created.get(s) {
+                        let _ = server.handle(
+                            Some(users[u]),
+                            XgspMessage::Floor {
+                                session,
+                                op: FloorOp::Request,
+                                user: users[u].into(),
+                            },
+                        );
+                    }
+                }
+                Op::FloorRelease(u, s) => {
+                    if let Some(&session) = created.get(s) {
+                        let _ = server.handle(
+                            Some(users[u]),
+                            XgspMessage::Floor {
+                                session,
+                                op: FloorOp::Release,
+                                user: users[u].into(),
+                            },
+                        );
+                    }
+                }
+                Op::Terminate(u, s) => {
+                    if let Some(&session) = created.get(s) {
+                        let _ = server.handle(
+                            Some(users[u]),
+                            XgspMessage::TerminateSession { session },
+                        );
+                    }
+                }
+            }
+
+            // Invariants across every live session, after every op:
+            for id in server.session_ids().collect::<Vec<_>>() {
+                let session = server.session(id).expect("listed session exists");
+                // 1. A non-empty session always has exactly one chair.
+                if session.member_count() > 0 {
+                    let chairs = session
+                        .members()
+                        .filter(|m| m.role == mmcs::xgsp::session::Role::Chair)
+                        .count();
+                    prop_assert_eq!(chairs, 1, "exactly one chair");
+                    prop_assert!(session.chair().is_some());
+                }
+                // 2. The floor holder, if any, is a member.
+                if let Some(holder) = session.floor().holder() {
+                    prop_assert!(
+                        session.member(holder).is_some(),
+                        "floor holder {} is not a member",
+                        holder
+                    );
+                }
+                // 3. Every queued floor requester is a member.
+                for waiting in session.floor().queue() {
+                    prop_assert!(session.member(waiting).is_some());
+                }
+                // 4. Topics are unique per session.
+                let mut topics: Vec<&str> =
+                    session.streams().iter().map(|s| s.topic.as_str()).collect();
+                let before = topics.len();
+                topics.sort_unstable();
+                topics.dedup();
+                prop_assert_eq!(topics.len(), before, "duplicate topics");
+            }
+        }
+    }
+}
