@@ -8,10 +8,12 @@ use mmcs_bench::fig3::Fig3Config;
 use mmcs_bench::report;
 
 fn main() {
-    let mut config = Fig3Config::default();
     // The batching ablation bites on the CPU side; shorten the run a bit
     // to keep the sweep quick while preserving steady state.
-    config.packets = 1500;
+    let config = Fig3Config {
+        packets: 1500,
+        ..Fig3Config::default()
+    };
 
     eprintln!("ablation A1: batching on/off ({} receivers)", config.receivers);
     let (batched, unbatched) = run_batching_ablation(&config);

@@ -22,7 +22,7 @@ fn bench_topic_matching(c: &mut Criterion) {
             let filter = match i % 4 {
                 0 => format!("session/{}/video", i),
                 1 => format!("session/{}/#", i),
-                2 => format!("session/*/audio"),
+                2 => "session/*/audio".to_string(),
                 _ => format!("session/{}/audio", i),
             };
             table.subscribe(&TopicFilter::parse(&filter).unwrap(), i as u32);
@@ -76,6 +76,139 @@ fn bench_broker_routing(c: &mut Criterion) {
                     event: std::sync::Arc::clone(&event),
                 })
                 .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Builds a broker with `fanout` subscribers on one topic plus an
+/// attached publisher; returns the node, the publisher and a shared
+/// event on that topic.
+fn fanout_node(fanout: usize) -> (BrokerNode, ClientId, std::sync::Arc<Event>) {
+    let mut node = BrokerNode::new(BrokerId::from_raw(1));
+    let topic = Topic::parse("conf/1/video").unwrap();
+    for i in 0..fanout {
+        let client = ClientId::from_raw(i as u64 + 1);
+        node.handle(Input::AttachClient {
+            client,
+            profile: Default::default(),
+        })
+        .unwrap();
+        node.handle(Input::Subscribe {
+            client,
+            filter: TopicFilter::exact(&topic),
+        })
+        .unwrap();
+    }
+    let publisher = ClientId::from_raw(9999);
+    node.handle(Input::AttachClient {
+        client: publisher,
+        profile: Default::default(),
+    })
+    .unwrap();
+    let event = Event::new(
+        topic,
+        publisher,
+        0,
+        EventClass::Rtp,
+        Bytes::from(vec![0u8; 1000]),
+    )
+    .into_shared();
+    (node, publisher, event)
+}
+
+fn bench_route_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_cache");
+    for &fanout in &[10usize, 100, 400] {
+        let (mut node, publisher, event) = fanout_node(fanout);
+        let mut actions = Vec::new();
+        group.throughput(Throughput::Elements(fanout as u64));
+        // Warm path: the memoized plan is valid; publishing is one map
+        // lookup plus appends into the reused buffer — zero allocations.
+        group.bench_function(format!("warm_fanout_{fanout}"), |b| {
+            b.iter(|| {
+                actions.clear();
+                node.handle_into(
+                    Input::Publish {
+                        origin: Origin::Client(publisher),
+                        event: std::sync::Arc::clone(&event),
+                    },
+                    &mut actions,
+                )
+                .unwrap();
+                actions.len()
+            })
+        });
+        // Cold path: an unrelated subscription churns every iteration,
+        // bumping the generation so the plan is rebuilt from the tries.
+        let churner = ClientId::from_raw(88_888);
+        node.handle(Input::AttachClient {
+            client: churner,
+            profile: Default::default(),
+        })
+        .unwrap();
+        let churn_filter = TopicFilter::parse("churn/only").unwrap();
+        group.bench_function(format!("cold_fanout_{fanout}"), |b| {
+            b.iter(|| {
+                node.handle(Input::Subscribe {
+                    client: churner,
+                    filter: churn_filter.clone(),
+                })
+                .unwrap();
+                node.handle(Input::Unsubscribe {
+                    client: churner,
+                    filter: churn_filter.clone(),
+                })
+                .unwrap();
+                actions.clear();
+                node.handle_into(
+                    Input::Publish {
+                        origin: Origin::Client(publisher),
+                        event: std::sync::Arc::clone(&event),
+                    },
+                    &mut actions,
+                )
+                .unwrap();
+                actions.len()
+            })
+        });
+    }
+    // Churn: interleaved subscribe/publish/unsubscribe on the hot topic
+    // itself — the realistic worst case for an invalidating cache.
+    {
+        let (mut node, publisher, event) = fanout_node(100);
+        let late = ClientId::from_raw(77_777);
+        node.handle(Input::AttachClient {
+            client: late,
+            profile: Default::default(),
+        })
+        .unwrap();
+        let hot_filter = TopicFilter::exact(&event.topic);
+        let mut actions = Vec::new();
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("churn_sub_pub_unsub_fanout_100", |b| {
+            b.iter(|| {
+                node.handle(Input::Subscribe {
+                    client: late,
+                    filter: hot_filter.clone(),
+                })
+                .unwrap();
+                actions.clear();
+                node.handle_into(
+                    Input::Publish {
+                        origin: Origin::Client(publisher),
+                        event: std::sync::Arc::clone(&event),
+                    },
+                    &mut actions,
+                )
+                .unwrap();
+                node.handle(Input::Unsubscribe {
+                    client: late,
+                    filter: hot_filter.clone(),
+                })
+                .unwrap();
+                actions.len()
             })
         });
     }
@@ -156,6 +289,6 @@ fn bench_end_to_end_pubsub(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_topic_matching, bench_broker_routing, bench_rtp_codec, bench_xgsp_codec, bench_end_to_end_pubsub
+    targets = bench_topic_matching, bench_broker_routing, bench_route_cache, bench_rtp_codec, bench_xgsp_codec, bench_end_to_end_pubsub
 }
 criterion_main!(micro);

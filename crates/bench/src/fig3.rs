@@ -136,7 +136,11 @@ pub struct SystemResult {
     pub loss_fraction: f64,
 }
 
-fn summarize(per_receiver: Vec<(Vec<f64>, Vec<f64>, u64, f64, f64)>) -> SystemResult {
+/// Per-receiver series: (delay samples, jitter samples, received count,
+/// mean delay ms, final jitter ms).
+type ReceiverSeries = (Vec<f64>, Vec<f64>, u64, f64, f64);
+
+fn summarize(per_receiver: Vec<ReceiverSeries>) -> SystemResult {
     let receivers = per_receiver.len().max(1) as f64;
     let min_len = per_receiver
         .iter()

@@ -74,6 +74,9 @@ pub struct BrokerNetwork {
     client_home: HashMap<ClientId, BrokerId>,
     client_seq: HashMap<ClientId, u64>,
     deliveries: Vec<Delivery>,
+    /// Recycled action buffers, one per level of cascade depth reached so
+    /// far; steady-state dispatch allocates nothing.
+    spare: Vec<Vec<Action>>,
 }
 
 impl BrokerNetwork {
@@ -116,10 +119,8 @@ impl BrokerNetwork {
         if a == b || self.connected(a, b) {
             return Err(NetworkError::WouldCycle(a, b));
         }
-        let actions_a = self.nodes.get_mut(&a).unwrap().handle(Input::LinkUp { peer: b })?;
-        self.execute(a, actions_a);
-        let actions_b = self.nodes.get_mut(&b).unwrap().handle(Input::LinkUp { peer: a })?;
-        self.execute(b, actions_b);
+        self.dispatch(a, Input::LinkUp { peer: b })?;
+        self.dispatch(b, Input::LinkUp { peer: a })?;
         Ok(())
     }
 
@@ -129,18 +130,8 @@ impl BrokerNetwork {
     ///
     /// Returns an error if either side has no such link.
     pub fn unlink(&mut self, a: BrokerId, b: BrokerId) -> Result<(), NetworkError> {
-        let actions_a = self
-            .nodes
-            .get_mut(&a)
-            .ok_or(NetworkError::UnknownBroker(a))?
-            .handle(Input::LinkDown { peer: b })?;
-        self.execute(a, actions_a);
-        let actions_b = self
-            .nodes
-            .get_mut(&b)
-            .ok_or(NetworkError::UnknownBroker(b))?
-            .handle(Input::LinkDown { peer: a })?;
-        self.execute(b, actions_b);
+        self.dispatch(a, Input::LinkDown { peer: b })?;
+        self.dispatch(b, Input::LinkDown { peer: a })?;
         Ok(())
     }
 
@@ -179,12 +170,9 @@ impl BrokerNetwork {
     ///
     /// Panics if `broker` is unknown.
     pub fn attach_client_with(&mut self, broker: BrokerId, profile: TransportProfile) -> ClientId {
+        assert!(self.nodes.contains_key(&broker), "unknown broker {broker}");
         let client = self.client_ids.next();
-        let node = self
-            .nodes
-            .get_mut(&broker)
-            .unwrap_or_else(|| panic!("unknown broker {broker}"));
-        node.handle(Input::AttachClient { client, profile })
+        self.dispatch(broker, Input::AttachClient { client, profile })
             .expect("fresh client id cannot collide");
         self.client_home.insert(client, broker);
         client
@@ -200,12 +188,7 @@ impl BrokerNetwork {
             .client_home
             .remove(&client)
             .ok_or(NetworkError::UnknownClient(client))?;
-        let actions = self
-            .nodes
-            .get_mut(&broker)
-            .expect("client home must exist")
-            .handle(Input::DetachClient { client })?;
-        self.execute(broker, actions);
+        self.dispatch(broker, Input::DetachClient { client })?;
         Ok(())
     }
 
@@ -219,12 +202,7 @@ impl BrokerNetwork {
             .client_home
             .get(&client)
             .ok_or(NetworkError::UnknownClient(client))?;
-        let actions = self
-            .nodes
-            .get_mut(&broker)
-            .expect("client home must exist")
-            .handle(Input::Subscribe { client, filter })?;
-        self.execute(broker, actions);
+        self.dispatch(broker, Input::Subscribe { client, filter })?;
         Ok(())
     }
 
@@ -242,12 +220,7 @@ impl BrokerNetwork {
             .client_home
             .get(&client)
             .ok_or(NetworkError::UnknownClient(client))?;
-        let actions = self
-            .nodes
-            .get_mut(&broker)
-            .expect("client home must exist")
-            .handle(Input::Unsubscribe { client, filter })?;
-        self.execute(broker, actions);
+        self.dispatch(broker, Input::Unsubscribe { client, filter })?;
         Ok(())
     }
 
@@ -280,16 +253,11 @@ impl BrokerNetwork {
         let seq = self.client_seq.entry(client).or_insert(0);
         let event = Event::new(topic, client, *seq, class, payload).into_shared();
         *seq += 1;
-        let actions = self
-            .nodes
-            .get_mut(&broker)
-            .expect("client home must exist")
-            .handle(Input::Publish {
-                origin: Origin::Client(client),
-                event,
-            })
-            .expect("publish from attached client cannot fail");
-        self.execute(broker, actions);
+        self.dispatch(broker, Input::Publish {
+            origin: Origin::Client(client),
+            event,
+        })
+        .expect("publish from attached client cannot fail");
     }
 
     /// Takes all deliveries accumulated so far.
@@ -297,10 +265,27 @@ impl BrokerNetwork {
         std::mem::take(&mut self.deliveries)
     }
 
+    /// Feeds one input to a node using a recycled action buffer, then
+    /// executes whatever it emitted. The buffer is returned to the pool
+    /// afterwards, so steady-state traffic allocates nothing here.
+    fn dispatch(&mut self, broker: BrokerId, input: Input) -> Result<(), NetworkError> {
+        let mut actions = self.spare.pop().unwrap_or_default();
+        let outcome = match self.nodes.get_mut(&broker) {
+            Some(node) => node.handle_into(input, &mut actions).map_err(NetworkError::from),
+            None => Err(NetworkError::UnknownBroker(broker)),
+        };
+        if outcome.is_ok() {
+            self.execute(broker, &mut actions);
+        }
+        actions.clear();
+        self.spare.push(actions);
+        outcome
+    }
+
     /// Executes a node's actions synchronously, cascading forwards and
     /// adverts into peer nodes.
-    fn execute(&mut self, from: BrokerId, actions: Vec<Action>) {
-        for action in actions {
+    fn execute(&mut self, from: BrokerId, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Deliver {
                     client,
@@ -312,34 +297,19 @@ impl BrokerNetwork {
                     event,
                 }),
                 Action::Forward { peer, event } => {
-                    let next = self
-                        .nodes
-                        .get_mut(&peer)
-                        .expect("forward to unknown broker")
-                        .handle(Input::Publish {
-                            origin: Origin::Broker(from),
-                            event,
-                        })
-                        .expect("forward between linked brokers cannot fail");
-                    self.execute(peer, next);
+                    self.dispatch(peer, Input::Publish {
+                        origin: Origin::Broker(from),
+                        event,
+                    })
+                    .expect("forward between linked brokers cannot fail");
                 }
                 Action::AdvertiseAdd { peer, filter } => {
-                    let next = self
-                        .nodes
-                        .get_mut(&peer)
-                        .expect("advert to unknown broker")
-                        .handle(Input::RemoteSubscribe { peer: from, filter })
+                    self.dispatch(peer, Input::RemoteSubscribe { peer: from, filter })
                         .expect("advert between linked brokers cannot fail");
-                    self.execute(peer, next);
                 }
                 Action::AdvertiseRemove { peer, filter } => {
-                    let next = self
-                        .nodes
-                        .get_mut(&peer)
-                        .expect("advert to unknown broker")
-                        .handle(Input::RemoteUnsubscribe { peer: from, filter })
+                    self.dispatch(peer, Input::RemoteUnsubscribe { peer: from, filter })
                         .expect("advert between linked brokers cannot fail");
-                    self.execute(peer, next);
                 }
             }
         }

@@ -23,6 +23,19 @@
 //!
 //! On a tree this delivers every event exactly once to every subscriber
 //! — an invariant the property tests in `tests/` exercise.
+//!
+//! ## Routing fast path
+//!
+//! Publishing is the hot loop, so [`BrokerNode`] memoizes the resolved
+//! delivery plan per concrete topic as a shared [`RoutePlan`]: the
+//! deduplicated local `(client, profile)` pairs plus the matching remote
+//! peers. Cache entries are stamped with a **generation counter** that
+//! bumps on every subscribe/unsubscribe/detach/link change; a stale
+//! stamp lazily invalidates the entry on next lookup, so mutation never
+//! walks the cache. On a warm hit, [`BrokerNode::handle_into`] appends
+//! actions into a caller-owned scratch buffer without allocating:
+//! one hash lookup, one `Arc` clone per plan, one `Arc<Event>` clone per
+//! destination.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -31,7 +44,42 @@ use mmcs_util::id::{BrokerId, ClientId};
 
 use crate::event::Event;
 use crate::profile::TransportProfile;
-use crate::topic::{SubscriptionTable, TopicFilter};
+use crate::topic::{SubscriptionTable, Topic, TopicFilter};
+
+/// Most cached route plans a broker keeps before evicting stale ones.
+/// Real deployments publish to a bounded set of session topics; the cap
+/// only guards against unbounded one-shot topic churn.
+const PLAN_CACHE_MAX: usize = 4096;
+
+/// A resolved delivery plan for one concrete topic: where a publish to
+/// that topic goes, with dedup and profile lookup already done.
+///
+/// Plans are immutable and shared (`Arc`), so the warm routing path
+/// clones a pointer, not the lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutePlan {
+    /// Matching local subscribers with their transport profiles,
+    /// sorted by client id and deduplicated.
+    pub local: Vec<(ClientId, TransportProfile)>,
+    /// Matching peer brokers, sorted and deduplicated. Split horizon
+    /// (skipping the origin peer) is applied at routing time, not here,
+    /// so one plan serves every origin.
+    pub remote: Vec<BrokerId>,
+}
+
+impl RoutePlan {
+    /// Whether the plan delivers to no one.
+    pub fn is_empty(&self) -> bool {
+        self.local.is_empty() && self.remote.is_empty()
+    }
+}
+
+/// A cached plan stamped with the generation it was computed under.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    generation: u64,
+    plan: Arc<RoutePlan>,
+}
 
 /// Where an input event entered this broker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -210,6 +258,11 @@ pub struct BrokerNode {
     /// Filters currently advertised to each peer.
     advertised: HashMap<BrokerId, HashSet<TopicFilter>>,
     counters: BrokerCounters,
+    /// Bumped on any change that can alter a delivery plan; cached plans
+    /// stamped with an older value are lazily discarded on lookup.
+    generation: u64,
+    /// Memoized delivery plans keyed by concrete topic.
+    plans: HashMap<Topic, CachedPlan>,
 }
 
 impl BrokerNode {
@@ -225,6 +278,8 @@ impl BrokerNode {
             interest: HashMap::new(),
             advertised: HashMap::new(),
             counters: BrokerCounters::default(),
+            generation: 0,
+            plans: HashMap::new(),
         }
     }
 
@@ -253,90 +308,167 @@ impl BrokerNode {
         self.clients.contains_key(&client)
     }
 
+    /// The current route-cache generation. Bumps whenever subscriptions,
+    /// clients, or links change; equal generations guarantee identical
+    /// routing.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of memoized route plans (stale entries included until
+    /// their next lookup).
+    pub fn plan_cache_len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The delivery plan a publish to `topic` would use right now,
+    /// memoizing it for subsequent publishes.
+    pub fn plan_for(&mut self, topic: &Topic) -> Arc<RoutePlan> {
+        if let Some(cached) = self.plans.get(topic) {
+            if cached.generation == self.generation {
+                return Arc::clone(&cached.plan);
+            }
+        }
+        // Cold path: resolve both tables, then memoize.
+        let mut local_ids = Vec::new();
+        self.local_subs.matches_into(topic, &mut local_ids);
+        let local = local_ids
+            .into_iter()
+            .map(|client| (client, self.clients[&client]))
+            .collect();
+        let mut remote = Vec::new();
+        self.remote_subs.matches_into(topic, &mut remote);
+        let plan = Arc::new(RoutePlan { local, remote });
+        if self.plans.len() >= PLAN_CACHE_MAX {
+            // Drop stale entries first; if the cache is full of live
+            // plans, start over rather than grow without bound.
+            let generation = self.generation;
+            self.plans.retain(|_, p| p.generation == generation);
+            if self.plans.len() >= PLAN_CACHE_MAX {
+                self.plans.clear();
+            }
+        }
+        self.plans.insert(
+            topic.clone(),
+            CachedPlan {
+                generation: self.generation,
+                plan: Arc::clone(&plan),
+            },
+        );
+        plan
+    }
+
+    /// Invalidates every memoized plan (lazily, via the generation
+    /// stamp).
+    fn touch(&mut self) {
+        self.generation += 1;
+    }
+
     /// Advances the state machine by one input.
+    ///
+    /// Convenience wrapper over [`handle_into`](Self::handle_into) that
+    /// allocates a fresh action buffer per call. Hot loops should hold a
+    /// scratch `Vec<Action>` and call `handle_into` instead.
     ///
     /// # Errors
     ///
     /// Returns [`BrokerError`] if the input references unknown clients or
     /// peers, or re-attaches existing ones. State is unchanged on error.
     pub fn handle(&mut self, input: Input) -> Result<Vec<Action>, BrokerError> {
+        let mut actions = Vec::new();
+        self.handle_into(input, &mut actions)?;
+        Ok(actions)
+    }
+
+    /// Advances the state machine by one input, **appending** resulting
+    /// actions to `out`. Existing contents of `out` are untouched; on a
+    /// warm route-cache hit no allocation happens beyond what `out`'s
+    /// spare capacity already covers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrokerError`] if the input references unknown clients or
+    /// peers, or re-attaches existing ones. State and `out` are unchanged
+    /// on error.
+    pub fn handle_into(&mut self, input: Input, out: &mut Vec<Action>) -> Result<(), BrokerError> {
         match input {
             Input::AttachClient { client, profile } => {
                 if self.clients.contains_key(&client) {
                     return Err(BrokerError::DuplicateClient(client));
                 }
                 self.clients.insert(client, profile);
-                Ok(Vec::new())
+                Ok(())
             }
             Input::DetachClient { client } => {
                 if self.clients.remove(&client).is_none() {
                     return Err(BrokerError::UnknownClient(client));
                 }
-                self.local_subs.unsubscribe_all(&client);
-                let filters = self.client_filters.remove(&client).unwrap_or_default();
-                let mut actions = Vec::new();
-                for filter in filters {
-                    self.release_local_interest(&filter, &mut actions);
+                if self.local_subs.unsubscribe_all(&client) > 0 {
+                    self.touch();
                 }
-                Ok(actions)
+                let filters = self.client_filters.remove(&client).unwrap_or_default();
+                for filter in filters {
+                    self.release_local_interest(&filter, out);
+                }
+                Ok(())
             }
             Input::Subscribe { client, filter } => {
                 if !self.clients.contains_key(&client) {
                     return Err(BrokerError::UnknownClient(client));
                 }
                 if !self.local_subs.subscribe(&filter, client) {
-                    return Ok(Vec::new()); // duplicate
+                    return Ok(()); // duplicate
                 }
+                self.touch();
                 self.client_filters
                     .entry(client)
                     .or_default()
                     .push(filter.clone());
-                let mut actions = Vec::new();
                 let entry = self.interest.entry(filter.clone()).or_default();
                 entry.local += 1;
                 if entry.local == 1 {
-                    self.refresh_adverts_for(&filter, &mut actions);
+                    self.refresh_adverts_for(&filter, out);
                 }
-                Ok(actions)
+                Ok(())
             }
             Input::Unsubscribe { client, filter } => {
                 if !self.clients.contains_key(&client) {
                     return Err(BrokerError::UnknownClient(client));
                 }
                 if !self.local_subs.unsubscribe(&filter, &client) {
-                    return Ok(Vec::new());
+                    return Ok(());
                 }
+                self.touch();
                 if let Some(filters) = self.client_filters.get_mut(&client) {
                     if let Some(pos) = filters.iter().position(|f| *f == filter) {
                         filters.remove(pos);
                     }
                 }
-                let mut actions = Vec::new();
-                self.release_local_interest(&filter, &mut actions);
-                Ok(actions)
+                self.release_local_interest(&filter, out);
+                Ok(())
             }
-            Input::Publish { origin, event } => self.route(origin, event),
+            Input::Publish { origin, event } => self.route(origin, event, out),
             Input::LinkUp { peer } => {
                 if !self.peers.insert(peer) {
                     return Err(BrokerError::DuplicateLink(peer));
                 }
                 self.advertised.insert(peer, HashSet::new());
-                let mut actions = Vec::new();
                 // Advertise everything the rest of the world is
                 // interested in to the new peer.
                 let filters: Vec<TopicFilter> = self.interest.keys().cloned().collect();
                 for filter in filters {
-                    self.refresh_advert_for_peer(peer, &filter, &mut actions);
+                    self.refresh_advert_for_peer(peer, &filter, out);
                 }
-                Ok(actions)
+                Ok(())
             }
             Input::LinkDown { peer } => {
                 if !self.peers.remove(&peer) {
                     return Err(BrokerError::UnknownPeer(peer));
                 }
                 self.advertised.remove(&peer);
-                self.remote_subs.unsubscribe_all(&peer);
-                let mut actions = Vec::new();
+                if self.remote_subs.unsubscribe_all(&peer) > 0 {
+                    self.touch();
+                }
                 let affected: Vec<TopicFilter> = self
                     .interest
                     .iter()
@@ -350,44 +482,53 @@ impl BrokerNode {
                         if gone {
                             self.interest.remove(&filter);
                         }
-                        self.refresh_adverts_for(&filter, &mut actions);
+                        self.refresh_adverts_for(&filter, out);
                     }
                 }
-                Ok(actions)
+                Ok(())
             }
             Input::RemoteSubscribe { peer, filter } => {
                 if !self.peers.contains(&peer) {
                     return Err(BrokerError::UnknownPeer(peer));
                 }
-                self.remote_subs.subscribe(&filter, peer);
+                if self.remote_subs.subscribe(&filter, peer) {
+                    self.touch();
+                }
                 let entry = self.interest.entry(filter.clone()).or_default();
                 let newly = entry.peers.insert(peer);
-                let mut actions = Vec::new();
                 if newly {
-                    self.refresh_adverts_for(&filter, &mut actions);
+                    self.refresh_adverts_for(&filter, out);
                 }
-                Ok(actions)
+                Ok(())
             }
             Input::RemoteUnsubscribe { peer, filter } => {
                 if !self.peers.contains(&peer) {
                     return Err(BrokerError::UnknownPeer(peer));
                 }
-                self.remote_subs.unsubscribe(&filter, &peer);
-                let mut actions = Vec::new();
+                if self.remote_subs.unsubscribe(&filter, &peer) {
+                    self.touch();
+                }
                 if let Some(entry) = self.interest.get_mut(&filter) {
                     if entry.peers.remove(&peer) {
                         if entry.is_empty() {
                             self.interest.remove(&filter);
                         }
-                        self.refresh_adverts_for(&filter, &mut actions);
+                        self.refresh_adverts_for(&filter, out);
                     }
                 }
-                Ok(actions)
+                Ok(())
             }
         }
     }
 
-    fn route(&mut self, origin: Origin, event: Arc<Event>) -> Result<Vec<Action>, BrokerError> {
+    /// The publish hot path: validate, fetch (or build) the plan, append
+    /// one action per destination. Warm hits allocate nothing.
+    fn route(
+        &mut self,
+        origin: Origin,
+        event: Arc<Event>,
+        out: &mut Vec<Action>,
+    ) -> Result<(), BrokerError> {
         match origin {
             Origin::Client(client) if !self.clients.contains_key(&client) => {
                 return Err(BrokerError::UnknownClient(client));
@@ -398,34 +539,35 @@ impl BrokerNode {
             _ => {}
         }
         self.counters.events_in += 1;
-        let mut actions = Vec::new();
-        for client in self.local_subs.matches(&event.topic) {
-            let profile = self.clients[&client];
-            actions.push(Action::Deliver {
-                client,
-                profile,
+        let before = out.len();
+        let plan = self.plan_for(&event.topic);
+        out.reserve(plan.local.len() + plan.remote.len());
+        for (client, profile) in &plan.local {
+            out.push(Action::Deliver {
+                client: *client,
+                profile: *profile,
                 event: Arc::clone(&event),
             });
-            self.counters.deliveries += 1;
         }
+        self.counters.deliveries += plan.local.len() as u64;
         let skip_peer = match origin {
             Origin::Broker(peer) => Some(peer),
             Origin::Client(_) => None,
         };
-        for peer in self.remote_subs.matches(&event.topic) {
+        for &peer in &plan.remote {
             if Some(peer) == skip_peer {
                 continue;
             }
-            actions.push(Action::Forward {
+            out.push(Action::Forward {
                 peer,
                 event: Arc::clone(&event),
             });
             self.counters.forwards += 1;
         }
-        if actions.is_empty() {
+        if out.len() == before {
             self.counters.unroutable += 1;
         }
-        Ok(actions)
+        Ok(())
     }
 
     fn release_local_interest(&mut self, filter: &TopicFilter, actions: &mut Vec<Action>) {

@@ -117,6 +117,9 @@ pub struct BrokerProcess {
     /// Whether this broker emits heartbeats (tests disable it to model
     /// a hung broker).
     heartbeats_enabled: bool,
+    /// Reused action buffer: the per-packet hot path allocates nothing
+    /// once it has grown to the peak fan-out.
+    scratch: Vec<Action>,
 }
 
 /// Timer token for the liveness tick.
@@ -132,6 +135,7 @@ impl BrokerProcess {
             peers: HashMap::new(),
             detector: None,
             heartbeats_enabled: true,
+            scratch: Vec::new(),
         }
     }
 
@@ -165,9 +169,9 @@ impl BrokerProcess {
         &self.node
     }
 
-    fn execute(&mut self, ctx: &mut Context<'_>, actions: Vec<Action>) {
+    fn execute(&mut self, ctx: &mut Context<'_>, actions: &mut Vec<Action>) {
         let mut send_index = 0usize;
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Deliver {
                     client,
@@ -231,8 +235,9 @@ impl BrokerProcess {
     }
 
     fn apply(&mut self, ctx: &mut Context<'_>, input: Input) {
-        match self.node.handle(input) {
-            Ok(actions) => self.execute(ctx, actions),
+        let mut actions = std::mem::take(&mut self.scratch);
+        match self.node.handle_into(input, &mut actions) {
+            Ok(()) => self.execute(ctx, &mut actions),
             Err(err) => {
                 // Drivers drop protocol violations (e.g. racing a detach);
                 // surface them as a counter for the harness.
@@ -240,6 +245,8 @@ impl BrokerProcess {
                 ctx.count("broker.protocol_error", 1);
             }
         }
+        actions.clear();
+        self.scratch = actions;
     }
 }
 

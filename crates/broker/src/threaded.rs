@@ -30,7 +30,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use mmcs_util::id::{BrokerId, ClientId};
 use parking_lot::Mutex;
 
@@ -166,10 +166,7 @@ impl ThreadedClient {
 
     /// Receives the next delivered event, waiting up to `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Arc<Event>> {
-        match self.deliveries.recv_timeout(timeout) {
-            Ok(event) => Some(event),
-            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => None,
-        }
+        self.deliveries.recv_timeout(timeout).ok()
     }
 
     /// Receives without blocking.
@@ -194,6 +191,9 @@ fn broker_loop(rx: Receiver<Command>) {
     let mut node = BrokerNode::new(BrokerId::from_raw(1));
     let mut delivery_channels: std::collections::HashMap<ClientId, Sender<Arc<Event>>> =
         std::collections::HashMap::new();
+    // One action buffer for the whole loop: steady-state publishes reuse
+    // its capacity instead of allocating per command.
+    let mut actions: Vec<Action> = Vec::new();
     while let Ok(command) = rx.recv() {
         let result = match command {
             Command::Attach {
@@ -202,27 +202,32 @@ fn broker_loop(rx: Receiver<Command>) {
                 delivery,
             } => {
                 delivery_channels.insert(client, delivery);
-                node.handle(Input::AttachClient { client, profile })
+                node.handle_into(Input::AttachClient { client, profile }, &mut actions)
             }
             Command::Detach(client) => {
                 delivery_channels.remove(&client);
-                node.handle(Input::DetachClient { client })
+                node.handle_into(Input::DetachClient { client }, &mut actions)
             }
-            Command::Subscribe(client, filter) => node.handle(Input::Subscribe { client, filter }),
+            Command::Subscribe(client, filter) => {
+                node.handle_into(Input::Subscribe { client, filter }, &mut actions)
+            }
             Command::Unsubscribe(client, filter) => {
-                node.handle(Input::Unsubscribe { client, filter })
+                node.handle_into(Input::Unsubscribe { client, filter }, &mut actions)
             }
-            Command::Publish(client, event) => node.handle(Input::Publish {
-                origin: Origin::Client(client),
-                event,
-            }),
+            Command::Publish(client, event) => node.handle_into(
+                Input::Publish {
+                    origin: Origin::Client(client),
+                    event,
+                },
+                &mut actions,
+            ),
             Command::Shutdown => break,
         };
-        let Ok(actions) = result else {
+        if result.is_err() {
             // A racing detach can invalidate a queued command; skip it.
             continue;
-        };
-        for action in actions {
+        }
+        for action in actions.drain(..) {
             if let Action::Deliver { client, event, .. } = action {
                 if let Some(channel) = delivery_channels.get(&client) {
                     let _ = channel.send(event);

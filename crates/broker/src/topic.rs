@@ -10,8 +10,13 @@
 use core::fmt;
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::Arc;
 
 /// A concrete topic path (no wildcards).
+///
+/// Segments are interned as [`Arc<str>`], so cloning a topic, deriving
+/// an exact filter from it, or keying a route-cache entry by it shares
+/// the segment storage instead of copying strings.
 ///
 /// # Examples
 ///
@@ -25,7 +30,7 @@ use std::hash::Hash;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Topic {
-    segments: Vec<String>,
+    segments: Vec<Arc<str>>,
 }
 
 impl Topic {
@@ -38,7 +43,7 @@ impl Topic {
     pub fn parse(path: &str) -> Result<Topic, ParseTopicError> {
         let segments = split_segments(path)?;
         for segment in &segments {
-            if segment == "*" || segment == "#" {
+            if &**segment == "*" || &**segment == "#" {
                 return Err(ParseTopicError::WildcardInTopic);
             }
         }
@@ -53,13 +58,19 @@ impl Topic {
     pub fn from_segments<I, S>(segments: I) -> Topic
     where
         I: IntoIterator<Item = S>,
-        S: Into<String>,
+        S: AsRef<str>,
     {
-        let segments: Vec<String> = segments.into_iter().map(Into::into).collect();
+        let segments: Vec<Arc<str>> = segments
+            .into_iter()
+            .map(|s| Arc::from(s.as_ref()))
+            .collect();
         assert!(!segments.is_empty(), "topic must have at least one segment");
         for segment in &segments {
             assert!(
-                !segment.is_empty() && segment != "*" && segment != "#" && !segment.contains('/'),
+                !segment.is_empty()
+                    && &**segment != "*"
+                    && &**segment != "#"
+                    && !segment.contains('/'),
                 "invalid topic segment {segment:?}"
             );
         }
@@ -67,26 +78,35 @@ impl Topic {
     }
 
     /// The path segments.
-    pub fn segments(&self) -> &[String] {
+    pub fn segments(&self) -> &[Arc<str>] {
         &self.segments
     }
 
-    /// Appends a segment, returning a child topic.
-    pub fn child(&self, segment: impl Into<String>) -> Topic {
+    /// Appends a segment, returning a child topic. The parent's segment
+    /// storage is shared, not copied.
+    pub fn child(&self, segment: impl AsRef<str>) -> Topic {
         let mut segments = self.segments.clone();
-        let segment = segment.into();
+        let segment = segment.as_ref();
         assert!(
             !segment.is_empty() && !segment.contains('/'),
             "invalid topic segment"
         );
-        segments.push(segment);
+        segments.push(Arc::from(segment));
         Topic { segments }
     }
 }
 
 impl fmt::Display for Topic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.segments.join("/"))
+        let mut first = true;
+        for segment in &self.segments {
+            if !first {
+                f.write_str("/")?;
+            }
+            first = false;
+            f.write_str(segment)?;
+        }
+        Ok(())
     }
 }
 
@@ -100,7 +120,7 @@ impl std::str::FromStr for Topic {
 /// One filter pattern segment.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum FilterSegment {
-    Literal(String),
+    Literal(Arc<str>),
     /// `*`: exactly one segment.
     Single,
 }
@@ -137,7 +157,7 @@ impl TopicFilter {
         let mut segments = Vec::with_capacity(raw.len());
         let mut tail = false;
         for (i, segment) in raw.iter().enumerate() {
-            match segment.as_str() {
+            match &**segment {
                 "#" => {
                     if i != raw.len() - 1 {
                         return Err(ParseTopicError::HashNotLast);
@@ -145,7 +165,7 @@ impl TopicFilter {
                     tail = true;
                 }
                 "*" => segments.push(FilterSegment::Single),
-                literal => segments.push(FilterSegment::Literal(literal.to_owned())),
+                _ => segments.push(FilterSegment::Literal(segment.clone())),
             }
         }
         if segments.is_empty() && !tail {
@@ -154,13 +174,14 @@ impl TopicFilter {
         Ok(TopicFilter { segments, tail })
     }
 
-    /// A filter matching exactly one topic.
+    /// A filter matching exactly one topic. Shares the topic's interned
+    /// segment storage — no string is copied.
     pub fn exact(topic: &Topic) -> TopicFilter {
         TopicFilter {
             segments: topic
                 .segments()
                 .iter()
-                .map(|s| FilterSegment::Literal(s.clone()))
+                .map(|s| FilterSegment::Literal(Arc::clone(s)))
                 .collect(),
             tail: false,
         }
@@ -177,14 +198,14 @@ impl TopicFilter {
             return false;
         }
         self.segments.iter().zip(t).all(|(f, s)| match f {
-            FilterSegment::Literal(lit) => lit == s,
+            FilterSegment::Literal(lit) => **lit == **s,
             FilterSegment::Single => true,
         })
     }
 
     /// Whether this filter contains any wildcard.
     pub fn has_wildcards(&self) -> bool {
-        self.tail || self.segments.iter().any(|s| *s == FilterSegment::Single)
+        self.tail || self.segments.contains(&FilterSegment::Single)
     }
 }
 
@@ -218,7 +239,7 @@ impl std::str::FromStr for TopicFilter {
     }
 }
 
-fn split_segments(path: &str) -> Result<Vec<String>, ParseTopicError> {
+fn split_segments(path: &str) -> Result<Vec<Arc<str>>, ParseTopicError> {
     if path.is_empty() {
         return Err(ParseTopicError::Empty);
     }
@@ -227,7 +248,7 @@ fn split_segments(path: &str) -> Result<Vec<String>, ParseTopicError> {
         if segment.is_empty() {
             return Err(ParseTopicError::EmptySegment);
         }
-        segments.push(segment.to_owned());
+        segments.push(Arc::from(segment));
     }
     Ok(segments)
 }
@@ -261,7 +282,7 @@ impl std::error::Error for ParseTopicError {}
 /// Trie node for the subscription table.
 #[derive(Debug, Clone)]
 struct TrieNode<S> {
-    children: HashMap<String, TrieNode<S>>,
+    children: HashMap<Arc<str>, TrieNode<S>>,
     single: Option<Box<TrieNode<S>>>,
     /// Subscribers whose filter ends exactly here.
     here: Vec<S>,
@@ -337,38 +358,11 @@ impl<S: Clone + PartialEq> SubscriptionTable<S> {
     fn descend<'a>(mut node: &'a mut TrieNode<S>, segments: &[FilterSegment]) -> &'a mut TrieNode<S> {
         for segment in segments {
             node = match segment {
-                FilterSegment::Literal(lit) => node.children.entry(lit.clone()).or_default(),
+                FilterSegment::Literal(lit) => node.children.entry(Arc::clone(lit)).or_default(),
                 FilterSegment::Single => node.single.get_or_insert_with(Default::default),
             };
         }
         node
-    }
-
-    /// All subscribers whose filter matches `topic`, deduplicated, in a
-    /// deterministic order.
-    pub fn matches(&self, topic: &Topic) -> Vec<S> {
-        let mut out = Vec::new();
-        Self::walk(&self.root, topic.segments(), &mut out);
-        out
-    }
-
-    fn walk(node: &TrieNode<S>, rest: &[String], out: &mut Vec<S>) {
-        // A `#` at this node matches the remainder, whatever it is.
-        for s in &node.tail {
-            push_unique(out, s.clone());
-        }
-        let Some((head, tail)) = rest.split_first() else {
-            for s in &node.here {
-                push_unique(out, s.clone());
-            }
-            return;
-        };
-        if let Some(child) = node.children.get(head) {
-            Self::walk(child, tail, out);
-        }
-        if let Some(single) = &node.single {
-            Self::walk(single, tail, out);
-        }
     }
 
     /// Removes every subscription held by `subscriber`; returns how many
@@ -404,15 +398,60 @@ impl<S: Clone + PartialEq> SubscriptionTable<S> {
     }
 }
 
-impl<S: Clone + PartialEq> Default for SubscriptionTable<S> {
-    fn default() -> Self {
-        Self::new()
+impl<S: Clone + Ord> SubscriptionTable<S> {
+    /// All subscribers whose filter matches `topic`, deduplicated and
+    /// sorted.
+    pub fn matches(&self, topic: &Topic) -> Vec<S> {
+        let mut out = Vec::new();
+        self.matches_into(topic, &mut out);
+        out
+    }
+
+    /// Appends every subscriber whose filter matches `topic` to `out`,
+    /// deduplicated and sorted. Only the appended region is touched, so
+    /// callers can reuse one buffer across publishes without clearing
+    /// unrelated contents — the allocation-free counterpart of
+    /// [`matches`](Self::matches).
+    ///
+    /// Dedup is sort-based over the appended region: the walk pushes raw
+    /// hits (a subscriber reachable through both a literal and a `*`
+    /// path appears twice), then one `sort_unstable` + in-place compact
+    /// replaces the old `contains`-scan-per-push, which was quadratic in
+    /// fan-out.
+    pub fn matches_into(&self, topic: &Topic, out: &mut Vec<S>) {
+        let start = out.len();
+        Self::walk(&self.root, topic.segments(), out);
+        out[start..].sort_unstable();
+        // Compact the sorted region in place (Vec::dedup for a suffix).
+        let mut write = start;
+        for read in start..out.len() {
+            if write == start || out[read] != out[write - 1] {
+                out.swap(read, write);
+                write += 1;
+            }
+        }
+        out.truncate(write);
+    }
+
+    fn walk(node: &TrieNode<S>, rest: &[Arc<str>], out: &mut Vec<S>) {
+        // A `#` at this node matches the remainder, whatever it is.
+        out.extend(node.tail.iter().cloned());
+        let Some((head, tail)) = rest.split_first() else {
+            out.extend(node.here.iter().cloned());
+            return;
+        };
+        if let Some(child) = node.children.get(&**head) {
+            Self::walk(child, tail, out);
+        }
+        if let Some(single) = &node.single {
+            Self::walk(single, tail, out);
+        }
     }
 }
 
-fn push_unique<S: PartialEq>(out: &mut Vec<S>, item: S) {
-    if !out.contains(&item) {
-        out.push(item);
+impl<S: Clone + PartialEq> Default for SubscriptionTable<S> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -431,7 +470,8 @@ mod tests {
     #[test]
     fn topic_parse_and_display() {
         let t = topic("a/b/c");
-        assert_eq!(t.segments(), &["a", "b", "c"]);
+        let segments: Vec<&str> = t.segments().iter().map(|s| &**s).collect();
+        assert_eq!(segments, ["a", "b", "c"]);
         assert_eq!(t.to_string(), "a/b/c");
         assert_eq!(t.child("d").to_string(), "a/b/c/d");
     }
@@ -508,7 +548,8 @@ mod tests {
         let hit = table.matches(&topic("session/7/video"));
         assert_eq!(hit.len(), 3);
         assert!(hit.contains(&1) && hit.contains(&2) && hit.contains(&3));
-        assert_eq!(table.matches(&topic("session/7/audio")), vec![3, 2]);
+        // Matches come back sorted (sort-based dedup).
+        assert_eq!(table.matches(&topic("session/7/audio")), vec![2, 3]);
         assert_eq!(table.matches(&topic("zzz")), Vec::<u32>::new());
     }
 

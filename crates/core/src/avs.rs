@@ -80,9 +80,7 @@ impl MediaSwitch {
             .filter(|(_, a)| now.saturating_duration_since(a.last_update) < staleness)
             .max_by(|a, b| a.1.level.partial_cmp(&b.1.level).expect("levels are finite"))
             .map(|(user, a)| (user.clone(), a.level));
-        let Some((candidate, candidate_level)) = loudest else {
-            return None;
-        };
+        let (candidate, candidate_level) = loudest?;
 
         let incumbent_level = switch
             .selected

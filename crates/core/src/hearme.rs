@@ -144,7 +144,7 @@ impl CollaborationServer for HearMeService {
             "muteParticipant" => {
                 let user =
                     arg("user").ok_or_else(|| CiError::Refused("missing user".into()))?;
-                if !room.participants.iter().any(|p| *p == user) {
+                if !room.participants.contains(&user) {
                     return Err(CiError::UnknownMember(user));
                 }
                 if !room.muted.contains(&user) {

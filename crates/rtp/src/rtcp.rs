@@ -142,7 +142,7 @@ impl RtcpPacket {
                     body.put_u8(text.len() as u8);
                     body.put_slice(text);
                     body.put_u8(0); // end of items
-                    while body.len() % 4 != 0 {
+                    while !body.len().is_multiple_of(4) {
                         body.put_u8(0);
                     }
                 }
@@ -279,7 +279,7 @@ impl RtcpPacket {
 
 fn put_header(buf: &mut BytesMut, count: u8, packet_type: u8, body_len: usize) {
     assert!(count < 32, "RTCP count field is 5 bits");
-    assert!(body_len % 4 == 0, "RTCP body must be word-aligned");
+    assert!(body_len.is_multiple_of(4), "RTCP body must be word-aligned");
     buf.put_u8(0x80 | count);
     buf.put_u8(packet_type);
     buf.put_u16((body_len / 4) as u16);

@@ -196,7 +196,7 @@ impl VideoSource {
 
     /// Whether the next frame produced will be an I-frame.
     pub fn next_is_iframe(&self) -> bool {
-        self.frame_index % self.config.iframe_interval as u64 == 0
+        self.frame_index.is_multiple_of(self.config.iframe_interval as u64)
     }
 
     /// Produces all packets of the next frame.

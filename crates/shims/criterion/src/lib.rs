@@ -1,0 +1,289 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendors a small
+//! wall-clock harness with criterion's surface API: benchmark groups,
+//! throughput annotation, `iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros. It runs a warm-up, then a
+//! fixed number of timed samples, and prints per-iteration mean/min/max
+//! plus derived throughput. No statistics beyond that — the point is
+//! comparable numbers from `cargo bench` without the real dependency.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup between measured runs. The shim
+/// always re-runs setup per batch, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Setup re-done for every single iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, used to derive throughput rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver (criterion's entry type).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Time spent warming up before measuring.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named set of benchmarks sharing throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work performed per iteration for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides the sample count for this group (accepted for API
+    /// compatibility; the shim applies it directly).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            target_sample: Duration::from_millis(1),
+        };
+        // Warm-up: run until the warm-up budget elapses, tuning how many
+        // iterations one sample should cover.
+        let warm_deadline = Instant::now() + self.criterion.warm_up_time;
+        while Instant::now() < warm_deadline {
+            f(&mut bencher);
+            bencher.samples.clear();
+        }
+        // Timed samples.
+        let per_sample = self
+            .criterion
+            .measurement_time
+            .checked_div(self.criterion.sample_size as u32)
+            .unwrap_or(Duration::from_millis(10));
+        bencher.target_sample = per_sample.max(Duration::from_micros(100));
+        let deadline = Instant::now() + self.criterion.measurement_time;
+        while bencher.samples.len() < self.criterion.sample_size && Instant::now() < deadline {
+            f(&mut bencher);
+        }
+        self.report(&id, &bencher.samples);
+    }
+
+    fn report(&self, id: &str, samples: &[(Duration, u64)]) {
+        let total_iters: u64 = samples.iter().map(|(_, n)| n).sum();
+        let total_time: Duration = samples.iter().map(|(t, _)| *t).sum();
+        if total_iters == 0 {
+            println!("{}/{}: no samples collected", self.name, id);
+            return;
+        }
+        let mean_ns = total_time.as_nanos() as f64 / total_iters as f64;
+        let per_iter = |(t, n): &(Duration, u64)| t.as_nanos() as f64 / (*n).max(1) as f64;
+        let min_ns = samples.iter().map(per_iter).fold(f64::INFINITY, f64::min);
+        let max_ns = samples.iter().map(per_iter).fold(0.0, f64::max);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 * 1e9 / mean_ns)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.1} MiB/s", n as f64 * 1e9 / mean_ns / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}: {:>10.1} ns/iter (min {:.1}, max {:.1}, {} samples, {} iters){}",
+            self.name,
+            id,
+            mean_ns,
+            min_ns,
+            max_ns,
+            samples.len(),
+            total_iters,
+            rate
+        );
+    }
+
+    /// Ends the group (printing happens per bench; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to time the measured routine.
+pub struct Bencher {
+    /// (elapsed, iterations) per collected sample.
+    samples: Vec<(Duration, u64)>,
+    target_sample: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to fill one sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Estimate iterations per sample from a single probe run.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let iters = (self.target_sample.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.samples.push((start.elapsed(), iters));
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let probe_start = Instant::now();
+        black_box(routine(input));
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let iters = (self.target_sample.as_nanos() / probe.as_nanos()).clamp(1, 100_000) as u64;
+        let mut inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs.drain(..) {
+            black_box(routine(input));
+        }
+        self.samples.push((start.elapsed(), iters));
+    }
+}
+
+/// Declares a benchmark group function, criterion style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(1));
+        let mut count = 0u64;
+        group.bench_function("incr", |b| b.iter(|| count += 1));
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("batched");
+        group.bench_function("sum", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,134 @@
+//! Collection strategies: `prop::collection::{vec, btree_set}`.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive length bounds for a generated collection. Built from a
+/// `usize` (exact), `Range<usize>` (half-open), or `RangeInclusive`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.gen_below((self.max - self.min + 1) as u128) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length in `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vector of values from `element`, length within `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a target size in `size`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        // Duplicates don't grow the set, so allow generous retries; a
+        // saturated element domain ends the loop early with fewer items.
+        let attempts = target.saturating_mul(64) + 1024;
+        for _ in 0..attempts {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+/// Set of distinct values from `element`, size within `size` when the
+/// element domain is large enough.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_length_bounds() {
+        let mut rng = TestRng::for_case("vec", 0);
+        for _ in 0..100 {
+            let v = vec(0u8..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        assert_eq!(vec(0u8..10, 7).generate(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn btree_set_hits_target_when_domain_allows() {
+        let mut rng = TestRng::for_case("set", 0);
+        for _ in 0..50 {
+            let s = btree_set(0u16..500, 1..100).generate(&mut rng);
+            assert!((1..100).contains(&s.len()));
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors a minimal property-testing harness with proptest's surface
+//! syntax: the [`proptest!`] macro (both `pat in strategy` and
+//! `name: Type` parameters), `prop_assert!`/`prop_assert_eq!`/
+//! [`prop_assume!`], [`prop_oneof!`], `Just`, `any::<T>()`, integer and
+//! float ranges, tuple strategies, `prop::collection::{vec, btree_set}`,
+//! `prop::option::of`, `prop::sample::select`, and character-class
+//! string patterns (`"[a-z0-9]{1,16}"`).
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its seed and values but is
+//!   not minimized.
+//! * **Deterministic seeding.** Cases derive from a fixed seed mixed
+//!   with the test name and case index, so runs are reproducible;
+//!   `PROPTEST_CASES` overrides the case count.
+//! * **Pattern strategies** support character classes with ranges,
+//!   `&&[^...]` subtraction and `{m,n}` repetition — the subset this
+//!   workspace's tests use — not full regex.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests. Each parameter is either `pattern in strategy`
+/// or `name: Type` (shorthand for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__proptest_munch! {
+                    config = ($config);
+                    name = $name;
+                    binds = [];
+                    body = $body;
+                    params = [$($params)*]
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_munch {
+    // `name: Type` shorthand, more params follow.
+    (config = $c:tt; name = $n:ident; binds = [$($binds:tt)*]; body = $b:tt;
+     params = [$name:ident : $ty:ty, $($rest:tt)+]) => {
+        $crate::__proptest_munch! {
+            config = $c; name = $n;
+            binds = [$($binds)* (($name) ($crate::arbitrary::any::<$ty>()))];
+            body = $b;
+            params = [$($rest)+]
+        }
+    };
+    // `name: Type` shorthand, final param (optionally trailing comma).
+    (config = $c:tt; name = $n:ident; binds = [$($binds:tt)*]; body = $b:tt;
+     params = [$name:ident : $ty:ty $(,)?]) => {
+        $crate::__proptest_munch! {
+            config = $c; name = $n;
+            binds = [$($binds)* (($name) ($crate::arbitrary::any::<$ty>()))];
+            body = $b;
+            params = []
+        }
+    };
+    // `pattern in strategy`, more params follow.
+    (config = $c:tt; name = $n:ident; binds = [$($binds:tt)*]; body = $b:tt;
+     params = [$pat:pat in $strat:expr, $($rest:tt)+]) => {
+        $crate::__proptest_munch! {
+            config = $c; name = $n;
+            binds = [$($binds)* (($pat) ($strat))];
+            body = $b;
+            params = [$($rest)+]
+        }
+    };
+    // `pattern in strategy`, final param (optionally trailing comma).
+    (config = $c:tt; name = $n:ident; binds = [$($binds:tt)*]; body = $b:tt;
+     params = [$pat:pat in $strat:expr $(,)?]) => {
+        $crate::__proptest_munch! {
+            config = $c; name = $n;
+            binds = [$($binds)* (($pat) ($strat))];
+            body = $b;
+            params = []
+        }
+    };
+    // All params consumed: emit the runner loop.
+    (config = ($config:expr); name = $n:ident; binds = [$((($pat:pat) ($strat:expr)))*];
+     body = $body:block; params = []) => {{
+        let __config: $crate::test_runner::ProptestConfig = $config;
+        let __cases = __config.effective_cases();
+        let mut __rejected: u32 = 0;
+        let mut __case: u32 = 0;
+        while __case < __cases {
+            let mut __rng =
+                $crate::test_runner::TestRng::for_case(stringify!($n), __case + __rejected);
+            let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|__rng: &mut $crate::test_runner::TestRng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    $body
+                    ::core::result::Result::Ok(())
+                })(&mut __rng);
+            match __result {
+                ::core::result::Result::Ok(()) => {
+                    __case += 1;
+                }
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                    __rejected += 1;
+                    if __rejected > __cases.saturating_mul(16).max(1024) {
+                        panic!(
+                            "proptest '{}': too many rejected cases ({})",
+                            stringify!($n),
+                            __rejected
+                        );
+                    }
+                }
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                    panic!(
+                        "proptest '{}' failed at case {}: {}",
+                        stringify!($n),
+                        __case,
+                        __msg
+                    );
+                }
+            }
+        }
+    }};
+}
+
+/// Asserts a condition inside a property test, failing the case (not the
+/// whole process) so the harness can report generated values.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{:?}` != `{:?}`", __l, __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{:?}` != `{:?}`: {}", __l, __r, format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Asserts two values are not equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `{:?}` == `{:?}`", __l, __r
+                );
+            }
+        }
+    };
+}
+
+/// Discards the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Picks among several strategies, optionally weighted
+/// (`prop_oneof![2 => a, 1 => b]` or `prop_oneof![a, b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm($weight as u32, $strat)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm(1u32, $strat)),+
+        ])
+    };
+}

@@ -1,0 +1,47 @@
+//! `prop::option::of` — optional values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Some(inner)` half the time, `None` otherwise.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_bool() {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Option<T>` values from an inner `T` strategy.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::for_case("option", 0);
+        let strategy = of(0u8..10);
+        let (mut some, mut none) = (false, false);
+        for _ in 0..64 {
+            match strategy.generate(&mut rng) {
+                Some(v) => {
+                    assert!(v < 10);
+                    some = true;
+                }
+                None => none = true,
+            }
+        }
+        assert!(some && none);
+    }
+}

@@ -1,0 +1,37 @@
+//! `prop::sample::select` — uniform choice from a fixed list.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy cloning a uniformly chosen element of a list.
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.gen_index(self.options.len())].clone()
+    }
+}
+
+/// Uniform choice among `options` (must be non-empty).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_only_listed_values() {
+        let mut rng = TestRng::for_case("select", 0);
+        let strategy = select(vec!["a", "b"]);
+        for _ in 0..50 {
+            let v = strategy.generate(&mut rng);
+            assert!(v == "a" || v == "b");
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Character-class string patterns (`"[a-z0-9._-]{1,16}"`).
+//!
+//! Supports the regex subset this workspace's tests use: character
+//! classes with ranges, class intersection/subtraction via `&&[...]` /
+//! `&&[^...]`, literal characters, and repetition via `{n}`, `{m,n}`,
+//! `*`, `+`, `?`. Not a general regex engine.
+
+use std::iter::Peekable;
+use std::str::Chars;
+
+use crate::test_runner::TestRng;
+
+/// One pattern element: a set of candidate chars and repetition bounds.
+struct Atom {
+    set: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Generates a string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let span = atom.max - atom.min + 1;
+        let len = atom.min + rng.gen_below(span as u128) as usize;
+        for _ in 0..len {
+            out.push(atom.set[rng.gen_index(atom.set.len())]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let set = match c {
+            '[' => parse_class(&mut it, pattern),
+            '\\' => vec![escaped(it.next(), pattern)],
+            literal => vec![literal],
+        };
+        assert!(!set.is_empty(), "pattern {pattern:?} has an empty character class");
+        let (min, max) = parse_repeat(&mut it, pattern);
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+/// Everything a negated class may draw from: printable ASCII plus the
+/// whitespace controls tests feed to text codecs.
+fn universe() -> impl Iterator<Item = char> {
+    (0x20u8..=0x7E).map(char::from).chain(['\r', '\n', '\t'])
+}
+
+/// Parses a class body after `[`, applying `&&[...]` clauses.
+fn parse_class(it: &mut Peekable<Chars<'_>>, pattern: &str) -> Vec<char> {
+    let (negated, items, clauses) = parse_class_raw(it, pattern);
+    let mut set: Vec<char> = if negated {
+        universe().filter(|c| !items.contains(c)).collect()
+    } else {
+        items
+    };
+    for (clause_negated, clause) in clauses {
+        if clause_negated {
+            set.retain(|c| !clause.contains(c));
+        } else {
+            set.retain(|c| clause.contains(c));
+        }
+    }
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+type RawClass = (bool, Vec<char>, Vec<(bool, Vec<char>)>);
+
+fn parse_class_raw(it: &mut Peekable<Chars<'_>>, pattern: &str) -> RawClass {
+    let mut negated = false;
+    if it.peek() == Some(&'^') {
+        negated = true;
+        it.next();
+    }
+    let mut items = Vec::new();
+    let mut clauses = Vec::new();
+    loop {
+        let c = it
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '&' if it.peek() == Some(&'&') => {
+                it.next();
+                match it.next() {
+                    Some('[') => {
+                        let (neg, inner_items, inner_clauses) = parse_class_raw(it, pattern);
+                        assert!(
+                            inner_clauses.is_empty(),
+                            "nested && classes unsupported in pattern {pattern:?}"
+                        );
+                        clauses.push((neg, inner_items));
+                    }
+                    _ => panic!("expected [ after && in pattern {pattern:?}"),
+                }
+            }
+            '\\' => items.push(escaped(it.next(), pattern)),
+            c => {
+                if it.peek() == Some(&'-') {
+                    it.next();
+                    match it.peek() {
+                        // Trailing '-' before ']' is a literal dash.
+                        Some(&']') | None => {
+                            items.push(c);
+                            items.push('-');
+                        }
+                        Some(&end) => {
+                            it.next();
+                            assert!(c <= end, "inverted range in pattern {pattern:?}");
+                            items.extend(c..=end);
+                        }
+                    }
+                } else {
+                    items.push(c);
+                }
+            }
+        }
+    }
+    (negated, items, clauses)
+}
+
+fn escaped(c: Option<char>, pattern: &str) -> char {
+    match c {
+        Some('r') => '\r',
+        Some('n') => '\n',
+        Some('t') => '\t',
+        Some(other) => other,
+        None => panic!("dangling escape in pattern {pattern:?}"),
+    }
+}
+
+fn parse_repeat(it: &mut Peekable<Chars<'_>>, pattern: &str) -> (usize, usize) {
+    match it.peek() {
+        Some(&'{') => {
+            it.next();
+            let min = parse_number(it, pattern);
+            match it.next() {
+                Some('}') => (min, min),
+                Some(',') => {
+                    let max = parse_number(it, pattern);
+                    assert_eq!(it.next(), Some('}'), "unterminated repeat in {pattern:?}");
+                    assert!(min <= max, "inverted repeat bounds in {pattern:?}");
+                    (min, max)
+                }
+                _ => panic!("malformed repeat in pattern {pattern:?}"),
+            }
+        }
+        Some(&'*') => {
+            it.next();
+            (0, 8)
+        }
+        Some(&'+') => {
+            it.next();
+            (1, 8)
+        }
+        Some(&'?') => {
+            it.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_number(it: &mut Peekable<Chars<'_>>, pattern: &str) -> usize {
+    let mut n: Option<usize> = None;
+    while let Some(d) = it.peek().and_then(|c| c.to_digit(10)) {
+        it.next();
+        n = Some(n.unwrap_or(0) * 10 + d as usize);
+    }
+    n.unwrap_or_else(|| panic!("expected number in repeat of pattern {pattern:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(pattern: &str, case: u32) -> String {
+        let mut rng = TestRng::for_case("string", case);
+        generate(pattern, &mut rng)
+    }
+
+    #[test]
+    fn class_with_ranges_and_repeat() {
+        for case in 0..50 {
+            let s = sample("[a-zA-Z0-9._-]{1,16}", case);
+            assert!((1..=16).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || ".-_".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        for case in 0..50 {
+            let s = sample("[ -~]{0,24}", case);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn subtraction_excludes_chars() {
+        for case in 0..100 {
+            let s = sample("[ -~&&[^\r\n]]{0,32}", case);
+            assert!(!s.contains('\r') && !s.contains('\n'));
+            let t = sample("[ -~&&[^<>&\"']]{0,23}", case);
+            assert!(t.chars().all(|c| !"<>&\"'".contains(c)));
+        }
+    }
+
+    #[test]
+    fn escapes_inside_class() {
+        let mut saw_cr = false;
+        for case in 0..200 {
+            let s = sample("[ -~\r\n]{0,128}", case);
+            saw_cr |= s.contains('\r') || s.contains('\n');
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\r' || c == '\n'));
+        }
+        assert!(saw_cr, "CR/LF never generated from an including class");
+    }
+
+    #[test]
+    fn exact_and_literal_repeats() {
+        assert_eq!(sample("abc", 0), "abc");
+        assert_eq!(sample("[x]{4}", 1), "xxxx");
+        let s = sample("a?b+", 2);
+        assert!(s.ends_with('b') && s.len() >= 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic RNG, configuration, and case-level error types.
+
+use std::fmt;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Case count after applying the `PROPTEST_CASES` env override.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` — try another.
+    Reject(String),
+    /// The property does not hold for this case.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A discarded case.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Deterministic xorshift64* generator. Every case derives its seed from
+/// the test name and case index, so failures reproduce exactly on re-run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one case of one named test.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng { state: h | 1 };
+        // Discard the first outputs so similar seeds diverge.
+        rng.next_u64();
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut s = self.state;
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        self.state = s;
+        s.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..bound` (`0` when the bound is zero).
+    pub fn gen_below(&mut self, bound: u128) -> u128 {
+        if bound == 0 {
+            return 0;
+        }
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % bound
+    }
+
+    /// Uniform index into a collection of `len` items (`len > 0`).
+    pub fn gen_index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "gen_index on empty collection");
+        self.gen_below(len as u128) as usize
+    }
+
+    /// Fair coin.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 mantissa bits of uniform randomness.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_cases_diverge() {
+        let mut a = TestRng::for_case("t", 0);
+        let mut b = TestRng::for_case("t", 1);
+        assert_ne!(
+            (a.next_u64(), a.next_u64()),
+            (b.next_u64(), b.next_u64())
+        );
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        for _ in 0..1000 {
+            assert!(rng.gen_below(7) < 7);
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert_eq!(rng.gen_below(0), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! End-to-end exercise of the `proptest!` macro surface the workspace
+//! tests rely on: typed params, `pat in strategy` params (including
+//! `mut` bindings and tuple patterns), config overrides, assumptions,
+//! and failure reporting.
+
+use proptest::prelude::*;
+
+proptest! {
+    /// Typed shorthand params draw from `any::<T>()`.
+    #[test]
+    fn typed_params(start: u16, flag: bool) {
+        let _ = (start, flag);
+        prop_assert!(u32::from(start) <= u32::from(u16::MAX));
+    }
+
+    /// Mixed typed and `in` params, with a `mut` binding.
+    #[test]
+    fn mixed_params(
+        start: u16,
+        mut offsets in prop::collection::vec(0u16..500, 1..100),
+    ) {
+        offsets.sort_unstable();
+        prop_assert!(!offsets.is_empty());
+        prop_assert!(offsets.len() < 100);
+        let _ = start;
+    }
+
+    /// Tuple patterns destructure generated tuples.
+    #[test]
+    fn tuple_pattern((a, b) in (0u8..10, 0u8..10)) {
+        prop_assert!(a < 10 && b < 10);
+    }
+
+    /// `prop_assume!` discards cases without failing the test.
+    #[test]
+    fn assume_discards(n in 0u32..100) {
+        prop_assume!(n % 2 == 0);
+        prop_assert_eq!(n % 2, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(7))]
+
+    /// Config attribute controls the case count.
+    #[test]
+    fn config_applies(x in 0u8..2) {
+        prop_assert!(x < 2);
+    }
+}
+
+#[test]
+fn failures_panic_with_message() {
+    let result = std::panic::catch_unwind(|| {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0u8..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    });
+    let err = result.expect_err("property must fail");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("always_fails"), "unexpected panic: {msg}");
+}
+
+#[test]
+fn oneof_and_strategies_compose() {
+    fn op() -> impl Strategy<Value = (u8, usize)> {
+        prop_oneof![
+            1 => Just((0u8, 0usize)),
+            3 => (1u8..4, 0usize..5).prop_map(|(a, b)| (a, b)),
+        ]
+    }
+    let mut rng = TestRng::for_case("compose", 0);
+    for _ in 0..50 {
+        let (a, b) = op().generate(&mut rng);
+        assert!(a < 4 && b < 5);
+    }
+}

@@ -99,7 +99,7 @@ impl RealProducer {
         let timestamp_ms = now.saturating_duration_since(started).as_millis();
         match packet.header.payload_type {
             payload_type::PCMU | payload_type::GSM => {
-                let data = self.encode(&[packet.payload.clone()]);
+                let data = self.encode(std::slice::from_ref(&packet.payload));
                 self.push(ChunkKind::Audio, timestamp_ms, data);
             }
             _ => {

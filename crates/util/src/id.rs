@@ -149,6 +149,8 @@ impl<T: From<u64>> IdAllocator<T> {
     }
 
     /// Returns the next id, advancing the counter.
+    // Not an Iterator: allocation never ends and needs &mut discipline.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> T {
         let id = T::from(self.next);
         self.next += 1;

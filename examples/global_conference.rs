@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         if h323.state() == EndpointState::Registered && !admitted {
             admitted = true;
-            queue.push(h323.place_call(&format!("conf-{}", session.value()), 6400));
+            queue.push(h323.place_call(format!("conf-{}", session.value()), 6400));
         }
     }
     assert_eq!(h323.state(), EndpointState::InCall);

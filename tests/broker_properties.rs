@@ -3,17 +3,21 @@
 //! delivered exactly once to every matching subscriber and to no one
 //! else — plus invariants for the trie and the interest protocol.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use proptest::prelude::*;
 
+use mmcs::broker::event::{Event, EventClass};
 use mmcs::broker::network::BrokerNetwork;
+use mmcs::broker::node::{Action, BrokerNode, Input, Origin};
 use mmcs::broker::topic::{SubscriptionTable, Topic, TopicFilter};
-use mmcs_util::id::ClientId;
+use mmcs_util::id::{BrokerId, ClientId};
 
 /// Strategy: a topic from a small alphabet, 1–4 segments deep.
 fn topic_strategy() -> impl Strategy<Value = Topic> {
     prop::collection::vec(prop::sample::select(vec!["a", "b", "c"]), 1..=4)
-        .prop_map(|segments| Topic::from_segments(segments))
+        .prop_map(Topic::from_segments)
 }
 
 /// Strategy: a filter from the same alphabet with wildcards.
@@ -157,6 +161,138 @@ proptest! {
         let deliveries_b = b.drain_deliveries().len();
 
         prop_assert_eq!(deliveries_a, deliveries_b);
+    }
+}
+
+/// One step of the route-cache churn property below.
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Subscribe(usize, TopicFilter),
+    Unsubscribe(usize, TopicFilter),
+    RemoteSubscribe(usize, TopicFilter),
+    RemoteUnsubscribe(usize, TopicFilter),
+    Publish(Topic),
+}
+
+fn churn_op_strategy() -> impl Strategy<Value = ChurnOp> {
+    prop_oneof![
+        3 => (0usize..6, filter_strategy()).prop_map(|(c, f)| ChurnOp::Subscribe(c, f)),
+        2 => (0usize..6, filter_strategy()).prop_map(|(c, f)| ChurnOp::Unsubscribe(c, f)),
+        2 => (0usize..2, filter_strategy()).prop_map(|(p, f)| ChurnOp::RemoteSubscribe(p, f)),
+        1 => (0usize..2, filter_strategy()).prop_map(|(p, f)| ChurnOp::RemoteUnsubscribe(p, f)),
+        4 => topic_strategy().prop_map(ChurnOp::Publish),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The memoized route cache never changes what a publish delivers:
+    /// under arbitrary subscribe/unsubscribe/publish interleavings
+    /// (local and remote), the cached plan's delivery and forward sets
+    /// equal a naive re-walk oracle over the tracked subscriptions.
+    #[test]
+    fn route_cache_agrees_with_oracle_under_churn(
+        ops in prop::collection::vec(churn_op_strategy(), 1..50),
+    ) {
+        let mut node = BrokerNode::new(BrokerId::from_raw(1));
+        let clients: Vec<ClientId> = (0..6).map(|i| ClientId::from_raw(i + 1)).collect();
+        for &client in &clients {
+            node.handle(Input::AttachClient { client, profile: Default::default() }).unwrap();
+        }
+        let peers: Vec<BrokerId> = (0..2).map(|i| BrokerId::from_raw(i + 10)).collect();
+        for &peer in &peers {
+            node.handle(Input::LinkUp { peer }).unwrap();
+        }
+        // The oracle: flat lists of live subscriptions, re-walked from
+        // scratch on every publish.
+        let mut local_subs: Vec<(ClientId, TopicFilter)> = Vec::new();
+        let mut remote_subs: Vec<(BrokerId, TopicFilter)> = Vec::new();
+        let mut actions: Vec<Action> = Vec::new();
+        let mut seq = 0u64;
+
+        for op in ops {
+            match op {
+                ChurnOp::Subscribe(index, filter) => {
+                    let client = clients[index];
+                    node.handle(Input::Subscribe { client, filter: filter.clone() }).unwrap();
+                    if !local_subs.contains(&(client, filter.clone())) {
+                        local_subs.push((client, filter));
+                    }
+                }
+                ChurnOp::Unsubscribe(index, filter) => {
+                    let client = clients[index];
+                    node.handle(Input::Unsubscribe { client, filter: filter.clone() }).unwrap();
+                    local_subs.retain(|entry| *entry != (client, filter.clone()));
+                }
+                ChurnOp::RemoteSubscribe(index, filter) => {
+                    let peer = peers[index];
+                    node.handle(Input::RemoteSubscribe { peer, filter: filter.clone() }).unwrap();
+                    if !remote_subs.contains(&(peer, filter.clone())) {
+                        remote_subs.push((peer, filter));
+                    }
+                }
+                ChurnOp::RemoteUnsubscribe(index, filter) => {
+                    let peer = peers[index];
+                    node.handle(Input::RemoteUnsubscribe { peer, filter: filter.clone() }).unwrap();
+                    remote_subs.retain(|entry| *entry != (peer, filter.clone()));
+                }
+                ChurnOp::Publish(topic) => {
+                    let event = Event::new(
+                        topic.clone(),
+                        clients[0],
+                        seq,
+                        EventClass::Data,
+                        Bytes::new(),
+                    )
+                    .into_shared();
+                    seq += 1;
+                    actions.clear();
+                    node.handle_into(
+                        Input::Publish {
+                            origin: Origin::Client(clients[0]),
+                            event: Arc::clone(&event),
+                        },
+                        &mut actions,
+                    )
+                    .unwrap();
+                    let mut delivered: Vec<ClientId> = actions
+                        .iter()
+                        .filter_map(|a| match a {
+                            Action::Deliver { client, .. } => Some(*client),
+                            _ => None,
+                        })
+                        .collect();
+                    delivered.sort_unstable();
+                    let mut forwarded: Vec<BrokerId> = actions
+                        .iter()
+                        .filter_map(|a| match a {
+                            Action::Forward { peer, .. } => Some(*peer),
+                            _ => None,
+                        })
+                        .collect();
+                    forwarded.sort_unstable();
+
+                    let mut expected_clients: Vec<ClientId> = local_subs
+                        .iter()
+                        .filter(|(_, f)| f.matches(&topic))
+                        .map(|(c, _)| *c)
+                        .collect();
+                    expected_clients.sort_unstable();
+                    expected_clients.dedup();
+                    let mut expected_peers: Vec<BrokerId> = remote_subs
+                        .iter()
+                        .filter(|(_, f)| f.matches(&topic))
+                        .map(|(p, _)| *p)
+                        .collect();
+                    expected_peers.sort_unstable();
+                    expected_peers.dedup();
+
+                    prop_assert_eq!(delivered, expected_clients, "deliveries for {}", &topic);
+                    prop_assert_eq!(forwarded, expected_peers, "forwards for {}", &topic);
+                }
+            }
+        }
     }
 }
 

@@ -48,7 +48,7 @@ fn sip_and_h323_share_a_conference_with_media() {
         }
         if endpoint.state() == EndpointState::Registered && !placed {
             placed = true;
-            queue.push(endpoint.place_call(&format!("conf-{}", session.value()), 6400));
+            queue.push(endpoint.place_call(format!("conf-{}", session.value()), 6400));
         }
     }
     assert_eq!(endpoint.state(), EndpointState::InCall);

@@ -1,0 +1,127 @@
+//! Proves the routing fast path is allocation-free: once a topic's plan
+//! is memoized and the caller's action buffer has grown to the fan-out,
+//! publishing does not touch the heap at all.
+//!
+//! This file holds exactly one test so the counting allocator sees no
+//! traffic from sibling tests in the same binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use mmcs::broker::event::{Event, EventClass};
+use mmcs::broker::node::{Action, BrokerNode, Input, Origin};
+use mmcs::broker::topic::{Topic, TopicFilter};
+use mmcs_util::id::{BrokerId, ClientId};
+
+struct CountingAlloc;
+
+thread_local! {
+    // Per-thread so the libtest harness threads cannot perturb the
+    // measurement. `const` init keeps the TLS access itself alloc-free.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocs() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+fn bump() {
+    // `try_with` so allocations during TLS teardown don't panic.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_publish_allocates_nothing() {
+    const FANOUT: usize = 100;
+    const PUBLISHES: u64 = 1000;
+
+    let mut node = BrokerNode::new(BrokerId::from_raw(1));
+    let topic = Topic::parse("conf/1/video").unwrap();
+    for i in 0..FANOUT {
+        let client = ClientId::from_raw(i as u64 + 1);
+        node.handle(Input::AttachClient {
+            client,
+            profile: Default::default(),
+        })
+        .unwrap();
+        node.handle(Input::Subscribe {
+            client,
+            filter: TopicFilter::exact(&topic),
+        })
+        .unwrap();
+    }
+    let publisher = ClientId::from_raw(9999);
+    node.handle(Input::AttachClient {
+        client: publisher,
+        profile: Default::default(),
+    })
+    .unwrap();
+    let event = Event::new(
+        topic,
+        publisher,
+        0,
+        EventClass::Rtp,
+        Bytes::from(vec![0u8; 1000]),
+    )
+    .into_shared();
+
+    // Warm-up: builds and memoizes the plan, grows the action buffer.
+    let mut actions: Vec<Action> = Vec::new();
+    node.handle_into(
+        Input::Publish {
+            origin: Origin::Client(publisher),
+            event: Arc::clone(&event),
+        },
+        &mut actions,
+    )
+    .unwrap();
+    assert_eq!(actions.len(), FANOUT);
+    let generation = node.generation();
+
+    let before = thread_allocs();
+    for _ in 0..PUBLISHES {
+        actions.clear();
+        node.handle_into(
+            Input::Publish {
+                origin: Origin::Client(publisher),
+                event: Arc::clone(&event),
+            },
+            &mut actions,
+        )
+        .unwrap();
+        assert_eq!(actions.len(), FANOUT);
+    }
+    let after = thread_allocs();
+
+    assert_eq!(
+        after - before,
+        0,
+        "warm route path must not allocate ({} allocations across {} publishes)",
+        after - before,
+        PUBLISHES,
+    );
+    // The plan was served from cache the whole time.
+    assert_eq!(node.generation(), generation);
+    assert_eq!(node.plan_cache_len(), 1);
+}

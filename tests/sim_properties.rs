@@ -52,6 +52,7 @@ impl Process for MonotonicSink {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_world(
     seed: u64,
     senders: usize,
@@ -132,10 +133,8 @@ proptest! {
         loss in 0.0f64..0.5,
         cpu_us in 0u64..200,
     ) {
-        let (sent, delivered, lost, queued) =
-            match run_world(seed, senders, count, bytes, gap_us, bandwidth_kbps, loss, cpu_us) {
-                (s, d, l, q, _) => (s, d, l, q),
-            };
+        let (sent, delivered, lost, queued, _) =
+            run_world(seed, senders, count, bytes, gap_us, bandwidth_kbps, loss, cpu_us);
         prop_assert_eq!(sent, delivered + lost + queued,
             "sent {} != delivered {} + loss {} + queue {}", sent, delivered, lost, queued);
     }
