@@ -1,0 +1,158 @@
+//! `mmcs-analyze` — project-specific static analysis for the Global-MMCS
+//! workspace.
+//!
+//! The broker network is a long-running concurrent service; the paper's
+//! deployment story ("serve heavy traffic from millions of users") makes
+//! two whole classes of defect unacceptable: **panics in library code**
+//! and **lock-order inversions**. This crate is the static half of the
+//! defense (the dynamic half is the instrumented `parking_lot` shim):
+//!
+//! | lint | guarantees |
+//! |------|------------|
+//! | `no-unwrap-in-lib` | service crates never `.unwrap()`/`.expect()`/`panic!` outside tests |
+//! | `no-std-sync-locks` | every lock goes through the instrumented `parking_lot` shim |
+//! | `no-direct-instant-now` | no wall-clock reads outside `util::time` (determinism) |
+//! | `pub-item-doc-coverage` | `broker` and `xgsp` public items are documented |
+//! | `shim-api-drift` | vendored shims export nothing the workspace does not use |
+//!
+//! The engine is deliberately dependency-free: a masking scanner
+//! ([`scan`]) blanks comments/strings and computes `#[cfg(test)]` and
+//! `macro_rules!` regions, and each lint ([`lints`]) is a scoped
+//! substring scan over that clean view. Deliberate violations live in a
+//! checked-in [`allowlist`] (`analyze.allow`) whose entries require a
+//! justification and go stale (error) the moment the code they cover
+//! changes.
+//!
+//! Run it as `cargo run -p mmcs-analyze -- check`.
+
+pub mod allowlist;
+pub mod lints;
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use allowlist::Entry;
+use lints::Violation;
+use scan::SourceFile;
+
+/// Default allowlist file name, resolved against the workspace root.
+pub const ALLOWLIST_FILE: &str = "analyze.allow";
+
+/// Outcome of a full workspace check.
+#[derive(Debug)]
+pub struct Report {
+    /// Violations not covered by the allowlist.
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by allowlist entries.
+    pub suppressed: Vec<Violation>,
+    /// Allowlist entries that matched nothing (errors).
+    pub stale: Vec<Entry>,
+    /// Problems parsing the allowlist file itself.
+    pub allowlist_errors: Vec<allowlist::ParseError>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the check passed.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.stale.is_empty() && self.allowlist_errors.is_empty()
+    }
+}
+
+/// Lints a set of in-memory `(path, content)` sources — the same pipeline
+/// `check_workspace` runs on disk files. Used by the fixture tests and
+/// usable by other tooling.
+pub fn lint_sources(sources: &[(&str, &str)]) -> Vec<Violation> {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(path, content)| SourceFile::parse(path, content))
+        .collect();
+    lints::run_all(&files)
+}
+
+/// Applies an allowlist (by text) to a violation set, returning
+/// `(kept, suppressed, stale_entries, parse_errors)`.
+pub fn apply_allowlist(
+    allow_text: &str,
+    violations: Vec<Violation>,
+) -> (
+    Vec<Violation>,
+    Vec<Violation>,
+    Vec<Entry>,
+    Vec<allowlist::ParseError>,
+) {
+    let (entries, errors) = allowlist::parse(allow_text);
+    let (kept, suppressed, stale_idx) = allowlist::apply(&entries, violations);
+    let stale = stale_idx.into_iter().map(|i| entries[i].clone()).collect();
+    (kept, suppressed, stale, errors)
+}
+
+/// Runs every lint over the workspace rooted at `root`, applying the
+/// allowlist at `root/analyze.allow` if present.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking or reading sources.
+pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let mut paths = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let content = fs::read_to_string(path)?;
+        let rel = relative_slash(root, path);
+        files.push(SourceFile::parse(&rel, &content));
+    }
+    let violations = lints::run_all(&files);
+    let allow_path = root.join(ALLOWLIST_FILE);
+    let allow_text = if allow_path.is_file() {
+        fs::read_to_string(&allow_path)?
+    } else {
+        String::new()
+    };
+    let (kept, suppressed, stale, allowlist_errors) = apply_allowlist(&allow_text, violations);
+    Ok(Report {
+        violations: kept,
+        suppressed,
+        stale,
+        allowlist_errors,
+        files_scanned: files.len(),
+    })
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `fixtures` directories hold deliberately-bad lint inputs
+            // (e.g. crates/analyze/tests/fixtures); they are data, not
+            // workspace code.
+            if name == "target" || name == ".git" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_slash(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,98 @@
+//! CLI for the workspace lint engine.
+//!
+//! ```text
+//! cargo run -p mmcs-analyze -- check [--root DIR] [--emit-allow]
+//! ```
+//!
+//! `check` scans the workspace, applies `analyze.allow`, and prints
+//! `file:line: [lint] message` diagnostics. Exit code 0 means clean, 1
+//! means violations / stale allowlist entries, 2 means usage or I/O
+//! error. `--emit-allow` additionally prints ready-to-paste allowlist
+//! lines (with `TODO justify` placeholders) for every open violation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mmcs_analyze::{allowlist, check_workspace, ALLOWLIST_FILE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut root = PathBuf::from(".");
+    let mut emit_allow = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" if command.is_none() => command = Some("check"),
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = PathBuf::from(dir),
+                    None => return usage("--root requires a directory"),
+                }
+            }
+            "--emit-allow" => emit_allow = true,
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if command != Some("check") {
+        return usage("expected the `check` subcommand");
+    }
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "mmcs-analyze: {} does not look like the workspace root (no Cargo.toml); \
+             run from the repo root or pass --root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = match check_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("mmcs-analyze: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for err in &report.allowlist_errors {
+        println!("{ALLOWLIST_FILE}:{}: [allowlist-syntax] {}", err.line, err.message);
+    }
+    for entry in &report.stale {
+        println!(
+            "{ALLOWLIST_FILE}:{}: [stale-allowlist] entry matches nothing \
+             (fixed or moved?): {} :: {} :: {}",
+            entry.line, entry.lint, entry.path, entry.snippet
+        );
+    }
+    for v in &report.violations {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.lint, v.message);
+        println!("    {}", v.snippet);
+    }
+    if emit_allow && !report.violations.is_empty() {
+        println!("\n# --- allowlist lines for the violations above ---");
+        for v in &report.violations {
+            println!("{}", allowlist::render_entry(v));
+        }
+    }
+    println!(
+        "mmcs-analyze: {} files, {} violation(s), {} suppressed, {} stale allowlist entr{}",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len(),
+        report.stale.len(),
+        if report.stale.len() == 1 { "y" } else { "ies" },
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("mmcs-analyze: {problem}");
+    eprintln!("usage: mmcs-analyze check [--root DIR] [--emit-allow]");
+    ExitCode::from(2)
+}

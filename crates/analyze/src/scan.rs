@@ -1,0 +1,426 @@
+//! Source model for the lint engine.
+//!
+//! The lints in this crate are line/token-level: they never build a full
+//! AST, but they must not fire on text inside comments, string literals,
+//! `#[cfg(test)]` items, or `macro_rules!` bodies. [`SourceFile`]
+//! precomputes exactly that: a *masked* copy of every line (comment and
+//! literal contents blanked out, delimiters kept) plus per-line region
+//! flags, so each lint is a simple substring scan over clean input.
+
+/// One parsed source file, ready for linting.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Original source lines (used for doc-comment detection and for
+    /// diagnostic snippets).
+    pub raw: Vec<String>,
+    /// Lines with comments and string/char literal *contents* replaced by
+    /// spaces. Quote delimiters survive so token shapes stay intact.
+    pub masked: Vec<String>,
+    /// Whether the line belongs to a `#[cfg(test)]` item (attribute line
+    /// included).
+    pub in_test: Vec<bool>,
+    /// Whether the line is inside a `macro_rules!` body.
+    pub in_macro: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Parses `content` into the masked + region-annotated model.
+    pub fn parse(path: &str, content: &str) -> SourceFile {
+        let raw: Vec<String> = content.lines().map(str::to_owned).collect();
+        let masked = mask(content);
+        debug_assert_eq!(raw.len(), masked.len());
+        let in_test = block_regions(&masked, RegionKind::CfgTest);
+        let in_macro = block_regions(&masked, RegionKind::MacroRules);
+        SourceFile {
+            path: path.to_owned(),
+            raw,
+            masked,
+            in_test,
+            in_macro,
+        }
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether the file has no lines.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+}
+
+/// Collapses runs of whitespace to single spaces and trims: the canonical
+/// form used for allowlist snippet matching, tolerant of re-indentation.
+pub fn normalize_ws(line: &str) -> String {
+    line.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Whether `needle` occurs in `haystack` delimited by non-identifier
+/// characters on both sides.
+pub fn contains_word(haystack: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !haystack[..at]
+                .chars()
+                .next_back()
+                .is_some_and(is_ident_char);
+        let after = at + needle.len();
+        let after_ok = after >= haystack.len()
+            || !haystack[after..].chars().next().is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len().max(1);
+    }
+    false
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Blanks comment text and string/char literal contents, preserving line
+/// structure and delimiter characters.
+fn mask(content: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for line in content.lines() {
+        // Line comments never span lines.
+        if matches!(mode, Mode::LineComment) {
+            mode = Mode::Code;
+        }
+        let chars: Vec<char> = line.chars().collect();
+        let mut masked = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match mode {
+                Mode::Code => match c {
+                    '/' if next == Some('/') => {
+                        mode = Mode::LineComment;
+                        masked.push(' ');
+                        masked.push(' ');
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::BlockComment(1);
+                        masked.push(' ');
+                        masked.push(' ');
+                        i += 2;
+                    }
+                    '"' => {
+                        mode = Mode::Str;
+                        masked.push('"');
+                        i += 1;
+                    }
+                    'r' | 'b' if raw_str_hashes(&chars, i).is_some() => {
+                        // r"..", r#".."#, br".." etc.
+                        let (hashes, skip) = raw_str_hashes(&chars, i).unwrap_or((0, 1));
+                        mode = Mode::RawStr(hashes);
+                        for _ in 0..skip {
+                            masked.push(' ');
+                        }
+                        masked.push('"');
+                        i += skip + 1;
+                    }
+                    '\'' => {
+                        // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                        let is_char = match next {
+                            Some('\\') => true,
+                            Some(n) if is_ident_char(n) => chars.get(i + 2) == Some(&'\''),
+                            Some(_) => true, // e.g. '(' — punctuation char literal
+                            None => false,
+                        };
+                        if is_char {
+                            mode = Mode::Char;
+                            masked.push('\'');
+                        } else {
+                            masked.push('\'');
+                        }
+                        i += 1;
+                    }
+                    _ => {
+                        masked.push(c);
+                        i += 1;
+                    }
+                },
+                Mode::LineComment => {
+                    masked.push(' ');
+                    i += 1;
+                }
+                Mode::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        masked.push(' ');
+                        masked.push(' ');
+                        i += 2;
+                        if depth == 1 {
+                            mode = Mode::Code;
+                        } else {
+                            mode = Mode::BlockComment(depth - 1);
+                        }
+                    } else if c == '/' && next == Some('*') {
+                        masked.push(' ');
+                        masked.push(' ');
+                        i += 2;
+                        mode = Mode::BlockComment(depth + 1);
+                    } else {
+                        masked.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Str => match c {
+                    '\\' => {
+                        masked.push(' ');
+                        if next.is_some() {
+                            masked.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1; // line-continuation escape
+                        }
+                    }
+                    '"' => {
+                        mode = Mode::Code;
+                        masked.push('"');
+                        i += 1;
+                    }
+                    _ => {
+                        masked.push(' ');
+                        i += 1;
+                    }
+                },
+                Mode::RawStr(hashes) => {
+                    if c == '"' && closing_hashes(&chars, i + 1) >= hashes {
+                        masked.push('"');
+                        for _ in 0..hashes {
+                            masked.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        mode = Mode::Code;
+                    } else {
+                        masked.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Char => match c {
+                    '\\' => {
+                        masked.push(' ');
+                        if next.is_some() {
+                            masked.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    '\'' => {
+                        mode = Mode::Code;
+                        masked.push('\'');
+                        i += 1;
+                    }
+                    _ => {
+                        masked.push(' ');
+                        i += 1;
+                    }
+                },
+            }
+        }
+        // A char literal never spans lines; a stray quote means we
+        // misparsed a lifetime — recover rather than poison the file.
+        if matches!(mode, Mode::Char) {
+            mode = Mode::Code;
+        }
+        out.push(masked);
+    }
+    out
+}
+
+/// If `chars[i..]` starts a raw-string opener (`r"`, `r#"`, `br"`, ...),
+/// returns `(hash_count, chars_before_quote)`.
+fn raw_str_hashes(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    // Only treat as a raw string if `r`/`br` begins a token: the previous
+    // char must not be part of an identifier (`for r in ..` vs `parser"`).
+    if i > 0 && is_ident_char(chars[i - 1]) {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j - i))
+    } else {
+        None
+    }
+}
+
+fn closing_hashes(chars: &[char], from: usize) -> u32 {
+    let mut n = 0;
+    while chars.get(from + n as usize) == Some(&'#') {
+        n += 1;
+    }
+    n
+}
+
+enum RegionKind {
+    CfgTest,
+    MacroRules,
+}
+
+/// Marks lines belonging to brace-delimited regions introduced by a
+/// trigger line: a `#[cfg(test)]`-style attribute (the region is the next
+/// item) or a `macro_rules!` definition (the region is its body).
+fn block_regions(masked: &[String], kind: RegionKind) -> Vec<bool> {
+    let mut out = Vec::with_capacity(masked.len());
+    let mut depth: i64 = 0;
+    // (depth at trigger, whether the region's block has been entered)
+    let mut region: Option<(i64, bool)> = None;
+    for line in masked {
+        let trimmed = line.trim_start();
+        let mut line_in = region.is_some();
+        if region.is_none() {
+            let triggered = match kind {
+                RegionKind::CfgTest => {
+                    trimmed.starts_with("#[cfg(") && contains_word(trimmed, "test")
+                }
+                RegionKind::MacroRules => contains_word(trimmed, "macro_rules"),
+            };
+            if triggered {
+                region = Some((depth, false));
+                line_in = true;
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some((d, entered)) = &mut region {
+                        if !*entered && depth == *d + 1 {
+                            *entered = true;
+                        }
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some((d, entered)) = region {
+                        if entered && depth == d {
+                            line_in = true;
+                            region = None;
+                        }
+                    }
+                }
+                ';' => {
+                    if let Some((d, entered)) = region {
+                        // Attribute applied to a block-less item
+                        // (`#[cfg(test)] use foo;`): region ends here.
+                        if !entered && depth == d {
+                            region = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push(line_in || region.is_some());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let a = \"panic!()\"; // .unwrap()\nlet b = 1; /* .expect( */ let c = 2;",
+        );
+        assert!(!f.masked[0].contains("panic"));
+        assert!(!f.masked[0].contains("unwrap"));
+        assert!(f.masked[1].contains("let c = 2;"));
+        assert!(!f.masked[1].contains("expect"));
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let s = r#\"panic! \"# ; let c = '\\'' ; let lt: &'static str = \"\";",
+        );
+        assert!(!f.masked[0].contains("panic"));
+        assert!(f.masked[0].contains("&'static str"));
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let f = SourceFile::parse("x.rs", "/*\n.unwrap()\n*/\nlet x = 1;");
+        assert!(!f.masked[1].contains("unwrap"));
+        assert!(f.masked[3].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_region_detected() {
+        let src = "pub fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\npub fn c() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_single_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.in_test, vec![true, true, false]);
+    }
+
+    #[test]
+    fn cfg_attr_is_not_a_test_region() {
+        let src = "#[cfg_attr(test, derive(Debug))]\npub struct S;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.in_test, vec![false, false]);
+    }
+
+    #[test]
+    fn macro_rules_region_detected() {
+        let src = "macro_rules! m {\n    () => { pub fn hidden() {} };\n}\npub fn real() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.in_macro, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        assert!(contains_word("use std::sync::Mutex;", "Mutex"));
+        assert!(!contains_word("MutexGuard", "Mutex"));
+        assert!(!contains_word("latest", "test"));
+        assert!(contains_word("cfg(test)", "test"));
+    }
+
+    #[test]
+    fn normalize_collapses_whitespace() {
+        assert_eq!(normalize_ws("  a\t b   c "), "a b c");
+    }
+}

@@ -1,0 +1,17 @@
+//! Known-bad fixture: scanned as `crates/broker/src/fixture.rs` by
+//! `../lints.rs`, which asserts these exact (lint, line) diagnostics.
+//! Line numbers are load-bearing — append, never insert.
+
+use std::sync::Mutex;
+
+pub struct Undocumented;
+
+pub fn leaky(input: &str) -> u32 {
+    let parsed: u32 = input.parse().unwrap();
+    let _deadline = Instant::now();
+    if parsed == 0 {
+        panic!("zero is invalid");
+    }
+    let guard = GLOBAL.lock().expect("poisoned");
+    parsed + *guard
+}

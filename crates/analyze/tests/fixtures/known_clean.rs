@@ -1,0 +1,30 @@
+//! Known-clean fixture: near-miss constructs that must produce zero
+//! diagnostics even under the strictest path scope
+//! (`crates/broker/src/fixture.rs`). Every line here is a trap a naive
+//! substring scanner would fall into.
+
+use parking_lot::Mutex;
+
+/// Documented, and handles errors without panicking.
+pub fn careful(input: &str) -> Option<u32> {
+    // Comments may say .unwrap() or panic! or std::sync::Mutex freely.
+    let fallback = "strings with .unwrap() and Instant::now() are data";
+    let _ = fallback;
+    input.parse().ok()
+}
+
+/// The `unwrap_or_*` family is fine — it cannot panic.
+pub fn defaulted() -> u32 {
+    "7".parse().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: u32 = "1".parse().unwrap();
+        if v != 1 {
+            panic!("tests may panic");
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Shim fixture: scanned as `crates/shims/fake/src/lib.rs`. Whether
+//! `orphan` is drift depends on the user file the test pairs it with.
+
+pub fn used() {}
+
+pub fn orphan() {}

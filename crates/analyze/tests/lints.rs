@@ -1,0 +1,144 @@
+//! Fixture tests for the lint engine: exact diagnostics over known-bad
+//! and known-clean inputs, the allowlist round trip, and a self-check
+//! that the real workspace is clean under its checked-in allowlist.
+//!
+//! The fixtures live under `fixtures/` as plain `.rs` files (cargo does
+//! not compile them; the workspace walker skips `fixtures` directories).
+//! They are fed to the engine under scoped fake paths, because every
+//! lint's coverage is keyed off the workspace-relative path.
+
+use std::path::Path;
+
+use mmcs_analyze::allowlist::render_entry;
+use mmcs_analyze::{apply_allowlist, check_workspace, lint_sources};
+
+const KNOWN_BAD: &str = include_str!("fixtures/known_bad.rs");
+const KNOWN_CLEAN: &str = include_str!("fixtures/known_clean.rs");
+const SHIM_FIXTURE: &str = include_str!("fixtures/shim_fixture.rs");
+
+/// The strictest scope: a broker library file is covered by all four
+/// per-file lints.
+const BROKER_PATH: &str = "crates/broker/src/fixture.rs";
+
+#[test]
+fn known_bad_produces_exact_diagnostics() {
+    let violations = lint_sources(&[(BROKER_PATH, KNOWN_BAD)]);
+    let got: Vec<(&str, usize)> = violations.iter().map(|v| (v.lint, v.line)).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("no-std-sync-locks", 5),
+            ("pub-item-doc-coverage", 7),
+            ("pub-item-doc-coverage", 9),
+            ("no-unwrap-in-lib", 10),
+            ("no-direct-instant-now", 11),
+            ("no-unwrap-in-lib", 13),
+            ("no-unwrap-in-lib", 15),
+        ],
+        "full diagnostic set over fixtures/known_bad.rs: {violations:#?}"
+    );
+    assert!(violations[1].message.contains("`Undocumented`"));
+    assert!(violations[2].message.contains("`leaky`"));
+    assert!(violations[3].message.contains("`.unwrap()`"));
+    assert!(violations[5].message.contains("`panic!`"));
+    assert_eq!(violations[0].path, BROKER_PATH);
+    // Snippets are whitespace-normalized source lines (allowlist keys).
+    assert_eq!(violations[0].snippet, "use std::sync::Mutex;");
+    assert_eq!(violations[3].snippet, "let parsed: u32 = input.parse().unwrap();");
+}
+
+#[test]
+fn scope_is_per_lint_not_global() {
+    // The same bad file in a crate outside the panic-free and
+    // doc-covered sets still trips the workspace-wide lock and clock
+    // lints — and nothing else.
+    let violations = lint_sources(&[("crates/util/src/fixture.rs", KNOWN_BAD)]);
+    let got: Vec<(&str, usize)> = violations.iter().map(|v| (v.lint, v.line)).collect();
+    assert_eq!(
+        got,
+        vec![("no-std-sync-locks", 5), ("no-direct-instant-now", 11)]
+    );
+}
+
+#[test]
+fn known_clean_is_silent() {
+    let violations = lint_sources(&[(BROKER_PATH, KNOWN_CLEAN)]);
+    assert!(
+        violations.is_empty(),
+        "known_clean.rs must produce no diagnostics: {violations:#?}"
+    );
+}
+
+#[test]
+fn shim_drift_depends_on_workspace_usage() {
+    let shim = ("crates/shims/fake/src/lib.rs", SHIM_FIXTURE);
+    // `orphan` unused by the rest of the workspace: drift.
+    let violations = lint_sources(&[shim, ("crates/broker/src/user.rs", "fn f() { fake::used(); }\n")]);
+    let got: Vec<(&str, usize)> = violations.iter().map(|v| (v.lint, v.line)).collect();
+    assert_eq!(got, vec![("shim-api-drift", 6)]);
+    assert!(violations[0].message.contains("`orphan`"));
+    // Both exports exercised: silence.
+    let violations = lint_sources(&[
+        shim,
+        ("crates/broker/src/user.rs", "fn f() { fake::used(); fake::orphan(); }\n"),
+    ]);
+    assert!(violations.is_empty(), "{violations:#?}");
+    // Usage inside the shim itself does not count.
+    let violations = lint_sources(&[
+        shim,
+        ("crates/shims/fake/src/extra.rs", "fn g() { crate::used(); crate::orphan(); }\n"),
+    ]);
+    assert_eq!(violations.len(), 2, "self-use is not workspace use");
+}
+
+#[test]
+fn allowlist_round_trip_suppresses_everything() {
+    let violations = lint_sources(&[(BROKER_PATH, KNOWN_BAD)]);
+    let count = violations.len();
+    let allow: String = violations
+        .iter()
+        .map(|v| render_entry(v).replace("TODO justify", "fixture: reviewed") + "\n")
+        .collect();
+    let (kept, suppressed, stale, errors) = apply_allowlist(&allow, violations);
+    assert!(kept.is_empty(), "every violation must be suppressed: {kept:#?}");
+    assert_eq!(suppressed.len(), count);
+    assert!(stale.is_empty());
+    assert!(errors.is_empty());
+}
+
+#[test]
+fn stale_allowlist_entries_are_reported() {
+    // An entry whose code was fixed must surface as stale, not vanish.
+    let allow = "no-unwrap-in-lib :: crates/broker/src/fixture.rs :: let gone = fixed.unwrap(); :: was fixed\n";
+    let (kept, suppressed, stale, errors) =
+        apply_allowlist(allow, lint_sources(&[(BROKER_PATH, KNOWN_CLEAN)]));
+    assert!(kept.is_empty() && suppressed.is_empty() && errors.is_empty());
+    assert_eq!(stale.len(), 1);
+    assert_eq!(stale[0].line, 1);
+    assert_eq!(stale[0].snippet, "let gone = fixed.unwrap();");
+}
+
+#[test]
+fn allowlist_requires_a_justification() {
+    let allow = "no-unwrap-in-lib :: p.rs :: x.unwrap();\n\
+                 no-unwrap-in-lib :: p.rs :: y.unwrap(); ::   \n";
+    let (_, _, _, errors) = apply_allowlist(allow, Vec::new());
+    assert_eq!(errors.len(), 2, "missing and blank justifications are errors");
+}
+
+#[test]
+fn real_workspace_is_clean_under_checked_in_allowlist() {
+    // `cargo test` itself enforces the lints: the repository must stay
+    // clean with analyze.allow, and analyze.allow must carry no stale
+    // entries or parse errors.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = check_workspace(&root).expect("workspace scan");
+    assert!(report.files_scanned > 100, "walker must see the workspace");
+    assert!(
+        report.is_clean(),
+        "violations: {:#?}\nstale: {:#?}\nerrors: {:#?}",
+        report.violations,
+        report.stale,
+        report.allowlist_errors
+    );
+}

@@ -59,19 +59,33 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+/// Send batching and the broker CPU cost model.
 pub mod batch;
+/// The broker event: topic, origin, sequence, class and payload.
 pub mod event;
+/// Firewall/NAT traversal modelling for client transports.
 pub mod firewall;
+/// Liveness tracking: heartbeats and failure suspicion for peers.
 pub mod liveness;
+/// A synchronous in-process network of broker nodes for tests and sims.
 pub mod network;
+/// The sans-IO broker node state machine (`handle(Input) -> Actions`).
 pub mod node;
+/// Per-publisher sequence tracking and in-order delivery guards.
 pub mod ordering;
+/// Peer-to-peer delivery mode, bypassing the broker overlay.
 pub mod p2p;
+/// Transport profiles (UDP/TCP/tunnelled) attached to clients.
 pub mod profile;
+/// Reliable-delivery layer: acknowledgements, retransmit and dedup.
 pub mod reliable;
+/// RTP proxying through the broker overlay for media topics.
 pub mod rtpproxy;
+/// Drives broker nodes from the discrete-event simulator clock.
 pub mod simdrv;
+/// A threaded runtime wrapping the sans-IO node in real OS threads.
 pub mod threaded;
+/// Hierarchical topics and wildcard topic filters.
 pub mod topic;
 
 pub use event::Event;

@@ -229,7 +229,8 @@ impl BrokerNetwork {
     ///
     /// # Panics
     ///
-    /// Panics if `client` is unknown.
+    /// Panics if `client` is unknown. Use [`BrokerNetwork::try_publish`]
+    /// to handle that case as an error instead.
     pub fn publish(&mut self, client: ClientId, topic: Topic, payload: Bytes) {
         self.publish_class(client, topic, EventClass::Data, payload);
     }
@@ -238,7 +239,9 @@ impl BrokerNetwork {
     ///
     /// # Panics
     ///
-    /// Panics if `client` is unknown.
+    /// Panics if `client` is unknown. Use
+    /// [`BrokerNetwork::try_publish_class`] to handle that case as an
+    /// error instead.
     pub fn publish_class(
         &mut self,
         client: ClientId,
@@ -246,10 +249,44 @@ impl BrokerNetwork {
         class: EventClass,
         payload: Bytes,
     ) {
+        self.try_publish_class(client, topic, class, payload)
+            .expect("publish requires an attached client");
+    }
+
+    /// Publishes a data event from a client, reporting an unknown client
+    /// as an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownClient`] if the client is not
+    /// attached (never attached, or already detached).
+    pub fn try_publish(
+        &mut self,
+        client: ClientId,
+        topic: Topic,
+        payload: Bytes,
+    ) -> Result<(), NetworkError> {
+        self.try_publish_class(client, topic, EventClass::Data, payload)
+    }
+
+    /// Publishes an event with an explicit class, reporting an unknown
+    /// client as an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownClient`] if the client is not
+    /// attached (never attached, or already detached).
+    pub fn try_publish_class(
+        &mut self,
+        client: ClientId,
+        topic: Topic,
+        class: EventClass,
+        payload: Bytes,
+    ) -> Result<(), NetworkError> {
         let broker = *self
             .client_home
             .get(&client)
-            .unwrap_or_else(|| panic!("unknown client {client}"));
+            .ok_or(NetworkError::UnknownClient(client))?;
         let seq = self.client_seq.entry(client).or_insert(0);
         let event = Event::new(topic, client, *seq, class, payload).into_shared();
         *seq += 1;
@@ -257,7 +294,6 @@ impl BrokerNetwork {
             origin: Origin::Client(client),
             event,
         })
-        .expect("publish from attached client cannot fail");
     }
 
     /// Takes all deliveries accumulated so far.

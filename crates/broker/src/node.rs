@@ -332,9 +332,16 @@ impl BrokerNode {
         // Cold path: resolve both tables, then memoize.
         let mut local_ids = Vec::new();
         self.local_subs.matches_into(topic, &mut local_ids);
+        // Every subscribed client has a profile entry (subscribe checks
+        // attachment); a missing one is a table desync, so drop that
+        // client from the plan rather than panic mid-routing.
         let local = local_ids
             .into_iter()
-            .map(|client| (client, self.clients[&client]))
+            .filter_map(|client| {
+                let profile = self.clients.get(&client).copied();
+                debug_assert!(profile.is_some(), "subscriber {client} has no profile");
+                profile.map(|p| (client, p))
+            })
             .collect();
         let mut remote = Vec::new();
         self.remote_subs.matches_into(topic, &mut remote);

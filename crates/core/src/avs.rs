@@ -78,7 +78,7 @@ impl MediaSwitch {
             .activity
             .iter()
             .filter(|(_, a)| now.saturating_duration_since(a.last_update) < staleness)
-            .max_by(|a, b| a.1.level.partial_cmp(&b.1.level).expect("levels are finite"))
+            .max_by(|a, b| a.1.level.total_cmp(&b.1.level))
             .map(|(user, a)| (user.clone(), a.level));
         let (candidate, candidate_level) = loudest?;
 

@@ -116,12 +116,15 @@ impl CommunityDirectory {
             .names
             .get(community)
             .ok_or_else(|| CommunityError::Unknown(community.to_owned()))?;
-        let server_id = self.server_ids.next();
-        self.communities
+        // Resolve through the id map with the same error as the name
+        // lookup: the two maps are kept consistent, but a drift then
+        // reports "unknown community" instead of tearing the server down.
+        let record = self
+            .communities
             .get_mut(&id)
-            .expect("name map is consistent")
-            .servers
-            .push(ServerRecord {
+            .ok_or_else(|| CommunityError::Unknown(community.to_owned()))?;
+        let server_id = self.server_ids.next();
+        record.servers.push(ServerRecord {
                 id: server_id,
                 service: service.into(),
                 endpoint: endpoint.into(),

@@ -3,116 +3,241 @@
 //! Wraps [`std::sync`] primitives with `parking_lot`'s poison-free API:
 //! `lock()` returns a guard directly, recovering the data if a previous
 //! holder panicked (matching parking_lot, which has no poisoning).
+//!
+//! Unlike the real crate, this shim is **instrumented**: in debug builds
+//! every lock carries the `file:line` of its construction site and every
+//! blocking acquisition feeds a global lock-order graph. Acquiring locks
+//! in an order that contradicts an order seen earlier — a potential
+//! deadlock — panics immediately with both acquisition stacks, and a
+//! watchdog records guards held longer than a threshold. See the
+//! [`deadlock`] module. Release builds compile all of it away.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::panic::Location;
 use std::sync;
 
+pub mod deadlock;
+
+use deadlock::Tracked;
+
 /// A mutual-exclusion lock that never poisons.
-#[derive(Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    site: &'static Location<'static>,
+    inner: sync::Mutex<T>,
+}
 
 /// RAII guard for [`Mutex`].
-pub struct MutexGuard<'a, T: ?Sized>(sync::MutexGuard<'a, T>);
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Declared before `tracked` so the std guard drops (unlocks) first
+    // and the tracker then records the release.
+    inner: sync::MutexGuard<'a, T>,
+    #[allow(dead_code)]
+    tracked: Tracked,
+}
 
 impl<T> Mutex<T> {
-    /// Creates a new mutex.
+    /// Creates a new mutex. The caller's location becomes the lock's
+    /// site id in the deadlock detector.
+    #[track_caller]
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            #[cfg(debug_assertions)]
+            site: Location::caller(),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if this acquisition creates a lock-order
+    /// cycle with acquisitions recorded earlier (potential deadlock).
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
+        #[cfg(debug_assertions)]
+        deadlock::on_blocking_acquire(self.site);
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+            tracked: self.tracked(),
+        }
     }
 
-    /// Tries to acquire the lock without blocking.
+    /// Tries to acquire the lock without blocking. Never records a
+    /// lock-order edge: a non-blocking acquisition cannot close a wait
+    /// cycle.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(guard) => Some(MutexGuard(guard)),
-            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(debug_assertions)]
+        deadlock::on_try_acquire(self.site);
+        Some(MutexGuard {
+            inner,
+            tracked: self.tracked(),
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn tracked(&self) -> Tracked {
+        #[cfg(debug_assertions)]
+        {
+            Tracked::new(self.site)
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            Tracked::new()
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
     }
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
     }
 }
 
 impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
     }
 }
 
 /// A reader-writer lock that never poisons.
-#[derive(Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(debug_assertions)]
+    site: &'static Location<'static>,
+    inner: sync::RwLock<T>,
+}
 
 /// Shared-read guard for [`RwLock`].
-pub struct RwLockReadGuard<'a, T: ?Sized>(sync::RwLockReadGuard<'a, T>);
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    #[allow(dead_code)]
+    tracked: Tracked,
+}
 
 /// Exclusive-write guard for [`RwLock`].
-pub struct RwLockWriteGuard<'a, T: ?Sized>(sync::RwLockWriteGuard<'a, T>);
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    #[allow(dead_code)]
+    tracked: Tracked,
+}
 
 impl<T> RwLock<T> {
-    /// Creates a new lock.
+    /// Creates a new lock. The caller's location becomes the lock's site
+    /// id in the deadlock detector.
+    #[track_caller]
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            #[cfg(debug_assertions)]
+            site: Location::caller(),
+            inner: sync::RwLock::new(value),
+        }
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if this acquisition creates a lock-order
+    /// cycle with acquisitions recorded earlier (potential deadlock).
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+        #[cfg(debug_assertions)]
+        deadlock::on_blocking_acquire(self.site);
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            tracked: self.tracked(),
+        }
     }
 
     /// Acquires exclusive write access.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if this acquisition creates a lock-order
+    /// cycle with acquisitions recorded earlier (potential deadlock).
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+        #[cfg(debug_assertions)]
+        deadlock::on_blocking_acquire(self.site);
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            tracked: self.tracked(),
+        }
+    }
+
+    fn tracked(&self) -> Tracked {
+        #[cfg(debug_assertions)]
+        {
+            Tracked::new(self.site)
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            Tracked::new()
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
     }
 }
 
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        &self.inner
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        &mut self.inner
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
     }
 }
 
@@ -126,6 +251,7 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert!(m.try_lock().is_some());
+        assert_eq!(m.into_inner(), 2);
     }
 
     #[test]
@@ -134,5 +260,15 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn consistent_nesting_order_does_not_panic() {
+        let outer = Mutex::new(());
+        let inner = Mutex::new(());
+        for _ in 0..3 {
+            let _a = outer.lock();
+            let _b = inner.lock();
+        }
     }
 }

@@ -79,12 +79,13 @@ impl Archive {
 
     /// Offers a chunk; it is stored only while its stream is recording.
     pub fn observe(&mut self, chunk: &RealChunk) {
-        if self.is_recording(&chunk.stream) {
-            self.recordings
-                .get_mut(&chunk.stream)
-                .expect("start() created the recording")
-                .chunks
-                .push(chunk.clone());
+        if !self.is_recording(&chunk.stream) {
+            return;
+        }
+        // `start()` creates the recording when it flips the flag, so the
+        // lookup always hits; a miss would just drop the chunk.
+        if let Some(recording) = self.recordings.get_mut(&chunk.stream) {
+            recording.chunks.push(chunk.clone());
         }
     }
 

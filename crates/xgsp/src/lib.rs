@@ -38,12 +38,19 @@
 //! # Ok::<(), mmcs_xgsp::message::ParseXgspError>(())
 //! ```
 
+/// Scheduled-mode session reservations and their calendar.
 pub mod calendar;
+/// Floor control: who may speak/present, queueing and grants.
 pub mod floor;
+/// Media kinds carried by a session and their per-kind defaults.
 pub mod media;
+/// The XGSP wire messages and their XML encoding.
 pub mod message;
+/// The session server: owns sessions, turns messages into effects.
 pub mod server;
+/// One collaboration session: members, streams, floor and lifecycle.
 pub mod session;
+/// WSDL-CI, the WSDL Collaboration Interface to the session server.
 pub mod wsdl_ci;
 
 pub use message::XgspMessage;

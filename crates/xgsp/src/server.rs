@@ -7,6 +7,7 @@
 //! `handle(from, message) -> Vec<ServerOutput>`; the `global-mmcs` crate
 //! wires the outputs to endpoints and to the NaradaBrokering network.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use mmcs_util::id::{IdAllocator, SessionId};
@@ -113,13 +114,16 @@ impl SessionServer {
                 outputs
             }
             XgspMessage::TerminateSession { session } => {
-                let Some(record) = self.sessions.get_mut(&session) else {
+                // Occupied-entry dance: check permission on the borrowed
+                // record, then remove through the same entry, so there is
+                // no second lookup that could (impossibly) miss.
+                let Entry::Occupied(mut occupied) = self.sessions.entry(session) else {
                     return vec![unknown_session(session)];
                 };
-                if let Err(err) = record.session.terminate(from) {
+                if let Err(err) = occupied.get_mut().session.terminate(from) {
                     return vec![session_error(err)];
                 }
-                let record = self.sessions.remove(&session).expect("checked above");
+                let record = occupied.remove();
                 let mut outputs = Vec::new();
                 for stream in record.session.streams() {
                     outputs.push(ServerOutput::Broker(BrokerCommand::RemoveTopic(
@@ -199,11 +203,12 @@ impl SessionServer {
                 // Ad-hoc rooms evaporate when the last member leaves;
                 // scheduled rooms persist until their reservation ends.
                 if record.session.member_count() == 0 && record.mode == SessionMode::AdHoc {
-                    let record = self.sessions.remove(&session).expect("present");
-                    for stream in record.session.streams() {
-                        outputs.push(ServerOutput::Broker(BrokerCommand::RemoveTopic(
-                            stream.topic.clone(),
-                        )));
+                    if let Some(record) = self.sessions.remove(&session) {
+                        for stream in record.session.streams() {
+                            outputs.push(ServerOutput::Broker(BrokerCommand::RemoveTopic(
+                                stream.topic.clone(),
+                            )));
+                        }
                     }
                 }
                 outputs

@@ -166,8 +166,9 @@ impl Session {
         let id = StreamId::from_raw(self.next_stream);
         self.next_stream += 1;
         let topic = format!("globalmmcs/session-{}/{}", self.id.value(), kind.as_str());
+        let pos = self.streams.len();
         self.streams.push(MediaStream { id, kind, topic });
-        &self.streams.last().expect("just pushed").topic
+        &self.streams[pos].topic
     }
 
     /// Members in stable (name) order.

@@ -76,6 +76,65 @@ fn unsubscribe_race_converges() {
     );
 }
 
+/// Positive run under the lock-order deadlock detector: the same churn
+/// the other tests apply, executed while the instrumented `parking_lot`
+/// shim watches every acquisition. Any lock-order inversion in the
+/// threaded broker would panic the broker or a client thread; the
+/// watchdog must also stay quiet for broker-owned locks (its hot-path
+/// holds are microseconds).
+#[cfg(debug_assertions)]
+#[test]
+fn stress_is_lock_inversion_free_under_detector() {
+    use parking_lot::deadlock;
+    assert!(deadlock::is_active(), "debug build must carry the detector");
+    let broker = Arc::new(ThreadedBroker::spawn());
+    let stable = broker.attach();
+    stable.subscribe(TopicFilter::parse("det/#").unwrap());
+    let mut handles = Vec::new();
+    for worker in 0..3 {
+        let broker = Arc::clone(&broker);
+        handles.push(std::thread::spawn(move || {
+            let publisher = broker.attach();
+            for i in 0..200 {
+                publisher.publish(
+                    Topic::parse(&format!("det/{worker}")).unwrap(),
+                    Bytes::from(format!("{i}").into_bytes()),
+                );
+            }
+        }));
+    }
+    for _ in 0..2 {
+        let broker = Arc::clone(&broker);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..15 {
+                let churner = broker.attach();
+                churner.subscribe(TopicFilter::parse("det/#").unwrap());
+                let _ = churner.recv_timeout(Duration::from_millis(1));
+                drop(churner);
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("no thread may trip the deadlock detector");
+    }
+    let mut received = 0;
+    while stable.recv_timeout(Duration::from_millis(500)).is_some() {
+        received += 1;
+        if received == 600 {
+            break;
+        }
+    }
+    assert_eq!(received, 600, "delivery must be unaffected by the detector");
+    let broker_holds: Vec<_> = deadlock::long_holds()
+        .into_iter()
+        .filter(|h| h.site.contains("crates/broker"))
+        .collect();
+    assert!(
+        broker_holds.is_empty(),
+        "broker locks held past the watchdog threshold: {broker_holds:?}"
+    );
+}
+
 #[test]
 fn shutdown_under_load_is_clean() {
     let broker = Arc::new(ThreadedBroker::spawn());
