@@ -190,4 +190,55 @@ mod tests {
     fn degenerate_configuration_panics() {
         let _ = FailureDetector::new(SimDuration::from_secs(2), SimDuration::from_secs(1));
     }
+
+    /// A peer that dies, is reported, and later rejoins (re-`watch`) must
+    /// be reported again on its second death — `take_suspects` unwatching
+    /// does not blacklist the peer forever.
+    #[test]
+    fn rewatched_peer_is_reported_on_second_death() {
+        let mut fd = detector();
+        fd.watch(peer(1), SimTime::ZERO);
+        assert_eq!(fd.take_suspects(SimTime::from_millis(1600)), vec![peer(1)]);
+        // Peer restarts and is watched again at t = 5 s.
+        fd.watch(peer(1), SimTime::from_secs(5));
+        assert_eq!(
+            fd.liveness(peer(1), SimTime::from_millis(5100)),
+            Some(Liveness::Alive)
+        );
+        // It goes silent again: second death, second (single) report.
+        assert_eq!(fd.take_suspects(SimTime::from_millis(6600)), vec![peer(1)]);
+        assert!(fd.take_suspects(SimTime::from_millis(7000)).is_empty());
+    }
+
+    /// Heartbeats from a peer nobody watches must not implicitly start
+    /// watching it (that is `watch`'s job, taken on `LinkUp`).
+    #[test]
+    fn heartbeat_from_unwatched_peer_is_a_no_op() {
+        let mut fd = detector();
+        fd.on_heartbeat(peer(9), SimTime::from_millis(100));
+        assert_eq!(fd.watched(), 0);
+        assert_eq!(fd.liveness(peer(9), SimTime::from_millis(200)), None);
+        assert!(fd.take_suspects(SimTime::from_secs(60)).is_empty());
+    }
+
+    /// `should_send_heartbeat` under irregular `now` values: a late poll
+    /// sends immediately, pacing is measured from the actual send time
+    /// (not an idealized grid), and a clock that reads the same instant
+    /// twice sends only once.
+    #[test]
+    fn heartbeat_pacing_under_irregular_polls() {
+        let mut fd = detector(); // every 500 ms
+        assert!(fd.should_send_heartbeat(SimTime::from_millis(7)));
+        // Same instant polled twice: one send.
+        assert!(!fd.should_send_heartbeat(SimTime::from_millis(7)));
+        // A long stall: the next poll sends immediately…
+        assert!(fd.should_send_heartbeat(SimTime::from_millis(2300)));
+        // …and the interval restarts from 2300, not from a multiple of 500.
+        assert!(!fd.should_send_heartbeat(SimTime::from_millis(2500)));
+        assert!(!fd.should_send_heartbeat(SimTime::from_millis(2799)));
+        assert!(fd.should_send_heartbeat(SimTime::from_millis(2800)));
+        // A poll that jumps backwards (e.g. replayed event) must not send:
+        // saturating arithmetic reads it as zero elapsed.
+        assert!(!fd.should_send_heartbeat(SimTime::from_millis(2600)));
+    }
 }

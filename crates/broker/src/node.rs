@@ -308,6 +308,22 @@ impl BrokerNode {
         self.clients.contains_key(&client)
     }
 
+    /// Filters currently advertised to `peer`, sorted.
+    ///
+    /// Drivers on lossy transports periodically re-send these as
+    /// `AdvertiseAdd` messages: the receiving node treats a duplicate
+    /// `RemoteSubscribe` as a no-op, so the refresh repairs adverts the
+    /// network dropped without disturbing settled state.
+    pub fn advertised_to(&self, peer: BrokerId) -> Vec<TopicFilter> {
+        let mut filters: Vec<TopicFilter> = self
+            .advertised
+            .get(&peer)
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default();
+        filters.sort_unstable();
+        filters
+    }
+
     /// The current route-cache generation. Bumps whenever subscriptions,
     /// clients, or links change; equal generations guarantee identical
     /// routing.
@@ -461,8 +477,12 @@ impl BrokerNode {
                 }
                 self.advertised.insert(peer, HashSet::new());
                 // Advertise everything the rest of the world is
-                // interested in to the new peer.
-                let filters: Vec<TopicFilter> = self.interest.keys().cloned().collect();
+                // interested in to the new peer. Sorted so the advert
+                // order (and thus driver send order) is independent of
+                // hash-map iteration order — deterministic replay
+                // across process runs depends on it.
+                let mut filters: Vec<TopicFilter> = self.interest.keys().cloned().collect();
+                filters.sort_unstable();
                 for filter in filters {
                     self.refresh_advert_for_peer(peer, &filter, out);
                 }
@@ -476,12 +496,14 @@ impl BrokerNode {
                 if self.remote_subs.unsubscribe_all(&peer) > 0 {
                     self.touch();
                 }
-                let affected: Vec<TopicFilter> = self
+                let mut affected: Vec<TopicFilter> = self
                     .interest
                     .iter()
                     .filter(|(_, i)| i.peers.contains(&peer))
                     .map(|(f, _)| f.clone())
                     .collect();
+                // Sorted for cross-run-deterministic advert emission.
+                affected.sort_unstable();
                 for filter in affected {
                     if let Some(entry) = self.interest.get_mut(&filter) {
                         entry.peers.remove(&peer);
@@ -592,7 +614,9 @@ impl BrokerNode {
     /// Re-derives whether each peer should see an advert for `filter` and
     /// emits the diff.
     fn refresh_adverts_for(&mut self, filter: &TopicFilter, actions: &mut Vec<Action>) {
-        let peers: Vec<BrokerId> = self.peers.iter().copied().collect();
+        // Sorted for cross-run-deterministic advert emission.
+        let mut peers: Vec<BrokerId> = self.peers.iter().copied().collect();
+        peers.sort_unstable();
         for peer in peers {
             self.refresh_advert_for_peer(peer, filter, actions);
         }

@@ -9,7 +9,7 @@
 //! retransmission with a bounded in-flight window, and duplicate
 //! suppression on the receiving side.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use mmcs_util::time::{SimDuration, SimTime};
@@ -41,8 +41,10 @@ pub struct ReliableSender {
     in_flight: BTreeMap<u64, (Arc<Event>, SimTime)>,
     window: usize,
     retransmit_after: SimDuration,
-    /// Events accepted but not yet transmitted (window full).
-    backlog: Vec<Arc<Event>>,
+    /// Events accepted but not yet transmitted (window full). A deque:
+    /// `pump` drains from the front, so draining a backlog of n events
+    /// is O(n) rather than the O(n²) a `Vec::remove(0)` would cost.
+    backlog: VecDeque<Arc<Event>>,
     retransmissions: u64,
 }
 
@@ -60,7 +62,7 @@ impl ReliableSender {
             in_flight: BTreeMap::new(),
             window,
             retransmit_after,
-            backlog: Vec::new(),
+            backlog: VecDeque::new(),
             retransmissions: 0,
         }
     }
@@ -68,7 +70,7 @@ impl ReliableSender {
     /// Offers an event for transmission; returns the frames to put on
     /// the wire now (possibly none if the window is full).
     pub fn send(&mut self, event: Arc<Event>, now: SimTime) -> Vec<ReliableFrame> {
-        self.backlog.push(event);
+        self.backlog.push_back(event);
         self.pump(now)
     }
 
@@ -96,8 +98,10 @@ impl ReliableSender {
 
     fn pump(&mut self, now: SimTime) -> Vec<ReliableFrame> {
         let mut out = Vec::new();
-        while self.in_flight.len() < self.window && !self.backlog.is_empty() {
-            let event = self.backlog.remove(0);
+        while self.in_flight.len() < self.window {
+            let Some(event) = self.backlog.pop_front() else {
+                break;
+            };
             let seq = self.next_seq;
             self.next_seq += 1;
             self.in_flight.insert(seq, (Arc::clone(&event), now));
@@ -272,6 +276,31 @@ mod tests {
         assert!(dup_delivery.is_empty());
         assert_eq!(ack.next_expected, 1);
         assert_eq!(receiver.duplicates(), 1);
+    }
+
+    /// Regression for the `Vec::remove(0)` → `VecDeque::pop_front`
+    /// backlog fix: a deep backlog drained under backpressure must come
+    /// out in exactly the order the events were offered, with sequence
+    /// numbers assigned in that same order.
+    #[test]
+    fn deep_backlog_drains_in_offer_order() {
+        let mut sender = ReliableSender::new(3, rto());
+        let mut transmitted = Vec::new();
+        for n in 0..200 {
+            transmitted.extend(sender.send(event(n), SimTime::ZERO));
+        }
+        assert_eq!(sender.backlogged(), 197, "window of 3 holds the rest");
+        // Ack whatever is outstanding, a few frames at a time, until the
+        // backlog is fully drained.
+        while !sender.is_idle() {
+            let acked = transmitted.last().map_or(0, |f: &ReliableFrame| f.seq + 1);
+            transmitted.extend(sender.on_ack(Ack { next_expected: acked }, SimTime::ZERO));
+        }
+        let seqs: Vec<u64> = transmitted.iter().map(|f| f.seq).collect();
+        assert_eq!(seqs, (0..200).collect::<Vec<_>>(), "wire order == offer order");
+        let payload_order: Vec<u64> = transmitted.iter().map(|f| f.event.seq).collect();
+        assert_eq!(payload_order, (0..200).collect::<Vec<_>>());
+        assert_eq!(sender.retransmissions(), 0);
     }
 
     /// Randomized adversarial channel: drop and reorder frames freely;

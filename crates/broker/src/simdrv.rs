@@ -18,7 +18,7 @@
 //! flows after a configurable start delay, by which point subscriptions
 //! have settled.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use mmcs_rtp::packet::RtpPacket;
@@ -79,6 +79,18 @@ pub enum BrokerMsg {
     Heartbeat {
         /// The beating broker.
         from: BrokerId,
+        /// The sender's restart count. A jump tells the receiver the
+        /// peer restarted (losing its interest table) even if the
+        /// explicit `Hello` was dropped by a lossy link, so heartbeats
+        /// double as a self-healing resync trigger.
+        incarnation: u64,
+    },
+    /// A peer broker (re)announces itself after a restart. The receiver
+    /// bounces the link (`LinkDown` + `LinkUp`) so every advert is
+    /// re-sent — the restarted peer lost its remote interest table.
+    Hello {
+        /// The announcing broker.
+        from: BrokerId,
     },
     /// A peer broker advertises interest.
     AdvertiseAdd {
@@ -111,12 +123,27 @@ pub struct BrokerProcess {
     node: BrokerNode,
     cost: CostModel,
     clients: HashMap<ClientId, (ProcessId, TransportProfile)>,
-    peers: HashMap<BrokerId, ProcessId>,
+    /// Static configuration: every peer this broker is wired to, whether
+    /// or not the node-level link is currently up. Ordered so heartbeat
+    /// and resync send order is deterministic across process runs.
+    peers: BTreeMap<BrokerId, ProcessId>,
     /// Heartbeat-based peer failure detection, when enabled.
     detector: Option<FailureDetector>,
+    /// Liveness parameters, kept to rebuild the detector after a crash.
+    liveness_cfg: Option<(SimDuration, SimDuration)>,
+    /// This broker's restart count, stamped into heartbeats.
+    incarnation: u64,
+    /// Last incarnation seen per peer; a jump forces an advert resync.
+    peer_incarnations: BTreeMap<BrokerId, u64>,
+    /// Liveness ticks elapsed (drives the periodic advert refresh).
+    ticks: u64,
     /// Whether this broker emits heartbeats (tests disable it to model
     /// a hung broker).
     heartbeats_enabled: bool,
+    /// Interleaved history of peer suspicions and rejoins, in the order
+    /// they happened (chaos-harness probe; survives simulated restarts —
+    /// it belongs to the observer, not the broker state).
+    peer_history: Vec<(BrokerId, PeerLinkEvent)>,
     /// Reused action buffer: the per-packet hot path allocates nothing
     /// once it has grown to the peak fan-out.
     scratch: Vec<Action>,
@@ -125,6 +152,17 @@ pub struct BrokerProcess {
 /// Timer token for the liveness tick.
 const LIVENESS_TICK: u64 = 0xBEA7;
 
+/// One entry in a broker's peer-link history (see
+/// [`BrokerProcess::peer_history`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerLinkEvent {
+    /// The failure detector declared the peer dead (one `LinkDown`).
+    Suspected,
+    /// The peer came back (heartbeat/`Hello` after a disconnect, one
+    /// `LinkUp`).
+    Rejoined,
+}
+
 impl BrokerProcess {
     /// Creates a broker process with the given cost model.
     pub fn new(id: BrokerId, cost: CostModel) -> Self {
@@ -132,9 +170,14 @@ impl BrokerProcess {
             node: BrokerNode::new(id),
             cost,
             clients: HashMap::new(),
-            peers: HashMap::new(),
+            peers: BTreeMap::new(),
             detector: None,
+            liveness_cfg: None,
+            incarnation: 0,
+            peer_incarnations: BTreeMap::new(),
+            ticks: 0,
             heartbeats_enabled: true,
+            peer_history: Vec::new(),
             scratch: Vec::new(),
         }
     }
@@ -144,6 +187,7 @@ impl BrokerProcess {
     /// node's `LinkDown`, which withdraws their interest).
     pub fn with_liveness(mut self, every: SimDuration, timeout: SimDuration) -> Self {
         self.detector = Some(FailureDetector::new(every, timeout));
+        self.liveness_cfg = Some((every, timeout));
         self
     }
 
@@ -151,6 +195,25 @@ impl BrokerProcess {
     /// still routes traffic, so only liveness sees the failure).
     pub fn mute_heartbeats(&mut self) {
         self.heartbeats_enabled = false;
+    }
+
+    /// Re-enables heartbeats after [`BrokerProcess::mute_heartbeats`]
+    /// (the chaos harness uses the pair to model a transient hang).
+    pub fn unmute_heartbeats(&mut self) {
+        self.heartbeats_enabled = true;
+    }
+
+    /// Interleaved suspicion/rejoin history, oldest first. The chaos
+    /// harness checks that two suspicions of the same peer always have a
+    /// rejoin between them (exactly one `LinkDown` per death).
+    pub fn peer_history(&self) -> &[(BrokerId, PeerLinkEvent)] {
+        &self.peer_history
+    }
+
+    /// Mutable access to the underlying node (the chaos harness calls
+    /// [`BrokerNode::plan_for`], which memoizes, hence `&mut`).
+    pub fn node_mut(&mut self) -> &mut BrokerNode {
+        &mut self.node
     }
 
     /// Whether a peer link is currently up at the node level.
@@ -248,6 +311,52 @@ impl BrokerProcess {
         actions.clear();
         self.scratch = actions;
     }
+
+    /// Brings a configured peer's link (back) up and starts watching it.
+    fn rejoin_peer(&mut self, ctx: &mut Context<'_>, peer: BrokerId) {
+        self.apply(ctx, Input::LinkUp { peer });
+        if let Some(detector) = &mut self.detector {
+            detector.watch(peer, ctx.now());
+        }
+        self.peer_history.push((peer, PeerLinkEvent::Rejoined));
+        ctx.count("broker.peer_rejoined", 1);
+    }
+
+    /// Bounces an up link so every advert is re-sent to a peer that lost
+    /// its interest table (restart detected via `Hello` or an
+    /// incarnation jump in its heartbeats).
+    fn resync_peer(&mut self, ctx: &mut Context<'_>, peer: BrokerId) {
+        self.apply(ctx, Input::LinkDown { peer });
+        self.apply(ctx, Input::LinkUp { peer });
+        if let Some(detector) = &mut self.detector {
+            detector.watch(peer, ctx.now());
+        }
+        ctx.count("broker.peer_resynced", 1);
+    }
+
+    /// Re-sends every advert this node believes `peer` holds. Duplicate
+    /// `RemoteSubscribe`s are no-ops at the peer, so this repairs advert
+    /// packets a lossy link dropped.
+    fn refresh_adverts(&mut self, ctx: &mut Context<'_>) {
+        let linked: Vec<BrokerId> = {
+            let mut l: Vec<BrokerId> = self.node.peers().collect();
+            l.sort_unstable();
+            l
+        };
+        let from = self.node.id();
+        for peer in linked {
+            let Some(process) = self.peers.get(&peer).copied() else {
+                continue;
+            };
+            for filter in self.node.advertised_to(peer) {
+                ctx.send(
+                    process,
+                    BrokerMsg::AdvertiseAdd { from, filter },
+                    CONTROL_BYTES,
+                );
+            }
+        }
+    }
 }
 
 impl Process for BrokerProcess {
@@ -264,25 +373,79 @@ impl Process for BrokerProcess {
         }
     }
 
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        // A broker restart loses all volatile state: the routing node
+        // (subscriptions, remote interest, links) and the client table.
+        // Configuration (id, cost model, wired peers, liveness params)
+        // is durable. Suspicion/rejoin histories belong to the harness
+        // observer and deliberately survive.
+        self.node = BrokerNode::new(self.node.id());
+        self.clients.clear();
+        self.detector = self
+            .liveness_cfg
+            .map(|(every, timeout)| FailureDetector::new(every, timeout));
+        self.incarnation += 1;
+        self.peer_incarnations.clear();
+        self.ticks = 0;
+        ctx.count("broker.restarted", 1);
+        let peers: Vec<(BrokerId, ProcessId)> =
+            self.peers.iter().map(|(b, p)| (*b, *p)).collect();
+        let hello = BrokerMsg::Hello {
+            from: self.node.id(),
+        };
+        for (peer, process) in &peers {
+            self.apply(ctx, Input::LinkUp { peer: *peer });
+            // Ask each peer to resync: they may still believe the link
+            // is up and would otherwise never re-advertise.
+            ctx.send(*process, hello.clone(), CONTROL_BYTES);
+        }
+        if let Some(detector) = &mut self.detector {
+            for (peer, _) in &peers {
+                detector.watch(*peer, ctx.now());
+            }
+            ctx.set_timer(SimDuration::from_millis(250), LIVENESS_TICK);
+        }
+    }
+
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
         if token != LIVENESS_TICK {
             return;
         }
-        let Some(detector) = &mut self.detector else {
+        if self.detector.is_none() {
             return;
-        };
+        }
         let now = ctx.now();
-        if self.heartbeats_enabled && detector.should_send_heartbeat(now) {
-            let from = self.node.id();
-            for process in self.peers.values() {
-                ctx.send(*process, BrokerMsg::Heartbeat { from }, CONTROL_BYTES);
+        if let Some(detector) = &mut self.detector {
+            if self.heartbeats_enabled && detector.should_send_heartbeat(now) {
+                let from = self.node.id();
+                let incarnation = self.incarnation;
+                for process in self.peers.values() {
+                    ctx.send(
+                        *process,
+                        BrokerMsg::Heartbeat { from, incarnation },
+                        CONTROL_BYTES,
+                    );
+                }
             }
         }
-        let suspects = detector.take_suspects(now);
+        self.ticks += 1;
+        if self.ticks.is_multiple_of(4) {
+            // Periodic advert refresh (~1 s): repairs advert packets a
+            // lossy link dropped. Duplicates are no-ops at the peer.
+            self.refresh_adverts(ctx);
+        }
+        let suspects = match &mut self.detector {
+            Some(detector) => detector.take_suspects(now),
+            None => Vec::new(),
+        };
         for peer in suspects {
             ctx.count("broker.peer_suspected", 1);
+            self.peer_history.push((peer, PeerLinkEvent::Suspected));
+            // The node link goes down (withdrawing the peer's interest)
+            // but the peer stays in the static `peers` map: if it comes
+            // back — restart or healed partition — its next heartbeat or
+            // `Hello` rejoins it.
             self.apply(ctx, Input::LinkDown { peer });
-            self.peers.remove(&peer);
         }
         ctx.set_timer(SimDuration::from_millis(250), LIVENESS_TICK);
     }
@@ -300,7 +463,13 @@ impl Process for BrokerProcess {
                 profile,
             } => {
                 self.clients.insert(client, (process, profile));
-                self.apply(ctx, Input::AttachClient { client, profile });
+                if self.node.has_client(client) {
+                    // Periodic client refresh: already attached, nothing
+                    // for the node to do.
+                    ctx.count("broker.client_reattach", 1);
+                } else {
+                    self.apply(ctx, Input::AttachClient { client, profile });
+                }
             }
             BrokerMsg::Subscribe { client, filter } => {
                 self.apply(ctx, Input::Subscribe { client, filter });
@@ -318,12 +487,55 @@ impl Process for BrokerProcess {
                     },
                 );
             }
-            BrokerMsg::Heartbeat { from } => {
+            BrokerMsg::Heartbeat { from, incarnation } => {
+                if self.peers.contains_key(&from) {
+                    let linked = self.node.peers().any(|p| p == from);
+                    let prev = self.peer_incarnations.insert(from, incarnation);
+                    if !linked {
+                        // A configured peer we had disconnected is
+                        // talking again: bring the link back and ask it
+                        // to resend its interest (we dropped our copy on
+                        // LinkDown).
+                        self.rejoin_peer(ctx, from);
+                        if let Some(process) = self.peers.get(&from) {
+                            let hello = BrokerMsg::Hello {
+                                from: self.node.id(),
+                            };
+                            ctx.send(*process, hello, CONTROL_BYTES);
+                        }
+                    } else if prev.is_some_and(|p| p < incarnation) {
+                        // The peer restarted (and its Hello may have
+                        // been lost): re-send every advert.
+                        self.resync_peer(ctx, from);
+                    }
+                }
                 if let Some(detector) = &mut self.detector {
                     detector.on_heartbeat(from, ctx.now());
                 }
             }
+            BrokerMsg::Hello { from } => {
+                if self.peers.contains_key(&from) {
+                    if self.node.peers().any(|p| p == from) {
+                        // Link never dropped on our side: bounce it so
+                        // every advert is re-sent to the resynced peer.
+                        self.resync_peer(ctx, from);
+                    } else {
+                        self.rejoin_peer(ctx, from);
+                    }
+                }
+            }
             BrokerMsg::Forward { from, event } => {
+                if self.peers.contains_key(&from) && !self.node.peers().any(|p| p == from) {
+                    // Data from a peer we had disconnected: rejoin first
+                    // so the event routes instead of erroring.
+                    self.rejoin_peer(ctx, from);
+                    if let Some(process) = self.peers.get(&from) {
+                        let hello = BrokerMsg::Hello {
+                            from: self.node.id(),
+                        };
+                        ctx.send(*process, hello, CONTROL_BYTES);
+                    }
+                }
                 if let Some(detector) = &mut self.detector {
                     // Data traffic proves liveness too.
                     detector.on_heartbeat(from, ctx.now());

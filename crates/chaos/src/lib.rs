@@ -1,0 +1,25 @@
+//! Deterministic chaos harness for the broker network.
+//!
+//! FoundationDB-style simulation testing: a seeded [`schedule`] of faults
+//! (partitions, loss, jitter/duplication, broker crash+restart, heartbeat
+//! suppression, client churn) drives a multi-broker, multi-client
+//! [`scenario`] inside the deterministic simulator, and a library of
+//! [`invariants`] checks the outcome — exactly-once reliable delivery,
+//! route-table convergence against a naive re-walk oracle, one
+//! `LinkDown` per death, XGSP membership consistency, and post-heal
+//! quiescence. On a violation, [`shrink`] bisects the fault schedule to
+//! a minimal reproducer and renders it as a copy-pasteable `#[test]`.
+//!
+//! Everything — topology, traffic, faults, network randomness — derives
+//! from one `u64` seed, so `mmcs-chaos replay <seed>` reproduces a run
+//! bit-identically (same counters, same delivery trace, same
+//! fingerprint).
+
+pub mod invariants;
+pub mod scenario;
+pub mod schedule;
+pub mod shrink;
+
+pub use invariants::{check, Violation};
+pub use scenario::{run, RunReport, ScenarioConfig};
+pub use schedule::{generate, Fault, FaultKind, Target};

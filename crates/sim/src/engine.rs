@@ -27,7 +27,11 @@ pub(crate) struct PendingSend {
 pub(crate) enum EventKind {
     Start(ProcessId),
     Deliver(Packet),
-    Timer(ProcessId, u64),
+    /// A timer stamped with the incarnation of the process that armed
+    /// it: timers armed before a crash never fire after the restart.
+    Timer(ProcessId, u64, u64),
+    /// Re-initialize a process after [`Simulation::restart_process`].
+    Restart(ProcessId),
     /// Pop and run the next pending event on a host.
     Drain(HostId),
 }
@@ -70,6 +74,11 @@ pub struct EngineCore {
     counters: HashMap<String, u64>,
     observations: HashMap<String, OnlineStats>,
     proc_hosts: Vec<HostId>,
+    /// Whether each process is currently crashed (deliveries dropped).
+    proc_crashed: Vec<bool>,
+    /// Bumped on every crash; timers armed under an older incarnation
+    /// are discarded when they fire.
+    proc_incarnation: Vec<u64>,
     stop_requested: bool,
 }
 
@@ -85,7 +94,12 @@ impl EngineCore {
     }
 
     pub(crate) fn schedule_timer(&mut self, process: ProcessId, at: SimTime, token: u64) {
-        self.push(at, EventKind::Timer(process, token));
+        let incarnation = self
+            .proc_incarnation
+            .get(process.0.saturating_sub(1) as usize)
+            .copied()
+            .unwrap_or(0);
+        self.push(at, EventKind::Timer(process, token, incarnation));
     }
 
     pub(crate) fn host_of(&self, process: ProcessId) -> Option<HostId> {
@@ -151,11 +165,31 @@ impl EngineCore {
         self.net.host_mut(src_host).nic_free_at = tx_done;
 
         let link: LinkConfig = self.net.link(src_host, dst_host);
+        if link.down {
+            self.count("net.dropped.linkdown", 1);
+            return;
+        }
         if link.loss > 0.0 && self.rng.chance(link.loss) {
             self.count("net.dropped.loss", 1);
             return;
         }
-        self.push(tx_done + link.latency, EventKind::Deliver(packet));
+        // Network-level duplication delivers a second, independently
+        // jittered copy; the duplicate costs no extra NIC time (it is
+        // created inside the network, not at the sender).
+        let copies = if link.duplicate > 0.0 && self.rng.chance(link.duplicate) {
+            self.count("net.duplicated", 1);
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let extra = if link.jitter > SimDuration::ZERO {
+                SimDuration::from_nanos(self.rng.range_u64(0, link.jitter.as_nanos() + 1))
+            } else {
+                SimDuration::ZERO
+            };
+            self.push(tx_done + link.latency + extra, EventKind::Deliver(packet.clone()));
+        }
     }
 }
 
@@ -196,6 +230,8 @@ impl Simulation {
                 counters: HashMap::new(),
                 observations: HashMap::new(),
                 proc_hosts: Vec::new(),
+                proc_crashed: Vec::new(),
+                proc_incarnation: Vec::new(),
                 stop_requested: false,
             },
             processes: Vec::new(),
@@ -236,10 +272,15 @@ impl Simulation {
             fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
                 self.0.on_timer(ctx, token);
             }
+            fn on_restart(&mut self, ctx: &mut Context<'_>) {
+                self.0.on_restart(ctx);
+            }
         }
         let id = ProcessId(self.processes.len() as u64 + 1);
         self.processes.push(Some(Box::new(BoxedProcess(process))));
         self.core.proc_hosts.push(host);
+        self.core.proc_crashed.push(false);
+        self.core.proc_incarnation.push(0);
         id
     }
 
@@ -261,6 +302,8 @@ impl Simulation {
         let id = ProcessId(self.processes.len() as u64 + 1);
         self.processes.push(Some(Box::new(process)));
         self.core.proc_hosts.push(host);
+        self.core.proc_crashed.push(false);
+        self.core.proc_incarnation.push(0);
         id
     }
 
@@ -275,8 +318,61 @@ impl Simulation {
     }
 
     /// Overrides the link between a specific pair of hosts (symmetric).
+    ///
+    /// May be called mid-run (between [`Simulation::step`] /
+    /// [`Simulation::run_until`] calls) — this is the fault-injection
+    /// hook chaos harnesses use to partition, degrade, and heal links.
     pub fn set_link(&mut self, a: HostId, b: HostId, link: LinkConfig) {
         self.core.net.link_overrides.insert((a, b), link);
+    }
+
+    /// The effective link configuration between two hosts right now.
+    pub fn link_config(&self, a: HostId, b: HostId) -> LinkConfig {
+        self.core.net.link(a, b)
+    }
+
+    /// Crashes a process: until [`Simulation::restart_process`], every
+    /// packet addressed to it is dropped (counted as
+    /// `net.dropped.crashed`) and its armed timers are permanently
+    /// invalidated (a restart begins a new incarnation). The process's
+    /// in-memory state is retained; what state survives the crash is the
+    /// process's own `on_restart` policy. Idempotent.
+    pub fn crash_process(&mut self, process: ProcessId) {
+        let Some(idx) = process.0.checked_sub(1).map(|i| i as usize) else {
+            return;
+        };
+        if idx >= self.core.proc_crashed.len() || self.core.proc_crashed[idx] {
+            return;
+        }
+        self.core.proc_crashed[idx] = true;
+        self.core.proc_incarnation[idx] += 1;
+        self.core.count("sim.crashes", 1);
+    }
+
+    /// Restarts a crashed process: deliveries resume and
+    /// [`Process::on_restart`] runs (at the current virtual time) so the
+    /// process can re-initialize and re-arm its timers. No-op if the
+    /// process is not crashed.
+    pub fn restart_process(&mut self, process: ProcessId) {
+        let Some(idx) = process.0.checked_sub(1).map(|i| i as usize) else {
+            return;
+        };
+        if idx >= self.core.proc_crashed.len() || !self.core.proc_crashed[idx] {
+            return;
+        }
+        self.core.proc_crashed[idx] = false;
+        self.core.count("sim.restarts", 1);
+        let now = self.core.now;
+        self.core.push(now, EventKind::Restart(process));
+    }
+
+    /// Whether a process is currently crashed.
+    pub fn is_crashed(&self, process: ProcessId) -> bool {
+        process
+            .0
+            .checked_sub(1)
+            .and_then(|i| self.core.proc_crashed.get(i as usize).copied())
+            .unwrap_or(false)
     }
 
     /// The current virtual time.
@@ -371,7 +467,8 @@ impl Simulation {
 
         let pid = match &kind {
             EventKind::Start(p) => *p,
-            EventKind::Timer(p, _) => *p,
+            EventKind::Timer(p, _, _) => *p,
+            EventKind::Restart(p) => *p,
             EventKind::Deliver(pkt) => pkt.dst,
             EventKind::Drain(_) => unreachable!("handled above"),
         };
@@ -407,7 +504,8 @@ impl Simulation {
     fn dispatch(&mut self, kind: EventKind, now: SimTime) {
         let (pid, is_delivery) = match &kind {
             EventKind::Start(p) => (*p, false),
-            EventKind::Timer(p, _) => (*p, false),
+            EventKind::Timer(p, _, _) => (*p, false),
+            EventKind::Restart(p) => (*p, false),
             EventKind::Deliver(pkt) => (pkt.dst, true),
             EventKind::Drain(_) => unreachable!("drain events never reach dispatch"),
         };
@@ -415,7 +513,24 @@ impl Simulation {
             self.core.count("net.dropped.noroute", 1);
             return;
         };
-        let Some(mut process) = self.processes[pid.0 as usize - 1].take() else {
+        let idx = pid.0 as usize - 1;
+        if self.core.proc_crashed[idx] {
+            // A dead process neither receives nor computes; what was in
+            // flight toward it is lost.
+            match kind {
+                EventKind::Deliver(_) => self.core.count("net.dropped.crashed", 1),
+                _ => self.core.count("sim.event.crashed", 1),
+            }
+            return;
+        }
+        if let EventKind::Timer(_, _, incarnation) = &kind {
+            if *incarnation != self.core.proc_incarnation[idx] {
+                // Armed by a previous incarnation; the crash killed it.
+                self.core.count("sim.timer.stale", 1);
+                return;
+            }
+        }
+        let Some(mut process) = self.processes[idx].take() else {
             return;
         };
 
@@ -429,7 +544,8 @@ impl Simulation {
         };
         match kind {
             EventKind::Start(_) => process.on_start(&mut ctx),
-            EventKind::Timer(_, token) => process.on_timer(&mut ctx, token),
+            EventKind::Timer(_, token, _) => process.on_timer(&mut ctx, token),
+            EventKind::Restart(_) => process.on_restart(&mut ctx),
             EventKind::Deliver(packet) => {
                 ctx.core.count("net.delivered", 1);
                 process.on_packet(&mut ctx, packet);
@@ -618,6 +734,7 @@ mod tests {
             LinkConfig {
                 latency: SimDuration::from_micros(100),
                 loss: 0.5,
+                ..LinkConfig::default()
             },
         );
         let sink = sim.add_typed_process(b, Sink::default());
@@ -733,6 +850,7 @@ mod tests {
                 LinkConfig {
                     latency: SimDuration::from_micros(500),
                     loss: 0.2,
+                    ..LinkConfig::default()
                 },
             );
             let sink = sim.add_typed_process(b, Sink::default());
@@ -893,5 +1011,238 @@ mod drain_tests {
         // after the ~50 ms of recorder work, not at 15 ms).
         let fired = sim.stat("timer.fired_at_ms").unwrap().mean();
         assert!(fired >= 40.0, "timer fired at {fired} ms");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::net::NicConfig;
+    use crate::process::{Context, Packet, Process, ProcessId};
+    use mmcs_util::time::{SimDuration, SimTime};
+
+    /// Counts packets and records restart notifications.
+    #[derive(Default)]
+    struct Tally {
+        packets: u64,
+        restarts: u64,
+        timer_fires: Vec<u64>,
+    }
+
+    impl Process for Tally {
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _packet: Packet) {
+            self.packets += 1;
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, token: u64) {
+            self.timer_fires.push(token);
+        }
+        fn on_restart(&mut self, ctx: &mut Context<'_>) {
+            self.restarts += 1;
+            ctx.set_timer(SimDuration::from_millis(10), 99);
+        }
+    }
+
+    /// Sends one packet to `dst` every 10 ms.
+    struct Ticker {
+        dst: ProcessId,
+    }
+
+    impl Process for Ticker {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_millis(10), 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _p: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+            ctx.send(self.dst, (), 100);
+            ctx.set_timer(SimDuration::from_millis(10), 0);
+        }
+    }
+
+    #[test]
+    fn link_down_partitions_and_heals() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_host("a", NicConfig::default());
+        let b = sim.add_host("b", NicConfig::default());
+        let sink = sim.add_typed_process(b, Tally::default());
+        sim.add_typed_process(a, Ticker { dst: sink });
+        sim.run_until(SimTime::from_millis(100));
+        let before = sim.process_ref::<Tally>(sink).unwrap().packets;
+        assert!(before > 0);
+
+        sim.set_link(
+            a,
+            b,
+            LinkConfig {
+                down: true,
+                ..LinkConfig::default()
+            },
+        );
+        // One packet may already be in flight when the link drops; let it
+        // land, then assert the partition is absolute.
+        sim.run_until(SimTime::from_millis(120));
+        let during = sim.process_ref::<Tally>(sink).unwrap().packets;
+        sim.run_until(SimTime::from_millis(200));
+        assert_eq!(sim.process_ref::<Tally>(sink).unwrap().packets, during);
+        assert!(sim.counter("net.dropped.linkdown") > 0);
+
+        sim.set_link(a, b, LinkConfig::default());
+        sim.run_until(SimTime::from_millis(300));
+        assert!(sim.process_ref::<Tally>(sink).unwrap().packets > during);
+    }
+
+    #[test]
+    fn duplicate_probability_delivers_copies() {
+        struct Blast {
+            dst: ProcessId,
+        }
+        impl Process for Blast {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                for _ in 0..10 {
+                    ctx.send(self.dst, (), 100);
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _p: Packet) {}
+        }
+        let mut sim = Simulation::new(3);
+        let a = sim.add_host("a", NicConfig::default());
+        let b = sim.add_host("b", NicConfig::default());
+        sim.set_link(
+            a,
+            b,
+            LinkConfig {
+                duplicate: 1.0,
+                ..LinkConfig::default()
+            },
+        );
+        let sink = sim.add_typed_process(b, Tally::default());
+        sim.add_typed_process(a, Blast { dst: sink });
+        sim.run_until(SimTime::from_secs(1));
+        let got = sim.process_ref::<Tally>(sink).unwrap().packets;
+        assert_eq!(sim.counter("net.duplicated"), 10);
+        assert_eq!(got, 20, "every packet delivered exactly twice");
+    }
+
+    #[test]
+    fn jitter_reorders_back_to_back_packets() {
+        // Two packets sent back to back with jitter far exceeding their
+        // spacing: under seed 7 at least one pair arrives out of order.
+        #[derive(Default)]
+        struct SeqSink {
+            seen: Vec<u64>,
+        }
+        impl Process for SeqSink {
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, packet: Packet) {
+                self.seen.push(*packet.payload::<u64>().unwrap());
+            }
+        }
+        struct SeqBlast {
+            dst: ProcessId,
+        }
+        impl Process for SeqBlast {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                for i in 0..50u64 {
+                    ctx.send(self.dst, i, 100);
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _p: Packet) {}
+        }
+        let mut sim = Simulation::new(7);
+        let a = sim.add_host("a", NicConfig::default());
+        let b = sim.add_host("b", NicConfig::default());
+        sim.set_link(
+            a,
+            b,
+            LinkConfig {
+                jitter: SimDuration::from_millis(50),
+                ..LinkConfig::default()
+            },
+        );
+        let sink = sim.add_typed_process(b, SeqSink::default());
+        sim.add_typed_process(a, SeqBlast { dst: sink });
+        sim.run_until(SimTime::from_secs(1));
+        let seen = &sim.process_ref::<SeqSink>(sink).unwrap().seen;
+        assert_eq!(seen.len(), 50, "jitter must not lose packets");
+        assert!(
+            seen.windows(2).any(|w| w[0] > w[1]),
+            "expected at least one reordering: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn crash_drops_deliveries_and_restart_resumes() {
+        let mut sim = Simulation::new(2);
+        let a = sim.add_host("a", NicConfig::default());
+        let b = sim.add_host("b", NicConfig::default());
+        let sink = sim.add_typed_process(b, Tally::default());
+        sim.add_typed_process(a, Ticker { dst: sink });
+        sim.run_until(SimTime::from_millis(100));
+        let before = sim.process_ref::<Tally>(sink).unwrap().packets;
+
+        sim.crash_process(sink);
+        assert!(sim.is_crashed(sink));
+        sim.run_until(SimTime::from_millis(200));
+        assert_eq!(sim.process_ref::<Tally>(sink).unwrap().packets, before);
+        assert!(sim.counter("net.dropped.crashed") > 0);
+
+        sim.restart_process(sink);
+        assert!(!sim.is_crashed(sink));
+        sim.run_until(SimTime::from_millis(300));
+        let state = sim.process_ref::<Tally>(sink).unwrap();
+        assert!(state.packets > before, "deliveries resume after restart");
+        assert_eq!(state.restarts, 1, "on_restart ran once");
+        assert_eq!(sim.counter("sim.crashes"), 1);
+        assert_eq!(sim.counter("sim.restarts"), 1);
+    }
+
+    #[test]
+    fn timers_from_before_a_crash_never_fire_after_restart() {
+        struct SlowTimer;
+        #[derive(Default)]
+        struct Victim {
+            fires: Vec<u64>,
+        }
+        impl Process for Victim {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                // Armed pre-crash, due at 500 ms — after the restart.
+                ctx.set_timer(SimDuration::from_millis(500), 1);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _p: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Context<'_>, token: u64) {
+                self.fires.push(token);
+            }
+            fn on_restart(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(100), 2);
+            }
+        }
+        let _ = SlowTimer;
+        let mut sim = Simulation::new(4);
+        let a = sim.add_host("a", NicConfig::default());
+        let victim = sim.add_typed_process(a, Victim::default());
+        sim.run_until(SimTime::from_millis(50));
+        sim.crash_process(victim);
+        sim.run_until(SimTime::from_millis(60));
+        sim.restart_process(victim);
+        sim.run_until(SimTime::from_secs(1));
+        let fires = &sim.process_ref::<Victim>(victim).unwrap().fires;
+        // Only the post-restart timer (token 2) fired; the pre-crash
+        // token-1 timer was invalidated by the incarnation bump.
+        assert_eq!(fires, &vec![2]);
+        assert_eq!(sim.counter("sim.timer.stale"), 1);
+    }
+
+    #[test]
+    fn crash_and_restart_are_idempotent() {
+        let mut sim = Simulation::new(5);
+        let a = sim.add_host("a", NicConfig::default());
+        let p = sim.add_typed_process(a, Tally::default());
+        sim.restart_process(p); // not crashed: no-op
+        sim.crash_process(p);
+        sim.crash_process(p); // already crashed: no-op
+        assert_eq!(sim.counter("sim.crashes"), 1);
+        sim.restart_process(p);
+        sim.restart_process(p); // already alive: no-op
+        sim.run_until(SimTime::from_millis(50));
+        assert_eq!(sim.counter("sim.restarts"), 1);
+        assert_eq!(sim.process_ref::<Tally>(p).unwrap().restarts, 1);
     }
 }

@@ -50,6 +50,16 @@ pub struct LinkConfig {
     pub latency: SimDuration,
     /// Independent per-packet loss probability in `[0, 1]`. Default: 0.
     pub loss: f64,
+    /// Independent probability in `[0, 1]` that a surviving packet is
+    /// delivered twice (network-level duplication). Default: 0.
+    pub duplicate: f64,
+    /// Upper bound on uniformly random extra delay added per packet.
+    /// Any nonzero value reorders back-to-back packets. Default: 0.
+    pub jitter: SimDuration,
+    /// Administratively down (a hard partition): every packet on the
+    /// link is dropped and counted as `net.dropped.linkdown`.
+    /// Default: `false`.
+    pub down: bool,
 }
 
 impl Default for LinkConfig {
@@ -57,6 +67,9 @@ impl Default for LinkConfig {
         Self {
             latency: SimDuration::from_micros(200),
             loss: 0.0,
+            duplicate: 0.0,
+            jitter: SimDuration::ZERO,
+            down: false,
         }
     }
 }
@@ -140,6 +153,7 @@ mod tests {
         let cfg = LinkConfig {
             latency: SimDuration::from_millis(5),
             loss: 0.25,
+            ..LinkConfig::default()
         };
         net.link_overrides.insert((a, b), cfg);
         assert_eq!(net.link(a, b).latency, cfg.latency);

@@ -105,6 +105,18 @@ pub trait Process {
     fn on_timer(&mut self, ctx: &mut Context<'_>, token: u64) {
         let _ = (ctx, token);
     }
+
+    /// Called after [`Simulation::restart_process`](crate::Simulation::restart_process)
+    /// revives this process from a crash.
+    ///
+    /// Timers armed before the crash never fire again, so implementations
+    /// must re-arm whatever periodic work they need, and decide which of
+    /// their in-memory state a restart preserves (durable) versus resets
+    /// (volatile). The default does nothing — a restarted process that
+    /// ignores this hook simply stays silent until a packet arrives.
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
 }
 
 /// The world interface handed to every [`Process`] callback.

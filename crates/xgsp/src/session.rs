@@ -251,6 +251,33 @@ impl Session {
         Ok(())
     }
 
+    /// A deterministic digest of the membership roster: user names in
+    /// stable order with their terminal and role, FNV-1a hashed.
+    ///
+    /// The chaos harness compares a live server session against a model
+    /// replayed from the delivered command trace; equal digests mean
+    /// identical rosters without shipping the member list around.
+    pub fn membership_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |bytes: &[u8]| {
+            for b in bytes {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for member in self.members.values() {
+            mix(member.user.as_bytes());
+            mix(&member.terminal.value().to_be_bytes());
+            mix(&[match member.role {
+                Role::Chair => 1,
+                Role::Participant => 2,
+            }]);
+        }
+        hash
+    }
+
     /// The chair's user name, if the session has members.
     pub fn chair(&self) -> Option<&str> {
         self.members
@@ -419,6 +446,29 @@ mod tests {
             s.join("carol", TerminalId::from_raw(3), vec![]),
             Err(SessionError::Terminated)
         );
+    }
+
+    #[test]
+    fn membership_digest_tracks_roster() {
+        let mut a = session();
+        let mut b = session();
+        assert_eq!(a.membership_digest(), b.membership_digest());
+        a.join("alice", TerminalId::from_raw(1), vec![]).unwrap();
+        assert_ne!(a.membership_digest(), b.membership_digest());
+        b.join("alice", TerminalId::from_raw(1), vec![]).unwrap();
+        assert_eq!(a.membership_digest(), b.membership_digest());
+        // Same users, different join order: same roster, same digest
+        // (but bob is a participant in one and chair in neither — join
+        // order only matters through roles).
+        a.join("bob", TerminalId::from_raw(2), vec![]).unwrap();
+        b.join("bob", TerminalId::from_raw(2), vec![]).unwrap();
+        assert_eq!(a.membership_digest(), b.membership_digest());
+        a.leave("bob").unwrap();
+        assert_ne!(a.membership_digest(), b.membership_digest());
+        // Terminal identity is part of the digest.
+        let mut c = session();
+        c.join("alice", TerminalId::from_raw(9), vec![]).unwrap();
+        assert_ne!(a.membership_digest(), c.membership_digest());
     }
 
     #[test]

@@ -87,6 +87,7 @@ fn run_world(
             mmcs::sim::LinkConfig {
                 latency: SimDuration::from_micros(200),
                 loss,
+                ..mmcs::sim::LinkConfig::default()
             },
         );
         sim.add_typed_process(
