@@ -36,6 +36,7 @@ impl Violation {
 /// Crates whose library code must be panic-free (`no-unwrap-in-lib`).
 pub const PANIC_FREE_CRATES: &[&str] = &[
     "broker",
+    "telemetry",
     "xgsp",
     "sip",
     "h323",
@@ -47,7 +48,7 @@ pub const PANIC_FREE_CRATES: &[&str] = &[
 ];
 
 /// Crates whose public items must be documented (`pub-item-doc-coverage`).
-pub const DOC_COVERED_CRATES: &[&str] = &["broker", "xgsp"];
+pub const DOC_COVERED_CRATES: &[&str] = &["broker", "telemetry", "xgsp"];
 
 /// All lint names, in reporting order.
 pub const LINT_NAMES: &[&str] = &[

@@ -23,6 +23,7 @@ use mmcs_rtp::packet::payload_type;
 use mmcs_rtp::source::{VideoSource, VideoSourceConfig};
 use mmcs_sim::net::NicConfig;
 use mmcs_sim::Simulation;
+use mmcs_telemetry::{Histogram, HistogramSnapshot};
 use mmcs_util::id::{BrokerId, ClientId};
 use mmcs_util::rate::Bandwidth;
 use mmcs_util::rng::DetRng;
@@ -134,40 +135,57 @@ pub struct SystemResult {
     pub received: f64,
     /// Loss fraction across measured receivers.
     pub loss_fraction: f64,
+    /// Every measured per-packet delay, pooled across receivers, as a
+    /// telemetry histogram snapshot (nanosecond samples). The headline
+    /// `avg_delay_ms` is derived from this snapshot's exact mean — the
+    /// bench and the telemetry pipeline share one accounting code path.
+    pub delay_hist: HistogramSnapshot,
+    /// Final RFC 3550 smoothed jitter per measured receiver, as a
+    /// telemetry histogram snapshot (nanosecond samples); `avg_jitter_ms`
+    /// is its mean.
+    pub jitter_hist: HistogramSnapshot,
 }
 
 /// Per-receiver series: (delay samples, jitter samples, received count,
-/// mean delay ms, final jitter ms).
-type ReceiverSeries = (Vec<f64>, Vec<f64>, u64, f64, f64);
+/// final jitter ms).
+type ReceiverSeries = (Vec<f64>, Vec<f64>, u64, f64);
 
 fn summarize(per_receiver: Vec<ReceiverSeries>) -> SystemResult {
     let receivers = per_receiver.len().max(1) as f64;
     let min_len = per_receiver
         .iter()
-        .map(|(d, _, _, _, _)| d.len())
+        .map(|(d, _, _, _)| d.len())
         .min()
         .unwrap_or(0);
     let mut delay_series = vec![0.0; min_len];
     let mut jitter_series = vec![0.0; min_len];
-    let mut avg_delay = 0.0;
-    let mut avg_jitter = 0.0;
     let mut received = 0.0;
-    for (delays, jitters, recv, mean_delay, jitter) in &per_receiver {
+    let delay_hist = Histogram::new();
+    let jitter_hist = Histogram::new();
+    for (delays, jitters, recv, jitter) in &per_receiver {
         for i in 0..min_len {
             delay_series[i] += delays[i] / receivers;
             jitter_series[i] += jitters[i] / receivers;
         }
-        avg_delay += mean_delay / receivers;
-        avg_jitter += jitter / receivers;
+        for delay in delays {
+            delay_hist.record_duration(SimDuration::from_millis_f64(*delay));
+        }
+        jitter_hist.record_duration(SimDuration::from_millis_f64(*jitter));
         received += *recv as f64 / receivers;
     }
+    let delay_hist = delay_hist.snapshot();
+    let jitter_hist = jitter_hist.snapshot();
     SystemResult {
-        avg_delay_ms: avg_delay,
-        avg_jitter_ms: avg_jitter,
+        // Exact pooled means (histogram count and sum carry no bucketing
+        // error), converted ns → ms.
+        avg_delay_ms: delay_hist.mean() / 1e6,
+        avg_jitter_ms: jitter_hist.mean() / 1e6,
         delay_series,
         jitter_series,
         received,
         loss_fraction: 0.0,
+        delay_hist,
+        jitter_hist,
     }
 }
 
@@ -226,7 +244,6 @@ pub fn run_narada(config: &Fig3Config) -> SystemResult {
                 stats.delay_series().expect("capture on").samples().to_vec(),
                 stats.jitter_series().expect("capture on").samples().to_vec(),
                 stats.received(),
-                stats.delay_ms().mean(),
                 stats.jitter_ms(),
             )
         })
@@ -302,7 +319,6 @@ pub fn run_jmf(config: &Fig3Config) -> SystemResult {
                 stats.delay_series().expect("capture on").samples().to_vec(),
                 stats.jitter_series().expect("capture on").samples().to_vec(),
                 stats.received(),
-                stats.delay_ms().mean(),
                 stats.jitter_ms(),
             )
         })

@@ -67,6 +67,8 @@ pub mod event;
 pub mod firewall;
 /// Liveness tracking: heartbeats and failure suspicion for peers.
 pub mod liveness;
+/// Telemetry instruments for the broker hot path and its drivers.
+pub mod metrics;
 /// A synchronous in-process network of broker nodes for tests and sims.
 pub mod network;
 /// The sans-IO broker node state machine (`handle(Input) -> Actions`).

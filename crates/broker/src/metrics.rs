@@ -1,0 +1,136 @@
+//! Telemetry instruments for the broker hot path.
+//!
+//! [`BrokerMetrics`] bundles every instrument a broker node and its
+//! driver report into: publish-rate counters, the fan-out width
+//! histogram, route-cache hit/miss (the PR 1 fast path), driver queue
+//! depth, reliable-channel retransmissions, and failure-detector
+//! transitions. All instruments are relaxed atomics from
+//! `mmcs-telemetry`, so an instrumented warm publish stays
+//! **zero-allocation and lock-free** — `tests/route_alloc.rs` and the
+//! `telemetry_overhead` Criterion group hold that line.
+//!
+//! Instrumentation is opt-in: [`node::BrokerNode`](crate::node) carries
+//! an `Option<Arc<BrokerMetrics>>` and pays one branch per publish when
+//! disabled.
+
+use std::sync::Arc;
+
+use mmcs_telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// Shared instruments for one broker (node + driver). See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct BrokerMetrics {
+    /// Events accepted from clients or peers (publish rate numerator).
+    pub events_in: Arc<Counter>,
+    /// Client deliveries emitted.
+    pub deliveries: Arc<Counter>,
+    /// Broker-to-broker forwards emitted.
+    pub forwards: Arc<Counter>,
+    /// Publishes that matched no subscriber anywhere.
+    pub unroutable: Arc<Counter>,
+    /// Route-plan cache hits (plan reused from the memo).
+    pub route_cache_hits: Arc<Counter>,
+    /// Route-plan cache misses (plan rebuilt from the tables).
+    pub route_cache_misses: Arc<Counter>,
+    /// Fan-out width per publish (deliveries + forwards emitted).
+    pub fanout: Arc<Histogram>,
+    /// Driver inbound queue depth (commands accepted but not yet
+    /// processed by the broker loop).
+    pub queue_depth: Arc<Gauge>,
+    /// Reliable-channel retransmissions attributed to this broker's
+    /// clients.
+    pub retransmissions: Arc<Counter>,
+    /// Failure-detector Suspected transitions observed.
+    pub peers_suspected: Arc<Counter>,
+    /// Failure-detector Rejoined transitions observed.
+    pub peers_rejoined: Arc<Counter>,
+}
+
+impl BrokerMetrics {
+    /// Registers the bundle under `{prefix}_…` names (e.g. prefix
+    /// `broker0` gives `broker0_events_in_total`).
+    pub fn register(registry: &Registry, prefix: &str) -> Arc<Self> {
+        Arc::new(Self {
+            events_in: registry.counter(
+                &format!("{prefix}_events_in_total"),
+                "events accepted from clients or peers",
+            ),
+            deliveries: registry.counter(
+                &format!("{prefix}_deliveries_total"),
+                "client deliveries emitted",
+            ),
+            forwards: registry.counter(
+                &format!("{prefix}_forwards_total"),
+                "broker-to-broker forwards emitted",
+            ),
+            unroutable: registry.counter(
+                &format!("{prefix}_unroutable_total"),
+                "publishes that matched no subscriber",
+            ),
+            route_cache_hits: registry.counter(
+                &format!("{prefix}_route_cache_hits_total"),
+                "route-plan cache hits",
+            ),
+            route_cache_misses: registry.counter(
+                &format!("{prefix}_route_cache_misses_total"),
+                "route-plan cache misses (plan rebuilt)",
+            ),
+            fanout: registry.histogram(
+                &format!("{prefix}_fanout_width"),
+                "actions emitted per publish (deliveries + forwards)",
+            ),
+            queue_depth: registry.gauge(
+                &format!("{prefix}_queue_depth"),
+                "driver commands accepted but not yet processed",
+            ),
+            retransmissions: registry.counter(
+                &format!("{prefix}_retransmissions_total"),
+                "reliable-channel retransmissions",
+            ),
+            peers_suspected: registry.counter(
+                &format!("{prefix}_peers_suspected_total"),
+                "failure-detector Suspected transitions",
+            ),
+            peers_rejoined: registry.counter(
+                &format!("{prefix}_peers_rejoined_total"),
+                "failure-detector Rejoined transitions",
+            ),
+        })
+    }
+
+    /// Creates a detached bundle (not in any registry) for benches and
+    /// tests that only need the instruments themselves.
+    pub fn detached() -> Arc<Self> {
+        Arc::new(Self {
+            events_in: Arc::new(Counter::new()),
+            deliveries: Arc::new(Counter::new()),
+            forwards: Arc::new(Counter::new()),
+            unroutable: Arc::new(Counter::new()),
+            route_cache_hits: Arc::new(Counter::new()),
+            route_cache_misses: Arc::new(Counter::new()),
+            fanout: Arc::new(Histogram::new()),
+            queue_depth: Arc::new(Gauge::new()),
+            retransmissions: Arc::new(Counter::new()),
+            peers_suspected: Arc::new(Counter::new()),
+            peers_rejoined: Arc::new(Counter::new()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_names_follow_prefix() {
+        let registry = Registry::new();
+        let m = BrokerMetrics::register(&registry, "broker0");
+        m.events_in.inc();
+        m.fanout.record(3);
+        let text = registry.render_prometheus();
+        assert!(text.contains("broker0_events_in_total 1"));
+        assert!(text.contains("broker0_fanout_width_count 1"));
+        assert!(text.contains("broker0_queue_depth 0"));
+    }
+}

@@ -43,6 +43,7 @@ use std::sync::Arc;
 use mmcs_util::id::{BrokerId, ClientId};
 
 use crate::event::Event;
+use crate::metrics::BrokerMetrics;
 use crate::profile::TransportProfile;
 use crate::topic::{SubscriptionTable, Topic, TopicFilter};
 
@@ -263,6 +264,9 @@ pub struct BrokerNode {
     generation: u64,
     /// Memoized delivery plans keyed by concrete topic.
     plans: HashMap<Topic, CachedPlan>,
+    /// Optional telemetry instruments; `None` costs one branch per
+    /// publish, `Some` costs a handful of relaxed atomic adds.
+    metrics: Option<Arc<BrokerMetrics>>,
 }
 
 impl BrokerNode {
@@ -280,7 +284,20 @@ impl BrokerNode {
             counters: BrokerCounters::default(),
             generation: 0,
             plans: HashMap::new(),
+            metrics: None,
         }
+    }
+
+    /// Installs telemetry instruments. Publishes, cache lookups, and
+    /// fan-out widths are reported from then on; the warm publish path
+    /// stays allocation-free (relaxed atomic increments only).
+    pub fn set_metrics(&mut self, metrics: Arc<BrokerMetrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The installed telemetry instruments, if any.
+    pub fn metrics(&self) -> Option<&Arc<BrokerMetrics>> {
+        self.metrics.as_ref()
     }
 
     /// This broker's id.
@@ -342,8 +359,14 @@ impl BrokerNode {
     pub fn plan_for(&mut self, topic: &Topic) -> Arc<RoutePlan> {
         if let Some(cached) = self.plans.get(topic) {
             if cached.generation == self.generation {
+                if let Some(m) = &self.metrics {
+                    m.route_cache_hits.inc();
+                }
                 return Arc::clone(&cached.plan);
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.route_cache_misses.inc();
         }
         // Cold path: resolve both tables, then memoize.
         let mut local_ids = Vec::new();
@@ -595,6 +618,16 @@ impl BrokerNode {
         }
         if out.len() == before {
             self.counters.unroutable += 1;
+        }
+        if let Some(m) = &self.metrics {
+            let emitted = (out.len() - before) as u64;
+            m.events_in.inc();
+            m.deliveries.add(plan.local.len() as u64);
+            m.forwards.add(emitted.saturating_sub(plan.local.len() as u64));
+            if emitted == 0 {
+                m.unroutable.inc();
+            }
+            m.fanout.record(emitted);
         }
         Ok(())
     }

@@ -12,6 +12,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
+use mmcs_telemetry::Counter;
 use mmcs_util::time::{SimDuration, SimTime};
 
 use crate::event::Event;
@@ -46,6 +47,8 @@ pub struct ReliableSender {
     /// is O(n) rather than the O(n²) a `Vec::remove(0)` would cost.
     backlog: VecDeque<Arc<Event>>,
     retransmissions: u64,
+    /// Optional telemetry counter mirroring `retransmissions`.
+    retransmit_counter: Option<Arc<Counter>>,
 }
 
 impl ReliableSender {
@@ -64,7 +67,14 @@ impl ReliableSender {
             retransmit_after,
             backlog: VecDeque::new(),
             retransmissions: 0,
+            retransmit_counter: None,
         }
+    }
+
+    /// Mirrors every retransmission into a telemetry counter (shared
+    /// with a registry), in addition to the internal total.
+    pub fn set_retransmit_counter(&mut self, counter: Arc<Counter>) {
+        self.retransmit_counter = Some(counter);
     }
 
     /// Offers an event for transmission; returns the frames to put on
@@ -87,6 +97,9 @@ impl ReliableSender {
             if now.saturating_duration_since(*last_sent) >= self.retransmit_after {
                 *last_sent = now;
                 self.retransmissions += 1;
+                if let Some(counter) = &self.retransmit_counter {
+                    counter.inc();
+                }
                 out.push(ReliableFrame {
                     seq: *seq,
                     event: Arc::clone(event),

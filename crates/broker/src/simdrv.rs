@@ -31,6 +31,7 @@ use mmcs_util::time::SimDuration;
 use crate::batch::CostModel;
 use crate::event::{Event, EventClass};
 use crate::liveness::FailureDetector;
+use crate::metrics::BrokerMetrics;
 use crate::node::{Action, BrokerNode, Input, Origin};
 use crate::profile::TransportProfile;
 use crate::topic::{Topic, TopicFilter};
@@ -147,6 +148,9 @@ pub struct BrokerProcess {
     /// Reused action buffer: the per-packet hot path allocates nothing
     /// once it has grown to the peak fan-out.
     scratch: Vec<Action>,
+    /// Telemetry instruments, kept here (durable configuration, like
+    /// `liveness_cfg`) so a restart reinstalls them on the fresh node.
+    metrics: Option<Arc<BrokerMetrics>>,
 }
 
 /// Timer token for the liveness tick.
@@ -179,7 +183,16 @@ impl BrokerProcess {
             heartbeats_enabled: true,
             peer_history: Vec::new(),
             scratch: Vec::new(),
+            metrics: None,
         }
+    }
+
+    /// Installs telemetry instruments on this broker: the node reports
+    /// the hot-path metrics, and the driver reports failure-detector
+    /// Suspected/Rejoined transitions. Survives simulated restarts.
+    pub fn set_metrics(&mut self, metrics: Arc<BrokerMetrics>) {
+        self.node.set_metrics(Arc::clone(&metrics));
+        self.metrics = Some(metrics);
     }
 
     /// Enables heartbeat liveness detection on broker links: beats every
@@ -320,6 +333,9 @@ impl BrokerProcess {
         }
         self.peer_history.push((peer, PeerLinkEvent::Rejoined));
         ctx.count("broker.peer_rejoined", 1);
+        if let Some(m) = &self.metrics {
+            m.peers_rejoined.inc();
+        }
     }
 
     /// Bounces an up link so every advert is re-sent to a peer that lost
@@ -380,6 +396,9 @@ impl Process for BrokerProcess {
         // is durable. Suspicion/rejoin histories belong to the harness
         // observer and deliberately survive.
         self.node = BrokerNode::new(self.node.id());
+        if let Some(m) = &self.metrics {
+            self.node.set_metrics(Arc::clone(m));
+        }
         self.clients.clear();
         self.detector = self
             .liveness_cfg
@@ -440,6 +459,9 @@ impl Process for BrokerProcess {
         };
         for peer in suspects {
             ctx.count("broker.peer_suspected", 1);
+            if let Some(m) = &self.metrics {
+                m.peers_suspected.inc();
+            }
             self.peer_history.push((peer, PeerLinkEvent::Suspected));
             // The node link goes down (withdrawing the peer's interest)
             // but the peer stays in the static `peers` map: if it comes

@@ -35,6 +35,7 @@ use mmcs_util::id::{BrokerId, ClientId};
 use parking_lot::Mutex;
 
 use crate::event::{Event, EventClass};
+use crate::metrics::BrokerMetrics;
 use crate::node::{Action, BrokerNode, Input, Origin};
 use crate::profile::TransportProfile;
 use crate::topic::{Topic, TopicFilter};
@@ -57,20 +58,50 @@ pub struct ThreadedBroker {
     commands: Sender<Command>,
     next_client: Arc<Mutex<u64>>,
     handle: Option<JoinHandle<()>>,
+    metrics: Option<Arc<BrokerMetrics>>,
 }
 
 impl ThreadedBroker {
     /// Spawns the broker thread.
     pub fn spawn() -> Self {
+        Self::spawn_inner(None)
+    }
+
+    /// Spawns the broker thread with telemetry installed: the node
+    /// reports the hot-path instruments and the driver keeps
+    /// `queue_depth` equal to the number of commands accepted but not
+    /// yet processed by the broker loop.
+    pub fn spawn_with_metrics(metrics: Arc<BrokerMetrics>) -> Self {
+        Self::spawn_inner(Some(metrics))
+    }
+
+    fn spawn_inner(metrics: Option<Arc<BrokerMetrics>>) -> Self {
         let (tx, rx) = unbounded::<Command>();
+        let loop_metrics = metrics.clone();
         let handle = std::thread::Builder::new()
             .name("mmcs-broker".to_owned())
-            .spawn(move || broker_loop(rx))
+            .spawn(move || broker_loop(rx, loop_metrics))
             .expect("spawn broker thread");
         Self {
             commands: tx,
             next_client: Arc::new(Mutex::new(1)),
             handle: Some(handle),
+            metrics,
+        }
+    }
+
+    /// Sends a command, bumping the queue-depth gauge first so the
+    /// loop's decrement can never race it below zero.
+    fn send(&self, command: Command) {
+        if let Some(m) = &self.metrics {
+            m.queue_depth.add(1);
+        }
+        if self.commands.send(command).is_err() {
+            // Broker already shut down: the command will never be
+            // processed, so take the depth bump back.
+            if let Some(m) = &self.metrics {
+                m.queue_depth.sub(1);
+            }
         }
     }
 
@@ -88,7 +119,7 @@ impl ThreadedBroker {
             id
         };
         let (tx, rx) = unbounded();
-        let _ = self.commands.send(Command::Attach {
+        self.send(Command::Attach {
             client,
             profile,
             delivery: tx,
@@ -98,13 +129,14 @@ impl ThreadedBroker {
             commands: self.commands.clone(),
             deliveries: rx,
             seq: Mutex::new(0),
+            metrics: self.metrics.clone(),
         }
     }
 
     /// Stops the broker thread (idempotent). Clients created from this
     /// broker stop receiving deliveries.
     pub fn shutdown(&self) {
-        let _ = self.commands.send(Command::Shutdown);
+        self.send(Command::Shutdown);
     }
 }
 
@@ -129,9 +161,23 @@ pub struct ThreadedClient {
     commands: Sender<Command>,
     deliveries: Receiver<Arc<Event>>,
     seq: Mutex<u64>,
+    metrics: Option<Arc<BrokerMetrics>>,
 }
 
 impl ThreadedClient {
+    /// Sends a command, mirroring [`ThreadedBroker::send`]'s
+    /// queue-depth bookkeeping.
+    fn send(&self, command: Command) {
+        if let Some(m) = &self.metrics {
+            m.queue_depth.add(1);
+        }
+        if self.commands.send(command).is_err() {
+            if let Some(m) = &self.metrics {
+                m.queue_depth.sub(1);
+            }
+        }
+    }
+
     /// This client's id.
     pub fn id(&self) -> ClientId {
         self.id
@@ -139,12 +185,12 @@ impl ThreadedClient {
 
     /// Subscribes to a filter.
     pub fn subscribe(&self, filter: TopicFilter) {
-        let _ = self.commands.send(Command::Subscribe(self.id, filter));
+        self.send(Command::Subscribe(self.id, filter));
     }
 
     /// Removes one subscription.
     pub fn unsubscribe(&self, filter: TopicFilter) {
-        let _ = self.commands.send(Command::Unsubscribe(self.id, filter));
+        self.send(Command::Unsubscribe(self.id, filter));
     }
 
     /// Publishes a data event.
@@ -161,7 +207,7 @@ impl ThreadedClient {
             s
         };
         let event = Event::new(topic, self.id, seq, class, payload).into_shared();
-        let _ = self.commands.send(Command::Publish(self.id, event));
+        self.send(Command::Publish(self.id, event));
     }
 
     /// Receives the next delivered event, waiting up to `timeout`.
@@ -177,7 +223,7 @@ impl ThreadedClient {
 
 impl Drop for ThreadedClient {
     fn drop(&mut self) {
-        let _ = self.commands.send(Command::Detach(self.id));
+        self.send(Command::Detach(self.id));
     }
 }
 
@@ -187,14 +233,20 @@ impl std::fmt::Debug for ThreadedClient {
     }
 }
 
-fn broker_loop(rx: Receiver<Command>) {
+fn broker_loop(rx: Receiver<Command>, metrics: Option<Arc<BrokerMetrics>>) {
     let mut node = BrokerNode::new(BrokerId::from_raw(1));
+    if let Some(m) = &metrics {
+        node.set_metrics(Arc::clone(m));
+    }
     let mut delivery_channels: std::collections::HashMap<ClientId, Sender<Arc<Event>>> =
         std::collections::HashMap::new();
     // One action buffer for the whole loop: steady-state publishes reuse
     // its capacity instead of allocating per command.
     let mut actions: Vec<Action> = Vec::new();
     while let Ok(command) = rx.recv() {
+        if let Some(m) = &metrics {
+            m.queue_depth.sub(1);
+        }
         let result = match command {
             Command::Attach {
                 client,
@@ -296,6 +348,27 @@ mod tests {
             }
         }
         assert_eq!(received, 200);
+    }
+
+    #[test]
+    fn metrics_report_publishes_and_queue_drains() {
+        let metrics = BrokerMetrics::detached();
+        let broker = ThreadedBroker::spawn_with_metrics(Arc::clone(&metrics));
+        let publisher = broker.attach();
+        let subscriber = broker.attach();
+        subscriber.subscribe(filter("m/#"));
+        for _ in 0..10 {
+            publisher.publish(topic("m/x"), Bytes::new());
+        }
+        for _ in 0..10 {
+            assert!(subscriber.recv_timeout(Duration::from_secs(2)).is_some());
+        }
+        assert_eq!(metrics.events_in.get(), 10);
+        assert_eq!(metrics.deliveries.get(), 10);
+        assert_eq!(metrics.fanout.count(), 10);
+        // Every delivery arrived, so every accepted command has been
+        // processed: the queue gauge must read empty again.
+        assert_eq!(metrics.queue_depth.get(), 0);
     }
 
     #[test]

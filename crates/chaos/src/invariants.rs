@@ -296,6 +296,7 @@ mod tests {
             xgsp_digest: 7,
             xgsp_replay_digest: 7,
             xgsp_apply_errors: 0,
+            metrics_json: String::new(),
         }
     }
 

@@ -2,15 +2,18 @@
 //! or replay a single seed bit-identically.
 //!
 //! ```text
-//! mmcs-chaos fuzz --seeds 100 [--base 0] [--inject-bug] [--artifact PATH]
+//! mmcs-chaos fuzz --seeds 100 [--base 0] [--inject-bug] [--artifact PATH] [--metrics-dir DIR]
 //! mmcs-chaos replay 42 [--inject-bug]
 //! ```
 //!
 //! `fuzz` runs seeds `base..base + seeds`; on the first invariant
 //! violation it shrinks the schedule to a minimal reproducer, prints it
 //! as a copy-pasteable `#[test]`, optionally writes it to `--artifact`,
-//! and exits nonzero. `replay` executes one seed twice and verifies the
-//! two runs are bit-identical (same fingerprint, same counters).
+//! and exits nonzero. Every run also dumps its telemetry registry as
+//! `seed-N.json` under `--metrics-dir` (default `target/chaos-metrics`);
+//! see TESTING.md for how to read one. `replay` executes one seed twice
+//! and verifies the two runs are bit-identical (same fingerprint, same
+//! counters).
 
 use std::process::ExitCode;
 
@@ -19,7 +22,7 @@ use mmcs_chaos::{check, generate, shrink};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mmcs-chaos fuzz --seeds N [--base B] [--inject-bug] [--artifact PATH]\n  mmcs-chaos replay SEED [--inject-bug]"
+        "usage:\n  mmcs-chaos fuzz --seeds N [--base B] [--inject-bug] [--artifact PATH] [--metrics-dir DIR]\n  mmcs-chaos replay SEED [--inject-bug]"
     );
     ExitCode::from(2)
 }
@@ -35,12 +38,26 @@ fn schedule_for(config: &ScenarioConfig) -> Vec<mmcs_chaos::Fault> {
     generate(config.seed, config.horizon_ms, EDGES, BROKERS, CHURN_CLIENTS)
 }
 
-fn fuzz(seeds: u64, base: u64, inject_bug: bool, artifact: Option<&str>) -> ExitCode {
+fn fuzz(
+    seeds: u64,
+    base: u64,
+    inject_bug: bool,
+    artifact: Option<&str>,
+    metrics_dir: &str,
+) -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all(metrics_dir) {
+        eprintln!("cannot create metrics dir {metrics_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
     let mut clean = 0u64;
     for seed in base..base + seeds {
         let config = config_for(seed, inject_bug);
         let schedule = schedule_for(&config);
         let report = scenario::run(&config, &schedule);
+        let dump = format!("{metrics_dir}/seed-{seed}.json");
+        if let Err(e) = std::fs::write(&dump, &report.metrics_json) {
+            eprintln!("failed to write metrics dump {dump}: {e}");
+        }
         let violations = check(&report);
         if violations.is_empty() {
             clean += 1;
@@ -76,7 +93,7 @@ fn fuzz(seeds: u64, base: u64, inject_bug: bool, artifact: Option<&str>) -> Exit
         println!("replay with: mmcs-chaos replay {seed}");
         return ExitCode::FAILURE;
     }
-    println!("all {clean} seed(s) clean");
+    println!("all {clean} seed(s) clean; metrics dumps in {metrics_dir}/");
     ExitCode::SUCCESS
 }
 
@@ -149,7 +166,13 @@ fn main() -> ExitCode {
                 },
                 None => 0,
             };
-            fuzz(seeds, base, inject_bug, flag_value("--artifact"))
+            fuzz(
+                seeds,
+                base,
+                inject_bug,
+                flag_value("--artifact"),
+                flag_value("--metrics-dir").unwrap_or("target/chaos-metrics"),
+            )
         }
         "replay" => {
             let Some(seed) = rest

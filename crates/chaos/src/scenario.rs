@@ -14,11 +14,13 @@ use std::sync::Arc;
 use bytes::Bytes;
 use mmcs_broker::batch::CostModel;
 use mmcs_broker::event::{Event, EventClass};
+use mmcs_broker::metrics::BrokerMetrics;
 use mmcs_broker::profile::TransportProfile;
 use mmcs_broker::reliable::{Ack, ReliableFrame, ReliableReceiver, ReliableSender};
 use mmcs_broker::simdrv::{BrokerMsg, BrokerProcess, ClientMsg, PeerLinkEvent};
 use mmcs_broker::topic::{Topic, TopicFilter};
 use mmcs_sim::{Context, LinkConfig, NicConfig, Packet, Process, ProcessId, Simulation};
+use mmcs_telemetry::Registry;
 use mmcs_util::id::{BrokerId, ClientId, SessionId, TerminalId};
 use mmcs_util::rng::DetRng;
 use mmcs_util::time::{SimDuration, SimTime};
@@ -486,6 +488,12 @@ pub struct RunReport {
     pub xgsp_replay_digest: u64,
     /// Commands the live applier rejected (must be zero).
     pub xgsp_apply_errors: u64,
+    /// JSON rendering of the run's telemetry registry (per-broker
+    /// [`BrokerMetrics`] plus per-pair retransmit counters). Excluded
+    /// from the fingerprint: it is observability output, not an
+    /// invariant surface — though under the deterministic simulator it
+    /// is in fact identical across replays of the same seed.
+    pub metrics_json: String,
 }
 
 /// An operation compiled from a fault interval endpoint.
@@ -508,6 +516,7 @@ fn ack_topic(pair: usize) -> Topic {
 /// Runs the scenario under `schedule` and reports.
 pub fn run(config: &ScenarioConfig, schedule: &[Fault]) -> RunReport {
     let mut sim = Simulation::new(config.seed);
+    let registry = Registry::new();
     let hosts: Vec<_> = (0..BROKERS)
         .map(|i| sim.add_host(&format!("broker-{i}"), NicConfig::default()))
         .collect();
@@ -523,6 +532,9 @@ pub fn run(config: &ScenarioConfig, schedule: &[Fault]) -> RunReport {
         })
         .collect();
     for i in 0..BROKERS {
+        sim.process_mut::<BrokerProcess>(broker_pids[i])
+            .expect("broker process")
+            .set_metrics(BrokerMetrics::register(&registry, &format!("broker{i}")));
         for j in [i.wrapping_sub(1), i + 1] {
             if j < BROKERS && j != i {
                 let peer = BrokerId::from_raw(j as u64);
@@ -536,13 +548,18 @@ pub fn run(config: &ScenarioConfig, schedule: &[Fault]) -> RunReport {
     let mut sender_pids = Vec::new();
     let mut receiver_pids = Vec::new();
     for (k, (s, r)) in PAIRS.iter().enumerate() {
+        let mut reliable = ReliableSender::new(8, SimDuration::from_millis(300));
+        reliable.set_retransmit_counter(registry.counter(
+            &format!("pair{k}_retransmissions_total"),
+            "Reliable frames retransmitted after ack timeout",
+        ));
         let sender = ChaosSender {
             broker: broker_pids[*s],
             broker_id: BrokerId::from_raw(*s as u64),
             client: ClientId::from_raw(100 + k as u64),
             topic: data_topic(k),
             ack_filter: TopicFilter::exact(&ack_topic(k)),
-            sender: ReliableSender::new(8, SimDuration::from_millis(300)),
+            sender: reliable,
             offered: 0,
             total: config.events_per_pair,
             retransmit: !config.disable_retransmit,
@@ -672,7 +689,14 @@ pub fn run(config: &ScenarioConfig, schedule: &[Fault]) -> RunReport {
     }
     sim.run_until(SimTime::from_millis(config.horizon_ms + config.settle_ms));
 
-    collect(config, &mut sim, &broker_pids, &sender_pids, &receiver_pids)
+    collect(
+        config,
+        &mut sim,
+        &registry,
+        &broker_pids,
+        &sender_pids,
+        &receiver_pids,
+    )
 }
 
 /// Where each topic's subscribers live: `(broker index, client raw id)`.
@@ -715,6 +739,7 @@ fn expected_plan(subs: &[(usize, u64)], broker: usize) -> (Vec<u64>, Vec<u64>) {
 fn collect(
     config: &ScenarioConfig,
     sim: &mut Simulation,
+    registry: &Registry,
     broker_pids: &[ProcessId],
     sender_pids: &[ProcessId],
     receiver_pids: &[ProcessId],
@@ -810,6 +835,7 @@ fn collect(
         xgsp_digest,
         xgsp_replay_digest,
         xgsp_apply_errors,
+        metrics_json: registry.render_json(),
     }
 }
 

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use mmcs_telemetry::CallSetupMetrics;
 use mmcs_util::id::{SessionId, TerminalId};
 use mmcs_xgsp::media::{MediaDescription, MediaKind};
 use mmcs_xgsp::message::{SessionMode, XgspMessage};
@@ -36,6 +37,7 @@ pub struct H323Gateway {
     rtp_proxy_address: String,
     calls: HashMap<u16, Call>,
     next_terminal: u64,
+    metrics: Option<CallSetupMetrics>,
 }
 
 impl H323Gateway {
@@ -47,7 +49,15 @@ impl H323Gateway {
             rtp_proxy_address: rtp_proxy_address.into(),
             calls: HashMap::new(),
             next_terminal: 1,
+            metrics: None,
         }
+    }
+
+    /// Installs call-setup telemetry. Every Q.931 Setup counts as an
+    /// attempt; the span covers the Setup → Connect ladder, Release
+    /// Complete counts a teardown.
+    pub fn set_metrics(&mut self, metrics: CallSetupMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Live call count.
@@ -85,87 +95,28 @@ impl H323Gateway {
                 caller,
                 callee,
             } => {
-                let media = vec![
-                    MediaDescription::new(MediaKind::Audio, "G.711"),
-                    MediaDescription::new(MediaKind::Video, "H.263"),
-                ];
-                let session = if callee == "new-conf" {
-                    let outputs = server.handle(
-                        Some(caller),
-                        XgspMessage::CreateSession {
-                            name: format!("h323 ad-hoc by {caller}"),
-                            mode: SessionMode::AdHoc,
-                            media: media.clone(),
-                        },
-                    );
-                    match outputs.iter().find_map(|o| match o {
-                        ServerOutput::Reply(XgspMessage::SessionCreated { session, .. }) => {
-                            Some(*session)
-                        }
-                        _ => None,
-                    }) {
-                        Some(session) => session,
-                        None => {
-                            return vec![release(*call_reference, CAUSE_REJECTED)];
-                        }
-                    }
-                } else {
-                    match callee
-                        .strip_prefix("conf-")
-                        .and_then(|raw| raw.parse::<u64>().ok())
-                    {
-                        Some(id) => SessionId::from_raw(id),
-                        None => return vec![release(*call_reference, CAUSE_UNALLOCATED)],
-                    }
-                };
-
-                let terminal = TerminalId::from_raw(self.next_terminal);
-                self.next_terminal += 1;
-                let outputs = server.handle(
-                    Some(caller),
-                    XgspMessage::Join {
-                        session,
-                        user: caller.clone(),
-                        terminal,
-                        media,
-                    },
-                );
-                let joined = outputs.iter().any(|o| {
-                    matches!(o, ServerOutput::Reply(XgspMessage::JoinAck { .. }))
+                // Clone the instrument bundle out (Arc clones) so the
+                // span does not borrow `self` across the `&mut` call.
+                let timing = self.metrics.clone();
+                let span = timing.as_ref().map(|m| {
+                    m.attempts.inc();
+                    m.setup_span()
                 });
-                if !joined {
-                    let cause = if outputs.iter().any(|o| {
-                        matches!(
-                            o,
-                            ServerOutput::Reply(XgspMessage::Error { code, .. })
-                                if code == "unknown-session"
-                        )
-                    }) {
-                        CAUSE_UNALLOCATED
+                let replies = self.handle_setup(*call_reference, caller, callee, server);
+                if let Some(m) = &timing {
+                    if let Some(span) = span {
+                        span.finish();
+                    }
+                    let connected = replies.iter().any(|r| {
+                        matches!(r, H323Message::Q931(Q931Message::Connect { .. }))
+                    });
+                    if connected {
+                        m.setups.inc();
                     } else {
-                        CAUSE_REJECTED
-                    };
-                    return vec![release(*call_reference, cause)];
+                        m.failures.inc();
+                    }
                 }
-                self.calls.insert(
-                    *call_reference,
-                    Call {
-                        session,
-                        user: caller.clone(),
-                    },
-                );
-                vec![
-                    H323Message::Q931(Q931Message::CallProceeding {
-                        call_reference: *call_reference,
-                    }),
-                    H323Message::Q931(Q931Message::Alerting {
-                        call_reference: *call_reference,
-                    }),
-                    H323Message::Q931(Q931Message::Connect {
-                        call_reference: *call_reference,
-                        h245_address: self.h245_address.clone(),
-                    }),
-                ]
+                replies
             }
             Q931Message::ReleaseComplete { call_reference, .. } => {
                 if let Some(call) = self.calls.remove(call_reference) {
@@ -176,6 +127,9 @@ impl H323Gateway {
                             user: call.user.clone(),
                         },
                     );
+                    if let Some(m) = &self.metrics {
+                        m.teardowns.inc();
+                    }
                 }
                 Vec::new()
             }
@@ -184,6 +138,92 @@ impl H323Gateway {
             | Q931Message::Alerting { .. }
             | Q931Message::Connect { .. } => Vec::new(),
         }
+    }
+
+    fn handle_setup(
+        &mut self,
+        call_reference: u16,
+        caller: &str,
+        callee: &str,
+        server: &mut SessionServer,
+    ) -> Vec<H323Message> {
+        let media = vec![
+            MediaDescription::new(MediaKind::Audio, "G.711"),
+            MediaDescription::new(MediaKind::Video, "H.263"),
+        ];
+        let session = if callee == "new-conf" {
+            let outputs = server.handle(
+                Some(caller),
+                XgspMessage::CreateSession {
+                    name: format!("h323 ad-hoc by {caller}"),
+                    mode: SessionMode::AdHoc,
+                    media: media.clone(),
+                },
+            );
+            match outputs.iter().find_map(|o| match o {
+                ServerOutput::Reply(XgspMessage::SessionCreated { session, .. }) => {
+                    Some(*session)
+                }
+                _ => None,
+            }) {
+                Some(session) => session,
+                None => {
+                    return vec![release(call_reference, CAUSE_REJECTED)];
+                }
+            }
+        } else {
+            match callee
+                .strip_prefix("conf-")
+                .and_then(|raw| raw.parse::<u64>().ok())
+            {
+                Some(id) => SessionId::from_raw(id),
+                None => return vec![release(call_reference, CAUSE_UNALLOCATED)],
+            }
+        };
+
+        let terminal = TerminalId::from_raw(self.next_terminal);
+        self.next_terminal += 1;
+        let outputs = server.handle(
+            Some(caller),
+            XgspMessage::Join {
+                session,
+                user: caller.to_string(),
+                terminal,
+                media,
+            },
+        );
+        let joined = outputs
+            .iter()
+            .any(|o| matches!(o, ServerOutput::Reply(XgspMessage::JoinAck { .. })));
+        if !joined {
+            let cause = if outputs.iter().any(|o| {
+                matches!(
+                    o,
+                    ServerOutput::Reply(XgspMessage::Error { code, .. })
+                        if code == "unknown-session"
+                )
+            }) {
+                CAUSE_UNALLOCATED
+            } else {
+                CAUSE_REJECTED
+            };
+            return vec![release(call_reference, cause)];
+        }
+        self.calls.insert(
+            call_reference,
+            Call {
+                session,
+                user: caller.to_string(),
+            },
+        );
+        vec![
+            H323Message::Q931(Q931Message::CallProceeding { call_reference }),
+            H323Message::Q931(Q931Message::Alerting { call_reference }),
+            H323Message::Q931(Q931Message::Connect {
+                call_reference,
+                h245_address: self.h245_address.clone(),
+            }),
+        ]
     }
 
     fn handle_h245(&mut self, message: &H245Message) -> Vec<H323Message> {
@@ -322,6 +362,41 @@ mod tests {
         assert_eq!(gw.call_count(), 0);
         // Ad-hoc session evaporated when the only member left.
         assert_eq!(server.session_count(), 0);
+    }
+
+    #[test]
+    fn telemetry_times_setup_and_counts_outcomes() {
+        use std::sync::Arc;
+
+        use mmcs_telemetry::{ManualClock, Registry};
+        use mmcs_util::time::SimDuration;
+
+        let registry = Registry::new();
+        let clock = Arc::new(ManualClock::with_step(SimDuration::from_micros(400)));
+        let metrics = CallSetupMetrics::register(&registry, "h323", clock);
+        let mut gw = H323Gateway::new("gw:2720", "rtp:1");
+        gw.set_metrics(metrics.clone());
+        let mut server = SessionServer::new();
+
+        gw.handle(&setup(1, "alice-h323", "new-conf"), &mut server);
+        gw.handle(&setup(2, "bob-h323", "conf-99"), &mut server);
+        gw.handle(
+            &H323Message::Q931(Q931Message::ReleaseComplete {
+                call_reference: 1,
+                cause: CAUSE_NORMAL,
+            }),
+            &mut server,
+        );
+
+        assert_eq!(metrics.attempts.get(), 2);
+        assert_eq!(metrics.setups.get(), 1);
+        assert_eq!(metrics.failures.get(), 1);
+        assert_eq!(metrics.teardowns.get(), 1);
+        let latency = metrics.setup_latency.snapshot();
+        assert_eq!(latency.count(), 2);
+        // Each span reads the stepping clock exactly twice: 400us apiece.
+        assert_eq!(latency.sum(), 2 * 400_000);
+        assert!(registry.render_prometheus().contains("h323_call_setups_total 1"));
     }
 
     #[test]

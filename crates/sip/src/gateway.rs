@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use mmcs_telemetry::CallSetupMetrics;
 use mmcs_util::id::{SessionId, TerminalId};
 use mmcs_xgsp::media::{MediaDescription, MediaKind};
 use mmcs_xgsp::message::{SessionMode, XgspMessage};
@@ -37,6 +38,8 @@ pub struct SipGateway {
     rtp_proxy_address: String,
     dialogs: HashMap<String, Dialog>,
     next_terminal: u64,
+    /// Optional call-signaling telemetry (setup outcomes + latency).
+    metrics: Option<CallSetupMetrics>,
 }
 
 impl SipGateway {
@@ -48,7 +51,15 @@ impl SipGateway {
             rtp_proxy_address: rtp_proxy_address.into(),
             dialogs: HashMap::new(),
             next_terminal: 1,
+            metrics: None,
         }
+    }
+
+    /// Installs call-signaling telemetry: INVITE handling is timed with
+    /// the bundle's clock (wall time under a real driver, manual time in
+    /// tests) and setup/teardown outcomes are counted.
+    pub fn set_metrics(&mut self, metrics: CallSetupMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Number of live dialogs.
@@ -79,9 +90,37 @@ impl SipGateway {
             return vec![SipMessage::response_to(request, 400, "Not a request")];
         };
         match method {
-            SipMethod::Invite => self.handle_invite(request, uri.clone(), server),
+            SipMethod::Invite => {
+                // Clone the instrument bundle out (Arc clones) so the
+                // span does not borrow `self` across the `&mut` call.
+                let timing = self.metrics.clone();
+                let span = timing.as_ref().map(|m| {
+                    m.attempts.inc();
+                    m.setup_span()
+                });
+                let replies = self.handle_invite(request, uri.clone(), server);
+                if let Some(m) = &timing {
+                    if let Some(span) = span {
+                        span.finish();
+                    }
+                    if replies.first().and_then(|r| r.status()) == Some(200) {
+                        m.setups.inc();
+                    } else {
+                        m.failures.inc();
+                    }
+                }
+                replies
+            }
             SipMethod::Ack => Vec::new(),
-            SipMethod::Bye => self.handle_bye(request, server),
+            SipMethod::Bye => {
+                let replies = self.handle_bye(request, server);
+                if let Some(m) = &self.metrics {
+                    if replies.first().and_then(|r| r.status()) == Some(200) {
+                        m.teardowns.inc();
+                    }
+                }
+                replies
+            }
             SipMethod::Message => self.handle_message(request, server),
             SipMethod::Options => {
                 vec![SipMessage::response_to(request, 200, "OK")
@@ -398,6 +437,42 @@ mod tests {
             .expect("notify toward bob");
         assert!(notify.body.contains("hello everyone"));
         assert_eq!(notify.header("To"), Some("<sip:bob@ua>"));
+    }
+
+    #[test]
+    fn telemetry_times_setup_and_counts_outcomes() {
+        use mmcs_telemetry::{ManualClock, Registry};
+        use mmcs_util::time::SimDuration;
+        use std::sync::Arc;
+
+        let registry = Registry::new();
+        let clock = Arc::new(ManualClock::with_step(SimDuration::from_micros(250)));
+        let metrics = CallSetupMetrics::register(&registry, "sip", clock);
+        let mut gw = SipGateway::new("mmcs.example", "10.0.0.1");
+        gw.set_metrics(metrics.clone());
+        let mut server = SessionServer::new();
+
+        gw.handle_request(
+            &invite("sip:new-conf@mmcs.example", "sip:alice@ua", "cid-1"),
+            &mut server,
+        );
+        gw.handle_request(
+            &invite("sip:conf-99@mmcs.example", "sip:alice@ua", "cid-2"),
+            &mut server,
+        );
+        gw.handle_request(&bye("cid-1"), &mut server);
+
+        assert_eq!(metrics.attempts.get(), 2);
+        assert_eq!(metrics.setups.get(), 1);
+        assert_eq!(metrics.failures.get(), 1);
+        assert_eq!(metrics.teardowns.get(), 1);
+        let latency = metrics.setup_latency.snapshot();
+        assert_eq!(latency.count(), 2);
+        // The stepping clock advances 250us per reading; each span reads
+        // twice, so each recorded latency is exactly 250us.
+        assert_eq!(latency.sum(), 2 * 250_000);
+        let text = registry.render_prometheus();
+        assert!(text.contains("sip_call_setups_total 1"));
     }
 
     #[test]

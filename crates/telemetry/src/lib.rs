@@ -1,0 +1,52 @@
+//! Workspace telemetry: lock-free metrics, fixed-memory histograms, and
+//! event-scoped spans.
+//!
+//! The paper's evaluation (§3.2) is entirely observational — per-packet
+//! delay and jitter at the receivers, broker capacity under load — and
+//! the production Global-MMCS deployment leaned on MonALISA-style
+//! monitoring agents to see its media paths. This crate is the
+//! reproduction's equivalent: one small, dependency-free instrumentation
+//! layer that every component (broker hot path, protocol gateways, XGSP
+//! session server, chaos harness, Figure-3 bench) reports through.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cost ≈ zero.** [`Counter`] and [`Gauge`] are single
+//!    atomics padded to a cache line; [`Histogram::record`] is an index
+//!    computation plus relaxed `fetch_add`s. Nothing allocates, nothing
+//!    locks, so the broker's zero-allocation warm publish path (PR 1)
+//!    stays zero-allocation with full instrumentation enabled.
+//! 2. **Deterministic under the simulator.** Time enters only through
+//!    the [`Clock`] trait: [`WallClock`] reads the single sanctioned
+//!    monotonic source (`mmcs_util::time::monotonic_now`) under the
+//!    threaded/network drivers, while [`ManualClock`] is driven from
+//!    virtual [`SimTime`](mmcs_util::time::SimTime) in simulation, so a
+//!    chaos run's metrics dump is bit-reproducible.
+//! 3. **Bounded memory, bounded error.** [`Histogram`] is HDR-style
+//!    log-linear: fixed 3776-bucket layout, exact below 64, relative
+//!    quantile error ≤ [`Histogram::REL_ERROR`] above, exact `count`
+//!    and `sum` so means are exact. Snapshots are sparse and mergeable
+//!    across threads.
+//!
+//! A [`Registry`] names metrics and renders them as Prometheus text or
+//! JSON; golden tests pin both formats.
+
+/// The pluggable clock abstraction spans read time through.
+pub mod clock;
+/// The fixed-memory log-linear histogram and its mergeable snapshots.
+pub mod histogram;
+/// Reusable instrument bundles shared by the protocol gateways.
+pub mod instruments;
+/// Lock-free counter and gauge primitives.
+pub mod metric;
+/// The metric registry and its Prometheus/JSON exposition.
+pub mod registry;
+/// Event-scoped latency spans recorded into histograms.
+pub mod span;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use instruments::CallSetupMetrics;
+pub use metric::{Counter, Gauge};
+pub use registry::Registry;
+pub use span::Span;

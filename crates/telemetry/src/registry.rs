@@ -1,0 +1,249 @@
+//! Metric naming and exposition.
+//!
+//! A [`Registry`] maps stable names to metrics and renders the whole
+//! set as Prometheus text or JSON. Names follow the Prometheus
+//! convention (`snake_case`, counters end in `_total`, latency
+//! histograms in `_ns`), live in one flat namespace, and render in
+//! lexicographic order, so both formats are deterministic — golden
+//! tests diff them byte-for-byte.
+//!
+//! The registry lock guards only registration and rendering; recording
+//! into an already-registered metric touches no lock (callers hold
+//! `Arc`s to the metrics themselves).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::histogram::Histogram;
+use crate::metric::{Counter, Gauge};
+
+/// A registered metric of any kind.
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    help: String,
+    slot: Slot,
+}
+
+/// A named collection of metrics with deterministic exposition. See
+/// the [module docs](self).
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it with
+    /// `help` on first use. If `name` is already registered as a
+    /// different kind, returns a fresh detached counter (recording
+    /// still works; it just won't render) — names are expected to be
+    /// unique across kinds.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock();
+        let entry = inner.entry(name.to_owned()).or_insert_with(|| Entry {
+            help: help.to_owned(),
+            slot: Slot::Counter(Arc::new(Counter::new())),
+        });
+        match &entry.slot {
+            Slot::Counter(c) => Arc::clone(c),
+            _ => Arc::new(Counter::new()),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it with
+    /// `help` on first use (same kind-collision rule as
+    /// [`Registry::counter`]).
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock();
+        let entry = inner.entry(name.to_owned()).or_insert_with(|| Entry {
+            help: help.to_owned(),
+            slot: Slot::Gauge(Arc::new(Gauge::new())),
+        });
+        match &entry.slot {
+            Slot::Gauge(g) => Arc::clone(g),
+            _ => Arc::new(Gauge::new()),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it with
+    /// `help` on first use (same kind-collision rule as
+    /// [`Registry::counter`]).
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock();
+        let entry = inner.entry(name.to_owned()).or_insert_with(|| Entry {
+            help: help.to_owned(),
+            slot: Slot::Histogram(Arc::new(Histogram::new())),
+        });
+        match &entry.slot {
+            Slot::Histogram(h) => Arc::clone(h),
+            _ => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// Renders every metric in Prometheus text exposition format,
+    /// names in lexicographic order. Histograms render cumulative
+    /// `_bucket{le="…"}` lines over non-empty buckets (inclusive
+    /// integer upper bounds), then `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for (name, entry) in inner.iter() {
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&entry.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            match &entry.slot {
+                Slot::Counter(c) => {
+                    out.push_str(" counter\n");
+                    out.push_str(&format!("{name} {}\n", c.get()));
+                }
+                Slot::Gauge(g) => {
+                    out.push_str(" gauge\n");
+                    out.push_str(&format!("{name} {}\n", g.get()));
+                }
+                Slot::Histogram(h) => {
+                    out.push_str(" histogram\n");
+                    let snap = h.snapshot();
+                    let mut cumulative = 0u64;
+                    for (le, n) in snap.bucket_bounds() {
+                        cumulative += n;
+                        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                    }
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"+Inf\"}} {}\n",
+                        snap.count()
+                    ));
+                    out.push_str(&format!("{name}_sum {}\n", snap.sum()));
+                    out.push_str(&format!("{name}_count {}\n", snap.count()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every metric as a pretty-printed JSON object with three
+    /// sections (`counters`, `gauges`, `histograms`), keys in
+    /// lexicographic order. Histograms summarize as count/sum/min/max/
+    /// mean and the p50/p90/p99 quantiles.
+    pub fn render_json(&self) -> String {
+        let inner = self.inner.lock();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for (name, entry) in inner.iter() {
+            let key = json_escape(name);
+            match &entry.slot {
+                Slot::Counter(c) => counters.push(format!("    \"{key}\": {}", c.get())),
+                Slot::Gauge(g) => gauges.push(format!("    \"{key}\": {}", g.get())),
+                Slot::Histogram(h) => {
+                    let s = h.snapshot();
+                    let q = |p: f64| s.quantile(p).unwrap_or(0);
+                    histograms.push(format!(
+                        "    \"{key}\": {{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {} }}",
+                        s.count(),
+                        s.sum(),
+                        s.min().unwrap_or(0),
+                        s.max().unwrap_or(0),
+                        s.mean(),
+                        q(0.50),
+                        q(0.90),
+                        q(0.99),
+                    ));
+                }
+            }
+        }
+        let section = |items: Vec<String>| {
+            if items.is_empty() {
+                "{}".to_owned()
+            } else {
+                format!("{{\n{}\n  }}", items.join(",\n"))
+            }
+        };
+        format!(
+            "{{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}}\n",
+            section(counters),
+            section(gauges),
+            section(histograms),
+        )
+    }
+}
+
+/// Minimal JSON string escaping (metric names are identifiers, but be
+/// safe about quotes and backslashes anyway).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "x");
+        let b = r.counter("x_total", "ignored");
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn kind_collision_returns_detached() {
+        let r = Registry::new();
+        let _c = r.counter("name", "first");
+        let g = r.gauge("name", "second");
+        g.set(9); // does not panic, does not render
+        assert!(!r.render_prometheus().contains(" gauge\n"));
+    }
+
+    #[test]
+    fn prometheus_renders_all_kinds_in_order() {
+        let r = Registry::new();
+        r.counter("b_total", "a counter").add(2);
+        r.gauge("a_depth", "a gauge").set(-3);
+        let h = r.histogram("c_ns", "a histogram");
+        h.record(5);
+        h.record(70);
+        let text = r.render_prometheus();
+        let a = text.find("a_depth").expect("gauge present");
+        let b = text.find("b_total").expect("counter present");
+        let c = text.find("c_ns").expect("histogram present");
+        assert!(a < b && b < c, "metrics out of order:\n{text}");
+        assert!(text.contains("a_depth -3\n"));
+        assert!(text.contains("b_total 2\n"));
+        assert!(text.contains("c_ns_bucket{le=\"5\"} 1\n"));
+        assert!(text.contains("c_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("c_ns_sum 75\n"));
+        assert!(text.contains("c_ns_count 2\n"));
+    }
+
+    #[test]
+    fn json_is_well_formed_ish() {
+        let r = Registry::new();
+        r.counter("hits_total", "hits").inc();
+        r.histogram("lat_ns", "latency").record(42);
+        let json = r.render_json();
+        assert!(json.contains("\"hits_total\": 1"));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"p50\": 42"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+    }
+}

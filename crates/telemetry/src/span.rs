@@ -1,0 +1,88 @@
+//! Event-scoped spans: measure one region, record into a histogram.
+//!
+//! A [`Span`] reads its [`Clock`] once at start and once at finish and
+//! records the elapsed nanoseconds into a [`Histogram`]. It records on
+//! drop too, so early returns inside the measured region are still
+//! counted — call [`Span::finish`] explicitly only when the elapsed
+//! value itself is wanted.
+
+use mmcs_util::time::{SimDuration, SimTime};
+
+use crate::clock::Clock;
+use crate::histogram::Histogram;
+
+/// An in-progress measurement. See the [module docs](self).
+#[derive(Debug)]
+pub struct Span<'a> {
+    clock: &'a dyn Clock,
+    histogram: &'a Histogram,
+    start: SimTime,
+    finished: bool,
+}
+
+impl<'a> Span<'a> {
+    /// Starts measuring now.
+    pub fn start(clock: &'a dyn Clock, histogram: &'a Histogram) -> Span<'a> {
+        Span {
+            clock,
+            histogram,
+            start: clock.now(),
+            finished: false,
+        }
+    }
+
+    /// Stops measuring, records the elapsed time, and returns it.
+    pub fn finish(mut self) -> SimDuration {
+        let elapsed = self.clock.now().saturating_duration_since(self.start);
+        self.histogram.record_duration(elapsed);
+        self.finished = true;
+        elapsed
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            let elapsed = self.clock.now().saturating_duration_since(self.start);
+            self.histogram.record_duration(elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn finish_records_elapsed() {
+        let clock = ManualClock::new();
+        let hist = Histogram::new();
+        let span = Span::start(&clock, &hist);
+        clock.advance(SimDuration::from_micros(30));
+        assert_eq!(span.finish(), SimDuration::from_micros(30));
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.sum(), 30_000);
+    }
+
+    #[test]
+    fn drop_records_once() {
+        let clock = ManualClock::new();
+        let hist = Histogram::new();
+        {
+            let _span = Span::start(&clock, &hist);
+            clock.advance(SimDuration::from_nanos(7));
+        }
+        assert_eq!(hist.snapshot().sum(), 7);
+        assert_eq!(hist.snapshot().count(), 1);
+    }
+
+    #[test]
+    fn finish_does_not_double_record() {
+        let clock = ManualClock::new();
+        let hist = Histogram::new();
+        Span::start(&clock, &hist).finish();
+        assert_eq!(hist.snapshot().count(), 1);
+    }
+}

@@ -20,6 +20,7 @@
 //! assert_eq!(s.count(), 3);
 //! ```
 
+use core::cell::{Cell, RefCell};
 use core::fmt;
 
 /// Streaming mean/variance/min/max using Welford's algorithm.
@@ -126,20 +127,32 @@ impl fmt::Display for OnlineStats {
 }
 
 /// Stores every sample for percentile queries and series export.
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// Percentile queries sort lazily and cache the sorted order, so a
+/// burst of quantile reads (p50/p90/p99 in a report) sorts once;
+/// recording a new sample invalidates the cache. The cache lives in a
+/// [`RefCell`], which makes the type `!Sync` — experiment collection is
+/// single-threaded, so nothing shares a series across threads.
 pub struct SampleSeries {
     samples: Vec<f64>,
+    sorted: RefCell<Option<Vec<f64>>>,
+    sorts: Cell<u64>,
 }
 
 impl SampleSeries {
     /// Creates an empty series.
     pub fn new() -> Self {
-        Self { samples: Vec::new() }
+        Self {
+            samples: Vec::new(),
+            sorted: RefCell::new(None),
+            sorts: Cell::new(0),
+        }
     }
 
     /// Appends one sample.
     pub fn record(&mut self, x: f64) {
         self.samples.push(x);
+        self.sorted.get_mut().take();
     }
 
     /// All samples in insertion order.
@@ -176,10 +189,21 @@ impl SampleSeries {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in series"));
+        let mut cache = self.sorted.borrow_mut();
+        let sorted = cache.get_or_insert_with(|| {
+            self.sorts.set(self.sorts.get() + 1);
+            let mut sorted = self.samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in series"));
+            sorted
+        });
         let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
         sorted[idx]
+    }
+
+    /// How many times percentile queries have had to sort; a burst of
+    /// queries against an unchanged series costs exactly one sort.
+    pub fn sorts_performed(&self) -> u64 {
+        self.sorts.get()
     }
 
     /// Downsamples the series by averaging consecutive windows of `width`
@@ -207,10 +231,44 @@ impl SampleSeries {
     }
 }
 
+impl fmt::Debug for SampleSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SampleSeries")
+            .field("samples", &self.samples)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for SampleSeries {
+    fn clone(&self) -> Self {
+        // The sort cache is cheap to rebuild; clones start cold.
+        Self {
+            samples: self.samples.clone(),
+            sorted: RefCell::new(None),
+            sorts: Cell::new(0),
+        }
+    }
+}
+
+impl PartialEq for SampleSeries {
+    fn eq(&self, other: &Self) -> bool {
+        // Cache state is not part of a series' value.
+        self.samples == other.samples
+    }
+}
+
+impl Default for SampleSeries {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl FromIterator<f64> for SampleSeries {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
         Self {
             samples: iter.into_iter().collect(),
+            sorted: RefCell::new(None),
+            sorts: Cell::new(0),
         }
     }
 }
@@ -218,6 +276,7 @@ impl FromIterator<f64> for SampleSeries {
 impl Extend<f64> for SampleSeries {
     fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
         self.samples.extend(iter);
+        self.sorted.get_mut().take();
     }
 }
 
@@ -357,6 +416,30 @@ mod tests {
         // Nearest-rank: index round(99 * 0.5) = 50 -> value 51.
         assert_eq!(s.percentile(0.5), 51.0);
         assert!((s.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_percentiles_sort_once_and_agree() {
+        let mut s: SampleSeries = (0..500).map(|i| ((i * 7919) % 500) as f64).collect();
+        let first: Vec<f64> = [0.0, 0.5, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| s.percentile(q))
+            .collect();
+        for _ in 0..10 {
+            let again: Vec<f64> = [0.0, 0.5, 0.9, 0.99, 1.0]
+                .iter()
+                .map(|&q| s.percentile(q))
+                .collect();
+            assert_eq!(again, first);
+        }
+        assert_eq!(s.sorts_performed(), 1);
+
+        // Recording invalidates the cache: one more sort, new answers
+        // reflect the new sample.
+        s.record(f64::from(10_000));
+        assert_eq!(s.percentile(1.0), 10_000.0);
+        assert_eq!(s.percentile(0.0), 0.0);
+        assert_eq!(s.sorts_performed(), 2);
     }
 
     #[test]

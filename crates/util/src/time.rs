@@ -9,6 +9,12 @@
 //! The API intentionally mirrors `std::time::{Instant, Duration}` so the
 //! code reads naturally, but the types are plain `u64` arithmetic.
 //!
+//! The one sanctioned bridge to the OS clock is [`monotonic_now`]: the
+//! threaded and network drivers need real elapsed time (span latencies,
+//! timeouts), and funneling every reading through this module keeps the
+//! `no-direct-instant-now` lint meaningful everywhere else — swap the
+//! clock here and the whole workspace follows.
+//!
 //! # Examples
 //!
 //! ```
@@ -293,6 +299,24 @@ impl Sub<SimTime> for SimTime {
     }
 }
 
+/// Monotonic wall-clock reading: nanoseconds since the first call in
+/// this process, as a [`SimTime`].
+///
+/// This is the **only** place in the workspace that consults the OS
+/// clock (`std::time::Instant`); everything else goes through either
+/// the simulator's virtual clock or this function, so the
+/// `no-direct-instant-now` lint can forbid `Instant::now()` outright.
+/// Readings are monotone non-decreasing and start near zero, which lets
+/// wall time and virtual time share the same `SimTime`/`SimDuration`
+/// vocabulary (telemetry spans, driver timeouts).
+pub fn monotonic_now() -> SimTime {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    SimTime::from_nanos(epoch.elapsed().as_nanos() as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +373,16 @@ mod tests {
         assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
         assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
         assert_eq!(SimTime::from_secs(1).to_string(), "t=1.000000s");
+    }
+
+    #[test]
+    fn monotonic_now_is_monotone() {
+        let a = monotonic_now();
+        let b = monotonic_now();
+        assert!(b >= a, "wall clock ran backwards: {a} then {b}");
+        // Readings are anchored at the first call, so they stay small
+        // relative to an absolute epoch (sanity: under an hour).
+        assert!(b.as_secs_f64() < 3600.0);
     }
 
     #[test]

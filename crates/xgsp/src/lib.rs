@@ -46,6 +46,8 @@ pub mod floor;
 pub mod media;
 /// The XGSP wire messages and their XML encoding.
 pub mod message;
+/// Telemetry instrument bundle for the session server.
+pub mod metrics;
 /// The session server: owns sessions, turns messages into effects.
 pub mod server;
 /// One collaboration session: members, streams, floor and lifecycle.

@@ -1,0 +1,90 @@
+//! Telemetry instruments for the XGSP session server.
+//!
+//! [`XgspMetrics`] is an `Arc`-cloneable bundle registered against a
+//! [`mmcs_telemetry::Registry`]; [`crate::server::SessionServer`] takes
+//! one via `set_metrics` and increments it on the success paths of
+//! session lifecycle and membership operations. Counters are
+//! monotonic totals; `active_sessions` is a gauge tracking the live
+//! session map size (ad-hoc evaporation counts as a termination).
+
+use std::sync::Arc;
+
+use mmcs_telemetry::{Counter, Gauge, Registry};
+
+/// Session-server instrument bundle. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct XgspMetrics {
+    /// Sessions successfully created.
+    pub sessions_created: Arc<Counter>,
+    /// Sessions torn down: explicit terminations plus ad-hoc rooms
+    /// that evaporated when their last member left.
+    pub sessions_terminated: Arc<Counter>,
+    /// Successful joins (JoinAck emitted).
+    pub joins: Arc<Counter>,
+    /// Successful leaves.
+    pub leaves: Arc<Counter>,
+    /// Requests answered with an XGSP `Error` reply.
+    pub errors: Arc<Counter>,
+    /// Current number of live sessions.
+    pub active_sessions: Arc<Gauge>,
+}
+
+impl XgspMetrics {
+    /// Registers the bundle under `{prefix}_*` metric names.
+    pub fn register(registry: &Registry, prefix: &str) -> Self {
+        Self {
+            sessions_created: registry.counter(
+                &format!("{prefix}_sessions_created_total"),
+                "Sessions successfully created",
+            ),
+            sessions_terminated: registry.counter(
+                &format!("{prefix}_sessions_terminated_total"),
+                "Sessions terminated or evaporated",
+            ),
+            joins: registry.counter(
+                &format!("{prefix}_joins_total"),
+                "Successful session joins",
+            ),
+            leaves: registry.counter(
+                &format!("{prefix}_leaves_total"),
+                "Successful session leaves",
+            ),
+            errors: registry.counter(
+                &format!("{prefix}_errors_total"),
+                "Requests answered with an XGSP error",
+            ),
+            active_sessions: registry.gauge(
+                &format!("{prefix}_active_sessions"),
+                "Current number of live sessions",
+            ),
+        }
+    }
+
+    /// A bundle not attached to any registry, for tests and benches.
+    pub fn detached() -> Self {
+        Self {
+            sessions_created: Arc::new(Counter::new()),
+            sessions_terminated: Arc::new(Counter::new()),
+            joins: Arc::new(Counter::new()),
+            leaves: Arc::new(Counter::new()),
+            errors: Arc::new(Counter::new()),
+            active_sessions: Arc::new(Gauge::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_names_follow_prefix() {
+        let registry = Registry::new();
+        let metrics = XgspMetrics::register(&registry, "xgsp");
+        metrics.sessions_created.inc();
+        metrics.active_sessions.set(3);
+        let text = registry.render_prometheus();
+        assert!(text.contains("xgsp_sessions_created_total 1"));
+        assert!(text.contains("xgsp_active_sessions 3"));
+    }
+}

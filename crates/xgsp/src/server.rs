@@ -14,6 +14,7 @@ use mmcs_util::id::{IdAllocator, SessionId};
 
 use crate::media::MediaKind;
 use crate::message::{FloorOp, MediaOp, SessionMode, XgspMessage};
+use crate::metrics::XgspMetrics;
 use crate::session::{Session, SessionError};
 
 /// A topic-management command for the broker network.
@@ -61,12 +62,19 @@ struct SessionRecord {
 pub struct SessionServer {
     sessions: HashMap<SessionId, SessionRecord>,
     ids: IdAllocator<SessionId>,
+    metrics: Option<XgspMetrics>,
 }
 
 impl SessionServer {
     /// Creates an empty server.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs the telemetry bundle; lifecycle and membership
+    /// operations update it from then on.
+    pub fn set_metrics(&mut self, metrics: XgspMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Number of live sessions.
@@ -97,6 +105,19 @@ impl SessionServer {
     /// [`ServerOutput::Reply`] carrying [`XgspMessage::Error`] — gateways
     /// translate them into their community's failure signaling.
     pub fn handle(&mut self, from: Option<&str>, message: XgspMessage) -> Vec<ServerOutput> {
+        let outputs = self.handle_inner(from, message);
+        if let Some(m) = &self.metrics {
+            let errors = outputs
+                .iter()
+                .filter(|o| matches!(o, ServerOutput::Reply(XgspMessage::Error { .. })))
+                .count() as u64;
+            m.errors.add(errors);
+            m.active_sessions.set(self.sessions.len() as i64);
+        }
+        outputs
+    }
+
+    fn handle_inner(&mut self, from: Option<&str>, message: XgspMessage) -> Vec<ServerOutput> {
         match message {
             XgspMessage::CreateSession { name, mode, media } => {
                 let id = self.ids.next();
@@ -107,6 +128,9 @@ impl SessionServer {
                     .map(|s| ServerOutput::Broker(BrokerCommand::CreateTopic(s.topic.clone())))
                     .collect();
                 self.sessions.insert(id, SessionRecord { session, mode });
+                if let Some(m) = &self.metrics {
+                    m.sessions_created.inc();
+                }
                 outputs.push(ServerOutput::Reply(XgspMessage::SessionCreated {
                     session: id,
                     name,
@@ -124,6 +148,9 @@ impl SessionServer {
                     return vec![session_error(err)];
                 }
                 let record = occupied.remove();
+                if let Some(m) = &self.metrics {
+                    m.sessions_terminated.inc();
+                }
                 let mut outputs = Vec::new();
                 for stream in record.session.streams() {
                     outputs.push(ServerOutput::Broker(BrokerCommand::RemoveTopic(
@@ -154,6 +181,9 @@ impl SessionServer {
                     .collect();
                 match record.session.join(user.clone(), terminal, media) {
                     Ok(topics) => {
+                        if let Some(m) = &self.metrics {
+                            m.joins.inc();
+                        }
                         let mut outputs = Vec::new();
                         for stream in record.session.streams() {
                             if !before.contains(&stream.topic) {
@@ -188,6 +218,9 @@ impl SessionServer {
                 if let Err(err) = record.session.leave(&user) {
                     return vec![session_error(err)];
                 }
+                if let Some(m) = &self.metrics {
+                    m.leaves.inc();
+                }
                 let mut outputs: Vec<ServerOutput> = record
                     .session
                     .members()
@@ -204,6 +237,9 @@ impl SessionServer {
                 // scheduled rooms persist until their reservation ends.
                 if record.session.member_count() == 0 && record.mode == SessionMode::AdHoc {
                     if let Some(record) = self.sessions.remove(&session) {
+                        if let Some(m) = &self.metrics {
+                            m.sessions_terminated.inc();
+                        }
                         for stream in record.session.streams() {
                             outputs.push(ServerOutput::Broker(BrokerCommand::RemoveTopic(
                                 stream.topic.clone(),
@@ -695,6 +731,40 @@ mod tests {
             &outputs[0],
             ServerOutput::Reply(XgspMessage::Error { code, .. }) if code == "not-a-request"
         ));
+    }
+
+    #[test]
+    fn telemetry_tracks_session_lifecycle() {
+        let mut server = SessionServer::new();
+        let registry = mmcs_telemetry::Registry::new();
+        let metrics = XgspMetrics::register(&registry, "xgsp");
+        server.set_metrics(metrics.clone());
+
+        let session = create(&mut server, SessionMode::AdHoc);
+        join(&mut server, session, "alice");
+        join(&mut server, session, "bob");
+        assert_eq!(metrics.sessions_created.get(), 1);
+        assert_eq!(metrics.joins.get(), 2);
+        assert_eq!(metrics.active_sessions.get(), 1);
+
+        // Unknown-session join is an error, not a join.
+        join(&mut server, SessionId::from_raw(99), "mallory");
+        assert_eq!(metrics.joins.get(), 2);
+        assert_eq!(metrics.errors.get(), 1);
+
+        for user in ["alice", "bob"] {
+            server.handle(
+                Some(user),
+                XgspMessage::Leave {
+                    session,
+                    user: user.into(),
+                },
+            );
+        }
+        assert_eq!(metrics.leaves.get(), 2);
+        // Ad-hoc evaporation counts as a termination.
+        assert_eq!(metrics.sessions_terminated.get(), 1);
+        assert_eq!(metrics.active_sessions.get(), 0);
     }
 
     #[test]

@@ -17,5 +17,6 @@ pub use mmcs_sim as sim;
 pub use mmcs_sip as sip;
 pub use mmcs_soap as soap;
 pub use mmcs_streaming as streaming;
+pub use mmcs_telemetry as telemetry;
 pub use mmcs_util as util;
 pub use mmcs_xgsp as xgsp;

@@ -1,0 +1,64 @@
+//! Cross-checks the Figure 3 harness against the telemetry pipeline:
+//! the bench-reported averages must equal the values derived from the
+//! telemetry histogram snapshots it now records through — one
+//! accounting code path, no drift between "what the bench prints" and
+//! "what the metrics say".
+
+use mmcs_bench::fig3::{run, Fig3Config, SystemResult};
+use mmcs_util::rate::Bandwidth;
+
+fn small_config() -> Fig3Config {
+    Fig3Config {
+        packets: 100,
+        receivers: 10,
+        measured: 2,
+        relay_nic: Bandwidth::from_mbps(8),
+        ..Fig3Config::default()
+    }
+}
+
+fn crosscheck(side: &str, result: &SystemResult, measured: usize) {
+    // The headline numbers are derived from the snapshots: equality is
+    // exact, not approximate.
+    assert_eq!(
+        result.avg_delay_ms,
+        result.delay_hist.mean() / 1e6,
+        "{side}: avg delay must come from the delay histogram"
+    );
+    assert_eq!(
+        result.avg_jitter_ms,
+        result.jitter_hist.mean() / 1e6,
+        "{side}: avg jitter must come from the jitter histogram"
+    );
+    // The snapshot mean is itself exact count-and-sum arithmetic.
+    assert_eq!(
+        result.delay_hist.mean(),
+        result.delay_hist.sum() as f64 / result.delay_hist.count() as f64,
+        "{side}: histogram mean must be exact sum/count"
+    );
+    // One jitter sample per measured receiver; delay samples pooled
+    // across them.
+    assert_eq!(result.jitter_hist.count(), measured as u64);
+    assert!(result.delay_hist.count() >= result.received as u64);
+    // The average sits inside the recorded range.
+    let lo = result.delay_hist.min().expect("samples recorded") as f64 / 1e6;
+    let hi = result.delay_hist.max().expect("samples recorded") as f64 / 1e6;
+    assert!(
+        (lo..=hi).contains(&result.avg_delay_ms),
+        "{side}: avg {} outside [{lo}, {hi}]",
+        result.avg_delay_ms
+    );
+}
+
+#[test]
+fn fig3_averages_equal_their_histogram_derivation() {
+    let config = small_config();
+    let result = run(&config);
+    crosscheck("narada", &result.narada, config.measured);
+    crosscheck("jmf", &result.jmf, config.measured);
+    // Same seed, same code path: a second run reproduces the snapshots
+    // bit-for-bit, histograms included.
+    let again = run(&config);
+    assert_eq!(result.narada.delay_hist, again.narada.delay_hist);
+    assert_eq!(result.jmf.jitter_hist, again.jmf.jitter_hist);
+}

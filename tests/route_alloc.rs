@@ -1,6 +1,8 @@
 //! Proves the routing fast path is allocation-free: once a topic's plan
 //! is memoized and the caller's action buffer has grown to the fan-out,
-//! publishing does not touch the heap at all.
+//! publishing does not touch the heap at all — including with full
+//! telemetry installed (counters and the fan-out histogram are relaxed
+//! atomic increments into preallocated storage).
 //!
 //! This file holds exactly one test so the counting allocator sees no
 //! traffic from sibling tests in the same binary.
@@ -11,6 +13,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use mmcs::broker::event::{Event, EventClass};
+use mmcs::broker::metrics::BrokerMetrics;
 use mmcs::broker::node::{Action, BrokerNode, Input, Origin};
 use mmcs::broker::topic::{Topic, TopicFilter};
 use mmcs_util::id::{BrokerId, ClientId};
@@ -57,6 +60,8 @@ fn warm_publish_allocates_nothing() {
     const PUBLISHES: u64 = 1000;
 
     let mut node = BrokerNode::new(BrokerId::from_raw(1));
+    let metrics = BrokerMetrics::detached();
+    node.set_metrics(Arc::clone(&metrics));
     let topic = Topic::parse("conf/1/video").unwrap();
     for i in 0..FANOUT {
         let client = ClientId::from_raw(i as u64 + 1);
@@ -121,7 +126,14 @@ fn warm_publish_allocates_nothing() {
         after - before,
         PUBLISHES,
     );
-    // The plan was served from cache the whole time.
+    // The plan was served from cache the whole time, and telemetry saw
+    // every one of those warm publishes without costing an allocation.
     assert_eq!(node.generation(), generation);
     assert_eq!(node.plan_cache_len(), 1);
+    // The warm-up publish built the plan (one miss); every timed
+    // publish hit the cache.
+    assert_eq!(metrics.route_cache_misses.get(), 1);
+    assert_eq!(metrics.route_cache_hits.get(), PUBLISHES);
+    assert_eq!(metrics.events_in.get(), PUBLISHES + 1);
+    assert_eq!(metrics.fanout.snapshot().count(), PUBLISHES + 1);
 }

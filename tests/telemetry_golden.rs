@@ -1,0 +1,67 @@
+//! Golden-file test for the registry exposition formats: a fixed set of
+//! instruments with fixed values must render byte-identically to the
+//! checked-in Prometheus-text and JSON snapshots (which also pins the
+//! deterministic lexicographic ordering).
+//!
+//! To regenerate after an intentional format change:
+//! `UPDATE_GOLDEN=1 cargo test --test telemetry_golden`.
+
+use std::path::Path;
+
+use mmcs::telemetry::Registry;
+
+fn fixed_registry() -> Registry {
+    let registry = Registry::new();
+    let events = registry.counter("broker_events_in_total", "Events accepted by the broker");
+    events.add(656);
+    let drops = registry.counter("broker_unroutable_total", "Events with no route");
+    drops.add(3);
+    let depth = registry.gauge("broker_queue_depth", "Commands queued to the broker loop");
+    depth.set(7);
+    let fanout = registry.histogram("broker_fanout_width", "Receivers per routed event");
+    // One exact-region value per bucket 0/1/12, a two-octave value, and
+    // a large one: exercises linear buckets, log buckets and +Inf math.
+    fanout.record(0);
+    fanout.record_n(1, 5);
+    fanout.record_n(12, 3);
+    fanout.record(100);
+    fanout.record(5000);
+    let latency = registry.histogram("sip_call_setup_latency_ns", "INVITE to final response");
+    latency.record_n(250_000, 2);
+    registry
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "{name} drifted from its golden file; run with UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+#[test]
+fn prometheus_rendering_matches_golden() {
+    check_golden("registry.prom", &fixed_registry().render_prometheus());
+}
+
+#[test]
+fn json_rendering_matches_golden() {
+    check_golden("registry.json", &fixed_registry().render_json());
+}
+
+#[test]
+fn rendering_is_stable_across_calls() {
+    let registry = fixed_registry();
+    assert_eq!(registry.render_prometheus(), registry.render_prometheus());
+    assert_eq!(registry.render_json(), registry.render_json());
+}

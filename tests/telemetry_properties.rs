@@ -1,0 +1,83 @@
+//! Property tests for the telemetry histogram: quantiles checked
+//! against an exact sorted-vector oracle, counts exact, and merge
+//! equivalent to recording the union of the inputs.
+
+use proptest::prelude::*;
+
+use mmcs::telemetry::Histogram;
+
+/// Nearest-rank oracle, matching `HistogramSnapshot::quantile`'s rank
+/// selection but on the raw samples.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn sample_strategy() -> impl Strategy<Value = Vec<u64>> {
+    // Mix tiny exact-region values with values spread across many
+    // octaves so both histogram regimes are exercised.
+    prop::collection::vec(
+        prop_oneof![
+            0u64..64,
+            64u64..100_000,
+            100_000u64..10_000_000_000,
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantiles_match_oracle_within_documented_error(samples in sample_strategy()) {
+        let hist = Histogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let snapshot = hist.snapshot();
+        prop_assert_eq!(snapshot.count(), samples.len() as u64);
+        prop_assert_eq!(snapshot.sum(), samples.iter().sum::<u64>());
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snapshot.min(), Some(sorted[0]));
+        prop_assert_eq!(snapshot.max(), Some(*sorted.last().unwrap()));
+
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let exact = oracle_quantile(&sorted, q);
+            let approx = snapshot.quantile(q).expect("non-empty");
+            // The documented bound: bucket-midpoint reporting is within
+            // REL_ERROR of the true sample (exact below 64).
+            let tolerance = (exact as f64 * Histogram::REL_ERROR).ceil() as u64;
+            let diff = exact.abs_diff(approx);
+            prop_assert!(
+                diff <= tolerance,
+                "q={} exact={} approx={} diff={} tol={}",
+                q, exact, approx, diff, tolerance
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union(
+        a in sample_strategy(),
+        b in sample_strategy(),
+    ) {
+        let ha = Histogram::new();
+        for &s in &a {
+            ha.record(s);
+        }
+        let hb = Histogram::new();
+        for &s in &b {
+            hb.record(s);
+        }
+        let merged = ha.snapshot().merge(&hb.snapshot());
+
+        let hu = Histogram::new();
+        for &s in a.iter().chain(b.iter()) {
+            hu.record(s);
+        }
+        prop_assert_eq!(merged, hu.snapshot());
+    }
+}
