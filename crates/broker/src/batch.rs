@@ -168,6 +168,23 @@ impl<T> Batcher<T> {
     pub fn pending(&self) -> usize {
         self.items.len()
     }
+
+    /// Payload bytes currently pending.
+    pub fn pending_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured item limit. Drain loops (the sharded broker's
+    /// ingress) use this to bound how many queued commands they pull
+    /// before processing a batch.
+    pub fn max_items(&self) -> usize {
+        self.max_items
+    }
+
+    /// The configured byte limit.
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,9 @@
 //!   simulator with a CPU cost model; used by every experiment.
 //! * [`threaded`] — a real multi-threaded in-process driver with
 //!   crossbeam channels, for the examples and concurrency tests.
+//! * [`sharded`] — the multi-worker runtime: the topic space is
+//!   partitioned across N shards, each with its own node slice and
+//!   batched ingress queue, joined by a cross-shard forwarding ring.
 //!
 //! # Examples
 //!
@@ -83,6 +86,9 @@ pub mod profile;
 pub mod reliable;
 /// RTP proxying through the broker overlay for media topics.
 pub mod rtpproxy;
+/// A sharded multi-worker runtime: topic-partitioned node slices with
+/// batched ingress and a cross-shard forwarding ring.
+pub mod sharded;
 /// Drives broker nodes from the discrete-event simulator clock.
 pub mod simdrv;
 /// A threaded runtime wrapping the sans-IO node in real OS threads.

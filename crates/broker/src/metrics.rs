@@ -45,6 +45,12 @@ pub struct BrokerMetrics {
     pub peers_suspected: Arc<Counter>,
     /// Failure-detector Rejoined transitions observed.
     pub peers_rejoined: Arc<Counter>,
+    /// Commands drained per worker wakeup (sharded runtime ingress
+    /// batches; stays empty under the one-command-per-recv drivers).
+    pub batch_size: Arc<Histogram>,
+    /// Events handed to a peer shard over the sharded runtime's
+    /// forwarding ring, counted at the sending (topic-owner) shard.
+    pub cross_shard_forwards: Arc<Counter>,
 }
 
 impl BrokerMetrics {
@@ -96,6 +102,14 @@ impl BrokerMetrics {
                 &format!("{prefix}_peers_rejoined_total"),
                 "failure-detector Rejoined transitions",
             ),
+            batch_size: registry.histogram(
+                &format!("{prefix}_batch_size"),
+                "commands drained per worker wakeup",
+            ),
+            cross_shard_forwards: registry.counter(
+                &format!("{prefix}_cross_shard_forwards_total"),
+                "events forwarded to peer shards over the ring",
+            ),
         })
     }
 
@@ -114,7 +128,63 @@ impl BrokerMetrics {
             retransmissions: Arc::new(Counter::new()),
             peers_suspected: Arc::new(Counter::new()),
             peers_rejoined: Arc::new(Counter::new()),
+            batch_size: Arc::new(Histogram::new()),
+            cross_shard_forwards: Arc::new(Counter::new()),
         })
+    }
+}
+
+/// One [`BrokerMetrics`] bundle per worker shard of a
+/// [`crate::sharded::ShardedBroker`], registered under per-shard label
+/// prefixes (`{prefix}_shard{i}_…`) so queue depth, batch sizes, and
+/// cross-shard forwards can be read per shard and summed across them.
+#[derive(Debug)]
+pub struct ShardedBrokerMetrics {
+    shards: Vec<Arc<BrokerMetrics>>,
+}
+
+impl ShardedBrokerMetrics {
+    /// Registers `shards` per-shard bundles under
+    /// `{prefix}_shard{i}_…` names.
+    pub fn register(registry: &Registry, prefix: &str, shards: usize) -> Arc<Self> {
+        Arc::new(Self {
+            shards: (0..shards)
+                .map(|i| BrokerMetrics::register(registry, &format!("{prefix}_shard{i}")))
+                .collect(),
+        })
+    }
+
+    /// Creates detached per-shard bundles (not in any registry) for
+    /// tests and benches.
+    pub fn detached(shards: usize) -> Arc<Self> {
+        Arc::new(Self {
+            shards: (0..shards).map(|_| BrokerMetrics::detached()).collect(),
+        })
+    }
+
+    /// Number of shard bundles.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The bundle for shard `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn shard(&self, index: usize) -> &Arc<BrokerMetrics> {
+        &self.shards[index]
+    }
+
+    /// Iterates the per-shard bundles in shard order.
+    pub fn shards(&self) -> impl Iterator<Item = &Arc<BrokerMetrics>> {
+        self.shards.iter()
+    }
+
+    /// Sums one counter across all shards (e.g.
+    /// `m.total(|s| s.deliveries.get())`).
+    pub fn total(&self, read: impl Fn(&BrokerMetrics) -> u64) -> u64 {
+        self.shards.iter().map(|s| read(s)).sum()
     }
 }
 
@@ -132,5 +202,26 @@ mod tests {
         assert!(text.contains("broker0_events_in_total 1"));
         assert!(text.contains("broker0_fanout_width_count 1"));
         assert!(text.contains("broker0_queue_depth 0"));
+        assert!(text.contains("broker0_batch_size_count 0"));
+        assert!(text.contains("broker0_cross_shard_forwards_total 0"));
+    }
+
+    #[test]
+    fn sharded_bundle_registers_per_shard_labels() {
+        let registry = Registry::new();
+        let m = ShardedBrokerMetrics::register(&registry, "b", 3);
+        assert_eq!(m.shard_count(), 3);
+        m.shard(0).events_in.add(2);
+        m.shard(2).events_in.add(5);
+        m.shard(1).cross_shard_forwards.inc();
+        m.shard(1).batch_size.record(8);
+        assert_eq!(m.total(|s| s.events_in.get()), 7);
+        assert_eq!(m.total(|s| s.cross_shard_forwards.get()), 1);
+        let text = registry.render_prometheus();
+        assert!(text.contains("b_shard0_events_in_total 2"));
+        assert!(text.contains("b_shard2_events_in_total 5"));
+        assert!(text.contains("b_shard1_cross_shard_forwards_total 1"));
+        assert!(text.contains("b_shard1_batch_size_count 1"));
+        assert_eq!(m.shards().count(), 3);
     }
 }

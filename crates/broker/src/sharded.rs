@@ -1,0 +1,1096 @@
+//! Sharded multi-worker broker runtime.
+//!
+//! [`ShardedBroker`] partitions the topic space across N worker shards.
+//! Each shard runs its own [`BrokerNode`] slice on a dedicated OS
+//! thread — with its own generation-stamped route cache — and drains an
+//! ingress MPSC queue in batches (via [`crate::batch::Batcher`]), so a
+//! publish costs one queue hand-off and deliveries coalesce into one
+//! channel send per client per drained batch.
+//!
+//! # Topology
+//!
+//! * **Topic ownership**: a publish to topic `t` enters exactly one
+//!   *owner* shard, chosen by a stable FNV-1a hash of `t`'s **first
+//!   segment**. A session's control and media topics share a first
+//!   segment (`session/42/…`), so they colocate on one shard and their
+//!   relative order is preserved end-to-end.
+//! * **Client homing**: every client has a *home* shard (hash of its
+//!   id). All of the client's subscriptions live as **local**
+//!   subscriptions only on its home shard's node, so overlapping
+//!   filters dedup in one place and each event is delivered at most
+//!   once.
+//! * **Cross-shard forwarding ring**: shards link to each other as
+//!   peers at startup. When a client's filter can match topics owned by
+//!   another shard, the router registers refcounted *remote* interest
+//!   there (peer id = the client's home shard). A publish then touches
+//!   at most the owner shard plus the subscriber home shards: the owner
+//!   routes, `Forward` actions hop once over the ring, and the home
+//!   shard delivers from its own route plan without re-forwarding.
+//!
+//! # Consistency model
+//!
+//! Control operations (attach/detach/subscribe/unsubscribe) are
+//! broadcast to all shards and become visible shard-by-shard; data
+//! routing is exact between control epochs. Commands from one thread
+//! stay FIFO per shard queue, so the classic "subscribe, then publish"
+//! sequence from a single thread is reliably delivered, exactly like
+//! [`crate::threaded::ThreadedBroker`]. Tests settle in-flight traffic
+//! with [`ShardedBroker::quiesce`].
+//!
+//! # Backpressure
+//!
+//! Each shard's queue depth is tracked by a gauge that producers bump
+//! **before** enqueueing (so the worker's decrement can never race it
+//! below zero — the same discipline as the threaded driver). Client
+//! publishes spin-yield while the owner shard's depth is at the
+//! configured soft capacity; worker-originated sends (forwards,
+//! barriers) never block, so the ring cannot deadlock.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmcs_broker::sharded::ShardedBroker;
+//! use mmcs_broker::topic::{Topic, TopicFilter};
+//! use bytes::Bytes;
+//! use std::time::Duration;
+//!
+//! let broker = ShardedBroker::spawn(4);
+//! let publisher = broker.attach();
+//! let subscriber = broker.attach();
+//! subscriber.subscribe(TopicFilter::parse("news/#")?);
+//!
+//! publisher.publish(Topic::parse("news/tech")?, Bytes::from_static(b"hello"));
+//! let event = subscriber.recv_timeout(Duration::from_secs(1)).unwrap();
+//! assert_eq!(&event.payload[..], b"hello");
+//! broker.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use mmcs_telemetry::Gauge;
+use mmcs_util::id::{BrokerId, ClientId};
+use parking_lot::Mutex;
+
+use crate::batch::Batcher;
+use crate::event::{Event, EventClass};
+use crate::metrics::{BrokerMetrics, ShardedBrokerMetrics};
+use crate::node::{Action, BrokerNode, Input, Origin};
+use crate::profile::TransportProfile;
+use crate::topic::{Topic, TopicFilter};
+
+/// Most commands a shard worker drains per wakeup.
+const SHARD_BATCH_MAX: usize = 64;
+/// Payload-byte budget per drained batch.
+const SHARD_BATCH_BYTES: usize = 256 * 1024;
+/// Default soft per-shard queue capacity (publishes spin past this).
+const DEFAULT_SHARD_CAPACITY: usize = 65_536;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Stable owner shard for a topic first segment.
+fn owner_of(head: &str, shards: usize) -> usize {
+    (fnv1a_bytes(head.as_bytes()) % shards as u64) as usize
+}
+
+/// Stable home shard for a client id.
+fn home_of(client: ClientId, shards: usize) -> usize {
+    (fnv1a_bytes(&client.value().to_le_bytes()) % shards as u64) as usize
+}
+
+/// Whether shard `index` can own topics matching `filter`. A literal
+/// head pins the filter to one shard; a wildcard head (`*` or bare `#`)
+/// can match topics on every shard.
+fn shard_may_own(filter: &TopicFilter, index: usize, shards: usize) -> bool {
+    match filter.first_literal() {
+        Some(head) => owner_of(head, shards) == index,
+        None => true,
+    }
+}
+
+enum ShardCmd {
+    Attach {
+        client: ClientId,
+        profile: TransportProfile,
+        /// `Some` only on the client's home shard.
+        delivery: Option<Sender<Vec<Arc<Event>>>>,
+    },
+    Detach(ClientId),
+    Subscribe(ClientId, TopicFilter),
+    Unsubscribe(ClientId, TopicFilter),
+    Publish(ClientId, Arc<Event>),
+    /// An event hopping the ring from its owner shard to a subscriber's
+    /// home shard. Delivered from the receiving shard's route plan and
+    /// never re-forwarded.
+    Forward(Arc<Event>),
+    /// Flush everything queued ahead of this command, then ack.
+    Barrier(Sender<()>),
+    /// Sleep the worker (chaos/backpressure testing).
+    Stall(Duration),
+    Shutdown,
+}
+
+fn cmd_bytes(cmd: &ShardCmd) -> usize {
+    match cmd {
+        ShardCmd::Publish(_, event) | ShardCmd::Forward(event) => event.payload.len(),
+        _ => 0,
+    }
+}
+
+/// One shard's ingress endpoint plus its producer-side depth gauge.
+#[derive(Clone)]
+struct ShardLink {
+    ingress: Sender<ShardCmd>,
+    depth: Arc<Gauge>,
+}
+
+impl ShardLink {
+    /// Sends, bumping the depth gauge first so the worker's decrement
+    /// can never race it below zero; reverts the bump if the shard is
+    /// already gone.
+    fn send(&self, cmd: ShardCmd) {
+        self.depth.add(1);
+        if self.ingress.send(cmd).is_err() {
+            self.depth.sub(1);
+        }
+    }
+}
+
+/// Shared command-routing state between the broker handle, its clients,
+/// and (read-only) the workers.
+struct Router {
+    shards: Vec<ShardLink>,
+    capacity: usize,
+    shutdown: AtomicBool,
+    next_client: AtomicU64,
+}
+
+impl Router {
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn broadcast(&self, mut make: impl FnMut() -> ShardCmd) {
+        for link in &self.shards {
+            link.send(make());
+        }
+    }
+
+    /// Client-publish enqueue with soft backpressure: spin-yield while
+    /// the owner shard's queue is at capacity. The shutdown flag breaks
+    /// the spin so publishers can never hang on a dead broker.
+    fn publish_to(&self, shard: usize, cmd: ShardCmd) {
+        let link = &self.shards[shard];
+        while link.depth.get() >= self.capacity as i64 && !self.shutdown.load(Ordering::Relaxed) {
+            std::thread::yield_now();
+        }
+        link.send(cmd);
+    }
+}
+
+/// Configures a [`ShardedBroker`] before spawning it.
+#[derive(Default)]
+pub struct ShardedBrokerBuilder {
+    shards: usize,
+    capacity: usize,
+    metrics: Option<Arc<ShardedBrokerMetrics>>,
+}
+
+impl ShardedBrokerBuilder {
+    /// Soft per-shard queue capacity; client publishes spin-yield while
+    /// the owner shard's depth is at or above it. Defaults to 65 536.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Installs per-shard telemetry. The bundle's shard count must
+    /// match the builder's.
+    pub fn metrics(mut self, metrics: Arc<ShardedBrokerMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Spawns the worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard count or capacity is zero, or if an installed
+    /// metrics bundle was registered for a different shard count.
+    pub fn spawn(self) -> ShardedBroker {
+        assert!(self.shards > 0, "shard count must be positive");
+        assert!(self.capacity > 0, "shard capacity must be positive");
+        if let Some(m) = &self.metrics {
+            assert!(
+                m.shard_count() == self.shards,
+                "metrics bundle has {} shards, broker has {}",
+                m.shard_count(),
+                self.shards
+            );
+        }
+        ShardedBroker::spawn_inner(self.shards, self.capacity, self.metrics)
+    }
+}
+
+/// A broker runtime spread across N worker shards. See the
+/// [module docs](self) for the topology.
+pub struct ShardedBroker {
+    router: Arc<Router>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ShardedBroker {
+    /// Spawns `shards` worker threads with default capacity and no
+    /// telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn spawn(shards: usize) -> Self {
+        Self::builder(shards).spawn()
+    }
+
+    /// Spawns one worker per bundle shard with telemetry installed:
+    /// each shard's node reports the hot-path instruments, the ingress
+    /// gauges double as `queue_depth`, batch sizes land in
+    /// `batch_size`, and ring sends in `cross_shard_forwards`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundle has zero shards.
+    pub fn spawn_with_metrics(metrics: Arc<ShardedBrokerMetrics>) -> Self {
+        Self::builder(metrics.shard_count()).metrics(metrics).spawn()
+    }
+
+    /// Starts configuring a broker with `shards` worker shards.
+    pub fn builder(shards: usize) -> ShardedBrokerBuilder {
+        ShardedBrokerBuilder {
+            shards,
+            capacity: DEFAULT_SHARD_CAPACITY,
+            metrics: None,
+        }
+    }
+
+    fn spawn_inner(
+        shards: usize,
+        capacity: usize,
+        metrics: Option<Arc<ShardedBrokerMetrics>>,
+    ) -> Self {
+        let mut links = Vec::with_capacity(shards);
+        let mut receivers = Vec::with_capacity(shards);
+        for index in 0..shards {
+            let (tx, rx) = unbounded::<ShardCmd>();
+            let depth = match &metrics {
+                Some(m) => Arc::clone(&m.shard(index).queue_depth),
+                None => Arc::new(Gauge::new()),
+            };
+            links.push(ShardLink { ingress: tx, depth });
+            receivers.push(rx);
+        }
+        let mut handles = Vec::with_capacity(shards);
+        for (index, ingress) in receivers.into_iter().enumerate() {
+            let worker = ShardWorker {
+                index,
+                shards,
+                ingress,
+                links: links.clone(),
+                metrics: metrics.as_ref().map(|m| Arc::clone(m.shard(index))),
+                node: BrokerNode::new(BrokerId::from_raw(index as u64)),
+                deliveries: HashMap::new(),
+                filters: HashMap::new(),
+                remote_refs: HashMap::new(),
+                out_buffers: HashMap::new(),
+                acks: Vec::new(),
+                actions: Vec::new(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("mmcs-shard{index}"))
+                .spawn(move || worker.run())
+                .expect("spawn shard worker thread");
+            handles.push(handle);
+        }
+        Self {
+            router: Arc::new(Router {
+                shards: links,
+                capacity,
+                shutdown: AtomicBool::new(false),
+                next_client: AtomicU64::new(1),
+            }),
+            handles,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.router.shard_count()
+    }
+
+    /// The shard that owns publishes to `topic` (hash of its first
+    /// segment).
+    pub fn shard_for_topic(&self, topic: &Topic) -> usize {
+        match topic.segments().first() {
+            Some(head) => owner_of(head, self.shard_count()),
+            None => 0,
+        }
+    }
+
+    /// The shard holding `client`'s subscriptions and delivery queue.
+    pub fn home_shard(&self, client: ClientId) -> usize {
+        home_of(client, self.shard_count())
+    }
+
+    /// Attaches a client with the default (TCP) profile.
+    pub fn attach(&self) -> ShardedClient {
+        self.attach_with(TransportProfile::default())
+    }
+
+    /// Attaches a client with an explicit transport profile. The client
+    /// is attached on every shard (publish validation is local to the
+    /// owner shard) but homed — subscriptions and deliveries — on one.
+    pub fn attach_with(&self, profile: TransportProfile) -> ShardedClient {
+        let id = ClientId::from_raw(self.router.next_client.fetch_add(1, Ordering::Relaxed));
+        let home = self.home_shard(id);
+        let (tx, rx) = unbounded();
+        for (index, link) in self.router.shards.iter().enumerate() {
+            link.send(ShardCmd::Attach {
+                client: id,
+                profile,
+                delivery: (index == home).then(|| tx.clone()),
+            });
+        }
+        ShardedClient {
+            id,
+            home,
+            router: Arc::clone(&self.router),
+            deliveries: rx,
+            pending: Mutex::new(VecDeque::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Waits until every command enqueued before this call — including
+    /// cross-shard forwards those commands generate — has been
+    /// processed and its deliveries flushed. Two barrier rounds
+    /// suffice because forwarding is one-hop: round one drains direct
+    /// publishes (enqueueing their forwards), round two drains the
+    /// forwards.
+    pub fn quiesce(&self) {
+        for _ in 0..2 {
+            let (tx, rx) = unbounded();
+            for link in &self.router.shards {
+                link.send(ShardCmd::Barrier(tx.clone()));
+            }
+            drop(tx);
+            while rx.recv().is_ok() {}
+        }
+    }
+
+    /// Sleeps shard `index`'s worker for `duration` once it reaches
+    /// this command — a deterministic way to pile up its ingress queue
+    /// for backpressure and chaos tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn stall_shard(&self, index: usize, duration: Duration) {
+        self.router.shards[index].send(ShardCmd::Stall(duration));
+    }
+
+    /// Stops all worker shards (idempotent). Clients created from this
+    /// broker stop receiving deliveries, and any publisher spinning on
+    /// backpressure unblocks.
+    pub fn shutdown(&self) {
+        self.router.shutdown.store(true, Ordering::Relaxed);
+        for link in &self.router.shards {
+            link.send(ShardCmd::Shutdown);
+        }
+    }
+}
+
+impl Drop for ShardedBroker {
+    fn drop(&mut self) {
+        self.shutdown();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedBroker")
+            .field("shards", &self.shard_count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A client handle bound to a [`ShardedBroker`]. Deliveries arrive as
+/// coalesced batches (one channel send per home-shard drain) and are
+/// handed out one event at a time.
+pub struct ShardedClient {
+    id: ClientId,
+    home: usize,
+    router: Arc<Router>,
+    deliveries: Receiver<Vec<Arc<Event>>>,
+    pending: Mutex<VecDeque<Arc<Event>>>,
+    seq: AtomicU64,
+}
+
+impl ShardedClient {
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// This client's home shard index.
+    pub fn home_shard(&self) -> usize {
+        self.home
+    }
+
+    /// Subscribes to a filter. The subscription is broadcast to all
+    /// shards; the home shard records it locally and topic-owning
+    /// shards gain refcounted remote interest pointing home.
+    pub fn subscribe(&self, filter: TopicFilter) {
+        self.router
+            .broadcast(|| ShardCmd::Subscribe(self.id, filter.clone()));
+    }
+
+    /// Removes one subscription.
+    pub fn unsubscribe(&self, filter: TopicFilter) {
+        self.router
+            .broadcast(|| ShardCmd::Unsubscribe(self.id, filter.clone()));
+    }
+
+    /// Publishes a data event to its owner shard, spinning briefly if
+    /// that shard's queue is at the soft capacity.
+    pub fn publish(&self, topic: Topic, payload: bytes::Bytes) {
+        self.publish_class(topic, EventClass::Data, payload);
+    }
+
+    /// Publishes an event with an explicit class.
+    pub fn publish_class(&self, topic: Topic, class: EventClass, payload: bytes::Bytes) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let shard = match topic.segments().first() {
+            Some(head) => owner_of(head, self.router.shard_count()),
+            None => 0,
+        };
+        let event = Event::new(topic, self.id, seq, class, payload).into_shared();
+        self.router
+            .publish_to(shard, ShardCmd::Publish(self.id, event));
+    }
+
+    /// Receives the next delivered event, waiting up to `timeout` for a
+    /// new batch if none is pending.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Arc<Event>> {
+        let mut pending = self.pending.lock();
+        if let Some(event) = pending.pop_front() {
+            return Some(event);
+        }
+        match self.deliveries.recv_timeout(timeout) {
+            Ok(batch) => {
+                pending.extend(batch);
+                pending.pop_front()
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Drains everything currently delivered into `sink` without
+    /// blocking, returning how many events were appended. This is the
+    /// batch-consumption counterpart of the workers' batched hand-off:
+    /// one lock acquisition moves the whole pending queue, and each
+    /// buffered batch is appended with a single channel receive —
+    /// per-event cost is a pointer move instead of a lock + pop.
+    pub fn drain_into(&self, sink: &mut Vec<Arc<Event>>) -> usize {
+        let before = sink.len();
+        {
+            let mut pending = self.pending.lock();
+            if !pending.is_empty() {
+                sink.extend(pending.drain(..));
+            }
+        }
+        while let Ok(batch) = self.deliveries.try_recv() {
+            sink.extend(batch);
+        }
+        sink.len() - before
+    }
+
+    /// Receives without blocking.
+    pub fn try_recv(&self) -> Option<Arc<Event>> {
+        let mut pending = self.pending.lock();
+        if let Some(event) = pending.pop_front() {
+            return Some(event);
+        }
+        match self.deliveries.try_recv() {
+            Ok(batch) => {
+                pending.extend(batch);
+                pending.pop_front()
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Detaches this client everywhere (also done on drop).
+    pub fn detach(&self) {
+        self.router.broadcast(|| ShardCmd::Detach(self.id));
+    }
+}
+
+impl Drop for ShardedClient {
+    fn drop(&mut self) {
+        self.detach();
+    }
+}
+
+impl std::fmt::Debug for ShardedClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedClient")
+            .field("id", &self.id)
+            .field("home", &self.home)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-worker state: one node slice plus the driver-level subscription
+/// ownership map.
+struct ShardWorker {
+    index: usize,
+    shards: usize,
+    ingress: Receiver<ShardCmd>,
+    links: Vec<ShardLink>,
+    metrics: Option<Arc<BrokerMetrics>>,
+    node: BrokerNode,
+    /// Delivery channels for clients homed on this shard.
+    deliveries: HashMap<ClientId, Sender<Vec<Arc<Event>>>>,
+    /// Every client's filter list (all shards track all clients, so
+    /// duplicate subscribes dedup identically everywhere).
+    filters: HashMap<ClientId, Vec<TopicFilter>>,
+    /// Refcounts for remote interest this shard holds on behalf of
+    /// other shards' clients, keyed by (home shard, filter).
+    remote_refs: HashMap<(usize, TopicFilter), usize>,
+    /// Per-client delivery buffers, flushed as one channel send per
+    /// client per drained batch.
+    out_buffers: HashMap<ClientId, Vec<Arc<Event>>>,
+    /// Barrier acks owed after the current batch's flush.
+    acks: Vec<Sender<()>>,
+    /// Scratch action buffer reused across commands.
+    actions: Vec<Action>,
+}
+
+impl ShardWorker {
+    fn run(mut self) {
+        if let Some(m) = &self.metrics {
+            self.node.set_metrics(Arc::clone(m));
+        }
+        // Ring setup: every other shard is a peer. Advertise actions
+        // are discarded — interest is driven by the router's explicit
+        // subscription broadcast, not the node's advert gossip.
+        for peer in 0..self.shards {
+            if peer == self.index {
+                continue;
+            }
+            let _ = self.node.handle_into(
+                Input::LinkUp {
+                    peer: BrokerId::from_raw(peer as u64),
+                },
+                &mut self.actions,
+            );
+            self.actions.clear();
+        }
+        let mut batcher: Batcher<ShardCmd> = Batcher::new(SHARD_BATCH_MAX, SHARD_BATCH_BYTES);
+        'outer: loop {
+            let Ok(first) = self.ingress.recv() else {
+                break;
+            };
+            let bytes = cmd_bytes(&first);
+            let batch = match batcher.push(first, bytes) {
+                Some(batch) => batch,
+                None => loop {
+                    match self.ingress.try_recv() {
+                        Ok(cmd) => {
+                            let bytes = cmd_bytes(&cmd);
+                            if let Some(batch) = batcher.push(cmd, bytes) {
+                                break batch;
+                            }
+                        }
+                        Err(_) => match batcher.flush() {
+                            Some(batch) => break batch,
+                            None => continue 'outer,
+                        },
+                    }
+                },
+            };
+            if !self.process_batch(batch.items) {
+                break;
+            }
+        }
+    }
+
+    /// Processes one drained batch; returns `false` on shutdown.
+    fn process_batch(&mut self, commands: Vec<ShardCmd>) -> bool {
+        if let Some(m) = &self.metrics {
+            m.batch_size.record(commands.len() as u64);
+        }
+        let mut stop = false;
+        for cmd in commands {
+            if let Some(m) = &self.metrics {
+                m.queue_depth.sub(1);
+            } else {
+                self.links[self.index].depth.sub(1);
+            }
+            match cmd {
+                ShardCmd::Attach {
+                    client,
+                    profile,
+                    delivery,
+                } => {
+                    if let Some(tx) = delivery {
+                        self.deliveries.insert(client, tx);
+                    }
+                    let _ = self
+                        .node
+                        .handle_into(Input::AttachClient { client, profile }, &mut self.actions);
+                    self.actions.clear();
+                }
+                ShardCmd::Detach(client) => self.detach(client),
+                ShardCmd::Subscribe(client, filter) => self.subscribe(client, filter),
+                ShardCmd::Unsubscribe(client, filter) => self.unsubscribe(client, filter),
+                ShardCmd::Publish(client, event) => self.publish(client, event),
+                ShardCmd::Forward(event) => self.deliver_forwarded(event),
+                ShardCmd::Barrier(ack) => self.acks.push(ack),
+                ShardCmd::Stall(duration) => std::thread::sleep(duration),
+                ShardCmd::Shutdown => stop = true,
+            }
+        }
+        for (client, buffer) in &mut self.out_buffers {
+            if buffer.is_empty() {
+                continue;
+            }
+            match self.deliveries.get(client) {
+                Some(tx) => {
+                    let _ = tx.send(std::mem::take(buffer));
+                }
+                None => buffer.clear(),
+            }
+        }
+        for ack in self.acks.drain(..) {
+            let _ = ack.send(());
+        }
+        !stop
+    }
+
+    fn subscribe(&mut self, client: ClientId, filter: TopicFilter) {
+        let known = self
+            .filters
+            .get(&client)
+            .is_some_and(|fs| fs.contains(&filter));
+        if known {
+            return; // duplicate subscribe: no-op, same as the node.
+        }
+        self.filters
+            .entry(client)
+            .or_default()
+            .push(filter.clone());
+        let home = home_of(client, self.shards);
+        if home == self.index {
+            let _ = self
+                .node
+                .handle_into(Input::Subscribe { client, filter }, &mut self.actions);
+            self.actions.clear();
+        } else if shard_may_own(&filter, self.index, self.shards) {
+            self.add_remote_ref(home, filter);
+        }
+    }
+
+    fn unsubscribe(&mut self, client: ClientId, filter: TopicFilter) {
+        let removed = match self.filters.get_mut(&client) {
+            Some(fs) => match fs.iter().position(|f| *f == filter) {
+                Some(pos) => {
+                    fs.remove(pos);
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        };
+        if !removed {
+            return;
+        }
+        let home = home_of(client, self.shards);
+        if home == self.index {
+            let _ = self
+                .node
+                .handle_into(Input::Unsubscribe { client, filter }, &mut self.actions);
+            self.actions.clear();
+        } else if shard_may_own(&filter, self.index, self.shards) {
+            self.drop_remote_ref(home, filter);
+        }
+    }
+
+    fn detach(&mut self, client: ClientId) {
+        self.deliveries.remove(&client);
+        self.out_buffers.remove(&client);
+        let home = home_of(client, self.shards);
+        if let Some(filters) = self.filters.remove(&client) {
+            if home != self.index {
+                for filter in filters {
+                    if shard_may_own(&filter, self.index, self.shards) {
+                        self.drop_remote_ref(home, filter);
+                    }
+                }
+            }
+            // Home-shard local subscriptions fall with DetachClient.
+        }
+        let _ = self
+            .node
+            .handle_into(Input::DetachClient { client }, &mut self.actions);
+        self.actions.clear();
+    }
+
+    fn add_remote_ref(&mut self, home: usize, filter: TopicFilter) {
+        let refs = self.remote_refs.entry((home, filter.clone())).or_insert(0);
+        *refs += 1;
+        if *refs == 1 {
+            let _ = self.node.handle_into(
+                Input::RemoteSubscribe {
+                    peer: BrokerId::from_raw(home as u64),
+                    filter,
+                },
+                &mut self.actions,
+            );
+            self.actions.clear();
+        }
+    }
+
+    fn drop_remote_ref(&mut self, home: usize, filter: TopicFilter) {
+        let gone = match self.remote_refs.get_mut(&(home, filter.clone())) {
+            Some(refs) => {
+                *refs = refs.saturating_sub(1);
+                *refs == 0
+            }
+            None => false,
+        };
+        if gone {
+            self.remote_refs.remove(&(home, filter.clone()));
+            let _ = self.node.handle_into(
+                Input::RemoteUnsubscribe {
+                    peer: BrokerId::from_raw(home as u64),
+                    filter,
+                },
+                &mut self.actions,
+            );
+            self.actions.clear();
+        }
+    }
+
+    /// Owner-shard publish: route through the node, buffer local
+    /// deliveries, hop `Forward` actions once over the ring.
+    fn publish(&mut self, client: ClientId, event: Arc<Event>) {
+        self.actions.clear();
+        let routed = self.node.handle_into(
+            Input::Publish {
+                origin: Origin::Client(client),
+                event,
+            },
+            &mut self.actions,
+        );
+        if routed.is_err() {
+            // A racing detach invalidated this publish; skip it.
+            self.actions.clear();
+            return;
+        }
+        for action in self.actions.drain(..) {
+            match action {
+                Action::Deliver { client, event, .. } => {
+                    if self.deliveries.contains_key(&client) {
+                        self.out_buffers.entry(client).or_default().push(event);
+                    }
+                }
+                Action::Forward { peer, event } => {
+                    let target = peer.value() as usize;
+                    self.links[target].send(ShardCmd::Forward(event));
+                    if let Some(m) = &self.metrics {
+                        m.cross_shard_forwards.inc();
+                    }
+                }
+                Action::AdvertiseAdd { .. } | Action::AdvertiseRemove { .. } => {}
+            }
+        }
+    }
+
+    /// Subscriber-home delivery of a forwarded event: consult this
+    /// shard's own route plan and deliver to local clients only —
+    /// never re-forward, so each event makes at most one ring hop.
+    /// Metrics mirror what `BrokerNode::route` reports for a direct
+    /// publish.
+    fn deliver_forwarded(&mut self, event: Arc<Event>) {
+        let plan = self.node.plan_for(&event.topic);
+        let mut delivered = 0u64;
+        for (client, _profile) in &plan.local {
+            if self.deliveries.contains_key(client) {
+                self.out_buffers
+                    .entry(*client)
+                    .or_default()
+                    .push(Arc::clone(&event));
+                delivered += 1;
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.events_in.inc();
+            m.deliveries.add(delivered);
+            m.fanout.record(delivered);
+            if delivered == 0 {
+                m.unroutable.inc();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn topic(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+
+    fn filter(s: &str) -> TopicFilter {
+        TopicFilter::parse(s).unwrap()
+    }
+
+    const RECV: Duration = Duration::from_secs(2);
+
+    #[test]
+    fn pub_sub_across_shards() {
+        let broker = ShardedBroker::spawn(4);
+        let publisher = broker.attach();
+        let subscriber = broker.attach();
+        subscriber.subscribe(filter("news/#"));
+        publisher.publish(topic("news/tech"), Bytes::from_static(b"1"));
+        let event = subscriber.recv_timeout(RECV).unwrap();
+        assert_eq!(&event.payload[..], b"1");
+        assert_eq!(event.source, publisher.id());
+    }
+
+    #[test]
+    fn same_first_segment_colocates() {
+        let broker = ShardedBroker::spawn(4);
+        let control = topic("session/42/control");
+        let video = topic("session/42/video/ssrc/9");
+        assert_eq!(broker.shard_for_topic(&control), broker.shard_for_topic(&video));
+    }
+
+    #[test]
+    fn overlapping_filters_deliver_exactly_once() {
+        let broker = ShardedBroker::spawn(4);
+        let publisher = broker.attach();
+        let subscriber = broker.attach();
+        // Wildcard-head and literal-head filters both match; the home
+        // shard's plan dedups them into one delivery.
+        subscriber.subscribe(filter("#"));
+        subscriber.subscribe(filter("a/#"));
+        publisher.publish(topic("a/b"), Bytes::from_static(b"x"));
+        broker.quiesce();
+        assert!(subscriber.recv_timeout(RECV).is_some());
+        assert!(subscriber.try_recv().is_none());
+    }
+
+    #[test]
+    fn wildcard_head_filter_sees_every_shard() {
+        let broker = ShardedBroker::spawn(4);
+        let publisher = broker.attach();
+        let subscriber = broker.attach();
+        subscriber.subscribe(filter("#"));
+        // First segments chosen to spread across shards.
+        let topics = ["alpha/x", "bravo/x", "charlie/x", "delta/x", "echo/x"];
+        for t in &topics {
+            publisher.publish(topic(t), Bytes::new());
+        }
+        let mut got = 0;
+        while subscriber.recv_timeout(RECV).is_some() {
+            got += 1;
+            if got == topics.len() {
+                break;
+            }
+        }
+        assert_eq!(got, topics.len());
+    }
+
+    #[test]
+    fn per_topic_order_is_preserved() {
+        let broker = ShardedBroker::spawn(4);
+        let publisher = broker.attach();
+        let subscriber = broker.attach();
+        subscriber.subscribe(filter("ord/#"));
+        for i in 0..100u64 {
+            publisher.publish(topic("ord/t"), Bytes::from(i.to_le_bytes().to_vec()));
+        }
+        for i in 0..100u64 {
+            let event = subscriber.recv_timeout(RECV).unwrap();
+            assert_eq!(event.seq, i);
+        }
+    }
+
+    #[test]
+    fn drain_into_interleaves_with_single_recv() {
+        let broker = ShardedBroker::spawn(2);
+        let publisher = broker.attach();
+        let subscriber = broker.attach();
+        subscriber.subscribe(filter("d/#"));
+        broker.quiesce();
+        for i in 0..50u64 {
+            publisher.publish(topic("d/t"), Bytes::from(i.to_le_bytes().to_vec()));
+        }
+        broker.quiesce();
+        // Pull one event the slow way so part of a batch sits in
+        // `pending`, then drain the rest in bulk: nothing lost, nothing
+        // duplicated, order intact.
+        let first = subscriber.recv_timeout(RECV).unwrap();
+        assert_eq!(first.seq, 0);
+        let mut rest = Vec::new();
+        assert_eq!(subscriber.drain_into(&mut rest), 49);
+        for (i, event) in rest.iter().enumerate() {
+            assert_eq!(event.seq, i as u64 + 1);
+        }
+        assert_eq!(subscriber.drain_into(&mut rest), 0);
+        assert!(subscriber.try_recv().is_none());
+    }
+
+    #[test]
+    fn unsubscribe_stops_flow_after_quiesce() {
+        let broker = ShardedBroker::spawn(4);
+        let publisher = broker.attach();
+        let subscriber = broker.attach();
+        subscriber.subscribe(filter("u/x"));
+        publisher.publish(topic("u/x"), Bytes::new());
+        assert!(subscriber.recv_timeout(RECV).is_some());
+        subscriber.unsubscribe(filter("u/x"));
+        broker.quiesce();
+        publisher.publish(topic("u/x"), Bytes::new());
+        broker.quiesce();
+        assert!(subscriber.try_recv().is_none());
+    }
+
+    #[test]
+    fn detach_stops_delivery_and_fresh_client_works() {
+        let broker = ShardedBroker::spawn(2);
+        let publisher = broker.attach();
+        {
+            let subscriber = broker.attach();
+            subscriber.subscribe(filter("d/#"));
+        } // dropped -> detach broadcast
+        broker.quiesce();
+        publisher.publish(topic("d/x"), Bytes::new());
+        let fresh = broker.attach();
+        fresh.subscribe(filter("d/#"));
+        broker.quiesce();
+        publisher.publish(topic("d/x"), Bytes::new());
+        assert!(fresh.recv_timeout(RECV).is_some());
+        assert!(fresh.try_recv().is_none());
+    }
+
+    #[test]
+    fn metrics_identities_hold_after_quiesce() {
+        let metrics = ShardedBrokerMetrics::detached(4);
+        let broker = ShardedBroker::spawn_with_metrics(Arc::clone(&metrics));
+        let publisher = broker.attach();
+        let sub_a = broker.attach();
+        let sub_b = broker.attach();
+        sub_a.subscribe(filter("#"));
+        sub_b.subscribe(filter("m/#"));
+        broker.quiesce();
+        let publishes = 40u64;
+        for i in 0..publishes {
+            publisher.publish(topic(&format!("m/{}", i % 4)), Bytes::new());
+        }
+        broker.quiesce();
+        // Both subscribers match every publish.
+        assert_eq!(metrics.total(|s| s.deliveries.get()), publishes * 2);
+        // Every event enters its owner shard once plus once per ring hop.
+        assert_eq!(
+            metrics.total(|s| s.events_in.get()),
+            publishes + metrics.total(|s| s.cross_shard_forwards.get())
+        );
+        // Quiesced: nothing left in any ingress queue.
+        for shard in metrics.shards() {
+            assert_eq!(shard.queue_depth.get(), 0);
+        }
+        // The batch-size histogram saw every drain.
+        assert!(metrics.total(|s| s.batch_size.count()) > 0);
+        // Drain both subscribers fully.
+        let mut got = 0;
+        while sub_a.try_recv().is_some() || sub_b.try_recv().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, (publishes * 2) as usize);
+    }
+
+    #[test]
+    fn backpressure_spins_then_delivers_everything() {
+        let broker = ShardedBroker::builder(2).capacity(4).spawn();
+        let publisher = broker.attach();
+        let subscriber = broker.attach();
+        subscriber.subscribe(filter("bp/#"));
+        broker.quiesce();
+        // Stall the owner shard so its queue hits the soft capacity and
+        // the publisher has to spin.
+        let owner = broker.shard_for_topic(&topic("bp/x"));
+        broker.stall_shard(owner, Duration::from_millis(50));
+        for _ in 0..64 {
+            publisher.publish(topic("bp/x"), Bytes::new());
+        }
+        let mut got = 0;
+        while subscriber.recv_timeout(RECV).is_some() {
+            got += 1;
+            if got == 64 {
+                break;
+            }
+        }
+        assert_eq!(got, 64);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_unblocks_publishers() {
+        let broker = ShardedBroker::builder(2).capacity(2).spawn();
+        let publisher = broker.attach();
+        let subscriber = broker.attach();
+        subscriber.subscribe(filter("s/#"));
+        broker.shutdown();
+        broker.shutdown();
+        // Publishes after shutdown go nowhere but must not hang even
+        // with a tiny capacity.
+        for _ in 0..16 {
+            publisher.publish(topic("s/x"), Bytes::new());
+        }
+        assert!(subscriber.recv_timeout(Duration::from_millis(200)).is_none());
+    }
+
+    #[test]
+    fn single_shard_matches_threaded_semantics() {
+        let broker = ShardedBroker::spawn(1);
+        let publisher = broker.attach();
+        let subscriber = broker.attach();
+        subscriber.subscribe(filter("one/*"));
+        publisher.publish(topic("one/a"), Bytes::from_static(b"p"));
+        let event = subscriber.recv_timeout(RECV).unwrap();
+        assert_eq!(&event.payload[..], b"p");
+        // No peers exist, so nothing can have been forwarded.
+        assert_eq!(broker.shard_count(), 1);
+    }
+}

@@ -207,6 +207,18 @@ impl TopicFilter {
     pub fn has_wildcards(&self) -> bool {
         self.tail || self.segments.contains(&FilterSegment::Single)
     }
+
+    /// The literal first segment this filter requires, or `None` when
+    /// the head is a wildcard (`*`, or a bare `#`) and any first segment
+    /// can match. The sharded runtime keys shard ownership on a topic's
+    /// first segment, so a `Some` head pins a filter's interest to one
+    /// shard while `None` means every shard may own matching topics.
+    pub fn first_literal(&self) -> Option<&str> {
+        match self.segments.first() {
+            Some(FilterSegment::Literal(lit)) => Some(lit),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for TopicFilter {

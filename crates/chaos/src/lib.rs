@@ -14,10 +14,17 @@
 //! from one `u64` seed, so `mmcs-chaos replay <seed>` reproduces a run
 //! bit-identically (same counters, same delivery trace, same
 //! fingerprint).
+//!
+//! The [`sharded`] variant targets the real multi-worker
+//! `ShardedBroker` runtime instead of the simulator: seeded
+//! attach/detach/subscribe/publish/stall schedules run against live
+//! shard threads and are checked against the single-loop oracle
+//! (`mmcs-chaos sharded --seeds N`).
 
 pub mod invariants;
 pub mod scenario;
 pub mod schedule;
+pub mod sharded;
 pub mod shrink;
 
 pub use invariants::{check, Violation};

@@ -6,6 +6,10 @@
 //! mmcs-chaos replay 42 [--inject-bug]
 //! ```
 //!
+//! ```text
+//! mmcs-chaos sharded --seeds N [--base 0] [--shards K]
+//! ```
+//!
 //! `fuzz` runs seeds `base..base + seeds`; on the first invariant
 //! violation it shrinks the schedule to a minimal reproducer, prints it
 //! as a copy-pasteable `#[test]`, optionally writes it to `--artifact`,
@@ -13,7 +17,10 @@
 //! `seed-N.json` under `--metrics-dir` (default `target/chaos-metrics`);
 //! see TESTING.md for how to read one. `replay` executes one seed twice
 //! and verifies the two runs are bit-identical (same fingerprint, same
-//! counters).
+//! counters). `sharded` drives the real multi-worker `ShardedBroker`
+//! runtime (live OS threads) with seeded churn/stall schedules and
+//! checks each run against the single-loop oracle plus the per-shard
+//! metric identities.
 
 use std::process::ExitCode;
 
@@ -22,7 +29,7 @@ use mmcs_chaos::{check, generate, shrink};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mmcs-chaos fuzz --seeds N [--base B] [--inject-bug] [--artifact PATH] [--metrics-dir DIR]\n  mmcs-chaos replay SEED [--inject-bug]"
+        "usage:\n  mmcs-chaos fuzz --seeds N [--base B] [--inject-bug] [--artifact PATH] [--metrics-dir DIR]\n  mmcs-chaos replay SEED [--inject-bug]\n  mmcs-chaos sharded --seeds N [--base B] [--shards K]"
     );
     ExitCode::from(2)
 }
@@ -140,6 +147,39 @@ fn replay(seed: u64, inject_bug: bool) -> ExitCode {
     }
 }
 
+fn sharded(seeds: u64, base: u64, shards: Option<usize>) -> ExitCode {
+    let mut clean = 0u64;
+    for seed in base..base + seeds {
+        let mut config = mmcs_chaos::sharded::ShardedChaosConfig::for_seed(seed);
+        if let Some(k) = shards {
+            config.shards = k;
+        }
+        let (report, violations) = mmcs_chaos::sharded::check_sharded(&config);
+        if violations.is_empty() {
+            clean += 1;
+            println!(
+                "seed {seed}: ok ({} shards, capacity {}, {} deliveries, fingerprint {:#018x})",
+                report.config.shards,
+                report.config.capacity,
+                report.deliveries.len(),
+                report.fingerprint
+            );
+            continue;
+        }
+        println!("seed {seed}: FAILED with {} violation(s):", violations.len());
+        for v in &violations {
+            println!("  - {v}");
+        }
+        println!(
+            "reproduce with: mmcs-chaos sharded --seeds 1 --base {seed} --shards {}",
+            report.config.shards
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("all {clean} sharded seed(s) clean");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -183,6 +223,26 @@ fn main() -> ExitCode {
                 return usage();
             };
             replay(seed, inject_bug)
+        }
+        "sharded" => {
+            let Some(seeds) = flag_value("--seeds").and_then(|v| v.parse().ok()) else {
+                return usage();
+            };
+            let base = match flag_value("--base") {
+                Some(v) => match v.parse() {
+                    Ok(b) => b,
+                    Err(_) => return usage(),
+                },
+                None => 0,
+            };
+            let shards = match flag_value("--shards") {
+                Some(v) => match v.parse() {
+                    Ok(k) => Some(k),
+                    Err(_) => return usage(),
+                },
+                None => None,
+            };
+            sharded(seeds, base, shards)
         }
         _ => usage(),
     }

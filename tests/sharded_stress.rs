@@ -1,0 +1,177 @@
+//! Detector-supervised soak of the sharded broker runtime: 4 shards,
+//! 8 concurrent publisher threads, 100k events, with **exact** per-shard
+//! counter totals cross-checked against `ShardedBrokerMetrics`
+//! snapshots. In debug builds the instrumented `parking_lot` shim's
+//! lock-order deadlock detector supervises every acquisition; any
+//! inversion panics a worker or publisher thread and fails the joins.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use mmcs::broker::metrics::ShardedBrokerMetrics;
+use mmcs::broker::sharded::ShardedBroker;
+use mmcs::broker::topic::{Topic, TopicFilter};
+
+const SHARDS: usize = 4;
+const PUBLISHERS: usize = 8;
+const PER_PUBLISHER: u64 = 12_500;
+const TOTAL: u64 = PUBLISHERS as u64 * PER_PUBLISHER;
+
+#[test]
+fn four_shard_soak_has_exact_counters() {
+    #[cfg(debug_assertions)]
+    assert!(
+        parking_lot::deadlock::is_active(),
+        "debug build must carry the deadlock detector"
+    );
+
+    let metrics = ShardedBrokerMetrics::detached(SHARDS);
+    let broker = Arc::new(ShardedBroker::spawn_with_metrics(Arc::clone(&metrics)));
+    // Two full-wildcard subscribers; their (possibly equal) home shards
+    // are where every event must land exactly once each.
+    let sub_a = broker.attach();
+    let sub_b = broker.attach();
+    sub_a.subscribe(TopicFilter::parse("#").unwrap());
+    sub_b.subscribe(TopicFilter::parse("#").unwrap());
+    broker.quiesce();
+
+    // Each publisher owns one first-segment family, so its events have
+    // one deterministic owner shard and per-source order is total.
+    let mut handles = Vec::new();
+    for p in 0..PUBLISHERS {
+        let broker = Arc::clone(&broker);
+        handles.push(std::thread::spawn(move || {
+            let publisher = broker.attach();
+            let topic = Topic::parse(&format!("fam{p}/events")).unwrap();
+            for _ in 0..PER_PUBLISHER {
+                publisher.publish(topic.clone(), Bytes::new());
+            }
+        }));
+    }
+    for handle in handles {
+        handle
+            .join()
+            .expect("no publisher may panic (deadlock detector supervises in debug)");
+    }
+    broker.quiesce();
+
+    // ---- Exact per-shard expectations, derived from the hash layout.
+    let mut owned = [0u64; SHARDS]; // direct publishes per owner shard
+    for p in 0..PUBLISHERS {
+        let topic = Topic::parse(&format!("fam{p}/events")).unwrap();
+        owned[broker.shard_for_topic(&topic)] += PER_PUBLISHER;
+    }
+    let homes: HashSet<usize> = [sub_a.id(), sub_b.id()]
+        .into_iter()
+        .map(|id| broker.home_shard(id))
+        .collect();
+    let mut subs_at_home = [0u64; SHARDS];
+    for id in [sub_a.id(), sub_b.id()] {
+        subs_at_home[broker.home_shard(id)] += 1;
+    }
+    for shard in 0..SHARDS {
+        let m = metrics.shard(shard);
+        // Events entering a shard: its own publishes, plus one forwarded
+        // copy of every *other* shard's event if a subscriber lives here.
+        let forwarded_in = if homes.contains(&shard) {
+            TOTAL - owned[shard]
+        } else {
+            0
+        };
+        assert_eq!(
+            m.events_in.get(),
+            owned[shard] + forwarded_in,
+            "events_in on shard {shard}"
+        );
+        // Ring sends: one per event per distinct remote subscriber home.
+        let remote_homes = homes.iter().filter(|h| **h != shard).count() as u64;
+        assert_eq!(
+            m.cross_shard_forwards.get(),
+            owned[shard] * remote_homes,
+            "cross_shard_forwards on shard {shard}"
+        );
+        // Deliveries happen only at subscriber homes: every event, once
+        // per subscriber homed here.
+        assert_eq!(
+            m.deliveries.get(),
+            TOTAL * subs_at_home[shard],
+            "deliveries on shard {shard}"
+        );
+        // Fan-out histogram records once per routed event.
+        assert_eq!(m.fanout.count(), owned[shard] + forwarded_in);
+        assert_eq!(m.unroutable.get(), 0, "unroutable on shard {shard}");
+        // Quiesced: ingress queues fully drained.
+        assert_eq!(m.queue_depth.get(), 0, "queue_depth on shard {shard}");
+    }
+    // Global identities.
+    assert_eq!(
+        metrics.total(|s| s.events_in.get()),
+        TOTAL + metrics.total(|s| s.cross_shard_forwards.get())
+    );
+    assert_eq!(metrics.total(|s| s.deliveries.get()), TOTAL * 2);
+    assert!(metrics.total(|s| s.batch_size.count()) > 0);
+
+    // ---- Both subscribers drain exactly TOTAL events, in per-source
+    // order (each publisher uses one topic, so source order is topic
+    // order).
+    for (name, sub) in [("a", &sub_a), ("b", &sub_b)] {
+        let mut last_seq: HashMap<u64, u64> = HashMap::new();
+        let mut got = 0u64;
+        while let Some(event) = sub.try_recv() {
+            let source = event.source.value();
+            if let Some(prev) = last_seq.get(&source) {
+                assert!(
+                    event.seq > *prev,
+                    "subscriber {name}: source {source} out of order"
+                );
+            }
+            last_seq.insert(source, event.seq);
+            got += 1;
+        }
+        assert_eq!(got, TOTAL, "subscriber {name} delivery count");
+        assert_eq!(last_seq.len(), PUBLISHERS, "subscriber {name} source count");
+    }
+
+    // In debug builds, no broker lock may have been held past the
+    // watchdog threshold either.
+    #[cfg(debug_assertions)]
+    {
+        let broker_holds: Vec<_> = parking_lot::deadlock::long_holds()
+            .into_iter()
+            .filter(|h| h.site.contains("crates/broker"))
+            .collect();
+        assert!(
+            broker_holds.is_empty(),
+            "broker locks held past the watchdog threshold: {broker_holds:?}"
+        );
+    }
+}
+
+/// Shutdown mid-soak: publishers spinning on backpressure must unblock
+/// and no thread may hang or panic.
+#[test]
+fn shutdown_under_sharded_load_is_clean() {
+    let broker = Arc::new(ShardedBroker::builder(SHARDS).capacity(64).spawn());
+    let subscriber = broker.attach();
+    subscriber.subscribe(TopicFilter::parse("#").unwrap());
+    broker.quiesce();
+    let mut handles = Vec::new();
+    for p in 0..4 {
+        let broker = Arc::clone(&broker);
+        handles.push(std::thread::spawn(move || {
+            let publisher = broker.attach();
+            let topic = Topic::parse(&format!("load{p}/x")).unwrap();
+            for _ in 0..5_000 {
+                publisher.publish(topic.clone(), Bytes::new());
+            }
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(5));
+    broker.shutdown();
+    for handle in handles {
+        handle.join().expect("publisher must unblock after shutdown");
+    }
+    while subscriber.recv_timeout(Duration::from_millis(50)).is_some() {}
+}

@@ -135,6 +135,82 @@ fn stress_is_lock_inversion_free_under_detector() {
     );
 }
 
+/// Regression: the queue-depth gauge is incremented **before** the
+/// command is enqueued, so the broker loop's decrement can never race
+/// it below zero. A concurrent sampler watches the gauge while four
+/// publishers hammer the queue; with the old increment-after-enqueue
+/// ordering the loop could dequeue (and decrement) between the two
+/// steps and the sampler would observe a negative depth.
+#[test]
+fn queue_depth_gauge_never_underflows() {
+    use mmcs::broker::metrics::BrokerMetrics;
+    use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+
+    let metrics = BrokerMetrics::detached();
+    let broker = Arc::new(ThreadedBroker::spawn_with_metrics(Arc::clone(&metrics)));
+    let subscriber = broker.attach();
+    subscriber.subscribe(TopicFilter::parse("q/#").unwrap());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let min_seen = Arc::new(AtomicI64::new(0));
+    let sampler = {
+        let metrics = Arc::clone(&metrics);
+        let stop = Arc::clone(&stop);
+        let min_seen = Arc::clone(&min_seen);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let depth = metrics.queue_depth.get();
+                min_seen.fetch_min(depth, Ordering::Relaxed);
+            }
+        })
+    };
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let broker = Arc::clone(&broker);
+        handles.push(std::thread::spawn(move || {
+            let publisher = broker.attach();
+            for _ in 0..2_000 {
+                publisher.publish(Topic::parse("q/x").unwrap(), Bytes::new());
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let mut received = 0;
+    while subscriber.recv_timeout(Duration::from_millis(500)).is_some() {
+        received += 1;
+        if received == 8_000 {
+            break;
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    sampler.join().unwrap();
+    assert_eq!(received, 8_000);
+    assert!(
+        min_seen.load(Ordering::Relaxed) >= 0,
+        "queue-depth gauge underflowed to {}",
+        min_seen.load(Ordering::Relaxed)
+    );
+    // Fully drained: the gauge must read empty.
+    assert_eq!(metrics.queue_depth.get(), 0);
+    // Revert path: once the loop is gone, a rejected send must take its
+    // depth bump back and the gauge must stay non-negative.
+    broker.shutdown();
+    for _ in 0..500 {
+        if metrics.queue_depth.get() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let publisher = broker.attach();
+    publisher.publish(Topic::parse("q/x").unwrap(), Bytes::new());
+    assert!(
+        metrics.queue_depth.get() >= 0,
+        "rejected sends must never drive the gauge negative"
+    );
+}
+
 #[test]
 fn shutdown_under_load_is_clean() {
     let broker = Arc::new(ThreadedBroker::spawn());
