@@ -50,11 +50,30 @@ pub const PANIC_FREE_CRATES: &[&str] = &[
 /// Crates whose public items must be documented (`pub-item-doc-coverage`).
 pub const DOC_COVERED_CRATES: &[&str] = &["broker", "telemetry", "xgsp"];
 
+/// Per-packet hot-path modules (`no-hot-path-payload-copy`): every file
+/// listed here sits on the path a media packet takes through the system,
+/// where a payload copy is a per-packet allocator hit. Exact paths, not
+/// whole crates, so cold control-plane modules keep their freedom.
+pub const HOT_PATH_MODULES: &[&str] = &[
+    "crates/broker/src/event.rs",
+    "crates/broker/src/network.rs",
+    "crates/broker/src/node.rs",
+    "crates/broker/src/reliable.rs",
+    "crates/broker/src/rtpproxy.rs",
+    "crates/broker/src/sharded.rs",
+    "crates/broker/src/threaded.rs",
+    "crates/broker/src/wire.rs",
+    "crates/rtp/src/packet.rs",
+    "crates/streaming/src/helix.rs",
+    "crates/streaming/src/producer.rs",
+];
+
 /// All lint names, in reporting order.
 pub const LINT_NAMES: &[&str] = &[
     "no-unwrap-in-lib",
     "no-std-sync-locks",
     "no-direct-instant-now",
+    "no-hot-path-payload-copy",
     "pub-item-doc-coverage",
     "shim-api-drift",
 ];
@@ -85,6 +104,7 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Violation> {
         no_unwrap_in_lib(file, &mut out);
         no_std_sync_locks(file, &mut out);
         no_direct_instant_now(file, &mut out);
+        no_hot_path_payload_copy(file, &mut out);
         pub_item_doc_coverage(file, &mut out);
     }
     shim_api_drift(files, &mut out);
@@ -184,6 +204,45 @@ fn no_direct_instant_now(file: &SourceFile, out: &mut Vec<Violation>) {
                     ),
                 ));
             }
+        }
+    }
+}
+
+/// `no-hot-path-payload-copy`: in the modules a media packet actually
+/// traverses ([`HOT_PATH_MODULES`]), `.to_vec()` and `Vec<Vec<u8>>` put
+/// a payload copy (or a per-fragment allocation pattern) on the
+/// per-packet cost path. Use pooled buffers (`mmcs_util::pool`) or
+/// `Bytes::slice` views instead; a deliberate copy needs an allowlist
+/// entry with a justification.
+fn no_hot_path_payload_copy(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !HOT_PATH_MODULES.contains(&file.path.as_str()) {
+        return;
+    }
+    for (i, line) in file.masked.iter().enumerate() {
+        if file.in_test[i] || file.in_macro[i] {
+            continue;
+        }
+        if line.contains(".to_vec()") {
+            out.push(Violation::new(
+                "no-hot-path-payload-copy",
+                file,
+                i,
+                "`.to_vec()` copies the payload on a per-packet hot path; use a \
+                 pooled buffer or a `Bytes::slice` view (or allowlist with a \
+                 justification)"
+                    .to_owned(),
+            ));
+        }
+        if line.replace(' ', "").contains("Vec<Vec<u8>>") {
+            out.push(Violation::new(
+                "no-hot-path-payload-copy",
+                file,
+                i,
+                "`Vec<Vec<u8>>` allocates per fragment on a per-packet hot path; \
+                 use a single pooled frame or `Vec<Bytes>` slices (or allowlist \
+                 with a justification)"
+                    .to_owned(),
+            ));
         }
     }
 }
@@ -595,6 +654,39 @@ mod tests {
         shim_api_drift(&[shim, loner], &mut out);
         assert_eq!(out.len(), 1);
         assert!(out[0].message.contains("Gamma"));
+    }
+
+    #[test]
+    fn hot_path_copies_flagged_by_exact_path() {
+        let src = "fn f(b: &Bytes) { let v = b.to_vec(); }\n\
+                   fn g() -> Vec<Vec<u8>> { Vec::new() }\n\
+                   fn h() -> Vec< Vec<u8> > { Vec::new() }\n";
+        let f = parse("crates/rtp/src/packet.rs", src);
+        let mut out = Vec::new();
+        no_hot_path_payload_copy(&f, &mut out);
+        assert_eq!(
+            lints_of(&out),
+            vec![
+                ("no-hot-path-payload-copy", 1),
+                ("no-hot-path-payload-copy", 2),
+                ("no-hot-path-payload-copy", 3),
+            ]
+        );
+        // The same crate, a module off the hot path: silent.
+        let cold = parse("crates/rtp/src/jitter.rs", src);
+        out.clear();
+        no_hot_path_payload_copy(&cold, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn hot_path_copy_skips_tests_and_near_misses() {
+        let src = "fn f(b: &[u8]) { b.to_vec_like(); into_vec(); }\n\
+                   #[cfg(test)]\nmod tests {\n fn t(b: &[u8]) { b.to_vec(); }\n}\n";
+        let f = parse("crates/broker/src/wire.rs", src);
+        let mut out = Vec::new();
+        no_hot_path_payload_copy(&f, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
     }
 
     #[test]

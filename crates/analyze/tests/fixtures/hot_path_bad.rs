@@ -1,0 +1,26 @@
+//! Fixture: payload copies on a hot-path module. Clean under every
+//! other lint so the hot-path diagnostics are exact.
+
+fn copies(payload: &bytes::Bytes) -> Vec<u8> {
+    payload.to_vec()
+}
+
+fn fragments() -> Vec<Vec<u8>> {
+    let parts: Vec<Vec<u8>> = Vec::new();
+    parts
+}
+
+fn fine(payload: &bytes::Bytes) -> bytes::Bytes {
+    payload.slice(..)
+}
+
+// A comment mentioning .to_vec() is masked out and must not trip.
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn copies_are_fine_in_tests() {
+        let copied = b"abc".to_vec();
+        let _: Vec<Vec<u8>> = vec![copied];
+    }
+}

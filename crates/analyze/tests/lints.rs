@@ -15,6 +15,7 @@ use mmcs_analyze::{apply_allowlist, check_workspace, lint_sources};
 const KNOWN_BAD: &str = include_str!("fixtures/known_bad.rs");
 const KNOWN_CLEAN: &str = include_str!("fixtures/known_clean.rs");
 const SHIM_FIXTURE: &str = include_str!("fixtures/shim_fixture.rs");
+const HOT_PATH_BAD: &str = include_str!("fixtures/hot_path_bad.rs");
 
 /// The strictest scope: a broker library file is covered by all four
 /// per-file lints.
@@ -89,6 +90,32 @@ fn shim_drift_depends_on_workspace_usage() {
         ("crates/shims/fake/src/extra.rs", "fn g() { crate::used(); crate::orphan(); }\n"),
     ]);
     assert_eq!(violations.len(), 2, "self-use is not workspace use");
+}
+
+#[test]
+fn hot_path_copy_flagged_only_on_hot_path_modules() {
+    // Fed under a real hot-path module path: exact diagnostics, with
+    // comment mentions and `#[cfg(test)]` code skipped.
+    let violations = lint_sources(&[("crates/broker/src/sharded.rs", HOT_PATH_BAD)]);
+    let got: Vec<(&str, usize)> = violations.iter().map(|v| (v.lint, v.line)).collect();
+    assert_eq!(
+        got,
+        vec![
+            ("no-hot-path-payload-copy", 5),
+            ("no-hot-path-payload-copy", 8),
+            ("no-hot-path-payload-copy", 9),
+        ],
+        "{violations:#?}"
+    );
+    assert!(violations[0].message.contains("`.to_vec()`"));
+    assert!(violations[1].message.contains("`Vec<Vec<u8>>`"));
+    // The same file under a non-hot-path module is silent: scoping is
+    // per-file, not per-crate.
+    let violations = lint_sources(&[(BROKER_PATH, HOT_PATH_BAD)]);
+    assert!(
+        violations.is_empty(),
+        "cold modules may copy freely: {violations:#?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,127 @@
+//! Criterion benchmarks for the flat wire format and the buffer pool:
+//! encode into pooled vs freshly-allocated buffers, the zero-copy view
+//! parse, owned decode, and the combined encode+read round trip the
+//! ISSUE-6 acceptance criterion compares (pooled view path vs the old
+//! clone-into-`BytesMut` + owned-decode path). The RTP group mirrors
+//! the same shapes for `RtpPacket`/`WireRtp`.
+//!
+//! With `MMCS_BENCH_JSON=BENCH_wire.json` set, the criterion shim dumps
+//! every line below as JSON for the CI artifact.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use bytes::{Bytes, BytesMut};
+use mmcs_broker::event::{Event, EventClass};
+use mmcs_broker::topic::Topic;
+use mmcs_broker::wire;
+use mmcs_rtp::packet::{RtpHeader, RtpPacket, WireRtp};
+use mmcs_util::id::ClientId;
+use mmcs_util::pool;
+
+fn event_1k() -> Event {
+    Event::new(
+        Topic::parse("conf/42/video").unwrap(),
+        ClientId::from_raw(7),
+        123_456,
+        EventClass::Rtp,
+        Bytes::from(vec![0xAB; 1024]),
+    )
+}
+
+/// The pre-wire hot path this PR replaces: clone the payload into a
+/// fresh `BytesMut` frame, then materialize an owned event from it.
+fn legacy_clone_roundtrip(event: &Event) -> Event {
+    let mut frame = BytesMut::with_capacity(wire::encoded_len(event));
+    wire::encode_into(event, &mut frame);
+    wire::decode(&frame).unwrap()
+}
+
+fn bench_wire_event(c: &mut Criterion) {
+    let event = event_1k();
+    let frame = wire::encode(&event).freeze();
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+
+    group.bench_function("encode_1k_pooled", |b| {
+        b.iter(|| {
+            let mut buf = pool::acquire(wire::encoded_len(&event));
+            wire::encode_into(black_box(&event), &mut buf);
+            buf.len()
+        })
+    });
+    group.bench_function("encode_1k_bytesmut", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(wire::encoded_len(&event));
+            wire::encode_into(black_box(&event), &mut buf);
+            buf.len()
+        })
+    });
+    group.bench_function("view_1k", |b| {
+        b.iter(|| {
+            let view = wire::WireEvent::parse(black_box(&frame)).unwrap();
+            (view.seq(), view.payload().len())
+        })
+    });
+    group.bench_function("decode_owned_1k", |b| {
+        b.iter(|| wire::decode(black_box(&frame)).unwrap())
+    });
+    // The acceptance pair: encode + read the payload back, pooled
+    // zero-copy view vs. fresh-buffer + owned decode.
+    group.bench_function("roundtrip_pooled_view_1k", |b| {
+        b.iter(|| {
+            let mut buf = pool::acquire(wire::encoded_len(&event));
+            wire::encode_into(black_box(&event), &mut buf);
+            let view = wire::WireEvent::parse(&buf).unwrap();
+            view.payload().len() + view.topic_str().len()
+        })
+    });
+    group.bench_function("roundtrip_bytesmut_owned_1k", |b| {
+        b.iter(|| {
+            let decoded = legacy_clone_roundtrip(black_box(&event));
+            decoded.payload.len() + decoded.topic.segments().len()
+        })
+    });
+    group.finish();
+}
+
+fn rtp_packet() -> RtpPacket {
+    let mut header = RtpHeader::new(34, 4660, 0x0102_0304, 0xDEAD_BEEF);
+    header.csrc = vec![1, 2, 3];
+    header.marker = true;
+    RtpPacket::new(header, Bytes::from(vec![0x5A; 1024]))
+}
+
+fn bench_wire_rtp(c: &mut Criterion) {
+    let packet = rtp_packet();
+    let frame = packet.encode();
+    let mut group = c.benchmark_group("wire_rtp");
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+
+    group.bench_function("encode_pooled", |b| {
+        b.iter(|| {
+            let mut buf = pool::acquire(packet.wire_len());
+            packet.encode_into(&mut buf);
+            buf.len()
+        })
+    });
+    group.bench_function("encode_malloc", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(packet.wire_len());
+            packet.encode_into(&mut buf);
+            buf.len()
+        })
+    });
+    group.bench_function("view_parse", |b| {
+        b.iter(|| {
+            let view = WireRtp::parse(black_box(&frame)).unwrap();
+            (view.sequence_number(), view.payload().len())
+        })
+    });
+    group.bench_function("decode_owned", |b| {
+        b.iter(|| RtpPacket::decode(black_box(&frame)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire_event, bench_wire_rtp);
+criterion_main!(benches);

@@ -91,6 +91,8 @@ pub mod rtpproxy;
 pub mod sharded;
 /// Drives broker nodes from the discrete-event simulator clock.
 pub mod simdrv;
+/// Flat zero-copy wire encoding for events over pooled frame buffers.
+pub mod wire;
 /// A threaded runtime wrapping the sans-IO node in real OS threads.
 pub mod threaded;
 /// Hierarchical topics and wildcard topic filters.

@@ -12,10 +12,13 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
+use bytes::{BufMut, Bytes};
 use mmcs_telemetry::Counter;
+use mmcs_util::pool;
 use mmcs_util::time::{SimDuration, SimTime};
 
 use crate::event::Event;
+use crate::wire;
 
 /// A sequenced frame on the reliable channel.
 #[derive(Debug, Clone)]
@@ -24,6 +27,40 @@ pub struct ReliableFrame {
     pub seq: u64,
     /// The event carried.
     pub event: Arc<Event>,
+}
+
+impl ReliableFrame {
+    /// Serializes the frame into a pooled buffer: an 8-byte big-endian
+    /// channel sequence number followed by the event's [`wire`] frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = pool::acquire(8 + wire::encoded_len(&self.event));
+        buf.put_u64(self.seq);
+        wire::encode_into(&self.event, &mut buf);
+        buf.freeze()
+    }
+
+    /// Deserializes a frame produced by [`ReliableFrame::encode`]. The
+    /// event payload stays a zero-copy slice of `frame`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`wire::DecodeEventError`] if the sequence prefix is
+    /// truncated or the embedded event frame is malformed.
+    pub fn decode(frame: &Bytes) -> Result<ReliableFrame, wire::DecodeEventError> {
+        if frame.len() < 8 {
+            return Err(wire::DecodeEventError::Truncated {
+                needed: 8,
+                got: frame.len(),
+            });
+        }
+        let mut seq_bytes = [0u8; 8];
+        seq_bytes.copy_from_slice(&frame[..8]);
+        let event = wire::decode_shared(&frame.slice(8..))?.into_shared();
+        Ok(ReliableFrame {
+            seq: u64::from_be_bytes(seq_bytes),
+            event,
+        })
+    }
 }
 
 /// A cumulative acknowledgement: everything below `next_expected` has
@@ -369,6 +406,31 @@ mod tests {
                 wire.extend(sender.on_tick(now));
             }
             assert_eq!(delivered, (0..total).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn frame_encode_decode_round_trips() {
+        let frame = ReliableFrame {
+            seq: 0xDEAD_BEEF_0000_0042,
+            event: event(9),
+        };
+        let wire = frame.encode();
+        let back = ReliableFrame::decode(&wire).unwrap();
+        assert_eq!(back.seq, frame.seq);
+        assert_eq!(*back.event, *frame.event);
+        // The decoded payload borrows the encoded frame's storage.
+        assert_eq!(back.event.payload.as_ptr(), wire[8 + 32 + 3..].as_ptr());
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let wire = ReliableFrame { seq: 3, event: event(1) }.encode();
+        for len in 0..wire.len() {
+            assert!(
+                ReliableFrame::decode(&wire.slice(..len)).is_err(),
+                "truncation to {len} bytes must not decode"
+            );
         }
     }
 }

@@ -14,6 +14,7 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
+use mmcs_rtp::packet::WireRtp;
 use mmcs_sim::{Context, Packet, Process, ProcessId};
 use mmcs_util::id::ClientId;
 use mmcs_util::time::{SimDuration, SimTime};
@@ -135,7 +136,14 @@ impl Process for RtpProxyProcess {
 
     fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
         if let Some(raw) = packet.payload::<LegacyRtp>() {
-            // Legacy endpoint → topic.
+            // Legacy endpoint → topic. Validate the raw packet with the
+            // zero-copy view parser before it enters the overlay: a
+            // malformed frame is dropped (and counted) at the edge
+            // instead of fanning out to every subscriber.
+            if WireRtp::parse(&raw.bytes).is_err() {
+                ctx.count("rtpproxy.malformed", 1);
+                return;
+            }
             ctx.spend_cpu(self.relay_cpu);
             let event = wrap_rtp(
                 &self.topic,
@@ -304,6 +312,69 @@ mod tests {
         assert_eq!(proxy_state.wrapped(), 30);
         assert_eq!(proxy_state.unwrapped(), 20);
         assert_eq!(sim.counter("rtpproxy.wrapped"), 30);
+    }
+
+    /// Sends one well-formed RTP packet and one garbage frame.
+    struct MixedSender {
+        proxy: ProcessId,
+        fired: bool,
+    }
+
+    impl Process for MixedSender {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_millis(50), 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _packet: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+            if self.fired {
+                return;
+            }
+            self.fired = true;
+            let good = RtpPacket::new(
+                RtpHeader::new(payload_type::PCMU, 1, 160, 9),
+                Bytes::from(vec![0u8; 160]),
+            );
+            ctx.send(
+                self.proxy,
+                LegacyRtp {
+                    bytes: good.encode(),
+                    sent_at: ctx.now(),
+                },
+                200,
+            );
+            // Claims 3 CSRCs but truncates the CSRC area.
+            ctx.send(
+                self.proxy,
+                LegacyRtp {
+                    bytes: Bytes::from_static(&[0x83, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0]),
+                    sent_at: ctx.now(),
+                },
+                200,
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_legacy_frames_are_dropped_at_the_edge() {
+        let mut sim = Simulation::new(7);
+        let legacy_host = sim.add_host("legacy", NicConfig::default());
+        let broker_host = sim.add_host("broker", NicConfig::default());
+        let broker = sim.add_typed_process(
+            broker_host,
+            BrokerProcess::new(BrokerId::from_raw(1), CostModel::narada()),
+        );
+        let topic = Topic::parse("conf/6/audio").unwrap();
+        let proxy = sim.add_typed_process(
+            broker_host,
+            RtpProxyProcess::new(broker, ClientId::from_raw(10), topic),
+        );
+        sim.add_typed_process(legacy_host, MixedSender { proxy, fired: false });
+
+        sim.run_until(SimTime::from_secs(1));
+
+        let proxy_state = sim.process_ref::<RtpProxyProcess>(proxy).unwrap();
+        assert_eq!(proxy_state.wrapped(), 1, "only the valid packet enters");
+        assert_eq!(sim.counter("rtpproxy.malformed"), 1);
     }
 
     #[test]

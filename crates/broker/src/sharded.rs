@@ -72,6 +72,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mmcs_telemetry::Gauge;
 use mmcs_util::id::{BrokerId, ClientId};
@@ -83,6 +84,7 @@ use crate::metrics::{BrokerMetrics, ShardedBrokerMetrics};
 use crate::node::{Action, BrokerNode, Input, Origin};
 use crate::profile::TransportProfile;
 use crate::topic::{Topic, TopicFilter};
+use crate::wire;
 
 /// Most commands a shard worker drains per wakeup.
 const SHARD_BATCH_MAX: usize = 64;
@@ -135,9 +137,11 @@ enum ShardCmd {
     Unsubscribe(ClientId, TopicFilter),
     Publish(ClientId, Arc<Event>),
     /// An event hopping the ring from its owner shard to a subscriber's
-    /// home shard. Delivered from the receiving shard's route plan and
-    /// never re-forwarded.
-    Forward(Arc<Event>),
+    /// home shard, carried as a pooled [`wire`] frame: the sender encodes
+    /// once, every target shard shares the same frame storage, and the
+    /// receiver decodes zero-copy. Delivered from the receiving shard's
+    /// route plan and never re-forwarded.
+    Forward(Bytes),
     /// Flush everything queued ahead of this command, then ack.
     Barrier(Sender<()>),
     /// Sleep the worker (chaos/backpressure testing).
@@ -147,7 +151,8 @@ enum ShardCmd {
 
 fn cmd_bytes(cmd: &ShardCmd) -> usize {
     match cmd {
-        ShardCmd::Publish(_, event) | ShardCmd::Forward(event) => event.payload.len(),
+        ShardCmd::Publish(_, event) => event.payload.len(),
+        ShardCmd::Forward(frame) => frame.len(),
         _ => 0,
     }
 }
@@ -671,7 +676,7 @@ impl ShardWorker {
                 ShardCmd::Subscribe(client, filter) => self.subscribe(client, filter),
                 ShardCmd::Unsubscribe(client, filter) => self.unsubscribe(client, filter),
                 ShardCmd::Publish(client, event) => self.publish(client, event),
-                ShardCmd::Forward(event) => self.deliver_forwarded(event),
+                ShardCmd::Forward(frame) => self.deliver_forwarded(frame),
                 ShardCmd::Barrier(ack) => self.acks.push(ack),
                 ShardCmd::Stall(duration) => std::thread::sleep(duration),
                 ShardCmd::Shutdown => stop = true,
@@ -814,6 +819,10 @@ impl ShardWorker {
             self.actions.clear();
             return;
         }
+        // Encode the wire frame lazily, once, no matter how many shards
+        // the event forwards to: each target receives a cheap `Bytes`
+        // clone sharing the same pooled storage.
+        let mut frame: Option<Bytes> = None;
         for action in self.actions.drain(..) {
             match action {
                 Action::Deliver { client, event, .. } => {
@@ -823,7 +832,10 @@ impl ShardWorker {
                 }
                 Action::Forward { peer, event } => {
                     let target = peer.value() as usize;
-                    self.links[target].send(ShardCmd::Forward(event));
+                    let frame = frame
+                        .get_or_insert_with(|| wire::encode(&event).freeze())
+                        .clone();
+                    self.links[target].send(ShardCmd::Forward(frame));
                     if let Some(m) = &self.metrics {
                         m.cross_shard_forwards.inc();
                     }
@@ -833,12 +845,23 @@ impl ShardWorker {
         }
     }
 
-    /// Subscriber-home delivery of a forwarded event: consult this
-    /// shard's own route plan and deliver to local clients only —
-    /// never re-forward, so each event makes at most one ring hop.
-    /// Metrics mirror what `BrokerNode::route` reports for a direct
+    /// Subscriber-home delivery of a forwarded event: decode the pooled
+    /// wire frame zero-copy (the payload stays a slice of the frame),
+    /// consult this shard's own route plan and deliver to local clients
+    /// only — never re-forward, so each event makes at most one ring
+    /// hop. Metrics mirror what `BrokerNode::route` reports for a direct
     /// publish.
-    fn deliver_forwarded(&mut self, event: Arc<Event>) {
+    fn deliver_forwarded(&mut self, frame: Bytes) {
+        let event = match wire::decode_shared(&frame) {
+            Ok(event) => event.into_shared(),
+            Err(err) => {
+                // Frames originate from `wire::encode` on a sibling
+                // shard, so this is unreachable short of memory
+                // corruption; drop rather than poison the worker.
+                debug_assert!(false, "malformed cross-shard frame: {err}");
+                return;
+            }
+        };
         let plan = self.node.plan_for(&event.topic);
         let mut delivered = 0u64;
         for (client, _profile) in &plan.local {

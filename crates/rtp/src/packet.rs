@@ -1,7 +1,16 @@
 //! The RTP fixed header and packet (RFC 3550 §5.1), real wire format.
+//!
+//! Two read paths exist: [`RtpPacket::decode`] materialises an owned
+//! packet (copying the payload), while [`WireRtp`] is a borrow-parsed
+//! view over the wire bytes — header fields read at fixed offsets,
+//! payload returned as a slice into the frame, nothing copied. The two
+//! are validated against the same malformed-input matrix; prefer the
+//! view (or [`RtpPacket::decode_shared`], which keeps the payload as a
+//! zero-copy [`Bytes`] slice) on hot paths.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes};
 use core::fmt;
+use mmcs_util::pool;
 
 /// The RTP protocol version implemented (the only one deployed).
 pub const RTP_VERSION: u8 = 2;
@@ -68,7 +77,9 @@ impl RtpHeader {
         FIXED_HEADER_LEN + 4 * self.csrc.len()
     }
 
-    fn encode_into(&self, buf: &mut BytesMut) {
+    /// Writes the header in wire format to any [`BufMut`] — a
+    /// [`BytesMut`], a plain `Vec<u8>` or a pooled buffer.
+    pub fn encode_into(&self, buf: &mut impl BufMut) {
         let b0 = (RTP_VERSION << 6)
             | ((self.padding as u8) << 5)
             | ((self.extension as u8) << 4)
@@ -111,15 +122,22 @@ impl RtpPacket {
         self.header.wire_len() + self.payload.len()
     }
 
-    /// Encodes the packet into RFC 3550 wire format.
+    /// Encodes the packet into RFC 3550 wire format. The scratch buffer
+    /// comes from the thread-local [`pool`]; the returned [`Bytes`] hands
+    /// it back when the last clone drops.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.wire_len());
-        self.header.encode_into(&mut buf);
-        buf.put_slice(&self.payload);
+        let mut buf = pool::acquire(self.wire_len());
+        self.encode_into(&mut buf);
         buf.freeze()
     }
 
-    /// Decodes a packet from wire format.
+    /// Writes the packet in wire format to any [`BufMut`].
+    pub fn encode_into(&self, buf: &mut impl BufMut) {
+        self.header.encode_into(buf);
+        buf.put_slice(&self.payload);
+    }
+
+    /// Decodes a packet from wire format, copying the payload.
     ///
     /// # Errors
     ///
@@ -127,6 +145,67 @@ impl RtpPacket {
     /// version is not 2, or the packet carries a header extension (not
     /// supported by the 2003-era A/V tools this models, nor by us).
     pub fn decode(wire: &[u8]) -> Result<RtpPacket, DecodeRtpError> {
+        let view = WireRtp::parse(wire)?;
+        Ok(RtpPacket {
+            header: view.header_owned(),
+            payload: Bytes::copy_from_slice(view.payload()),
+        })
+    }
+
+    /// Decodes a packet whose wire bytes live in a shared [`Bytes`],
+    /// keeping the payload as a zero-copy slice of the frame.
+    ///
+    /// # Errors
+    ///
+    /// Same failure matrix as [`RtpPacket::decode`].
+    pub fn decode_shared(frame: &Bytes) -> Result<RtpPacket, DecodeRtpError> {
+        let view = WireRtp::parse(frame)?;
+        let start = view.header_len();
+        let end = start + view.payload().len();
+        Ok(RtpPacket {
+            header: view.header_owned(),
+            payload: frame.slice(start..end),
+        })
+    }
+}
+
+/// A zero-copy view over an RTP packet's wire bytes.
+///
+/// [`WireRtp::parse`] runs the full validation matrix (truncation —
+/// including inside the CSRC area — version, extension, padding
+/// consistency) once; every accessor afterwards is an infallible
+/// fixed-offset read into the borrowed frame. Nothing is copied: the
+/// payload comes back as a sub-slice with padding already stripped.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use mmcs_rtp::packet::{RtpHeader, RtpPacket, WireRtp};
+///
+/// let wire = RtpPacket::new(RtpHeader::new(0, 7, 1120, 0xabcd), Bytes::from_static(b"pcm"))
+///     .encode();
+/// let view = WireRtp::parse(&wire).unwrap();
+/// assert_eq!(view.sequence_number(), 7);
+/// assert_eq!(view.payload(), b"pcm");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WireRtp<'a> {
+    buf: &'a [u8],
+    header_len: usize,
+    /// End of the logical payload (wire length minus any padding).
+    payload_end: usize,
+}
+
+impl<'a> WireRtp<'a> {
+    /// Validates `wire` and returns the borrow-parsed view.
+    ///
+    /// # Errors
+    ///
+    /// The same matrix as [`RtpPacket::decode`]: truncation (fixed
+    /// header or CSRC area), bad version, header extension, inconsistent
+    /// padding.
+    pub fn parse(wire: &'a [u8]) -> Result<WireRtp<'a>, DecodeRtpError> {
         if wire.len() < FIXED_HEADER_LEN {
             return Err(DecodeRtpError::Truncated {
                 needed: FIXED_HEADER_LEN,
@@ -137,9 +216,7 @@ impl RtpPacket {
         if version != RTP_VERSION {
             return Err(DecodeRtpError::BadVersion(version));
         }
-        let padding = wire[0] & 0b0010_0000 != 0;
-        let extension = wire[0] & 0b0001_0000 != 0;
-        if extension {
+        if wire[0] & 0b0001_0000 != 0 {
             return Err(DecodeRtpError::ExtensionUnsupported);
         }
         let csrc_count = (wire[0] & 0b0000_1111) as usize;
@@ -150,23 +227,9 @@ impl RtpPacket {
                 got: wire.len(),
             });
         }
-        let marker = wire[1] & 0b1000_0000 != 0;
-        let payload_type = wire[1] & 0b0111_1111;
-        let sequence_number = u16::from_be_bytes([wire[2], wire[3]]);
-        let timestamp = u32::from_be_bytes([wire[4], wire[5], wire[6], wire[7]]);
-        let ssrc = u32::from_be_bytes([wire[8], wire[9], wire[10], wire[11]]);
-        let mut csrc = Vec::with_capacity(csrc_count);
-        for i in 0..csrc_count {
-            let off = FIXED_HEADER_LEN + 4 * i;
-            csrc.push(u32::from_be_bytes([
-                wire[off],
-                wire[off + 1],
-                wire[off + 2],
-                wire[off + 3],
-            ]));
-        }
-        let mut payload = Bytes::copy_from_slice(&wire[header_len..]);
-        if padding {
+        let mut payload_end = wire.len();
+        if wire[0] & 0b0010_0000 != 0 {
+            let payload = &wire[header_len..];
             let Some(&pad_len) = payload.last() else {
                 return Err(DecodeRtpError::BadPadding);
             };
@@ -174,23 +237,82 @@ impl RtpPacket {
             if pad_len == 0 || pad_len > payload.len() {
                 return Err(DecodeRtpError::BadPadding);
             }
-            payload.truncate(payload.len() - pad_len);
+            payload_end -= pad_len;
         }
-        Ok(RtpPacket {
-            header: RtpHeader {
-                // Padding was consumed above; the decoded value reflects
-                // the logical packet.
-                padding: false,
-                extension,
-                marker,
-                payload_type,
-                sequence_number,
-                timestamp,
-                ssrc,
-                csrc,
-            },
-            payload,
+        Ok(WireRtp {
+            buf: wire,
+            header_len,
+            payload_end,
         })
+    }
+
+    /// Whether the wire packet carried padding (already stripped from
+    /// [`WireRtp::payload`]).
+    pub fn padding(&self) -> bool {
+        self.buf[0] & 0b0010_0000 != 0
+    }
+
+    /// Marker bit.
+    pub fn marker(&self) -> bool {
+        self.buf[1] & 0b1000_0000 != 0
+    }
+
+    /// Payload type (7 bits).
+    pub fn payload_type(&self) -> u8 {
+        self.buf[1] & 0b0111_1111
+    }
+
+    /// Sequence number.
+    pub fn sequence_number(&self) -> u16 {
+        u16::from_be_bytes([self.buf[2], self.buf[3]])
+    }
+
+    /// Media timestamp.
+    pub fn timestamp(&self) -> u32 {
+        u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]])
+    }
+
+    /// Synchronization source.
+    pub fn ssrc(&self) -> u32 {
+        u32::from_be_bytes([self.buf[8], self.buf[9], self.buf[10], self.buf[11]])
+    }
+
+    /// Number of CSRC entries.
+    pub fn csrc_count(&self) -> usize {
+        (self.buf[0] & 0b0000_1111) as usize
+    }
+
+    /// Iterates the CSRC entries without building a `Vec`.
+    pub fn csrc(&self) -> impl Iterator<Item = u32> + 'a {
+        self.buf[FIXED_HEADER_LEN..self.header_len]
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+    }
+
+    /// Header length on the wire (fixed header plus CSRC entries).
+    pub fn header_len(&self) -> usize {
+        self.header_len
+    }
+
+    /// The logical payload: a slice into the frame, padding stripped.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[self.header_len..self.payload_end]
+    }
+
+    /// Materialises an owned [`RtpHeader`] (allocates the CSRC list).
+    /// Padding was consumed by [`WireRtp::parse`], so the owned header
+    /// reports the logical packet: `padding: false`.
+    pub fn header_owned(&self) -> RtpHeader {
+        RtpHeader {
+            padding: false,
+            extension: false,
+            marker: self.marker(),
+            payload_type: self.payload_type(),
+            sequence_number: self.sequence_number(),
+            timestamp: self.timestamp(),
+            ssrc: self.ssrc(),
+            csrc: self.csrc().collect(),
+        }
     }
 }
 
@@ -252,6 +374,7 @@ pub mod payload_type {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::BytesMut;
 
     fn sample() -> RtpPacket {
         let mut header = RtpHeader::new(34, 4660, 0x0102_0304, 0xdead_beef);

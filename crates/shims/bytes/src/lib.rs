@@ -5,12 +5,15 @@
 //! cloneable, shared, immutable), [`BytesMut`] (append-only builder) and
 //! the big-endian `put_*` writers from [`BufMut`]. Clones of a `Bytes`
 //! share one allocation — fan-out to hundreds of subscribers never
-//! copies a payload — matching the real crate's contract.
+//! copies a payload — matching the real crate's contract. [`Bytes::slice`]
+//! and [`Bytes::from_owner`] provide the zero-copy sub-view and
+//! custom-ownership primitives (mirroring `bytes` ≥ 1.9) that the wire
+//! format and buffer pool build on.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::{Deref, DerefMut};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable, shared byte buffer.
@@ -22,7 +25,14 @@ pub struct Bytes {
 #[derive(Clone)]
 enum Repr {
     Static(&'static [u8]),
-    Shared(Arc<Vec<u8>>),
+    /// A window (`offset..offset + len`) into storage kept alive by a
+    /// shared owner. The owner is any `AsRef<[u8]>` so callers can attach
+    /// custom drop behaviour (e.g. returning a pooled buffer).
+    Shared {
+        owner: Arc<dyn AsRef<[u8]> + Send + Sync>,
+        offset: usize,
+        len: usize,
+    },
 }
 
 impl Bytes {
@@ -45,39 +55,90 @@ impl Bytes {
         Bytes::from(data.to_vec())
     }
 
+    /// Wraps arbitrary owned storage without copying. The owner is kept
+    /// alive (and eventually dropped) by the last surviving clone, so a
+    /// custom `Drop` on `owner` runs exactly once — the hook the buffer
+    /// pool uses to reclaim frames whose bytes escaped as `Bytes`.
+    pub fn from_owner<T>(owner: T) -> Bytes
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let len = owner.as_ref().len();
+        Bytes {
+            repr: Repr::Shared {
+                owner: Arc::new(owner),
+                offset: 0,
+                len,
+            },
+        }
+    }
+
     /// The buffer contents.
     pub fn as_slice(&self) -> &[u8] {
         match &self.repr {
             Repr::Static(s) => s,
-            Repr::Shared(v) => v.as_slice(),
+            Repr::Shared { owner, offset, len } => {
+                &owner.as_ref().as_ref()[*offset..offset + len]
+            }
         }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.as_slice().len()
+        match &self.repr {
+            Repr::Static(s) => s.len(),
+            Repr::Shared { len, .. } => *len,
+        }
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.as_slice().is_empty()
+        self.len() == 0
+    }
+
+    /// Returns a sub-view of `self` for the given range, sharing the same
+    /// storage — no bytes are copied and the backing allocation lives
+    /// until the last view drops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(start <= end, "slice start {start} > end {end}");
+        assert!(end <= self.len(), "slice end {end} > len {}", self.len());
+        match &self.repr {
+            Repr::Static(s) => Bytes {
+                repr: Repr::Static(&s[start..end]),
+            },
+            Repr::Shared { owner, offset, .. } => Bytes {
+                repr: Repr::Shared {
+                    owner: Arc::clone(owner),
+                    offset: offset + start,
+                    len: end - start,
+                },
+            },
+        }
     }
 
     /// Shortens the buffer to its first `len` bytes (no-op if already
-    /// shorter). Copies only when the storage is shared with clones.
+    /// shorter). Only the view shrinks; shared storage is untouched.
     pub fn truncate(&mut self, len: usize) {
         if len >= self.len() {
             return;
         }
         match &mut self.repr {
             Repr::Static(s) => *s = &s[..len],
-            Repr::Shared(arc) => {
-                if let Some(v) = Arc::get_mut(arc) {
-                    v.truncate(len);
-                } else {
-                    *arc = Arc::new(arc[..len].to_vec());
-                }
-            }
+            Repr::Shared { len: view_len, .. } => *view_len = len,
         }
     }
 }
@@ -92,9 +153,7 @@ impl From<Vec<u8>> for Bytes {
     /// Takes ownership of the vec's allocation (no copy); clones of the
     /// resulting `Bytes` all share it.
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes {
-            repr: Repr::Shared(Arc::new(v)),
-        }
+        Bytes::from_owner(v)
     }
 }
 
@@ -299,6 +358,19 @@ pub trait BufMut {
     fn put_i32(&mut self, v: i32) {
         self.put_slice(&v.to_be_bytes());
     }
+
+    /// Appends `cnt` copies of `val` (the real `BufMut::put_bytes`),
+    /// written in stack-sized chunks so padding a frame never allocates
+    /// a scratch vector.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        let chunk = [val; 64];
+        let mut remaining = cnt;
+        while remaining > 0 {
+            let n = remaining.min(chunk.len());
+            self.put_slice(&chunk[..n]);
+            remaining -= n;
+        }
+    }
 }
 
 impl BufMut for BytesMut {
@@ -341,5 +413,68 @@ mod tests {
         let b = Bytes::from_static(b"hello");
         assert_eq!(b.len(), 5);
         assert_eq!(b, Bytes::copy_from_slice(b"hello"));
+    }
+
+    #[test]
+    fn slice_shares_storage() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = b.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        // Same backing allocation, just offset.
+        assert_eq!(unsafe { b.as_ptr().add(2) }, mid.as_ptr());
+        // Slicing a slice composes offsets.
+        let tail = mid.slice(1..);
+        assert_eq!(&tail[..], &[3, 4, 5]);
+        let full = b.slice(..);
+        assert_eq!(full, b);
+    }
+
+    #[test]
+    fn slice_of_static_stays_static() {
+        let b = Bytes::from_static(b"hello world");
+        let word = b.slice(6..);
+        assert_eq!(&word[..], b"world");
+    }
+
+    #[test]
+    #[should_panic(expected = "slice end")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let _ = b.slice(1..9);
+    }
+
+    #[test]
+    fn truncate_shrinks_view_without_copying() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let mut c = b.clone();
+        c.truncate(2);
+        assert_eq!(&c[..], &[1, 2]);
+        // Still the shared allocation (the view shrank, not the storage).
+        assert_eq!(b.as_ptr(), c.as_ptr());
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn from_owner_runs_custom_drop_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Owner(Vec<u8>);
+        impl AsRef<[u8]> for Owner {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        impl Drop for Owner {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let b = Bytes::from_owner(Owner(vec![7u8; 16]));
+        let view = b.slice(4..8);
+        drop(b);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0, "view keeps owner alive");
+        assert_eq!(&view[..], &[7, 7, 7, 7]);
+        drop(view);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
     }
 }

@@ -10,7 +10,74 @@
 
 pub use std::hint::black_box;
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark's summary, recorded for [`write_json_if_requested`].
+struct BenchRecord {
+    group: String,
+    id: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters: u64,
+}
+
+/// Every benchmark reported so far in this process, in run order.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Minimal JSON string escaping for bench group/id names.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// If the `MMCS_BENCH_JSON` environment variable names a file, writes
+/// every benchmark recorded so far to it as a JSON array of
+/// `{group, id, mean_ns, min_ns, max_ns, samples, iters}` objects.
+/// Called automatically by the `criterion_main!` expansion after all
+/// groups have run; a no-op when the variable is unset.
+pub fn write_json_if_requested() {
+    let Ok(path) = std::env::var("MMCS_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut json = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str(&format!(
+            "  {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters\": {}}}",
+            escape_json(&r.group),
+            escape_json(&r.id),
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            r.iters,
+        ));
+    }
+    json.push_str("\n]\n");
+    if let Err(err) = std::fs::write(&path, json) {
+        eprintln!("criterion shim: cannot write {path}: {err}");
+    } else {
+        println!("criterion shim: wrote {} result(s) to {path}", results.len());
+    }
+}
 
 /// How `iter_batched` amortizes setup between measured runs. The shim
 /// always re-runs setup per batch, so the variants only document intent.
@@ -172,6 +239,18 @@ impl BenchmarkGroup<'_> {
             total_iters,
             rate
         );
+        RESULTS
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(BenchRecord {
+                group: self.name.clone(),
+                id: id.to_owned(),
+                mean_ns,
+                min_ns,
+                max_ns,
+                samples: samples.len(),
+                iters: total_iters,
+            });
     }
 
     /// Ends the group (printing happens per bench; kept for API parity).
@@ -248,6 +327,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_if_requested();
         }
     };
 }

@@ -84,7 +84,7 @@ impl Archive {
         }
         // `start()` creates the recording when it flips the flag, so the
         // lookup always hits; a miss would just drop the chunk.
-        if let Some(recording) = self.recordings.get_mut(&chunk.stream) {
+        if let Some(recording) = self.recordings.get_mut(&*chunk.stream) {
             recording.chunks.push(chunk.clone());
         }
     }

@@ -8,6 +8,7 @@
 //! bytes.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::producer::RealChunk;
 use crate::rtsp::{RtspMethod, RtspRequest, RtspResponse, RtspSessionState, SessionState};
@@ -31,13 +32,16 @@ struct Stream {
 #[derive(Debug)]
 struct ClientSession {
     state: RtspSessionState,
-    stream: Option<String>,
+    /// Interned stream name, shared with the `streams` map key.
+    stream: Option<Arc<str>>,
 }
 
 /// The streaming server. See the [module docs](self).
 #[derive(Debug, Default)]
 pub struct HelixServer {
-    streams: HashMap<String, Stream>,
+    /// Keyed by interned name: feeding a chunk re-uses the chunk's own
+    /// `Arc<str>` instead of cloning a `String` per chunk.
+    streams: HashMap<Arc<str>, Stream>,
     clients: HashMap<String, ClientSession>,
     deliveries: Vec<Delivery>,
     next_session: u64,
@@ -56,20 +60,20 @@ impl HelixServer {
 
     /// Declares a stream (producers may also feed undeclared streams,
     /// which auto-create).
-    pub fn add_stream(&mut self, name: impl Into<String>) {
+    pub fn add_stream(&mut self, name: impl Into<Arc<str>>) {
         self.streams.entry(name.into()).or_default();
     }
 
     /// Names of live streams, sorted.
     pub fn stream_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.streams.keys().map(String::as_str).collect();
+        let mut names: Vec<&str> = self.streams.keys().map(|k| &**k).collect();
         names.sort_unstable();
         names
     }
 
     /// Feeds one chunk from a producer; playing clients get deliveries.
     pub fn feed(&mut self, chunk: RealChunk) {
-        let stream = self.streams.entry(chunk.stream.clone()).or_default();
+        let stream = self.streams.entry(Arc::clone(&chunk.stream)).or_default();
         stream.fed += 1;
         stream.recent.push(chunk.clone());
         let retain = self.retain;
@@ -79,7 +83,7 @@ impl HelixServer {
         }
         for (session_id, client) in &self.clients {
             if client.state.state() == SessionState::Playing
-                && client.stream.as_deref() == Some(chunk.stream.as_str())
+                && client.stream.as_deref() == Some(&*chunk.stream)
             {
                 self.deliveries.push(Delivery {
                     session_id: session_id.clone(),
@@ -119,7 +123,13 @@ impl HelixServer {
                 RtspResponse::to_request(request, 200, "OK").with_body("application/sdp", sdp)
             }
             RtspMethod::Setup => {
-                let Some(stream) = self.stream_of_url(&request.url).map(str::to_owned) else {
+                // Intern against the map key so the session shares the
+                // stream's existing name allocation.
+                let Some(stream) = self
+                    .stream_of_url(&request.url)
+                    .and_then(|s| self.streams.get_key_value(s))
+                    .map(|(key, _)| Arc::clone(key))
+                else {
                     return RtspResponse::to_request(request, 404, "Stream Not Found");
                 };
                 self.next_session += 1;

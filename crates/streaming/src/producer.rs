@@ -7,8 +7,11 @@
 //! configurable compression ratio, and hands them to whatever sink is
 //! attached (normally [`crate::helix::HelixServer`]).
 
-use bytes::Bytes;
+use std::sync::Arc;
+
+use bytes::{BufMut, Bytes};
 use mmcs_rtp::packet::{payload_type, RtpPacket};
+use mmcs_util::pool;
 use mmcs_util::time::SimTime;
 
 /// The media class of a chunk.
@@ -24,8 +27,10 @@ pub enum ChunkKind {
 /// (substitute for the proprietary format; see `DESIGN.md` §2).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RealChunk {
-    /// The stream this chunk belongs to.
-    pub stream: String,
+    /// The stream this chunk belongs to. An `Arc<str>`: every chunk of a
+    /// stream (and every delivery of a chunk) shares one name
+    /// allocation instead of cloning a `String` per hop.
+    pub stream: Arc<str>,
     /// Monotonic chunk sequence within the stream.
     pub seq: u64,
     /// Media timestamp in milliseconds from stream start.
@@ -46,7 +51,7 @@ impl RealChunk {
 /// The producer for one stream.
 #[derive(Debug)]
 pub struct RealProducer {
-    stream: String,
+    stream: Arc<str>,
     /// Output bytes per input byte (Real encodes tighter than raw RTP).
     compression: f64,
     seq: u64,
@@ -59,7 +64,7 @@ pub struct RealProducer {
 impl RealProducer {
     /// Creates a producer feeding the named stream at the default 0.85
     /// compression ratio.
-    pub fn new(stream: impl Into<String>) -> Self {
+    pub fn new(stream: impl Into<Arc<str>>) -> Self {
         Self {
             stream: stream.into(),
             compression: 0.85,
@@ -120,17 +125,20 @@ impl RealProducer {
 
     fn encode(&self, parts: &[Bytes]) -> Bytes {
         let total: usize = parts.iter().map(Bytes::len).sum();
-        let out_len = ((total as f64) * self.compression).ceil() as usize;
+        let out_len = (((total as f64) * self.compression).ceil() as usize).max(4);
         // The simulated codec: size changes, content is a tag + fill.
-        let mut data = Vec::with_capacity(out_len);
-        data.extend_from_slice(b"REAL");
-        data.resize(out_len.max(4), 0);
-        Bytes::from(data)
+        // Encoded through the buffer pool, so a steady-state producer
+        // recycles the same few chunk buffers instead of allocating one
+        // per chunk.
+        let mut data = pool::acquire(out_len);
+        data.put_slice(b"REAL");
+        data.put_bytes(0, out_len - 4);
+        data.freeze()
     }
 
     fn push(&mut self, kind: ChunkKind, timestamp_ms: u64, data: Bytes) {
         self.produced.push(RealChunk {
-            stream: self.stream.clone(),
+            stream: Arc::clone(&self.stream),
             seq: self.seq,
             timestamp_ms,
             kind,

@@ -1,7 +1,7 @@
 //! Shared utilities for the Global-MMCS reproduction.
 //!
-//! This crate holds the small, dependency-free building blocks every other
-//! crate in the workspace uses:
+//! This crate holds the small building blocks every other crate in the
+//! workspace uses:
 //!
 //! * [`id`] — strongly-typed numeric identifiers ([`id::UserId`],
 //!   [`id::SessionId`], …) so a user id can never be confused with a
@@ -17,6 +17,9 @@
 //! * [`stats`] — online statistics, histograms and time-series capture
 //!   used by the benchmark harnesses.
 //! * [`rate`] — bandwidth/serialization arithmetic and a token bucket.
+//! * [`pool`] — thread-local size-classed buffer pools backing the
+//!   zero-copy wire path (the one module with a dependency: the vendored
+//!   `bytes` shim, so pooled frames can escape as shared [`bytes::Bytes`]).
 //!
 //! # Examples
 //!
@@ -28,6 +31,7 @@
 //! ```
 
 pub mod id;
+pub mod pool;
 pub mod rate;
 pub mod rng;
 pub mod stats;

@@ -2,7 +2,11 @@
 //! is memoized and the caller's action buffer has grown to the fan-out,
 //! publishing does not touch the heap at all — including with full
 //! telemetry installed (counters and the fan-out histogram are relaxed
-//! atomic increments into preallocated storage).
+//! atomic increments into preallocated storage), and including the wire
+//! encode of every routed event when the frame buffer comes from a warm
+//! buffer pool. An unpooled control phase re-encodes the same events
+//! into fresh `BytesMut` buffers and shows the allocations come back,
+//! so the zero reading measures the pool, not a blind spot.
 //!
 //! This file holds exactly one test so the counting allocator sees no
 //! traffic from sibling tests in the same binary.
@@ -11,12 +15,14 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::Arc;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use mmcs::broker::event::{Event, EventClass};
 use mmcs::broker::metrics::BrokerMetrics;
 use mmcs::broker::node::{Action, BrokerNode, Input, Origin};
 use mmcs::broker::topic::{Topic, TopicFilter};
+use mmcs::broker::wire;
 use mmcs_util::id::{BrokerId, ClientId};
+use mmcs_util::pool;
 
 struct CountingAlloc;
 
@@ -136,4 +142,68 @@ fn warm_publish_allocates_nothing() {
     assert_eq!(metrics.route_cache_hits.get(), PUBLISHES);
     assert_eq!(metrics.events_in.get(), PUBLISHES + 1);
     assert_eq!(metrics.fanout.snapshot().count(), PUBLISHES + 1);
+
+    // Phase 2 — publish → deliver → wire-encode, pooled. One warm-up
+    // encode charges the pool's one-time class allocation; after that,
+    // acquire → encode_into → drop recycles the same buffer and the
+    // whole loop stays off the heap. (Plain drop, not `freeze`: the
+    // shared-`Bytes` handle costs one `Arc`, which belongs on the
+    // cross-thread hand-off path, not in this proof.)
+    {
+        let mut warm = pool::acquire(wire::encoded_len(&event));
+        wire::encode_into(&event, &mut warm);
+        drop(warm);
+    }
+    let pool_before = pool::stats();
+    let before = thread_allocs();
+    for _ in 0..PUBLISHES {
+        actions.clear();
+        node.handle_into(
+            Input::Publish {
+                origin: Origin::Client(publisher),
+                event: Arc::clone(&event),
+            },
+            &mut actions,
+        )
+        .unwrap();
+        assert_eq!(actions.len(), FANOUT);
+        let mut frame = pool::acquire(wire::encoded_len(&event));
+        wire::encode_into(&event, &mut frame);
+        assert_eq!(frame.len(), wire::encoded_len(&event));
+        drop(frame);
+    }
+    let after = thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "warm publish→deliver→wire-encode path must not allocate \
+         ({} allocations across {} publishes)",
+        after - before,
+        PUBLISHES,
+    );
+    let pool_after = pool::stats();
+    assert_eq!(
+        pool_after.hits - pool_before.hits,
+        PUBLISHES,
+        "every encode was served from the warm free list"
+    );
+    assert_eq!(pool_after.misses, pool_before.misses);
+
+    // Phase 3 — control: the same encode into a fresh `BytesMut` per
+    // publish. If the counting allocator were blind to this path the
+    // zero above would be meaningless; instead every iteration's buffer
+    // shows up.
+    let before = thread_allocs();
+    for _ in 0..PUBLISHES {
+        let mut frame = BytesMut::with_capacity(wire::encoded_len(&event));
+        wire::encode_into(&event, &mut frame);
+        assert_eq!(frame.len(), wire::encoded_len(&event));
+    }
+    let after = thread_allocs();
+    assert!(
+        after - before >= PUBLISHES,
+        "unpooled control must allocate per publish (saw {} across {})",
+        after - before,
+        PUBLISHES,
+    );
 }
