@@ -9,24 +9,36 @@
 //!
 //! | lint | guarantees |
 //! |------|------------|
-//! | `no-unwrap-in-lib` | service crates never `.unwrap()`/`.expect()`/`panic!` outside tests |
+//! | `panic-reachable-hot-path` | no `.unwrap()`/`.expect()`/`panic!`/dynamic indexing reachable from the hot-path roots |
+//! | `lock-order-cycle` | the static lock acquisition-order graph is acyclic |
+//! | `blocking-in-shard-worker` | no blocking call reachable from a shard-worker loop outside the ingress drain |
 //! | `no-std-sync-locks` | every lock goes through the instrumented `parking_lot` shim |
 //! | `no-direct-instant-now` | no wall-clock reads outside `util::time` (determinism) |
 //! | `pub-item-doc-coverage` | `broker` and `xgsp` public items are documented |
 //! | `shim-api-drift` | vendored shims export nothing the workspace does not use |
 //!
-//! The engine is deliberately dependency-free: a masking scanner
-//! ([`scan`]) blanks comments/strings and computes `#[cfg(test)]` and
-//! `macro_rules!` regions, and each lint ([`lints`]) is a scoped
-//! substring scan over that clean view. Deliberate violations live in a
-//! checked-in [`allowlist`] (`analyze.allow`) whose entries require a
-//! justification and go stale (error) the moment the code they cover
-//! changes.
+//! The engine is deliberately dependency-free and has two layers. The
+//! line layer is a masking scanner ([`scan`]) that blanks
+//! comments/strings and computes `#[cfg(test)]` and `macro_rules!`
+//! regions; each line lint ([`lints`]) is a scoped substring scan over
+//! that clean view. The token layer is a hand-rolled Rust lexer
+//! ([`lexer`]), a function-level parser ([`parse`]), and an
+//! intra-workspace call graph ([`callgraph`]); the call-graph passes
+//! ([`passes`]) judge *reachability* over that IR instead of lines in
+//! isolation. Deliberate violations live in a checked-in [`allowlist`]
+//! (`analyze.allow`) whose entries require a justification and go stale
+//! (error) the moment the code they cover changes.
 //!
-//! Run it as `cargo run -p mmcs-analyze -- check`.
+//! Run it as `cargo run -p mmcs-analyze -- check`; `-- graph --dot`
+//! emits the call graph and the static lock-order graph in Graphviz
+//! format.
 
 pub mod allowlist;
+pub mod callgraph;
+pub mod lexer;
 pub mod lints;
+pub mod parse;
+pub mod passes;
 pub mod scan;
 
 use std::fs;
@@ -70,7 +82,21 @@ pub fn lint_sources(sources: &[(&str, &str)]) -> Vec<Violation> {
         .iter()
         .map(|(path, content)| SourceFile::parse(path, content))
         .collect();
-    lints::run_all(&files)
+    run_lints_and_passes(&files)
+}
+
+/// Runs the line lints and the call-graph passes over one file set,
+/// merged and sorted by path, line, lint.
+fn run_lints_and_passes(files: &[SourceFile]) -> Vec<Violation> {
+    let mut violations = lints::run_all(files);
+    violations.extend(passes::run_all(files));
+    violations.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.lint.cmp(b.lint))
+    });
+    violations
 }
 
 /// Applies an allowlist (by text) to a violation set, returning
@@ -97,21 +123,8 @@ pub fn apply_allowlist(
 ///
 /// Returns any I/O error encountered while walking or reading sources.
 pub fn check_workspace(root: &Path) -> io::Result<Report> {
-    let mut paths = Vec::new();
-    for top in ["crates", "src", "tests", "examples"] {
-        let dir = root.join(top);
-        if dir.is_dir() {
-            collect_rs(&dir, &mut paths)?;
-        }
-    }
-    paths.sort();
-    let mut files = Vec::with_capacity(paths.len());
-    for path in &paths {
-        let content = fs::read_to_string(path)?;
-        let rel = relative_slash(root, path);
-        files.push(SourceFile::parse(&rel, &content));
-    }
-    let violations = lints::run_all(&files);
+    let files = load_workspace(root)?;
+    let violations = run_lints_and_passes(&files);
     let allow_path = root.join(ALLOWLIST_FILE);
     let allow_text = if allow_path.is_file() {
         fs::read_to_string(&allow_path)?
@@ -126,6 +139,40 @@ pub fn check_workspace(root: &Path) -> io::Result<Report> {
         allowlist_errors,
         files_scanned: files.len(),
     })
+}
+
+/// Reads every workspace `.rs` file under `root` into [`SourceFile`]s,
+/// in sorted path order (the same file set `check_workspace` lints).
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let content = fs::read_to_string(path)?;
+        let rel = relative_slash(root, path);
+        files.push(SourceFile::parse(&rel, &content));
+    }
+    Ok(files)
+}
+
+/// Builds the call graph and the static lock-order graph for the
+/// workspace at `root` and returns their Graphviz DOT renderings as
+/// `(call_graph, lock_order_graph)`.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking or reading sources.
+pub fn graph_dot(root: &Path) -> io::Result<(String, String)> {
+    let sources = load_workspace(root)?;
+    let ws = passes::Workspace::build(&sources);
+    let lock = passes::lock_order::build(&ws.files, &ws.graph);
+    Ok((ws.graph.to_dot(&ws.files), lock.to_dot(&ws.files)))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

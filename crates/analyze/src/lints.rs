@@ -9,7 +9,7 @@ use crate::scan::{contains_word, normalize_ws, SourceFile};
 /// One diagnostic produced by a lint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Stable lint name, e.g. `no-unwrap-in-lib`.
+    /// Stable lint name, e.g. `no-std-sync-locks`.
     pub lint: &'static str,
     /// Workspace-relative path of the offending file.
     pub path: String,
@@ -22,7 +22,7 @@ pub struct Violation {
 }
 
 impl Violation {
-    fn new(lint: &'static str, file: &SourceFile, idx: usize, message: String) -> Violation {
+    pub(crate) fn new(lint: &'static str, file: &SourceFile, idx: usize, message: String) -> Violation {
         Violation {
             lint,
             path: file.path.clone(),
@@ -32,20 +32,6 @@ impl Violation {
         }
     }
 }
-
-/// Crates whose library code must be panic-free (`no-unwrap-in-lib`).
-pub const PANIC_FREE_CRATES: &[&str] = &[
-    "broker",
-    "telemetry",
-    "xgsp",
-    "sip",
-    "h323",
-    "directory",
-    "streaming",
-    "im",
-    "admire",
-    "core",
-];
 
 /// Crates whose public items must be documented (`pub-item-doc-coverage`).
 pub const DOC_COVERED_CRATES: &[&str] = &["broker", "telemetry", "xgsp"];
@@ -68,9 +54,12 @@ pub const HOT_PATH_MODULES: &[&str] = &[
     "crates/streaming/src/producer.rs",
 ];
 
-/// All lint names, in reporting order.
+/// All lint names, in reporting order. The first three are the
+/// call-graph passes in [`crate::passes`]; the rest are line lints.
 pub const LINT_NAMES: &[&str] = &[
-    "no-unwrap-in-lib",
+    "panic-reachable-hot-path",
+    "lock-order-cycle",
+    "blocking-in-shard-worker",
     "no-std-sync-locks",
     "no-direct-instant-now",
     "no-hot-path-payload-copy",
@@ -101,7 +90,6 @@ fn is_first_party_lib(path: &str) -> bool {
 pub fn run_all(files: &[SourceFile]) -> Vec<Violation> {
     let mut out = Vec::new();
     for file in files {
-        no_unwrap_in_lib(file, &mut out);
         no_std_sync_locks(file, &mut out);
         no_direct_instant_now(file, &mut out);
         no_hot_path_payload_copy(file, &mut out);
@@ -115,43 +103,6 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Violation> {
             .then(a.lint.cmp(b.lint))
     });
     out
-}
-
-/// `no-unwrap-in-lib`: `.unwrap()`, `.expect(`, and `panic!` are forbidden
-/// in non-test library code of the long-running service crates. Fallible
-/// paths must return `Result`; deliberate invariants go through
-/// `expect("<invariant>")` *plus* an allowlist entry with a justification.
-fn no_unwrap_in_lib(file: &SourceFile, out: &mut Vec<Violation>) {
-    if !in_crate_src(&file.path, PANIC_FREE_CRATES) {
-        return;
-    }
-    for (i, line) in file.masked.iter().enumerate() {
-        if file.in_test[i] || file.in_macro[i] {
-            continue;
-        }
-        for (pattern, what) in [
-            (".unwrap()", "`.unwrap()`"),
-            (".expect(", "`.expect(..)`"),
-            ("panic!", "`panic!`"),
-        ] {
-            let hit = if pattern == "panic!" {
-                contains_word(line, "panic!")
-            } else {
-                line.contains(pattern)
-            };
-            if hit {
-                out.push(Violation::new(
-                    "no-unwrap-in-lib",
-                    file,
-                    i,
-                    format!(
-                        "{what} in library code; return Result or state the invariant \
-                         and allowlist it"
-                    ),
-                ));
-            }
-        }
-    }
 }
 
 /// `no-std-sync-locks`: first-party code must use the instrumented
@@ -515,36 +466,6 @@ mod tests {
 
     fn lints_of(v: &[Violation]) -> Vec<(&'static str, usize)> {
         v.iter().map(|x| (x.lint, x.line)).collect()
-    }
-
-    #[test]
-    fn unwrap_flagged_only_in_lib_code() {
-        let f = parse(
-            "crates/broker/src/x.rs",
-            "pub fn f() { g().unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { g().unwrap(); }\n}\n",
-        );
-        let mut out = Vec::new();
-        no_unwrap_in_lib(&f, &mut out);
-        assert_eq!(lints_of(&out), vec![("no-unwrap-in-lib", 1)]);
-    }
-
-    #[test]
-    fn unwrap_or_variants_not_flagged() {
-        let f = parse(
-            "crates/broker/src/x.rs",
-            "fn f() { g().unwrap_or_default(); h().unwrap_or_else(|| 1); }\n",
-        );
-        let mut out = Vec::new();
-        no_unwrap_in_lib(&f, &mut out);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn out_of_scope_crate_not_flagged() {
-        let f = parse("crates/util/src/x.rs", "fn f() { g().unwrap(); }\n");
-        let mut out = Vec::new();
-        no_unwrap_in_lib(&f, &mut out);
-        assert!(out.is_empty());
     }
 
     #[test]

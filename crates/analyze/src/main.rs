@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run -p mmcs-analyze -- check [--root DIR] [--emit-allow]
+//! cargo run -p mmcs-analyze -- graph [--root DIR] [--dot DIR]
 //! ```
 //!
 //! `check` scans the workspace, applies `analyze.allow`, and prints
@@ -9,21 +10,29 @@
 //! means violations / stale allowlist entries, 2 means usage or I/O
 //! error. `--emit-allow` additionally prints ready-to-paste allowlist
 //! lines (with `TODO justify` placeholders) for every open violation.
+//!
+//! `graph` builds the token-level IR and prints the intra-workspace
+//! call graph and the static lock-order graph in Graphviz DOT format
+//! (to stdout, separated by a blank line); `--dot DIR` writes them to
+//! `DIR/callgraph.dot` and `DIR/lock_order.dot` instead — the CI
+//! `analyze` job uploads those as artifacts.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mmcs_analyze::{allowlist, check_workspace, ALLOWLIST_FILE};
+use mmcs_analyze::{allowlist, check_workspace, graph_dot, ALLOWLIST_FILE};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = None;
     let mut root = PathBuf::from(".");
     let mut emit_allow = false;
+    let mut dot_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "check" if command.is_none() => command = Some("check"),
+            "graph" if command.is_none() => command = Some("graph"),
             "--root" => {
                 i += 1;
                 match args.get(i) {
@@ -32,13 +41,20 @@ fn main() -> ExitCode {
                 }
             }
             "--emit-allow" => emit_allow = true,
+            "--dot" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => dot_dir = Some(PathBuf::from(dir)),
+                    None => return usage("--dot requires a directory"),
+                }
+            }
             other => return usage(&format!("unknown argument `{other}`")),
         }
         i += 1;
     }
-    if command != Some("check") {
-        return usage("expected the `check` subcommand");
-    }
+    let Some(command) = command else {
+        return usage("expected the `check` or `graph` subcommand");
+    };
     if !root.join("Cargo.toml").is_file() {
         eprintln!(
             "mmcs-analyze: {} does not look like the workspace root (no Cargo.toml); \
@@ -46,6 +62,10 @@ fn main() -> ExitCode {
             root.display()
         );
         return ExitCode::from(2);
+    }
+
+    if command == "graph" {
+        return run_graph(&root, dot_dir.as_deref());
     }
 
     let report = match check_workspace(&root) {
@@ -91,8 +111,40 @@ fn main() -> ExitCode {
     }
 }
 
+fn run_graph(root: &std::path::Path, dot_dir: Option<&std::path::Path>) -> ExitCode {
+    let (calls, locks) = match graph_dot(root) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("mmcs-analyze: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match dot_dir {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(dir.join("callgraph.dot"), &calls))
+                .and_then(|()| std::fs::write(dir.join("lock_order.dot"), &locks))
+            {
+                eprintln!("mmcs-analyze: I/O error writing DOT files: {e}");
+                return ExitCode::from(2);
+            }
+            println!(
+                "mmcs-analyze: wrote {} and {}",
+                dir.join("callgraph.dot").display(),
+                dir.join("lock_order.dot").display()
+            );
+        }
+        None => {
+            println!("{calls}");
+            println!("{locks}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn usage(problem: &str) -> ExitCode {
     eprintln!("mmcs-analyze: {problem}");
     eprintln!("usage: mmcs-analyze check [--root DIR] [--emit-allow]");
+    eprintln!("       mmcs-analyze graph [--root DIR] [--dot DIR]");
     ExitCode::from(2)
 }

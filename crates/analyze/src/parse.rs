@@ -1,0 +1,366 @@
+//! A lightweight item parser over the lexed token stream.
+//!
+//! This is not an AST: the passes only need to know **which functions
+//! exist, what type they belong to, and which token range is their
+//! body** — enough to build an intra-workspace call graph. The parser
+//! walks the token stream once, tracking brace depth, the enclosing
+//! `impl` type, and `macro_rules!` bodies (skipped entirely: macro
+//! matchers are not Rust expressions), and records a [`FnDef`] per
+//! function with a brace-matched body range.
+//!
+//! Resolution subtleties handled here:
+//!
+//! * `impl<'a> WireEvent<'a> { .. }` and `impl fmt::Display for Foo`
+//!   both yield the *self type* (`WireEvent`, `Foo`) — the last
+//!   identifier at angle-depth 0 before the opening brace.
+//! * Trait method declarations without bodies (`fn f(&self);`) get no
+//!   body range and therefore no call-graph edges.
+//! * `const`/`static` item names are collected per file; the panic pass
+//!   uses the workspace-wide set to tell constant-offset indexing
+//!   (`frame[OFF_SEQ]`) from dynamic indexing (`links[target]`).
+
+use std::ops::Range;
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::scan::SourceFile;
+
+/// One function (or method) found in a file.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// Enclosing `impl` self type, if any (`BrokerNode` for methods).
+    pub self_type: Option<String>,
+    /// Trait being implemented, for `impl Trait for Type` blocks
+    /// (`Sub`, `Display`). The call-graph resolver uses this to keep
+    /// operator-trait methods out of `.method(..)` name resolution.
+    pub trait_name: Option<String>,
+    /// Whether the parameter list starts with a `self` receiver.
+    pub has_self: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body, *excluding* the outer braces.
+    /// Empty for bodiless declarations.
+    pub body: Range<usize>,
+    /// Whether the function sits inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// A file parsed to the function level: source model, token stream,
+/// functions, and `const`/`static` item names.
+#[derive(Debug, Clone)]
+pub struct ParsedFile {
+    /// The line-level source model (path, raw lines, regions).
+    pub src: SourceFile,
+    /// The full token stream.
+    pub toks: Vec<Tok>,
+    /// Every function found, in source order.
+    pub fns: Vec<FnDef>,
+    /// Names of `const` and `static` items declared in this file.
+    pub consts: Vec<String>,
+}
+
+/// Parses one file to the function level.
+pub fn parse_file(src: SourceFile) -> ParsedFile {
+    let source = src.raw.join("\n");
+    let toks = lex(&source);
+    let mut fns = Vec::new();
+    let mut consts = Vec::new();
+
+    // Stack of (brace depth *inside* the impl block, self type, trait).
+    let mut impl_stack: Vec<(i64, Option<String>, Option<String>)> = Vec::new();
+    let mut depth: i64 = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct if t.text == "{" => {
+                depth += 1;
+                i += 1;
+            }
+            TokKind::Punct if t.text == "}" => {
+                depth -= 1;
+                while impl_stack.last().is_some_and(|(d, _, _)| *d > depth) {
+                    impl_stack.pop();
+                }
+                i += 1;
+            }
+            TokKind::Ident if t.text == "macro_rules" && toks.get(i + 1).is_some_and(|n| n.is_punct("!")) => {
+                // Skip the whole definition: name, then the balanced
+                // braces of the body.
+                i += 2;
+                while i < toks.len() && !toks[i].is_punct("{") {
+                    i += 1;
+                }
+                i = skip_balanced(&toks, i, "{", "}");
+            }
+            TokKind::Ident if t.text == "impl" => {
+                let (trait_name, self_type, at_brace) = parse_impl_header(&toks, i + 1);
+                i = at_brace;
+                if toks.get(i).is_some_and(|t| t.is_punct("{")) {
+                    depth += 1;
+                    impl_stack.push((depth, self_type, trait_name));
+                    i += 1;
+                }
+            }
+            TokKind::Ident if t.text == "fn" => {
+                let prev_is_ident = i > 0 && toks[i - 1].kind == TokKind::Ident;
+                // `fn` as a type (`Fn`/`fn(u32)`) still reads as `fn` +
+                // punct; a real item has an identifier name next.
+                let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                // `pub const fn`, `unsafe fn` etc. all end with `fn name`.
+                let _ = prev_is_ident;
+                let name = name_tok.text.clone();
+                let line = toks[i].line;
+                let (has_self, after_params) = parse_params(&toks, i + 2);
+                let body = fn_body_range(&toks, after_params);
+                let is_test = src
+                    .in_test
+                    .get(line as usize - 1)
+                    .copied()
+                    .unwrap_or(false);
+                fns.push(FnDef {
+                    name,
+                    self_type: impl_stack.last().and_then(|(_, t, _)| t.clone()),
+                    trait_name: impl_stack.last().and_then(|(_, _, tr)| tr.clone()),
+                    has_self,
+                    line,
+                    body: body.clone(),
+                    is_test,
+                });
+                // Continue scanning *inside* the body so nested items
+                // (rare, but possible) are still found; brace tracking
+                // continues naturally.
+                i += 2;
+            }
+            TokKind::Ident if (t.text == "const" || t.text == "static") => {
+                // `const NAME: ...` / `static NAME: ...`; skip `const fn`
+                // (handled by the `fn` arm) and `*const T` pointers.
+                let prev_is_star = i > 0 && toks[i - 1].is_punct("*");
+                if let Some(name_tok) = toks.get(i + 1) {
+                    let next_is_item = name_tok.kind == TokKind::Ident
+                        && name_tok.text != "fn"
+                        && name_tok.text != "mut"
+                        && !prev_is_star;
+                    if next_is_item && toks.get(i + 2).is_some_and(|t| t.is_punct(":")) {
+                        consts.push(name_tok.text.clone());
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    ParsedFile {
+        src,
+        toks,
+        fns,
+        consts,
+    }
+}
+
+/// Parses tokens after `impl`: skips generics, then finds the self type
+/// — the last identifier at angle-depth 0 before the opening brace
+/// (after `for`, if present) — and, for `impl Trait for Type`, the
+/// trait name (the last identifier before `for`). Returns
+/// `(trait_name, self_type, index_of_brace)`.
+fn parse_impl_header(toks: &[Tok], mut i: usize) -> (Option<String>, Option<String>, usize) {
+    let mut angle: i64 = 0;
+    let mut last_ident: Option<String> = None;
+    let mut trait_name: Option<String> = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct if t.text == "<" => angle += 1,
+            TokKind::Punct if t.text == ">" => angle -= 1,
+            TokKind::Punct if t.text == "{" && angle <= 0 => break,
+            TokKind::Punct if t.text == ";" => break, // `impl Trait for T;`? defensive
+            TokKind::Ident if angle <= 0 && t.text == "for" => {
+                trait_name = last_ident.take();
+            }
+            TokKind::Ident if angle <= 0 && t.text != "where" => {
+                last_ident = Some(t.text.clone());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (trait_name, last_ident, i)
+}
+
+/// Scans a parameter list starting at (or just before) its `(`. Returns
+/// whether the first parameter is a `self` receiver and the index just
+/// past the closing `)`.
+fn parse_params(toks: &[Tok], mut i: usize) -> (bool, usize) {
+    // Skip generics between the name and `(`.
+    let mut angle: i64 = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if t.is_punct("(") && angle <= 0 {
+            break;
+        } else if (t.is_punct("{") || t.is_punct(";")) && angle <= 0 {
+            return (false, i); // malformed; bail before the body
+        }
+        i += 1;
+    }
+    let open = i;
+    let close = skip_balanced(toks, open, "(", ")");
+    // `self` appears before the first top-level comma iff this is a
+    // method (`&self`, `&'a mut self`, `self`, `mut self: Pin<..>`).
+    let mut has_self = false;
+    let mut depth = 0i64;
+    for t in toks.iter().take(close.saturating_sub(1)).skip(open + 1) {
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        } else if t.is_punct(",") && depth == 0 {
+            break;
+        } else if t.kind == TokKind::Ident && t.text == "self" {
+            has_self = true;
+            break;
+        }
+    }
+    (has_self, close)
+}
+
+/// From the end of a parameter list, finds the body braces (skipping a
+/// return type and `where` clause) and returns the inner token range.
+/// A `;` first means no body.
+fn fn_body_range(toks: &[Tok], mut i: usize) -> Range<usize> {
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            let close = skip_balanced(toks, i, "{", "}");
+            return (i + 1)..close.saturating_sub(1);
+        }
+        if t.is_punct(";") {
+            return 0..0;
+        }
+        i += 1;
+    }
+    0..0
+}
+
+/// Given `toks[open]` is `open_text`, returns the index just past the
+/// matching close token.
+fn skip_balanced(toks: &[Tok], open: usize, open_text: &str, close_text: &str) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct(open_text) {
+            depth += 1;
+        } else if t.is_punct(close_text) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(path: &str, src: &str) -> ParsedFile {
+        parse_file(SourceFile::parse(path, src))
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_classified() {
+        let f = parse(
+            "x.rs",
+            "fn free(a: u32) -> u32 { a }\n\
+             struct S;\n\
+             impl S {\n    fn method(&self) {}\n    fn assoc() -> S { S }\n}\n\
+             impl std::fmt::Display for S {\n    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }\n}\n",
+        );
+        let names: Vec<(&str, Option<&str>, bool)> = f
+            .fns
+            .iter()
+            .map(|d| (d.name.as_str(), d.self_type.as_deref(), d.has_self))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None, false),
+                ("method", Some("S"), true),
+                ("assoc", Some("S"), false),
+                ("fmt", Some("S"), true),
+            ]
+        );
+        assert_eq!(f.fns[3].trait_name.as_deref(), Some("Display"));
+        assert_eq!(f.fns[1].trait_name, None);
+    }
+
+    #[test]
+    fn impl_header_with_generics_and_for() {
+        let f = parse(
+            "x.rs",
+            "impl<'a, T: Clone> Wrapper<'a, T> {\n    fn get(&self) {}\n}\n\
+             impl<T> From<T> for Box<T> {\n    fn from(t: T) -> Box<T> { Box::new(t) }\n}\n",
+        );
+        assert_eq!(f.fns[0].self_type.as_deref(), Some("Wrapper"));
+        assert_eq!(f.fns[1].self_type.as_deref(), Some("Box"));
+    }
+
+    #[test]
+    fn body_ranges_are_brace_matched() {
+        let f = parse(
+            "x.rs",
+            "fn outer() {\n    if x { y(); } else { z(); }\n}\nfn next() {}\n",
+        );
+        let outer = &f.fns[0];
+        let body: Vec<&str> = f.toks[outer.body.clone()].iter().map(|t| t.text.as_str()).collect();
+        assert!(body.contains(&"y"));
+        assert!(body.contains(&"z"));
+        assert!(!body.contains(&"next"));
+    }
+
+    #[test]
+    fn bodiless_trait_methods_have_empty_bodies() {
+        let f = parse("x.rs", "trait T {\n    fn must(&self) -> u32;\n    fn has(&self) -> u32 { 1 }\n}\n");
+        assert!(f.fns[0].body.is_empty());
+        assert!(!f.fns[1].body.is_empty());
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_skipped() {
+        let f = parse(
+            "x.rs",
+            "macro_rules! m {\n    () => { fn phantom() {} };\n}\nfn real() {}\n",
+        );
+        let names: Vec<&str> = f.fns.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn const_and_static_names_collected() {
+        let f = parse(
+            "x.rs",
+            "pub const OFF_SEQ: usize = 16;\nstatic HITS: u64 = 0;\nconst fn not_an_item() {}\nfn f(p: *const u8) {}\n",
+        );
+        assert_eq!(f.consts, vec!["OFF_SEQ", "HITS"]);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let f = parse(
+            "x.rs",
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n",
+        );
+        assert!(!f.fns[0].is_test);
+        assert!(f.fns[1].is_test);
+    }
+}

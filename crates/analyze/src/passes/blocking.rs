@@ -1,0 +1,146 @@
+//! `blocking-in-shard-worker`: blocking operations reachable from a
+//! shard-worker loop.
+//!
+//! A shard worker owns a slice of the topic space; anything that parks
+//! its thread — a blocking channel receive, `thread::sleep`, a join, a
+//! condvar wait, file IO — stalls every topic on the shard and shows up
+//! as tail latency in the Figure-3 curves. The only sanctioned blocking
+//! point is the worker's own ingress drain: the `.recv()` inside
+//! `ShardWorker::run` that parks the worker when its queue is empty.
+//! Everything else reachable from the loop body is a finding.
+
+use crate::lexer::TokKind;
+use crate::lints::Violation;
+
+use super::Workspace;
+
+/// The lint name this pass reports under.
+pub const LINT: &str = "blocking-in-shard-worker";
+
+/// The worker-loop roots: `(path suffix, self type, fn name)`.
+pub const ROOTS: &[(&str, &str, &str)] = &[("crates/broker/src/sharded.rs", "ShardWorker", "run")];
+
+/// The check pass: BFS from the worker loop, scan every reachable body
+/// for blocking constructs, and skip the sanctioned ingress `.recv()`
+/// in the root itself.
+pub fn check(ws: &Workspace, out: &mut Vec<Violation>) {
+    let roots: Vec<usize> = (0..ws.graph.nodes.len())
+        .filter(|&id| {
+            let n = &ws.graph.nodes[id];
+            let f = &ws.files[n.file];
+            let d = &f.fns[n.def];
+            ROOTS.iter().any(|&(path, ty, name)| {
+                f.src.path.ends_with(path) && d.name == name && d.self_type.as_deref() == Some(ty)
+            })
+        })
+        .collect();
+    let parent = ws.graph.reach(&roots);
+    let mut ids: Vec<_> = parent.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let node = &ws.graph.nodes[id];
+        let file = &ws.files[node.file];
+        let def = &file.fns[node.def];
+        let is_root = roots.contains(&id);
+        let toks = &file.toks;
+        for i in def.body.clone() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let prev_dot = i >= 1 && toks[i - 1].is_punct(".");
+            let prev_path = i >= 1 && toks[i - 1].is_punct("::");
+            let next_open = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+            let empty_args = next_open && toks.get(i + 2).is_some_and(|n| n.is_punct(")"));
+            let what: Option<&str> = match t.text.as_str() {
+                // The sanctioned ingress drain: `self.ingress.recv()`
+                // inside the worker loop itself parks the worker when
+                // the shard is idle — that is the design, not a stall.
+                "recv" if prev_dot && empty_args => {
+                    if is_root {
+                        None
+                    } else {
+                        Some("a blocking channel `.recv()`")
+                    }
+                }
+                "recv_timeout" if prev_dot && next_open => {
+                    Some("a blocking `.recv_timeout(..)`")
+                }
+                "sleep"
+                    if prev_path && i >= 2 && toks[i - 2].is_ident("thread") =>
+                {
+                    Some("`thread::sleep`")
+                }
+                "join" if prev_dot && empty_args => Some("a thread `.join()`"),
+                "wait" if prev_dot && next_open => Some("a condvar `.wait(..)`"),
+                "fs" if toks.get(i + 1).is_some_and(|n| n.is_punct("::")) => {
+                    Some("file IO (`fs::..`)")
+                }
+                _ => None,
+            };
+            if let Some(what) = what {
+                out.push(Violation::new(
+                    LINT,
+                    &file.src,
+                    t.line as usize - 1,
+                    format!(
+                        "{} reachable from the shard-worker loop: {} — a stalled \
+                         worker stalls every topic on its shard",
+                        what,
+                        ws.graph.chain(&ws.files, &parent, id)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<usize> {
+        let files: Vec<SourceFile> = srcs.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+        let ws = Workspace::build(&files);
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        out.into_iter().map(|v| v.line).collect()
+    }
+
+    #[test]
+    fn ingress_recv_in_the_loop_is_sanctioned() {
+        let hits = run(&[(
+            "crates/broker/src/sharded.rs",
+            "struct ShardWorker;\nimpl ShardWorker {\n    fn run(&self) {\n        self.ingress.recv();\n        self.ingress.try_recv();\n    }\n}\n",
+        )]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn sleep_reachable_from_the_loop_is_flagged() {
+        let hits = run(&[(
+            "crates/broker/src/sharded.rs",
+            "struct ShardWorker;\nimpl ShardWorker {\n    fn run(&self) {\n        self.step();\n    }\n    fn step(&self) {\n        std::thread::sleep(std::time::Duration::from_millis(1));\n    }\n}\n",
+        )]);
+        assert_eq!(hits, vec![7]);
+    }
+
+    #[test]
+    fn recv_outside_the_root_is_flagged() {
+        let hits = run(&[(
+            "crates/broker/src/sharded.rs",
+            "struct ShardWorker;\nimpl ShardWorker {\n    fn run(&self) {\n        self.drain();\n    }\n    fn drain(&self) {\n        self.ingress.recv();\n    }\n}\n",
+        )]);
+        assert_eq!(hits, vec![7]);
+    }
+
+    #[test]
+    fn unreachable_blocking_code_is_silent() {
+        let hits = run(&[(
+            "crates/broker/src/sharded.rs",
+            "struct ShardWorker;\nimpl ShardWorker {\n    fn run(&self) {}\n}\nfn shutdown(h: std::thread::JoinHandle<()>) {\n    h.join();\n}\n",
+        )]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+}

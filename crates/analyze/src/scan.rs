@@ -304,9 +304,7 @@ fn block_regions(masked: &[String], kind: RegionKind) -> Vec<bool> {
         let mut line_in = region.is_some();
         if region.is_none() {
             let triggered = match kind {
-                RegionKind::CfgTest => {
-                    trimmed.starts_with("#[cfg(") && contains_word(trimmed, "test")
-                }
+                RegionKind::CfgTest => cfg_test_trigger(trimmed),
                 RegionKind::MacroRules => contains_word(trimmed, "macro_rules"),
             };
             if triggered {
@@ -346,6 +344,54 @@ fn block_regions(masked: &[String], kind: RegionKind) -> Vec<bool> {
             }
         }
         out.push(line_in || region.is_some());
+    }
+    out
+}
+
+/// Whether a masked line starts a `#[cfg(test)]`-gated region. The
+/// attribute may sit after other attributes on the same line
+/// (`#[allow(dead_code)] #[cfg(test)]`), so this searches for `#[cfg(`
+/// anywhere rather than only at the start; and `test` inside a
+/// `not(..)` group (`#[cfg(not(test))]`, `#[cfg(all(not(test), ..))]`)
+/// gates *non*-test code, so negated groups are stripped before the
+/// word check while `any(test, ..)`/`all(test, ..)` still trigger.
+fn cfg_test_trigger(line: &str) -> bool {
+    let Some(start) = line.find("#[cfg(") else {
+        return false;
+    };
+    contains_word(&strip_not_groups(&line[start..]), "test")
+}
+
+/// Removes every balanced `not(..)` group from `s`.
+fn strip_not_groups(s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let at_not = chars[i] == 'n'
+            && chars.get(i + 1) == Some(&'o')
+            && chars.get(i + 2) == Some(&'t')
+            && chars.get(i + 3) == Some(&'(')
+            && (i == 0 || !(chars[i - 1].is_alphanumeric() || chars[i - 1] == '_'));
+        if at_not {
+            let mut depth = 0i64;
+            let mut j = i + 3;
+            while j < chars.len() {
+                if chars[j] == '(' {
+                    depth += 1;
+                } else if chars[j] == ')' {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
     }
     out
 }
@@ -409,6 +455,48 @@ mod tests {
         let src = "macro_rules! m {\n    () => { pub fn hidden() {} };\n}\npub fn real() {}\n";
         let f = SourceFile::parse("x.rs", src);
         assert_eq!(f.in_macro, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn nested_block_comments_mask_to_the_outer_close() {
+        let src = "/* outer /* inner */ still.unwrap() */\nlet x = 1;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.masked[0].contains("unwrap"), "{:?}", f.masked[0]);
+        assert!(f.masked[1].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn hashed_raw_strings_inside_macro_rules_do_not_derail_masking() {
+        let src = "macro_rules! m {\n    () => { r##\"quote \" panic! }\"## };\n}\nfn real() { foo.unwrap(); }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.masked[1].contains("panic"), "{:?}", f.masked[1]);
+        // The `}` inside the raw string must not close the macro region.
+        assert_eq!(f.in_macro, vec![true, true, true, false]);
+        assert!(f.masked[3].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn cfg_test_after_other_attributes_on_one_line_is_a_region() {
+        let src = "#[allow(dead_code)] #[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn real() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.in_test, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nmod prod {\n    fn a() {}\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.in_test, vec![false, false, false, false]);
+    }
+
+    #[test]
+    fn cfg_any_and_all_with_test_still_trigger() {
+        let f = SourceFile::parse("x.rs", "#[cfg(any(test, feature = \"x\"))]\nmod t {\n}\n");
+        assert_eq!(f.in_test, vec![true, true, true]);
+        let g = SourceFile::parse("x.rs", "#[cfg(all(test, unix))]\nmod t {\n}\n");
+        assert_eq!(g.in_test, vec![true, true, true]);
+        let h = SourceFile::parse("x.rs", "#[cfg(all(not(test), unix))]\nmod t {\n}\n");
+        assert_eq!(h.in_test, vec![false, false, false]);
     }
 
     #[test]

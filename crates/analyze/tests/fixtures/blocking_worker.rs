@@ -1,0 +1,44 @@
+//! Shard-worker blocking fixture: the ingress `.recv()` in `run` is
+//! the sanctioned parking point; every other blocking construct
+//! reachable from the loop is a finding, and blocking code the loop
+//! cannot reach stays silent.
+
+use std::time::Duration;
+
+struct Ingress;
+
+impl Ingress {
+    fn recv(&self) -> Result<u32, ()> {
+        Err(())
+    }
+    fn recv_timeout(&self, _wait: Duration) -> Result<u32, ()> {
+        Err(())
+    }
+}
+
+struct ShardWorker {
+    ingress: Ingress,
+}
+
+impl ShardWorker {
+    fn run(&self) {
+        while let Ok(cmd) = self.ingress.recv() {
+            self.step(cmd);
+        }
+    }
+
+    fn step(&self, cmd: u32) {
+        if cmd == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drain_side_channel(&self.ingress);
+    }
+}
+
+fn drain_side_channel(rx: &Ingress) {
+    while rx.recv_timeout(Duration::from_millis(0)).is_ok() {}
+}
+
+fn cold_join(handle: std::thread::JoinHandle<()>) {
+    handle.join().ok();
+}

@@ -1,0 +1,17 @@
+// Line comment with `code` that must vanish.
+/* outer /* nested block */ still one comment */
+pub fn r#match(x: &mut Vec<Vec<u8>>) -> Option<u8> {
+    let s = r##"raw "string" with # hashes"##;
+    let bytes = b"\x00bytes";
+    let c = 'x';
+    let nl = '\n';
+    let lt: &'static str = "quoted \"escape\"";
+    let hex = 0xFF_u64;
+    let float = 1.5;
+    let shifted = (hex as u8) >> 2;
+    let arrow = |v: u8| -> u8 { v };
+    match x.pop() {
+        Some(head) => arrow(head.first().copied().unwrap_or(shifted)),
+        None => Option::<u8>::None,
+    }
+}

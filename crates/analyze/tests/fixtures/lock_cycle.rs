@@ -1,0 +1,26 @@
+//! Seeded lock-order inversion: `thread_one` nests `a -> b` while
+//! `thread_two` nests `b -> a`. The static pass must report the cycle
+//! without ever running either thread.
+
+use parking_lot::{Mutex, RwLock};
+
+struct Shared {
+    a: Mutex<u32>,
+    b: RwLock<u32>,
+}
+
+fn thread_one(s: &Shared) {
+    let _ga = s.a.lock();
+    let _gb = s.b.read();
+}
+
+fn thread_two(s: &Shared) {
+    let _gb = s.b.write();
+    let _ga = s.a.lock();
+}
+
+fn try_is_not_an_edge(s: &Shared) {
+    let _gb = s.b.read();
+    // A try-acquire cannot block, so it closes no cycle.
+    let _ga = s.a.try_lock();
+}

@@ -1,0 +1,37 @@
+//! Hot-path panic fixture: `handle_into` is a declared root; its
+//! callees seed one of each panicking construct, plus the negatives
+//! (const-indexed subscripts, an unreachable cold helper).
+
+const HEADER_LEN: usize = 4;
+
+struct BrokerNode;
+
+impl BrokerNode {
+    fn handle_into(&self, frame: &[u8], out: &mut Vec<u8>) {
+        let _version = frame[0];
+        decode_stage(frame, out);
+    }
+}
+
+fn decode_stage(frame: &[u8], out: &mut Vec<u8>) {
+    let len: usize = frame.first().copied().unwrap().into();
+    let _body = &frame[HEADER_LEN..];
+    deep(frame, len, out);
+}
+
+fn deep(frame: &[u8], idx: usize, out: &mut Vec<u8>) {
+    let byte = frame[idx];
+    if byte == 0 {
+        panic!("zero byte on the wire");
+    }
+    out.push(expect_stage(frame));
+}
+
+fn expect_stage(frame: &[u8]) -> u8 {
+    frame.last().copied().expect("frames are non-empty")
+}
+
+fn cold_helper() {
+    let missing: Option<u8> = None;
+    missing.unwrap();
+}

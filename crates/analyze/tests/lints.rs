@@ -17,8 +17,11 @@ const KNOWN_CLEAN: &str = include_str!("fixtures/known_clean.rs");
 const SHIM_FIXTURE: &str = include_str!("fixtures/shim_fixture.rs");
 const HOT_PATH_BAD: &str = include_str!("fixtures/hot_path_bad.rs");
 
-/// The strictest scope: a broker library file is covered by all four
-/// per-file lints.
+/// The strictest scope: a broker library file is covered by every
+/// per-file lint (panic reachability is a call-graph pass and fires
+/// only on code reachable from the hot-path roots, so the bare
+/// `.unwrap()`/`panic!` lines in the fixture stay silent here — see
+/// `tests/passes.rs` for the reachable case).
 const BROKER_PATH: &str = "crates/broker/src/fixture.rs";
 
 #[test]
@@ -31,21 +34,15 @@ fn known_bad_produces_exact_diagnostics() {
             ("no-std-sync-locks", 5),
             ("pub-item-doc-coverage", 7),
             ("pub-item-doc-coverage", 9),
-            ("no-unwrap-in-lib", 10),
             ("no-direct-instant-now", 11),
-            ("no-unwrap-in-lib", 13),
-            ("no-unwrap-in-lib", 15),
         ],
         "full diagnostic set over fixtures/known_bad.rs: {violations:#?}"
     );
     assert!(violations[1].message.contains("`Undocumented`"));
     assert!(violations[2].message.contains("`leaky`"));
-    assert!(violations[3].message.contains("`.unwrap()`"));
-    assert!(violations[5].message.contains("`panic!`"));
     assert_eq!(violations[0].path, BROKER_PATH);
     // Snippets are whitespace-normalized source lines (allowlist keys).
     assert_eq!(violations[0].snippet, "use std::sync::Mutex;");
-    assert_eq!(violations[3].snippet, "let parsed: u32 = input.parse().unwrap();");
 }
 
 #[test]
@@ -136,7 +133,7 @@ fn allowlist_round_trip_suppresses_everything() {
 #[test]
 fn stale_allowlist_entries_are_reported() {
     // An entry whose code was fixed must surface as stale, not vanish.
-    let allow = "no-unwrap-in-lib :: crates/broker/src/fixture.rs :: let gone = fixed.unwrap(); :: was fixed\n";
+    let allow = "panic-reachable-hot-path :: crates/broker/src/fixture.rs :: let gone = fixed.unwrap(); :: was fixed\n";
     let (kept, suppressed, stale, errors) =
         apply_allowlist(allow, lint_sources(&[(BROKER_PATH, KNOWN_CLEAN)]));
     assert!(kept.is_empty() && suppressed.is_empty() && errors.is_empty());
@@ -147,8 +144,8 @@ fn stale_allowlist_entries_are_reported() {
 
 #[test]
 fn allowlist_requires_a_justification() {
-    let allow = "no-unwrap-in-lib :: p.rs :: x.unwrap();\n\
-                 no-unwrap-in-lib :: p.rs :: y.unwrap(); ::   \n";
+    let allow = "panic-reachable-hot-path :: p.rs :: x.unwrap();\n\
+                 panic-reachable-hot-path :: p.rs :: y.unwrap(); ::   \n";
     let (_, _, _, errors) = apply_allowlist(allow, Vec::new());
     assert_eq!(errors.len(), 2, "missing and blank justifications are errors");
 }

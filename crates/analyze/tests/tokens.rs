@@ -1,0 +1,92 @@
+//! Golden-token tests for the hand-rolled lexer: the full corpus stream
+//! is pinned byte-for-byte so any lexer change that re-classifies,
+//! splits, or drops a token shows up as a readable diff against
+//! `fixtures/lexer_corpus.tokens`.
+
+use mmcs_analyze::lexer::{lex, Tok, TokKind};
+
+const CORPUS: &str = include_str!("fixtures/lexer_corpus.rs");
+const GOLDEN: &str = include_str!("fixtures/lexer_corpus.tokens");
+
+/// One line per token: `<line>\t<kind>\t<text>`.
+fn render(toks: &[Tok]) -> String {
+    toks.iter()
+        .map(|t| format!("{}\t{:?}\t{}\n", t.line, t.kind, t.text))
+        .collect()
+}
+
+#[test]
+fn corpus_token_stream_matches_golden() {
+    let actual = render(&lex(CORPUS));
+    assert_eq!(
+        actual, GOLDEN,
+        "lexer output drifted from fixtures/lexer_corpus.tokens;\n\
+         if the change is intentional, re-pin the golden file.\n\
+         actual stream:\n{actual}"
+    );
+}
+
+#[test]
+fn comments_never_reach_the_stream() {
+    // Both comment styles in the corpus mention identifier-looking words
+    // ("code", "nested", "comment") that must not survive the lex.
+    let toks = lex(CORPUS);
+    assert!(toks.iter().all(|t| t.line >= 3), "lines 1-2 are comments");
+    assert!(!toks.iter().any(|t| t.is_ident("nested")));
+}
+
+#[test]
+fn raw_identifiers_normalize() {
+    let toks = lex(CORPUS);
+    assert!(
+        toks.iter().any(|t| t.is_ident("match") && t.line == 3),
+        "`r#match` must lex as the plain identifier `match`"
+    );
+}
+
+#[test]
+fn nested_generics_end_in_single_closers_but_shifts_stay_adjacent() {
+    // `Vec<Vec<u8>>` contributes two separate `>` Puncts (plus one from
+    // `Option<u8>` on the same line); the `>>` shift on line 11 also
+    // lexes as two `>` tokens — passes only ever see single-char
+    // closers.
+    let toks = lex(CORPUS);
+    let closers = toks.iter().filter(|t| t.line == 3 && t.is_punct(">")).count();
+    assert_eq!(closers, 3, "`>>` must never be one token");
+    let shift = toks.iter().filter(|t| t.line == 11 && t.is_punct(">")).count();
+    assert_eq!(shift, 2, "the `>>` shift operator is two `>` tokens");
+}
+
+#[test]
+fn string_like_literals_are_single_tokens() {
+    let toks = lex(CORPUS);
+    let strs = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.line)
+        .collect::<Vec<_>>();
+    // r##".."## (4), b".." (5), ".." with escapes (8).
+    assert_eq!(strs, vec![4, 5, 8]);
+    let chars = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .map(|t| t.line)
+        .collect::<Vec<_>>();
+    assert_eq!(chars, vec![6, 7], "'x' and '\\n' are single Char tokens");
+    assert!(
+        toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'static"),
+        "lifetimes must not be confused with char literals"
+    );
+}
+
+#[test]
+fn glued_punctuation_is_exactly_three_pairs() {
+    // `::`, `->`, `=>` glue; everything else is single-char.
+    let toks = lex("a::b -> c => d += e .. f");
+    let puncts: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Punct)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(puncts, vec!["::", "->", "=>", "+", "=", ".", "."]);
+}

@@ -655,8 +655,8 @@ impl ShardWorker {
         for cmd in commands {
             if let Some(m) = &self.metrics {
                 m.queue_depth.sub(1);
-            } else {
-                self.links[self.index].depth.sub(1);
+            } else if let Some(link) = self.links.get(self.index) {
+                link.depth.sub(1);
             }
             match cmd {
                 ShardCmd::Attach {
@@ -832,10 +832,16 @@ impl ShardWorker {
                 }
                 Action::Forward { peer, event } => {
                     let target = peer.value() as usize;
+                    // Peer ids come from the router's own shard plan, so
+                    // the index is always in range; `get` keeps a
+                    // corrupted plan from panicking the worker.
+                    let Some(link) = self.links.get(target) else {
+                        continue;
+                    };
                     let frame = frame
                         .get_or_insert_with(|| wire::encode(&event).freeze())
                         .clone();
-                    self.links[target].send(ShardCmd::Forward(frame));
+                    link.send(ShardCmd::Forward(frame));
                     if let Some(m) = &self.metrics {
                         m.cross_shard_forwards.inc();
                     }

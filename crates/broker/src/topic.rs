@@ -433,16 +433,25 @@ impl<S: Clone + Ord> SubscriptionTable<S> {
     pub fn matches_into(&self, topic: &Topic, out: &mut Vec<S>) {
         let start = out.len();
         Self::walk(&self.root, topic.segments(), out);
-        out[start..].sort_unstable();
-        // Compact the sorted region in place (Vec::dedup for a suffix).
-        let mut write = start;
-        for read in start..out.len() {
-            if write == start || out[read] != out[write - 1] {
-                out.swap(read, write);
+        // `start <= out.len()` always holds (walk only appends); `get_mut`
+        // keeps the hot route-planning path free of panicking indexing.
+        let Some(appended) = out.get_mut(start..) else {
+            return;
+        };
+        if appended.is_empty() {
+            return;
+        }
+        appended.sort_unstable();
+        // Compact the sorted region in place (Vec::dedup for a suffix):
+        // `write` points at the last kept element, `read` scans ahead.
+        let mut write = 0;
+        for read in 1..appended.len() {
+            if appended.get(read) != appended.get(write) {
                 write += 1;
+                appended.swap(write, read);
             }
         }
-        out.truncate(write);
+        out.truncate(start + write + 1);
     }
 
     fn walk(node: &TrieNode<S>, rest: &[Arc<str>], out: &mut Vec<S>) {

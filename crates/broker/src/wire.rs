@@ -201,7 +201,14 @@ impl<'a> WireEvent<'a> {
             });
         }
         let topic_end = WIRE_HEADER_LEN + topic_len;
-        let topic = &frame[WIRE_HEADER_LEN..topic_end];
+        // In range by the length check above; `get` keeps the decoder
+        // panic-free even if that invariant ever regresses.
+        let Some(topic) = frame.get(WIRE_HEADER_LEN..topic_end) else {
+            return Err(DecodeEventError::Truncated {
+                needed: topic_end,
+                got: frame.len(),
+            });
+        };
         if !topic_is_well_formed(topic) {
             return Err(DecodeEventError::BadTopic);
         }
@@ -232,8 +239,11 @@ impl<'a> WireEvent<'a> {
 
     /// The `/`-joined topic path, borrowed from the frame.
     pub fn topic_str(&self) -> &'a str {
-        // UTF-8 validity was checked by `parse`.
-        std::str::from_utf8(&self.buf[WIRE_HEADER_LEN..self.topic_end]).unwrap_or("")
+        // Range and UTF-8 validity were checked by `parse`.
+        self.buf
+            .get(WIRE_HEADER_LEN..self.topic_end)
+            .and_then(|topic| std::str::from_utf8(topic).ok())
+            .unwrap_or("")
     }
 
     /// Parses the topic into an owned [`Topic`] (allocates segments).
@@ -243,7 +253,8 @@ impl<'a> WireEvent<'a> {
 
     /// The payload: a sub-slice of the frame, nothing copied.
     pub fn payload(&self) -> &'a [u8] {
-        &self.buf[self.topic_end..]
+        // `topic_end <= buf.len()` was established by `parse`.
+        self.buf.get(self.topic_end..).unwrap_or(&[])
     }
 
     /// Byte range of the payload within the frame (for carving a
@@ -268,8 +279,13 @@ fn topic_is_well_formed(topic: &[u8]) -> bool {
 }
 
 fn read_u64(buf: &[u8], offset: usize) -> u64 {
+    // Every caller passes a header offset inside the validated frame;
+    // a short read (impossible after `parse`) yields 0 rather than a
+    // panic on the decode path.
     let mut bytes = [0u8; 8];
-    bytes.copy_from_slice(&buf[offset..offset + 8]);
+    if let Some(src) = buf.get(offset..offset + 8) {
+        bytes.copy_from_slice(src);
+    }
     u64::from_be_bytes(bytes)
 }
 

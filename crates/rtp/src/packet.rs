@@ -296,7 +296,9 @@ impl<'a> WireRtp<'a> {
 
     /// The logical payload: a slice into the frame, padding stripped.
     pub fn payload(&self) -> &'a [u8] {
-        &self.buf[self.header_len..self.payload_end]
+        // `parse` validated `header_len <= payload_end <= buf.len()`; the
+        // fallback keeps the hot decode path free of panicking indexing.
+        self.buf.get(self.header_len..self.payload_end).unwrap_or(&[])
     }
 
     /// Materialises an owned [`RtpHeader`] (allocates the CSRC list).

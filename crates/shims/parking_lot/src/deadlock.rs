@@ -304,6 +304,19 @@ mod imp {
         lock_ignore_poison(graph()).edge_count
     }
 
+    pub(crate) fn edges() -> Vec<(String, String)> {
+        let g = lock_ignore_poison(graph());
+        let mut out: Vec<(String, String)> = g
+            .edges
+            .iter()
+            .flat_map(|(from, succ)| {
+                succ.keys().map(|to| (from.render(), to.render()))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
     pub(crate) fn long_holds() -> Vec<LongHold> {
         lock_ignore_poison(long_holds_store()).clone()
     }
@@ -335,6 +348,22 @@ pub fn edge_count() -> usize {
     #[cfg(not(debug_assertions))]
     {
         0
+    }
+}
+
+/// The recorded acquisition-order edges as sorted `(from, to)` pairs of
+/// `file:line` construction sites. Empty in release builds. The static
+/// lock-order pass cross-checks this against its own graph: every edge
+/// the runtime detector observes must also exist in the static
+/// over-approximation.
+pub fn edges() -> Vec<(String, String)> {
+    #[cfg(debug_assertions)]
+    {
+        imp::edges()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        Vec::new()
     }
 }
 

@@ -128,7 +128,11 @@ impl Histogram {
         if n == 0 {
             return;
         }
-        self.buckets[bucket_index(value)].fetch_add(n, Ordering::Relaxed);
+        // `bucket_index` is clamped to `BUCKETS - 1`; `get` keeps the
+        // recording path panic-free regardless.
+        if let Some(bucket) = self.buckets.get(bucket_index(value)) {
+            bucket.fetch_add(n, Ordering::Relaxed);
+        }
         self.count.fetch_add(n, Ordering::Relaxed);
         self.sum.fetch_add(value.wrapping_mul(n), Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);

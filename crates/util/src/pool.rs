@@ -114,7 +114,9 @@ pub fn acquire(min_capacity: usize) -> PooledBuf {
             armed: true,
         };
     };
-    let reused = FREE.with(|lists| lists[idx].borrow_mut().pop());
+    // `class_for` returned `position`, so `idx < SIZE_CLASSES.len()`; the
+    // `get` forms keep acquire panic-free on the hot path.
+    let reused = FREE.with(|lists| lists.get(idx).and_then(|list| list.borrow_mut().pop()));
     let buf = match reused {
         Some(mut buf) => {
             HITS.fetch_add(1, Ordering::Relaxed);
@@ -123,7 +125,8 @@ pub fn acquire(min_capacity: usize) -> PooledBuf {
         }
         None => {
             MISSES.fetch_add(1, Ordering::Relaxed);
-            Vec::with_capacity(SIZE_CLASSES[idx])
+            let cap = SIZE_CLASSES.get(idx).copied().unwrap_or(min_capacity);
+            Vec::with_capacity(cap)
         }
     };
     PooledBuf {
@@ -139,7 +142,10 @@ fn release(buf: Vec<u8>, class: Option<usize>) {
     if let Some(idx) = class {
         // `try_with` so returns during TLS teardown degrade to a free.
         let _ = FREE.try_with(|lists| {
-            let mut list = lists[idx].borrow_mut();
+            let Some(slot) = lists.get(idx) else {
+                return;
+            };
+            let mut list = slot.borrow_mut();
             if list.len() < PER_CLASS_CAP {
                 list.push(buf);
             }

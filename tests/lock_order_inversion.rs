@@ -24,6 +24,7 @@ fn detector_end_to_end() {
     seeded_rwlock_inversion_panics();
     try_lock_records_no_order_edge();
     watchdog_flags_long_holds();
+    runtime_edges_are_subset_of_static_graph();
 
     deadlock::reset();
     assert_eq!(deadlock::edge_count(), 0, "reset clears the order graph");
@@ -130,6 +131,59 @@ fn try_lock_records_no_order_edge() {
         result.is_ok(),
         "a -> b must be fine: the earlier try_lock order is not an edge"
     );
+}
+
+/// Every acquisition-order edge the runtime detector observed in this
+/// process must also exist in the static lock-order graph that
+/// `mmcs-analyze` builds from this very source file. The static pass is
+/// an over-approximation (it simulates every path, the runtime only
+/// sees executed interleavings), so runtime ⊆ static is the soundness
+/// contract — a runtime edge missing statically would mean the lexer,
+/// parser, or lock-class discovery lost an acquisition site.
+fn runtime_edges_are_subset_of_static_graph() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/lock_order_inversion.rs");
+    let content = std::fs::read_to_string(path).expect("read own source");
+    let src = mmcs_analyze::scan::SourceFile::parse("tests/lock_order_inversion.rs", &content);
+    let files = vec![mmcs_analyze::parse::parse_file(src)];
+    let call_graph = mmcs_analyze::callgraph::CallGraph::build(&files, |_, _| true);
+    let lock_graph = mmcs_analyze::passes::lock_order::build(&files, &call_graph);
+
+    // Compare by construction-site line number: the runtime renders
+    // `Location::file()` exactly as rustc was invoked, the static side
+    // renders the path the file was parsed under; lines are the stable
+    // common coordinate.
+    fn site_line(site: &str) -> Option<u32> {
+        let (file, line) = site.rsplit_once(':')?;
+        if !file.ends_with("lock_order_inversion.rs") {
+            return None;
+        }
+        line.parse().ok()
+    }
+    let static_lines: std::collections::BTreeSet<(u32, u32)> = lock_graph
+        .site_edges(&files)
+        .iter()
+        .filter_map(|(from, to)| Some((site_line(from)?, site_line(to)?)))
+        .collect();
+    assert!(!static_lines.is_empty(), "static graph must see this file's locks");
+
+    let runtime = deadlock::edges();
+    assert!(
+        !runtime.is_empty(),
+        "the scenarios above must have recorded runtime edges"
+    );
+    let mut checked = 0usize;
+    for (from, to) in runtime {
+        let (Some(from_line), Some(to_line)) = (site_line(&from), site_line(&to)) else {
+            continue; // a lock constructed outside this file: out of scope
+        };
+        assert!(
+            static_lines.contains(&(from_line, to_line)),
+            "runtime edge {from} -> {to} is missing from the static \
+             lock-order graph {static_lines:?}"
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "subset check must cover at least one edge");
 }
 
 /// Holding a lock past the watchdog threshold is recorded (and the
