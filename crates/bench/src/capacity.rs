@@ -188,19 +188,45 @@ pub fn run_point(config: &CapacityConfig) -> CapacityPoint {
 
 /// Sweeps the capacity curve over the given client counts.
 pub fn sweep(media: Media, counts: &[usize]) -> Vec<CapacityPoint> {
+    sweep_with(&CapacityConfig::new(media, 0), counts)
+}
+
+/// Sweeps the capacity curve over `counts` with every other parameter
+/// taken from `base` (its `clients` field is ignored). Points come back
+/// in the same order as `counts`, one per entry.
+pub fn sweep_with(base: &CapacityConfig, counts: &[usize]) -> Vec<CapacityPoint> {
     counts
         .iter()
-        .map(|&clients| run_point(&CapacityConfig::new(media, clients)))
+        .map(|&clients| {
+            run_point(&CapacityConfig {
+                clients,
+                ..base.clone()
+            })
+        })
         .collect()
 }
 
-/// The largest swept client count that still met the quality bar.
+/// The knee of a sweep: the last point of the *leading good prefix* —
+/// the largest client count such that it and every smaller swept count
+/// met the quality bar. `None` when the sweep is empty or its first
+/// point already failed.
+///
+/// This is deliberately not "the largest good point anywhere": a curve
+/// that recovers past an overload dip (timer aliasing, queue
+/// resonance) has not demonstrated sustained capacity at the recovered
+/// count, and a CI baseline tracking max-good-anywhere would flap on
+/// exactly those dips. The prefix rule is monotone-stable: adding
+/// points past the first failure never moves the knee.
 pub fn knee(points: &[CapacityPoint]) -> Option<usize> {
-    points
-        .iter()
-        .filter(|p| p.good)
-        .map(|p| p.clients)
-        .max()
+    let goods: Vec<bool> = points.iter().map(|p| p.good).collect();
+    knee_index(&goods).map(|i| points[i].clients)
+}
+
+/// Index form of [`knee`]: the last index of the leading `true` prefix
+/// of `goods`, or `None` if `goods` is empty or starts with `false`.
+pub fn knee_index(goods: &[bool]) -> Option<usize> {
+    let prefix = goods.iter().take_while(|&&g| g).count();
+    prefix.checked_sub(1)
 }
 
 #[cfg(test)]
@@ -245,27 +271,85 @@ mod tests {
         assert!(!b.good);
     }
 
+    use proptest::prelude::*;
+
+    /// A sweep point with only the fields `knee` looks at.
+    fn point(clients: usize, good: bool) -> CapacityPoint {
+        CapacityPoint {
+            clients,
+            avg_delay_ms: if good { 10.0 } else { 500.0 },
+            p95_delay_ms: if good { 12.0 } else { 700.0 },
+            avg_jitter_ms: 1.0,
+            loss: if good { 0.0 } else { 0.3 },
+            good,
+        }
+    }
+
+    proptest! {
+        /// `knee_index` is exactly the last index of the leading good
+        /// prefix, over arbitrary (including non-monotone) flags.
+        #[test]
+        fn knee_index_is_last_good_prefix_point(
+            goods in prop::collection::vec(any::<bool>(), 0..40),
+        ) {
+            let expected = {
+                let prefix = goods.iter().take_while(|&&g| g).count();
+                if prefix == 0 { None } else { Some(prefix - 1) }
+            };
+            let got = knee_index(&goods);
+            prop_assert_eq!(got, expected);
+            // Every index up to the knee is good; the next one is bad.
+            if let Some(k) = got {
+                prop_assert!(goods[..=k].iter().all(|&g| g));
+                if k + 1 < goods.len() {
+                    prop_assert!(!goods[k + 1]);
+                }
+            } else {
+                prop_assert!(goods.is_empty() || !goods[0]);
+            }
+        }
+
+        /// `knee` agrees with `knee_index` on the points' flags and
+        /// returns the client count at that index — never a count from
+        /// a good point *after* a failure (non-monotone recovery).
+        #[test]
+        fn knee_matches_index_on_points(
+            goods in prop::collection::vec(any::<bool>(), 0..40),
+        ) {
+            let points: Vec<CapacityPoint> = goods
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| point((i + 1) * 100, g))
+                .collect();
+            let expected = knee_index(&goods).map(|i| points[i].clients);
+            prop_assert_eq!(knee(&points), expected);
+        }
+    }
+
     #[test]
-    fn knee_finds_last_good_point() {
-        let points = vec![
-            CapacityPoint {
-                clients: 100,
-                avg_delay_ms: 10.0,
-                p95_delay_ms: 12.0,
-                avg_jitter_ms: 1.0,
-                loss: 0.0,
-                good: true,
-            },
-            CapacityPoint {
-                clients: 200,
-                avg_delay_ms: 500.0,
-                p95_delay_ms: 700.0,
-                avg_jitter_ms: 9.0,
-                loss: 0.3,
-                good: false,
-            },
-        ];
-        assert_eq!(knee(&points), Some(100));
+    fn knee_edge_cases() {
+        // Empty sweep, all-bad sweep, and a non-monotone recovery.
         assert_eq!(knee(&[]), None);
+        assert_eq!(knee(&[point(100, false)]), None);
+        assert_eq!(knee(&[point(100, false), point(200, true)]), None);
+        // Recovery after a dip must NOT move the knee past the dip.
+        let dip = [point(100, true), point(200, false), point(300, true)];
+        assert_eq!(knee(&dip), Some(100));
+        assert_eq!(knee(&[point(100, true), point(200, true)]), Some(200));
+    }
+
+    #[test]
+    fn sweep_with_preserves_count_order_and_base_params() {
+        // A tiny, fast sweep: one point per requested count, in order,
+        // with the base configuration applied to every point.
+        let mut base = CapacityConfig::new(Media::Audio, 0);
+        base.duration = SimDuration::from_millis(600);
+        base.clients_per_host = 2;
+        let counts = [3usize, 1, 2];
+        let points = sweep_with(&base, &counts);
+        assert_eq!(points.len(), counts.len());
+        for (point, &count) in points.iter().zip(&counts) {
+            assert_eq!(point.clients, count);
+        }
     }
 }

@@ -16,6 +16,7 @@
 //! that produces the paper's ~80 ms average.
 
 use mmcs_broker::batch::CostModel;
+use mmcs_broker::shardsim::{ShardedSimCluster, ShardedSimConfig};
 use mmcs_broker::simdrv::{BrokerProcess, PublisherConfig, RtpReceiver, VideoPublisher};
 use mmcs_broker::topic::{Topic, TopicFilter};
 use mmcs_jmf::{DirectMedia, GcModel, ReflectorCost, ReflectorProcess, RtpDirectSender, RtpDirectSink};
@@ -326,6 +327,110 @@ pub fn run_jmf(config: &Fig3Config) -> SystemResult {
     let mut result = summarize(per_receiver);
     result.loss_fraction = measured_loss(&sim, &measured_ids);
     result
+}
+
+/// Figure 3's methodology re-run on the *sharded* runtime: the same
+/// stream, receivers and measurement, but the relay is a
+/// [`ShardedSimCluster`] — receivers attach to their home shard and the
+/// publisher to the topic's owner shard, so cross-shard deliveries take
+/// the forward hop exactly as in the thread runtime.
+#[derive(Debug, Clone)]
+pub struct ShardedFig3Result {
+    /// The usual Figure 3 summary over the measured receivers.
+    pub system: SystemResult,
+    /// The measured delay samples pooled *per home shard* (index =
+    /// shard). Merging these snapshots reproduces
+    /// `system.delay_hist`'s count, sum and therefore exact mean —
+    /// the cross-check `tests/fig3_crosscheck.rs` pins down.
+    pub shard_delay: Vec<HistogramSnapshot>,
+    /// Shard count the cluster ran with.
+    pub shards: usize,
+}
+
+/// Runs the NaradaBrokering side of Figure 3 on a sharded cluster of
+/// `shards` brokers splitting `config.relay_nic` evenly.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn run_narada_sharded(config: &Fig3Config, shards: usize) -> ShardedFig3Result {
+    assert!(shards > 0, "shard count must be positive");
+    let mut sim = Simulation::new(config.seed);
+    let cluster = ShardedSimCluster::build(&mut sim, &{
+        let mut sharded = ShardedSimConfig::split(shards, config.relay_nic);
+        sharded.cost = config.broker_cost;
+        sharded
+    });
+    let sender_host = sim.add_host("sender-machine", NicConfig::default());
+    let client_host = sim.add_host("client-machine", NicConfig::default());
+    sim.set_default_latency(config.lan_latency);
+
+    let topic = Topic::parse("globalmmcs/session-1/video").expect("static topic");
+    let filter = TopicFilter::exact(&topic);
+
+    let mut measured = Vec::new();
+    for i in 0..config.receivers {
+        let co_located = i < config.measured;
+        let host = if co_located { sender_host } else { client_host };
+        let client = ClientId::from_raw(100 + i as u64);
+        let mut receiver = RtpReceiver::new(
+            cluster.home_process(client),
+            client,
+            filter.clone(),
+            payload_type::H263,
+            config.recv_cpu,
+        );
+        if co_located {
+            receiver = receiver.with_series_capture();
+        }
+        let id = sim.add_typed_process(host, receiver);
+        if co_located {
+            measured.push((id, cluster.home_shard(client)));
+        }
+    }
+
+    let mut publisher_config = PublisherConfig::new(
+        cluster.owner_process(&topic),
+        ClientId::from_raw(1),
+        topic,
+    );
+    publisher_config.max_packets = config.packets;
+    let source = VideoSource::new(config.video, 0xABCD, DetRng::new(config.seed ^ 0x5EED));
+    sim.add_typed_process(sender_host, VideoPublisher::new(publisher_config, source));
+
+    sim.run_until(config.run_duration());
+
+    // Pool each measured receiver's delay samples by its home shard,
+    // through the same ms → SimDuration conversion `summarize` uses, so
+    // the merged pools and `delay_hist` see bit-identical samples.
+    let shard_pools: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+    let measured_ids: Vec<mmcs_sim::ProcessId> = measured.iter().map(|(id, _)| *id).collect();
+    let per_receiver = measured
+        .iter()
+        .map(|(id, home)| {
+            let stats = sim
+                .process_ref::<RtpReceiver>(*id)
+                .expect("receiver process")
+                .stats();
+            let delays = stats.delay_series().expect("capture on").samples().to_vec();
+            for delay in &delays {
+                shard_pools[*home].record_duration(SimDuration::from_millis_f64(*delay));
+            }
+            (
+                delays,
+                stats.jitter_series().expect("capture on").samples().to_vec(),
+                stats.received(),
+                stats.jitter_ms(),
+            )
+        })
+        .collect();
+    let mut system = summarize(per_receiver);
+    system.loss_fraction = measured_loss(&sim, &measured_ids);
+    ShardedFig3Result {
+        system,
+        shard_delay: shard_pools.iter().map(Histogram::snapshot).collect(),
+        shards,
+    }
 }
 
 /// Both sides of Figure 3 on the same configuration.

@@ -1,0 +1,454 @@
+//! A minimal JSON tree: parse, query, render.
+//!
+//! The workspace vendors no serde (no registry access), but the
+//! capacity-frontier harness needs to *read* its committed baseline and
+//! the golden-schema tests need to compare structure while ignoring
+//! volatile numbers. This module is the few hundred lines that cover
+//! exactly that: a strict RFC 8259 subset parser into an order-preserving
+//! tree, accessors, a deterministic renderer, and a schema-normal form.
+//!
+//! Not a general-purpose JSON library: numbers are `f64`, `\u` escapes
+//! outside the BMP are rejected, and rendering uses the shortest-f64
+//! `{}` format (stable for round-tripping our own fixed-precision
+//! output, which is all we render).
+
+use std::fmt;
+
+/// A parsed JSON value. Object keys keep their source order — the
+/// schema-golden tests treat key order as part of the schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers included).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source key order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: what was wrong and the byte offset it was found at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, JsonError> {
+        Err(JsonError {
+            message: message.to_owned(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", byte as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(_) => self.err("unexpected character"),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected '{text}'"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex.and_then(char::from_u32) else {
+                                return self.err("bad \\u escape");
+                            };
+                            self.pos += 4;
+                            out.push(code);
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                }
+                _ => {
+                    // Re-decode from the byte position: multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let rest = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| JsonError {
+                            message: "invalid utf-8".to_owned(),
+                            offset: start,
+                        })?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => self.err("bad number"),
+        }
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+impl Json {
+    /// Parses one JSON document (trailing whitespace allowed, trailing
+    /// content rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error with its byte offset.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = parser.parse_value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return parser.err("trailing content");
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup; `None` on non-objects or missing keys.
+    /// (Named `member`, not `get`, so the analyzer's name-keyed call
+    /// graph doesn't link it into the broker's hot-path `.get(` sites.)
+    pub fn member(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders compactly (no whitespace), keys in stored order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                escape(s, out);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape(key, out);
+                    out.push_str("\":");
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// The schema-normal form the golden tests compare: numbers → `0`,
+    /// booleans → `false`, arrays truncated to their first element
+    /// (normalized), strings and object keys/order kept. Two documents
+    /// with the same keys in the same order and the same nesting have
+    /// equal normal forms no matter what was measured.
+    pub fn schema_normal(&self) -> Json {
+        match self {
+            Json::Null => Json::Null,
+            Json::Bool(_) => Json::Bool(false),
+            Json::Num(_) => Json::Num(0.0),
+            Json::Str(s) => Json::Str(s.clone()),
+            Json::Arr(items) => {
+                Json::Arr(items.first().map(Json::schema_normal).into_iter().collect())
+            }
+            Json::Obj(entries) => Json::Obj(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.schema_normal()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = r#" {"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "e": "x\n\"yé"} "#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.member("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.member("a").unwrap().as_array().unwrap()[2].as_f64(), Some(-300.0));
+        assert_eq!(v.member("b").unwrap().member("c").unwrap().as_bool(), Some(true));
+        assert_eq!(v.member("b").unwrap().member("d"), Some(&Json::Null));
+        assert_eq!(v.member("e").unwrap().as_str(), Some("x\n\"y\u{e9}"));
+    }
+
+    #[test]
+    fn rejects_garbage_with_offsets() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+        assert!(Json::parse("nul").is_err());
+        let err = Json::parse("[1, @]").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let doc = r#"{"k":[1,2.5,true,null,"s"],"m":{"n":-7}}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.render(), doc);
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn object_key_order_is_preserved() {
+        let v = Json::parse(r#"{"z":1,"a":2}"#).unwrap();
+        assert_eq!(v.render(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn schema_normal_erases_measurements_keeps_shape() {
+        let a = Json::parse(r#"{"knee":120,"pts":[{"c":30,"ok":true},{"c":60,"ok":false}]}"#)
+            .unwrap();
+        let b = Json::parse(r#"{"knee":480,"pts":[{"c":99,"ok":false}]}"#).unwrap();
+        assert_eq!(a.schema_normal(), b.schema_normal());
+        // A key rename is a schema change.
+        let c = Json::parse(r#"{"knee":1,"pts":[{"C":1,"ok":true}]}"#).unwrap();
+        assert_ne!(a.schema_normal(), c.schema_normal());
+        // Key order is part of the schema.
+        let d = Json::parse(r#"{"pts":[{"c":1,"ok":true}],"knee":1}"#).unwrap();
+        assert_ne!(a.schema_normal(), d.schema_normal());
+    }
+
+    #[test]
+    fn as_u64_accepts_integers_only() {
+        assert_eq!(Json::Num(42.0).as_u64(), Some(42));
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+    }
+}

@@ -13,9 +13,17 @@
 //!   > 400 video clients per broker with good quality.
 //! * [`ablation`] — A1 (send batching on/off) and A2 (1–4 broker
 //!   dissemination trees).
+//! * [`frontier`] — the capacity frontier on the *sharded* runtime:
+//!   clients × shards × fan-out swept to the knee, the
+//!   million-subscriber broadcast, and the `BENCH_capacity.json`
+//!   artifact CI diffs against its baseline.
+//! * [`json`] — dependency-free JSON parse/render used by the frontier
+//!   baseline comparison and the golden schema tests.
 //! * [`report`] — CSV/table helpers shared by the bench targets.
 
 pub mod ablation;
 pub mod capacity;
 pub mod fig3;
+pub mod frontier;
+pub mod json;
 pub mod report;

@@ -4,16 +4,24 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Directory the bench targets write CSV series into, resolved relative
-/// to the workspace root when run via `cargo bench`.
-pub fn results_dir() -> PathBuf {
+/// The workspace root. `cargo bench` runs bench binaries with the
+/// *package* directory as CWD, so relative paths from the command line
+/// (e.g. a committed baseline file) must be resolved against this, not
+/// against the process CWD.
+pub fn workspace_root() -> PathBuf {
     // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
     let manifest = env!("CARGO_MANIFEST_DIR");
     Path::new(manifest)
         .ancestors()
         .nth(2)
         .expect("workspace root")
-        .join("bench_results")
+        .to_path_buf()
+}
+
+/// Directory the bench targets write CSV series into, resolved relative
+/// to the workspace root when run via `cargo bench`.
+pub fn results_dir() -> PathBuf {
+    workspace_root().join("bench_results")
 }
 
 /// Writes `contents` into `bench_results/<name>`, creating the directory.

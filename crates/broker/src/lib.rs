@@ -89,6 +89,9 @@ pub mod rtpproxy;
 /// A sharded multi-worker runtime: topic-partitioned node slices with
 /// batched ingress and a cross-shard forwarding ring.
 pub mod sharded;
+/// The sharded topology rebuilt inside the deterministic simulator:
+/// one broker process per shard, shared placement hashes, full mesh.
+pub mod shardsim;
 /// Drives broker nodes from the discrete-event simulator clock.
 pub mod simdrv;
 /// Flat zero-copy wire encoding for events over pooled frame buffers.

@@ -267,6 +267,10 @@ pub struct BrokerNode {
     /// Optional telemetry instruments; `None` costs one branch per
     /// publish, `Some` costs a handful of relaxed atomic adds.
     metrics: Option<Arc<BrokerMetrics>>,
+    /// When set, only *local* subscriber interest is advertised to peers
+    /// (remote interest is never re-propagated). See
+    /// [`BrokerNode::set_local_adverts_only`].
+    local_adverts_only: bool,
 }
 
 impl BrokerNode {
@@ -285,7 +289,26 @@ impl BrokerNode {
             generation: 0,
             plans: HashMap::new(),
             metrics: None,
+            local_adverts_only: false,
         }
+    }
+
+    /// Restricts adverts to this node's *local* subscriber interest:
+    /// remote interest is never re-advertised to other peers.
+    ///
+    /// The default (off) implements NaradaBrokering's tree routing, where
+    /// interest must propagate hop by hop — correct only on acyclic peer
+    /// graphs. Full-mesh topologies (the sharded runtime's one-hop
+    /// forward ring, rebuilt in the simulator by [`crate::shardsim`])
+    /// turn that propagation into an advert/forward loop; with this mode
+    /// on, every node advertises straight to every peer and a data event
+    /// is forwarded at most one hop, exactly the thread runtime's
+    /// semantics.
+    ///
+    /// Set before links come up: the flag only affects adverts emitted
+    /// after the call.
+    pub fn set_local_adverts_only(&mut self, on: bool) {
+        self.local_adverts_only = on;
     }
 
     /// Installs telemetry instruments. Publishes, cache lookups, and
@@ -606,15 +629,23 @@ impl BrokerNode {
             Origin::Broker(peer) => Some(peer),
             Origin::Client(_) => None,
         };
-        for &peer in &plan.remote {
-            if Some(peer) == skip_peer {
-                continue;
+        // One-hop mesh mode: an event that already crossed a link is
+        // delivered locally and never re-forwarded — on a full mesh every
+        // interested peer heard it from the origin broker directly, so a
+        // second hop would duplicate (split horizon alone only protects
+        // the link it came in on, not the rest of a cyclic mesh).
+        let forward = !(self.local_adverts_only && skip_peer.is_some());
+        if forward {
+            for &peer in &plan.remote {
+                if Some(peer) == skip_peer {
+                    continue;
+                }
+                out.push(Action::Forward {
+                    peer,
+                    event: Arc::clone(&event),
+                });
+                self.counters.forwards += 1;
             }
-            out.push(Action::Forward {
-                peer,
-                event: Arc::clone(&event),
-            });
-            self.counters.forwards += 1;
         }
         if out.len() == before {
             self.counters.unroutable += 1;
@@ -661,10 +692,15 @@ impl BrokerNode {
         filter: &TopicFilter,
         actions: &mut Vec<Action>,
     ) {
-        let want = self
-            .interest
-            .get(filter)
-            .is_some_and(|i| i.interesting_to(peer));
+        let want = self.interest.get(filter).is_some_and(|i| {
+            if self.local_adverts_only {
+                // One-hop mesh mode: advertise only what *this* node's
+                // clients subscribed to; peer interest never fans back out.
+                i.local > 0
+            } else {
+                i.interesting_to(peer)
+            }
+        });
         let advertised = self.advertised.entry(peer).or_default();
         let have = advertised.contains(filter);
         if want && !have {

@@ -105,14 +105,36 @@ fn fnv1a_bytes(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Stable owner shard for a topic first segment.
-fn owner_of(head: &str, shards: usize) -> usize {
+/// Stable owner shard for a topic first segment: FNV-1a of the segment
+/// bytes modulo the shard count. Public so other shard layouts — the
+/// simulator bridge in [`crate::shardsim`], capacity harnesses — place
+/// topics exactly where the live runtime would.
+pub fn owner_shard(head: &str, shards: usize) -> usize {
     (fnv1a_bytes(head.as_bytes()) % shards as u64) as usize
 }
 
-/// Stable home shard for a client id.
-fn home_of(client: ClientId, shards: usize) -> usize {
+/// Stable home shard for a client id: FNV-1a of the id's little-endian
+/// bytes modulo the shard count. Public for the same reason as
+/// [`owner_shard`] — one placement function, every deployment shape.
+pub fn home_shard(client: ClientId, shards: usize) -> usize {
     (fnv1a_bytes(&client.value().to_le_bytes()) % shards as u64) as usize
+}
+
+/// The owner shard for a whole topic (hash of its first segment; empty
+/// topics fall back to shard 0, mirroring [`ShardedClient::publish_class`]).
+pub fn owner_shard_of_topic(topic: &Topic, shards: usize) -> usize {
+    match topic.segments().first() {
+        Some(head) => owner_shard(head, shards),
+        None => 0,
+    }
+}
+
+fn owner_of(head: &str, shards: usize) -> usize {
+    owner_shard(head, shards)
+}
+
+fn home_of(client: ClientId, shards: usize) -> usize {
+    home_shard(client, shards)
 }
 
 /// Whether shard `index` can own topics matching `filter`. A literal
@@ -348,10 +370,7 @@ impl ShardedBroker {
     /// The shard that owns publishes to `topic` (hash of its first
     /// segment).
     pub fn shard_for_topic(&self, topic: &Topic) -> usize {
-        match topic.segments().first() {
-            Some(head) => owner_of(head, self.shard_count()),
-            None => 0,
-        }
+        owner_shard_of_topic(topic, self.shard_count())
     }
 
     /// The shard holding `client`'s subscriptions and delivery queue.

@@ -1,0 +1,332 @@
+//! Sharded-broker ↔ simulator bridge.
+//!
+//! The live [`crate::sharded::ShardedBroker`] runs N worker threads and
+//! is therefore not deterministic; the capacity-frontier harness needs
+//! the *same topology* inside the deterministic simulator so that knees
+//! and delay histograms are bit-reproducible per seed. This module
+//! builds that model: one [`BrokerProcess`](crate::simdrv::BrokerProcess)
+//! per shard, each on its own simulated host (its own serial CPU — the
+//! multicore analogue), joined in a full peer mesh.
+//!
+//! The placement functions are shared with the live runtime —
+//! [`crate::sharded::owner_shard`] / [`crate::sharded::home_shard`] — so
+//! a topic or client lands on exactly the shard the thread runtime
+//! would pick, and the one-hop forwarding shape is identical: a publish
+//! enters its owner shard, which delivers to locally-homed subscribers
+//! and forwards at most once per interested peer shard (interest flows
+//! as `AdvertiseAdd` from each home shard, mirroring the refcounted
+//! remote-interest registration of the thread runtime).
+//!
+//! NIC budget: callers pass the **per-shard** NIC bandwidth. The usual
+//! model is `total_nic / shards` — aggregate wire capacity constant
+//! while CPU scales with the shard count — which is what makes the
+//! audio (CPU-bound) knee grow with shards while the video (NIC-bound)
+//! knee stays put, the frontier harness's headline contrast.
+
+use mmcs_sim::net::NicConfig;
+use mmcs_sim::{ProcessId, Simulation};
+use mmcs_util::id::{BrokerId, ClientId};
+use mmcs_util::rate::Bandwidth;
+
+use crate::batch::CostModel;
+use crate::sharded::{home_shard, owner_shard_of_topic};
+use crate::simdrv::BrokerProcess;
+use crate::topic::Topic;
+
+/// Configuration for [`ShardedSimCluster::build`].
+#[derive(Debug, Clone)]
+pub struct ShardedSimConfig {
+    /// Number of shards (one simulated host + broker process each).
+    pub shards: usize,
+    /// CPU cost model charged by every shard.
+    pub cost: CostModel,
+    /// Per-shard NIC bandwidth (typically `total_nic / shards`).
+    pub shard_nic: Bandwidth,
+    /// Per-shard NIC queue limit in bytes.
+    pub queue_bytes: u64,
+}
+
+impl ShardedSimConfig {
+    /// A cluster of `shards` shards splitting `total_nic` evenly, with
+    /// the calibrated NaradaBrokering cost model and the large socket
+    /// buffers the experiments use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn split(shards: usize, total_nic: Bandwidth) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        Self {
+            shards,
+            cost: CostModel::narada(),
+            shard_nic: Bandwidth::from_bps(total_nic.bps() / shards as u64),
+            queue_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// A sharded broker modelled in the deterministic simulator: one
+/// [`BrokerProcess`] per shard, full mesh, shared placement hashes with
+/// the live runtime. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ShardedSimCluster {
+    shards: Vec<ProcessId>,
+}
+
+impl ShardedSimCluster {
+    /// Adds the shard hosts and broker processes to `sim` and meshes
+    /// them. Call before adding clients so process ids stay compact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero.
+    pub fn build(sim: &mut Simulation, config: &ShardedSimConfig) -> Self {
+        assert!(config.shards > 0, "shard count must be positive");
+        let mut shards = Vec::with_capacity(config.shards);
+        for index in 0..config.shards {
+            let host = sim.add_host(
+                &format!("shard-{index}"),
+                NicConfig {
+                    bandwidth: config.shard_nic,
+                    queue_bytes: config.queue_bytes,
+                    ..NicConfig::default()
+                },
+            );
+            // Shard index == BrokerId, matching the thread runtime's
+            // ShardWorker numbering. Local-adverts-only: the mesh has
+            // cycles, so interest must not re-propagate (one-hop ring).
+            let broker = BrokerProcess::new(BrokerId::from_raw(index as u64), config.cost)
+                .with_local_adverts_only();
+            shards.push(sim.add_typed_process(host, broker));
+        }
+        // Full mesh: every shard is a peer of every other, exactly like
+        // the thread runtime's forwarding ring.
+        for a in 0..config.shards {
+            for b in 0..config.shards {
+                if a == b {
+                    continue;
+                }
+                let peer_process = shards[b];
+                sim.process_mut::<BrokerProcess>(shards[a])
+                    .expect("shard process just added")
+                    .add_peer(BrokerId::from_raw(b as u64), peer_process);
+            }
+        }
+        Self { shards }
+    }
+
+    /// Number of shards in the cluster.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The simulator process of shard `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn shard_process(&self, index: usize) -> ProcessId {
+        self.shards[index]
+    }
+
+    /// All shard processes, in shard order.
+    pub fn shard_processes(&self) -> &[ProcessId] {
+        &self.shards
+    }
+
+    /// The shard index owning publishes to `topic` — identical to
+    /// [`crate::sharded::ShardedBroker::shard_for_topic`].
+    pub fn owner_shard(&self, topic: &Topic) -> usize {
+        owner_shard_of_topic(topic, self.shards.len())
+    }
+
+    /// The broker process publishes to `topic` must be sent to.
+    pub fn owner_process(&self, topic: &Topic) -> ProcessId {
+        self.shards[self.owner_shard(topic)]
+    }
+
+    /// The shard index homing `client` — identical to
+    /// [`crate::sharded::ShardedBroker::home_shard`].
+    pub fn home_shard(&self, client: ClientId) -> usize {
+        home_shard(client, self.shards.len())
+    }
+
+    /// The broker process `client` attaches and subscribes at.
+    pub fn home_process(&self, client: ClientId) -> ProcessId {
+        self.shards[self.home_shard(client)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::ShardedBroker;
+    use crate::simdrv::{PublisherConfig, RtpReceiver, VideoPublisher};
+    use crate::topic::TopicFilter;
+    use mmcs_rtp::packet::payload_type;
+    use mmcs_rtp::source::{VideoSource, VideoSourceConfig};
+    use mmcs_util::rng::DetRng;
+    use mmcs_util::time::{SimDuration, SimTime};
+
+    #[test]
+    fn placement_matches_live_runtime() {
+        // The sim cluster and the thread runtime must agree on every
+        // placement decision: same hash, same modulus, same fallbacks.
+        for shards in [1usize, 2, 3, 4, 8] {
+            let live = ShardedBroker::spawn(shards);
+            let mut sim = Simulation::new(1);
+            let cluster = ShardedSimCluster::build(
+                &mut sim,
+                &ShardedSimConfig::split(shards, Bandwidth::from_mbps(310)),
+            );
+            for raw in 1..200u64 {
+                let client = ClientId::from_raw(raw);
+                assert_eq!(cluster.home_shard(client), live.home_shard(client));
+            }
+            for name in ["alpha/x", "bravo/y/z", "sess42/audio", "a", "globalmmcs/capacity/av"] {
+                let topic = Topic::parse(name).unwrap();
+                assert_eq!(cluster.owner_shard(&topic), live.shard_for_topic(&topic));
+            }
+            live.shutdown();
+        }
+    }
+
+    #[test]
+    fn cross_shard_publish_reaches_remote_homed_subscriber() {
+        // Find a (topic, client) pair owned/homed on different shards,
+        // then prove the publish hops the mesh exactly once.
+        let mut sim = Simulation::new(3);
+        let cluster =
+            ShardedSimCluster::build(&mut sim, &ShardedSimConfig::split(4, Bandwidth::from_mbps(310)));
+        let topic = Topic::parse("frontier/video").unwrap();
+        let owner = cluster.owner_shard(&topic);
+        let client = (1..64)
+            .map(ClientId::from_raw)
+            .find(|c| cluster.home_shard(*c) != owner)
+            .expect("some client homes off the owner shard");
+
+        let client_host = sim.add_host("clients", NicConfig::default());
+        let receiver = sim.add_typed_process(
+            client_host,
+            RtpReceiver::new(
+                cluster.home_process(client),
+                client,
+                TopicFilter::exact(&topic),
+                payload_type::H263,
+                SimDuration::from_micros(10),
+            ),
+        );
+        let sender_host = sim.add_host("sender", NicConfig::default());
+        let mut config = PublisherConfig::new(
+            cluster.owner_process(&topic),
+            ClientId::from_raw(9000),
+            topic,
+        );
+        config.max_packets = 40;
+        let source = VideoSource::new(VideoSourceConfig::default(), 7, DetRng::new(11));
+        sim.add_typed_process(sender_host, VideoPublisher::new(config, source));
+
+        sim.run_until(SimTime::from_secs(10));
+        let stats = sim.process_ref::<RtpReceiver>(receiver).unwrap().stats();
+        assert_eq!(stats.received(), 40, "all packets across the shard hop");
+        assert_eq!(stats.lost(), 0);
+        // Exactly one mesh hop per packet: owner shard -> home shard.
+        assert_eq!(sim.counter("broker.forwarded"), 40);
+    }
+
+    #[test]
+    fn same_shard_publish_never_hops() {
+        let mut sim = Simulation::new(5);
+        let cluster =
+            ShardedSimCluster::build(&mut sim, &ShardedSimConfig::split(4, Bandwidth::from_mbps(310)));
+        let topic = Topic::parse("frontier/video").unwrap();
+        let owner = cluster.owner_shard(&topic);
+        let client = (1..64)
+            .map(ClientId::from_raw)
+            .find(|c| cluster.home_shard(*c) == owner)
+            .expect("some client homes on the owner shard");
+
+        let client_host = sim.add_host("clients", NicConfig::default());
+        let receiver = sim.add_typed_process(
+            client_host,
+            RtpReceiver::new(
+                cluster.home_process(client),
+                client,
+                TopicFilter::exact(&topic),
+                payload_type::H263,
+                SimDuration::from_micros(10),
+            ),
+        );
+        let sender_host = sim.add_host("sender", NicConfig::default());
+        let mut config = PublisherConfig::new(
+            cluster.owner_process(&topic),
+            ClientId::from_raw(9000),
+            topic,
+        );
+        config.max_packets = 25;
+        let source = VideoSource::new(VideoSourceConfig::default(), 7, DetRng::new(11));
+        sim.add_typed_process(sender_host, VideoPublisher::new(config, source));
+
+        sim.run_until(SimTime::from_secs(10));
+        let stats = sim.process_ref::<RtpReceiver>(receiver).unwrap().stats();
+        assert_eq!(stats.received(), 25);
+        assert_eq!(sim.counter("broker.forwarded"), 0, "owner == home: no hop");
+    }
+
+    #[test]
+    fn broadcast_to_all_shards_delivers_exactly_once() {
+        // The duplication regression: when *every* shard has local
+        // subscribers on one topic, each advertises interest to each
+        // peer — a forwarded event must still stop after one hop, not
+        // ricochet around the mesh and deliver copies.
+        let shards = 4usize;
+        let mut sim = Simulation::new(9);
+        let cluster = ShardedSimCluster::build(
+            &mut sim,
+            &ShardedSimConfig::split(shards, Bandwidth::from_mbps(310)),
+        );
+        let topic = Topic::parse("frontier/broadcast").unwrap();
+        let owner = cluster.owner_shard(&topic);
+
+        // One receiver homed on every shard.
+        let client_host = sim.add_host("clients", NicConfig::default());
+        let mut receivers = Vec::new();
+        for shard in 0..shards {
+            let client = (1..256)
+                .map(ClientId::from_raw)
+                .find(|c| cluster.home_shard(*c) == shard)
+                .expect("some client homes on each shard");
+            receivers.push(sim.add_typed_process(
+                client_host,
+                RtpReceiver::new(
+                    cluster.home_process(client),
+                    client,
+                    TopicFilter::exact(&topic),
+                    payload_type::H263,
+                    SimDuration::from_micros(10),
+                ),
+            ));
+        }
+        let sender_host = sim.add_host("sender", NicConfig::default());
+        let mut config = PublisherConfig::new(
+            cluster.owner_process(&topic),
+            ClientId::from_raw(9000),
+            topic,
+        );
+        config.max_packets = 30;
+        let source = VideoSource::new(VideoSourceConfig::default(), 7, DetRng::new(11));
+        sim.add_typed_process(sender_host, VideoPublisher::new(config, source));
+
+        sim.run_until(SimTime::from_secs(10));
+        for receiver in &receivers {
+            let stats = sim.process_ref::<RtpReceiver>(*receiver).unwrap().stats();
+            assert_eq!(stats.received(), 30, "exactly once per subscriber");
+        }
+        // One hop to each non-owner shard and nothing further.
+        assert_eq!(
+            sim.counter("broker.forwarded"),
+            30 * (shards as u64 - 1),
+            "owner {owner} forwards once per interested peer"
+        );
+    }
+}

@@ -151,6 +151,9 @@ pub struct BrokerProcess {
     /// Telemetry instruments, kept here (durable configuration, like
     /// `liveness_cfg`) so a restart reinstalls them on the fresh node.
     metrics: Option<Arc<BrokerMetrics>>,
+    /// Durable copy of [`BrokerNode::set_local_adverts_only`], reapplied
+    /// to the fresh node after a simulated restart.
+    local_adverts_only: bool,
 }
 
 /// Timer token for the liveness tick.
@@ -184,7 +187,18 @@ impl BrokerProcess {
             peer_history: Vec::new(),
             scratch: Vec::new(),
             metrics: None,
+            local_adverts_only: false,
         }
+    }
+
+    /// One-hop mesh mode, builder style: adverts carry only local
+    /// subscriber interest (see [`BrokerNode::set_local_adverts_only`]).
+    /// Required whenever the peer graph has cycles — the full-mesh shard
+    /// cluster of [`crate::shardsim`] — and durable across restarts.
+    pub fn with_local_adverts_only(mut self) -> Self {
+        self.node.set_local_adverts_only(true);
+        self.local_adverts_only = true;
+        self
     }
 
     /// Installs telemetry instruments on this broker: the node reports
@@ -396,6 +410,7 @@ impl Process for BrokerProcess {
         // is durable. Suspicion/rejoin histories belong to the harness
         // observer and deliberately survive.
         self.node = BrokerNode::new(self.node.id());
+        self.node.set_local_adverts_only(self.local_adverts_only);
         if let Some(m) = &self.metrics {
             self.node.set_metrics(Arc::clone(m));
         }
@@ -1252,5 +1267,192 @@ mod liveness_tests {
         assert_eq!(sim.counter("broker.peer_suspected"), 0);
         let stats = sim.process_ref::<RtpReceiver>(receiver).unwrap().stats();
         assert_eq!(stats.received(), 200);
+    }
+}
+
+/// A weighted receiver standing in for `weight` co-located clients — the
+/// simulation-side analogue of [`MulticastRelay`]: the broker performs
+/// one delivery per bundle (a [`TransportProfile::Multicast`] client when
+/// `weight > 1`), and the bundle accounts for all `weight` clients behind
+/// it — recording the delivery delay `weight` times into a shared
+/// histogram pool and charging `weight ×` the per-client receive CPU.
+///
+/// This is what makes million-subscriber scenarios simulable: broker work
+/// and simulator events scale with the number of *bundles*, while the
+/// delay histogram and CPU accounting still reflect every individual
+/// client. With `weight == 1` the bundle degenerates to an honest unicast
+/// receiver (UDP profile, one delivery per client) for knee sweeps where
+/// per-client broker cost must stay real.
+///
+/// The histogram pool is shared (`Arc`) so one pool per home shard can
+/// absorb deliveries from thousands of bundles without per-receiver
+/// snapshot merging — the "histogram pooling across shards" used by the
+/// capacity-frontier harness.
+pub struct ClientBundle {
+    broker: ProcessId,
+    client: ClientId,
+    filter: TopicFilter,
+    weight: u64,
+    recv_cpu: SimDuration,
+    delay_pool: Arc<mmcs_telemetry::Histogram>,
+    received: u64,
+}
+
+impl ClientBundle {
+    /// Creates a bundle of `weight` clients behind one delivery, homed at
+    /// `broker`, subscribing to `filter` on start, pooling delay samples
+    /// (one per represented client) into `delay_pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero.
+    pub fn new(
+        broker: ProcessId,
+        client: ClientId,
+        filter: TopicFilter,
+        weight: u64,
+        recv_cpu: SimDuration,
+        delay_pool: Arc<mmcs_telemetry::Histogram>,
+    ) -> Self {
+        assert!(weight > 0, "a bundle must represent at least one client");
+        Self {
+            broker,
+            client,
+            filter,
+            weight,
+            recv_cpu,
+            delay_pool,
+            received: 0,
+        }
+    }
+
+    /// Broker deliveries received (events, not per-client copies).
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// The number of clients this bundle represents.
+    pub fn weight(&self) -> u64 {
+        self.weight
+    }
+}
+
+impl Process for ClientBundle {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let profile = if self.weight > 1 {
+            TransportProfile::Multicast
+        } else {
+            TransportProfile::Udp
+        };
+        ctx.send(
+            self.broker,
+            BrokerMsg::Attach {
+                client: self.client,
+                process: ctx.me(),
+                profile,
+            },
+            CONTROL_BYTES,
+        );
+        ctx.send(
+            self.broker,
+            BrokerMsg::Subscribe {
+                client: self.client,
+                filter: self.filter.clone(),
+            },
+            CONTROL_BYTES,
+        );
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        let Some(ClientMsg::Deliver(event)) = packet.payload::<ClientMsg>() else {
+            ctx.count("bundle.bad_payload", 1);
+            return;
+        };
+        let delay = ctx.now().saturating_duration_since(event.published_at);
+        self.delay_pool.record_n(delay.as_nanos(), self.weight);
+        self.received += 1;
+        ctx.count("bundle.delivered_clients", self.weight);
+        ctx.spend_cpu(self.recv_cpu * self.weight);
+    }
+}
+
+#[cfg(test)]
+mod bundle_tests {
+    use super::*;
+    use mmcs_rtp::source::{VideoSource, VideoSourceConfig};
+    use mmcs_sim::net::NicConfig;
+    use mmcs_sim::Simulation;
+    use mmcs_telemetry::Histogram;
+    use mmcs_util::rng::DetRng;
+    use mmcs_util::time::SimTime;
+
+    #[test]
+    fn bundle_records_weight_samples_per_delivery() {
+        let mut sim = Simulation::new(4);
+        let broker_host = sim.add_host("broker", NicConfig::default());
+        let segment_host = sim.add_host("segment", NicConfig::default());
+        let broker = sim.add_typed_process(
+            broker_host,
+            BrokerProcess::new(BrokerId::from_raw(1), CostModel::narada()),
+        );
+        let topic = Topic::parse("conf/3/video").unwrap();
+        let pool = Arc::new(Histogram::new());
+        let bundle = sim.add_typed_process(
+            segment_host,
+            ClientBundle::new(
+                broker,
+                ClientId::from_raw(500),
+                TopicFilter::exact(&topic),
+                250,
+                SimDuration::from_nanos(40),
+                Arc::clone(&pool),
+            ),
+        );
+        let mut config = PublisherConfig::new(broker, ClientId::from_raw(1), topic);
+        config.max_packets = 30;
+        let source = VideoSource::new(VideoSourceConfig::default(), 5, DetRng::new(6));
+        sim.add_typed_process(broker_host, VideoPublisher::new(config, source));
+
+        sim.run_until(SimTime::from_secs(10));
+        let bundle_ref = sim.process_ref::<ClientBundle>(bundle).unwrap();
+        assert_eq!(bundle_ref.received(), 30);
+        // One broker delivery per event, but weight samples per delivery.
+        assert_eq!(sim.counter("broker.delivered"), 30);
+        assert_eq!(sim.counter("bundle.delivered_clients"), 30 * 250);
+        let snap = pool.snapshot();
+        assert_eq!(snap.count(), 30 * 250);
+        assert!(snap.mean() > 0.0, "delays are positive");
+    }
+
+    #[test]
+    fn weight_one_bundle_uses_unicast_profile_costs() {
+        // Two sims: a weight-1 bundle vs an RtpReceiver-style unicast
+        // client must cost the broker the same number of deliveries.
+        let mut sim = Simulation::new(9);
+        let host = sim.add_host("all", NicConfig::default());
+        let broker = sim.add_typed_process(
+            host,
+            BrokerProcess::new(BrokerId::from_raw(1), CostModel::narada()),
+        );
+        let topic = Topic::parse("conf/8/audio").unwrap();
+        let pool = Arc::new(Histogram::new());
+        sim.add_typed_process(
+            host,
+            ClientBundle::new(
+                broker,
+                ClientId::from_raw(2),
+                TopicFilter::exact(&topic),
+                1,
+                SimDuration::from_micros(10),
+                Arc::clone(&pool),
+            ),
+        );
+        let mut config = PublisherConfig::new(broker, ClientId::from_raw(1), topic);
+        config.max_packets = 20;
+        let source = mmcs_rtp::source::AudioSource::new(mmcs_rtp::source::AudioCodec::Pcmu, 3);
+        sim.add_typed_process(host, AudioPublisher::new(config, source));
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.counter("broker.delivered"), 20);
+        assert_eq!(pool.snapshot().count(), 20);
     }
 }

@@ -41,18 +41,11 @@ fn escape_json(s: &str) -> String {
     out
 }
 
-/// If the `MMCS_BENCH_JSON` environment variable names a file, writes
-/// every benchmark recorded so far to it as a JSON array of
-/// `{group, id, mean_ns, min_ns, max_ns, samples, iters}` objects.
-/// Called automatically by the `criterion_main!` expansion after all
-/// groups have run; a no-op when the variable is unset.
-pub fn write_json_if_requested() {
-    let Ok(path) = std::env::var("MMCS_BENCH_JSON") else {
-        return;
-    };
-    if path.is_empty() {
-        return;
-    }
+/// Renders every benchmark recorded so far in this process as a JSON
+/// array of `{group, id, mean_ns, min_ns, max_ns, samples, iters}`
+/// objects — key order fixed, floats printed with one decimal — so the
+/// output is schema-stable for CI diffing and golden tests.
+pub fn render_json() -> String {
     let results = RESULTS.lock().unwrap_or_else(|e| e.into_inner());
     let mut json = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
@@ -72,10 +65,26 @@ pub fn write_json_if_requested() {
         ));
     }
     json.push_str("\n]\n");
+    json
+}
+
+/// If the `MMCS_BENCH_JSON` environment variable names a file, writes
+/// [`render_json`]'s output to it. Called automatically by the
+/// `criterion_main!` expansion after all groups have run; a no-op when
+/// the variable is unset.
+pub fn write_json_if_requested() {
+    let Ok(path) = std::env::var("MMCS_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let json = render_json();
+    let count = RESULTS.lock().unwrap_or_else(|e| e.into_inner()).len();
     if let Err(err) = std::fs::write(&path, json) {
         eprintln!("criterion shim: cannot write {path}: {err}");
     } else {
-        println!("criterion shim: wrote {} result(s) to {path}", results.len());
+        println!("criterion shim: wrote {count} result(s) to {path}");
     }
 }
 

@@ -310,6 +310,21 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Merges any number of snapshots into one, equivalent to a single
+    /// histogram having recorded every sample set — the pooling step
+    /// for per-shard histograms: each shard keeps its own pool, and the
+    /// capacity-frontier report merges them. `count` and `sum` add
+    /// exactly, so the merged [`HistogramSnapshot::mean`] equals the
+    /// pooled mean with no bucketing error, in any merge order.
+    pub fn merge_all<'a, I>(snapshots: I) -> HistogramSnapshot
+    where
+        I: IntoIterator<Item = &'a HistogramSnapshot>,
+    {
+        snapshots
+            .into_iter()
+            .fold(HistogramSnapshot::empty(), |acc, s| acc.merge(s))
+    }
+
     /// Iterates non-empty buckets as `(inclusive upper bound, count)`,
     /// in increasing bound order — the shape Prometheus exposition
     /// needs for cumulative `le` buckets.
@@ -412,6 +427,32 @@ mod tests {
             u.record(v);
         }
         assert_eq!(a.snapshot().merge(&b.snapshot()), u.snapshot());
+    }
+
+    #[test]
+    fn merge_all_equals_one_pooled_histogram() {
+        // Three per-shard pools vs one histogram that saw every sample:
+        // merge_all must be exactly the pooled snapshot, and the mean
+        // must be exact (sum/count carry no bucketing error).
+        let pools = [Histogram::new(), Histogram::new(), Histogram::new()];
+        let union = Histogram::new();
+        for v in 0..900u64 {
+            let v = v * 131 + 7;
+            pools[(v % 3) as usize].record_n(v, 1 + v % 4);
+            union.record_n(v, 1 + v % 4);
+        }
+        let snaps: Vec<HistogramSnapshot> = pools.iter().map(Histogram::snapshot).collect();
+        let merged = HistogramSnapshot::merge_all(&snaps);
+        assert_eq!(merged, union.snapshot());
+        assert_eq!(merged.mean(), union.snapshot().mean());
+        // Order independence.
+        let reversed = HistogramSnapshot::merge_all(snaps.iter().rev());
+        assert_eq!(reversed, merged);
+        // Empty input is the empty snapshot.
+        assert_eq!(
+            HistogramSnapshot::merge_all(std::iter::empty()),
+            HistogramSnapshot::empty()
+        );
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! accounting code path, no drift between "what the bench prints" and
 //! "what the metrics say".
 
-use mmcs_bench::fig3::{run, Fig3Config, SystemResult};
+use mmcs_bench::fig3::{run, run_narada_sharded, Fig3Config, SystemResult};
+use mmcs_telemetry::HistogramSnapshot;
 use mmcs_util::rate::Bandwidth;
 
 fn small_config() -> Fig3Config {
@@ -61,4 +62,34 @@ fn fig3_averages_equal_their_histogram_derivation() {
     let again = run(&config);
     assert_eq!(result.narada.delay_hist, again.narada.delay_hist);
     assert_eq!(result.jmf.jitter_hist, again.jmf.jitter_hist);
+}
+
+#[test]
+fn sharded_fig3_per_shard_pools_merge_to_the_system_histogram() {
+    let config = small_config();
+    for shards in [1usize, 3] {
+        let result = run_narada_sharded(&config, shards);
+        assert_eq!(result.shards, shards);
+        assert_eq!(result.shard_delay.len(), shards);
+        crosscheck("narada-sharded", &result.system, config.measured);
+        // The per-home-shard pools are a *partition* of the measured
+        // delay samples: merging them (in any order) reproduces the
+        // system histogram exactly — count, sum, buckets and therefore
+        // the exact mean. One accounting code path across shards.
+        let merged = HistogramSnapshot::merge_all(&result.shard_delay);
+        assert_eq!(
+            merged, result.system.delay_hist,
+            "{shards} shards: merged per-shard pools must equal the pooled histogram"
+        );
+        let mut reversed: Vec<HistogramSnapshot> = result.shard_delay.clone();
+        reversed.reverse();
+        assert_eq!(
+            HistogramSnapshot::merge_all(&reversed).mean(),
+            result.system.delay_hist.mean(),
+            "merge order must not perturb the exact mean"
+        );
+        // And the second run is bit-identical, shard pools included.
+        let again = run_narada_sharded(&config, shards);
+        assert_eq!(result.shard_delay, again.shard_delay);
+    }
 }

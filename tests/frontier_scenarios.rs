@@ -1,0 +1,46 @@
+//! The frontier's headline scenarios at full scale: the simulated
+//! million-subscriber broadcast and the 100k-client interactive
+//! conference. Bundled receivers make the scale tractable; unbundled
+//! spot-check receivers prove the bundles aren't hiding lost or
+//! duplicated deliveries — every spot client must see exactly every
+//! packet.
+
+use mmcs_bench::frontier::{self, GOOD_P99_DELAY_MS};
+use mmcs_bench::capacity::GOOD_LOSS;
+
+#[test]
+fn million_subscriber_broadcast_delivers_exactly() {
+    let scenario = frontier::million_broadcast();
+    let p = &scenario.point;
+    assert_eq!(scenario.name, "broadcast_1m");
+    assert_eq!(p.clients, 1_000_000);
+    assert_eq!(p.expected, 1_000_000 * scenario.config.packets);
+    // Exact delivery: one publisher, 8 shards, a million subscribers —
+    // nothing lost, nothing duplicated.
+    assert_eq!(p.delivered, p.expected, "delivered/expected mismatch");
+    assert!(p.spot_expected > 0);
+    assert!(p.spot_exact(), "spot {}/{}", p.spot_delivered, p.spot_expected);
+    assert!(p.good, "p99 {} ms, loss {}", p.p99_delay_ms, p.loss);
+    assert!(p.p99_delay_ms < GOOD_P99_DELAY_MS);
+    // The delay pool really covers all million clients.
+    let pooled: u64 = p.shard_delay.iter().map(|s| s.count()).sum();
+    assert_eq!(pooled, p.expected);
+}
+
+#[test]
+fn conference_100k_stays_inside_the_quality_bound() {
+    let scenario = frontier::conference_100k();
+    let p = &scenario.point;
+    assert_eq!(scenario.name, "conference_100k");
+    assert!(p.clients >= 100_000);
+    assert!(p.loss < GOOD_LOSS, "loss {}", p.loss);
+    assert!(p.spot_exact(), "spot {}/{}", p.spot_delivered, p.spot_expected);
+    assert!(p.good, "p99 {} ms, loss {}", p.p99_delay_ms, p.loss);
+    // 2000 sessions of 50: deliveries spread across all 16 home shards.
+    assert_eq!(p.shard_delay.len(), 16);
+    assert!(
+        p.shard_delay.iter().all(|s| s.count() > 0),
+        "every shard pools samples: {:?}",
+        p.shard_delay.iter().map(|s| s.count()).collect::<Vec<_>>()
+    );
+}
