@@ -201,8 +201,10 @@ impl CallGraph {
         graph
     }
 
-    /// Finds the node for `(path suffix, fn name)`, if present.
-    pub fn find(&self, files: &[ParsedFile], path_suffix: &str, name: &str) -> Option<NodeId> {
+    /// Finds the node for `(path suffix, fn name)`, if present. Not
+    /// named `find` so calls to `Iterator::find` in analyzed code do
+    /// not resolve here and drag this crate into reachability chains.
+    pub fn find_fn(&self, files: &[ParsedFile], path_suffix: &str, name: &str) -> Option<NodeId> {
         self.nodes.iter().position(|n| {
             let f = &files[n.file];
             f.src.path.ends_with(path_suffix) && f.fns[n.def].name == name
@@ -330,8 +332,8 @@ mod tests {
             ("a.rs", "fn helper() {}\nfn top() { helper(); }\n"),
             ("b.rs", "fn helper() {}\n"),
         ]);
-        let top = g.find(&files, "a.rs", "top").unwrap();
-        let a_helper = g.find(&files, "a.rs", "helper").unwrap();
+        let top = g.find_fn(&files, "a.rs", "top").unwrap();
+        let a_helper = g.find_fn(&files, "a.rs", "helper").unwrap();
         let callees: Vec<NodeId> = g.nodes[top].calls.iter().flat_map(|(_, t)| t.clone()).collect();
         assert_eq!(callees, vec![a_helper]);
     }
@@ -342,7 +344,7 @@ mod tests {
             "a.rs",
             "struct A;\nimpl A {\n    fn go() {}\n}\nstruct B;\nimpl B {\n    fn go() {}\n}\nfn top() { A::go(); }\n",
         )]);
-        let top = g.find(&files, "a.rs", "top").unwrap();
+        let top = g.find_fn(&files, "a.rs", "top").unwrap();
         let callees: Vec<String> = g.nodes[top]
             .calls
             .iter()
@@ -358,7 +360,7 @@ mod tests {
             "struct A;\nimpl A {\n    fn step(&self) {}\n    fn run(&self) { self.step(); }\n}\n\
              struct B;\nimpl B {\n    fn step(&self) {}\n}\n",
         )]);
-        let run = g.find(&files, "a.rs", "run").unwrap();
+        let run = g.find_fn(&files, "a.rs", "run").unwrap();
         let callees: Vec<String> = g.nodes[run]
             .calls
             .iter()
@@ -374,7 +376,7 @@ mod tests {
             "struct A;\nimpl A {\n    fn step(&self) {}\n}\nstruct B;\nimpl B {\n    fn step(&self) {}\n}\n\
              fn top(x: &A) { x.step(); }\n",
         )]);
-        let top = g.find(&files, "a.rs", "top").unwrap();
+        let top = g.find_fn(&files, "a.rs", "top").unwrap();
         let callees: Vec<String> = g.nodes[top]
             .calls
             .iter()
@@ -391,7 +393,7 @@ mod tests {
              struct Time;\nimpl std::ops::Sub for Time {\n    type Output = Time;\n    fn sub(self, rhs: Time) -> Time { rhs }\n}\n\
              fn top(g: &Gauge) { g.sub(1); }\n",
         )]);
-        let top = g.find(&files, "a.rs", "top").unwrap();
+        let top = g.find_fn(&files, "a.rs", "top").unwrap();
         let callees: Vec<String> = g.nodes[top]
             .calls
             .iter()
@@ -406,9 +408,9 @@ mod tests {
             "a.rs",
             "fn leaf() {}\nfn mid() { leaf(); }\nfn root() { mid(); }\nfn island() {}\n",
         )]);
-        let root = g.find(&files, "a.rs", "root").unwrap();
-        let leaf = g.find(&files, "a.rs", "leaf").unwrap();
-        let island = g.find(&files, "a.rs", "island").unwrap();
+        let root = g.find_fn(&files, "a.rs", "root").unwrap();
+        let leaf = g.find_fn(&files, "a.rs", "leaf").unwrap();
+        let island = g.find_fn(&files, "a.rs", "island").unwrap();
         let parent = g.reach(&[root]);
         assert!(parent.contains_key(&leaf));
         assert!(!parent.contains_key(&island));
@@ -421,8 +423,8 @@ mod tests {
             "a.rs",
             "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { super::lib(); }\n}\n",
         )]);
-        assert!(g.find(&files, "a.rs", "t").is_none());
-        assert!(g.find(&files, "a.rs", "lib").is_some());
+        assert!(g.find_fn(&files, "a.rs", "t").is_none());
+        assert!(g.find_fn(&files, "a.rs", "lib").is_some());
     }
 
     #[test]

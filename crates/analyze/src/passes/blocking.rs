@@ -18,7 +18,10 @@ use super::Workspace;
 pub const LINT: &str = "blocking-in-shard-worker";
 
 /// The worker-loop roots: `(path suffix, self type, fn name)`.
-pub const ROOTS: &[(&str, &str, &str)] = &[("crates/broker/src/sharded.rs", "ShardWorker", "run")];
+pub const ROOTS: &[(&str, &str, &str)] = &[
+    ("crates/broker/src/sharded.rs", "ShardWorker", "run"),
+    ("crates/broker/src/cluster.rs", "ClusterWorker", "run"),
+];
 
 /// The check pass: BFS from the worker loop, scan every reachable body
 /// for blocking constructs, and skip the sanctioned ingress `.recv()`

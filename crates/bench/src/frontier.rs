@@ -29,6 +29,8 @@
 use std::sync::Arc;
 
 use mmcs_broker::batch::CostModel;
+use mmcs_broker::cluster::LatencyMap;
+use mmcs_broker::clustersim::{ClusterSimConfig, ClusterSimNet};
 use mmcs_broker::shardsim::{ShardedSimCluster, ShardedSimConfig};
 use mmcs_broker::simdrv::{
     AudioPublisher, ClientBundle, PublisherConfig, RtpReceiver, VideoPublisher,
@@ -498,6 +500,200 @@ pub fn conference_100k() -> ScenarioResult {
     }
 }
 
+/// Measures one federation point: the same conference load as
+/// [`run_point`], but spread across a full-mesh
+/// [`ClusterSimNet`] of `nodes` gateway nodes instead of the shards of
+/// one process. Clients and publishers home round-robin to zone
+/// gateways (zone `z` → node `z % nodes`), so most deliveries cross at
+/// least one inter-node link — the federation counterpart of the
+/// sharded sweeps, holding aggregate NIC constant while adding nodes.
+pub fn run_federation_point(config: &FrontierConfig, nodes: usize) -> FrontierPoint {
+    assert!(nodes > 0, "need at least one node");
+    assert!(config.fanout > 0, "need a positive session size");
+    assert!(config.bundle > 0, "need a positive bundle weight");
+    let mut sim = Simulation::new(config.seed);
+    let net = ClusterSimNet::build(
+        &mut sim,
+        &ClusterSimConfig {
+            latency: LatencyMap::full_mesh(nodes, 2),
+            cost: config.cost,
+            node_nic: Bandwidth::from_bps(config.total_nic.bps() / nodes as u64),
+            queue_bytes: 64 * 1024 * 1024,
+        },
+    );
+    sim.set_default_latency(config.lan_latency);
+
+    let sessions = config.clients.div_ceil(config.fanout).max(1);
+    let mut next_client = 1_000u64;
+    let mut next_zone = 0usize;
+    let mut bundles = Vec::new();
+    let pools: Vec<Arc<Histogram>> = (0..nodes).map(|_| Arc::new(Histogram::new())).collect();
+
+    let mut bundle_host = None;
+    let mut bundles_on_host = 0u64;
+    let mut remaining = config.clients;
+    for session in 0..sessions {
+        let session_size = config.fanout.min(remaining);
+        remaining -= session_size;
+        let topic = Topic::parse(&format!("s{session}/av")).expect("static session topic");
+        let filter = TopicFilter::exact(&topic);
+        let mut left = session_size;
+        while left > 0 {
+            let weight = config.bundle.min(left);
+            left -= weight;
+            if bundles_on_host == 0 {
+                bundle_host = Some(sim.add_host(
+                    &format!("zone-seg-{}", bundles.len() / config.bundles_per_host as usize),
+                    NicConfig::default(),
+                ));
+            }
+            let host = bundle_host.expect("host created above");
+            bundles_on_host = (bundles_on_host + 1) % config.bundles_per_host;
+            let client = ClientId::from_raw(next_client);
+            next_client += 1;
+            let zone = next_zone;
+            next_zone += 1;
+            let home = net.home_node(zone);
+            let process = sim.add_typed_process(
+                host,
+                ClientBundle::new(
+                    net.home_process(zone),
+                    client,
+                    filter.clone(),
+                    weight,
+                    config.recv_cpu,
+                    Arc::clone(&pools[home]),
+                ),
+            );
+            bundles.push((process, weight));
+        }
+    }
+
+    let spot_topic = Topic::parse("s0/av").expect("static session topic");
+    let mut spot_ids = Vec::new();
+    if config.spot_clients > 0 {
+        let spot_host = sim.add_host("spot", NicConfig::default());
+        let pt = match config.media {
+            Media::Audio => payload_type::PCMU,
+            Media::Video => payload_type::H263,
+        };
+        for _ in 0..config.spot_clients {
+            let client = ClientId::from_raw(next_client);
+            next_client += 1;
+            let zone = next_zone;
+            next_zone += 1;
+            spot_ids.push(sim.add_typed_process(
+                spot_host,
+                RtpReceiver::new(
+                    net.home_process(zone),
+                    client,
+                    TopicFilter::exact(&spot_topic),
+                    pt,
+                    config.recv_cpu,
+                ),
+            ));
+        }
+    }
+
+    // One publisher per session, entering at its own zone gateway —
+    // where a federation client would publish — not at some owner node.
+    let mut sender_host = None;
+    for session in 0..sessions {
+        if session % config.publishers_per_host == 0 {
+            sender_host = Some(sim.add_host(
+                &format!("zone-senders-{}", session / config.publishers_per_host),
+                NicConfig::default(),
+            ));
+        }
+        let host = sender_host.expect("host created above");
+        let topic = Topic::parse(&format!("s{session}/av")).expect("static session topic");
+        let mut publisher_config = PublisherConfig::new(
+            net.home_process(session as usize),
+            ClientId::from_raw(next_client),
+            topic,
+        );
+        next_client += 1;
+        publisher_config.start_delay = config.start_delay + config.stagger_offset(session);
+        publisher_config.max_packets = config.packets;
+        match config.media {
+            Media::Audio => {
+                let source = AudioSource::new(AudioCodec::Pcmu, 0xA0D10 + session as u32);
+                sim.add_typed_process(host, AudioPublisher::new(publisher_config, source));
+            }
+            Media::Video => {
+                let source = VideoSource::new(
+                    VideoSourceConfig::default(),
+                    0x71DE0 + session as u32,
+                    DetRng::new(config.seed ^ (0xFEED + session)),
+                );
+                sim.add_typed_process(host, VideoPublisher::new(publisher_config, source));
+            }
+        }
+    }
+
+    sim.run_until(config.deadline());
+
+    let mut expected = 0u64;
+    let mut delivered = 0u64;
+    for (process, weight) in &bundles {
+        let bundle = sim
+            .process_ref::<ClientBundle>(*process)
+            .expect("bundle process");
+        expected += weight * config.packets;
+        delivered += weight * bundle.received().min(config.packets);
+    }
+    let spot_expected = config.spot_clients * config.packets;
+    let mut spot_delivered = 0u64;
+    for id in &spot_ids {
+        spot_delivered += sim
+            .process_ref::<RtpReceiver>(*id)
+            .expect("spot receiver")
+            .stats()
+            .received();
+    }
+
+    let shard_delay: Vec<HistogramSnapshot> = pools.iter().map(|p| p.snapshot()).collect();
+    let merged = HistogramSnapshot::merge_all(&shard_delay);
+    let mean_delay_ms = merged.mean() / 1e6;
+    let p99_delay_ms = merged.quantile(0.99).unwrap_or(0) as f64 / 1e6;
+    let loss = if expected == 0 {
+        0.0
+    } else {
+        1.0 - delivered as f64 / expected as f64
+    };
+    let good = p99_delay_ms < GOOD_P99_DELAY_MS && loss < GOOD_LOSS && delivered > 0;
+    FrontierPoint {
+        clients: config.clients,
+        shards: nodes,
+        fanout: config.fanout,
+        mean_delay_ms,
+        p99_delay_ms,
+        loss,
+        expected,
+        delivered,
+        spot_expected,
+        spot_delivered,
+        good,
+        shard_delay,
+    }
+}
+
+/// The federation point in the frontier report: a reduced-scale audio
+/// conference across a 3-node full-mesh federation, with spot
+/// receivers proving exact cross-gateway delivery.
+pub fn federation_point() -> ScenarioResult {
+    let nodes = 3usize;
+    let mut config = FrontierConfig::reduced(Media::Audio, nodes, 120, 10);
+    config.packets = 60;
+    config.spot_clients = 2;
+    let point = run_federation_point(&config, nodes);
+    ScenarioResult {
+        name: "federation_audio_3node".to_owned(),
+        config,
+        point,
+    }
+}
+
 /// A full frontier report: sweeps plus headline scenarios, renderable
 /// as the `BENCH_capacity.json` artifact.
 #[derive(Debug, Clone)]
@@ -571,7 +767,7 @@ pub fn reduced_report() -> FrontierReport {
         mode: "reduced".to_owned(),
         seed: 77,
         sweeps,
-        scenarios: vec![million_broadcast(), conference_100k()],
+        scenarios: vec![million_broadcast(), conference_100k(), federation_point()],
     }
 }
 
@@ -834,6 +1030,25 @@ mod tests {
         let bundled = run_point(&bundled_config);
         assert_eq!(bundled.expected, unbundled.expected);
         assert_eq!(bundled.delivered, bundled.expected, "{bundled:?}");
+    }
+
+    #[test]
+    fn federation_point_delivers_exactly_across_gateways() {
+        let mut config = tiny(Media::Audio, 3, 30);
+        config.packets = 20;
+        config.spot_clients = 2;
+        let point = run_federation_point(&config, 3);
+        assert_eq!(point.delivered, point.expected, "{point:?}");
+        assert!(point.spot_exact(), "{point:?}");
+        assert!(point.good, "{point:?}");
+        // Delay samples pooled per home node, and several nodes were hit.
+        assert_eq!(point.shard_delay.len(), 3);
+        let populated = point
+            .shard_delay
+            .iter()
+            .filter(|s| s.count() > 0)
+            .count();
+        assert!(populated >= 2, "load spread across gateways: {point:?}");
     }
 
     #[test]

@@ -1,0 +1,2120 @@
+//! Broker federation: N sharded broker nodes joined into one cluster.
+//!
+//! This is the paper's NaradaBrokering layout one level up from
+//! [`crate::sharded`]: each **node** runs a whole [`ShardedBroker`]
+//! (one process worth of cores), nodes exchange subscription interest
+//! via the anti-entropy gossip of [`crate::gossip`], and events cross
+//! nodes as [`ClusterFrame`]s — a 16-byte envelope around the PR-6
+//! zero-copy [`crate::wire`] event frame. Clients are homed to the
+//! nearest **zone gateway** by a static [`LatencyMap`], and inter-node
+//! routing follows latency-weighted shortest paths ([`RouteTable`],
+//! Floyd–Warshall over the same map) with a hard hop bound
+//! ([`MAX_HOPS`]) so no forwarding loop can survive.
+//!
+//! # Data path
+//!
+//! A publish enters the client's home node, is injected into that
+//! node's own sharded broker ([`ShardedBroker::inject`]: local
+//! deliveries plus the intra-node ring hop), and is then forwarded
+//! once per *interested* node — the gossip view answers "who needs
+//! this topic" from a generation-stamped cache — as an `Event` frame
+//! routed hop-by-hop along the latency-weighted path. Intermediate
+//! nodes relay with the hop count bumped; the destination injects the
+//! embedded wire frame into its broker. Each (publish, destination)
+//! pair produces exactly one frame, and every node delivers only to
+//! its local subscribers, so cluster-wide delivery is exactly-once.
+//!
+//! # Transports
+//!
+//! The same worker runs over two link fabrics:
+//!
+//! * **in-process** — crossbeam channels between node workers, with a
+//!   fault plane (down links, gossip loss) the chaos harness toggles
+//!   deterministically; and
+//! * **loopback TCP** ([`ClusterBuilder::tcp`]) — length-prefixed
+//!   frames over real sockets, per-link sequence numbers with
+//!   cumulative acks and retransmit-on-reconnect (capped exponential
+//!   backoff), so a node kill mid-stream still yields exactly-once
+//!   delivery after the listener returns.
+//!
+//! Malformed frames at either edge are rejected by typed decode
+//! errors ([`DecodeClusterError`]) and counted in telemetry — never
+//! panicked on: the ingress loop is in the analyzer's
+//! panic-reachability root set.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::{BufMut, Bytes};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use mmcs_util::id::ClientId;
+use mmcs_util::pool::{self, PooledBuf};
+use parking_lot::Mutex;
+
+use crate::event::{Event, EventClass};
+use crate::gossip::{self, GossipState, InterestEntry, NodeId};
+use crate::metrics::{ClusterMetrics, ClusterNodeMetrics};
+use crate::sharded::{ShardedBroker, ShardedClient};
+use crate::topic::{Topic, TopicFilter};
+use crate::wire;
+
+/// Cluster frame format version.
+pub const CLUSTER_VERSION: u8 = 1;
+/// Fixed envelope length prepended to every inter-node frame.
+pub const CLUSTER_HEADER_LEN: usize = 16;
+/// Hard bound on links an event frame may traverse. Any relay that
+/// would push a frame past this is dropped (and counted), so even a
+/// corrupted route table cannot loop a frame forever.
+pub const MAX_HOPS: u8 = 8;
+
+/// Byte offset of the version field.
+pub const OFF_VERSION: usize = 0;
+/// Byte offset of the frame kind.
+pub const OFF_KIND: usize = 1;
+/// Byte offset of the origin node id (`u16` BE).
+pub const OFF_ORIGIN: usize = 2;
+/// Byte offset of the destination node id (`u16` BE).
+pub const OFF_DEST: usize = 4;
+/// Byte offset of the hop count.
+pub const OFF_HOPS: usize = 6;
+/// Byte offset of the reserved byte (must be zero).
+pub const OFF_RESERVED: usize = 7;
+/// Byte offset of the interest generation (`u64` BE).
+pub const OFF_GENERATION: usize = 8;
+
+/// What a [`ClusterFrame`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// A routed event: the body is a [`crate::wire`] event frame.
+    Event = 0,
+    /// A gossip digest (version vector); body per
+    /// [`gossip::encode_digest_into`].
+    GossipDigest = 1,
+    /// Gossip entries; body per [`gossip::encode_entries_into`].
+    GossipEntries = 2,
+    /// A TCP link-level cumulative ack; the generation field holds the
+    /// acked link sequence and the body is empty.
+    Ack = 3,
+}
+
+impl FrameKind {
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(Self::Event),
+            1 => Some(Self::GossipDigest),
+            2 => Some(Self::GossipEntries),
+            3 => Some(Self::Ack),
+            _ => None,
+        }
+    }
+}
+
+/// Typed errors rejecting a malformed cluster frame. Every variant is
+/// reachable from bytes off a socket; none of them panic the ingress
+/// loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeClusterError {
+    /// Shorter than the fixed envelope.
+    Truncated,
+    /// Unknown format version.
+    BadVersion(u8),
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// Hop count above [`MAX_HOPS`] — a frame that must have looped.
+    HopLimit(u8),
+    /// Reserved byte not zero.
+    BadReserved(u8),
+    /// An `Event` frame whose embedded wire event is malformed.
+    BadEvent(wire::DecodeEventError),
+    /// An `Ack` frame carrying a body.
+    BadBody,
+}
+
+impl std::fmt::Display for DecodeClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "cluster frame truncated"),
+            Self::BadVersion(v) => write!(f, "unsupported cluster frame version {v}"),
+            Self::BadKind(k) => write!(f, "unknown cluster frame kind {k}"),
+            Self::HopLimit(h) => write!(f, "hop count {h} exceeds bound {MAX_HOPS}"),
+            Self::BadReserved(b) => write!(f, "reserved byte is {b}, expected 0"),
+            Self::BadEvent(err) => write!(f, "embedded event frame invalid: {err}"),
+            Self::BadBody => write!(f, "ack frame carries a body"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeClusterError {}
+
+/// A validated view over an encoded cluster frame. [`parse`] checks
+/// everything once (including the embedded event frame for
+/// [`FrameKind::Event`]); the accessors are then infallible.
+///
+/// [`parse`]: ClusterFrame::parse
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterFrame<'a> {
+    raw: &'a [u8],
+    kind: FrameKind,
+}
+
+impl<'a> ClusterFrame<'a> {
+    /// Validates `raw` as a cluster frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeClusterError`] naming the first malformation.
+    pub fn parse(raw: &'a [u8]) -> Result<ClusterFrame<'a>, DecodeClusterError> {
+        if raw.len() < CLUSTER_HEADER_LEN {
+            return Err(DecodeClusterError::Truncated);
+        }
+        let version = read_u8(raw, OFF_VERSION);
+        if version != CLUSTER_VERSION {
+            return Err(DecodeClusterError::BadVersion(version));
+        }
+        let kind_byte = read_u8(raw, OFF_KIND);
+        let kind = FrameKind::from_byte(kind_byte).ok_or(DecodeClusterError::BadKind(kind_byte))?;
+        let hops = read_u8(raw, OFF_HOPS);
+        if hops > MAX_HOPS {
+            return Err(DecodeClusterError::HopLimit(hops));
+        }
+        let reserved = read_u8(raw, OFF_RESERVED);
+        if reserved != 0 {
+            return Err(DecodeClusterError::BadReserved(reserved));
+        }
+        let body = raw.get(CLUSTER_HEADER_LEN..).unwrap_or(&[]);
+        match kind {
+            FrameKind::Event => {
+                wire::WireEvent::parse(body).map_err(DecodeClusterError::BadEvent)?;
+            }
+            FrameKind::Ack => {
+                if !body.is_empty() {
+                    return Err(DecodeClusterError::BadBody);
+                }
+            }
+            FrameKind::GossipDigest | FrameKind::GossipEntries => {}
+        }
+        Ok(ClusterFrame { raw, kind })
+    }
+
+    /// The frame kind.
+    pub fn kind(&self) -> FrameKind {
+        self.kind
+    }
+
+    /// The node that built this frame.
+    pub fn origin(&self) -> NodeId {
+        read_u16(self.raw, OFF_ORIGIN)
+    }
+
+    /// The node this frame is addressed to.
+    pub fn dest(&self) -> NodeId {
+        read_u16(self.raw, OFF_DEST)
+    }
+
+    /// Links traversed so far (bumped by each relay).
+    pub fn hops(&self) -> u8 {
+        read_u8(self.raw, OFF_HOPS)
+    }
+
+    /// The interest generation stamped at routing time (for acks: the
+    /// acked link sequence).
+    pub fn generation(&self) -> u64 {
+        read_u64(self.raw, OFF_GENERATION)
+    }
+
+    /// The frame body after the fixed envelope.
+    pub fn body(&self) -> &'a [u8] {
+        self.raw.get(CLUSTER_HEADER_LEN..).unwrap_or(&[])
+    }
+}
+
+fn read_u8(raw: &[u8], off: usize) -> u8 {
+    raw.get(off).copied().unwrap_or(0)
+}
+
+fn read_u16(raw: &[u8], off: usize) -> u16 {
+    match raw.get(off..off + 2) {
+        Some(b) => u16::from_be_bytes([b[0], b[1]]),
+        None => 0,
+    }
+}
+
+fn read_u64(raw: &[u8], off: usize) -> u64 {
+    match raw.get(off..off + 8) {
+        Some(b) => {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(b);
+            u64::from_be_bytes(word)
+        }
+        None => 0,
+    }
+}
+
+/// Writes the fixed envelope into `buf`.
+pub fn encode_header_into(
+    kind: FrameKind,
+    origin: NodeId,
+    dest: NodeId,
+    hops: u8,
+    generation: u64,
+    buf: &mut impl BufMut,
+) {
+    let mut header = [0u8; CLUSTER_HEADER_LEN];
+    header[OFF_VERSION] = CLUSTER_VERSION;
+    header[OFF_KIND] = kind as u8;
+    header[OFF_ORIGIN..OFF_ORIGIN + 2].copy_from_slice(&origin.to_be_bytes());
+    header[OFF_DEST..OFF_DEST + 2].copy_from_slice(&dest.to_be_bytes());
+    header[OFF_HOPS] = hops;
+    header[OFF_RESERVED] = 0;
+    header[OFF_GENERATION..OFF_GENERATION + 8].copy_from_slice(&generation.to_be_bytes());
+    buf.put_slice(&header);
+}
+
+/// Encodes a frame with an opaque body into a pooled buffer.
+pub fn encode_frame(
+    kind: FrameKind,
+    origin: NodeId,
+    dest: NodeId,
+    hops: u8,
+    generation: u64,
+    body: &[u8],
+) -> PooledBuf {
+    let mut buf = pool::acquire(CLUSTER_HEADER_LEN + body.len());
+    encode_header_into(kind, origin, dest, hops, generation, &mut buf);
+    buf.put_slice(body);
+    buf
+}
+
+/// Encodes an [`FrameKind::Event`] frame: envelope plus the zero-copy
+/// wire encoding of `event`, in one pooled buffer.
+pub fn encode_event_frame(
+    origin: NodeId,
+    dest: NodeId,
+    hops: u8,
+    generation: u64,
+    event: &Event,
+) -> PooledBuf {
+    let mut buf = pool::acquire(CLUSTER_HEADER_LEN + wire::encoded_len(event));
+    encode_header_into(FrameKind::Event, origin, dest, hops, generation, &mut buf);
+    wire::encode_into(event, &mut buf);
+    buf
+}
+
+/// The static latency geography of a cluster: which node pairs have a
+/// direct link (and its one-way latency), plus per-zone latency rows
+/// used to home clients to their nearest gateway.
+#[derive(Debug, Clone)]
+pub struct LatencyMap {
+    nodes: usize,
+    links: Vec<Option<u32>>,
+    zones: Vec<Vec<u32>>,
+}
+
+impl LatencyMap {
+    /// A map with `nodes` nodes and no links yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or exceeds the `u16` id space.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "cluster needs at least one node");
+        assert!(nodes <= u16::MAX as usize, "node ids are u16");
+        Self {
+            nodes,
+            links: vec![None; nodes * nodes],
+            zones: Vec::new(),
+        }
+    }
+
+    /// Every pair directly linked at `latency_ms`.
+    pub fn full_mesh(nodes: usize, latency_ms: u32) -> Self {
+        let mut map = Self::new(nodes);
+        for a in 0..nodes {
+            for b in (a + 1)..nodes {
+                map.set_link(a as NodeId, b as NodeId, latency_ms);
+            }
+        }
+        map
+    }
+
+    /// Nodes linked in a line (`0–1–2–…`) at `latency_ms` per segment —
+    /// the smallest topology that exercises multi-hop relaying.
+    pub fn chain(nodes: usize, latency_ms: u32) -> Self {
+        let mut map = Self::new(nodes);
+        for a in 1..nodes {
+            map.set_link((a - 1) as NodeId, a as NodeId, latency_ms);
+        }
+        map
+    }
+
+    /// Sets the symmetric direct link `a ↔ b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range or `a == b`.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, latency_ms: u32) {
+        let (a, b) = (a as usize, b as usize);
+        assert!(a < self.nodes && b < self.nodes, "node id out of range");
+        assert!(a != b, "no self links");
+        self.links[a * self.nodes + b] = Some(latency_ms);
+        self.links[b * self.nodes + a] = Some(latency_ms);
+    }
+
+    /// Appends a zone given its latency to every node; the zone homes
+    /// to the argmin (ties break to the lowest node id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the node count.
+    pub fn with_zone(mut self, latencies_ms: Vec<u32>) -> Self {
+        assert_eq!(latencies_ms.len(), self.nodes, "one latency per node");
+        self.zones.push(latencies_ms);
+        self
+    }
+
+    /// Direct link latency between `a` and `b`, if linked.
+    pub fn link(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        self.links
+            .get(a as usize * self.nodes + b as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of zones. Without explicit zones every node is its own
+    /// zone.
+    pub fn zone_count(&self) -> usize {
+        if self.zones.is_empty() {
+            self.nodes
+        } else {
+            self.zones.len()
+        }
+    }
+
+    /// The gateway node clients of `zone` home to: the node with the
+    /// lowest static latency from that zone (lowest id wins ties).
+    /// Zones wrap modulo the zone count, and without explicit zone
+    /// rows zone `z` homes to node `z % nodes`.
+    pub fn home_node(&self, zone: usize) -> NodeId {
+        if self.zones.is_empty() {
+            return (zone % self.nodes) as NodeId;
+        }
+        let row = &self.zones[zone % self.zones.len()];
+        let mut best = 0usize;
+        for (node, latency) in row.iter().enumerate() {
+            if *latency < row[best] {
+                best = node;
+            }
+        }
+        best as NodeId
+    }
+}
+
+const ROUTE_INF: u64 = u64::MAX / 4;
+
+/// All-pairs latency-weighted shortest paths over a [`LatencyMap`]
+/// (Floyd–Warshall), answering "which direct neighbour do I hand a
+/// frame for `dest` to". Routes are static: runtime faults drop frames
+/// on the affected links instead of recomputing paths, which keeps
+/// chaos runs deterministic.
+#[derive(Debug)]
+pub struct RouteTable {
+    nodes: usize,
+    dist: Vec<u64>,
+    next: Vec<Option<NodeId>>,
+}
+
+impl RouteTable {
+    /// Builds the table from the map's direct links.
+    pub fn new(map: &LatencyMap) -> Self {
+        let n = map.node_count();
+        let mut dist = vec![ROUTE_INF; n * n];
+        let mut next: Vec<Option<NodeId>> = vec![None; n * n];
+        for a in 0..n {
+            dist[a * n + a] = 0;
+            for b in 0..n {
+                if let Some(ms) = map.link(a as NodeId, b as NodeId) {
+                    dist[a * n + b] = u64::from(ms);
+                    next[a * n + b] = Some(b as NodeId);
+                }
+            }
+        }
+        for c in 0..n {
+            for a in 0..n {
+                for b in 0..n {
+                    let via = dist[a * n + c].saturating_add(dist[c * n + b]);
+                    if via < dist[a * n + b] {
+                        dist[a * n + b] = via;
+                        next[a * n + b] = next[a * n + c];
+                    }
+                }
+            }
+        }
+        Self { nodes: n, dist, next }
+    }
+
+    /// The direct neighbour on the shortest path from `from` to `to`
+    /// (`None` for self or unreachable destinations).
+    pub fn next_hop(&self, from: NodeId, to: NodeId) -> Option<NodeId> {
+        if from == to {
+            return None;
+        }
+        self.next
+            .get(from as usize * self.nodes + to as usize)
+            .copied()
+            .flatten()
+    }
+
+    /// Total path latency, if reachable.
+    pub fn distance(&self, from: NodeId, to: NodeId) -> Option<u64> {
+        let d = self
+            .dist
+            .get(from as usize * self.nodes + to as usize)
+            .copied()?;
+        (d < ROUTE_INF).then_some(d)
+    }
+
+    /// Links on the shortest path, if reachable (0 for self).
+    pub fn hops(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut at = from;
+        for hop in 1..=self.nodes {
+            at = self.next_hop(at, to)?;
+            if at == to {
+                return Some(hop);
+            }
+        }
+        None
+    }
+}
+
+/// Directed per-link fault switches for the in-process transport; the
+/// chaos harness flips them at deterministic schedule points.
+#[derive(Debug)]
+struct FaultPlane {
+    nodes: usize,
+    down: Vec<AtomicBool>,
+    gossip_loss: Vec<AtomicBool>,
+}
+
+impl FaultPlane {
+    fn new(nodes: usize) -> Self {
+        Self {
+            nodes,
+            down: (0..nodes * nodes).map(|_| AtomicBool::new(false)).collect(),
+            gossip_loss: (0..nodes * nodes).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    fn index(&self, from: NodeId, to: NodeId) -> usize {
+        from as usize * self.nodes + to as usize
+    }
+
+    fn is_down(&self, from: NodeId, to: NodeId) -> bool {
+        self.down
+            .get(self.index(from, to))
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    fn drops_gossip(&self, from: NodeId, to: NodeId) -> bool {
+        self.gossip_loss
+            .get(self.index(from, to))
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    fn set_down(&self, from: NodeId, to: NodeId, down: bool) {
+        if let Some(flag) = self.down.get(self.index(from, to)) {
+            flag.store(down, Ordering::Relaxed);
+        }
+    }
+
+    fn set_gossip_loss(&self, from: NodeId, to: NodeId, on: bool) {
+        if let Some(flag) = self.gossip_loss.get(self.index(from, to)) {
+            flag.store(on, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Commands into one node's cluster worker.
+enum NodeCmd {
+    /// A frame off a link (either transport).
+    Frame(Bytes),
+    /// A publish from a locally-homed client.
+    Publish(Arc<Event>),
+    /// Interest bookkeeping for a locally-homed client subscription.
+    Subscribe(TopicFilter),
+    /// Reverse of `Subscribe`.
+    Unsubscribe(TopicFilter),
+    /// Start one gossip round: digest to every direct peer.
+    GossipTick,
+    /// Gateway restart: forget the learned view (and, with
+    /// `lose_interest`, the local truth — the chaos bug hook).
+    Restart { lose_interest: bool },
+    /// Snapshot the gossip view (one entry per node).
+    Inspect(Sender<Vec<InterestEntry>>),
+    /// Flush everything ahead of this command, then ack.
+    Barrier(Sender<()>),
+    Shutdown,
+}
+
+/// A directed link to one peer.
+enum LinkHandle {
+    /// In-process: the peer worker's ingress.
+    Local(Sender<NodeCmd>),
+    /// Loopback TCP with reliability.
+    Tcp(Arc<TcpLink>),
+}
+
+impl LinkHandle {
+    fn send(&self, frame: Bytes) {
+        match self {
+            Self::Local(tx) => {
+                let _ = tx.send(NodeCmd::Frame(frame));
+            }
+            Self::Tcp(link) => link.enqueue(frame),
+        }
+    }
+
+    fn ack(&self, seq: u64) {
+        if let Self::Tcp(link) = self {
+            link.ack(seq);
+        }
+    }
+}
+
+/// One node's cluster-layer event loop: drains the ingress queue and
+/// reacts to frames, publishes, interest changes and gossip ticks.
+/// This is the federation ingress loop in the analyzer's
+/// panic-reachability and blocking-call root sets: everything reachable
+/// from [`ClusterWorker::run`] must be panic-free and non-blocking
+/// (the sanctioned ingress `recv` aside).
+struct ClusterWorker {
+    me: NodeId,
+    ingress: Receiver<NodeCmd>,
+    links: Arc<Vec<Option<LinkHandle>>>,
+    routes: Arc<RouteTable>,
+    faults: Arc<FaultPlane>,
+    gossip: GossipState,
+    broker: Arc<ShardedBroker>,
+    metrics: Arc<ClusterNodeMetrics>,
+    digest_scratch: Vec<(NodeId, u64)>,
+}
+
+impl ClusterWorker {
+    fn run(mut self) {
+        loop {
+            let Ok(cmd) = self.ingress.recv() else {
+                break;
+            };
+            if !self.handle(cmd) {
+                break;
+            }
+        }
+    }
+
+    /// Processes one command; returns `false` on shutdown.
+    fn handle(&mut self, cmd: NodeCmd) -> bool {
+        match cmd {
+            NodeCmd::Frame(bytes) => self.frame(bytes),
+            NodeCmd::Publish(event) => self.publish(&event),
+            NodeCmd::Subscribe(filter) => {
+                self.gossip.subscribe(&filter);
+                self.metrics
+                    .interest_entries
+                    .set(self.gossip.interest_entries() as i64);
+            }
+            NodeCmd::Unsubscribe(filter) => {
+                self.gossip.unsubscribe(&filter);
+                self.metrics
+                    .interest_entries
+                    .set(self.gossip.interest_entries() as i64);
+            }
+            NodeCmd::GossipTick => self.tick(),
+            NodeCmd::Restart { lose_interest } => {
+                self.gossip.restart();
+                if lose_interest {
+                    self.gossip.wipe_local();
+                }
+                self.metrics
+                    .interest_entries
+                    .set(self.gossip.interest_entries() as i64);
+            }
+            NodeCmd::Inspect(tx) => {
+                let view: Vec<InterestEntry> = (0..self.gossip.node_count())
+                    .map(|n| self.gossip.entry(n as NodeId).clone())
+                    .collect();
+                let _ = tx.send(view);
+            }
+            NodeCmd::Barrier(ack) => {
+                let _ = ack.send(());
+            }
+            NodeCmd::Shutdown => return false,
+        }
+        true
+    }
+
+    /// Fan a locally-published event out: inject into the local broker
+    /// (which owns intra-node delivery) and forward one frame per
+    /// remote node with matching interest along its shortest path.
+    fn publish(&mut self, event: &Arc<Event>) {
+        let frame = wire::encode(event).freeze();
+        if self.broker.inject(frame).is_err() {
+            self.metrics.decode_errors.inc();
+            return;
+        }
+        let targets = self.gossip.targets_for(&event.topic);
+        for &target in targets.iter() {
+            if target == self.me {
+                continue;
+            }
+            let generation = self.gossip.entry(target).generation;
+            let frame = encode_event_frame(self.me, target, 0, generation, event).freeze();
+            self.metrics.inter_node_forwards.inc();
+            self.send_routed(target, frame, false);
+        }
+    }
+
+    /// Validates and dispatches a frame off a link.
+    fn frame(&mut self, bytes: Bytes) {
+        self.metrics.frames_in.inc();
+        let parsed = match ClusterFrame::parse(&bytes) {
+            Ok(parsed) => parsed,
+            Err(_) => {
+                self.metrics.decode_errors.inc();
+                return;
+            }
+        };
+        match parsed.kind() {
+            FrameKind::Event => self.event_frame(&bytes, &parsed),
+            FrameKind::GossipDigest => self.digest_frame(&parsed),
+            FrameKind::GossipEntries => self.entries_frame(&parsed),
+            FrameKind::Ack => {
+                if let Some(Some(link)) = self.links.get(parsed.origin() as usize) {
+                    link.ack(parsed.generation());
+                }
+            }
+        }
+    }
+
+    fn event_frame(&mut self, bytes: &Bytes, parsed: &ClusterFrame<'_>) {
+        if parsed.dest() == self.me {
+            self.metrics
+                .hop_histogram
+                .record(u64::from(parsed.hops()) + 1);
+            if parsed.generation() < self.gossip.local_generation() {
+                self.metrics.stale_generation.inc();
+            }
+            // Zero-copy: the injected event frame is a subslice of the
+            // cluster frame's own storage.
+            if self.broker.inject(bytes.slice(CLUSTER_HEADER_LEN..)).is_err() {
+                self.metrics.decode_errors.inc();
+            }
+            return;
+        }
+        let hops = parsed.hops().saturating_add(1);
+        if hops >= MAX_HOPS {
+            self.metrics.hop_limit_drops.inc();
+            return;
+        }
+        let relay = encode_frame(
+            FrameKind::Event,
+            parsed.origin(),
+            parsed.dest(),
+            hops,
+            parsed.generation(),
+            parsed.body(),
+        )
+        .freeze();
+        self.metrics.relays.inc();
+        self.send_routed(parsed.dest(), relay, false);
+    }
+
+    fn digest_frame(&mut self, parsed: &ClusterFrame<'_>) {
+        let digest = match gossip::decode_digest(parsed.body()) {
+            Ok(digest) => digest,
+            Err(_) => {
+                self.metrics.decode_errors.inc();
+                return;
+            }
+        };
+        let peer = parsed.origin();
+        let entries = self.gossip.entries_newer_than(&digest);
+        if !entries.is_empty() {
+            let mut body = pool::acquire(256);
+            gossip::encode_entries_into(&entries, &mut body);
+            let frame = encode_frame(
+                FrameKind::GossipEntries,
+                self.me,
+                peer,
+                0,
+                self.gossip.local_generation(),
+                &body,
+            )
+            .freeze();
+            self.send_direct(peer, frame, true);
+        }
+        // Pull half: answer with our own digest only while strictly
+        // behind, so the exchange terminates.
+        if self.gossip.behind(&digest) {
+            self.send_digest(peer);
+        }
+    }
+
+    fn entries_frame(&mut self, parsed: &ClusterFrame<'_>) {
+        let entries = match gossip::decode_entries(parsed.body()) {
+            Ok(entries) => entries,
+            Err(_) => {
+                self.metrics.decode_errors.inc();
+                return;
+            }
+        };
+        let applied = self.gossip.apply(&entries);
+        if applied > 0 {
+            self.metrics.gossip_entries_applied.add(applied as u64);
+            self.metrics
+                .interest_entries
+                .set(self.gossip.interest_entries() as i64);
+        }
+    }
+
+    fn tick(&mut self) {
+        self.metrics.gossip_rounds.inc();
+        for peer in 0..self.links.len() {
+            if self
+                .links
+                .get(peer)
+                .is_some_and(|link| link.is_some())
+            {
+                self.send_digest(peer as NodeId);
+            }
+        }
+    }
+
+    fn send_digest(&mut self, peer: NodeId) {
+        self.gossip.digest_into(&mut self.digest_scratch);
+        let mut body = pool::acquire(64);
+        gossip::encode_digest_into(&self.digest_scratch, &mut body);
+        let frame = encode_frame(
+            FrameKind::GossipDigest,
+            self.me,
+            peer,
+            0,
+            self.gossip.local_generation(),
+            &body,
+        )
+        .freeze();
+        self.send_direct(peer, frame, true);
+    }
+
+    /// Hands `frame` to the next hop along the shortest path to `dest`.
+    fn send_routed(&mut self, dest: NodeId, frame: Bytes, is_gossip: bool) {
+        let Some(next) = self.routes.next_hop(self.me, dest) else {
+            self.metrics.no_route_drops.inc();
+            return;
+        };
+        self.send_direct(next, frame, is_gossip);
+    }
+
+    /// Sends on the direct link to `peer`, honouring the fault plane.
+    fn send_direct(&mut self, peer: NodeId, frame: Bytes, is_gossip: bool) {
+        if self.faults.is_down(self.me, peer) {
+            self.metrics.link_drops.inc();
+            return;
+        }
+        if is_gossip && self.faults.drops_gossip(self.me, peer) {
+            self.metrics.gossip_drops.inc();
+            return;
+        }
+        match self.links.get(peer as usize) {
+            Some(Some(link)) => link.send(frame),
+            _ => self.metrics.no_route_drops.inc(),
+        }
+    }
+}
+
+const BACKOFF_MIN: Duration = Duration::from_millis(5);
+const BACKOFF_MAX: Duration = Duration::from_millis(250);
+const LINK_TICK: Duration = Duration::from_millis(20);
+/// Upper bound on one length-prefixed TCP frame (envelope + wire event).
+const MAX_TCP_FRAME: usize = 8 * 1024 * 1024;
+
+enum LinkOp {
+    Send(Bytes),
+    Ack(u64),
+}
+
+/// The sending half of one directed TCP link: a queue drained by a
+/// dedicated thread that owns the socket, assigns per-link sequence
+/// numbers to event frames, retransmits unacked frames after a
+/// reconnect, and backs off exponentially (capped) while the peer is
+/// down. Unreliable frames (gossip, acks) ride sequence 0 and are
+/// dropped on failure — anti-entropy re-heals them by design.
+struct TcpLink {
+    ops: Sender<LinkOp>,
+}
+
+impl TcpLink {
+    fn spawn(
+        me: NodeId,
+        peer_addr: SocketAddr,
+        metrics: Arc<ClusterNodeMetrics>,
+    ) -> (Arc<TcpLink>, JoinHandle<()>) {
+        let (ops, rx) = unbounded();
+        let handle = std::thread::Builder::new()
+            .name(format!("mmcs-link{me}"))
+            .spawn(move || run_link(me, peer_addr, &rx, &metrics))
+            .expect("spawn tcp link thread");
+        (Arc::new(TcpLink { ops }), handle)
+    }
+
+    fn enqueue(&self, frame: Bytes) {
+        let _ = self.ops.send(LinkOp::Send(frame));
+    }
+
+    fn ack(&self, seq: u64) {
+        let _ = self.ops.send(LinkOp::Ack(seq));
+    }
+}
+
+/// Link sender-thread state while connected.
+struct LinkConn {
+    stream: TcpStream,
+}
+
+/// The link sender loop. Panic-free: every IO failure tears the
+/// connection down and lets the backoff/retransmit machinery recover.
+fn run_link(me: NodeId, peer: SocketAddr, ops: &Receiver<LinkOp>, metrics: &ClusterNodeMetrics) {
+    let mut conn: Option<LinkConn> = None;
+    let mut unacked: VecDeque<(u64, Bytes)> = VecDeque::new();
+    let mut next_seq: u64 = 1;
+    let mut backoff = BACKOFF_MIN;
+    let mut ever_connected = false;
+    loop {
+        match ops.recv_timeout(LINK_TICK) {
+            Ok(LinkOp::Ack(seq)) => {
+                while unacked.front().is_some_and(|(s, _)| *s <= seq) {
+                    unacked.pop_front();
+                }
+            }
+            Ok(LinkOp::Send(frame)) => {
+                let reliable = frame.get(OFF_KIND).copied() == Some(FrameKind::Event as u8);
+                if reliable {
+                    let seq = next_seq;
+                    next_seq += 1;
+                    unacked.push_back((seq, frame.clone()));
+                    if ensure_connected(
+                        me,
+                        peer,
+                        &mut conn,
+                        &unacked,
+                        &mut backoff,
+                        &mut ever_connected,
+                        metrics,
+                    ) {
+                        // The frame just joined `unacked`, so the
+                        // connect-time flush above already wrote it if
+                        // the connection was re-established; only write
+                        // here when the link was already up.
+                        if unacked.back().is_some_and(|(s, _)| *s == seq)
+                            && !write_frame(&mut conn, seq, &frame)
+                        {
+                            // Connection died on this write; the frame
+                            // stays queued for the next reconnect.
+                        }
+                    }
+                } else if ensure_connected(
+                    me,
+                    peer,
+                    &mut conn,
+                    &unacked,
+                    &mut backoff,
+                    &mut ever_connected,
+                    metrics,
+                ) {
+                    let _ = write_frame(&mut conn, 0, &frame);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if !unacked.is_empty() {
+                    ensure_connected(
+                        me,
+                        peer,
+                        &mut conn,
+                        &unacked,
+                        &mut backoff,
+                        &mut ever_connected,
+                        metrics,
+                    );
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// Connects (one attempt per call, sleeping the current backoff on
+/// failure) and flushes the retransmit queue. Returns whether the link
+/// is up afterwards.
+fn ensure_connected(
+    me: NodeId,
+    peer: SocketAddr,
+    conn: &mut Option<LinkConn>,
+    unacked: &VecDeque<(u64, Bytes)>,
+    backoff: &mut Duration,
+    ever_connected: &mut bool,
+    metrics: &ClusterNodeMetrics,
+) -> bool {
+    if conn.is_some() {
+        return true;
+    }
+    let stream = match TcpStream::connect(peer) {
+        Ok(stream) => stream,
+        Err(_) => {
+            std::thread::sleep(*backoff);
+            *backoff = (*backoff * 2).min(BACKOFF_MAX);
+            return false;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    *conn = Some(LinkConn { stream });
+    // Preamble: who is calling. The accept side keys its per-peer
+    // dedup state on this id.
+    let preamble = me.to_be_bytes();
+    if let Some(c) = conn.as_mut() {
+        if c.stream.write_all(&preamble).is_err() {
+            *conn = None;
+            std::thread::sleep(*backoff);
+            *backoff = (*backoff * 2).min(BACKOFF_MAX);
+            return false;
+        }
+    }
+    if *ever_connected {
+        metrics.reconnects.inc();
+    }
+    *ever_connected = true;
+    *backoff = BACKOFF_MIN;
+    // Retransmit everything unacked, in order. The receiver dedups on
+    // link sequence, so frames the old connection already delivered
+    // are counted and dropped there — exactly-once survives the kill.
+    for (seq, frame) in unacked {
+        if !write_frame(conn, *seq, frame) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Writes one `[u32 len][u64 seq][frame]` record; tears the connection
+/// down (returning `false`) on any IO error.
+fn write_frame(conn: &mut Option<LinkConn>, seq: u64, frame: &Bytes) -> bool {
+    let Some(c) = conn.as_mut() else {
+        return false;
+    };
+    let total = frame.len().saturating_add(8);
+    if total > MAX_TCP_FRAME {
+        // Never send something the peer will reject outright.
+        return true;
+    }
+    let mut header = [0u8; 12];
+    header[..4].copy_from_slice(&(total as u32).to_be_bytes());
+    header[4..].copy_from_slice(&seq.to_be_bytes());
+    let ok = c.stream.write_all(&header).is_ok() && c.stream.write_all(frame).is_ok();
+    if !ok {
+        *conn = None;
+    }
+    ok
+}
+
+/// Per-node state shared between the accept loop, its per-connection
+/// reader threads, and the cluster handle.
+struct TcpNode {
+    addr: SocketAddr,
+    accepting: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    /// Highest link sequence accepted per claimed peer id; survives
+    /// reconnects, which is what makes retransmits exactly-once.
+    last_seq: Arc<Mutex<HashMap<NodeId, u64>>>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+/// Arguments shared by every reader thread of one node.
+#[derive(Clone)]
+struct ReaderCtx {
+    me: NodeId,
+    ingress: Sender<NodeCmd>,
+    links: Arc<Vec<Option<LinkHandle>>>,
+    last_seq: Arc<Mutex<HashMap<NodeId, u64>>>,
+    metrics: Arc<ClusterNodeMetrics>,
+}
+
+/// Accept loop for one node's listener. Exits when `accepting` clears
+/// (woken by a dummy connection from `drop_listener`).
+fn run_accept(listener: TcpListener, accepting: Arc<AtomicBool>, conns: Arc<Mutex<Vec<TcpStream>>>, ctx: ReaderCtx) {
+    for stream in listener.incoming() {
+        if !accepting.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if let Ok(clone) = stream.try_clone() {
+            conns.lock().push(clone);
+        }
+        let ctx = ctx.clone();
+        let _ = std::thread::Builder::new()
+            .name(format!("mmcs-accept{}", ctx.me))
+            .spawn(move || run_reader(stream, &ctx));
+    }
+}
+
+/// Reads length-prefixed frames off one accepted connection, dedups by
+/// link sequence, delivers to the worker and acks. Malformed input is
+/// counted and either skipped (bad frame body — framing still intact)
+/// or ends the connection (bad length — cannot resync). Never panics.
+fn run_reader(mut stream: TcpStream, ctx: &ReaderCtx) {
+    let mut peer_bytes = [0u8; 2];
+    if stream.read_exact(&mut peer_bytes).is_err() {
+        return;
+    }
+    let peer = NodeId::from_be_bytes(peer_bytes);
+    let mut header = [0u8; 12];
+    loop {
+        if stream.read_exact(&mut header).is_err() {
+            return;
+        }
+        let total = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        let seq = u64::from_be_bytes([
+            header[4], header[5], header[6], header[7], header[8], header[9], header[10],
+            header[11],
+        ]);
+        if !(8..=MAX_TCP_FRAME).contains(&total) {
+            // A garbage length desynchronizes the stream: count it and
+            // drop the connection; the sender reconnects and
+            // retransmits.
+            ctx.metrics.decode_errors.inc();
+            return;
+        }
+        let mut raw = vec![0u8; total - 8];
+        if stream.read_exact(&mut raw).is_err() {
+            return;
+        }
+        // Validate at the socket edge so garbage is charged to the
+        // connection that sent it, then once more (free) in the worker.
+        if ClusterFrame::parse(&raw).is_err() {
+            ctx.metrics.decode_errors.inc();
+            continue;
+        }
+        let frame = Bytes::from_owner(raw);
+        if seq == 0 {
+            let _ = ctx.ingress.send(NodeCmd::Frame(frame));
+            continue;
+        }
+        let ack_to = {
+            let mut last = ctx.last_seq.lock();
+            let entry = last.entry(peer).or_insert(0);
+            if seq <= *entry {
+                ctx.metrics.duplicate_frames.inc();
+            } else {
+                *entry = seq;
+                let _ = ctx.ingress.send(NodeCmd::Frame(frame));
+            }
+            *entry
+        };
+        let ack = encode_frame(FrameKind::Ack, ctx.me, peer, 0, ack_to, &[]).freeze();
+        if let Some(Some(link)) = ctx.links.get(peer as usize) {
+            link.send(ack);
+        }
+    }
+}
+
+/// Which link fabric a cluster runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    InProcess,
+    Tcp,
+}
+
+/// Configures a [`Cluster`] before spawning it.
+pub struct ClusterBuilder {
+    latency: LatencyMap,
+    shards: usize,
+    metrics: Option<Arc<ClusterMetrics>>,
+    transport: Transport,
+}
+
+impl ClusterBuilder {
+    /// Starts configuring a cluster over `latency`'s topology with one
+    /// shard per node broker.
+    pub fn new(latency: LatencyMap) -> Self {
+        Self {
+            latency,
+            shards: 1,
+            metrics: None,
+            transport: Transport::InProcess,
+        }
+    }
+
+    /// Worker shards inside each node's broker.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Installs per-node telemetry; the bundle's node count must match
+    /// the latency map's.
+    pub fn metrics(mut self, metrics: Arc<ClusterMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Runs inter-node links over real loopback TCP sockets instead of
+    /// in-process channels.
+    pub fn tcp(mut self) -> Self {
+        self.transport = Transport::Tcp;
+        self
+    }
+
+    /// Spawns the node workers (and, for TCP, listeners and links).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an installed metrics bundle's node count mismatches
+    /// the map, or if a TCP listener cannot bind on 127.0.0.1.
+    pub fn spawn(self) -> Cluster {
+        Cluster::spawn_inner(self)
+    }
+}
+
+/// One federation cluster: `n` node workers, each owning a
+/// [`ShardedBroker`], joined by gossip and the routed event plane. See
+/// the [module docs](self).
+pub struct Cluster {
+    shared: Arc<ClusterShared>,
+    workers: Vec<JoinHandle<()>>,
+    link_handles: Vec<JoinHandle<()>>,
+    /// Each node's outbound links, kept for listener restoration
+    /// (reader threads ack through them).
+    links_by_node: Vec<Arc<Vec<Option<LinkHandle>>>>,
+    tcp: Option<Vec<TcpNode>>,
+    /// Extra settle time per quiesce round; `Some` on TCP, where
+    /// barriers cannot flush in-flight socket frames.
+    settle_pause: Option<Duration>,
+}
+
+struct ClusterShared {
+    latency: LatencyMap,
+    routes: Arc<RouteTable>,
+    metrics: Arc<ClusterMetrics>,
+    faults: Arc<FaultPlane>,
+    nodes: Vec<Sender<NodeCmd>>,
+    brokers: Vec<Arc<ShardedBroker>>,
+    next_client: AtomicU64,
+}
+
+impl Cluster {
+    /// Spawns an in-process cluster over `latency` with single-shard
+    /// node brokers — the common test configuration.
+    pub fn spawn(latency: LatencyMap) -> Cluster {
+        ClusterBuilder::new(latency).spawn()
+    }
+
+    /// Starts configuring a cluster.
+    pub fn builder(latency: LatencyMap) -> ClusterBuilder {
+        ClusterBuilder::new(latency)
+    }
+
+    fn spawn_inner(builder: ClusterBuilder) -> Cluster {
+        let n = builder.latency.node_count();
+        let metrics = builder
+            .metrics
+            .unwrap_or_else(|| ClusterMetrics::detached(n));
+        assert!(
+            metrics.node_count() == n,
+            "metrics bundle has {} nodes, cluster has {n}",
+            metrics.node_count()
+        );
+        let faults = Arc::new(FaultPlane::new(n));
+        let routes = Arc::new(RouteTable::new(&builder.latency));
+        let brokers: Vec<Arc<ShardedBroker>> = (0..n)
+            .map(|_| Arc::new(ShardedBroker::spawn(builder.shards)))
+            .collect();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<NodeCmd>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut link_handles = Vec::new();
+        let mut tcp_nodes: Option<Vec<TcpNode>> = None;
+        let mut node_links: Vec<Arc<Vec<Option<LinkHandle>>>> = Vec::with_capacity(n);
+        match builder.transport {
+            Transport::InProcess => {
+                for me in 0..n {
+                    let links: Vec<Option<LinkHandle>> = (0..n)
+                        .map(|peer| {
+                            (peer != me
+                                && builder.latency.link(me as NodeId, peer as NodeId).is_some())
+                            .then(|| LinkHandle::Local(senders[peer].clone()))
+                        })
+                        .collect();
+                    node_links.push(Arc::new(links));
+                }
+            }
+            Transport::Tcp => {
+                let listeners: Vec<TcpListener> = (0..n)
+                    .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind cluster listener"))
+                    .collect();
+                let addrs: Vec<SocketAddr> = listeners
+                    .iter()
+                    .map(|l| l.local_addr().expect("listener addr"))
+                    .collect();
+                for me in 0..n {
+                    let links: Vec<Option<LinkHandle>> = (0..n)
+                        .map(|peer| {
+                            (peer != me
+                                && builder.latency.link(me as NodeId, peer as NodeId).is_some())
+                            .then(|| {
+                                let (link, handle) = TcpLink::spawn(
+                                    me as NodeId,
+                                    addrs[peer],
+                                    Arc::clone(metrics.node(me)),
+                                );
+                                link_handles.push(handle);
+                                LinkHandle::Tcp(link)
+                            })
+                        })
+                        .collect();
+                    node_links.push(Arc::new(links));
+                }
+                let mut nodes = Vec::with_capacity(n);
+                for (me, listener) in listeners.into_iter().enumerate() {
+                    let accepting = Arc::new(AtomicBool::new(true));
+                    let conns = Arc::new(Mutex::new(Vec::new()));
+                    let last_seq = Arc::new(Mutex::new(HashMap::new()));
+                    let ctx = ReaderCtx {
+                        me: me as NodeId,
+                        ingress: senders[me].clone(),
+                        links: Arc::clone(&node_links[me]),
+                        last_seq: Arc::clone(&last_seq),
+                        metrics: Arc::clone(metrics.node(me)),
+                    };
+                    let accept_handle = {
+                        let accepting = Arc::clone(&accepting);
+                        let conns = Arc::clone(&conns);
+                        std::thread::Builder::new()
+                            .name(format!("mmcs-listen{me}"))
+                            .spawn(move || run_accept(listener, accepting, conns, ctx))
+                            .expect("spawn cluster listener thread")
+                    };
+                    nodes.push(TcpNode {
+                        addr: addrs[me],
+                        accepting,
+                        conns,
+                        last_seq,
+                        accept_handle: Some(accept_handle),
+                    });
+                }
+                tcp_nodes = Some(nodes);
+            }
+        }
+        let mut workers = Vec::with_capacity(n);
+        for (me, ingress) in receivers.into_iter().enumerate() {
+            let worker = ClusterWorker {
+                me: me as NodeId,
+                ingress,
+                links: Arc::clone(&node_links[me]),
+                routes: Arc::clone(&routes),
+                faults: Arc::clone(&faults),
+                gossip: GossipState::new(me as NodeId, n),
+                broker: Arc::clone(&brokers[me]),
+                metrics: Arc::clone(metrics.node(me)),
+                digest_scratch: Vec::new(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("mmcs-cluster{me}"))
+                .spawn(move || worker.run())
+                .expect("spawn cluster node worker");
+            workers.push(handle);
+        }
+        let settle_pause =
+            (builder.transport == Transport::Tcp).then(|| Duration::from_millis(25));
+        Cluster {
+            shared: Arc::new(ClusterShared {
+                latency: builder.latency,
+                routes,
+                metrics,
+                faults,
+                nodes: senders,
+                brokers,
+                next_client: AtomicU64::new(1),
+            }),
+            workers,
+            link_handles,
+            links_by_node: node_links,
+            tcp: tcp_nodes,
+            settle_pause,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.shared.nodes.len()
+    }
+
+    /// The per-node telemetry bundles.
+    pub fn metrics(&self) -> &Arc<ClusterMetrics> {
+        &self.shared.metrics
+    }
+
+    /// The static route table.
+    pub fn routes(&self) -> &RouteTable {
+        &self.shared.routes
+    }
+
+    /// The latency map this cluster was built from.
+    pub fn latency(&self) -> &LatencyMap {
+        &self.shared.latency
+    }
+
+    /// Node `index`'s inner broker (tests peek at shard placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn broker(&self, index: usize) -> &Arc<ShardedBroker> {
+        &self.shared.brokers[index]
+    }
+
+    /// Attaches a client homed to `zone`'s nearest gateway node. Client
+    /// ids are allocated at cluster scope, so they stay unique across
+    /// nodes and survive [`ClusterClient::move_to_zone`].
+    pub fn attach(&self, zone: usize) -> ClusterClient {
+        let id = ClientId::from_raw(self.shared.next_client.fetch_add(1, Ordering::Relaxed));
+        let node = self.shared.latency.home_node(zone);
+        let inner = self
+            .shared
+            .brokers
+            .get(node as usize)
+            .map(|b| b.attach_as(id))
+            .expect("home node in range");
+        ClusterClient {
+            id,
+            shared: Arc::clone(&self.shared),
+            state: Mutex::new(ClientState {
+                zone,
+                node,
+                inner,
+                filters: Vec::new(),
+                stash: VecDeque::new(),
+            }),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Waits until every command enqueued before this call — including
+    /// multi-hop relays and intra-node ring forwards it generates —
+    /// has been processed. One barrier round flushes one link hop, so
+    /// `max(n,2)+2` rounds cover the longest relay chain plus the
+    /// gossip push-pull depth; each round also quiesces every node
+    /// broker. Over TCP an extra pause per round lets in-flight socket
+    /// frames land (barriers cannot observe them).
+    pub fn quiesce(&self) {
+        let rounds = self.node_count().max(2) + 2;
+        for _ in 0..rounds {
+            let (tx, rx) = unbounded();
+            for node in &self.shared.nodes {
+                let _ = node.send(NodeCmd::Barrier(tx.clone()));
+            }
+            drop(tx);
+            while rx.recv().is_ok() {}
+            if let Some(pause) = self.settle_pause {
+                std::thread::sleep(pause);
+            }
+            for broker in &self.shared.brokers {
+                broker.quiesce();
+            }
+        }
+    }
+
+    /// Runs one gossip round (every node digests to its direct peers)
+    /// and settles it.
+    pub fn gossip_round(&self) {
+        for node in &self.shared.nodes {
+            let _ = node.send(NodeCmd::GossipTick);
+        }
+        self.quiesce();
+    }
+
+    /// Snapshots node `index`'s gossip view: one [`InterestEntry`] per
+    /// node, entry `index` being its local truth.
+    pub fn snapshot(&self, index: usize) -> Vec<InterestEntry> {
+        let (tx, rx) = unbounded();
+        if let Some(node) = self.shared.nodes.get(index) {
+            let _ = node.send(NodeCmd::Inspect(tx));
+        }
+        rx.recv_timeout(Duration::from_secs(5)).unwrap_or_default()
+    }
+
+    /// Whether every node's view of every other node matches that
+    /// node's local truth — the gossip convergence invariant.
+    pub fn converged(&self) -> bool {
+        let n = self.node_count();
+        let snapshots: Vec<Vec<InterestEntry>> = (0..n).map(|i| self.snapshot(i)).collect();
+        for (holder, view) in snapshots.iter().enumerate() {
+            if view.len() != n {
+                return false;
+            }
+            for (subject, entry) in view.iter().enumerate() {
+                let truth = snapshots
+                    .get(subject)
+                    .and_then(|view| view.get(subject));
+                if truth != Some(entry) && holder != subject {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Gossips until [`Cluster::converged`] or `max_rounds` is spent;
+    /// returns whether convergence was reached.
+    pub fn converge(&self, max_rounds: usize) -> bool {
+        for _ in 0..max_rounds {
+            if self.converged() {
+                return true;
+            }
+            self.gossip_round();
+        }
+        self.converged()
+    }
+
+    /// Severs or restores the symmetric link `a ↔ b` (in-process
+    /// fault plane; frames on a down link are dropped and counted).
+    pub fn set_link_down(&self, a: NodeId, b: NodeId, down: bool) {
+        self.shared.faults.set_down(a, b, down);
+        self.shared.faults.set_down(b, a, down);
+    }
+
+    /// Drops (or stops dropping) gossip frames on the symmetric link
+    /// `a ↔ b` while event frames keep flowing — the gossip-loss
+    /// chaos fault.
+    pub fn set_gossip_loss(&self, a: NodeId, b: NodeId, on: bool) {
+        self.shared.faults.set_gossip_loss(a, b, on);
+        self.shared.faults.set_gossip_loss(b, a, on);
+    }
+
+    /// Crashes node `index`'s gateway: every link to and from it drops
+    /// frames until [`Cluster::restart`].
+    pub fn crash(&self, index: NodeId) {
+        for peer in 0..self.node_count() as u16 {
+            if peer != index {
+                self.shared.faults.set_down(index, peer, true);
+                self.shared.faults.set_down(peer, index, true);
+            }
+        }
+    }
+
+    /// Restores node `index` after [`Cluster::crash`]: links come back
+    /// and the node's gossip view restarts empty (its local truth
+    /// survives unless `lose_interest` injects the resync bug the
+    /// chaos harness hunts for).
+    pub fn restart(&self, index: NodeId, lose_interest: bool) {
+        for peer in 0..self.node_count() as u16 {
+            if peer != index {
+                self.shared.faults.set_down(index, peer, false);
+                self.shared.faults.set_down(peer, index, false);
+            }
+        }
+        if let Some(node) = self.shared.nodes.get(index as usize) {
+            let _ = node.send(NodeCmd::Restart { lose_interest });
+        }
+    }
+
+    /// The loopback address node `index`'s listener is bound on, or
+    /// `None` on the in-process transport (or out-of-range index).
+    pub fn listener_addr(&self, index: usize) -> Option<SocketAddr> {
+        self.tcp.as_ref()?.get(index).map(|node| node.addr)
+    }
+
+    /// Drops node `index`'s TCP listener and shuts every accepted
+    /// connection — the mid-stream kill of the reconnect test. No-op
+    /// on the in-process transport.
+    pub fn drop_listener(&mut self, index: usize) {
+        let Some(nodes) = self.tcp.as_mut() else {
+            return;
+        };
+        let Some(node) = nodes.get_mut(index) else {
+            return;
+        };
+        node.accepting.store(false, Ordering::Relaxed);
+        // Wake the accept loop so it observes the flag and exits,
+        // releasing the port.
+        let _ = TcpStream::connect(node.addr);
+        if let Some(handle) = node.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for stream in node.conns.lock().drain(..) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Rebinds node `index`'s listener on its original address and
+    /// resumes accepting; peers' links reconnect with backoff and
+    /// retransmit their unacked frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the original address cannot be rebound after retries.
+    pub fn restore_listener(&mut self, index: usize) {
+        let Some(nodes) = self.tcp.as_mut() else {
+            return;
+        };
+        let Some(node) = nodes.get_mut(index) else {
+            return;
+        };
+        let mut listener = None;
+        for _ in 0..200 {
+            match TcpListener::bind(node.addr) {
+                Ok(bound) => {
+                    listener = Some(bound);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        let listener = listener.expect("rebind cluster listener");
+        node.accepting.store(true, Ordering::Relaxed);
+        let ctx = ReaderCtx {
+            me: index as NodeId,
+            ingress: self.shared.nodes[index].clone(),
+            links: Arc::clone(&self.links_by_node[index]),
+            last_seq: Arc::clone(&node.last_seq),
+            metrics: Arc::clone(self.shared.metrics.node(index)),
+        };
+        let accepting = Arc::clone(&node.accepting);
+        let conns = Arc::clone(&node.conns);
+        node.accept_handle = Some(
+            std::thread::Builder::new()
+                .name(format!("mmcs-listen{index}"))
+                .spawn(move || run_accept(listener, accepting, conns, ctx))
+                .expect("respawn cluster listener thread"),
+        );
+    }
+
+    /// Stops every node worker and broker (idempotent).
+    pub fn shutdown(&self) {
+        for node in &self.shared.nodes {
+            let _ = node.send(NodeCmd::Shutdown);
+        }
+        for broker in &self.shared.brokers {
+            broker.shutdown();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(nodes) = self.tcp.as_mut() {
+            for node in nodes.iter_mut() {
+                node.accepting.store(false, Ordering::Relaxed);
+                let _ = TcpStream::connect(node.addr);
+                if let Some(handle) = node.accept_handle.take() {
+                    let _ = handle.join();
+                }
+                for stream in node.conns.lock().drain(..) {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Link sender threads exit when their op channel disconnects;
+        // the senders live inside the LinkHandles, so every clone must
+        // go before the joins below can return. Workers dropped theirs
+        // on exit, reader threads dropped theirs when their connections
+        // were shut above — this is the last one.
+        self.links_by_node.clear();
+        for handle in self.link_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.node_count())
+            .field("tcp", &self.tcp.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Mutable per-client state behind the [`ClusterClient`] handle.
+struct ClientState {
+    zone: usize,
+    node: NodeId,
+    inner: ShardedClient,
+    filters: Vec<TopicFilter>,
+    /// Deliveries drained from the previous gateway during a move,
+    /// handed out before new ones so nothing is lost or reordered.
+    stash: VecDeque<Arc<Event>>,
+}
+
+/// A client of the federation: homed on one zone gateway, movable
+/// between zones, publishing and receiving through its current node.
+pub struct ClusterClient {
+    id: ClientId,
+    shared: Arc<ClusterShared>,
+    state: Mutex<ClientState>,
+    seq: AtomicU64,
+}
+
+impl ClusterClient {
+    /// This client's cluster-unique id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The node currently homing this client.
+    pub fn node(&self) -> NodeId {
+        self.state.lock().node
+    }
+
+    /// The zone this client last homed to.
+    pub fn zone(&self) -> usize {
+        self.state.lock().zone
+    }
+
+    /// Subscribes to `filter`: locally on the home node's broker, and
+    /// cluster-wide via the gossip interest plane. Duplicate
+    /// subscriptions are a no-op, mirroring [`crate::node::BrokerNode`].
+    pub fn subscribe(&self, filter: TopicFilter) {
+        let mut state = self.state.lock();
+        if state.filters.contains(&filter) {
+            return;
+        }
+        state.inner.subscribe(filter.clone());
+        if let Some(node) = self.shared.nodes.get(state.node as usize) {
+            let _ = node.send(NodeCmd::Subscribe(filter.clone()));
+        }
+        state.filters.push(filter);
+    }
+
+    /// Removes one subscription; a filter this client does not hold is
+    /// a no-op.
+    pub fn unsubscribe(&self, filter: &TopicFilter) {
+        let mut state = self.state.lock();
+        let Some(pos) = state.filters.iter().position(|f| f == filter) else {
+            return;
+        };
+        state.filters.remove(pos);
+        state.inner.unsubscribe(filter.clone());
+        if let Some(node) = self.shared.nodes.get(state.node as usize) {
+            let _ = node.send(NodeCmd::Unsubscribe(filter.clone()));
+        }
+    }
+
+    /// Publishes a data event through the home gateway.
+    pub fn publish(&self, topic: Topic, payload: Bytes) {
+        self.publish_class(topic, EventClass::Data, payload);
+    }
+
+    /// Publishes with an explicit class. The sequence counter lives in
+    /// this handle, so per-source ordering survives zone moves.
+    pub fn publish_class(&self, topic: Topic, class: EventClass, payload: Bytes) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let event = Event::new(topic, self.id, seq, class, payload).into_shared();
+        let node = self.state.lock().node;
+        if let Some(tx) = self.shared.nodes.get(node as usize) {
+            let _ = tx.send(NodeCmd::Publish(event));
+        }
+    }
+
+    /// Rehomes this client to `zone`'s nearest gateway. Pending
+    /// deliveries are drained into a stash first, so with the cluster
+    /// quiesced a move loses and reorders nothing; subscriptions are
+    /// re-established on the new node and withdrawn from the old one.
+    pub fn move_to_zone(&self, zone: usize) {
+        let mut state = self.state.lock();
+        state.zone = zone;
+        let new_node = self.shared.latency.home_node(zone);
+        if new_node == state.node {
+            return;
+        }
+        let mut pending = Vec::new();
+        state.inner.drain_into(&mut pending);
+        state.stash.extend(pending);
+        let old_node = state.node;
+        for filter in state.filters.clone() {
+            state.inner.unsubscribe(filter.clone());
+            if let Some(node) = self.shared.nodes.get(old_node as usize) {
+                let _ = node.send(NodeCmd::Unsubscribe(filter));
+            }
+        }
+        let new_inner = self
+            .shared
+            .brokers
+            .get(new_node as usize)
+            .map(|b| b.attach_as(self.id))
+            .expect("home node in range");
+        // Replacing the handle detaches the old attachment on drop.
+        state.inner = new_inner;
+        for filter in state.filters.clone() {
+            state.inner.subscribe(filter.clone());
+            if let Some(node) = self.shared.nodes.get(new_node as usize) {
+                let _ = node.send(NodeCmd::Subscribe(filter));
+            }
+        }
+        state.node = new_node;
+    }
+
+    /// Receives the next delivered event, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Arc<Event>> {
+        let mut state = self.state.lock();
+        if let Some(event) = state.stash.pop_front() {
+            return Some(event);
+        }
+        state.inner.recv_timeout(timeout)
+    }
+
+    /// Receives without blocking.
+    pub fn try_recv(&self) -> Option<Arc<Event>> {
+        let mut state = self.state.lock();
+        if let Some(event) = state.stash.pop_front() {
+            return Some(event);
+        }
+        state.inner.try_recv()
+    }
+
+    /// Drains everything currently delivered into `sink`, stashed
+    /// events first; returns how many were appended.
+    pub fn drain_into(&self, sink: &mut Vec<Arc<Event>>) -> usize {
+        let mut state = self.state.lock();
+        let before = sink.len();
+        sink.extend(state.stash.drain(..));
+        state.inner.drain_into(sink);
+        sink.len() - before
+    }
+}
+
+impl std::fmt::Debug for ClusterClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("ClusterClient")
+            .field("id", &self.id)
+            .field("node", &state.node)
+            .field("zone", &state.zone)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topic(s: &str) -> Topic {
+        Topic::parse(s).expect("valid topic")
+    }
+
+    fn filter(s: &str) -> TopicFilter {
+        TopicFilter::parse(s).expect("valid filter")
+    }
+
+    fn sample_event() -> Event {
+        Event::new(
+            topic("session/7/video"),
+            ClientId::from_raw(42),
+            3,
+            EventClass::Data,
+            Bytes::from_static(b"frame"),
+        )
+    }
+
+    #[test]
+    fn frame_roundtrip_preserves_header_fields() {
+        let event = sample_event();
+        let buf = encode_event_frame(2, 5, 1, 9, &event);
+        let parsed = ClusterFrame::parse(&buf).expect("valid frame");
+        assert_eq!(parsed.kind(), FrameKind::Event);
+        assert_eq!(parsed.origin(), 2);
+        assert_eq!(parsed.dest(), 5);
+        assert_eq!(parsed.hops(), 1);
+        assert_eq!(parsed.generation(), 9);
+        let wire = wire::WireEvent::parse(parsed.body()).expect("valid body");
+        assert_eq!(wire.topic_str(), "session/7/video");
+        assert_eq!(wire.seq(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_each_malformation_with_its_own_error() {
+        let event = sample_event();
+        let good = encode_event_frame(0, 1, 0, 0, &event);
+
+        for cut in 0..CLUSTER_HEADER_LEN {
+            assert_eq!(
+                ClusterFrame::parse(&good[..cut]).unwrap_err(),
+                DecodeClusterError::Truncated,
+                "prefix of {cut} bytes"
+            );
+        }
+
+        let mut bad = good.to_vec();
+        bad[OFF_VERSION] = 9;
+        assert_eq!(
+            ClusterFrame::parse(&bad).unwrap_err(),
+            DecodeClusterError::BadVersion(9)
+        );
+
+        let mut bad = good.to_vec();
+        bad[OFF_KIND] = 200;
+        assert_eq!(
+            ClusterFrame::parse(&bad).unwrap_err(),
+            DecodeClusterError::BadKind(200)
+        );
+
+        let mut bad = good.to_vec();
+        bad[OFF_HOPS] = MAX_HOPS + 1;
+        assert_eq!(
+            ClusterFrame::parse(&bad).unwrap_err(),
+            DecodeClusterError::HopLimit(MAX_HOPS + 1)
+        );
+
+        let mut bad = good.to_vec();
+        bad[OFF_RESERVED] = 1;
+        assert_eq!(
+            ClusterFrame::parse(&bad).unwrap_err(),
+            DecodeClusterError::BadReserved(1)
+        );
+
+        // Event frame whose embedded wire event is cut short.
+        let truncated_body = &good[..good.len() - 1];
+        assert!(matches!(
+            ClusterFrame::parse(truncated_body).unwrap_err(),
+            DecodeClusterError::BadEvent(_)
+        ));
+
+        // Ack frames must have an empty body.
+        let ack = encode_frame(FrameKind::Ack, 0, 1, 0, 7, b"junk");
+        assert_eq!(
+            ClusterFrame::parse(&ack).unwrap_err(),
+            DecodeClusterError::BadBody
+        );
+        let ack = encode_frame(FrameKind::Ack, 0, 1, 0, 7, &[]);
+        let parsed = ClusterFrame::parse(&ack).expect("valid ack");
+        assert_eq!(parsed.generation(), 7);
+    }
+
+    #[test]
+    fn zones_home_to_their_lowest_latency_node() {
+        let map = LatencyMap::full_mesh(3, 5)
+            .with_zone(vec![1, 10, 10])
+            .with_zone(vec![10, 1, 10])
+            .with_zone(vec![7, 7, 7]);
+        assert_eq!(map.home_node(0), 0);
+        assert_eq!(map.home_node(1), 1);
+        // Ties break to the lowest node id.
+        assert_eq!(map.home_node(2), 0);
+        // Zones wrap.
+        assert_eq!(map.home_node(4), 1);
+    }
+
+    #[test]
+    fn route_table_walks_the_chain() {
+        let map = LatencyMap::chain(4, 10);
+        let routes = RouteTable::new(&map);
+        assert_eq!(routes.next_hop(0, 3), Some(1));
+        assert_eq!(routes.next_hop(1, 3), Some(2));
+        assert_eq!(routes.hops(0, 3), Some(3));
+        assert_eq!(routes.distance(0, 3), Some(30));
+        assert_eq!(routes.next_hop(2, 2), None);
+        assert_eq!(routes.hops(2, 2), Some(0));
+    }
+
+    #[test]
+    fn route_table_prefers_lower_latency_detours() {
+        // Direct 0-2 link is expensive; 0-1-2 is cheaper.
+        let mut map = LatencyMap::new(3);
+        map.set_link(0, 2, 100);
+        map.set_link(0, 1, 10);
+        map.set_link(1, 2, 10);
+        let routes = RouteTable::new(&map);
+        assert_eq!(routes.next_hop(0, 2), Some(1));
+        assert_eq!(routes.distance(0, 2), Some(20));
+    }
+
+    #[test]
+    fn cross_node_publish_reaches_remote_subscriber() {
+        let cluster = Cluster::spawn(LatencyMap::full_mesh(2, 5));
+        let publisher = cluster.attach(0);
+        let subscriber = cluster.attach(1);
+        assert_ne!(publisher.node(), subscriber.node());
+        subscriber.subscribe(filter("session/7/*"));
+        cluster.converge(8);
+
+        publisher.publish(topic("session/7/video"), Bytes::from_static(b"frame"));
+        cluster.quiesce();
+
+        let mut got = Vec::new();
+        subscriber.drain_into(&mut got);
+        assert_eq!(got.len(), 1, "exactly one delivery across the hop");
+        assert_eq!(got[0].source, publisher.id());
+        let forwards = cluster.metrics().total(|m| m.inter_node_forwards.get());
+        assert_eq!(forwards, 1, "one frame per interested remote node");
+    }
+
+    #[test]
+    fn chain_cluster_relays_across_intermediate_nodes() {
+        let cluster = Cluster::spawn(LatencyMap::chain(4, 5));
+        let publisher = cluster.attach(0);
+        let subscriber = cluster.attach(3);
+        subscriber.subscribe(filter("session/#"));
+        cluster.converge(12);
+
+        publisher.publish(topic("session/9/audio"), Bytes::from_static(b"pkt"));
+        cluster.quiesce();
+
+        let mut got = Vec::new();
+        subscriber.drain_into(&mut got);
+        assert_eq!(got.len(), 1);
+        let relays = cluster.metrics().total(|m| m.relays.get());
+        assert_eq!(relays, 2, "nodes 1 and 2 each relay once");
+        assert_eq!(
+            cluster.metrics().node(3).hop_histogram.snapshot().max(),
+            Some(3),
+            "delivery after three links"
+        );
+        assert_eq!(cluster.metrics().total(|m| m.hop_limit_drops.get()), 0);
+    }
+
+    #[test]
+    fn uninterested_nodes_receive_no_event_frames() {
+        let cluster = Cluster::spawn(LatencyMap::full_mesh(3, 5));
+        let publisher = cluster.attach(0);
+        let near = cluster.attach(0);
+        near.subscribe(filter("session/7/*"));
+        cluster.converge(8);
+
+        publisher.publish(topic("session/7/video"), Bytes::from_static(b"frame"));
+        cluster.quiesce();
+
+        let mut got = Vec::new();
+        near.drain_into(&mut got);
+        assert_eq!(got.len(), 1);
+        assert_eq!(
+            cluster.metrics().total(|m| m.inter_node_forwards.get()),
+            0,
+            "no remote node subscribed, so nothing crosses a link"
+        );
+    }
+
+    #[test]
+    fn crash_and_restart_reconverges_interest() {
+        let cluster = Cluster::spawn(LatencyMap::full_mesh(3, 5));
+        let sub = cluster.attach(1);
+        sub.subscribe(filter("chat/#"));
+        assert!(cluster.converge(8));
+
+        cluster.quiesce();
+        cluster.crash(1);
+        // Node 2 learns nothing new while 1 is dark.
+        let extra = cluster.attach(1);
+        extra.subscribe(filter("mail/#"));
+        cluster.gossip_round();
+        assert!(!cluster.converged(), "partitioned cluster cannot converge");
+
+        cluster.restart(1, false);
+        assert!(cluster.converge(12), "healed cluster reconverges");
+
+        let publisher = cluster.attach(0);
+        publisher.publish(topic("mail/inbox"), Bytes::from_static(b"m"));
+        cluster.quiesce();
+        let mut got = Vec::new();
+        extra.drain_into(&mut got);
+        assert_eq!(got.len(), 1, "post-heal interest routes events again");
+    }
+
+    #[test]
+    fn client_move_keeps_subscriptions_and_pending_deliveries() {
+        let map = LatencyMap::full_mesh(2, 5)
+            .with_zone(vec![1, 10])
+            .with_zone(vec![10, 1]);
+        let cluster = Cluster::spawn(map);
+        let publisher = cluster.attach(0);
+        let mover = cluster.attach(0);
+        mover.subscribe(filter("session/7/*"));
+        cluster.converge(8);
+
+        publisher.publish(topic("session/7/video"), Bytes::from_static(b"a"));
+        cluster.quiesce();
+
+        mover.move_to_zone(1);
+        assert_eq!(mover.node(), 1);
+        cluster.converge(8);
+
+        publisher.publish(topic("session/7/video"), Bytes::from_static(b"b"));
+        cluster.quiesce();
+
+        let mut got = Vec::new();
+        mover.drain_into(&mut got);
+        let payloads: Vec<&[u8]> = got.iter().map(|e| e.payload.as_ref()).collect();
+        assert_eq!(
+            payloads,
+            vec![b"a".as_ref(), b"b".as_ref()],
+            "stashed delivery first, post-move delivery second"
+        );
+    }
+
+    #[test]
+    fn stale_generation_is_counted_but_still_delivered() {
+        let cluster = Cluster::spawn(LatencyMap::full_mesh(2, 5));
+        let publisher = cluster.attach(0);
+        let subscriber = cluster.attach(1);
+        subscriber.subscribe(filter("a/#"));
+        cluster.converge(8);
+
+        // Bump node 1's local generation after node 0 learned it.
+        subscriber.subscribe(filter("b/#"));
+        // Do NOT gossip: node 0 now holds a stale view of node 1.
+        publisher.publish(topic("a/x"), Bytes::from_static(b"p"));
+        cluster.quiesce();
+
+        let mut got = Vec::new();
+        subscriber.drain_into(&mut got);
+        assert_eq!(got.len(), 1, "stale generation still delivers");
+        assert_eq!(cluster.metrics().node(1).stale_generation.get(), 1);
+    }
+
+    #[test]
+    fn malformed_frames_are_counted_not_crashed_on() {
+        let cluster = Cluster::spawn(LatencyMap::full_mesh(2, 5));
+        // Reach into node 0's ingress the way a link would.
+        let sent = cluster.shared.nodes[0]
+            .send(NodeCmd::Frame(Bytes::from_static(b"garbage")))
+            .is_ok();
+        assert!(sent, "worker alive");
+        cluster.quiesce();
+        assert_eq!(cluster.metrics().node(0).decode_errors.get(), 1);
+        // Worker survived: a real publish still flows.
+        let client = cluster.attach(0);
+        client.subscribe(filter("t/#"));
+        cluster.converge(8);
+        client.publish(topic("t/x"), Bytes::from_static(b"ok"));
+        cluster.quiesce();
+        let mut got = Vec::new();
+        client.drain_into(&mut got);
+        assert_eq!(got.len(), 1);
+    }
+}

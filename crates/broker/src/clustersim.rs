@@ -1,0 +1,312 @@
+//! Federation ↔ simulator bridge.
+//!
+//! The live [`crate::cluster::Cluster`] runs node workers, gossip and
+//! (optionally) real sockets, so its timings are not reproducible; the
+//! capacity-frontier harness and the experiments need the *same
+//! federation topology* inside the deterministic simulator. This
+//! module builds that model: one [`BrokerProcess`] per cluster node,
+//! each on its own simulated host, joined exactly along the direct
+//! links of a [`LatencyMap`] with the map's latencies applied to the
+//! simulated wire ([`Simulation::set_link`]).
+//!
+//! The geography is shared with the live runtime: zone homing uses the
+//! same [`LatencyMap::home_node`] argmin, so a client lands on exactly
+//! the gateway the thread runtime would pick, and the inter-node path
+//! shape matches the live [`RouteTable`](crate::cluster::RouteTable)
+//! (on a tree there is only one path; on a full mesh every path is the
+//! direct link).
+//!
+//! Interest exchange differs by topology, mirroring what the live
+//! gossip converges to:
+//!
+//! * **tree** (e.g. [`LatencyMap::chain`]) — the sans-IO node's native
+//!   broker-to-broker subscription propagation carries interest hop by
+//!   hop, and events relay through intermediate nodes exactly like
+//!   live `ClusterFrame` relaying;
+//! * **full mesh** — propagation must not re-forward (the mesh has
+//!   cycles), so nodes run local-adverts-only and events cross exactly
+//!   one link, like the live cluster's direct-path routing.
+//!
+//! Other cyclic topologies are rejected: the deterministic model has
+//! no gossip rounds to break cycles with.
+
+use mmcs_sim::net::{LinkConfig, NicConfig};
+use mmcs_sim::{ProcessId, Simulation};
+use mmcs_util::id::BrokerId;
+use mmcs_util::rate::Bandwidth;
+use mmcs_util::time::SimDuration;
+
+use crate::batch::CostModel;
+use crate::cluster::LatencyMap;
+use crate::simdrv::BrokerProcess;
+
+/// Configuration for [`ClusterSimNet::build`].
+#[derive(Debug, Clone)]
+pub struct ClusterSimConfig {
+    /// Cluster geography: nodes, direct links, zone latency rows.
+    pub latency: LatencyMap,
+    /// CPU cost model charged by every node broker.
+    pub cost: CostModel,
+    /// Per-node NIC bandwidth.
+    pub node_nic: Bandwidth,
+    /// Per-node NIC queue limit in bytes.
+    pub queue_bytes: u64,
+}
+
+impl ClusterSimConfig {
+    /// A federation over `latency` with the calibrated NaradaBrokering
+    /// cost model and the large socket buffers the experiments use.
+    pub fn over(latency: LatencyMap) -> Self {
+        Self {
+            latency,
+            cost: CostModel::narada(),
+            node_nic: Bandwidth::from_mbps(310),
+            queue_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// The federation modelled in the deterministic simulator: one broker
+/// process per node, links and latencies from the shared
+/// [`LatencyMap`]. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ClusterSimNet {
+    nodes: Vec<ProcessId>,
+    latency: LatencyMap,
+}
+
+impl ClusterSimNet {
+    /// Adds the node hosts and broker processes to `sim` and links
+    /// them along the map's direct links. Call before adding clients
+    /// so process ids stay compact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link graph is cyclic but not a full mesh (see the
+    /// [module docs](self)).
+    pub fn build(sim: &mut Simulation, config: &ClusterSimConfig) -> Self {
+        let n = config.latency.node_count();
+        let shape = classify(&config.latency);
+        assert!(
+            shape != Shape::Other,
+            "cluster sim supports tree and full-mesh topologies"
+        );
+        let mut hosts = Vec::with_capacity(n);
+        let mut nodes = Vec::with_capacity(n);
+        for index in 0..n {
+            let host = sim.add_host(
+                &format!("cnode-{index}"),
+                NicConfig {
+                    bandwidth: config.node_nic,
+                    queue_bytes: config.queue_bytes,
+                    ..NicConfig::default()
+                },
+            );
+            let mut broker = BrokerProcess::new(BrokerId::from_raw(index as u64), config.cost);
+            if shape == Shape::Mesh {
+                // The mesh has cycles: interest must stop after one
+                // hop, exactly like the live direct-path routing.
+                broker = broker.with_local_adverts_only();
+            }
+            hosts.push(host);
+            nodes.push(sim.add_typed_process(host, broker));
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let Some(ms) = config.latency.link(a as u16, b as u16) else {
+                    continue;
+                };
+                sim.set_link(
+                    hosts[a],
+                    hosts[b],
+                    LinkConfig {
+                        latency: SimDuration::from_micros(u64::from(ms) * 1000),
+                        ..LinkConfig::default()
+                    },
+                );
+                sim.process_mut::<BrokerProcess>(nodes[a])
+                    .expect("node process just added")
+                    .add_peer(BrokerId::from_raw(b as u64), nodes[b]);
+                sim.process_mut::<BrokerProcess>(nodes[b])
+                    .expect("node process just added")
+                    .add_peer(BrokerId::from_raw(a as u64), nodes[a]);
+            }
+        }
+        Self {
+            nodes,
+            latency: config.latency.clone(),
+        }
+    }
+
+    /// Number of nodes in the federation.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The simulator process of node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn node_process(&self, index: usize) -> ProcessId {
+        self.nodes[index]
+    }
+
+    /// All node processes, in node order.
+    pub fn node_processes(&self) -> &[ProcessId] {
+        &self.nodes
+    }
+
+    /// The gateway node homing clients of `zone` — identical to the
+    /// live [`LatencyMap::home_node`].
+    pub fn home_node(&self, zone: usize) -> usize {
+        self.latency.home_node(zone) as usize
+    }
+
+    /// The broker process clients of `zone` attach and subscribe at.
+    pub fn home_process(&self, zone: usize) -> ProcessId {
+        self.nodes[self.home_node(zone)]
+    }
+
+    /// The latency map this federation was built from.
+    pub fn latency(&self) -> &LatencyMap {
+        &self.latency
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Tree,
+    Mesh,
+    Other,
+}
+
+/// Classifies the link graph: a connected acyclic graph, a complete
+/// graph, or anything else.
+fn classify(map: &LatencyMap) -> Shape {
+    let n = map.node_count();
+    let mut edges = 0usize;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if map.link(a as u16, b as u16).is_some() {
+                edges += 1;
+            }
+        }
+    }
+    if edges == n * (n - 1) / 2 {
+        // Complete graphs on ≤ 2 nodes are also trees; mesh semantics
+        // (one hop, local adverts) are correct for those too.
+        return Shape::Mesh;
+    }
+    if edges != n.saturating_sub(1) {
+        return Shape::Other;
+    }
+    // n-1 edges: a tree iff connected.
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut visited = 1;
+    while let Some(at) = stack.pop() {
+        for (next, seen_next) in seen.iter_mut().enumerate() {
+            if !*seen_next && map.link(at as u16, next as u16).is_some() {
+                *seen_next = true;
+                visited += 1;
+                stack.push(next);
+            }
+        }
+    }
+    if visited == n {
+        Shape::Tree
+    } else {
+        Shape::Other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simdrv::{PublisherConfig, RtpReceiver, VideoPublisher};
+    use crate::topic::{Topic, TopicFilter};
+    use mmcs_rtp::packet::payload_type;
+    use mmcs_rtp::source::{VideoSource, VideoSourceConfig};
+    use mmcs_util::id::ClientId;
+    use mmcs_util::rng::DetRng;
+    use mmcs_util::time::SimTime;
+
+    #[test]
+    fn classify_recognizes_shapes() {
+        assert_eq!(classify(&LatencyMap::chain(4, 5)), Shape::Tree);
+        assert_eq!(classify(&LatencyMap::full_mesh(4, 5)), Shape::Mesh);
+        assert_eq!(classify(&LatencyMap::full_mesh(2, 5)), Shape::Mesh);
+        let mut ring = LatencyMap::chain(4, 5);
+        ring.set_link(0, 3, 5);
+        assert_eq!(classify(&ring), Shape::Other);
+        let disconnected = LatencyMap::new(3).with_zone(vec![1, 1, 1]);
+        assert_eq!(classify(&disconnected), Shape::Other);
+    }
+
+    #[test]
+    fn zone_homing_matches_live_map() {
+        let map = LatencyMap::full_mesh(3, 5)
+            .with_zone(vec![1, 10, 10])
+            .with_zone(vec![10, 1, 10])
+            .with_zone(vec![10, 10, 1]);
+        let mut sim = Simulation::new(1);
+        let net = ClusterSimNet::build(&mut sim, &ClusterSimConfig::over(map.clone()));
+        for zone in 0..map.zone_count() {
+            assert_eq!(net.home_node(zone), map.home_node(zone) as usize);
+        }
+    }
+
+    fn run_video(map: LatencyMap, publisher_zone: usize, subscriber_zone: usize) -> (u64, u64) {
+        let mut sim = Simulation::new(17);
+        let net = ClusterSimNet::build(&mut sim, &ClusterSimConfig::over(map));
+        let topic = Topic::parse("session/7/video").unwrap();
+
+        let client_host = sim.add_host("clients", NicConfig::default());
+        let receiver = sim.add_typed_process(
+            client_host,
+            RtpReceiver::new(
+                net.home_process(subscriber_zone),
+                ClientId::from_raw(2),
+                TopicFilter::exact(&topic),
+                payload_type::H263,
+                SimDuration::from_micros(10),
+            ),
+        );
+        let sender_host = sim.add_host("sender", NicConfig::default());
+        let mut config = PublisherConfig::new(
+            net.home_process(publisher_zone),
+            ClientId::from_raw(1),
+            topic,
+        );
+        config.max_packets = 30;
+        let source = VideoSource::new(VideoSourceConfig::default(), 7, DetRng::new(11));
+        sim.add_typed_process(sender_host, VideoPublisher::new(config, source));
+
+        sim.run_until(SimTime::from_secs(20));
+        let stats = sim.process_ref::<RtpReceiver>(receiver).unwrap().stats();
+        (stats.received(), sim.counter("broker.forwarded"))
+    }
+
+    #[test]
+    fn mesh_publish_crosses_exactly_one_link() {
+        let (received, forwarded) = run_video(LatencyMap::full_mesh(3, 5), 0, 1);
+        assert_eq!(received, 30, "all packets across the federation");
+        assert_eq!(forwarded, 30, "one inter-node hop per packet");
+    }
+
+    #[test]
+    fn chain_publish_relays_through_intermediate_nodes() {
+        let (received, forwarded) = run_video(LatencyMap::chain(4, 5), 0, 3);
+        assert_eq!(received, 30, "all packets across three links");
+        assert_eq!(forwarded, 90, "each of three links carries each packet");
+    }
+
+    #[test]
+    fn same_zone_publish_never_crosses_a_link() {
+        let (received, forwarded) = run_video(LatencyMap::full_mesh(3, 5), 1, 1);
+        assert_eq!(received, 30);
+        assert_eq!(forwarded, 0, "publisher and subscriber share a gateway");
+    }
+}

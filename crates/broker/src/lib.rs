@@ -66,8 +66,16 @@
 pub mod batch;
 /// The broker event: topic, origin, sequence, class and payload.
 pub mod event;
+/// Federation runtime: N sharded brokers joined by gossip interest
+/// exchange, hop-bounded inter-node routing and zone-homed clients.
+pub mod cluster;
 /// Firewall/NAT traversal modelling for client transports.
 pub mod firewall;
+/// The federation topology rebuilt inside the deterministic simulator:
+/// one broker process per cluster node, links from the latency map.
+pub mod clustersim;
+/// Anti-entropy gossip of per-node subscription interest.
+pub mod gossip;
 /// Liveness tracking: heartbeats and failure suspicion for peers.
 pub mod liveness;
 /// Telemetry instruments for the broker hot path and its drivers.

@@ -188,6 +188,185 @@ impl ShardedBrokerMetrics {
     }
 }
 
+/// Instruments for one federation node's cluster layer (the gossip
+/// loop plus the inter-node forwarding plane of
+/// [`crate::cluster::Cluster`]). One bundle per node, registered under
+/// per-node label prefixes by [`ClusterMetrics`].
+#[derive(Debug)]
+pub struct ClusterNodeMetrics {
+    /// Gossip rounds initiated (ticks processed).
+    pub gossip_rounds: Arc<Counter>,
+    /// Gossip entries accepted into the interest view.
+    pub gossip_entries_applied: Arc<Counter>,
+    /// Current `(node, filter)` interest entries known cluster-wide.
+    pub interest_entries: Arc<Gauge>,
+    /// Event frames sent toward other nodes, counted at the origin.
+    pub inter_node_forwards: Arc<Counter>,
+    /// Event frames relayed for other nodes (multi-hop middle legs).
+    pub relays: Arc<Counter>,
+    /// Links traversed by each event frame accepted at its destination.
+    pub hop_histogram: Arc<Histogram>,
+    /// Cluster frames received (before validation).
+    pub frames_in: Arc<Counter>,
+    /// Frames rejected by the typed cluster/gossip/event decoders.
+    pub decode_errors: Arc<Counter>,
+    /// Event frames routed under an interest generation older than the
+    /// destination's current one (harmless — counted for observability).
+    pub stale_generation: Arc<Counter>,
+    /// Frames dropped at the hop-count bound (would-be forwarding loop).
+    pub hop_limit_drops: Arc<Counter>,
+    /// Frames dropped on an administratively-down link (chaos faults).
+    pub link_drops: Arc<Counter>,
+    /// Gossip frames dropped by an injected gossip-loss fault.
+    pub gossip_drops: Arc<Counter>,
+    /// Frames dropped for lack of any route to their destination.
+    pub no_route_drops: Arc<Counter>,
+    /// Duplicate frames suppressed by the TCP link-sequence dedup.
+    pub duplicate_frames: Arc<Counter>,
+    /// TCP link re-establishments after a connection failure.
+    pub reconnects: Arc<Counter>,
+}
+
+impl ClusterNodeMetrics {
+    /// Registers the bundle under `{prefix}_…` names.
+    pub fn register(registry: &Registry, prefix: &str) -> Arc<Self> {
+        Arc::new(Self {
+            gossip_rounds: registry.counter(
+                &format!("{prefix}_gossip_rounds_total"),
+                "gossip rounds initiated",
+            ),
+            gossip_entries_applied: registry.counter(
+                &format!("{prefix}_gossip_entries_applied_total"),
+                "gossip entries accepted into the interest view",
+            ),
+            interest_entries: registry.gauge(
+                &format!("{prefix}_interest_entries"),
+                "(node, filter) interest entries currently known",
+            ),
+            inter_node_forwards: registry.counter(
+                &format!("{prefix}_inter_node_forwards_total"),
+                "event frames sent toward other nodes",
+            ),
+            relays: registry.counter(
+                &format!("{prefix}_relays_total"),
+                "event frames relayed for other nodes",
+            ),
+            hop_histogram: registry.histogram(
+                &format!("{prefix}_hops"),
+                "links traversed per delivered event frame",
+            ),
+            frames_in: registry.counter(
+                &format!("{prefix}_frames_in_total"),
+                "cluster frames received",
+            ),
+            decode_errors: registry.counter(
+                &format!("{prefix}_decode_errors_total"),
+                "frames rejected by the typed decoders",
+            ),
+            stale_generation: registry.counter(
+                &format!("{prefix}_stale_generation_total"),
+                "event frames routed under an outdated interest generation",
+            ),
+            hop_limit_drops: registry.counter(
+                &format!("{prefix}_hop_limit_drops_total"),
+                "frames dropped at the hop-count bound",
+            ),
+            link_drops: registry.counter(
+                &format!("{prefix}_link_drops_total"),
+                "frames dropped on a down link",
+            ),
+            gossip_drops: registry.counter(
+                &format!("{prefix}_gossip_drops_total"),
+                "gossip frames dropped by an injected loss fault",
+            ),
+            no_route_drops: registry.counter(
+                &format!("{prefix}_no_route_drops_total"),
+                "frames dropped for lack of a route",
+            ),
+            duplicate_frames: registry.counter(
+                &format!("{prefix}_duplicate_frames_total"),
+                "duplicates suppressed by the TCP link dedup",
+            ),
+            reconnects: registry.counter(
+                &format!("{prefix}_reconnects_total"),
+                "TCP link re-establishments",
+            ),
+        })
+    }
+
+    /// Creates a detached bundle (not in any registry).
+    pub fn detached() -> Arc<Self> {
+        Arc::new(Self {
+            gossip_rounds: Arc::new(Counter::new()),
+            gossip_entries_applied: Arc::new(Counter::new()),
+            interest_entries: Arc::new(Gauge::new()),
+            inter_node_forwards: Arc::new(Counter::new()),
+            relays: Arc::new(Counter::new()),
+            hop_histogram: Arc::new(Histogram::new()),
+            frames_in: Arc::new(Counter::new()),
+            decode_errors: Arc::new(Counter::new()),
+            stale_generation: Arc::new(Counter::new()),
+            hop_limit_drops: Arc::new(Counter::new()),
+            link_drops: Arc::new(Counter::new()),
+            gossip_drops: Arc::new(Counter::new()),
+            no_route_drops: Arc::new(Counter::new()),
+            duplicate_frames: Arc::new(Counter::new()),
+            reconnects: Arc::new(Counter::new()),
+        })
+    }
+}
+
+/// One [`ClusterNodeMetrics`] bundle per federation node, registered
+/// under `{prefix}_node{i}_…` labels — the cluster counterpart of
+/// [`ShardedBrokerMetrics`].
+#[derive(Debug)]
+pub struct ClusterMetrics {
+    nodes: Vec<Arc<ClusterNodeMetrics>>,
+}
+
+impl ClusterMetrics {
+    /// Registers `nodes` per-node bundles under `{prefix}_node{i}_…`.
+    pub fn register(registry: &Registry, prefix: &str, nodes: usize) -> Arc<Self> {
+        Arc::new(Self {
+            nodes: (0..nodes)
+                .map(|i| ClusterNodeMetrics::register(registry, &format!("{prefix}_node{i}")))
+                .collect(),
+        })
+    }
+
+    /// Creates detached per-node bundles (not in any registry).
+    pub fn detached(nodes: usize) -> Arc<Self> {
+        Arc::new(Self {
+            nodes: (0..nodes).map(|_| ClusterNodeMetrics::detached()).collect(),
+        })
+    }
+
+    /// Number of node bundles.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The bundle for node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn node(&self, index: usize) -> &Arc<ClusterNodeMetrics> {
+        &self.nodes[index]
+    }
+
+    /// Iterates the per-node bundles in node order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Arc<ClusterNodeMetrics>> {
+        self.nodes.iter()
+    }
+
+    /// Sums one counter across all nodes (e.g.
+    /// `m.total(|n| n.relays.get())`).
+    pub fn total(&self, read: impl Fn(&ClusterNodeMetrics) -> u64) -> u64 {
+        self.nodes.iter().map(|n| read(n)).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +402,23 @@ mod tests {
         assert!(text.contains("b_shard1_cross_shard_forwards_total 1"));
         assert!(text.contains("b_shard1_batch_size_count 1"));
         assert_eq!(m.shards().count(), 3);
+    }
+
+    #[test]
+    fn cluster_bundle_registers_per_node_labels() {
+        let registry = Registry::new();
+        let m = ClusterMetrics::register(&registry, "fed", 2);
+        assert_eq!(m.node_count(), 2);
+        m.node(0).gossip_rounds.inc();
+        m.node(1).inter_node_forwards.add(3);
+        m.node(1).hop_histogram.record(2);
+        m.node(0).interest_entries.set(5);
+        assert_eq!(m.total(|n| n.inter_node_forwards.get()), 3);
+        let text = registry.render_prometheus();
+        assert!(text.contains("fed_node0_gossip_rounds_total 1"));
+        assert!(text.contains("fed_node1_inter_node_forwards_total 3"));
+        assert!(text.contains("fed_node1_hops_count 1"));
+        assert!(text.contains("fed_node0_interest_entries 5"));
+        assert_eq!(m.nodes().count(), 2);
     }
 }

@@ -164,6 +164,14 @@ enum ShardCmd {
     /// receiver decodes zero-copy. Delivered from the receiving shard's
     /// route plan and never re-forwarded.
     Forward(Bytes),
+    /// An event arriving from *outside* this broker — another cluster
+    /// node forwarded it over the federation wire. Same pooled frame
+    /// encoding as `Forward`, but it enters at the topic's owner shard
+    /// and fans out exactly like a local publish (local deliveries plus
+    /// one ring hop to subscriber home shards). It is never sent back
+    /// to the cluster: inter-node routing happens a layer above, in
+    /// [`crate::cluster`].
+    Inject(Bytes),
     /// Flush everything queued ahead of this command, then ack.
     Barrier(Sender<()>),
     /// Sleep the worker (chaos/backpressure testing).
@@ -174,7 +182,7 @@ enum ShardCmd {
 fn cmd_bytes(cmd: &ShardCmd) -> usize {
     match cmd {
         ShardCmd::Publish(_, event) => event.payload.len(),
-        ShardCmd::Forward(frame) => frame.len(),
+        ShardCmd::Forward(frame) | ShardCmd::Inject(frame) => frame.len(),
         _ => 0,
     }
 }
@@ -222,7 +230,11 @@ impl Router {
     /// the owner shard's queue is at capacity. The shutdown flag breaks
     /// the spin so publishers can never hang on a dead broker.
     fn publish_to(&self, shard: usize, cmd: ShardCmd) {
-        let link = &self.shards[shard];
+        // Shard indices come from `owner_of(_, self.shard_count())`, so
+        // this lookup cannot miss; `get` keeps the hot path panic-free.
+        let Some(link) = self.shards.get(shard) else {
+            return;
+        };
         while link.depth.get() >= self.capacity as i64 && !self.shutdown.load(Ordering::Relaxed) {
             std::thread::yield_now();
         }
@@ -388,6 +400,22 @@ impl ShardedBroker {
     /// owner shard) but homed — subscriptions and deliveries — on one.
     pub fn attach_with(&self, profile: TransportProfile) -> ShardedClient {
         let id = ClientId::from_raw(self.router.next_client.fetch_add(1, Ordering::Relaxed));
+        self.attach_as_with(id, profile)
+    }
+
+    /// Attaches a client under a caller-chosen id with the default
+    /// profile. See [`ShardedBroker::attach_as_with`].
+    pub fn attach_as(&self, id: ClientId) -> ShardedClient {
+        self.attach_as_with(id, TransportProfile::default())
+    }
+
+    /// Attaches a client under a caller-chosen id. The federation layer
+    /// ([`crate::cluster`]) allocates client ids at cluster scope so
+    /// they stay globally unique across nodes and survive a client
+    /// moving between zone gateways. The caller owns uniqueness: a
+    /// duplicate id is rejected shard-side and the returned handle
+    /// receives nothing.
+    pub fn attach_as_with(&self, id: ClientId, profile: TransportProfile) -> ShardedClient {
         let home = self.home_shard(id);
         let (tx, rx) = unbounded();
         for (index, link) in self.router.shards.iter().enumerate() {
@@ -405,6 +433,28 @@ impl ShardedBroker {
             pending: Mutex::new(VecDeque::new()),
             seq: AtomicU64::new(0),
         }
+    }
+
+    /// Injects an externally-routed event, carried as a pooled [`wire`]
+    /// frame, into this broker as if it had been published locally: the
+    /// frame is validated, enqueued at its topic's owner shard (with the
+    /// same soft backpressure as a client publish), delivered to local
+    /// subscribers and ring-forwarded to subscriber home shards. The
+    /// event is **not** re-advertised or routed back out — the caller
+    /// (the cluster layer) owns inter-node routing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed decode error if the frame is not a valid wire
+    /// event; nothing is enqueued in that case.
+    pub fn inject(&self, frame: Bytes) -> Result<(), wire::DecodeEventError> {
+        let parsed = wire::WireEvent::parse(&frame)?;
+        let shard = match parsed.topic_str().split('/').next() {
+            Some(head) if !head.is_empty() => owner_of(head, self.shard_count()),
+            _ => 0,
+        };
+        self.router.publish_to(shard, ShardCmd::Inject(frame));
+        Ok(())
     }
 
     /// Waits until every command enqueued before this call — including
@@ -521,12 +571,17 @@ impl ShardedClient {
     /// Receives the next delivered event, waiting up to `timeout` for a
     /// new batch if none is pending.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Arc<Event>> {
-        let mut pending = self.pending.lock();
-        if let Some(event) = pending.pop_front() {
-            return Some(event);
+        // The pending lock is released before the blocking wait so a
+        // concurrent `try_recv`/`drain_into` never stalls behind it.
+        {
+            let mut pending = self.pending.lock();
+            if let Some(event) = pending.pop_front() {
+                return Some(event);
+            }
         }
         match self.deliveries.recv_timeout(timeout) {
             Ok(batch) => {
+                let mut pending = self.pending.lock();
                 pending.extend(batch);
                 pending.pop_front()
             }
@@ -556,12 +611,16 @@ impl ShardedClient {
 
     /// Receives without blocking.
     pub fn try_recv(&self) -> Option<Arc<Event>> {
-        let mut pending = self.pending.lock();
-        if let Some(event) = pending.pop_front() {
-            return Some(event);
+        // Mirrors `recv_timeout`: no lock held across the channel poll.
+        {
+            let mut pending = self.pending.lock();
+            if let Some(event) = pending.pop_front() {
+                return Some(event);
+            }
         }
         match self.deliveries.try_recv() {
             Ok(batch) => {
+                let mut pending = self.pending.lock();
                 pending.extend(batch);
                 pending.pop_front()
             }
@@ -696,6 +755,7 @@ impl ShardWorker {
                 ShardCmd::Unsubscribe(client, filter) => self.unsubscribe(client, filter),
                 ShardCmd::Publish(client, event) => self.publish(client, event),
                 ShardCmd::Forward(frame) => self.deliver_forwarded(frame),
+                ShardCmd::Inject(frame) => self.inject(frame),
                 ShardCmd::Barrier(ack) => self.acks.push(ack),
                 ShardCmd::Stall(duration) => std::thread::sleep(duration),
                 ShardCmd::Shutdown => stop = true,
@@ -907,6 +967,54 @@ impl ShardWorker {
             }
         }
     }
+
+    /// Owner-shard entry for an event injected from outside the broker
+    /// (the cluster layer's inter-node hop): deliver from this shard's
+    /// own route plan, then hop the *same* frame once over the ring to
+    /// every shard holding remote interest — exactly the fan-out a
+    /// local publish would produce, minus the publisher validation
+    /// (the source client lives on another node).
+    fn inject(&mut self, frame: Bytes) {
+        let event = match wire::decode_shared(&frame) {
+            Ok(event) => event.into_shared(),
+            Err(_) => {
+                // The cluster layer validates frames before enqueueing,
+                // so this is unreachable short of corruption; drop
+                // rather than poison the worker.
+                debug_assert!(false, "malformed injected frame");
+                return;
+            }
+        };
+        let plan = self.node.plan_for(&event.topic);
+        let mut delivered = 0u64;
+        for (client, _profile) in &plan.local {
+            if self.deliveries.contains_key(client) {
+                self.out_buffers
+                    .entry(*client)
+                    .or_default()
+                    .push(Arc::clone(&event));
+                delivered += 1;
+            }
+        }
+        for peer in &plan.remote {
+            let target = peer.value() as usize;
+            let Some(link) = self.links.get(target) else {
+                continue;
+            };
+            link.send(ShardCmd::Forward(frame.clone()));
+            if let Some(m) = &self.metrics {
+                m.cross_shard_forwards.inc();
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.events_in.inc();
+            m.deliveries.add(delivered);
+            m.fanout.record(delivered);
+            if delivered == 0 && plan.remote.is_empty() {
+                m.unroutable.inc();
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -923,6 +1031,45 @@ mod tests {
     }
 
     const RECV: Duration = Duration::from_secs(2);
+
+    #[test]
+    fn injected_frame_delivers_like_a_publish() {
+        let broker = ShardedBroker::spawn(4);
+        let subscriber = broker.attach();
+        subscriber.subscribe(filter("remote/#"));
+        broker.quiesce();
+        let event = Event::new(
+            topic("remote/video"),
+            ClientId::from_raw(9001), // a publisher on another node
+            7,
+            EventClass::Data,
+            Bytes::from_static(b"frame"),
+        );
+        broker.inject(wire::encode(&event).freeze()).unwrap();
+        let got = subscriber.recv_timeout(RECV).unwrap();
+        assert_eq!(got.source, ClientId::from_raw(9001));
+        assert_eq!(got.seq, 7);
+        assert_eq!(&got.payload[..], b"frame");
+        // Exactly once: nothing else arrives.
+        assert!(subscriber.try_recv().is_none());
+    }
+
+    #[test]
+    fn inject_rejects_malformed_frames() {
+        let broker = ShardedBroker::spawn(2);
+        assert!(broker.inject(Bytes::from_static(b"garbage")).is_err());
+    }
+
+    #[test]
+    fn attach_as_preserves_caller_ids() {
+        let broker = ShardedBroker::spawn(2);
+        let client = broker.attach_as(ClientId::from_raw(4242));
+        assert_eq!(client.id(), ClientId::from_raw(4242));
+        client.subscribe(filter("news/#"));
+        client.publish(topic("news/x"), Bytes::from_static(b"1"));
+        let event = client.recv_timeout(RECV).unwrap();
+        assert_eq!(event.source, ClientId::from_raw(4242));
+    }
 
     #[test]
     fn pub_sub_across_shards() {

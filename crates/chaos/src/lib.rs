@@ -20,7 +20,15 @@
 //! attach/detach/subscribe/publish/stall schedules run against live
 //! shard threads and are checked against the single-loop oracle
 //! (`mmcs-chaos sharded --seeds N`).
+//!
+//! The [`cluster`] variant targets the live federation runtime
+//! (`Cluster`): seeded node-crash/zone-partition/gossip-loss schedules
+//! interleave with subscription churn, client zone moves and publish
+//! bursts, then the healed cluster must re-converge and deliver a probe
+//! batch exactly as the single-loop oracle predicts
+//! (`mmcs-chaos cluster --seeds N`).
 
+pub mod cluster;
 pub mod invariants;
 pub mod scenario;
 pub mod schedule;

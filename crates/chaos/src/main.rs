@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! mmcs-chaos sharded --seeds N [--base 0] [--shards K]
+//! mmcs-chaos cluster --seeds N [--base 0] [--inject-bug] [--artifact PATH]
 //! ```
 //!
 //! `fuzz` runs seeds `base..base + seeds`; on the first invariant
@@ -20,7 +21,12 @@
 //! counters). `sharded` drives the real multi-worker `ShardedBroker`
 //! runtime (live OS threads) with seeded churn/stall schedules and
 //! checks each run against the single-loop oracle plus the per-shard
-//! metric identities.
+//! metric identities. `cluster` drives the live federation runtime
+//! (node workers, gossip, multi-hop routing) with seeded
+//! crash/partition/gossip-loss schedules, checks post-heal convergence
+//! and oracle-exact probe delivery, verifies each run's fingerprint is
+//! bit-identical across two executions, and ddmin-shrinks the first
+//! failing schedule to a minimal reproducer.
 
 use std::process::ExitCode;
 
@@ -29,7 +35,7 @@ use mmcs_chaos::{check, generate, shrink};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  mmcs-chaos fuzz --seeds N [--base B] [--inject-bug] [--artifact PATH] [--metrics-dir DIR]\n  mmcs-chaos replay SEED [--inject-bug]\n  mmcs-chaos sharded --seeds N [--base B] [--shards K]"
+        "usage:\n  mmcs-chaos fuzz --seeds N [--base B] [--inject-bug] [--artifact PATH] [--metrics-dir DIR]\n  mmcs-chaos replay SEED [--inject-bug]\n  mmcs-chaos sharded --seeds N [--base B] [--shards K]\n  mmcs-chaos cluster --seeds N [--base B] [--inject-bug] [--artifact PATH]"
     );
     ExitCode::from(2)
 }
@@ -180,6 +186,66 @@ fn sharded(seeds: u64, base: u64, shards: Option<usize>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cluster(seeds: u64, base: u64, inject_bug: bool, artifact: Option<&str>) -> ExitCode {
+    use mmcs_chaos::cluster::{
+        check_cluster, generate_cluster_ops, minimize_cluster, render_cluster_test, run_cluster,
+        ClusterChaosConfig,
+    };
+    let mut clean = 0u64;
+    for seed in base..base + seeds {
+        let mut config = ClusterChaosConfig::for_seed(seed);
+        config.lose_interest_on_restart = inject_bug;
+        let ops = generate_cluster_ops(&config);
+        let (report, violations) = check_cluster(&config, &ops);
+        let second = run_cluster(&config, &ops);
+        if report.fingerprint != second.fingerprint {
+            eprintln!(
+                "seed {seed}: NONDETERMINISM — fingerprints {:#018x} vs {:#018x} across two runs",
+                report.fingerprint, second.fingerprint
+            );
+            return ExitCode::FAILURE;
+        }
+        if violations.is_empty() {
+            clean += 1;
+            println!(
+                "seed {seed}: ok ({} nodes, {}, {} deliveries, max hop {}, fingerprint {:#018x} bit-identical on replay)",
+                config.nodes,
+                if config.chain { "chain" } else { "mesh" },
+                report.deliveries.len(),
+                report.max_hop,
+                report.fingerprint
+            );
+            continue;
+        }
+        println!("seed {seed}: FAILED with {} violation(s):", violations.len());
+        for v in &violations {
+            println!("  - {v}");
+        }
+        println!("shrinking {} ops…", ops.len());
+        let shrunk = minimize_cluster(&config, &ops);
+        println!(
+            "minimal schedule: {} op(s) after {} runs",
+            shrunk.ops.len(),
+            shrunk.runs
+        );
+        for v in &shrunk.violations {
+            println!("  - {v}");
+        }
+        let reproducer = render_cluster_test(&config, &shrunk);
+        println!("\n{reproducer}");
+        if let Some(path) = artifact {
+            match std::fs::write(path, &reproducer) {
+                Ok(()) => println!("reproducer written to {path}"),
+                Err(e) => eprintln!("failed to write artifact {path}: {e}"),
+            }
+        }
+        println!("reproduce with: mmcs-chaos cluster --seeds 1 --base {seed}");
+        return ExitCode::FAILURE;
+    }
+    println!("all {clean} cluster seed(s) clean, fingerprints bit-identical on replay");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -243,6 +309,19 @@ fn main() -> ExitCode {
                 None => None,
             };
             sharded(seeds, base, shards)
+        }
+        "cluster" => {
+            let Some(seeds) = flag_value("--seeds").and_then(|v| v.parse().ok()) else {
+                return usage();
+            };
+            let base = match flag_value("--base") {
+                Some(v) => match v.parse() {
+                    Ok(b) => b,
+                    Err(_) => return usage(),
+                },
+                None => 0,
+            };
+            cluster(seeds, base, inject_bug, flag_value("--artifact"))
         }
         _ => usage(),
     }

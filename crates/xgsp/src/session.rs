@@ -160,15 +160,19 @@ impl Session {
     /// Adds a stream of the given kind (idempotent per kind) and returns
     /// its topic.
     pub fn add_stream(&mut self, kind: MediaKind) -> &str {
-        if let Some(pos) = self.streams.iter().position(|s| s.kind == kind) {
-            return &self.streams[pos].topic;
+        if !self.streams.iter().any(|s| s.kind == kind) {
+            let id = StreamId::from_raw(self.next_stream);
+            self.next_stream += 1;
+            let topic = format!("globalmmcs/session-{}/{}", self.id.value(), kind.as_str());
+            self.streams.push(MediaStream { id, kind, topic });
         }
-        let id = StreamId::from_raw(self.next_stream);
-        self.next_stream += 1;
-        let topic = format!("globalmmcs/session-{}/{}", self.id.value(), kind.as_str());
-        let pos = self.streams.len();
-        self.streams.push(MediaStream { id, kind, topic });
-        &self.streams[pos].topic
+        // The stream exists by now; the fallback arm is unreachable but
+        // keeps this total (no indexing/unwrap on the hot path).
+        self.streams
+            .iter()
+            .find(|s| s.kind == kind)
+            .map(|s| s.topic.as_str())
+            .unwrap_or("")
     }
 
     /// Members in stable (name) order.

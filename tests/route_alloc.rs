@@ -6,7 +6,11 @@
 //! encode of every routed event when the frame buffer comes from a warm
 //! buffer pool. An unpooled control phase re-encodes the same events
 //! into fresh `BytesMut` buffers and shows the allocations come back,
-//! so the zero reading measures the pool, not a blind spot.
+//! so the zero reading measures the pool, not a blind spot. A final
+//! phase stacks the federation layer on top: resolving gossip interest
+//! targets (`targets_for`, memoized per table stamp) and wrapping the
+//! event in the 16-byte `ClusterFrame` envelope must also be free once
+//! warm.
 //!
 //! This file holds exactly one test so the counting allocator sees no
 //! traffic from sibling tests in the same binary.
@@ -16,7 +20,9 @@ use std::cell::Cell;
 use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
+use mmcs::broker::cluster::{encode_event_frame, CLUSTER_HEADER_LEN};
 use mmcs::broker::event::{Event, EventClass};
+use mmcs::broker::gossip::GossipState;
 use mmcs::broker::metrics::BrokerMetrics;
 use mmcs::broker::node::{Action, BrokerNode, Input, Origin};
 use mmcs::broker::topic::{Topic, TopicFilter};
@@ -206,4 +212,56 @@ fn warm_publish_allocates_nothing() {
         after - before,
         PUBLISHES,
     );
+
+    // Phase 4 — the federation layer on top of the same event. One
+    // anti-entropy exchange teaches node 0 that node 1 subscribed a
+    // filter covering the topic; from then on the cluster publish hot
+    // path is `targets_for` (an `Arc` clone out of the stamp-keyed
+    // route cache) plus the 16-byte envelope encode into a pooled
+    // frame. The warm-up block charges the one-time costs: the target
+    // cache entry and any new pool class for the envelope-sized frame.
+    let filter = TopicFilter::parse("conf/1/#").unwrap();
+    let mut remote = GossipState::new(1, 2);
+    assert!(remote.subscribe(&filter));
+    let mut local = GossipState::new(0, 2);
+    let mut digest = Vec::new();
+    local.digest_into(&mut digest);
+    let fresh = remote.entries_newer_than(&digest);
+    assert_eq!(local.apply(&fresh), 1);
+    {
+        let targets = local.targets_for(&event.topic);
+        assert_eq!(&targets[..], &[1]);
+        let generation = local.entry(1).generation;
+        let frame = encode_event_frame(0, 1, 0, generation, &event);
+        assert_eq!(frame.len(), CLUSTER_HEADER_LEN + wire::encoded_len(&event));
+        drop(frame);
+    }
+    let pool_before = pool::stats();
+    let before = thread_allocs();
+    for _ in 0..PUBLISHES {
+        let targets = local.targets_for(&event.topic);
+        assert_eq!(targets.len(), 1);
+        for &target in targets.iter() {
+            let generation = local.entry(target).generation;
+            let frame = encode_event_frame(0, target, 0, generation, &event);
+            assert_eq!(frame.len(), CLUSTER_HEADER_LEN + wire::encoded_len(&event));
+            drop(frame);
+        }
+    }
+    let after = thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "warm federation target-resolve + envelope-encode path must not \
+         allocate ({} allocations across {} publishes)",
+        after - before,
+        PUBLISHES,
+    );
+    let pool_after = pool::stats();
+    assert_eq!(
+        pool_after.hits - pool_before.hits,
+        PUBLISHES,
+        "every envelope frame was served from the warm free list"
+    );
+    assert_eq!(pool_after.misses, pool_before.misses);
 }

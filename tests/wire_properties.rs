@@ -16,6 +16,13 @@
 //!    hop travels as an encoded pooled frame — delivers the identical
 //!    multiset of (topic, class, source, seq, payload), and at > 1
 //!    shard the ring actually carried frames (`cross_shard_forwards`).
+//! 4. **Cluster envelope**: the 16-byte federation `ClusterFrame` —
+//!    round-trip of every header field (any origin/dest/hops-in-range/
+//!    generation, including generations that are stale relative to a
+//!    newer advert — staleness is routing policy, never a wire error),
+//!    typed rejection of truncation at *every* prefix, of hop counts
+//!    past `MAX_HOPS`, and of corrupt embedded events; plus a schema
+//!    golden pinning the byte layout against accidental drift.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -23,6 +30,10 @@ use std::time::Duration;
 use bytes::Bytes;
 use proptest::prelude::*;
 
+use mmcs::broker::cluster::{
+    self, encode_event_frame, encode_frame, ClusterFrame, DecodeClusterError, FrameKind,
+    CLUSTER_HEADER_LEN, MAX_HOPS,
+};
 use mmcs::broker::event::{Event, EventClass};
 use mmcs::broker::metrics::ShardedBrokerMetrics;
 use mmcs::broker::sharded::ShardedBroker;
@@ -305,4 +316,189 @@ proptest! {
             }
         }
     }
+}
+
+fn frame_kind_strategy() -> impl Strategy<Value = FrameKind> {
+    prop::sample::select(vec![
+        FrameKind::Event,
+        FrameKind::GossipDigest,
+        FrameKind::GossipEntries,
+        FrameKind::Ack,
+    ])
+}
+
+/// An arbitrary valid cluster frame: event kinds embed a real wire
+/// event, gossip kinds carry opaque bytes (the gossip codec validates
+/// them later, in the worker), acks are empty by contract.
+fn cluster_frame_strategy() -> impl Strategy<Value = (FrameKind, u16, u16, u8, u64, Vec<u8>)> {
+    (
+        frame_kind_strategy(),
+        any::<u16>(),
+        any::<u16>(),
+        0u8..MAX_HOPS,
+        any::<u64>(),
+        (topic_strategy(), prop::collection::vec(any::<u8>(), 0..200)),
+    )
+        .prop_map(|(kind, origin, dest, hops, generation, (topic, raw))| {
+            let body = match kind {
+                FrameKind::Event => {
+                    let event = Event::new(
+                        topic,
+                        ClientId::from_raw(7),
+                        42,
+                        EventClass::Data,
+                        Bytes::from(raw),
+                    );
+                    wire::encode(&event).freeze().to_vec()
+                }
+                FrameKind::Ack => Vec::new(),
+                FrameKind::GossipDigest | FrameKind::GossipEntries => raw,
+            };
+            (kind, origin, dest, hops, generation, body)
+        })
+}
+
+proptest! {
+    /// Every header field of the federation envelope round-trips, for
+    /// every kind — including generations that are stale next to a
+    /// newer advert: staleness is routing policy, never a wire error.
+    #[test]
+    fn cluster_frame_round_trips((kind, origin, dest, hops, generation, body)
+        in cluster_frame_strategy())
+    {
+        let frame = encode_frame(kind, origin, dest, hops, generation, &body).freeze();
+        prop_assert_eq!(frame.len(), CLUSTER_HEADER_LEN + body.len());
+        let view = ClusterFrame::parse(&frame).expect("own encoding parses");
+        prop_assert_eq!(view.kind(), kind);
+        prop_assert_eq!(view.origin(), origin);
+        prop_assert_eq!(view.dest(), dest);
+        prop_assert_eq!(view.hops(), hops);
+        prop_assert_eq!(view.generation(), generation);
+        prop_assert_eq!(view.body(), &body[..]);
+
+        // A frame stamped with an *older* generation than a sibling
+        // still parses — the delivery path counts staleness instead of
+        // dropping, so the wire layer must accept every generation.
+        if generation > 0 {
+            let stale = encode_frame(kind, origin, dest, hops, generation - 1, &body).freeze();
+            let stale_view = ClusterFrame::parse(&stale).expect("stale generation still valid");
+            prop_assert_eq!(stale_view.generation(), generation - 1);
+        }
+    }
+
+    /// Truncation at every prefix is rejected with a typed error, never
+    /// a panic: envelope cuts are `Truncated`, body cuts of an event
+    /// frame are `BadEvent`, and a hop count at or past `MAX_HOPS` is
+    /// `HopLimit` no matter the rest of the frame.
+    #[test]
+    fn malformed_cluster_frames_are_rejected(
+        (kind, origin, dest, hops, generation, body) in cluster_frame_strategy(),
+        over_hops in (MAX_HOPS + 1)..=u8::MAX,
+    ) {
+        let frame = encode_frame(kind, origin, dest, hops, generation, &body).freeze();
+        for len in 0..frame.len() {
+            let result = ClusterFrame::parse(&frame[..len]);
+            match result {
+                Err(DecodeClusterError::Truncated) => {
+                    prop_assert!(len < CLUSTER_HEADER_LEN, "Truncated past the envelope");
+                }
+                Err(_) => {
+                    prop_assert!(len >= CLUSTER_HEADER_LEN, "body errors need a full envelope");
+                }
+                Ok(view) => {
+                    // Gossip bodies are opaque at this layer, so a cut
+                    // body still parses; events and acks must not.
+                    prop_assert!(matches!(
+                        kind,
+                        FrameKind::GossipDigest | FrameKind::GossipEntries
+                    ));
+                    prop_assert_eq!(view.body().len(), len - CLUSTER_HEADER_LEN);
+                }
+            }
+        }
+
+        let looped = encode_frame(kind, origin, dest, over_hops, generation, &body).freeze();
+        prop_assert_eq!(
+            ClusterFrame::parse(&looped).err(),
+            Some(DecodeClusterError::HopLimit(over_hops))
+        );
+    }
+
+    /// The event-frame convenience encoder agrees with the generic one:
+    /// parse yields the same envelope and an embedded event that
+    /// decodes back to the original.
+    #[test]
+    fn event_frames_embed_the_event_exactly(
+        event in event_strategy(),
+        origin in any::<u16>(),
+        dest in any::<u16>(),
+        hops in 0u8..MAX_HOPS,
+        generation in any::<u64>(),
+    ) {
+        let frame = encode_event_frame(origin, dest, hops, generation, &event).freeze();
+        let view = ClusterFrame::parse(&frame).expect("event frame parses");
+        prop_assert_eq!(view.kind(), FrameKind::Event);
+        prop_assert_eq!(view.origin(), origin);
+        prop_assert_eq!(view.dest(), dest);
+        prop_assert_eq!(view.hops(), hops);
+        prop_assert_eq!(view.generation(), generation);
+        let embedded = wire::decode(view.body()).expect("embedded event decodes");
+        prop_assert_eq!(&embedded, &event);
+    }
+}
+
+/// The envelope layout, regenerated from the live constants and pinned
+/// against `tests/golden/cluster_frame_schema.json`. A mismatch means
+/// the wire format drifted — bump `CLUSTER_VERSION` and regenerate the
+/// golden deliberately, never silently.
+#[test]
+fn cluster_frame_schema_matches_golden() {
+    let schema = format!(
+        r#"{{
+  "format": "mmcs-cluster-frame",
+  "version": {version},
+  "header_len": {header_len},
+  "max_hops": {max_hops},
+  "byte_order": "big-endian",
+  "fields": [
+    {{ "name": "version", "offset": {off_version}, "len": 1 }},
+    {{ "name": "kind", "offset": {off_kind}, "len": 1 }},
+    {{ "name": "origin", "offset": {off_origin}, "len": 2 }},
+    {{ "name": "dest", "offset": {off_dest}, "len": 2 }},
+    {{ "name": "hops", "offset": {off_hops}, "len": 1 }},
+    {{ "name": "reserved", "offset": {off_reserved}, "len": 1, "must_be": 0 }},
+    {{ "name": "generation", "offset": {off_generation}, "len": 8 }}
+  ],
+  "kinds": [
+    {{ "name": "Event", "value": {k_event}, "body": "wire event frame" }},
+    {{ "name": "GossipDigest", "value": {k_digest}, "body": "gossip digest" }},
+    {{ "name": "GossipEntries", "value": {k_entries}, "body": "gossip entries" }},
+    {{ "name": "Ack", "value": {k_ack}, "body": "empty; generation carries the acked link seq" }}
+  ]
+}}
+"#,
+        version = cluster::CLUSTER_VERSION,
+        header_len = CLUSTER_HEADER_LEN,
+        max_hops = MAX_HOPS,
+        off_version = cluster::OFF_VERSION,
+        off_kind = cluster::OFF_KIND,
+        off_origin = cluster::OFF_ORIGIN,
+        off_dest = cluster::OFF_DEST,
+        off_hops = cluster::OFF_HOPS,
+        off_reserved = cluster::OFF_RESERVED,
+        off_generation = cluster::OFF_GENERATION,
+        k_event = FrameKind::Event as u8,
+        k_digest = FrameKind::GossipDigest as u8,
+        k_entries = FrameKind::GossipEntries as u8,
+        k_ack = FrameKind::Ack as u8,
+    );
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/cluster_frame_schema.json"
+    ))
+    .expect("read cluster frame schema golden");
+    assert_eq!(
+        schema, golden,
+        "cluster frame layout drifted from the golden schema"
+    );
 }
