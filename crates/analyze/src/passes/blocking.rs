@@ -8,11 +8,17 @@
 //! point is the worker's own ingress drain: the `.recv()` inside
 //! `ShardWorker::run` that parks the worker when its queue is empty.
 //! Everything else reachable from the loop body is a finding.
+//!
+//! The conservative-parallel sim worker (`SimWorker::run`) is a root
+//! for the same reason: a blocked worker stalls its whole host shard
+//! and, through the watermark, every other worker. Its barrier
+//! `.wait()` is the protocol's synchronization point (a spin barrier,
+//! not a kernel park) and is allowlisted rather than sanctioned here.
 
 use crate::lexer::TokKind;
 use crate::lints::Violation;
 
-use super::Workspace;
+use super::{Workspace, PROCESS_CALLBACKS};
 
 /// The lint name this pass reports under.
 pub const LINT: &str = "blocking-in-shard-worker";
@@ -21,6 +27,7 @@ pub const LINT: &str = "blocking-in-shard-worker";
 pub const ROOTS: &[(&str, &str, &str)] = &[
     ("crates/broker/src/sharded.rs", "ShardWorker", "run"),
     ("crates/broker/src/cluster.rs", "ClusterWorker", "run"),
+    ("crates/sim/src/parsim.rs", "SimWorker", "run"),
 ];
 
 /// The check pass: BFS from the worker loop, scan every reachable body
@@ -37,7 +44,7 @@ pub fn check(ws: &Workspace, out: &mut Vec<Violation>) {
             })
         })
         .collect();
-    let parent = ws.graph.reach(&roots);
+    let parent = ws.graph.reach_bounded(&ws.files, &roots, PROCESS_CALLBACKS);
     let mut ids: Vec<_> = parent.keys().copied().collect();
     ids.sort_unstable();
     for id in ids {
@@ -134,6 +141,27 @@ mod tests {
         let hits = run(&[(
             "crates/broker/src/sharded.rs",
             "struct ShardWorker;\nimpl ShardWorker {\n    fn run(&self) {\n        self.drain();\n    }\n    fn drain(&self) {\n        self.ingress.recv();\n    }\n}\n",
+        )]);
+        assert_eq!(hits, vec![7]);
+    }
+
+    #[test]
+    fn blocking_behind_a_process_callback_is_silent() {
+        // The dispatcher invokes `on_packet` across the engine →
+        // application boundary; what the callback does is the app's
+        // business (and its own roots'), not the sim worker's.
+        let hits = run(&[(
+            "crates/sim/src/parsim.rs",
+            "struct SimWorker;\nimpl SimWorker {\n    fn run(&self) {\n        self.dispatch();\n    }\n    fn dispatch(&self) {\n        self.on_packet();\n    }\n    fn on_packet(&self) {\n        std::thread::sleep(std::time::Duration::from_millis(1));\n    }\n}\n",
+        )]);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn sim_worker_loop_is_a_root() {
+        let hits = run(&[(
+            "crates/sim/src/parsim.rs",
+            "struct SimWorker;\nimpl SimWorker {\n    fn run(&self) {\n        self.merge();\n    }\n    fn merge(&self) {\n        self.handle.join();\n    }\n}\n",
         )]);
         assert_eq!(hits, vec![7]);
     }

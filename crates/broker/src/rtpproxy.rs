@@ -177,7 +177,7 @@ impl Process for RtpProxyProcess {
             };
             ctx.spend_cpu(self.relay_cpu);
             let wire = raw.bytes.len() + UDP_OVERHEAD;
-            let shared = std::rc::Rc::new(raw);
+            let shared = std::sync::Arc::new(raw);
             for receiver in &self.legacy_receivers {
                 ctx.send_shared(*receiver, shared.clone(), wire);
             }

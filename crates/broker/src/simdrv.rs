@@ -1096,7 +1096,7 @@ impl Process for MulticastRelay {
         };
         ctx.spend_cpu(self.relay_cpu);
         let wire = event.wire_len();
-        let message = std::rc::Rc::new(ClientMsg::Deliver(Arc::clone(event)));
+        let message = Arc::new(ClientMsg::Deliver(Arc::clone(event)));
         for receiver in &self.local_receivers {
             // Loopback delivery: same host, no NIC serialization.
             ctx.send_shared(*receiver, message.clone(), wire);

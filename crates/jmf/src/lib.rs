@@ -186,7 +186,7 @@ impl Process for ReflectorProcess {
                 for receiver in &self.receivers {
                     // Serial unicast: every receiver pays the full cost.
                     ctx.spend_cpu(self.cost.send_cost(wire));
-                    ctx.send_shared(*receiver, std::rc::Rc::clone(&shared), wire);
+                    ctx.send_shared(*receiver, std::sync::Arc::clone(&shared), wire);
                 }
                 self.reflected += 1;
                 ctx.count("reflector.reflected", 1);
@@ -389,7 +389,7 @@ mod tests {
 
     #[test]
     fn reflector_reaches_every_receiver() {
-        let (mut sim, sinks) = build(3, 5, GcModel::none());
+        let (mut sim, sinks) = build(7, 5, GcModel::none());
         sim.run_until(SimTime::from_secs(20));
         assert_eq!(sim.counter("jmf.rtp_sent"), 200);
         for sink in &sinks {
@@ -401,9 +401,9 @@ mod tests {
 
     #[test]
     fn gc_pauses_add_delay() {
-        let (mut quiet_sim, quiet_sinks) = build(7, 5, GcModel::none());
+        let (mut quiet_sim, quiet_sinks) = build(8, 5, GcModel::none());
         quiet_sim.run_until(SimTime::from_secs(20));
-        let (mut gc_sim, gc_sinks) = build(7, 5, GcModel::java_1_4());
+        let (mut gc_sim, gc_sinks) = build(8, 5, GcModel::java_1_4());
         gc_sim.run_until(SimTime::from_secs(20));
         let quiet: f64 = quiet_sinks
             .iter()

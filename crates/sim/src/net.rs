@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use mmcs_util::rate::Bandwidth;
+use mmcs_util::rng::DetRng;
 use mmcs_util::time::{SimDuration, SimTime};
 
 /// Identifies a simulated host (machine).
@@ -89,6 +90,43 @@ pub(crate) struct HostState {
     pub pending: std::collections::VecDeque<crate::engine::DeferredEvent>,
     /// Whether a drain event is already scheduled for this host.
     pub drain_scheduled: bool,
+    /// Deterministic RNG stream private to this host. Every random draw
+    /// attributable to the host (its processes' `ctx.rng()`, plus
+    /// loss/duplication/jitter on packets it sends) comes from here, so
+    /// the draw sequence depends only on the host's own execution order —
+    /// which is identical under the sequential and parallel engines.
+    pub rng: DetRng,
+    /// Private counter for event keys minted with this host as origin.
+    /// See `engine::EventKey` for the total-order argument.
+    pub push_seq: u64,
+    /// Execution trace (fixed-width records, see `engine` trace tags);
+    /// only appended to while `Simulation::set_trace_enabled(true)`.
+    pub trace: Vec<u64>,
+}
+
+impl HostState {
+    /// An inert placeholder occupying a non-owned slot in a parallel
+    /// worker's host table (see `crate::parsim`). Never executed.
+    pub(crate) fn placeholder() -> Self {
+        Self {
+            name: String::new(),
+            nic: NicConfig::default(),
+            nic_free_at: SimTime::ZERO,
+            cpu_free_at: SimTime::ZERO,
+            pending: std::collections::VecDeque::new(),
+            drain_scheduled: false,
+            rng: DetRng::new(0),
+            push_seq: 0,
+            trace: Vec::new(),
+        }
+    }
+}
+
+/// Derives a host's private RNG seed from the simulation master seed.
+/// The odd multiplier (the 64-bit golden ratio) spreads consecutive host
+/// ids across the seed space so stream prefixes don't correlate.
+pub(crate) fn host_stream_seed(master_seed: u64, id: u64) -> u64 {
+    master_seed ^ (id + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// Host and link state shared by the engine.
@@ -100,7 +138,7 @@ pub(crate) struct NetworkState {
 }
 
 impl NetworkState {
-    pub fn add_host(&mut self, name: &str, nic: NicConfig) -> HostId {
+    pub fn add_host(&mut self, name: &str, nic: NicConfig, master_seed: u64) -> HostId {
         let id = HostId(self.hosts.len() as u64);
         self.hosts.push(HostState {
             name: name.to_owned(),
@@ -109,6 +147,9 @@ impl NetworkState {
             cpu_free_at: SimTime::ZERO,
             pending: std::collections::VecDeque::new(),
             drain_scheduled: false,
+            rng: DetRng::new(host_stream_seed(master_seed, id.0)),
+            push_seq: 0,
+            trace: Vec::new(),
         });
         id
     }
@@ -148,8 +189,8 @@ mod tests {
     #[test]
     fn link_override_is_symmetric() {
         let mut net = NetworkState::default();
-        let a = net.add_host("a", NicConfig::default());
-        let b = net.add_host("b", NicConfig::default());
+        let a = net.add_host("a", NicConfig::default(), 1);
+        let b = net.add_host("b", NicConfig::default(), 1);
         let cfg = LinkConfig {
             latency: SimDuration::from_millis(5),
             loss: 0.25,
@@ -158,15 +199,15 @@ mod tests {
         net.link_overrides.insert((a, b), cfg);
         assert_eq!(net.link(a, b).latency, cfg.latency);
         assert_eq!(net.link(b, a).latency, cfg.latency);
-        let c = net.add_host("c", NicConfig::default());
+        let c = net.add_host("c", NicConfig::default(), 1);
         assert_eq!(net.link(a, c), LinkConfig::default());
     }
 
     #[test]
     fn host_ids_are_sequential() {
         let mut net = NetworkState::default();
-        assert_eq!(net.add_host("x", NicConfig::default()), HostId(0));
-        assert_eq!(net.add_host("y", NicConfig::default()), HostId(1));
+        assert_eq!(net.add_host("x", NicConfig::default(), 1), HostId(0));
+        assert_eq!(net.add_host("y", NicConfig::default(), 1), HostId(1));
         assert_eq!(net.host(HostId(1)).name, "y");
         assert_eq!(HostId(1).to_string(), "host-1");
     }

@@ -7,7 +7,7 @@
 //! bumping named counters.
 
 use std::any::Any;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mmcs_util::rng::DetRng;
 use mmcs_util::time::{SimDuration, SimTime};
@@ -42,9 +42,10 @@ impl std::fmt::Display for ProcessId {
 
 /// A packet delivered to a process.
 ///
-/// The payload is reference-counted so a fan-out of one logical message to
-/// hundreds of receivers does not copy the payload; `wire_bytes` is the
-/// size the network charges for serialization.
+/// The payload is reference-counted (atomically, so packets may cross
+/// worker threads under the parallel engine) — a fan-out of one logical
+/// message to hundreds of receivers does not copy the payload;
+/// `wire_bytes` is the size the network charges for serialization.
 #[derive(Debug, Clone)]
 pub struct Packet {
     /// The sending process.
@@ -55,7 +56,7 @@ pub struct Packet {
     pub wire_bytes: usize,
     /// When the sender handed the packet to its NIC.
     pub sent_at: SimTime,
-    payload: Rc<dyn Any>,
+    payload: Arc<dyn Any + Send + Sync>,
 }
 
 impl Packet {
@@ -64,7 +65,7 @@ impl Packet {
         dst: ProcessId,
         wire_bytes: usize,
         sent_at: SimTime,
-        payload: Rc<dyn Any>,
+        payload: Arc<dyn Any + Send + Sync>,
     ) -> Self {
         Self {
             src,
@@ -81,8 +82,8 @@ impl Packet {
     }
 
     /// Clones the payload handle (cheap; reference-counted).
-    pub fn payload_handle(&self) -> Rc<dyn Any> {
-        Rc::clone(&self.payload)
+    pub fn payload_handle(&self) -> Arc<dyn Any + Send + Sync> {
+        Arc::clone(&self.payload)
     }
 }
 
@@ -169,15 +170,21 @@ impl<'a> Context<'a> {
     /// Sends `payload` to `dst` as a `wire_bytes`-sized packet through the
     /// simulated network (loopback if `dst` is on the same host).
     ///
-    /// The payload may be any `'static` value; receivers downcast with
-    /// [`Packet::payload`]. For fan-out, pass an `Rc` via
+    /// The payload may be any `Send + Sync + 'static` value (packets can
+    /// cross worker threads under the parallel engine); receivers
+    /// downcast with [`Packet::payload`]. For fan-out, pass an `Arc` via
     /// [`Context::send_shared`] to avoid cloning.
-    pub fn send<T: 'static>(&mut self, dst: ProcessId, payload: T, wire_bytes: usize) {
-        self.send_shared(dst, Rc::new(payload), wire_bytes);
+    pub fn send<T: Send + Sync + 'static>(&mut self, dst: ProcessId, payload: T, wire_bytes: usize) {
+        self.send_shared(dst, Arc::new(payload), wire_bytes);
     }
 
     /// Sends an already reference-counted payload (cheap fan-out).
-    pub fn send_shared(&mut self, dst: ProcessId, payload: Rc<dyn Any>, wire_bytes: usize) {
+    pub fn send_shared(
+        &mut self,
+        dst: ProcessId,
+        payload: Arc<dyn Any + Send + Sync>,
+        wire_bytes: usize,
+    ) {
         self.sends.push(PendingSend {
             src: self.me,
             dst,
@@ -189,14 +196,22 @@ impl<'a> Context<'a> {
 
     /// Arms a timer that fires on this process after `delay`, passing
     /// `token` back to [`Process::on_timer`].
+    ///
+    /// The deadline saturates at the far future rather than wrapping, so
+    /// arming a timer with a near-`u64::MAX` delay means "never fires"
+    /// instead of firing in the past.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        let at = self.now() + delay;
-        self.core.schedule_timer(self.me, at, token);
+        let at = self.now().saturating_add(delay);
+        self.core.schedule_timer(self.me, self.host, at, token);
     }
 
-    /// A deterministic RNG stream (shared engine-wide).
+    /// A deterministic RNG stream private to this process's host.
+    ///
+    /// Draws depend only on the host's own execution order, which is the
+    /// same under the sequential and parallel engines — so replays stay
+    /// bit-identical at any worker count.
     pub fn rng(&mut self) -> &mut DetRng {
-        self.core.rng()
+        self.core.host_rng(self.host)
     }
 
     /// Adds `delta` to the named metric counter.
@@ -234,7 +249,7 @@ mod tests {
             ProcessId(2),
             100,
             SimTime::ZERO,
-            Rc::new(42u32),
+            Arc::new(42u32),
         );
         assert_eq!(p.payload::<u32>(), Some(&42));
         assert_eq!(p.payload::<u64>(), None);

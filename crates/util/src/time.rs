@@ -109,6 +109,18 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
     }
 
+    /// Saturating addition: clamps at the largest representable duration
+    /// instead of overflowing. Use this when either operand can be a
+    /// far-future sentinel (e.g. a watermark lookahead near `u64::MAX`).
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked addition: `None` instead of overflowing.
+    pub fn checked_add(self, rhs: SimDuration) -> Option<SimDuration> {
+        self.0.checked_add(rhs.0).map(SimDuration)
+    }
+
     /// Returns the larger of two durations.
     pub fn max(self, other: SimDuration) -> SimDuration {
         if self >= other {
@@ -260,6 +272,21 @@ impl SimTime {
     pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
+
+    /// Saturating addition: clamps at [`SimTime::MAX`] instead of
+    /// overflowing. This is the only sound way to advance an instant
+    /// that may already be a far-future sentinel — the simulator's
+    /// watermark arithmetic (`safe time + lookahead`) and timer
+    /// scheduling both use it so a timer armed near `u64::MAX`
+    /// saturates to "never" rather than wrapping into the past.
+    pub fn saturating_add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked addition: `None` instead of overflowing.
+    pub fn checked_add(self, rhs: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
 }
 
 impl fmt::Display for SimTime {
@@ -393,5 +420,43 @@ mod tests {
         let t = SimTime::from_nanos(5_000_000);
         assert_eq!(t.as_millis(), 5);
         assert_eq!(t.as_millis_f64(), 5.0);
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_the_far_future() {
+        // The watermark-boundary cases: an instant or duration already
+        // near u64::MAX must clamp, not wrap into the past.
+        let near_max = SimTime::from_nanos(u64::MAX - 10);
+        assert_eq!(near_max.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            near_max.saturating_add(SimDuration::from_nanos(10)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimTime::from_secs(1).saturating_add(SimDuration::from_secs(2)),
+            SimTime::from_secs(3)
+        );
+        let huge = SimDuration::from_nanos(u64::MAX - 1);
+        assert_eq!(
+            huge.saturating_add(SimDuration::from_secs(5)),
+            SimDuration::from_nanos(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn checked_add_reports_overflow() {
+        assert_eq!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)), None);
+        assert_eq!(
+            SimTime::from_secs(1).checked_add(SimDuration::from_secs(1)),
+            Some(SimTime::from_secs(2))
+        );
+        assert_eq!(
+            SimDuration::from_nanos(u64::MAX).checked_add(SimDuration::from_nanos(1)),
+            None
+        );
+        assert_eq!(
+            SimDuration::from_secs(1).checked_add(SimDuration::from_secs(1)),
+            Some(SimDuration::from_secs(2))
+        );
     }
 }

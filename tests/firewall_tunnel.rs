@@ -5,7 +5,7 @@
 //! the extra hop's latency — and a publisher whose tunnel is refused
 //! gets nothing through.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mmcs::broker::batch::CostModel;
 use mmcs::broker::event::{Event, EventClass};
@@ -118,7 +118,7 @@ impl Process for ProxyProcess {
                 return;
             }
             ctx.spend_cpu(SimDuration::from_micros(6));
-            ctx.send_shared(self.broker, Rc::new(inner.clone()), packet.wire_bytes);
+            ctx.send_shared(self.broker, Arc::new(inner.clone()), packet.wire_bytes);
         }
     }
 }

@@ -1,0 +1,309 @@
+//! Engine equivalence: the conservative-parallel simulator must be a
+//! bit-exact drop-in for the sequential one (`DESIGN.md` §14).
+//!
+//! A random workload — hosts running timer-driven chatter processes
+//! with CPU costs, plus a fault schedule of link degradation (loss,
+//! jitter, duplication, hard partition) and process crash/restart
+//! incarnations — is run once on the sequential engine and once per
+//! worker count in {1, 2, 4, 8}. Every run must produce:
+//!
+//! * byte-identical per-host execution traces (`take_traces`),
+//! * the identical FNV trace fingerprint, and
+//! * the identical counter map.
+//!
+//! A second property drives the full chaos scenario (brokers, reliable
+//! pairs, XGSP) through its `workers` knob and compares the chaos
+//! run-report fingerprint across engines.
+
+use proptest::prelude::*;
+
+use mmcs_chaos::generate;
+use mmcs_chaos::scenario::{self, ScenarioConfig};
+use mmcs::sim::net::{HostId, LinkConfig, NicConfig};
+use mmcs::sim::{Context, Packet, Process, ProcessId, Simulation};
+use mmcs_util::time::{SimDuration, SimTime};
+
+/// Worker counts every plan is checked at, against the sequential run.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Timer-driven chatter: each tick spends CPU, sends a few packets to
+/// RNG-chosen peers, and occasionally replies to traffic it receives.
+/// All randomness comes from `ctx.rng()` (the host's private stream),
+/// so behavior is a pure function of the host's execution order.
+#[derive(Debug, Clone)]
+struct Chatter {
+    peers: Vec<ProcessId>,
+    period: SimDuration,
+    sends_per_tick: u32,
+    cpu: SimDuration,
+    ticks_left: u32,
+    wire_bytes: usize,
+}
+
+impl Process for Chatter {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.period, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: u64) {
+        if self.ticks_left == 0 {
+            return;
+        }
+        self.ticks_left -= 1;
+        ctx.spend_cpu(self.cpu);
+        for _ in 0..self.sends_per_tick {
+            let target = ctx.rng().range_usize(0, self.peers.len());
+            let dst = self.peers[target];
+            if dst != ctx.me() {
+                ctx.send(dst, "tick", self.wire_bytes);
+                ctx.count("chatter.sent", 1);
+            }
+        }
+        ctx.set_timer(self.period, 0);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, packet: Packet) {
+        ctx.count("chatter.received", 1);
+        ctx.spend_cpu(SimDuration::from_micros(5));
+        if ctx.rng().chance(0.25) {
+            ctx.send(packet.src, "reply", 64);
+            ctx.count("chatter.replied", 1);
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        ctx.count("chatter.restarted", 1);
+        ctx.set_timer(self.period, 0);
+    }
+}
+
+/// One scheduled fault. Times are virtual milliseconds from start.
+#[derive(Debug, Clone)]
+enum FaultOp {
+    /// Replace the link between hosts `a` and `b` (indices).
+    Link(usize, usize, LinkConfig),
+    /// Crash process index `p`, restart it `down_ms` later.
+    CrashRestart(usize, u64),
+}
+
+/// A complete randomized run plan.
+#[derive(Debug, Clone)]
+struct Plan {
+    seed: u64,
+    hosts: usize,
+    chatter: Vec<(u64, u32, u64, u32, usize)>,
+    faults: Vec<(u64, FaultOp)>,
+    horizon_ms: u64,
+}
+
+fn link_strategy() -> impl Strategy<Value = LinkConfig> {
+    (
+        200u64..=2_000,
+        prop_oneof![
+            Just((0.0, 0.0, 0u64, false)),
+            (0.05f64..0.5).prop_map(|loss| (loss, 0.0, 0, false)),
+            (0.1f64..0.9).prop_map(|duplicate| (0.0, duplicate, 0, false)),
+            (1u64..=8).prop_map(|jitter_ms| (0.0, 0.0, jitter_ms, false)),
+            Just((0.0, 0.0, 0, true)),
+        ],
+    )
+        .prop_map(|(latency_us, (loss, duplicate, jitter_ms, down))| LinkConfig {
+            latency: SimDuration::from_micros(latency_us),
+            loss,
+            duplicate,
+            jitter: SimDuration::from_millis(jitter_ms),
+            down,
+        })
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    // Host/process indices inside fault ops are generated over the
+    // maximum host count and reduced modulo the actual one at apply
+    // time (the shimmed proptest has no `prop_flat_map`).
+    let chatter = prop::collection::vec(
+        (
+            500u64..=5_000,  // timer period (µs)
+            0u32..=3,        // sends per tick
+            0u64..=200,      // per-tick CPU (µs)
+            5u32..=40,       // tick budget
+            64usize..=1_400, // wire bytes
+        ),
+        6,
+    );
+    let faults = prop::collection::vec(
+        (
+            1u64..40,
+            prop_oneof![
+                (0usize..6, 0usize..6, link_strategy())
+                    .prop_map(|(a, b, link)| FaultOp::Link(a, b, link)),
+                (0usize..6, 1u64..20)
+                    .prop_map(|(p, down_ms)| FaultOp::CrashRestart(p, down_ms)),
+            ],
+        ),
+        0..6,
+    );
+    (2usize..=6, 0u64..1_000_000, chatter, faults).prop_map(|(hosts, seed, chatter, faults)| {
+        Plan {
+            seed,
+            hosts,
+            chatter,
+            faults,
+            horizon_ms: 60,
+        }
+    })
+}
+
+/// Materializes and runs a plan. `workers == 0` means the sequential
+/// engine; otherwise `run_parallel_until` with that worker count.
+fn run_plan(plan: &Plan, workers: usize) -> (Vec<Vec<u64>>, u64, Vec<(String, u64)>) {
+    let mut sim = Simulation::new(plan.seed);
+    let hosts: Vec<HostId> = (0..plan.hosts)
+        .map(|h| sim.add_host(&format!("h{h}"), NicConfig::default()))
+        .collect();
+    sim.set_default_latency(SimDuration::from_micros(400));
+    sim.set_trace_enabled(true);
+
+    let pids: Vec<ProcessId> = (0..plan.hosts)
+        .map(|h| {
+            let (period_us, sends, cpu_us, ticks, bytes) = plan.chatter[h];
+            sim.add_typed_process(
+                hosts[h],
+                Chatter {
+                    peers: Vec::new(),
+                    period: SimDuration::from_micros(period_us),
+                    sends_per_tick: sends,
+                    cpu: SimDuration::from_micros(cpu_us),
+                    ticks_left: ticks,
+                    wire_bytes: bytes,
+                },
+            )
+        })
+        .collect();
+    for pid in &pids {
+        sim.process_mut::<Chatter>(*pid)
+            .expect("chatter process")
+            .peers = pids.clone();
+    }
+
+    // Compile the fault schedule into (time, op) order; restarts are
+    // separate timed entries so they interleave with other faults.
+    let mut ops: Vec<(u64, usize, FaultOp)> = Vec::new();
+    for (i, (t_ms, op)) in plan.faults.iter().enumerate() {
+        match op {
+            FaultOp::CrashRestart(p, down_ms) => {
+                ops.push((*t_ms, i * 2, FaultOp::CrashRestart(*p, 0)));
+                ops.push((t_ms + down_ms, i * 2 + 1, FaultOp::CrashRestart(*p, u64::MAX)));
+            }
+            link => ops.push((*t_ms, i * 2, link.clone())),
+        }
+    }
+    ops.sort_by_key(|(t, tie, _)| (*t, *tie));
+
+    let advance = |sim: &mut Simulation, until: SimTime| {
+        if workers == 0 {
+            sim.run_until(until);
+        } else {
+            sim.run_parallel_until(until, workers);
+        }
+    };
+    for (t_ms, _, op) in ops {
+        advance(&mut sim, SimTime::from_millis(t_ms));
+        match op {
+            FaultOp::Link(a, b, link) => {
+                let (a, b) = (a % plan.hosts, b % plan.hosts);
+                if a != b {
+                    sim.set_link(hosts[a], hosts[b], link);
+                }
+            }
+            FaultOp::CrashRestart(p, marker) => {
+                let p = p % plan.hosts;
+                if marker == 0 {
+                    if !sim.is_crashed(pids[p]) {
+                        sim.crash_process(pids[p]);
+                    }
+                } else if sim.is_crashed(pids[p]) {
+                    sim.restart_process(pids[p]);
+                }
+            }
+        }
+    }
+    advance(&mut sim, SimTime::from_millis(plan.horizon_ms));
+
+    let fingerprint = sim.trace_fingerprint();
+    let mut counters: Vec<(String, u64)> = sim
+        .counters()
+        .map(|(name, value)| (name.to_owned(), value))
+        .collect();
+    counters.sort();
+    (sim.take_traces(), fingerprint, counters)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any schedule, any worker count: traces, fingerprints, and
+    /// counters must match the sequential engine bit-for-bit.
+    #[test]
+    fn parallel_engine_is_bit_identical(plan in plan_strategy()) {
+        let (base_traces, base_fp, base_counters) = run_plan(&plan, 0);
+        prop_assert!(
+            base_counters.iter().any(|(name, v)| name == "net.delivered" && *v > 0)
+                || plan.chatter.iter().all(|(_, sends, ..)| *sends == 0),
+            "workload should exchange traffic"
+        );
+        for workers in WORKER_COUNTS {
+            let (traces, fp, counters) = run_plan(&plan, workers);
+            prop_assert_eq!(
+                &traces, &base_traces,
+                "execution traces diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                fp, base_fp,
+                "trace fingerprint diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                &counters, &base_counters,
+                "counters diverged at {} workers", workers
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The full chaos scenario (brokers, reliable pairs, XGSP, a
+    /// generated fault schedule) reproduces its run-report fingerprint
+    /// on the parallel engine.
+    #[test]
+    fn chaos_fingerprint_survives_parallel_engine(seed in 0u64..1_000) {
+        let config = ScenarioConfig {
+            horizon_ms: 4_000,
+            settle_ms: 5_000,
+            events_per_pair: 40,
+            ..ScenarioConfig::for_seed(seed)
+        };
+        let schedule = generate(
+            config.seed,
+            config.horizon_ms,
+            mmcs_chaos::scenario::EDGES,
+            mmcs_chaos::scenario::BROKERS,
+            mmcs_chaos::scenario::CHURN_CLIENTS,
+        );
+        let sequential = scenario::run(&config, &schedule);
+        for workers in [2usize, 4] {
+            let parallel = scenario::run(
+                &ScenarioConfig { workers, ..config },
+                &schedule,
+            );
+            prop_assert_eq!(
+                parallel.fingerprint, sequential.fingerprint,
+                "chaos fingerprint diverged at {} workers", workers
+            );
+            prop_assert_eq!(
+                &parallel.counters, &sequential.counters,
+                "chaos counters diverged at {} workers", workers
+            );
+        }
+    }
+}
